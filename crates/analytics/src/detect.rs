@@ -1,0 +1,182 @@
+//! The Scene engine: synthetic object detection (OpenCV/TensorFlow
+//! stand-in).
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+use crate::frames::OccupancySchedule;
+
+/// Object detection over a (synthetic) video stream.
+///
+/// Once the digidata's `data.input.url` is set (by a pipe from the camera
+/// or transcoder), the engine fetches one frame per period, spends the
+/// configured inference time, and posts the detected objects to
+/// `data.output.objects` — mirroring the paper's Scene digidata (Fig. 1c).
+/// Per-frame transfer bytes are accounted so the hybrid-deployment
+/// bandwidth experiment (§6.5) can compare placements.
+pub struct SceneEngine {
+    truth: OccupancySchedule,
+    /// Mean per-frame inference latency.
+    pub infer: dspace_simnet::LatencyModel,
+    /// Seconds between processed frames.
+    pub frame_period: Time,
+    /// Stream bitrate used for per-frame byte accounting.
+    pub stream_bps: f64,
+    /// Probability that a visible object is missed in one frame.
+    pub miss_rate: f64,
+    last_output: Option<Vec<String>>,
+    last_frame: Time,
+}
+
+impl SceneEngine {
+    /// Creates an engine with paper-calibrated defaults: ~600 ms inference
+    /// per frame, one frame per second, a 4.3 Mb/s stream, no detection
+    /// noise.
+    pub fn new(truth: OccupancySchedule) -> Self {
+        SceneEngine {
+            truth,
+            infer: dspace_simnet::LatencyModel::NormalMs(600.0, 40.0),
+            frame_period: millis(1000),
+            stream_bps: 4.3e6,
+            miss_rate: 0.0,
+            last_output: None,
+            last_frame: 0,
+        }
+    }
+
+    /// Sets the detection miss rate (for robustness experiments).
+    pub fn with_miss_rate(mut self, p: f64) -> Self {
+        self.miss_rate = p;
+        self
+    }
+
+    /// Runs detection on the frame at time `t` (pure; used by tests and
+    /// the Stats pipeline).
+    pub fn detect_at(&self, t: Time, rng: &mut Rng) -> Vec<String> {
+        self.truth
+            .objects_at(t)
+            .iter()
+            .filter(|_| !rng.chance(self.miss_rate))
+            .cloned()
+            .collect()
+    }
+}
+
+impl Actuator for SceneEngine {
+    fn name(&self) -> &str {
+        "Scene (TensorFlow)"
+    }
+
+    fn actuate(&mut self, _now: Time, _cmd: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        Vec::new()
+    }
+
+    fn step(&mut self, now: Time, model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        // No stream configured yet: idle.
+        let url = model.get_path(".data.input.url").and_then(Value::as_str);
+        if url.is_none_or_empty() {
+            return Vec::new();
+        }
+        if now.saturating_sub(self.last_frame) < self.frame_period {
+            return Vec::new();
+        }
+        self.last_frame = now;
+        let detected = self.detect_at(now, rng);
+        let frame_bytes =
+            (self.stream_bps * (self.frame_period as f64 / 1e9) / 8.0) as usize;
+        if self.last_output.as_deref() == Some(&detected) {
+            // Nothing new: account the frame transfer, skip the write.
+            return vec![Actuation::new(0, dspace_value::obj()).with_bytes(frame_bytes)];
+        }
+        self.last_output = Some(detected.clone());
+        let mut patch = dspace_value::obj();
+        patch
+            .set(
+                &".data.output.objects".parse().unwrap(),
+                dspace_value::array(detected.iter().map(|s| Value::from(s.as_str()))),
+            )
+            .unwrap();
+        let delay = self.infer.sample(rng);
+        vec![Actuation::new(delay, patch).with_bytes(frame_bytes)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(250))
+    }
+}
+
+trait StrOptExt {
+    fn is_none_or_empty(&self) -> bool;
+}
+
+impl StrOptExt for Option<&str> {
+    fn is_none_or_empty(&self) -> bool {
+        self.map(str::is_empty).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_simnet::secs;
+    use dspace_value::json;
+
+    fn model_with_url() -> Value {
+        json::parse(r#"{"data": {"input": {"url": "rtsp://cam/live"}}}"#).unwrap()
+    }
+
+    #[test]
+    fn idle_without_input_url() {
+        let mut eng = SceneEngine::new(OccupancySchedule::new());
+        let mut rng = Rng::new(1);
+        let empty = json::parse(r#"{"data": {"input": {"url": null}}}"#).unwrap();
+        assert!(eng.step(secs(10), &empty, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn detects_objects_with_inference_latency() {
+        let truth = OccupancySchedule::from_entries([(secs(5), vec!["person"])]);
+        let mut eng = SceneEngine::new(truth);
+        let mut rng = Rng::new(2);
+        let acts = eng.step(secs(10), &model_with_url(), &mut rng);
+        assert_eq!(acts.len(), 1);
+        let objs = acts[0].patch.get_path(".data.output.objects").unwrap();
+        assert_eq!(objs.as_array().unwrap()[0].as_str(), Some("person"));
+        // Inference takes roughly 600 ms.
+        let ms = acts[0].delay as f64 / 1e6;
+        assert!((400.0..800.0).contains(&ms), "inference {ms}ms");
+        assert!(acts[0].bytes > 0, "frame transfer accounted");
+    }
+
+    #[test]
+    fn unchanged_scene_does_not_rewrite_output() {
+        let truth = OccupancySchedule::from_entries([(0, vec!["person"])]);
+        let mut eng = SceneEngine::new(truth);
+        let mut rng = Rng::new(3);
+        let first = eng.step(secs(1), &model_with_url(), &mut rng);
+        assert!(!first[0].patch.as_object().unwrap().is_empty());
+        let second = eng.step(secs(2), &model_with_url(), &mut rng);
+        assert_eq!(second.len(), 1);
+        assert!(second[0].patch.as_object().unwrap().is_empty(), "no redundant write");
+        assert!(second[0].bytes > 0, "bandwidth still accounted");
+    }
+
+    #[test]
+    fn frame_rate_limits_processing() {
+        let truth = OccupancySchedule::from_entries([(0, vec!["person"])]);
+        let mut eng = SceneEngine::new(truth);
+        let mut rng = Rng::new(4);
+        assert_eq!(eng.step(secs(1), &model_with_url(), &mut rng).len(), 1);
+        // 250 ms later: below the 1-frame-per-second period.
+        assert!(eng.step(secs(1) + millis(250), &model_with_url(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn miss_rate_drops_detections() {
+        let truth = OccupancySchedule::from_entries([(0, vec!["person"])]);
+        let eng = SceneEngine::new(truth).with_miss_rate(1.0);
+        let mut rng = Rng::new(5);
+        assert!(eng.detect_at(secs(1), &mut rng).is_empty());
+    }
+}

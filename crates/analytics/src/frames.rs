@@ -1,0 +1,104 @@
+//! Synthetic video ground truth: who/what is visible, when.
+//!
+//! The paper's Scene digidata runs real object recognition on a camera
+//! stream. Without cameras, the reproduction scripts the *content* of the
+//! stream: an [`OccupancySchedule`] maps virtual time to the set of
+//! objects visible in the camera's field of view. The Scene engine "sees"
+//! whatever the schedule says (optionally corrupted by detection noise),
+//! which preserves the property the scenarios rely on — detected objects
+//! track real-world state with a processing delay.
+
+use dspace_simnet::Time;
+
+/// A scripted timeline of visible objects.
+///
+/// Entries are `(from_time, objects)`; the objects visible at time `t`
+/// are those of the latest entry with `from_time <= t` (empty before the
+/// first entry).
+#[derive(Debug, Clone, Default)]
+pub struct OccupancySchedule {
+    entries: Vec<(Time, Vec<String>)>,
+}
+
+impl OccupancySchedule {
+    /// Creates an empty schedule (nothing ever visible).
+    pub fn new() -> Self {
+        OccupancySchedule::default()
+    }
+
+    /// Builds a schedule from `(from_time, objects)` entries.
+    pub fn from_entries<I, S>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Time, Vec<S>)>,
+        S: Into<String>,
+    {
+        let mut entries: Vec<(Time, Vec<String>)> = entries
+            .into_iter()
+            .map(|(t, objs)| (t, objs.into_iter().map(Into::into).collect()))
+            .collect();
+        entries.sort_by_key(|(t, _)| *t);
+        OccupancySchedule { entries }
+    }
+
+    /// Appends an entry (must be in time order for sensible results).
+    pub fn push(&mut self, from: Time, objects: Vec<String>) {
+        self.entries.push((from, objects));
+        self.entries.sort_by_key(|(t, _)| *t);
+    }
+
+    /// The objects visible at time `t`.
+    pub fn objects_at(&self, t: Time) -> &[String] {
+        let mut current: &[String] = &[];
+        for (from, objs) in &self.entries {
+            if *from <= t {
+                current = objs;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Returns `true` if `object` is visible at `t`.
+    pub fn visible(&self, t: Time, object: &str) -> bool {
+        self.objects_at(t).iter().any(|o| o == object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_simnet::secs;
+
+    #[test]
+    fn schedule_lookup() {
+        let s = OccupancySchedule::from_entries([
+            (secs(10), vec!["person"]),
+            (secs(20), vec!["person", "dog"]),
+            (secs(30), vec![]),
+        ]);
+        assert!(s.objects_at(secs(5)).is_empty());
+        assert_eq!(s.objects_at(secs(10)), ["person".to_string()]);
+        assert_eq!(s.objects_at(secs(25)).len(), 2);
+        assert!(s.objects_at(secs(40)).is_empty());
+        assert!(s.visible(secs(22), "dog"));
+        assert!(!s.visible(secs(12), "dog"));
+    }
+
+    #[test]
+    fn unsorted_entries_are_sorted() {
+        let s = OccupancySchedule::from_entries([
+            (secs(20), vec!["b"]),
+            (secs(10), vec!["a"]),
+        ]);
+        assert_eq!(s.objects_at(secs(15)), ["a".to_string()]);
+    }
+
+    #[test]
+    fn push_maintains_order() {
+        let mut s = OccupancySchedule::new();
+        s.push(secs(20), vec!["late".into()]);
+        s.push(secs(10), vec!["early".into()]);
+        assert_eq!(s.objects_at(secs(12)), ["early".to_string()]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic data-processing engines: the digidata backends of Table 3.
+//!
+//! The paper wraps four external frameworks as digidata:
+//!
+//! | Digidata | Paper's tools | Our engine |
+//! |---|---|---|
+//! | Scene (`in: url; out: json`) | OpenCV, TensorFlow | [`detect::SceneEngine`] — synthetic object detection over scripted frames, with per-frame inference latency |
+//! | Xcdr (`in: url; out: url`) | FFmpeg | [`xcdr::XcdrEngine`] — stream transcoding (URL rewriting + bitrate change) |
+//! | Stats (`in: json; out: json`) | PySpark | [`stats::StatsEngine`] — windowed aggregation of object observations |
+//! | Imitate (`in: json; out: json`) | Ray RLlib (MARWIL behaviour cloning) | [`imitate::BehaviorCloner`] — frequency-based behaviour cloning of the home's mode policy |
+//!
+//! Each engine implements [`dspace_core::Actuator`], so a digidata's
+//! driver is a thin shim — exactly the "thin wrapper around a standalone
+//! data processing system" of §3.1. Ground truth for the synthetic frames
+//! comes from an [`frames::OccupancySchedule`], the scenario's script of
+//! who is where when.
+
+pub mod detect;
+pub mod frames;
+pub mod imitate;
+pub mod stats;
+pub mod xcdr;
+
+pub use detect::SceneEngine;
+pub use frames::OccupancySchedule;
+pub use imitate::{BehaviorCloner, ImitateEngine};
+pub use stats::{aggregate_counts, StatsEngine};
+pub use xcdr::XcdrEngine;

@@ -1,0 +1,176 @@
+//! The Stats engine: windowed aggregation of observations (PySpark
+//! stand-in).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+/// Counts object occurrences across a batch of observations.
+///
+/// Pure helper shared by the engine and tests: given an array of object
+/// arrays, returns `{object: count}`.
+pub fn aggregate_counts(batches: &[Vec<String>]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for batch in batches {
+        for obj in batch {
+            *out.entry(obj.clone()).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Windowed object statistics: `in: json; out: json` (Table 3).
+///
+/// Consumes `data.input.objects` (an array, typically piped from a Scene),
+/// keeps a sliding window of the last `window` observations, and posts
+/// `{counts: {object: n}, distinct: k, observations: w}` to
+/// `data.output.stats`.
+pub struct StatsEngine {
+    /// Number of observations retained.
+    pub window: usize,
+    /// Per-batch processing latency.
+    pub batch_latency: Time,
+    history: VecDeque<Vec<String>>,
+    last_seen: Option<Value>,
+}
+
+impl StatsEngine {
+    /// Creates an engine with a 20-observation window.
+    pub fn new() -> Self {
+        StatsEngine {
+            window: 20,
+            batch_latency: millis(120),
+            history: VecDeque::new(),
+            last_seen: None,
+        }
+    }
+
+    /// Sets the window size.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The current windowed counts.
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        aggregate_counts(self.history.make_contiguous_clone().as_slice())
+    }
+}
+
+impl Default for StatsEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+trait CloneContiguous {
+    fn make_contiguous_clone(&self) -> Vec<Vec<String>>;
+}
+
+impl CloneContiguous for VecDeque<Vec<String>> {
+    fn make_contiguous_clone(&self) -> Vec<Vec<String>> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl Actuator for StatsEngine {
+    fn name(&self) -> &str {
+        "Stats (PySpark)"
+    }
+
+    fn actuate(&mut self, _now: Time, _cmd: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        Vec::new()
+    }
+
+    fn step(&mut self, _now: Time, model: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        let Some(objects) = model.get_path(".data.input.objects") else {
+            return Vec::new();
+        };
+        if objects.is_null() || self.last_seen.as_ref() == Some(objects) {
+            return Vec::new();
+        }
+        self.last_seen = Some(objects.clone());
+        let batch: Vec<String> = objects
+            .as_array()
+            .map(|a| a.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+            .unwrap_or_default();
+        self.history.push_back(batch);
+        while self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        let counts = self.counts();
+        let mut stats = dspace_value::obj();
+        stats
+            .set(
+                &".counts".parse().unwrap(),
+                dspace_value::object(counts.iter().map(|(k, v)| (k.clone(), Value::from(*v)))),
+            )
+            .unwrap();
+        stats.set(&".distinct".parse().unwrap(), Value::from(counts.len())).unwrap();
+        stats
+            .set(&".observations".parse().unwrap(), Value::from(self.history.len()))
+            .unwrap();
+        let mut patch = dspace_value::obj();
+        patch.set(&".data.output.stats".parse().unwrap(), stats).unwrap();
+        vec![Actuation::new(self.batch_latency, patch)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn aggregate_counts_pure() {
+        let counts = aggregate_counts(&[
+            vec!["person".into(), "dog".into()],
+            vec!["person".into()],
+        ]);
+        assert_eq!(counts["person"], 2);
+        assert_eq!(counts["dog"], 1);
+        assert!(aggregate_counts(&[]).is_empty());
+    }
+
+    #[test]
+    fn engine_windows_and_outputs() {
+        let mut eng = StatsEngine::new().with_window(2);
+        let mut rng = Rng::new(1);
+        let mk = |objs: &str| {
+            json::parse(&format!(r#"{{"data": {{"input": {{"objects": {objs}}}}}}}"#)).unwrap()
+        };
+        let acts = eng.step(0, &mk(r#"["person"]"#), &mut rng);
+        assert_eq!(acts.len(), 1);
+        eng.step(0, &mk(r#"["person", "dog"]"#), &mut rng);
+        // Third observation evicts the first (window 2).
+        let acts = eng.step(0, &mk(r#"["cat"]"#), &mut rng);
+        let stats = acts[0].patch.get_path(".data.output.stats").unwrap();
+        assert_eq!(stats.get_path(".counts.person").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get_path(".counts.cat").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get_path(".observations").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn unchanged_input_is_ignored() {
+        let mut eng = StatsEngine::new();
+        let mut rng = Rng::new(2);
+        let model =
+            json::parse(r#"{"data": {"input": {"objects": ["person"]}}}"#).unwrap();
+        assert_eq!(eng.step(0, &model, &mut rng).len(), 1);
+        assert!(eng.step(0, &model, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn null_input_is_ignored() {
+        let mut eng = StatsEngine::new();
+        let mut rng = Rng::new(3);
+        let model = json::parse(r#"{"data": {"input": {"objects": null}}}"#).unwrap();
+        assert!(eng.step(0, &model, &mut rng).is_empty());
+    }
+}

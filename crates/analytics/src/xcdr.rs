@@ -1,0 +1,154 @@
+//! The Xcdr engine: stream transcoding (FFmpeg stand-in).
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+/// Transcodes a stream URL: `in: url; out: url` (Table 3).
+///
+/// The output URL points at the transcoder's own endpoint with the source
+/// embedded; the output bitrate is reduced by the configured factor. Only
+/// the *pointer* flows through the pipe (§3.2); the engine accounts the
+/// ingest bandwidth while transcoding.
+pub struct XcdrEngine {
+    /// Name used in the output URL.
+    pub endpoint: String,
+    /// Ingest bitrate (source stream).
+    pub ingest_bps: f64,
+    /// Output/ingest bitrate ratio (e.g. 0.5 halves the bitrate).
+    pub ratio: f64,
+    /// One-time setup latency for starting a transcode job.
+    pub startup: Time,
+    current_src: Option<String>,
+    last_account: Time,
+}
+
+impl XcdrEngine {
+    /// Creates a transcoder with a 4.3 Mb/s ingest and 0.5 ratio.
+    pub fn new(endpoint: impl Into<String>) -> Self {
+        XcdrEngine {
+            endpoint: endpoint.into(),
+            ingest_bps: 4.3e6,
+            ratio: 0.5,
+            startup: millis(180),
+            current_src: None,
+            last_account: 0,
+        }
+    }
+
+    /// The URL the transcoded stream is served at for a given source.
+    pub fn output_url(&self, src: &str) -> String {
+        format!("rtsp://{}/xcdr?src={}", self.endpoint, src)
+    }
+
+    /// Output bitrate in bits per second.
+    pub fn output_bps(&self) -> f64 {
+        self.ingest_bps * self.ratio
+    }
+}
+
+impl Actuator for XcdrEngine {
+    fn name(&self) -> &str {
+        "Xcdr (FFmpeg)"
+    }
+
+    fn actuate(&mut self, _now: Time, _cmd: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        Vec::new()
+    }
+
+    fn step(&mut self, now: Time, model: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        let Some(src) = model.get_path(".data.input.url").and_then(Value::as_str) else {
+            return Vec::new();
+        };
+        if src.is_empty() {
+            return Vec::new();
+        }
+        if self.current_src.as_deref() == Some(src) {
+            // Ongoing job: account ingest bandwidth for this interval.
+            let dt_s = (now - self.last_account) as f64 / 1e9;
+            self.last_account = now;
+            let bytes = (self.ingest_bps * dt_s / 8.0) as usize;
+            return vec![Actuation::new(0, dspace_value::obj()).with_bytes(bytes)];
+        }
+        // New source: start the job and publish the output pointer.
+        self.current_src = Some(src.to_string());
+        self.last_account = now;
+        let mut patch = dspace_value::obj();
+        patch
+            .set(
+                &".data.output.url".parse().unwrap(),
+                Value::from(self.output_url(src)),
+            )
+            .unwrap();
+        vec![Actuation::new(self.startup, patch)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_simnet::secs;
+    use dspace_value::json;
+
+    #[test]
+    fn publishes_transcoded_pointer() {
+        let mut x = XcdrEngine::new("node1");
+        let mut rng = Rng::new(1);
+        let model = json::parse(r#"{"data": {"input": {"url": "rtsp://cam/live"}}}"#).unwrap();
+        let acts = x.step(secs(1), &model, &mut rng);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(
+            acts[0].patch.get_path(".data.output.url").unwrap().as_str(),
+            Some("rtsp://node1/xcdr?src=rtsp://cam/live")
+        );
+        assert_eq!(acts[0].delay, millis(180));
+    }
+
+    #[test]
+    fn idle_without_source() {
+        let mut x = XcdrEngine::new("node1");
+        let mut rng = Rng::new(2);
+        let model = json::parse(r#"{"data": {"input": {"url": null}}}"#).unwrap();
+        assert!(x.step(secs(1), &model, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn steady_state_accounts_ingest_bandwidth() {
+        let mut x = XcdrEngine::new("node1");
+        let mut rng = Rng::new(3);
+        let model = json::parse(r#"{"data": {"input": {"url": "rtsp://cam/live"}}}"#).unwrap();
+        x.step(secs(1), &model, &mut rng);
+        let acts = x.step(secs(2), &model, &mut rng);
+        assert_eq!(acts.len(), 1);
+        // One second of 4.3 Mb/s.
+        assert_eq!(acts[0].bytes, (4.3e6 / 8.0) as usize);
+        assert!(acts[0].patch.as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn source_change_restarts_job() {
+        let mut x = XcdrEngine::new("node1");
+        let mut rng = Rng::new(4);
+        let m1 = json::parse(r#"{"data": {"input": {"url": "rtsp://a"}}}"#).unwrap();
+        let m2 = json::parse(r#"{"data": {"input": {"url": "rtsp://b"}}}"#).unwrap();
+        x.step(secs(1), &m1, &mut rng);
+        let acts = x.step(secs(2), &m2, &mut rng);
+        assert!(acts[0]
+            .patch
+            .get_path(".data.output.url")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("src=rtsp://b"));
+    }
+
+    #[test]
+    fn output_bitrate_reduced() {
+        let x = XcdrEngine::new("n");
+        assert_eq!(x.output_bps(), 4.3e6 * 0.5);
+    }
+}

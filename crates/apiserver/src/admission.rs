@@ -1,0 +1,75 @@
+//! Admission webhooks (§5.1–5.2 of the paper).
+//!
+//! Before a mutating verb commits, the apiserver forwards the request to
+//! every registered webhook, which may accept or reject it. dSpace's
+//! topology webhook — the component enforcing the multi-hierarchy and
+//! single-writer constraints of §3.3 — registers here.
+
+use dspace_value::Value;
+
+use crate::object::ObjectRef;
+use crate::rbac::Verb;
+
+/// The request under review.
+#[derive(Debug, Clone)]
+pub struct AdmissionReview<'a> {
+    /// Requesting subject.
+    pub subject: &'a str,
+    /// The mutating verb.
+    pub verb: Verb,
+    /// Target object.
+    pub oref: &'a ObjectRef,
+    /// Current stored model, if the object exists.
+    pub old: Option<&'a Value>,
+    /// Proposed model (absent for deletes).
+    pub new: Option<&'a Value>,
+}
+
+/// A webhook's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionResponse {
+    /// Let the request proceed.
+    Allow,
+    /// Reject with a reason.
+    Deny(String),
+}
+
+/// An admission webhook.
+///
+/// Webhooks observe *committed* state transitions via `observe` (called
+/// after a mutation lands) and veto *proposed* ones via `review`. The
+/// observe half lets stateful webhooks (like dSpace's topology tracker)
+/// keep their view of the world current without polling.
+pub trait AdmissionWebhook {
+    /// This webhook's name, used in error messages.
+    fn name(&self) -> &str;
+
+    /// Reviews a proposed mutation.
+    fn review(&mut self, review: &AdmissionReview<'_>) -> AdmissionResponse;
+
+    /// Notifies the webhook that a mutation committed. Default: no-op.
+    fn observe(&mut self, _review: &AdmissionReview<'_>) {}
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// A webhook rejecting any model that sets `forbidden: true`.
+    pub struct RejectForbiddenFlag;
+
+    impl AdmissionWebhook for RejectForbiddenFlag {
+        fn name(&self) -> &str {
+            "reject-forbidden-flag"
+        }
+
+        fn review(&mut self, review: &AdmissionReview<'_>) -> AdmissionResponse {
+            if let Some(new) = review.new {
+                if new.get_path("forbidden").and_then(Value::as_bool) == Some(true) {
+                    return AdmissionResponse::Deny("forbidden flag set".into());
+                }
+            }
+            AdmissionResponse::Allow
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! API error taxonomy, mirroring the HTTP statuses a k8s apiserver returns.
+
+use std::fmt;
+
+use crate::object::ObjectRef;
+
+/// Errors returned by apiserver verbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The object does not exist (404).
+    NotFound(ObjectRef),
+    /// Create on an existing object (409).
+    AlreadyExists(ObjectRef),
+    /// Optimistic-concurrency failure: the expected resource version did
+    /// not match (409). The caller must re-read and retry.
+    Conflict {
+        /// The object being written.
+        oref: ObjectRef,
+        /// Version the writer based its update on.
+        expected: u64,
+        /// Version currently stored.
+        actual: u64,
+    },
+    /// RBAC denied the request (403).
+    Forbidden {
+        /// The requesting subject.
+        subject: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An admission webhook rejected the request (400/422).
+    AdmissionDenied {
+        /// The webhook that rejected.
+        webhook: String,
+        /// Its reason.
+        reason: String,
+    },
+    /// Schema validation failed (422).
+    Invalid(String),
+    /// The kind is not registered (404 on the API group).
+    UnknownKind(String),
+    /// Malformed request (400).
+    BadRequest(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::NotFound(r) => write!(f, "not found: {r}"),
+            ApiError::AlreadyExists(r) => write!(f, "already exists: {r}"),
+            ApiError::Conflict { oref, expected, actual } => write!(
+                f,
+                "conflict on {oref}: expected resource version {expected}, found {actual}"
+            ),
+            ApiError::Forbidden { subject, reason } => {
+                write!(f, "forbidden for {subject}: {reason}")
+            }
+            ApiError::AdmissionDenied { webhook, reason } => {
+                write!(f, "admission denied by {webhook}: {reason}")
+            }
+            ApiError::Invalid(m) => write!(f, "invalid object: {m}"),
+            ApiError::UnknownKind(k) => write!(f, "unknown kind: {k}"),
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}

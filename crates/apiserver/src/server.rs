@@ -1,0 +1,490 @@
+//! The apiserver facade: verbs routed through RBAC, schema validation,
+//! and the admission chain before hitting the store.
+
+use dspace_value::{KindSchema, Value};
+
+use crate::admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
+use crate::error::ApiError;
+use crate::object::{Object, ObjectRef};
+use crate::rbac::{Rbac, Role, Rule, Verb};
+use crate::store::{Store, WatchEvent, WatchId};
+
+/// The API server.
+///
+/// Every request names its *subject* (the authenticated caller, §3.6); the
+/// request pipeline is: RBAC check → schema validation → admission chain →
+/// store commit → webhook `observe` notifications.
+pub struct ApiServer {
+    store: Store,
+    rbac: Rbac,
+    schemas: std::collections::BTreeMap<String, KindSchema>,
+    webhooks: Vec<Box<dyn AdmissionWebhook>>,
+    /// When `false`, schema validation is skipped for unregistered kinds
+    /// (used for system objects like `Sync` and `Policy`).
+    strict_kinds: bool,
+}
+
+impl Default for ApiServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ApiServer {
+    /// The built-in administrative subject, bound to an allow-all role.
+    pub const ADMIN: &'static str = "system:admin";
+
+    /// Creates a server with the admin subject pre-bound.
+    pub fn new() -> Self {
+        let mut rbac = Rbac::new();
+        rbac.add_role(Role::new("cluster-admin", vec![Rule::allow_all()]));
+        rbac.bind(Self::ADMIN, "cluster-admin");
+        ApiServer {
+            store: Store::new(),
+            rbac,
+            schemas: Default::default(),
+            webhooks: Vec::new(),
+            strict_kinds: false,
+        }
+    }
+
+    /// Registers a kind schema (the CRD analogue). Models of registered
+    /// kinds are validated on every write.
+    pub fn register_schema(&mut self, schema: KindSchema) {
+        self.schemas.insert(schema.kind.clone(), schema);
+    }
+
+    /// Returns the schema for `kind`, if registered.
+    pub fn schema(&self, kind: &str) -> Option<&KindSchema> {
+        self.schemas.get(kind)
+    }
+
+    /// Iterates over all registered schemas.
+    pub fn schemas(&self) -> impl Iterator<Item = &KindSchema> {
+        self.schemas.values()
+    }
+
+    /// Registers an admission webhook; consulted in registration order.
+    pub fn register_webhook(&mut self, hook: Box<dyn AdmissionWebhook>) {
+        self.webhooks.push(hook);
+    }
+
+    /// Mutable access to the RBAC authorizer (role/binding management).
+    pub fn rbac_mut(&mut self) -> &mut Rbac {
+        &mut self.rbac
+    }
+
+    /// Read access to the RBAC authorizer.
+    pub fn rbac(&self) -> &Rbac {
+        &self.rbac
+    }
+
+    /// Current global store revision.
+    pub fn revision(&self) -> u64 {
+        self.store.revision()
+    }
+
+    fn authorize(&self, subject: &str, verb: Verb, oref: &ObjectRef) -> Result<(), ApiError> {
+        if self.rbac.authorize(subject, verb, oref) {
+            Ok(())
+        } else {
+            Err(ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("{verb:?} on {oref} not permitted"),
+            })
+        }
+    }
+
+    fn validate(&self, oref: &ObjectRef, model: &Value) -> Result<(), ApiError> {
+        match self.schemas.get(&oref.kind) {
+            Some(schema) => schema
+                .validate(model)
+                .map_err(|e| ApiError::Invalid(e.to_string())),
+            None if self.strict_kinds => Err(ApiError::UnknownKind(oref.kind.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn admit(
+        &mut self,
+        subject: &str,
+        verb: Verb,
+        oref: &ObjectRef,
+        old: Option<&Value>,
+        new: Option<&Value>,
+    ) -> Result<(), ApiError> {
+        let review = AdmissionReview { subject, verb, oref, old, new };
+        for hook in &mut self.webhooks {
+            if let AdmissionResponse::Deny(reason) = hook.review(&review) {
+                return Err(ApiError::AdmissionDenied {
+                    webhook: hook.name().to_string(),
+                    reason,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn observe(
+        &mut self,
+        subject: &str,
+        verb: Verb,
+        oref: &ObjectRef,
+        old: Option<&Value>,
+        new: Option<&Value>,
+    ) {
+        let review = AdmissionReview { subject, verb, oref, old, new };
+        for hook in &mut self.webhooks {
+            hook.observe(&review);
+        }
+    }
+
+    /// Creates an object.
+    pub fn create(
+        &mut self,
+        subject: &str,
+        oref: &ObjectRef,
+        model: Value,
+    ) -> Result<u64, ApiError> {
+        self.authorize(subject, Verb::Create, oref)?;
+        self.validate(oref, &model)?;
+        if self.store.get(oref).is_some() {
+            return Err(ApiError::AlreadyExists(oref.clone()));
+        }
+        self.admit(subject, Verb::Create, oref, None, Some(&model))?;
+        let obj = self.store.create(oref.clone(), model)?;
+        let committed = obj.model.clone();
+        self.observe(subject, Verb::Create, oref, None, Some(&committed));
+        Ok(1)
+    }
+
+    /// Reads an object.
+    pub fn get(&self, subject: &str, oref: &ObjectRef) -> Result<Object, ApiError> {
+        self.authorize(subject, Verb::Get, oref)?;
+        self.store
+            .get(oref)
+            .cloned()
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))
+    }
+
+    /// Reads a single attribute from an object's model.
+    pub fn get_path(
+        &self,
+        subject: &str,
+        oref: &ObjectRef,
+        path: &str,
+    ) -> Result<Value, ApiError> {
+        let obj = self.get(subject, oref)?;
+        Ok(obj.model.get_path(path).cloned().unwrap_or(Value::Null))
+    }
+
+    /// Lists objects of a kind.
+    pub fn list(&self, subject: &str, kind: &str) -> Result<Vec<Object>, ApiError> {
+        let probe = ObjectRef::new(kind, "*", "*");
+        self.authorize(subject, Verb::List, &probe)
+            .map_err(|_| ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("List on kind {kind} not permitted"),
+            })?;
+        Ok(self.store.list(kind).into_iter().cloned().collect())
+    }
+
+    /// Replaces an object's model with optimistic concurrency control.
+    pub fn update(
+        &mut self,
+        subject: &str,
+        oref: &ObjectRef,
+        model: Value,
+        expected_rv: Option<u64>,
+    ) -> Result<u64, ApiError> {
+        self.authorize(subject, Verb::Update, oref)?;
+        self.validate(oref, &model)?;
+        let old = self
+            .store
+            .get(oref)
+            .map(|o| o.model.clone())
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        self.admit(subject, Verb::Update, oref, Some(&old), Some(&model))?;
+        let rv = self.store.update(oref, model, expected_rv)?;
+        let committed = self.store.get(oref).expect("just updated").model.clone();
+        self.observe(subject, Verb::Update, oref, Some(&old), Some(&committed));
+        Ok(rv)
+    }
+
+    /// Merges `patch` into the current model (strategic-merge semantics of
+    /// [`Value::merge`]). Runs as a read–modify–write without OCC — the
+    /// merge is applied atomically on the server side.
+    pub fn patch(
+        &mut self,
+        subject: &str,
+        oref: &ObjectRef,
+        patch: Value,
+    ) -> Result<u64, ApiError> {
+        self.authorize(subject, Verb::Patch, oref)?;
+        let old = self
+            .store
+            .get(oref)
+            .map(|o| o.model.clone())
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        let mut new = old.clone();
+        new.merge(&patch);
+        self.validate(oref, &new)?;
+        self.admit(subject, Verb::Patch, oref, Some(&old), Some(&new))?;
+        let rv = self.store.update(oref, new, None)?;
+        let committed = self.store.get(oref).expect("just patched").model.clone();
+        self.observe(subject, Verb::Patch, oref, Some(&old), Some(&committed));
+        Ok(rv)
+    }
+
+    /// Sets one attribute of an object's model.
+    pub fn patch_path(
+        &mut self,
+        subject: &str,
+        oref: &ObjectRef,
+        path: &str,
+        value: Value,
+    ) -> Result<u64, ApiError> {
+        self.authorize(subject, Verb::Patch, oref)?;
+        let old = self
+            .store
+            .get(oref)
+            .map(|o| o.model.clone())
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        let parsed: dspace_value::Path = path
+            .parse()
+            .map_err(|e| ApiError::BadRequest(format!("bad path {path}: {e}")))?;
+        let mut new = old.clone();
+        new.set(&parsed, value)
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        self.validate(oref, &new)?;
+        self.admit(subject, Verb::Patch, oref, Some(&old), Some(&new))?;
+        let rv = self.store.update(oref, new, None)?;
+        let committed = self.store.get(oref).expect("just patched").model.clone();
+        self.observe(subject, Verb::Patch, oref, Some(&old), Some(&committed));
+        Ok(rv)
+    }
+
+    /// Removes an attribute from an object's model.
+    pub fn delete_path(
+        &mut self,
+        subject: &str,
+        oref: &ObjectRef,
+        path: &str,
+    ) -> Result<u64, ApiError> {
+        self.authorize(subject, Verb::Patch, oref)?;
+        let old = self
+            .store
+            .get(oref)
+            .map(|o| o.model.clone())
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        let parsed: dspace_value::Path = path
+            .parse()
+            .map_err(|e| ApiError::BadRequest(format!("bad path {path}: {e}")))?;
+        let mut new = old.clone();
+        new.remove(&parsed);
+        self.validate(oref, &new)?;
+        self.admit(subject, Verb::Patch, oref, Some(&old), Some(&new))?;
+        let rv = self.store.update(oref, new, None)?;
+        let committed = self.store.get(oref).expect("just patched").model.clone();
+        self.observe(subject, Verb::Patch, oref, Some(&old), Some(&committed));
+        Ok(rv)
+    }
+
+    /// Deletes an object.
+    pub fn delete(&mut self, subject: &str, oref: &ObjectRef) -> Result<Object, ApiError> {
+        self.authorize(subject, Verb::Delete, oref)?;
+        let old = self
+            .store
+            .get(oref)
+            .map(|o| o.model.clone())
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        self.admit(subject, Verb::Delete, oref, Some(&old), None)?;
+        let gone = self.store.delete(oref)?;
+        self.observe(subject, Verb::Delete, oref, Some(&old), None);
+        Ok(gone)
+    }
+
+    /// Opens a watch over `kind` (or everything when `None`).
+    pub fn watch(&mut self, subject: &str, kind: Option<&str>) -> Result<WatchId, ApiError> {
+        let probe = ObjectRef::new(kind.unwrap_or("*"), "*", "*");
+        if !self.rbac.authorize(subject, Verb::Watch, &probe) {
+            return Err(ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("Watch on kind {} not permitted", kind.unwrap_or("*")),
+            });
+        }
+        Ok(self.store.watch(kind))
+    }
+
+    /// Drains pending events for a watch subscription.
+    pub fn poll(&mut self, id: WatchId) -> Vec<WatchEvent> {
+        self.store.poll(id)
+    }
+
+    /// Returns `true` if the subscription has undelivered events.
+    pub fn has_pending(&self, id: WatchId) -> bool {
+        self.store.has_pending(id)
+    }
+
+    /// Cancels a watch subscription.
+    pub fn cancel_watch(&mut self, id: WatchId) {
+        self.store.cancel_watch(id)
+    }
+
+    /// Lists every stored object (admin/debug use).
+    pub fn dump(&self) -> Vec<Object> {
+        self.store.list_all().into_iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::testing::RejectForbiddenFlag;
+    use dspace_value::{AttrType, KindSchema};
+
+    fn server_with_plug() -> (ApiServer, ObjectRef) {
+        let mut api = ApiServer::new();
+        api.register_schema(
+            KindSchema::digivice("digi.dev", "v1", "Plug").control("power", AttrType::String),
+        );
+        let oref = ObjectRef::default_ns("Plug", "p1");
+        let model = api.schema("Plug").unwrap().new_model("p1", "default");
+        api.create(ApiServer::ADMIN, &oref, model).unwrap();
+        (api, oref)
+    }
+
+    #[test]
+    fn create_and_read() {
+        let (api, oref) = server_with_plug();
+        let obj = api.get(ApiServer::ADMIN, &oref).unwrap();
+        assert_eq!(obj.resource_version, 1);
+        assert_eq!(
+            api.get_path(ApiServer::ADMIN, &oref, ".meta.kind").unwrap().as_str(),
+            Some("Plug")
+        );
+    }
+
+    #[test]
+    fn schema_validation_on_write() {
+        let (mut api, oref) = server_with_plug();
+        // Wrong type for a declared control attribute.
+        let err = api
+            .patch_path(ApiServer::ADMIN, &oref, ".control.power.intent", 5.0.into())
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Invalid(_)), "{err}");
+        // Correct type passes.
+        api.patch_path(ApiServer::ADMIN, &oref, ".control.power.intent", "on".into())
+            .unwrap();
+    }
+
+    #[test]
+    fn rbac_gates_requests() {
+        let (mut api, oref) = server_with_plug();
+        let err = api.get("intruder", &oref).unwrap_err();
+        assert!(matches!(err, ApiError::Forbidden { .. }));
+        // Grant read-only and retry.
+        api.rbac_mut()
+            .add_role(Role::new("viewer", vec![Rule::read_only(["Plug"])]));
+        api.rbac_mut().bind("intruder", "viewer");
+        assert!(api.get("intruder", &oref).is_ok());
+        // Writes still denied.
+        assert!(api
+            .patch_path("intruder", &oref, ".control.power.intent", "on".into())
+            .is_err());
+    }
+
+    #[test]
+    fn admission_webhook_vetoes() {
+        let (mut api, oref) = server_with_plug();
+        api.register_webhook(Box::new(RejectForbiddenFlag));
+        let err = api
+            .patch_path(ApiServer::ADMIN, &oref, ".forbidden", true.into())
+            .unwrap_err();
+        assert!(matches!(err, ApiError::AdmissionDenied { .. }));
+        // The store is untouched.
+        assert!(api
+            .get_path(ApiServer::ADMIN, &oref, ".forbidden")
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn update_with_occ() {
+        let (mut api, oref) = server_with_plug();
+        let obj = api.get(ApiServer::ADMIN, &oref).unwrap();
+        let mut m = obj.model.clone();
+        m.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
+        api.update(ApiServer::ADMIN, &oref, m.clone(), Some(obj.resource_version))
+            .unwrap();
+        // Same base version again: conflict.
+        let err = api
+            .update(ApiServer::ADMIN, &oref, m, Some(obj.resource_version))
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Conflict { .. }));
+    }
+
+    #[test]
+    fn patch_merges() {
+        let (mut api, oref) = server_with_plug();
+        let patch = dspace_value::json::parse(
+            r#"{"control": {"power": {"intent": "on"}}}"#,
+        )
+        .unwrap();
+        api.patch(ApiServer::ADMIN, &oref, patch).unwrap();
+        assert_eq!(
+            api.get_path(ApiServer::ADMIN, &oref, ".control.power.intent")
+                .unwrap()
+                .as_str(),
+            Some("on")
+        );
+        // Untouched attributes survive.
+        assert_eq!(
+            api.get_path(ApiServer::ADMIN, &oref, ".meta.name").unwrap().as_str(),
+            Some("p1")
+        );
+    }
+
+    #[test]
+    fn watch_streams_patches() {
+        let (mut api, oref) = server_with_plug();
+        let w = api.watch(ApiServer::ADMIN, Some("Plug")).unwrap();
+        api.patch_path(ApiServer::ADMIN, &oref, ".control.power.intent", "on".into())
+            .unwrap();
+        api.patch_path(ApiServer::ADMIN, &oref, ".control.power.status", "on".into())
+            .unwrap();
+        let evs = api.poll(w);
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].resource_version < evs[1].resource_version);
+    }
+
+    #[test]
+    fn delete_path_removes_attribute() {
+        let (mut api, oref) = server_with_plug();
+        api.patch_path(ApiServer::ADMIN, &oref, ".obs.note", "x".into()).unwrap();
+        api.delete_path(ApiServer::ADMIN, &oref, ".obs.note").unwrap();
+        assert!(api.get_path(ApiServer::ADMIN, &oref, ".obs.note").unwrap().is_null());
+    }
+
+    #[test]
+    fn list_by_kind() {
+        let (mut api, _) = server_with_plug();
+        let p2 = ObjectRef::default_ns("Plug", "p2");
+        let model = api.schema("Plug").unwrap().new_model("p2", "default");
+        api.create(ApiServer::ADMIN, &p2, model).unwrap();
+        assert_eq!(api.list(ApiServer::ADMIN, "Plug").unwrap().len(), 2);
+        assert!(api.list(ApiServer::ADMIN, "Room").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_object_operations_fail() {
+        let (mut api, _) = server_with_plug();
+        let ghost = ObjectRef::default_ns("Plug", "ghost");
+        assert!(matches!(api.get(ApiServer::ADMIN, &ghost), Err(ApiError::NotFound(_))));
+        assert!(matches!(
+            api.patch_path(ApiServer::ADMIN, &ghost, ".x", 1.0.into()),
+            Err(ApiError::NotFound(_))
+        ));
+        assert!(matches!(api.delete(ApiServer::ADMIN, &ghost), Err(ApiError::NotFound(_))));
+    }
+}

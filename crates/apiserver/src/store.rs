@@ -1,0 +1,364 @@
+//! Object storage and the Watch event log.
+
+use std::collections::BTreeMap;
+
+use dspace_value::Value;
+
+use crate::error::ApiError;
+use crate::object::{Object, ObjectRef};
+
+/// What happened to an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchEventKind {
+    /// Object created.
+    Added,
+    /// Object updated.
+    Modified,
+    /// Object deleted.
+    Deleted,
+}
+
+/// One entry of the totally ordered event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchEvent {
+    /// Global, strictly increasing revision of the whole store.
+    pub revision: u64,
+    /// What happened.
+    pub kind: WatchEventKind,
+    /// The object affected.
+    pub oref: ObjectRef,
+    /// Model snapshot after the change (for deletes: the last model).
+    pub model: Value,
+    /// The object's resource version after the change.
+    pub resource_version: u64,
+}
+
+/// Handle to a watch subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WatchId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Watcher {
+    /// Restrict to one kind, or `None` for all.
+    kind: Option<String>,
+    /// Index into the event log of the next event to deliver.
+    cursor: usize,
+}
+
+/// The persistent store: objects plus the event log and watchers.
+///
+/// This is the etcd analogue. The event log is the linearization point:
+/// every mutation appends exactly one event, and watchers replay the log
+/// from their cursor — which yields the ordered, gap-free delivery
+/// guarantee that §3.5 of the paper requires for intent reconciliation.
+#[derive(Debug, Default)]
+pub struct Store {
+    objects: BTreeMap<ObjectRef, Object>,
+    log: Vec<WatchEvent>,
+    watchers: BTreeMap<WatchId, Watcher>,
+    next_watch_id: u64,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Returns the current global revision (number of committed events).
+    pub fn revision(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Returns the stored object, if present.
+    pub fn get(&self, oref: &ObjectRef) -> Option<&Object> {
+        self.objects.get(oref)
+    }
+
+    /// Lists objects of `kind` (sorted by namespace/name).
+    pub fn list(&self, kind: &str) -> Vec<&Object> {
+        self.objects
+            .iter()
+            .filter(|(r, _)| r.kind == kind)
+            .map(|(_, o)| o)
+            .collect()
+    }
+
+    /// Lists every object.
+    pub fn list_all(&self) -> Vec<&Object> {
+        self.objects.values().collect()
+    }
+
+    /// Inserts a new object, assigning resource version 1.
+    pub fn create(&mut self, oref: ObjectRef, mut model: Value) -> Result<&Object, ApiError> {
+        if self.objects.contains_key(&oref) {
+            return Err(ApiError::AlreadyExists(oref));
+        }
+        let rv = 1;
+        stamp_gen(&mut model, rv);
+        let obj = Object { oref: oref.clone(), model: model.clone(), resource_version: rv };
+        self.objects.insert(oref.clone(), obj);
+        self.append(WatchEventKind::Added, oref.clone(), model, rv);
+        Ok(self.objects.get(&oref).expect("just inserted"))
+    }
+
+    /// Replaces an object's model.
+    ///
+    /// `expected_rv` implements optimistic concurrency: when `Some`, the
+    /// write only commits if it matches the stored version; on mismatch the
+    /// caller gets [`ApiError::Conflict`] and must re-read and retry.
+    pub fn update(
+        &mut self,
+        oref: &ObjectRef,
+        mut model: Value,
+        expected_rv: Option<u64>,
+    ) -> Result<u64, ApiError> {
+        let obj = self
+            .objects
+            .get_mut(oref)
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        if let Some(expected) = expected_rv {
+            if expected != obj.resource_version {
+                return Err(ApiError::Conflict {
+                    oref: oref.clone(),
+                    expected,
+                    actual: obj.resource_version,
+                });
+            }
+        }
+        let rv = obj.resource_version + 1;
+        stamp_gen(&mut model, rv);
+        obj.model = model.clone();
+        obj.resource_version = rv;
+        self.append(WatchEventKind::Modified, oref.clone(), model, rv);
+        Ok(rv)
+    }
+
+    /// Removes an object, returning its final state.
+    pub fn delete(&mut self, oref: &ObjectRef) -> Result<Object, ApiError> {
+        let obj = self
+            .objects
+            .remove(oref)
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        self.append(
+            WatchEventKind::Deleted,
+            oref.clone(),
+            obj.model.clone(),
+            obj.resource_version,
+        );
+        Ok(obj)
+    }
+
+    /// Opens a watch. `kind = None` watches everything. The cursor starts
+    /// at the current log tail: only *future* events are delivered.
+    pub fn watch(&mut self, kind: Option<&str>) -> WatchId {
+        let id = WatchId(self.next_watch_id);
+        self.next_watch_id += 1;
+        self.watchers.insert(
+            id,
+            Watcher { kind: kind.map(str::to_string), cursor: self.log.len() },
+        );
+        id
+    }
+
+    /// Drains pending events for a watcher, in revision order.
+    ///
+    /// Unknown watch ids return an empty vector (the subscription may have
+    /// been cancelled).
+    pub fn poll(&mut self, id: WatchId) -> Vec<WatchEvent> {
+        let Some(w) = self.watchers.get_mut(&id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while w.cursor < self.log.len() {
+            let ev = &self.log[w.cursor];
+            w.cursor += 1;
+            if w.kind.as_deref().is_none_or_match(&ev.oref.kind) {
+                out.push(ev.clone());
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the watcher has undelivered events.
+    pub fn has_pending(&self, id: WatchId) -> bool {
+        self.watchers
+            .get(&id)
+            .map(|w| {
+                self.log[w.cursor..]
+                    .iter()
+                    .any(|ev| w.kind.as_deref().is_none_or_match(&ev.oref.kind))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Cancels a watch subscription.
+    pub fn cancel_watch(&mut self, id: WatchId) {
+        self.watchers.remove(&id);
+    }
+
+    fn append(&mut self, kind: WatchEventKind, oref: ObjectRef, model: Value, rv: u64) {
+        let revision = self.log.len() as u64 + 1;
+        self.log.push(WatchEvent { revision, kind, oref, model, resource_version: rv });
+    }
+}
+
+/// Keeps `meta.gen` in the model equal to the resource version, so the
+/// version number of §3.5 is visible to drivers and the mounter.
+fn stamp_gen(model: &mut Value, rv: u64) {
+    let _ = model.set(&".meta.gen".parse().expect("static path"), Value::from(rv as f64));
+}
+
+/// Tiny helper: `None` matches everything, `Some(k)` matches only `k`.
+trait KindFilter {
+    fn is_none_or_match(&self, kind: &str) -> bool;
+}
+
+impl KindFilter for Option<&str> {
+    fn is_none_or_match(&self, kind: &str) -> bool {
+        match self {
+            None => true,
+            Some(k) => *k == kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    fn model(kind: &str, name: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"meta": {{"kind": "{kind}", "name": "{name}", "namespace": "default"}}, "x": 0}}"#
+        ))
+        .unwrap()
+    }
+
+    fn lamp_ref() -> ObjectRef {
+        ObjectRef::default_ns("Lamp", "l1")
+    }
+
+    #[test]
+    fn create_get_roundtrip() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let obj = s.get(&lamp_ref()).unwrap();
+        assert_eq!(obj.resource_version, 1);
+        assert_eq!(obj.model.get_path("meta.gen").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        assert!(matches!(
+            s.create(lamp_ref(), model("Lamp", "l1")),
+            Err(ApiError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn update_bumps_version_and_stamps_gen() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let rv = s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        assert_eq!(rv, 2);
+        assert_eq!(
+            s.get(&lamp_ref()).unwrap().model.get_path("meta.gen").unwrap().as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn occ_conflict_detected() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        s.update(&lamp_ref(), model("Lamp", "l1"), Some(1)).unwrap();
+        // A writer that read version 1 now loses.
+        let err = s.update(&lamp_ref(), model("Lamp", "l1"), Some(1)).unwrap_err();
+        assert!(matches!(err, ApiError::Conflict { expected: 1, actual: 2, .. }));
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let gone = s.delete(&lamp_ref()).unwrap();
+        assert_eq!(gone.resource_version, 1);
+        assert!(s.get(&lamp_ref()).is_none());
+        assert!(matches!(s.delete(&lamp_ref()), Err(ApiError::NotFound(_))));
+    }
+
+    #[test]
+    fn watch_only_sees_future_events() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w = s.watch(None);
+        assert!(s.poll(w).is_empty());
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, WatchEventKind::Modified);
+        assert_eq!(evs[0].resource_version, 2);
+        // Drained.
+        assert!(s.poll(w).is_empty());
+    }
+
+    #[test]
+    fn watch_kind_filter() {
+        let mut s = Store::new();
+        let w = s.watch(Some("Room"));
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        s.create(ObjectRef::default_ns("Room", "r1"), model("Room", "r1")).unwrap();
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].oref.kind, "Room");
+    }
+
+    #[test]
+    fn watch_ordering_is_gap_free() {
+        // The §3.5 guarantee: a watcher sees every version in order.
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w = s.watch(Some("Lamp"));
+        for _ in 0..50 {
+            s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        }
+        let evs = s.poll(w);
+        let versions: Vec<u64> = evs.iter().map(|e| e.resource_version).collect();
+        assert_eq!(versions, (2..=51).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_watchers_independent_cursors() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w1 = s.watch(None);
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        let w2 = s.watch(None);
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        assert_eq!(s.poll(w1).len(), 2);
+        assert_eq!(s.poll(w2).len(), 1);
+    }
+
+    #[test]
+    fn cancelled_watch_returns_nothing() {
+        let mut s = Store::new();
+        let w = s.watch(None);
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        s.cancel_watch(w);
+        assert!(s.poll(w).is_empty());
+        assert!(!s.has_pending(w));
+    }
+
+    #[test]
+    fn has_pending_respects_filter() {
+        let mut s = Store::new();
+        let w = s.watch(Some("Room"));
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        assert!(!s.has_pending(w));
+        s.create(ObjectRef::default_ns("Room", "r1"), model("Room", "r1")).unwrap();
+        assert!(s.has_pending(w));
+    }
+}

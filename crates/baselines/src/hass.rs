@@ -1,0 +1,392 @@
+//! A miniature Home Assistant.
+//!
+//! Reproduces the architectural traits the paper's comparison hinges on
+//! (§6.3): entities hold flat string states plus attribute maps; *all*
+//! actuation goes through imperative service calls; groups are limited —
+//! a typed group (e.g. "Light Group") requires same-domain members, and
+//! the generic group supports only `turn_on`/`turn_off`; automations are
+//! a flat file of trigger/condition/action rules run by the runtime (not
+//! by the devices); configuration changes require a reload.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dspace_value::Value;
+
+/// An entity: `domain.object_id`, a state string, and attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Entity id, e.g. `light.geeni_1`.
+    pub id: String,
+    /// The current state, e.g. `"on"`.
+    pub state: String,
+    /// Attribute map (brightness etc.).
+    pub attributes: BTreeMap<String, Value>,
+}
+
+impl Entity {
+    /// The entity's domain (the part before the dot).
+    pub fn domain(&self) -> &str {
+        self.id.split('.').next().unwrap_or("")
+    }
+}
+
+/// A service call: `domain.service` with target + data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceCall {
+    /// Service domain, e.g. `light`.
+    pub domain: String,
+    /// Service name, e.g. `turn_on`.
+    pub service: String,
+    /// Target entity id.
+    pub entity_id: String,
+    /// Service data (e.g. brightness).
+    pub data: BTreeMap<String, Value>,
+}
+
+/// An automation rule (the flat-file kind).
+#[derive(Debug, Clone)]
+pub struct Automation {
+    /// Rule name.
+    pub name: String,
+    /// Trigger: entity id + the state it must change to.
+    pub trigger_entity: String,
+    /// State value that fires the trigger.
+    pub trigger_to: String,
+    /// Actions executed when triggered.
+    pub actions: Vec<ServiceCall>,
+    /// Whether the rule is enabled.
+    pub enabled: bool,
+}
+
+/// Errors from the mini Home Assistant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HassError {
+    /// Unknown entity id.
+    NoSuchEntity(String),
+    /// The service does not exist for that domain.
+    NoSuchService(String, String),
+    /// Group constraint violated.
+    BadGroup(String),
+}
+
+impl fmt::Display for HassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HassError::NoSuchEntity(e) => write!(f, "no such entity: {e}"),
+            HassError::NoSuchService(d, s) => write!(f, "no such service: {d}.{s}"),
+            HassError::BadGroup(m) => write!(f, "bad group: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HassError {}
+
+/// A typed or generic group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Group entity id, e.g. `group.living_lights`.
+    pub id: String,
+    /// Members.
+    pub members: Vec<String>,
+    /// For typed groups: the required member domain (`Some("light")`).
+    /// Generic groups (`None`) only support turn_on/turn_off.
+    pub typed_domain: Option<String>,
+}
+
+/// The mini Home Assistant core.
+#[derive(Debug, Default)]
+pub struct Hass {
+    entities: BTreeMap<String, Entity>,
+    groups: BTreeMap<String, Group>,
+    automations: Vec<Automation>,
+    /// Service-call log (tests use it to verify behaviour).
+    pub call_log: Vec<ServiceCall>,
+}
+
+impl Hass {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Hass::default()
+    }
+
+    /// Registers an entity.
+    pub fn add_entity(&mut self, id: &str, state: &str) {
+        self.entities.insert(
+            id.to_string(),
+            Entity { id: id.to_string(), state: state.to_string(), attributes: BTreeMap::new() },
+        );
+    }
+
+    /// Reads an entity.
+    pub fn entity(&self, id: &str) -> Option<&Entity> {
+        self.entities.get(id)
+    }
+
+    /// Creates a typed group; members must share the domain.
+    pub fn add_typed_group(
+        &mut self,
+        id: &str,
+        domain: &str,
+        members: &[&str],
+    ) -> Result<(), HassError> {
+        for m in members {
+            let ent = self
+                .entities
+                .get(*m)
+                .ok_or_else(|| HassError::NoSuchEntity(m.to_string()))?;
+            if ent.domain() != domain {
+                return Err(HassError::BadGroup(format!(
+                    "{m} is not in domain {domain} (typed groups require same-type members)"
+                )));
+            }
+        }
+        self.groups.insert(
+            id.to_string(),
+            Group {
+                id: id.to_string(),
+                members: members.iter().map(|s| s.to_string()).collect(),
+                typed_domain: Some(domain.to_string()),
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates a generic group (mixed domains allowed, but only
+    /// `turn_on`/`turn_off` work on it).
+    pub fn add_generic_group(&mut self, id: &str, members: &[&str]) -> Result<(), HassError> {
+        for m in members {
+            if !self.entities.contains_key(*m) {
+                return Err(HassError::NoSuchEntity(m.to_string()));
+            }
+        }
+        self.groups.insert(
+            id.to_string(),
+            Group {
+                id: id.to_string(),
+                members: members.iter().map(|s| s.to_string()).collect(),
+                typed_domain: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Performs a service call — the only way to actuate anything.
+    pub fn call_service(
+        &mut self,
+        domain: &str,
+        service: &str,
+        entity_id: &str,
+        data: BTreeMap<String, Value>,
+    ) -> Result<(), HassError> {
+        let call = ServiceCall {
+            domain: domain.to_string(),
+            service: service.to_string(),
+            entity_id: entity_id.to_string(),
+            data: data.clone(),
+        };
+        self.call_log.push(call);
+        // Group dispatch.
+        if let Some(group) = self.groups.get(entity_id).cloned() {
+            match (&group.typed_domain, service) {
+                // Typed group: any service of its domain fans out.
+                (Some(d), _) if d == domain => {
+                    for m in group.members {
+                        self.apply_service(domain, service, &m, &data)?;
+                    }
+                    return Ok(());
+                }
+                // Generic group: only homeassistant.turn_on/turn_off.
+                (None, "turn_on") | (None, "turn_off") if domain == "homeassistant" => {
+                    for m in group.members.clone() {
+                        let d = m.split('.').next().unwrap_or("").to_string();
+                        self.apply_service(&d, service, &m, &BTreeMap::new())?;
+                    }
+                    return Ok(());
+                }
+                _ => {
+                    return Err(HassError::NoSuchService(
+                        domain.to_string(),
+                        format!("{service} (unsupported on this group)"),
+                    ))
+                }
+            }
+        }
+        self.apply_service(domain, service, entity_id, &data)
+    }
+
+    fn apply_service(
+        &mut self,
+        domain: &str,
+        service: &str,
+        entity_id: &str,
+        data: &BTreeMap<String, Value>,
+    ) -> Result<(), HassError> {
+        let changed_to;
+        {
+            let ent = self
+                .entities
+                .get_mut(entity_id)
+                .ok_or_else(|| HassError::NoSuchEntity(entity_id.to_string()))?;
+            match (domain, service) {
+                ("light", "turn_on") | ("switch", "turn_on") | ("homeassistant", "turn_on") => {
+                    ent.state = "on".into();
+                    for (k, v) in data {
+                        ent.attributes.insert(k.clone(), v.clone());
+                    }
+                }
+                ("light", "turn_off") | ("switch", "turn_off")
+                | ("homeassistant", "turn_off") => {
+                    ent.state = "off".into();
+                }
+                ("media_player", "play_media") | ("media_player", "media_pause") => {
+                    ent.state = if service == "play_media" { "playing".into() } else { "paused".into() };
+                    for (k, v) in data {
+                        ent.attributes.insert(k.clone(), v.clone());
+                    }
+                }
+                _ => {
+                    return Err(HassError::NoSuchService(
+                        domain.to_string(),
+                        service.to_string(),
+                    ))
+                }
+            }
+            changed_to = ent.state.clone();
+        }
+        self.run_automations(entity_id, &changed_to);
+        Ok(())
+    }
+
+    /// Sets a sensor-style state directly (device updates).
+    pub fn set_state(&mut self, entity_id: &str, state: &str) -> Result<(), HassError> {
+        {
+            let ent = self
+                .entities
+                .get_mut(entity_id)
+                .ok_or_else(|| HassError::NoSuchEntity(entity_id.to_string()))?;
+            ent.state = state.to_string();
+        }
+        self.run_automations(entity_id, state);
+        Ok(())
+    }
+
+    /// Loads (or reloads) the automation configuration — the flat file.
+    pub fn reload_automations(&mut self, automations: Vec<Automation>) {
+        self.automations = automations;
+    }
+
+    fn run_automations(&mut self, entity_id: &str, new_state: &str) {
+        let fired: Vec<Automation> = self
+            .automations
+            .iter()
+            .filter(|a| a.enabled && a.trigger_entity == entity_id && a.trigger_to == new_state)
+            .cloned()
+            .collect();
+        for rule in fired {
+            for action in rule.actions {
+                let _ = self.call_service(
+                    &action.domain,
+                    &action.service,
+                    &action.entity_id,
+                    action.data,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn service_calls_mutate_entities() {
+        let mut h = Hass::new();
+        h.add_entity("light.geeni_1", "off");
+        h.call_service("light", "turn_on", "light.geeni_1", data(&[("brightness", 200.into())]))
+            .unwrap();
+        let e = h.entity("light.geeni_1").unwrap();
+        assert_eq!(e.state, "on");
+        assert_eq!(e.attributes["brightness"].as_f64(), Some(200.0));
+    }
+
+    #[test]
+    fn typed_group_requires_same_domain() {
+        let mut h = Hass::new();
+        h.add_entity("light.a", "off");
+        h.add_entity("switch.b", "off");
+        let err = h.add_typed_group("group.mixed", "light", &["light.a", "switch.b"]).unwrap_err();
+        assert!(matches!(err, HassError::BadGroup(_)));
+        // Same-type works and fans out.
+        h.add_entity("light.c", "off");
+        h.add_typed_group("group.lights", "light", &["light.a", "light.c"]).unwrap();
+        h.call_service("light", "turn_on", "group.lights", data(&[("brightness", 128.into())]))
+            .unwrap();
+        assert_eq!(h.entity("light.a").unwrap().state, "on");
+        assert_eq!(h.entity("light.c").unwrap().state, "on");
+    }
+
+    #[test]
+    fn generic_group_only_supports_on_off() {
+        let mut h = Hass::new();
+        h.add_entity("light.a", "off");
+        h.add_entity("switch.b", "off");
+        h.add_generic_group("group.room", &["light.a", "switch.b"]).unwrap();
+        h.call_service("homeassistant", "turn_on", "group.room", BTreeMap::new()).unwrap();
+        assert_eq!(h.entity("light.a").unwrap().state, "on");
+        assert_eq!(h.entity("switch.b").unwrap().state, "on");
+        // Anything richer is unsupported — the paper's S1 pain point.
+        let err = h
+            .call_service("light", "turn_on", "group.room", data(&[("brightness", 100.into())]))
+            .unwrap_err();
+        assert!(matches!(err, HassError::NoSuchService(..)));
+    }
+
+    #[test]
+    fn automations_fire_on_state_change() {
+        let mut h = Hass::new();
+        h.add_entity("binary_sensor.motion", "off");
+        h.add_entity("light.a", "off");
+        h.reload_automations(vec![Automation {
+            name: "motion-light".into(),
+            trigger_entity: "binary_sensor.motion".into(),
+            trigger_to: "on".into(),
+            actions: vec![ServiceCall {
+                domain: "light".into(),
+                service: "turn_on".into(),
+                entity_id: "light.a".into(),
+                data: data(&[("brightness", 255.into())]),
+            }],
+            enabled: true,
+        }]);
+        h.set_state("binary_sensor.motion", "on").unwrap();
+        assert_eq!(h.entity("light.a").unwrap().state, "on");
+        // Disabled rules do nothing.
+        h.call_service("light", "turn_off", "light.a", BTreeMap::new()).unwrap();
+        let mut rules = h.automations.clone();
+        rules[0].enabled = false;
+        h.reload_automations(rules);
+        h.set_state("binary_sensor.motion", "off").unwrap();
+        h.set_state("binary_sensor.motion", "on").unwrap();
+        assert_eq!(h.entity("light.a").unwrap().state, "off");
+    }
+
+    #[test]
+    fn unknown_entity_and_service_error() {
+        let mut h = Hass::new();
+        assert!(matches!(
+            h.call_service("light", "turn_on", "light.ghost", BTreeMap::new()),
+            Err(HassError::NoSuchEntity(_))
+        ));
+        h.add_entity("light.a", "off");
+        assert!(matches!(
+            h.call_service("light", "disco", "light.a", BTreeMap::new()),
+            Err(HassError::NoSuchService(..))
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Framework feature profiles, encoding the §6.3 analysis.
+//!
+//! The paper attributes the expressivity gap to three roots: (1) no clean
+//! separation of device state from driver code / no declarative state,
+//! (2) no native composition or aggregate programming, and (3) flat,
+//! runtime-owned automation rules. The profiles below translate the
+//! paper's per-framework findings into feature sets from which Table 5 is
+//! derived (see [`crate::support`]).
+
+use std::collections::BTreeSet;
+
+/// A capability a scenario may require of a framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Feature {
+    /// Declarative (desired-state) device programming.
+    DeclarativeState,
+    /// Native composition verbs / first-class aggregates.
+    NativeComposition,
+    /// Aggregating *heterogeneous* devices under one abstraction.
+    HeterogeneousAggregates,
+    /// Some grouping of same-type devices.
+    SameTypeGroups,
+    /// Trigger/condition/action automation rules.
+    AutomationRules,
+    /// Reconciling physical-world actions against virtual intents.
+    IntentReconciliation,
+    /// Multi-level abstractions (room → home hierarchies).
+    MultiLevelHierarchy,
+    /// Data-processing pipelines integrated with control (pipe).
+    DataPipelines,
+    /// Integration hooks for learned/AI policies.
+    LearnedPolicies,
+    /// Runtime (policy-driven) re-composition: mobility, handover.
+    DynamicComposition,
+    /// Multiple simultaneous control hierarchies over one device.
+    SharedControl,
+    /// Controlled delegation of write access (yield).
+    DelegationYield,
+    /// User-defined components/services can be added to the framework.
+    CustomComponents,
+    /// Policies embedded in (and scoped by) the object they govern.
+    EmbeddedPolicies,
+}
+
+/// A framework's feature set.
+#[derive(Debug, Clone)]
+pub struct FrameworkProfile {
+    /// Framework name as in Table 5.
+    pub name: &'static str,
+    /// Supported features.
+    pub features: BTreeSet<Feature>,
+}
+
+impl FrameworkProfile {
+    fn new(name: &'static str, features: &[Feature]) -> Self {
+        FrameworkProfile { name, features: features.iter().copied().collect() }
+    }
+
+    /// Returns `true` if the framework has the feature.
+    pub fn has(&self, f: Feature) -> bool {
+        self.features.contains(&f)
+    }
+}
+
+/// The frameworks compared in Table 5, in the paper's row order.
+pub fn all_frameworks() -> Vec<FrameworkProfile> {
+    use Feature::*;
+    vec![
+        // EdgeX: device services + rules engine; southbound/northbound
+        // plumbing, no home-automation abstractions.
+        FrameworkProfile::new("EdgeX", &[AutomationRules, DataPipelines]),
+        // HomeOS: PC-like abstractions and cross-device tasks (enough for
+        // the S7 handover), but imperative and single-hierarchy.
+        FrameworkProfile::new(
+            "HomeOS",
+            &[AutomationRules, DynamicComposition],
+        ),
+        // AWS IoT: device shadows ARE declarative desired/reported state;
+        // Things Graph + ML services cover data-driven automation; no
+        // home hierarchy or presence-following.
+        FrameworkProfile::new(
+            "AWS IoT",
+            &[DeclarativeState, AutomationRules, DataPipelines, LearnedPolicies],
+        ),
+        // Home Assistant: entity registry, same-type groups, flat
+        // automations, and open-source extensibility (custom components —
+        // how the paper's S1 port was possible at all).
+        FrameworkProfile::new(
+            "HASS",
+            &[SameTypeGroups, AutomationRules, DynamicComposition, CustomComponents],
+        ),
+        // SmartThings: capabilities + Rules API.
+        FrameworkProfile::new(
+            "ST",
+            &[SameTypeGroups, AutomationRules, DynamicComposition],
+        ),
+        // dSpace: the full feature set (§3).
+        FrameworkProfile::new(
+            "dSpace",
+            &[
+                DeclarativeState,
+                NativeComposition,
+                HeterogeneousAggregates,
+                SameTypeGroups,
+                AutomationRules,
+                IntentReconciliation,
+                MultiLevelHierarchy,
+                DataPipelines,
+                LearnedPolicies,
+                DynamicComposition,
+                SharedControl,
+                DelegationYield,
+                CustomComponents,
+                EmbeddedPolicies,
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dspace_has_every_feature() {
+        let frameworks = all_frameworks();
+        let dspace = frameworks.iter().find(|f| f.name == "dSpace").unwrap();
+        use Feature::*;
+        for f in [
+            DeclarativeState,
+            NativeComposition,
+            HeterogeneousAggregates,
+            IntentReconciliation,
+            DataPipelines,
+            DynamicComposition,
+            SharedControl,
+            DelegationYield,
+        ] {
+            assert!(dspace.has(f), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn baselines_lack_composition_and_yield() {
+        for fw in all_frameworks() {
+            if fw.name == "dSpace" {
+                continue;
+            }
+            assert!(!fw.has(Feature::NativeComposition), "{}", fw.name);
+            assert!(!fw.has(Feature::DelegationYield), "{}", fw.name);
+            assert!(!fw.has(Feature::SharedControl), "{}", fw.name);
+            assert!(!fw.has(Feature::IntentReconciliation), "{}", fw.name);
+        }
+    }
+
+    #[test]
+    fn table5_row_order_matches_paper() {
+        let names: Vec<&str> = all_frameworks().iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["EdgeX", "HomeOS", "AWS IoT", "HASS", "ST", "dSpace"]);
+    }
+}

@@ -1,0 +1,245 @@
+//! A miniature SmartThings: capability-typed devices plus the Rules API.
+//!
+//! SmartThings models devices as bundles of fixed *capabilities* (switch,
+//! switchLevel, motionSensor, …) exposed through imperative commands, and
+//! automation as if-then Rules (§6.3, reference 48 in the paper). There is no
+//! user-defined composition: rules can only reference concrete devices.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A device capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Capability {
+    /// on/off.
+    Switch,
+    /// dimming level 0–100.
+    SwitchLevel,
+    /// motion active/inactive.
+    MotionSensor,
+    /// playback control.
+    MediaPlayback,
+}
+
+/// A device: a set of capabilities plus attribute values.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Device id.
+    pub id: String,
+    /// The fixed capability set.
+    pub capabilities: Vec<Capability>,
+    /// Attribute values (`switch`, `level`, `motion`, …).
+    pub attributes: BTreeMap<String, String>,
+}
+
+/// Rules-API rule: when `device.attribute == value`, run commands.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Rule name.
+    pub name: String,
+    /// Condition device.
+    pub if_device: String,
+    /// Condition attribute.
+    pub if_attribute: String,
+    /// Condition value.
+    pub equals: String,
+    /// Commands to execute.
+    pub then: Vec<Command>,
+}
+
+/// An imperative command to a device.
+#[derive(Debug, Clone)]
+pub struct Command {
+    /// Target device.
+    pub device: String,
+    /// Capability the command belongs to.
+    pub capability: Capability,
+    /// Command name (`on`, `off`, `setLevel`, …).
+    pub command: String,
+    /// Optional numeric argument.
+    pub argument: Option<f64>,
+}
+
+/// Errors from the mini SmartThings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StError {
+    /// Unknown device id.
+    NoSuchDevice(String),
+    /// The device lacks the capability.
+    MissingCapability(String, Capability),
+    /// Unknown command for the capability.
+    BadCommand(String),
+}
+
+impl fmt::Display for StError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StError::NoSuchDevice(d) => write!(f, "no such device: {d}"),
+            StError::MissingCapability(d, c) => {
+                write!(f, "device {d} lacks capability {c:?}")
+            }
+            StError::BadCommand(c) => write!(f, "bad command: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for StError {}
+
+/// The mini SmartThings hub.
+#[derive(Debug, Default)]
+pub struct SmartThings {
+    devices: BTreeMap<String, Device>,
+    rules: Vec<Rule>,
+}
+
+impl SmartThings {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        SmartThings::default()
+    }
+
+    /// Registers a device with its capabilities.
+    pub fn add_device(&mut self, id: &str, capabilities: Vec<Capability>) {
+        let mut attributes = BTreeMap::new();
+        if capabilities.contains(&Capability::Switch) {
+            attributes.insert("switch".into(), "off".into());
+        }
+        if capabilities.contains(&Capability::SwitchLevel) {
+            attributes.insert("level".into(), "0".into());
+        }
+        if capabilities.contains(&Capability::MotionSensor) {
+            attributes.insert("motion".into(), "inactive".into());
+        }
+        self.devices.insert(
+            id.to_string(),
+            Device { id: id.to_string(), capabilities, attributes },
+        );
+    }
+
+    /// Reads a device.
+    pub fn device(&self, id: &str) -> Option<&Device> {
+        self.devices.get(id)
+    }
+
+    /// Installs the rule set.
+    pub fn set_rules(&mut self, rules: Vec<Rule>) {
+        self.rules = rules;
+    }
+
+    /// Executes a command against a device.
+    pub fn execute(&mut self, cmd: &Command) -> Result<(), StError> {
+        {
+            let dev = self
+                .devices
+                .get_mut(&cmd.device)
+                .ok_or_else(|| StError::NoSuchDevice(cmd.device.clone()))?;
+            if !dev.capabilities.contains(&cmd.capability) {
+                return Err(StError::MissingCapability(cmd.device.clone(), cmd.capability));
+            }
+            match (cmd.capability, cmd.command.as_str()) {
+                (Capability::Switch, "on") => {
+                    dev.attributes.insert("switch".into(), "on".into());
+                }
+                (Capability::Switch, "off") => {
+                    dev.attributes.insert("switch".into(), "off".into());
+                }
+                (Capability::SwitchLevel, "setLevel") => {
+                    let level = cmd.argument.unwrap_or(0.0).clamp(0.0, 100.0);
+                    dev.attributes.insert("level".into(), format!("{level}"));
+                    dev.attributes.insert("switch".into(), if level > 0.0 { "on".into() } else { "off".into() });
+                }
+                (Capability::MediaPlayback, "play") => {
+                    dev.attributes.insert("playback".into(), "playing".into());
+                }
+                (Capability::MediaPlayback, "pause") => {
+                    dev.attributes.insert("playback".into(), "paused".into());
+                }
+                _ => return Err(StError::BadCommand(cmd.command.clone())),
+            }
+        }
+        Ok(())
+    }
+
+    /// A device-side attribute change (sensor event); evaluates rules.
+    pub fn device_event(&mut self, id: &str, attribute: &str, value: &str) -> Result<(), StError> {
+        {
+            let dev = self
+                .devices
+                .get_mut(id)
+                .ok_or_else(|| StError::NoSuchDevice(id.to_string()))?;
+            dev.attributes.insert(attribute.to_string(), value.to_string());
+        }
+        let fired: Vec<Rule> = self
+            .rules
+            .iter()
+            .filter(|r| {
+                r.if_device == id && r.if_attribute == attribute && r.equals == value
+            })
+            .cloned()
+            .collect();
+        for rule in fired {
+            for cmd in &rule.then {
+                let _ = self.execute(cmd);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capabilities_gate_commands() {
+        let mut st = SmartThings::new();
+        st.add_device("lamp", vec![Capability::Switch, Capability::SwitchLevel]);
+        st.add_device("sensor", vec![Capability::MotionSensor]);
+        st.execute(&Command {
+            device: "lamp".into(),
+            capability: Capability::SwitchLevel,
+            command: "setLevel".into(),
+            argument: Some(70.0),
+        })
+        .unwrap();
+        assert_eq!(st.device("lamp").unwrap().attributes["level"], "70");
+        // A sensor cannot be switched.
+        let err = st
+            .execute(&Command {
+                device: "sensor".into(),
+                capability: Capability::Switch,
+                command: "on".into(),
+                argument: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, StError::MissingCapability(..)));
+    }
+
+    #[test]
+    fn rules_fire_on_device_events() {
+        let mut st = SmartThings::new();
+        st.add_device("lamp", vec![Capability::Switch, Capability::SwitchLevel]);
+        st.add_device("motion", vec![Capability::MotionSensor]);
+        st.set_rules(vec![Rule {
+            name: "motion-on".into(),
+            if_device: "motion".into(),
+            if_attribute: "motion".into(),
+            equals: "active".into(),
+            then: vec![Command {
+                device: "lamp".into(),
+                capability: Capability::SwitchLevel,
+                command: "setLevel".into(),
+                argument: Some(100.0),
+            }],
+        }]);
+        st.device_event("motion", "motion", "active").unwrap();
+        assert_eq!(st.device("lamp").unwrap().attributes["level"], "100");
+        assert_eq!(st.device("lamp").unwrap().attributes["switch"], "on");
+    }
+
+    #[test]
+    fn unknown_device_errors() {
+        let mut st = SmartThings::new();
+        assert!(st.device_event("ghost", "motion", "active").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the apiserver substrate: raw framework overhead
+//! without injected network latency (supports the §6.5 claim that dSpace's
+//! own processing is small next to device time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dspace_apiserver::{ApiServer, ObjectRef};
+use dspace_value::{json, Value};
+
+fn model(kind: &str, name: &str) -> Value {
+    json::parse(&format!(
+        r#"{{"meta": {{"kind": "{kind}", "name": "{name}", "namespace": "default"}},
+             "control": {{"power": {{"intent": null, "status": null}}}}}}"#
+    ))
+    .unwrap()
+}
+
+fn populated(n: usize) -> ApiServer {
+    let mut api = ApiServer::new();
+    for i in 0..n {
+        let oref = ObjectRef::default_ns("Lamp", format!("l{i}"));
+        api.create(ApiServer::ADMIN, &oref, model("Lamp", &format!("l{i}"))).unwrap();
+    }
+    api
+}
+
+fn bench_crud(c: &mut Criterion) {
+    c.bench_function("apiserver/create", |b| {
+        b.iter_batched(
+            ApiServer::new,
+            |mut api| {
+                let oref = ObjectRef::default_ns("Lamp", "l0");
+                api.create(ApiServer::ADMIN, &oref, model("Lamp", "l0")).unwrap();
+                api
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let api = populated(100);
+    let target = ObjectRef::default_ns("Lamp", "l50");
+    c.bench_function("apiserver/get@100", |b| {
+        b.iter(|| api.get(ApiServer::ADMIN, &target).unwrap())
+    });
+    c.bench_function("apiserver/patch_path@100", |b| {
+        b.iter_batched(
+            || populated(100),
+            |mut api| {
+                api.patch_path(ApiServer::ADMIN, &target, ".control.power.intent", "on".into())
+                    .unwrap();
+                api
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_watch(c: &mut Criterion) {
+    c.bench_function("apiserver/watch_fanout_10_watchers_100_events", |b| {
+        b.iter_batched(
+            || {
+                let mut api = populated(10);
+                let watchers: Vec<_> = (0..10)
+                    .map(|_| api.watch(ApiServer::ADMIN, Some("Lamp")).unwrap())
+                    .collect();
+                (api, watchers)
+            },
+            |(mut api, watchers)| {
+                let target = ObjectRef::default_ns("Lamp", "l5");
+                for i in 0..100 {
+                    api.patch_path(
+                        ApiServer::ADMIN,
+                        &target,
+                        ".control.power.intent",
+                        Value::from(i as f64),
+                    )
+                    .unwrap();
+                }
+                let mut delivered = 0;
+                for w in watchers {
+                    delivered += api.poll(w).len();
+                }
+                assert_eq!(delivered, 1000);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_crud, bench_watch);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Micro-benchmarks of the dSpace core runtime: graph validation, the
+//! driver reconcile cycle, and an end-to-end simulated intent round trip.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dspace_apiserver::ObjectRef;
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::graph::{DigiGraph, MountMode};
+use dspace_value::json;
+
+fn bench_graph(c: &mut Criterion) {
+    // A campus-scale multitree: 2 buildings x 4 floors x 8 rooms.
+    fn build() -> (DigiGraph, ObjectRef, ObjectRef) {
+        let mut g = DigiGraph::new();
+        let campus = ObjectRef::default_ns("Digi", "campus");
+        let mut last_room = campus.clone();
+        for b in 0..2 {
+            let building = ObjectRef::default_ns("Digi", format!("b{b}"));
+            g.mount(&building, &campus, MountMode::Expose).unwrap();
+            for f in 0..4 {
+                let floor = ObjectRef::default_ns("Digi", format!("b{b}f{f}"));
+                g.mount(&floor, &building, MountMode::Expose).unwrap();
+                for r in 0..8 {
+                    let room = ObjectRef::default_ns("Digi", format!("b{b}f{f}r{r}"));
+                    g.mount(&room, &floor, MountMode::Expose).unwrap();
+                    last_room = room;
+                }
+            }
+        }
+        (g, campus, last_room)
+    }
+    let (g, campus, room) = build();
+    c.bench_function("graph/check_mount_deep@74_nodes", |b| {
+        // Would-be diamond: mounting a leaf room directly under the campus.
+        b.iter(|| g.check_mount(&room, &campus).unwrap_err())
+    });
+    c.bench_function("graph/descendants@74_nodes", |b| {
+        b.iter(|| g.descendants(&campus).len())
+    });
+    c.bench_function("graph/verify_multitree@74_nodes", |b| {
+        b.iter(|| g.verify_multitree().unwrap())
+    });
+}
+
+fn bench_reconcile(c: &mut Criterion) {
+    let old = json::parse(
+        r#"{"meta": {"gen": 1}, "control": {"power": {"intent": null, "status": "off"}},
+            "obs": {}, "reflex": {}}"#,
+    )
+    .unwrap();
+    let mut new = old.clone();
+    new.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
+    c.bench_function("driver/reconcile_native_handler", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Driver::new();
+                d.on(Filter::on_control(), 0, "power", |ctx| {
+                    let intent = ctx.digi().intent("power");
+                    if !intent.is_null() && intent != ctx.digi().status("power") {
+                        ctx.device(dspace_value::object([("power", intent)]));
+                    }
+                });
+                d
+            },
+            |mut d| d.reconcile(&old, &new, 0.0),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut with_reflex = new.clone();
+    with_reflex
+        .set(
+            &".reflex.cap".parse().unwrap(),
+            json::parse(r#"{"policy": "if .control.power.intent == \"on\" then .obs.lit = true else . end", "priority": 1}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    c.bench_function("driver/reconcile_with_reflex", |b| {
+        b.iter_batched(
+            Driver::new,
+            |mut d| d.reconcile(&old, &with_reflex, 0.0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Wall-clock cost of simulating one full intent round trip (S1-like
+    // room with two lamps) — the simulator's own overhead.
+    use dspace_core::actuator::EchoActuator;
+    c.bench_function("space/simulate_room_intent_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut space = dspace_digis::new_space();
+                let l1 = space
+                    .create_digi("GeeniLamp", "l1", dspace_digis::lamps::geeni_driver())
+                    .unwrap();
+                space.attach_actuator(&l1, Box::new(EchoActuator::new("echo", 400_000_000)));
+                let ul1 = space
+                    .create_digi("UniLamp", "ul1", dspace_digis::lamps::unilamp_driver())
+                    .unwrap();
+                let rm = space
+                    .create_digi("Room", "lvroom", dspace_digis::room::room_driver())
+                    .unwrap();
+                space.mount(&l1, &ul1, MountMode::Expose).unwrap();
+                space.mount(&ul1, &rm, MountMode::Expose).unwrap();
+                space.run_for_ms(2_000);
+                space
+            },
+            |mut space| {
+                space.set_intent("lvroom/brightness", 0.8.into()).unwrap();
+                space.run_for_ms(4_000);
+                space
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_graph, bench_reconcile, bench_end_to_end);
+criterion_main!(benches);

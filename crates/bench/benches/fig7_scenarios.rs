@@ -1,0 +1,34 @@
+//! Wall-clock cost of regenerating the Figure-7 panels (the simulation is
+//! virtual-time, so this measures harness + runtime overhead; the
+//! virtual-time results themselves come from `repro_fig7`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dspace_bench::fig7::{run_lamp, run_room_lamp, Setup};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("simulate_lamp_3_trials", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = run_lamp(Setup::OnPrem, 3, seed);
+            assert_eq!(r.samples.len(), 3);
+            r
+        })
+    });
+    group.bench_function("simulate_room_lamp_3_trials", |b| {
+        let mut seed = 1000u64;
+        b.iter(|| {
+            seed += 1;
+            let r = run_room_lamp(Setup::OnPrem, 3, seed);
+            assert!(!r.samples.is_empty());
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

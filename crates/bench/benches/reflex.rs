@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the reflex policy interpreter (the jq analogue that
+//! executes every embedded policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dspace_reflex::{Env, Program};
+use dspace_value::json;
+
+const FIG3: &str = "if $time - .motion.obs.last_triggered_time <= 600 \
+                    then .control.brightness.intent = 1 else . end";
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("reflex/compile_fig3", |b| {
+        b.iter(|| Program::compile(FIG3).unwrap())
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let program = Program::compile(FIG3).unwrap();
+    let model = json::parse(
+        r#"{"motion": {"obs": {"last_triggered_time": 1000}},
+            "control": {"brightness": {"intent": 0.2, "status": 0.2},
+                         "power": {"intent": "on", "status": "on"}},
+            "obs": {"objects": ["person", "dog"]}}"#,
+    )
+    .unwrap();
+    let env = Env::new().with_var("time", 1300.0.into());
+    c.bench_function("reflex/eval_fig3", |b| {
+        b.iter(|| program.eval(&model, &env).unwrap())
+    });
+
+    let pipeline = Program::compile(
+        ".obs.objects | map(select(. == \"person\")) | length \
+         | if . > 0 then {occupied: true, n: .} else {occupied: false, n: 0} end",
+    )
+    .unwrap();
+    c.bench_function("reflex/eval_pipeline", |b| {
+        b.iter(|| pipeline.eval(&model, &env).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the document substrate: JSON/YAML codecs, path
+//! access, and diffing — the operations every apiserver write and driver
+//! cycle pays for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dspace_value::{diff, json, yaml, Path};
+
+const MODEL: &str = r#"{
+    "meta": {"group": "digi.dev", "version": "v1", "kind": "Room",
+              "name": "lvroom", "namespace": "default", "gen": 17},
+    "control": {"brightness": {"intent": 0.5, "status": 0.45},
+                 "ambiance": {"intent": {"hue": 46920, "sat": 254}, "status": null},
+                 "mode": {"intent": "active", "status": "active"}},
+    "obs": {"objects": ["person", "dog"], "occupancy": 1, "activity": "ACTIVE"},
+    "mount": {"UniLamp": {"ul1": {"mode": "expose", "status": "active", "gen": 9,
+        "control": {"brightness": {"intent": 0.5, "status": 0.5},
+                     "power": {"intent": "on", "status": "on"}}}}},
+    "reflex": {"motion-brightness": {"policy": "if $time - 1 <= 600 then . else . end",
+                "priority": 1, "processor": "jq"}}
+}"#;
+
+fn bench_codecs(c: &mut Criterion) {
+    c.bench_function("value/json_parse_room_model", |b| {
+        b.iter(|| json::parse(MODEL).unwrap())
+    });
+    let v = json::parse(MODEL).unwrap();
+    c.bench_function("value/json_serialize_room_model", |b| b.iter(|| json::to_string(&v)));
+    c.bench_function("value/yaml_emit_room_model", |b| b.iter(|| yaml::to_string(&v)));
+    let y = yaml::to_string(&v);
+    c.bench_function("value/yaml_parse_room_model", |b| {
+        b.iter(|| yaml::parse(&y).unwrap())
+    });
+}
+
+fn bench_access(c: &mut Criterion) {
+    let v = json::parse(MODEL).unwrap();
+    let p: Path = ".mount.UniLamp.ul1.control.brightness.status".parse().unwrap();
+    c.bench_function("value/path_parse", |b| {
+        b.iter(|| ".mount.UniLamp.ul1.control.brightness.status".parse::<Path>().unwrap())
+    });
+    c.bench_function("value/get_deep_path", |b| b.iter(|| v.get(&p).unwrap().clone()));
+    let mut changed = v.clone();
+    changed
+        .set(&".control.brightness.intent".parse().unwrap(), 0.9.into())
+        .unwrap();
+    c.bench_function("value/diff_one_change", |b| b.iter(|| diff(&v, &changed)));
+}
+
+criterion_group!(benches, bench_codecs, bench_access);
+criterion_main!(benches);

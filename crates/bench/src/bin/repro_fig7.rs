@@ -1,0 +1,49 @@
+//! Regenerates Figure 7: FPT/BPT/DT latency breakdowns.
+//!
+//! Usage: `repro_fig7 [--setup on-prem|cloud|hybrid] [--trials N] [--seed S]`
+//! (default: all three setups, 10 trials each).
+
+use dspace_bench::fig7::{run_all, Setup};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut setups = vec![Setup::OnPrem, Setup::Cloud, Setup::Hybrid];
+    let mut trials = 10usize;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--setup" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|s| Setup::parse(s)) else {
+                    eprintln!("unknown setup; expected on-prem|cloud|hybrid");
+                    std::process::exit(2);
+                };
+                setups = vec![s];
+            }
+            "--trials" => {
+                i += 1;
+                trials = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(10);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    for setup in setups {
+        let label = match setup {
+            Setup::OnPrem => "on-prem",
+            Setup::Cloud => "cloud",
+            Setup::Hybrid => "hybrid",
+        };
+        let (results, wan) = run_all(setup, trials, seed);
+        print!("{}", dspace_bench::tables::render_fig7(label, &results, wan));
+        println!();
+    }
+}

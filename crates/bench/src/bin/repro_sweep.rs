@@ -1,0 +1,37 @@
+//! Regenerates the hierarchy-depth sweep (Fig. 7 scaling-claim extension).
+//!
+//! Usage: `repro_sweep [--depth N] [--trials N] [--seed S]`.
+
+use dspace_bench::fig7::Setup;
+use dspace_bench::sweep::{render_sweep, run_depth_sweep};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut depth = 5usize;
+    let mut trials = 5usize;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--depth" => {
+                i += 1;
+                depth = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(5);
+            }
+            "--trials" => {
+                i += 1;
+                trials = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(5);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let points = run_depth_sweep(Setup::OnPrem, depth, trials, seed);
+    print!("{}", render_sweep(&points));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 4: per-scenario implementation effort.
+
+fn main() {
+    let rows = dspace_bench::loc::scenario_rows();
+    print!("{}", dspace_bench::tables::render_table4(&rows, dspace_bench::loc::leaf_loc()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 5 plus the §6.3 Home Assistant effort comparison.
+
+fn main() {
+    print!("{}", dspace_bench::tables::render_table5());
+    print!("{}", dspace_bench::tables::render_hass_comparison());
+}

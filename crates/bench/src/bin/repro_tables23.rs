@@ -1,0 +1,6 @@
+//! Regenerates Tables 2-3: the device and digidata inventory.
+
+fn main() {
+    print!("{}", dspace_bench::tables::render_table1());
+    print!("{}", dspace_bench::tables::render_tables23());
+}

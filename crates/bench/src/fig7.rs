@@ -1,0 +1,408 @@
+//! The Figure-7 experiment: latency breakdown FPT/BPT/DT (§6.5).
+//!
+//! Metrics, as defined by the paper:
+//! - **FPT** (forward propagation time): user intent → the leaf digi
+//!   issues its device command,
+//! - **DT** (device-actuation / data-processing time): the simulated
+//!   device's or engine's own latency,
+//! - **BPT** (backward propagation time): leaf status committed → the
+//!   update visible at the user's CLI,
+//! - **TTF** = FPT + DT + BPT.
+//!
+//! Three deployments are modelled (§6.5): *on-prem* (minikube on a home
+//! machine), *cloud* (two-node EC2 — per-hop WAN latency to home devices),
+//! and *hybrid* (everything in the cloud except the Scene digidata, which
+//! runs at home so the camera stream never crosses the uplink).
+
+use dspace_analytics::{OccupancySchedule, SceneEngine, XcdrEngine};
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_core::trace::TraceKind;
+use dspace_core::world::LinkSet;
+use dspace_core::{Space, SpaceConfig};
+use dspace_devices::{GeeniLamp, LifxLamp, WyzeCam};
+use dspace_digis::{lamps, media, room, data};
+use dspace_simnet::{secs, LatencyModel, Link, Rng, Time};
+use dspace_value::Value;
+
+/// Deployment setups of §6.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Everything on a home machine (minikube).
+    OnPrem,
+    /// Control plane and digis on EC2; devices at home across a WAN.
+    Cloud,
+    /// Cloud, except the Scene digidata runs at home.
+    Hybrid,
+}
+
+impl Setup {
+    /// Parses the CLI flag.
+    pub fn parse(s: &str) -> Option<Setup> {
+        match s {
+            "on-prem" | "onprem" => Some(Setup::OnPrem),
+            "cloud" => Some(Setup::Cloud),
+            "hybrid" => Some(Setup::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// Link latencies for the setup.
+    pub fn links(&self) -> LinkSet {
+        match self {
+            // Minikube on a Thinkcentre: every hop is local IPC + the
+            // apiserver's own processing (k8s SLO-class latencies).
+            Setup::OnPrem => LinkSet {
+                controller: Link::new("controller", LatencyModel::NormalMs(3.0, 0.8)),
+                driver: Link::new("driver", LatencyModel::NormalMs(9.0, 2.0)),
+                user: Link::new("user", LatencyModel::NormalMs(12.0, 2.5)),
+            },
+            // Pods colocated with the apiserver in EC2; only the user's
+            // CLI crosses the WAN.
+            Setup::Cloud | Setup::Hybrid => LinkSet {
+                controller: Link::new("controller", LatencyModel::NormalMs(2.0, 0.5)),
+                driver: Link::new("driver", LatencyModel::NormalMs(4.0, 1.0)),
+                user: Link::new("user", LatencyModel::NormalMs(45.0, 8.0)),
+            },
+        }
+    }
+
+    /// Extra WAN round-trip for actuating home devices from the cloud.
+    pub fn device_wan(&self) -> Option<LatencyModel> {
+        match self {
+            Setup::OnPrem => None,
+            Setup::Cloud | Setup::Hybrid => Some(LatencyModel::NormalMs(42.0, 6.0)),
+        }
+    }
+
+    /// Whether the Scene engine runs at home (no WAN on its path, camera
+    /// stream stays local).
+    pub fn scene_is_local(&self) -> bool {
+        matches!(self, Setup::OnPrem | Setup::Hybrid)
+    }
+}
+
+/// Wraps an actuator with an extra WAN round-trip per actuation.
+struct WanActuator {
+    inner: Box<dyn Actuator>,
+    extra: LatencyModel,
+    name: String,
+}
+
+impl WanActuator {
+    fn wrap(inner: Box<dyn Actuator>, extra: LatencyModel) -> Box<dyn Actuator> {
+        let name = format!("{} (via WAN)", inner.name());
+        Box::new(WanActuator { inner, extra, name })
+    }
+
+    fn delay_all(&self, mut acts: Vec<Actuation>, rng: &mut Rng) -> Vec<Actuation> {
+        for a in &mut acts {
+            a.delay = a.delay.saturating_add(self.extra.sample(rng));
+        }
+        acts
+    }
+}
+
+impl Actuator for WanActuator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn actuate(&mut self, now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let acts = self.inner.actuate(now, cmd, rng);
+        self.delay_all(acts, rng)
+    }
+
+    fn step(&mut self, now: Time, model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let acts = self.inner.step(now, model, rng);
+        self.delay_all(acts, rng)
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        self.inner.poll_interval()
+    }
+}
+
+/// One latency sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Breakdown {
+    /// Forward propagation, ms.
+    pub fpt_ms: f64,
+    /// Backward propagation, ms.
+    pub bpt_ms: f64,
+    /// Device/data time, ms.
+    pub dt_ms: f64,
+}
+
+impl Breakdown {
+    /// Time-to-fulfillment.
+    pub fn ttf_ms(&self) -> f64 {
+        self.fpt_ms + self.bpt_ms + self.dt_ms
+    }
+}
+
+/// Aggregated results for one benchmark scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario label (`Lamp`, `Room-Lamp`, `Scene-Room`).
+    pub name: &'static str,
+    /// Per-trial samples.
+    pub samples: Vec<Breakdown>,
+}
+
+impl ScenarioResult {
+    fn mean(&self, f: impl Fn(&Breakdown) -> f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(&f).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean FPT in ms.
+    pub fn fpt(&self) -> f64 {
+        self.mean(|b| b.fpt_ms)
+    }
+
+    /// Mean BPT in ms.
+    pub fn bpt(&self) -> f64 {
+        self.mean(|b| b.bpt_ms)
+    }
+
+    /// Mean DT in ms.
+    pub fn dt(&self) -> f64 {
+        self.mean(|b| b.dt_ms)
+    }
+
+    /// Mean TTF in ms.
+    pub fn ttf(&self) -> f64 {
+        self.mean(Breakdown::ttf_ms)
+    }
+}
+
+fn wrap_device(setup: Setup, inner: Box<dyn Actuator>) -> Box<dyn Actuator> {
+    match setup.device_wan() {
+        Some(extra) => WanActuator::wrap(inner, extra),
+        None => inner,
+    }
+}
+
+fn space_for(setup: Setup, seed: u64) -> Space {
+    dspace_digis::new_space_with(SpaceConfig { links: setup.links(), seed })
+}
+
+/// The `Lamp` scenario: one vendor lamp digi, direct intent updates.
+pub fn run_lamp(setup: Setup, trials: usize, seed: u64) -> ScenarioResult {
+    let mut space = space_for(setup, seed);
+    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    space.attach_actuator(&l1, wrap_device(setup, Box::new(GeeniLamp::new())));
+    space.run_for_ms(1_000);
+    let subject = "GeeniLamp/default/l1";
+    let mut samples = Vec::new();
+    for i in 0..trials {
+        space.world.trace.clear();
+        let t0 = space.sim.now();
+        let value = 100.0 + (i as f64 * 83.0) % 900.0;
+        space.set_intent("l1/brightness", value.into()).unwrap();
+        space.run_for_ms(4_000);
+        if let Some(b) = extract(&space, subject, subject, t0, ".control.brightness.status") {
+            samples.push(b);
+        }
+    }
+    ScenarioResult { name: "Lamp", samples }
+}
+
+/// The `Room-Lamp` scenario: S1's hierarchy, room-level intent updates.
+pub fn run_room_lamp(setup: Setup, trials: usize, seed: u64) -> ScenarioResult {
+    let mut space = space_for(setup, seed);
+    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    space.attach_actuator(&l1, wrap_device(setup, Box::new(GeeniLamp::new())));
+    let l2 = space.create_digi("LifxLamp", "l2", lamps::lifx_driver()).unwrap();
+    space.attach_actuator(&l2, wrap_device(setup, Box::new(LifxLamp::new())));
+    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
+    let ul2 = space.create_digi("UniLamp", "ul2", lamps::unilamp_driver()).unwrap();
+    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    for (c, p) in [(&l1, &ul1), (&l2, &ul2), (&ul1, &rm), (&ul2, &rm)] {
+        space.mount(c, p, dspace_core::graph::MountMode::Expose).unwrap();
+        space.run_for_ms(400);
+    }
+    space.run_for_ms(2_000);
+    let room_subject = "Room/default/lvroom";
+    let leaf = "GeeniLamp/default/l1";
+    let mut samples = Vec::new();
+    for i in 0..trials {
+        space.world.trace.clear();
+        let t0 = space.sim.now();
+        let value = 0.15 + (i as f64 * 0.07) % 0.8;
+        space.set_intent("lvroom/brightness", value.into()).unwrap();
+        space.run_for_ms(8_000);
+        if let Some(b) = extract(&space, leaf, room_subject, t0, ".control.brightness.status") {
+            samples.push(b);
+        }
+    }
+    ScenarioResult { name: "Room-Lamp", samples }
+}
+
+/// The `Scene-Room` scenario: camera → Xcdr → Scene → room → lamp.
+///
+/// Each trial flips the scene's ground truth; the measured FPT is the
+/// propagation from the Scene digidata's posted objects to the leaf lamp's
+/// device command; DT combines the scene inference and lamp actuation;
+/// BPT is leaf status → user CLI. Returns the result plus the camera
+/// uplink bandwidth the deployment consumed (for the hybrid comparison).
+pub fn run_scene_room(setup: Setup, trials: usize, seed: u64) -> (ScenarioResult, f64) {
+    let mut space = space_for(setup, seed);
+    // Ground truth: occupancy flips every 25 s.
+    let mut entries: Vec<(Time, Vec<&str>)> = Vec::new();
+    for i in 0..trials {
+        let t = secs(10) + secs(25) * i as u64;
+        if i % 2 == 0 {
+            entries.push((t, vec!["person"]));
+        } else {
+            entries.push((t, vec![]));
+        }
+    }
+    let truth = OccupancySchedule::from_entries(entries);
+    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.42")));
+    let x1 = space.create_digi("Xcdr", "x1", data::xcdr_driver()).unwrap();
+    space.attach_actuator(&x1, Box::new(XcdrEngine::new("edge")));
+    let sc1 = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    // In the cloud setup the Scene runs remotely: its frame fetches cross
+    // the WAN; in hybrid/on-prem it is local.
+    let scene_engine = Box::new(SceneEngine::new(truth));
+    let scene: Box<dyn Actuator> = if setup.scene_is_local() {
+        scene_engine
+    } else {
+        match setup.device_wan() {
+            Some(extra) => WanActuator::wrap(scene_engine, extra),
+            None => scene_engine,
+        }
+    };
+    space.attach_actuator(&sc1, scene);
+    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    space.attach_actuator(&l1, wrap_device(setup, Box::new(GeeniLamp::new())));
+    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
+    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    space.mount(&l1, &ul1, dspace_core::graph::MountMode::Expose).unwrap();
+    space.run_for_ms(300);
+    space.mount(&ul1, &rm, dspace_core::graph::MountMode::Expose).unwrap();
+    space.run_for_ms(300);
+    space.mount(&sc1, &rm, dspace_core::graph::MountMode::Expose).unwrap();
+    space.run_for_ms(300);
+    space.pipe(&cam, "url", &x1, "url").unwrap();
+    space.pipe(&x1, "url", &sc1, "url").unwrap();
+    // The room reacts to occupancy with a brightness policy (the Fig. 6
+    // composition's control loop).
+    space
+        .add_reflex(
+            &rm,
+            "occupancy-brightness",
+            "if (.obs.occupancy // 0) > 0 \
+             then .control.brightness.intent = 1 \
+             else .control.brightness.intent = 0.3 end",
+            2,
+        )
+        .unwrap();
+    space.run_for_ms(5_000);
+    space.world.trace.clear();
+    space.world.metrics.reset();
+
+    let leaf = "GeeniLamp/default/l1";
+    let scene_subject = "Scene/default/sc1";
+    let room_subject = "Room/default/lvroom";
+    let start = space.sim.now();
+    space.run_for(secs(12 + 25 * trials as u64));
+    let elapsed_s = (space.sim.now() - start) as f64 / 1e9;
+
+    // Pair each scene posting with the lamp command it triggered.
+    let trace = &space.world.trace;
+    let mut samples = Vec::new();
+    let scene_posts: Vec<Time> = trace
+        .entries()
+        .iter()
+        .filter(|e| e.kind == TraceKind::DeviceDone && e.subject == scene_subject)
+        .map(|e| e.t)
+        .collect();
+    for &post_t in &scene_posts {
+        let Some(cmd) = trace.first_after(&TraceKind::DeviceCommand, leaf, post_t) else {
+            continue;
+        };
+        let Some(done) = trace.first_after(&TraceKind::DeviceDone, leaf, cmd.t) else {
+            continue;
+        };
+        let observed = trace.entries().iter().find(|e| {
+            e.kind == TraceKind::UserObserved
+                && e.subject == room_subject
+                && e.t > done.t
+                && e.detail.contains(".control.brightness.status")
+        });
+        let Some(obs) = observed else { continue };
+        // Scene inference time for this posting.
+        let scene_dt = space
+            .world
+            .metrics
+            .histogram("dt_ms:sc1")
+            .map(|h| h.mean())
+            .unwrap_or(0.0);
+        samples.push(Breakdown {
+            fpt_ms: (cmd.t - post_t) as f64 / 1e6,
+            dt_ms: scene_dt + (done.t - cmd.t) as f64 / 1e6,
+            bpt_ms: (obs.t - done.t) as f64 / 1e6,
+        });
+    }
+    // Uplink bandwidth: in the cloud setup every camera frame crosses the
+    // WAN; in hybrid only the posted objects do (~0.2 KB per update).
+    let wan_bytes: f64 = if setup.scene_is_local() {
+        scene_posts.len() as f64 * 200.0
+    } else {
+        space
+            .world
+            .metrics
+            .counters()
+            .filter(|(name, _)| name.contains("Scene"))
+            .map(|(_, v)| v as f64)
+            .sum()
+    };
+    let wan_mbps = wan_bytes * 8.0 / elapsed_s / 1e6;
+    (ScenarioResult { name: "Scene-Room", samples }, wan_mbps)
+}
+
+/// Extracts FPT/DT/BPT for a single-intent trial from the trace.
+fn extract(
+    space: &Space,
+    leaf: &str,
+    observed_subject: &str,
+    t0: Time,
+    status_path: &str,
+) -> Option<Breakdown> {
+    let trace = &space.world.trace;
+    let intent = trace.first_after(&TraceKind::UserIntent, &intent_subject(trace, t0)?, t0)?;
+    let cmd = trace.first_after(&TraceKind::DeviceCommand, leaf, intent.t)?;
+    let done = trace.first_after(&TraceKind::DeviceDone, leaf, cmd.t)?;
+    let obs = trace.entries().iter().find(|e| {
+        e.kind == TraceKind::UserObserved
+            && e.subject == observed_subject
+            && e.t > done.t
+            && e.detail.contains(status_path)
+    })?;
+    Some(Breakdown {
+        fpt_ms: (cmd.t - intent.t) as f64 / 1e6,
+        dt_ms: (done.t - cmd.t) as f64 / 1e6,
+        bpt_ms: (obs.t - done.t) as f64 / 1e6,
+    })
+}
+
+fn intent_subject(trace: &dspace_core::Trace, t0: Time) -> Option<String> {
+    trace
+        .entries()
+        .iter()
+        .find(|e| e.kind == TraceKind::UserIntent && e.t >= t0)
+        .map(|e| e.subject.clone())
+}
+
+/// Runs the whole Figure-7 experiment for a setup.
+pub fn run_all(setup: Setup, trials: usize, seed: u64) -> (Vec<ScenarioResult>, f64) {
+    let lamp = run_lamp(setup, trials, seed);
+    let room = run_room_lamp(setup, trials, seed + 1);
+    let (scene, wan_mbps) = run_scene_room(setup, trials.max(4), seed + 2);
+    (vec![lamp, room, scene], wan_mbps)
+}

@@ -1,0 +1,15 @@
+//! Reproduction harnesses for the paper's evaluation (§6).
+//!
+//! - [`loc`] — lines-of-code/configuration accounting for Table 4 and the
+//!   Home Assistant comparison of §6.3.
+//! - [`fig7`] — the latency-breakdown experiment (FPT/BPT/DT) for the
+//!   Lamp, Room-Lamp, and Scene-Room setups, in the on-prem, cloud, and
+//!   hybrid deployments of §6.5.
+//! - [`sweep`] — the hierarchy-depth ablation extending Figure 7's
+//!   scaling claim.
+//! - [`tables`] — renderers for the paper-style text tables.
+
+pub mod fig7;
+pub mod loc;
+pub mod sweep;
+pub mod tables;

@@ -1,0 +1,176 @@
+//! Hierarchy-depth sweep: an ablation extending Figure 7's second claim —
+//! "the time spent in dSpace (FPT and BPT) increases with the number of
+//! digis involved in intent propagation and reconciliation" — into a
+//! full scaling curve.
+//!
+//! A chain of `depth` generic digivices is built (root → … → leaf, leaf
+//! attached to an echo device); one intent is issued at the root and the
+//! propagation times are decomposed per depth.
+
+use dspace_core::actuator::EchoActuator;
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::graph::MountMode;
+use dspace_core::trace::TraceKind;
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::millis;
+use dspace_value::{AttrType, KindSchema};
+
+use crate::fig7::{Breakdown, Setup};
+
+/// A generic forwarding digivice: pushes its `level` intent to its one
+/// child and mirrors the child's status upward.
+fn node_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "forward", |ctx| {
+        let intent = ctx.digi().intent("level");
+        let mounts = ctx.digi().mounts();
+        if let Some((kind, name)) = mounts.into_iter().next() {
+            if !intent.is_null() {
+                let cur = ctx.digi().replica(&kind, &name, ".control.level.intent");
+                if cur != intent {
+                    ctx.digi().set_replica(&kind, &name, ".control.level.intent", intent);
+                }
+            }
+            let status = ctx.digi().replica(&kind, &name, ".control.level.status");
+            if !status.is_null() && status != ctx.digi().status("level") {
+                ctx.digi().set_status("level", status);
+            }
+        } else {
+            // Leaf: actuate the device.
+            let status = ctx.digi().status("level");
+            if !intent.is_null() && intent != status {
+                ctx.device(dspace_value::object([("level", intent)]));
+            }
+        }
+    });
+    d
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct DepthPoint {
+    /// Number of digivices on the intent path.
+    pub depth: usize,
+    /// Mean breakdown over the trials.
+    pub mean: Breakdown,
+}
+
+/// Runs the sweep for hierarchy depths `1..=max_depth`.
+pub fn run_depth_sweep(setup: Setup, max_depth: usize, trials: usize, seed: u64) -> Vec<DepthPoint> {
+    let mut points = Vec::new();
+    for depth in 1..=max_depth {
+        let mut space = Space::new(SpaceConfig { links: setup.links(), seed: seed + depth as u64 });
+        space.register_kind(
+            KindSchema::digivice("digi.dev", "v1", "Node")
+                .control("level", AttrType::Number)
+                .mounts("Node"),
+        );
+        let nodes: Vec<_> = (0..depth)
+            .map(|i| {
+                space
+                    .create_digi("Node", &format!("n{i}"), node_driver())
+                    .expect("create node")
+            })
+            .collect();
+        // n0 is the leaf; n_{depth-1} the root the user programs.
+        space.attach_actuator(&nodes[0], Box::new(EchoActuator::new("echo", millis(400))));
+        for i in 0..depth.saturating_sub(1) {
+            space.mount(&nodes[i], &nodes[i + 1], MountMode::Expose).unwrap();
+            space.run_for_ms(300);
+        }
+        space.run_for_ms(2_000);
+        let root = format!("n{}", depth - 1);
+        let root_subject = format!("Node/default/{root}");
+        let leaf_subject = "Node/default/n0".to_string();
+        let mut fpt = 0.0;
+        let mut bpt = 0.0;
+        let mut dt = 0.0;
+        let mut n = 0.0;
+        for trial in 0..trials {
+            space.world.trace.clear();
+            let t0 = space.sim.now();
+            let value = 0.1 + 0.8 * ((trial as f64 * 0.37) % 1.0);
+            space.set_intent(&format!("{root}/level"), value.into()).unwrap();
+            space.run_for_ms(6_000 + 200 * depth as u64);
+            let trace = &space.world.trace;
+            let Some(intent) = trace.first_after(&TraceKind::UserIntent, &root_subject, t0)
+            else {
+                continue;
+            };
+            let Some(cmd) = trace.first_after(&TraceKind::DeviceCommand, &leaf_subject, intent.t)
+            else {
+                continue;
+            };
+            let Some(done) = trace.first_after(&TraceKind::DeviceDone, &leaf_subject, cmd.t)
+            else {
+                continue;
+            };
+            let observed = trace.entries().iter().find(|e| {
+                e.kind == TraceKind::UserObserved
+                    && e.subject == root_subject
+                    && e.t > done.t
+                    && e.detail.contains(".control.level.status")
+            });
+            let Some(obs) = observed else { continue };
+            fpt += (cmd.t - intent.t) as f64 / 1e6;
+            dt += (done.t - cmd.t) as f64 / 1e6;
+            bpt += (obs.t - done.t) as f64 / 1e6;
+            n += 1.0;
+        }
+        if n > 0.0 {
+            points.push(DepthPoint {
+                depth,
+                mean: Breakdown { fpt_ms: fpt / n, bpt_ms: bpt / n, dt_ms: dt / n },
+            });
+        }
+    }
+    points
+}
+
+/// Renders the sweep as a text table.
+pub fn render_sweep(points: &[DepthPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("Hierarchy-depth sweep (extension of Fig. 7's scaling claim)\n\n");
+    out.push_str(&format!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9}\n",
+        "depth", "FPT(ms)", "BPT(ms)", "DT(ms)", "TTF(ms)"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
+            p.depth,
+            p.mean.fpt_ms,
+            p.mean.bpt_ms,
+            p.mean.dt_ms,
+            p.mean.ttf_ms()
+        ));
+    }
+    out.push_str(
+        "\nFPT and BPT grow with the number of digis on the intent path while DT\n\
+         stays flat — the §6.5 scaling claim, extended to deeper hierarchies.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpt_grows_with_depth_and_dt_does_not() {
+        let points = run_depth_sweep(Setup::OnPrem, 4, 3, 11);
+        assert_eq!(points.len(), 4);
+        // FPT strictly grows from depth 1 to depth 4.
+        assert!(
+            points[3].mean.fpt_ms > points[0].mean.fpt_ms * 2.0,
+            "depth-4 FPT {} vs depth-1 {}",
+            points[3].mean.fpt_ms,
+            points[0].mean.fpt_ms
+        );
+        // BPT grows too (status must climb the hierarchy).
+        assert!(points[3].mean.bpt_ms > points[0].mean.bpt_ms);
+        // Device time is depth-independent (within jitter).
+        let dt_spread = (points[3].mean.dt_ms - points[0].mean.dt_ms).abs();
+        assert!(dt_spread < 50.0, "dt spread {dt_spread}");
+    }
+}

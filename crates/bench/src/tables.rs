@@ -1,0 +1,217 @@
+//! Text renderers for paper-style tables.
+
+use crate::fig7::ScenarioResult;
+use crate::loc::ScenarioEffort;
+
+/// Renders Table 4 (scenario implementation effort).
+pub fn render_table4(rows: &[ScenarioEffort], leaf_loc: usize) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4 — Implementing smart-space scenarios in dSpace (this reproduction)\n");
+    out.push_str(&format!("Leaf digi codebase: {leaf_loc} LoC\n\n"));
+    out.push_str(&format!(
+        "{:<5} {:<28} {:>8} {:>10} {:>8}\n",
+        "Scen", "HL digis", "LoC", "LoC (%)", "LoCF"
+    ));
+    let mut total = 0usize;
+    for r in rows {
+        total += r.loc;
+        out.push_str(&format!(
+            "{:<5} {:<28} {:>8} {:>9.1}% {:>8}\n",
+            r.scenario,
+            r.hl_digis,
+            r.loc,
+            100.0 * r.loc as f64 / leaf_loc as f64,
+            r.locf
+        ));
+    }
+    out.push_str(&format!(
+        "\nTotal scenario code: {} LoC = {:.0}% of the leaf codebase (paper: +15%)\n",
+        total,
+        100.0 * total as f64 / leaf_loc as f64
+    ));
+    out
+}
+
+/// Renders Table 5 (framework support matrix).
+pub fn render_table5() -> String {
+    use dspace_baselines::{profiles::all_frameworks, support::*};
+    let reqs = scenario_requirements();
+    let pick = |name: &str| reqs.iter().find(|r| r.scenario == name).unwrap();
+    let columns = [
+        ("S1", pick("S1")),
+        ("S2", pick("S2")),
+        ("S3", pick("S3")),
+        ("S4", pick("S4")),
+        ("S5,S6", pick("S5")),
+        ("S7", pick("S7")),
+        ("S8,S9,S10", pick("S8")),
+    ];
+    let mut out = String::new();
+    out.push_str("Table 5 — Scenario support across frameworks (v easy, - partial, x unsupported)\n\n");
+    out.push_str(&format!("{:<9}", ""));
+    for (label, _) in &columns {
+        out.push_str(&format!(" {label:>9}"));
+    }
+    out.push('\n');
+    for fw in all_frameworks() {
+        out.push_str(&format!("{:<9}", fw.name));
+        for (_, req) in &columns {
+            out.push_str(&format!(" {:>9}", support_level_adjusted(&fw, req).symbol()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Home-Assistant effort comparison of §6.3.
+pub fn render_hass_comparison() -> String {
+    let hass = crate::loc::hass_port_loc();
+    let dspace = crate::loc::dspace_port_loc();
+    let mut out = String::new();
+    out.push_str("\n§6.3 effort comparison (scenario-specific code, this reproduction)\n");
+    out.push_str(&format!(
+        "{:<5} {:>12} {:>14} {:>8}\n",
+        "Scen", "mini-HASS", "dSpace(+cfg)", "ratio"
+    ));
+    for ((s, h), (_, d)) in hass.iter().zip(dspace.iter()) {
+        out.push_str(&format!(
+            "{:<5} {:>12} {:>14} {:>7.1}x\n",
+            s,
+            h,
+            d,
+            *h as f64 / (*d).max(1) as f64
+        ));
+    }
+    out.push_str(
+        "\nNote: the dSpace column counts driver-code changes plus end-user config;\n\
+         the HASS column counts the custom-component workaround each scenario needs.\n\
+         The paper reports 3x (S1) and 4x (S4); our mini-HASS under-counts S4\n\
+         because its RoomService is reusable where the real HASS port's was not\n\
+         (see EXPERIMENTS.md).\n",
+    );
+    out
+}
+
+/// Renders a Figure-7 panel.
+pub fn render_fig7(setup: &str, results: &[ScenarioResult], wan_mbps: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 7 — latency breakdown, {setup} deployment (means over trials, ms)\n\n"
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+        "Scenario", "FPT", "BPT", "DT", "TTF", "DT/TTF", "trials"
+    ));
+    for r in results {
+        let ttf = r.ttf();
+        out.push_str(&format!(
+            "{:<12} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>6.1}% {:>7}\n",
+            r.name,
+            r.fpt(),
+            r.bpt(),
+            r.dt(),
+            ttf,
+            if ttf > 0.0 { 100.0 * r.dt() / ttf } else { 0.0 },
+            r.samples.len()
+        ));
+    }
+    out.push_str(&format!(
+        "\nScene-Room camera uplink bandwidth: {wan_mbps:.3} Mb/s\n"
+    ));
+    out
+}
+
+/// Renders Table 1 (the abstractions and their notation).
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1 — Abstractions in dSpace (as implemented here)\n\n");
+    out.push_str(&format!("{:<10} {:<18} {:<46} {:<18}\n", "Abstraction", "Notation", "Description", "Implementation"));
+    for (a, n, d, i) in [
+        ("Digivice", "D.mod.i / intent", "D's intended states", "control.*.intent"),
+        ("", "D.mod.c / status", "D's current states", "control.*.status"),
+        ("", "D.mod.e / obs", "events observed by D", "obs.*"),
+        ("", "D.ch / mount", "D's children on the digi-graph", "mount.<Kind>.<name>"),
+        ("", "D.drv()", "reconciles intent with status", "core::driver"),
+        ("", "D.pol / reflex", "embedded policies", "reflex.* (jq programs)"),
+        ("Digidata", "T.mod.in / input", "T's data input", "data.input.*"),
+        ("", "T.mod.out / output", "T's data output", "data.output.*"),
+        ("", "T.drv()", "input->output transformation", "analytics engines"),
+        ("mount", "mount(A, B)", "B writes A.intent, reads A.status/obs", "core::verbs::mount"),
+        ("pipe", "pipe(A, B)", "A.output written to B.input", "Sync objects + Syncer"),
+        ("yield", "yield(A, B)", "revokes B's write access to A.intent", "edge state + webhook"),
+    ] {
+        out.push_str(&format!("{a:<10} {n:<18} {d:<46} {i:<18}\n"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Tables 2–3 (device and digidata inventory).
+pub fn render_tables23() -> String {
+    let mut out = String::new();
+    out.push_str("Table 2 — IoT devices (simulated; vendor APIs preserved)\n\n");
+    out.push_str(&format!(
+        "{:<16} {:<10} {:<14} {:<22} {:<8}\n",
+        "Device type", "Vendor", "Model", "Library analogue", "Access"
+    ));
+    for (ty, vendor, model, lib, access) in [
+        ("Light bulb (L1)", "GEENI", "LUX800", "tuyapi (dps tables)", "LAN"),
+        ("Light bulb (L2)", "LIFX", "Mini", "lifxlan (16-bit HSBK)", "LAN"),
+        ("Light bulb (L3)", "Philips", "Hue", "phue (bri/hue/sat)", "BS/LAN"),
+        ("Motion sensor", "Ring", "Ring kit", "ring-client-api", "BS/LAN"),
+        ("Camera", "Wyze", "WYZECP1", "RTSP stream", "LAN"),
+        ("Robot vacuum", "iRobot", "Roomba 675", "dorita980", "LAN"),
+        ("Speaker", "Bose", "ST10", "soundtouch", "VC"),
+        ("Fan | Heater", "Dyson", "HP01", "libpurecoollink", "LAN"),
+        ("Plug", "Teckin", "SP10", "tuyapi (dps tables)", "LAN"),
+    ] {
+        out.push_str(&format!("{ty:<16} {vendor:<10} {model:<14} {lib:<22} {access:<8}\n"));
+    }
+    out.push_str("\nTable 3 — Digidata engines\n\n");
+    out.push_str(&format!(
+        "{:<10} {:<26} {:<28}\n",
+        "Digidata", "Data attributes", "Framework analogue"
+    ));
+    for (name, attrs, framework) in [
+        ("Scene", "in: url; out: json", "OpenCV + TensorFlow"),
+        ("Xcdr", "in: url; out: url", "FFmpeg"),
+        ("Stats", "in: json; out: json", "PySpark"),
+        ("Imitate", "in: json; out: json", "Ray RLlib (MARWIL)"),
+    ] {
+        out.push_str(&format!("{name:<10} {attrs:<26} {framework:<28}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_renders_all_rows() {
+        let rows = crate::loc::scenario_rows();
+        let txt = render_table4(&rows, crate::loc::leaf_loc());
+        for s in ["S1", "S5", "S10", "Total scenario code"] {
+            assert!(txt.contains(s), "missing {s}\n{txt}");
+        }
+    }
+
+    #[test]
+    fn table5_renders_matrix() {
+        let txt = render_table5();
+        for s in ["EdgeX", "HASS", "dSpace", "S8,S9,S10"] {
+            assert!(txt.contains(s), "missing {s}");
+        }
+        // dSpace row is all-v.
+        let dspace_line = txt.lines().find(|l| l.starts_with("dSpace")).unwrap();
+        assert_eq!(dspace_line.matches('v').count(), 7);
+    }
+
+    #[test]
+    fn tables23_render_inventory() {
+        let txt = render_tables23();
+        for s in ["GEENI", "Roomba 675", "ST10", "Imitate", "PySpark"] {
+            assert!(txt.contains(s), "missing {s}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The boundary between leaf digis and the (simulated) physical world.
+//!
+//! In the paper, leaf digivices interface with physical devices through
+//! vendor libraries, and leaf digidata wrap data-processing frameworks
+//! (§6.1, Tables 2–3). In this reproduction both are [`Actuator`]s: objects
+//! that accept commands from a digi's driver, take some (virtual) time to
+//! act — the **DT** component of Figure 7 — and answer with model patches
+//! (status updates, observations, data outputs). Actuators may also emit
+//! spontaneous patches (motion detection, a manually flipped switch, a
+//! moving robot) from their periodic [`Actuator::step`] hook.
+
+use dspace_simnet::{Rng, Time};
+use dspace_value::Value;
+
+/// The outcome of an actuation or a spontaneous device event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actuation {
+    /// Virtual time until the effect lands (device/processing latency).
+    pub delay: Time,
+    /// Model patch merged into the digi's model when the effect lands
+    /// (e.g. `{"control": {"power": {"status": "on"}}}`).
+    pub patch: Value,
+    /// Bytes transferred to perform this actuation (for bandwidth
+    /// accounting, e.g. a video frame fetched by the Scene engine).
+    pub bytes: usize,
+}
+
+impl Actuation {
+    /// Creates an actuation with no payload bytes.
+    pub fn new(delay: Time, patch: Value) -> Self {
+        Actuation { delay, patch, bytes: 0 }
+    }
+
+    /// Sets the transfer size.
+    pub fn with_bytes(mut self, bytes: usize) -> Self {
+        self.bytes = bytes;
+        self
+    }
+}
+
+/// A simulated physical device or data-processing engine attached to a
+/// leaf digi.
+pub trait Actuator {
+    /// Human-readable device name (vendor/model), for traces.
+    fn name(&self) -> &str;
+
+    /// Handles a command emitted by the digi's driver
+    /// ([`crate::driver::Effect::Device`]). Returns the actuations the
+    /// command causes; an empty vector means the command was a no-op.
+    fn actuate(&mut self, now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation>;
+
+    /// Periodic hook for spontaneous physical events; `model` is the digi's
+    /// current model (inputs/config live there). Called every poll
+    /// interval by the runtime.
+    fn step(&mut self, _now: Time, _model: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        Vec::new()
+    }
+
+    /// The poll interval for [`Actuator::step`]; `None` disables polling.
+    fn poll_interval(&self) -> Option<Time> {
+        None
+    }
+}
+
+/// A trivial actuator for tests: acknowledges every command after a fixed
+/// delay by copying each `control.*.intent` in the command to `status`.
+#[derive(Debug, Clone)]
+pub struct EchoActuator {
+    /// Device name.
+    pub device: String,
+    /// Fixed actuation latency.
+    pub latency: Time,
+}
+
+impl EchoActuator {
+    /// Creates an echo actuator.
+    pub fn new(device: impl Into<String>, latency: Time) -> Self {
+        EchoActuator { device: device.into(), latency }
+    }
+}
+
+impl Actuator for EchoActuator {
+    fn name(&self) -> &str {
+        &self.device
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        // The command is `{attr: value, ...}`; acknowledge as status.
+        let Some(map) = cmd.as_object() else {
+            return Vec::new();
+        };
+        let mut patch = dspace_value::obj();
+        for (attr, v) in map {
+            let p = format!(".control.{attr}.status").parse().expect("attr path");
+            patch.set(&p, v.clone()).expect("object patch");
+        }
+        vec![Actuation::new(self.latency, patch)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_simnet::millis;
+
+    #[test]
+    fn echo_actuator_acknowledges_command() {
+        let mut a = EchoActuator::new("test-lamp", millis(100));
+        let mut rng = Rng::new(1);
+        let cmd = dspace_value::object([("power", "on".into())]);
+        let acts = a.actuate(0, &cmd, &mut rng);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].delay, millis(100));
+        assert_eq!(
+            acts[0].patch.get_path(".control.power.status").unwrap().as_str(),
+            Some("on")
+        );
+        // Non-object commands are ignored.
+        assert!(a.actuate(0, &Value::Null, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn default_step_is_silent() {
+        let mut a = EchoActuator::new("x", 0);
+        let mut rng = Rng::new(1);
+        assert!(a.step(0, &Value::Null, &mut rng).is_empty());
+        assert!(a.poll_interval().is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! dSpace core: the paper's primary contribution.
+//!
+//! This crate implements §3–§5 of *dSpace* (SOSP 2021):
+//!
+//! - [`model`] — conventions over digi model documents: `control.*.intent`
+//!   and `.status`, `data.input`/`.output`, `obs`, mount references,
+//!   the `meta.gen` version number (Table 1).
+//! - [`graph`] — the digi-graph: mount edges as a **multitree**
+//!   (diamond-free poset, §3.3), the *mount rule*, and **single-writer**
+//!   tracking with active/yielded edge states (§3.4).
+//! - [`driver`] — the driver programming library (§4): prioritized,
+//!   filtered handlers; views; reflex policies executed by the jq-like
+//!   interpreter; the reconciliation cycle of Fig. 4.
+//! - [`mounter`] — the Mounter controller (§5.2): model-replica
+//!   synchronization with northbound status/obs/intent flow, southbound
+//!   intent/input flow, version gating, and hide/expose modes.
+//! - [`syncer`] — the Syncer controller: `Sync` objects implementing
+//!   data-flow composition (pipe).
+//! - [`policer`] — the Policer controller: mount/yield `Policy` objects
+//!   with reflex conditions, enabling adaptive composition (§3.4).
+//! - [`topology`] — the topology admission webhook enforcing the mount
+//!   rule and single-writer constraint on every apiserver write (§5.2).
+//! - [`actuator`] — the boundary to the (simulated) physical world: leaf
+//!   digis attach an [`actuator::Actuator`] whose actuation latency is the
+//!   "DT" of the paper's Figure 7.
+//! - [`world`] / [`space`] — the runtime: components (controllers, digi
+//!   drivers, the user CLI) exchanging state only through the apiserver,
+//!   with per-hop link latencies injected by the discrete-event simulator.
+//! - [`trace`] — a structured event trace used by the Figure-7 harness to
+//!   compute FPT/BPT/DT.
+
+pub mod actuator;
+pub mod driver;
+pub mod graph;
+pub mod model;
+pub mod mounter;
+pub mod policer;
+pub mod policy;
+pub mod space;
+pub mod syncer;
+pub mod topology;
+pub mod trace;
+pub mod verbs;
+pub mod world;
+
+pub use actuator::{Actuation, Actuator};
+pub use driver::{Driver, Filter, Handler, ReconcileCtx, View};
+pub use graph::{DigiGraph, EdgeState, GraphError, MountMode};
+pub use model::DigiModel;
+pub use policy::{Policy, PolicyAction, PolicyError};
+pub use space::{Space, SpaceConfig, SpaceError};
+pub use trace::{Trace, TraceEntry, TraceKind};
+pub use world::World;

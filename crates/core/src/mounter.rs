@@ -1,0 +1,336 @@
+//! The Mounter controller (§5.2 of the paper).
+//!
+//! When digi A is mounted to digivice B, the mounter synchronizes state
+//! between A's model and the *model replica* of A stored under B's
+//! `.mount.<Kind>.<name>` attribute:
+//!
+//! - **northbound** (A → replica): `control.*.status`, `control.*.intent`
+//!   (so parent drivers observe child-initiated intent changes and can run
+//!   intent reconciliation, §3.5), `obs`, `data.*`, and — under `expose`
+//!   mode — A's own `.mount` subtree; the replica's `gen` is set to A's
+//!   model version.
+//! - **southbound** (replica → A): `control.*.intent` and `data.input.*`
+//!   writes made by B's driver, *never* `.status` ("status information
+//!   should never flow southbound"), only while B's mount is **active**
+//!   (not yielded), and only when the replica's version number is no less
+//!   than A's (the version gate of §5.2).
+//!
+//! Concurrent parent/child writes are resolved with a three-way merge
+//! against the replica content the mounter last wrote (its *shadow*):
+//! fields the parent changed since then are parent-pending southbound
+//! writes and survive northbound refreshes.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent};
+use dspace_simnet::Time;
+use dspace_value::{Path, Segment, Value};
+
+use crate::graph::{DigiGraph, EdgeState, MountMode};
+use crate::model::{MOUNT_ACTIVE, MOUNT_YIELDED};
+use crate::trace::{Trace, TraceKind};
+
+/// The apiserver subject the mounter authenticates as.
+pub const SUBJECT: &str = "controller:mounter";
+
+/// The Mounter controller.
+pub struct Mounter {
+    graph: Rc<RefCell<DigiGraph>>,
+    /// Replica content as last written by the mounter, per (parent, child).
+    shadows: BTreeMap<(ObjectRef, ObjectRef), Value>,
+}
+
+impl Mounter {
+    /// Creates a mounter sharing the runtime's digi-graph.
+    pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
+        Mounter { graph, shadows: BTreeMap::new() }
+    }
+
+    /// Processes a batch of watch events: re-synchronizes every mount edge
+    /// adjacent to an object that changed.
+    pub fn process(
+        &mut self,
+        api: &mut ApiServer,
+        events: &[WatchEvent],
+        trace: &mut Trace,
+        now: Time,
+    ) {
+        let mut affected: Vec<ObjectRef> = Vec::new();
+        for ev in events {
+            if ev.oref.kind == "Sync" || ev.oref.kind == "Policy" {
+                continue;
+            }
+            if !affected.contains(&ev.oref) {
+                affected.push(ev.oref.clone());
+            }
+        }
+        for oref in affected {
+            let (as_child, as_parent) = {
+                let g = self.graph.borrow();
+                (g.parents_of(&oref), g.children_of(&oref))
+            };
+            for parent in as_child {
+                self.sync_edge(api, &parent, &oref, trace, now);
+            }
+            for child in as_parent {
+                self.sync_edge(api, &oref, &child, trace, now);
+            }
+        }
+    }
+
+    /// Synchronizes one mount edge in both directions.
+    fn sync_edge(
+        &mut self,
+        api: &mut ApiServer,
+        parent: &ObjectRef,
+        child: &ObjectRef,
+        trace: &mut Trace,
+        now: Time,
+    ) {
+        let edge = match self.graph.borrow().edge(parent, child) {
+            Some(e) => e,
+            None => {
+                self.shadows.remove(&(parent.clone(), child.clone()));
+                return;
+            }
+        };
+        let Ok(parent_obj) = api.get(SUBJECT, parent) else { return };
+        let Ok(child_obj) = api.get(SUBJECT, child) else { return };
+        let replica_path = crate::model::replica_path(&child.kind, &child.name);
+        let replica_cur = parent_obj
+            .model
+            .get_path(&replica_path)
+            .cloned()
+            .unwrap_or(Value::Null);
+        if replica_cur.is_null() {
+            // The mount reference is gone from the model (unmount raced);
+            // the topology webhook will drop the edge shortly.
+            return;
+        }
+        let key = (parent.clone(), child.clone());
+        let shadow = self.shadows.get(&key).cloned().unwrap_or_else(dspace_value::obj);
+
+        // --- Northbound: build the replica candidate from the child. -----
+        let child_gen = child_obj
+            .model
+            .get_path(".meta.gen")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let mut candidate = dspace_value::obj();
+        set(&mut candidate, ".mode", Value::from(edge.mode.as_str()));
+        set(
+            &mut candidate,
+            ".status",
+            Value::from(match edge.state {
+                EdgeState::Active => MOUNT_ACTIVE,
+                EdgeState::Yielded => MOUNT_YIELDED,
+            }),
+        );
+        set(&mut candidate, ".gen", Value::from(child_gen));
+        for section in ["control", "obs", "data"] {
+            if let Some(v) = child_obj.model.get_path(section) {
+                set(&mut candidate, &format!(".{section}"), v.clone());
+            }
+        }
+        if edge.mode == MountMode::Expose {
+            if let Some(v) = child_obj.model.get_path("mount") {
+                set(&mut candidate, ".mount", v.clone());
+            }
+        }
+        // Three-way merge: parent writes pending since the last mounter
+        // write survive the refresh.
+        let mut pending: Vec<(Path, Value)> = Vec::new();
+        collect_southbound_leaves(&replica_cur, &Path::root(), &mut |path, v| {
+            let in_shadow = shadow.get(path).cloned().unwrap_or(Value::Null);
+            if *v != in_shadow && !v.is_null() {
+                pending.push((path.clone(), v.clone()));
+            }
+        });
+        for (path, v) in &pending {
+            let _ = candidate.set(path, v.clone());
+        }
+
+        if candidate != replica_cur {
+            let _ = api.patch_path(SUBJECT, parent, &replica_path, candidate.clone());
+        }
+
+        // --- Southbound: apply parent-pending intent/input writes. -------
+        // Version gate (§5.2): only sync when the replica is at least as
+        // fresh as the child's model. The candidate was just rebuilt from
+        // the child, so the gate holds unless the child moved concurrently.
+        let gate_ok = candidate
+            .get_path(".gen")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            >= child_gen;
+        if edge.state == EdgeState::Active && gate_ok {
+            let mut patch = dspace_value::obj();
+            let mut wrote = false;
+            collect_southbound_leaves(&candidate, &Path::root(), &mut |path, v| {
+                if v.is_null() {
+                    return;
+                }
+                let child_val = child_obj.model.get(path).cloned().unwrap_or(Value::Null);
+                if *v != child_val {
+                    let _ = patch.set(path, v.clone());
+                    wrote = true;
+                }
+            });
+            if wrote {
+                if api.patch(SUBJECT, child, patch).is_ok() {
+                    trace.push(
+                        now,
+                        TraceKind::Composition,
+                        child.to_string(),
+                        format!("southbound sync from {parent}"),
+                    );
+                }
+            }
+        }
+        self.shadows.insert(key, candidate);
+    }
+}
+
+fn set(doc: &mut Value, path: &str, v: Value) {
+    let p: Path = path.parse().expect("static path");
+    doc.set(&p, v).expect("object document");
+}
+
+/// Visits every leaf under `doc` whose path is *southbound-capable*:
+/// `control.<attr>.intent`, `data.input.<...>`, possibly nested below one
+/// or more `mount.<Kind>.<name>` prefixes (writes through exposed
+/// grandchild replicas).
+fn collect_southbound_leaves(
+    doc: &Value,
+    base: &Path,
+    visit: &mut impl FnMut(&Path, &Value),
+) {
+    fn walk(v: &Value, path: &Path, visit: &mut impl FnMut(&Path, &Value)) {
+        if is_southbound(path) {
+            // Leaves only: intent scalars or anything under data.input.
+            match v {
+                Value::Object(map) => {
+                    for (k, child) in map {
+                        walk(child, &path.child(k.clone()), visit);
+                    }
+                }
+                other => visit(path, other),
+            }
+            return;
+        }
+        if let Value::Object(map) = v {
+            for (k, child) in map {
+                let p = path.child(k.clone());
+                if could_lead_southbound(&p) {
+                    walk(child, &p, visit);
+                }
+            }
+        }
+    }
+    walk(doc, base, visit)
+}
+
+/// Returns `true` when `path` (relative to a replica root) addresses a
+/// southbound-writable location.
+fn is_southbound(path: &Path) -> bool {
+    let segs = strip_mount_prefixes(path.segments());
+    match segs {
+        [Segment::Key(c), Segment::Key(_attr), Segment::Key(i), ..]
+            if c == "control" && i == "intent" =>
+        {
+            true
+        }
+        [Segment::Key(d), Segment::Key(i), _, ..] if d == "data" && i == "input" => true,
+        _ => false,
+    }
+}
+
+/// Returns `true` if descending further below `path` could still reach a
+/// southbound location (used to prune the walk).
+fn could_lead_southbound(path: &Path) -> bool {
+    let segs = strip_mount_prefixes(path.segments());
+    match segs {
+        [] => true,
+        [Segment::Key(k)] => k == "control" || k == "data" || k == "mount",
+        [Segment::Key(c), _] if c == "control" => true,
+        [Segment::Key(c), _, Segment::Key(i)] if c == "control" => i == "intent",
+        [Segment::Key(d), Segment::Key(i)] if d == "data" => i == "input",
+        [Segment::Key(m), _] if m == "mount" => true,
+        _ => is_southbound(path),
+    }
+}
+
+/// Strips leading `mount.<Kind>.<name>` triples.
+fn strip_mount_prefixes(mut segs: &[Segment]) -> &[Segment] {
+    loop {
+        match segs {
+            [Segment::Key(m), _, _, rest @ ..] if m == "mount" => {
+                segs = rest;
+            }
+            _ => return segs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn southbound_classification() {
+        let yes = [
+            ".control.power.intent",
+            ".control.brightness.intent",
+            ".data.input.url",
+            ".mount.Speaker.s1.control.mode.intent",
+            ".mount.Room.r1.mount.Speaker.s1.control.mode.intent",
+            ".mount.Scene.sc.data.input.url",
+        ];
+        for p in yes {
+            let path: Path = p.parse().unwrap();
+            assert!(is_southbound(&path), "{p} should be southbound");
+        }
+        let no = [
+            ".control.power.status",
+            ".obs.objects",
+            ".data.output.objects",
+            ".mount.Speaker.s1.control.mode.status",
+            ".gen",
+            ".mode",
+            ".status",
+        ];
+        for p in no {
+            let path: Path = p.parse().unwrap();
+            assert!(!is_southbound(&path), "{p} should not be southbound");
+        }
+    }
+
+    #[test]
+    fn collect_southbound_finds_nested_leaves() {
+        let doc = dspace_value::json::parse(
+            r#"{
+                "mode": "expose", "status": "active", "gen": 3,
+                "control": {"power": {"intent": "on", "status": "off"}},
+                "data": {"input": {"url": "rtsp://x"}, "output": {"objects": []}},
+                "mount": {"Speaker": {"s1": {"control": {"mode": {"intent": "pause", "status": "play"}}}}}
+            }"#,
+        )
+        .unwrap();
+        let mut found = Vec::new();
+        collect_southbound_leaves(&doc, &Path::root(), &mut |p, v| {
+            found.push((p.to_string(), v.clone()));
+        });
+        found.sort_by(|a, b| a.0.cmp(&b.0));
+        let paths: Vec<&str> = found.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                ".control.power.intent",
+                ".data.input.url",
+                ".mount.Speaker.s1.control.mode.intent",
+            ]
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! The Policer controller (§5.2): adaptive composition via policies.
+//!
+//! "The policy controller watches all Policy objects … starts watching for
+//! changes on these digis and enforces the policy if any of the conditions
+//! are triggered." Conditions are reflex programs over the watched digis'
+//! models; actions are composition verbs (mount/yield/transfer/…). This is
+//! what makes composition *adaptive* (§3.4): a roomba is remounted as it
+//! moves between rooms, a home yields to an emergency service when the
+//! alarm fires — with no human in the loop.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent, WatchEventKind};
+use dspace_reflex::Env;
+use dspace_simnet::Time;
+
+use crate::graph::DigiGraph;
+use crate::policy::{Policy, PolicyAction};
+use crate::trace::{Trace, TraceKind};
+use crate::verbs;
+
+/// The apiserver subject the policer authenticates as.
+pub const SUBJECT: &str = "controller:policer";
+
+/// The Policer controller.
+pub struct Policer {
+    graph: Rc<RefCell<DigiGraph>>,
+    policies: BTreeMap<ObjectRef, Policy>,
+    /// Last condition value per policy (for edge triggering).
+    state: BTreeMap<ObjectRef, bool>,
+}
+
+impl Policer {
+    /// Creates a policer sharing the runtime's digi-graph.
+    pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
+        Policer { graph, policies: BTreeMap::new(), state: BTreeMap::new() }
+    }
+
+    /// Number of registered policies.
+    pub fn active_policies(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Processes a batch of watch events.
+    pub fn process(
+        &mut self,
+        api: &mut ApiServer,
+        events: &[WatchEvent],
+        trace: &mut Trace,
+        now: Time,
+    ) {
+        let now_s = now as f64 / 1e9;
+        let mut to_evaluate: Vec<ObjectRef> = Vec::new();
+        for ev in events {
+            if ev.oref.kind == "Policy" {
+                match ev.kind {
+                    WatchEventKind::Deleted => {
+                        self.policies.remove(&ev.oref);
+                        self.state.remove(&ev.oref);
+                    }
+                    _ => match Policy::parse(&ev.model) {
+                        Ok(p) => {
+                            self.policies.insert(ev.oref.clone(), p);
+                            self.state.remove(&ev.oref);
+                            if !to_evaluate.contains(&ev.oref) {
+                                to_evaluate.push(ev.oref.clone());
+                            }
+                        }
+                        Err(e) => trace.push(
+                            now,
+                            TraceKind::PolicyFired,
+                            ev.oref.to_string(),
+                            format!("rejected: {e}"),
+                        ),
+                    },
+                }
+                continue;
+            }
+            for (id, p) in &self.policies {
+                if p.watch.contains(&ev.oref) && !to_evaluate.contains(id) {
+                    to_evaluate.push(id.clone());
+                }
+            }
+        }
+        for id in to_evaluate {
+            self.evaluate(api, &id, trace, now, now_s);
+        }
+    }
+
+    fn evaluate(
+        &mut self,
+        api: &mut ApiServer,
+        id: &ObjectRef,
+        trace: &mut Trace,
+        now: Time,
+        now_s: f64,
+    ) {
+        let Some(policy) = self.policies.get(id).cloned() else { return };
+        let mut models = Vec::new();
+        for w in &policy.watch {
+            let Ok(obj) = api.get(SUBJECT, w) else { return };
+            models.push((w.name.clone(), obj.model));
+        }
+        let ctx = policy.context(&models);
+        let env = Env::new().with_var("time", now_s.into());
+        let value = match policy.condition.eval(&ctx, &env) {
+            Ok(v) => v.truthy(),
+            Err(e) => {
+                trace.push(now, TraceKind::PolicyFired, id.to_string(), format!("error: {e}"));
+                return;
+            }
+        };
+        let prev = self.state.insert(id.clone(), value);
+        let actions: &[PolicyAction] = match (prev, value) {
+            // Rising edge, or a freshly registered policy whose condition
+            // already holds: enforce.
+            (None, true) | (Some(false), true) => &policy.on_rising,
+            (Some(true), false) => &policy.on_falling,
+            _ => return,
+        };
+        if actions.is_empty() {
+            return;
+        }
+        trace.push(
+            now,
+            TraceKind::PolicyFired,
+            id.to_string(),
+            format!("condition -> {value}, {} action(s)", actions.len()),
+        );
+        for action in actions {
+            if let Err(e) = self.run_action(api, action) {
+                trace.push(now, TraceKind::PolicyFired, id.to_string(), format!("action failed: {e}"));
+            } else {
+                trace.push(now, TraceKind::Composition, id.to_string(), format!("{action:?}"));
+            }
+        }
+    }
+
+    fn run_action(
+        &self,
+        api: &mut ApiServer,
+        action: &PolicyAction,
+    ) -> Result<(), verbs::VerbError> {
+        let graph = self.graph.borrow().clone();
+        match action {
+            PolicyAction::Mount { child, parent, mode } => {
+                verbs::mount(api, &graph, SUBJECT, child, parent, *mode).map(|_| ())
+            }
+            PolicyAction::Unmount { child, parent } => {
+                verbs::unmount(api, SUBJECT, child, parent)
+            }
+            PolicyAction::Yield { child, parent } => verbs::yield_(api, SUBJECT, child, parent),
+            PolicyAction::Unyield { child, parent } => {
+                verbs::unyield(api, SUBJECT, child, parent)
+            }
+            PolicyAction::Transfer { child, from, to } => {
+                verbs::transfer(api, &graph, SUBJECT, child, from, to)
+            }
+            PolicyAction::SetIntent { target, attr, value } => {
+                verbs::set_intent(api, SUBJECT, target, attr, value.clone())
+            }
+            PolicyAction::Pipe { source, source_attr, target, target_attr } => {
+                let spec = crate::syncer::SyncSpec {
+                    source: source.clone(),
+                    source_path: format!(".data.output.{source_attr}"),
+                    target: target.clone(),
+                    target_path: format!(".data.input.{target_attr}"),
+                };
+                verbs::pipe(api, SUBJECT, &spec).map(|_| ())
+            }
+            PolicyAction::Unpipe { source, source_attr, target, target_attr } => {
+                let spec = crate::syncer::SyncSpec {
+                    source: source.clone(),
+                    source_path: format!(".data.output.{source_attr}"),
+                    target: target.clone(),
+                    target_path: format!(".data.input.{target_attr}"),
+                };
+                verbs::unpipe_matching(api, SUBJECT, &spec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyWebhook;
+    use dspace_value::{json, yaml, Value};
+
+    fn digi(kind: &str, name: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"meta": {{"kind": "{kind}", "name": "{name}", "namespace": "default"}},
+                 "control": {{}}, "mount": {{}}, "obs": {{}}}}"#
+        ))
+        .unwrap()
+    }
+
+    struct Rig {
+        api: ApiServer,
+        policer: Policer,
+        graph: Rc<RefCell<DigiGraph>>,
+        watch: dspace_apiserver::WatchId,
+        trace: Trace,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            let graph = Rc::new(RefCell::new(DigiGraph::new()));
+            let mut api = ApiServer::new();
+            api.register_webhook(Box::new(TopologyWebhook::new(graph.clone())));
+            api.rbac_mut().add_role(dspace_apiserver::Role::new(
+                "controller",
+                vec![dspace_apiserver::Rule::allow_all()],
+            ));
+            api.rbac_mut().bind(SUBJECT, "controller");
+            let watch = api.watch(ApiServer::ADMIN, None).unwrap();
+            Rig {
+                api,
+                policer: Policer::new(graph.clone()),
+                graph,
+                watch,
+                trace: Trace::new(),
+            }
+        }
+
+        /// Drains events and runs the policer until quiescent.
+        fn settle(&mut self) {
+            for _ in 0..10 {
+                let evs = self.api.poll(self.watch);
+                if evs.is_empty() {
+                    return;
+                }
+                self.policer.process(&mut self.api, &evs, &mut self.trace, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn s10_emergency_delegation() {
+        let mut rig = Rig::new();
+        let room = ObjectRef::default_ns("Room", "lvroom");
+        let home = ObjectRef::default_ns("Home", "home");
+        let city = ObjectRef::default_ns("Emergency", "city");
+        for (k, n) in [("Room", "lvroom"), ("Home", "home"), ("Emergency", "city")] {
+            rig.api.create(ApiServer::ADMIN, &ObjectRef::default_ns(k, n), digi(k, n)).unwrap();
+        }
+        // home controls room.
+        {
+            let g = rig.graph.borrow().clone();
+            verbs::mount(&mut rig.api, &g, ApiServer::ADMIN, &room, &home, crate::graph::MountMode::Expose).unwrap();
+        }
+        rig.settle();
+        let policy = yaml::parse(
+            "
+meta: {kind: Policy, name: emergency-yield, namespace: default}
+spec:
+  watch: [\"Emergency/default/city\"]
+  condition: .city.obs.alarm == true
+  on_rising:
+    - {action: transfer, child: Room/default/lvroom, from: Home/default/home, to: Emergency/default/city}
+  on_falling:
+    - {action: transfer, child: Room/default/lvroom, from: Emergency/default/city, to: Home/default/home}
+",
+        )
+        .unwrap();
+        rig.api
+            .create(ApiServer::ADMIN, &ObjectRef::default_ns("Policy", "emergency-yield"), policy)
+            .unwrap();
+        rig.settle();
+        assert_eq!(rig.policer.active_policies(), 1);
+        assert_eq!(rig.graph.borrow().active_parent(&room), Some(home.clone()));
+
+        // Alarm fires: control transfers to the city service.
+        rig.api.patch_path(ApiServer::ADMIN, &city, ".obs.alarm", true.into()).unwrap();
+        rig.settle();
+        assert_eq!(rig.graph.borrow().active_parent(&room), Some(city.clone()));
+
+        // Alarm clears: control returns to the home.
+        rig.api.patch_path(ApiServer::ADMIN, &city, ".obs.alarm", false.into()).unwrap();
+        rig.settle();
+        assert_eq!(rig.graph.borrow().active_parent(&room), Some(home));
+        // The city keeps a yielded mount (it continues to watch).
+        assert_eq!(
+            rig.graph.borrow().edge(&city, &room).unwrap().state,
+            crate::graph::EdgeState::Yielded
+        );
+    }
+
+    #[test]
+    fn s8_mobility_mount_policy() {
+        let mut rig = Rig::new();
+        let roomba = ObjectRef::default_ns("Roomba", "rb");
+        let room_a = ObjectRef::default_ns("Room", "a");
+        let room_b = ObjectRef::default_ns("Room", "b");
+        for (k, n) in [("Roomba", "rb"), ("Room", "a"), ("Room", "b")] {
+            rig.api.create(ApiServer::ADMIN, &ObjectRef::default_ns(k, n), digi(k, n)).unwrap();
+        }
+        {
+            let g = rig.graph.borrow().clone();
+            verbs::mount(&mut rig.api, &g, ApiServer::ADMIN, &roomba, &room_a, crate::graph::MountMode::Expose).unwrap();
+        }
+        rig.settle();
+        // Unmount from A and mount to B when A no longer sees the roomba
+        // in its objects list (S8's mount policy).
+        let policy = yaml::parse(
+            "
+meta: {kind: Policy, name: roomba-mobility, namespace: default}
+spec:
+  watch: [\"Room/default/a\"]
+  condition: .a.obs.objects and (.a.obs.objects | contains([\"roomba\"]) | not)
+  on_rising:
+    - {action: unmount, child: Roomba/default/rb, parent: Room/default/a}
+    - {action: mount, child: Roomba/default/rb, parent: Room/default/b}
+",
+        )
+        .unwrap();
+        rig.api
+            .create(ApiServer::ADMIN, &ObjectRef::default_ns("Policy", "roomba-mobility"), policy)
+            .unwrap();
+        rig.settle();
+        // Roomba still visible in room a: nothing happens.
+        rig.api
+            .patch_path(
+                ApiServer::ADMIN,
+                &room_a,
+                ".obs.objects",
+                dspace_value::array(["person".into(), "roomba".into()]),
+            )
+            .unwrap();
+        rig.settle();
+        assert_eq!(rig.graph.borrow().active_parent(&roomba), Some(room_a.clone()));
+        // Roomba left the camera view of room a: remounted to room b.
+        rig.api
+            .patch_path(
+                ApiServer::ADMIN,
+                &room_a,
+                ".obs.objects",
+                dspace_value::array(["person".into()]),
+            )
+            .unwrap();
+        rig.settle();
+        assert_eq!(rig.graph.borrow().active_parent(&roomba), Some(room_b));
+        assert!(rig.graph.borrow().edge(&room_a, &roomba).is_none());
+    }
+
+    #[test]
+    fn broken_policy_is_rejected_not_fatal() {
+        let mut rig = Rig::new();
+        let bad = yaml::parse(
+            "meta: {kind: Policy, name: bad, namespace: default}\nspec:\n  condition: \"true\"\n",
+        )
+        .unwrap();
+        rig.api.create(ApiServer::ADMIN, &ObjectRef::default_ns("Policy", "bad"), bad).unwrap();
+        rig.settle();
+        assert_eq!(rig.policer.active_policies(), 0);
+        assert!(rig
+            .trace
+            .entries()
+            .iter()
+            .any(|e| e.kind == TraceKind::PolicyFired && e.detail.contains("rejected")));
+    }
+}

@@ -1,0 +1,402 @@
+//! The topology admission webhook (§5.2 of the paper).
+//!
+//! "Topology webhook tracks the latest status of the digi-graph and rejects
+//! any invalid changes (e.g., an invalid mount/pipe request) that lead to
+//! an invalid digi-graph."
+//!
+//! The webhook owns the authoritative [`DigiGraph`]: it *reviews* proposed
+//! model writes that would change mount references (rejecting mount-rule,
+//! cycle, and single-writer violations) and *observes* committed writes to
+//! keep the graph current. Pipe requests (`Sync` objects) are checked for
+//! the single-writer-per-port rule of §3.2.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use dspace_apiserver::{AdmissionResponse, AdmissionReview, AdmissionWebhook, ObjectRef, Verb};
+use dspace_value::Value;
+
+use crate::graph::{DigiGraph, EdgeState, MountMode};
+use crate::model::MOUNT_YIELDED;
+#[cfg(test)]
+use crate::model::MOUNT_ACTIVE;
+
+/// A mount reference as written in a parent model's `.mount` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MountRef {
+    /// Child object.
+    pub child: ObjectRef,
+    /// Expose/hide.
+    pub mode: MountMode,
+    /// Active/yielded.
+    pub state: EdgeState,
+}
+
+/// Extracts all mount references from a model document.
+///
+/// The child's namespace is taken from the parent (mounts are
+/// namespace-local in this reproduction).
+pub fn mount_refs(model: &Value, namespace: &str) -> Vec<MountRef> {
+    let mut out = Vec::new();
+    let Some(kinds) = model.get_path(".mount").and_then(Value::as_object) else {
+        return out;
+    };
+    for (kind, names) in kinds {
+        let Some(names) = names.as_object() else { continue };
+        for (name, body) in names {
+            let mode = body
+                .get_path("mode")
+                .and_then(Value::as_str)
+                .and_then(MountMode::parse)
+                .unwrap_or(MountMode::Expose);
+            let state = match body.get_path("status").and_then(Value::as_str) {
+                Some(MOUNT_YIELDED) => EdgeState::Yielded,
+                _ => EdgeState::Active,
+            };
+            out.push(MountRef {
+                child: ObjectRef::new(kind.clone(), namespace, name.clone()),
+                mode,
+                state,
+            });
+        }
+    }
+    out
+}
+
+/// A pipe target, used for the single-writer-per-port check.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Port {
+    target: ObjectRef,
+    path: String,
+}
+
+fn sync_spec_ports(model: &Value) -> Option<(ObjectRef, Port)> {
+    let tgt = model.get_path(".spec.target")?;
+    let target = ObjectRef::new(
+        tgt.get_path("kind")?.as_str()?,
+        tgt.get_path("namespace").and_then(Value::as_str).unwrap_or("default"),
+        tgt.get_path("name")?.as_str()?,
+    );
+    let path = tgt.get_path("path")?.as_str()?.to_string();
+    let src = model.get_path(".spec.source")?;
+    let source = ObjectRef::new(
+        src.get_path("kind")?.as_str()?,
+        src.get_path("namespace").and_then(Value::as_str).unwrap_or("default"),
+        src.get_path("name")?.as_str()?,
+    );
+    Some((source, Port { target, path }))
+}
+
+/// The topology webhook. Shares the digi-graph with the rest of the
+/// runtime through `Rc<RefCell<_>>`.
+pub struct TopologyWebhook {
+    graph: Rc<RefCell<DigiGraph>>,
+    /// Sync object → its target port (for pipe single-writer enforcement).
+    ports: BTreeMap<ObjectRef, Port>,
+}
+
+impl TopologyWebhook {
+    /// Creates the webhook around a shared graph.
+    pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
+        TopologyWebhook { graph, ports: BTreeMap::new() }
+    }
+
+    fn review_digi(&self, review: &AdmissionReview<'_>) -> AdmissionResponse {
+        let parent = review.oref.clone();
+        let ns = &parent.namespace;
+        let old_refs = review.old.map(|m| mount_refs(m, ns)).unwrap_or_default();
+        let new_refs = review.new.map(|m| mount_refs(m, ns)).unwrap_or_default();
+        let graph = self.graph.borrow();
+
+        // Additions must satisfy the mount rule and the single-writer rule.
+        for r in &new_refs {
+            let existed = old_refs.iter().any(|o| o.child == r.child);
+            if !existed {
+                if let Err(e) = graph.check_mount(&r.child, &parent) {
+                    return AdmissionResponse::Deny(e.to_string());
+                }
+                if r.state == EdgeState::Active {
+                    if let Some(holder) = graph.active_parent(&r.child) {
+                        if holder != parent {
+                            return AdmissionResponse::Deny(format!(
+                                "{} already has an active parent ({holder}); \
+                                 new mounts must start yielded",
+                                r.child
+                            ));
+                        }
+                    }
+                }
+            } else {
+                // State transitions: yielded -> active needs the writer slot
+                // to be free.
+                let was = old_refs.iter().find(|o| o.child == r.child).expect("existed");
+                if was.state == EdgeState::Yielded && r.state == EdgeState::Active {
+                    if let Some(holder) = graph.active_parent(&r.child) {
+                        if holder != parent {
+                            return AdmissionResponse::Deny(format!(
+                                "cannot unyield {}: {holder} holds write access",
+                                r.child
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        AdmissionResponse::Allow
+    }
+
+    fn review_sync(&self, review: &AdmissionReview<'_>) -> AdmissionResponse {
+        if review.verb == Verb::Delete {
+            return AdmissionResponse::Allow;
+        }
+        let Some(new) = review.new else {
+            return AdmissionResponse::Allow;
+        };
+        let Some((_source, port)) = sync_spec_ports(new) else {
+            return AdmissionResponse::Deny("malformed Sync spec".into());
+        };
+        // At most one digidata can pipe to an input attribute (§3.2).
+        for (existing_ref, existing_port) in &self.ports {
+            if existing_ref != review.oref && *existing_port == port {
+                return AdmissionResponse::Deny(format!(
+                    "port {}{} already written by {existing_ref}",
+                    port.target, port.path
+                ));
+            }
+        }
+        AdmissionResponse::Allow
+    }
+
+    fn observe_digi(&mut self, review: &AdmissionReview<'_>) {
+        let parent = review.oref.clone();
+        let ns = &parent.namespace;
+        let old_refs = review.old.map(|m| mount_refs(m, ns)).unwrap_or_default();
+        let new_refs = review.new.map(|m| mount_refs(m, ns)).unwrap_or_default();
+        let mut graph = self.graph.borrow_mut();
+        // Removals.
+        for o in &old_refs {
+            if !new_refs.iter().any(|n| n.child == o.child) {
+                let _ = graph.unmount(&o.child, &parent);
+            }
+        }
+        // Additions and state changes.
+        for n in &new_refs {
+            match old_refs.iter().find(|o| o.child == n.child) {
+                None => {
+                    // Review already validated; mount() may still downgrade
+                    // to yielded per the single-writer rule.
+                    let _ = graph.mount(&n.child, &parent, n.mode);
+                    if n.state == EdgeState::Yielded {
+                        let _ = graph.yield_edge(&n.child, &parent);
+                    }
+                }
+                Some(o) if o.state != n.state => match n.state {
+                    EdgeState::Yielded => {
+                        let _ = graph.yield_edge(&n.child, &parent);
+                    }
+                    EdgeState::Active => {
+                        let _ = graph.unyield_edge(&n.child, &parent);
+                    }
+                },
+                _ => {}
+            }
+        }
+    }
+
+    fn observe_sync(&mut self, review: &AdmissionReview<'_>) {
+        match review.verb {
+            Verb::Delete => {
+                self.ports.remove(review.oref);
+            }
+            _ => {
+                if let Some((_s, port)) = review.new.and_then(sync_spec_ports) {
+                    self.ports.insert(review.oref.clone(), port);
+                }
+            }
+        }
+    }
+}
+
+impl AdmissionWebhook for TopologyWebhook {
+    fn name(&self) -> &str {
+        "topology"
+    }
+
+    fn review(&mut self, review: &AdmissionReview<'_>) -> AdmissionResponse {
+        match review.oref.kind.as_str() {
+            "Sync" => self.review_sync(review),
+            "Policy" => AdmissionResponse::Allow,
+            _ => self.review_digi(review),
+        }
+    }
+
+    fn observe(&mut self, review: &AdmissionReview<'_>) {
+        match review.oref.kind.as_str() {
+            "Sync" => self.observe_sync(review),
+            "Policy" => {}
+            _ => self.observe_digi(review),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_apiserver::ApiServer;
+    use dspace_value::json;
+
+    fn digi_model(kind: &str, name: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"meta": {{"kind": "{kind}", "name": "{name}", "namespace": "default"}},
+                 "control": {{}}, "mount": {{}}, "obs": {{}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn setup() -> (ApiServer, Rc<RefCell<DigiGraph>>) {
+        let graph = Rc::new(RefCell::new(DigiGraph::new()));
+        let mut api = ApiServer::new();
+        api.register_webhook(Box::new(TopologyWebhook::new(graph.clone())));
+        for (k, n) in [("Lamp", "l1"), ("Room", "r1"), ("Room", "r2"), ("Power", "pc")] {
+            api.create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns(k, n),
+                digi_model(k, n),
+            )
+            .unwrap();
+        }
+        (api, graph)
+    }
+
+    fn mount_patch(kind: &str, name: &str, status: &str) -> (String, Value) {
+        (
+            format!(".mount.{kind}.{name}"),
+            json::parse(&format!(r#"{{"mode": "expose", "status": "{status}", "gen": 0}}"#))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn mount_write_updates_graph() {
+        let (mut api, graph) = setup();
+        let room = ObjectRef::default_ns("Room", "r1");
+        let (path, v) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &room, &path, v).unwrap();
+        let g = graph.borrow();
+        assert_eq!(g.active_parent(&ObjectRef::default_ns("Lamp", "l1")), Some(room));
+    }
+
+    #[test]
+    fn cycle_rejected_at_admission() {
+        let (mut api, _graph) = setup();
+        let room = ObjectRef::default_ns("Room", "r1");
+        let lamp = ObjectRef::default_ns("Lamp", "l1");
+        let (path, v) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &room, &path, v).unwrap();
+        // Now mount the room under the lamp: cycle.
+        let (path, v) = mount_patch("Room", "r1", "active");
+        let err = api.patch_path(ApiServer::ADMIN, &lamp, &path, v).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn second_active_parent_rejected() {
+        let (mut api, _graph) = setup();
+        let r1 = ObjectRef::default_ns("Room", "r1");
+        let pc = ObjectRef::default_ns("Power", "pc");
+        let (path, v) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &r1, &path, v).unwrap();
+        // Power controller claims active: denied.
+        let (path, v) = mount_patch("Lamp", "l1", "active");
+        let err = api.patch_path(ApiServer::ADMIN, &pc, &path, v).unwrap_err();
+        assert!(err.to_string().contains("active parent"), "{err}");
+        // Yielded mount is fine.
+        let (path, v) = mount_patch("Lamp", "l1", "yielded");
+        api.patch_path(ApiServer::ADMIN, &pc, &path, v).unwrap();
+    }
+
+    #[test]
+    fn yield_transition_tracked_and_unyield_guarded() {
+        let (mut api, graph) = setup();
+        let r1 = ObjectRef::default_ns("Room", "r1");
+        let pc = ObjectRef::default_ns("Power", "pc");
+        let lamp = ObjectRef::default_ns("Lamp", "l1");
+        let (p1, v1) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &r1, &p1, v1).unwrap();
+        let (p2, v2) = mount_patch("Lamp", "l1", "yielded");
+        api.patch_path(ApiServer::ADMIN, &pc, &p2, v2).unwrap();
+        // Unyield by pc while r1 active: denied.
+        let err = api
+            .patch_path(ApiServer::ADMIN, &pc, ".mount.Lamp.l1.status", MOUNT_ACTIVE.into())
+            .unwrap_err();
+        assert!(err.to_string().contains("write access"), "{err}");
+        // r1 yields, then pc can take over.
+        api.patch_path(ApiServer::ADMIN, &r1, ".mount.Lamp.l1.status", MOUNT_YIELDED.into())
+            .unwrap();
+        api.patch_path(ApiServer::ADMIN, &pc, ".mount.Lamp.l1.status", MOUNT_ACTIVE.into())
+            .unwrap();
+        assert_eq!(graph.borrow().active_parent(&lamp), Some(pc));
+    }
+
+    #[test]
+    fn unmount_removes_edge_from_graph() {
+        let (mut api, graph) = setup();
+        let r1 = ObjectRef::default_ns("Room", "r1");
+        let (p, v) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &r1, &p, v).unwrap();
+        api.delete_path(ApiServer::ADMIN, &r1, ".mount.Lamp.l1").unwrap();
+        assert!(graph.borrow().parents_of(&ObjectRef::default_ns("Lamp", "l1")).is_empty());
+        // Can now mount to another room.
+        let r2 = ObjectRef::default_ns("Room", "r2");
+        let (p, v) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &r2, &p, v).unwrap();
+        assert_eq!(
+            graph.borrow().active_parent(&ObjectRef::default_ns("Lamp", "l1")),
+            Some(r2)
+        );
+    }
+
+    #[test]
+    fn pipe_single_writer_per_port() {
+        let (mut api, _graph) = setup();
+        let mk = |name: &str, src: &str, dst: &str| {
+            json::parse(&format!(
+                r#"{{"meta": {{"kind": "Sync", "name": "{name}", "namespace": "default"}},
+                     "spec": {{
+                        "source": {{"kind": "Scene", "name": "{src}", "path": ".data.output.objects"}},
+                        "target": {{"kind": "Stats", "name": "{dst}", "path": ".data.input.objects"}}
+                     }}}}"#
+            ))
+            .unwrap()
+        };
+        let s1 = ObjectRef::default_ns("Sync", "s1");
+        api.create(ApiServer::ADMIN, &s1, mk("s1", "scA", "stats")).unwrap();
+        // A second writer to the same target port is rejected.
+        let s2 = ObjectRef::default_ns("Sync", "s2");
+        let err = api.create(ApiServer::ADMIN, &s2, mk("s2", "scB", "stats")).unwrap_err();
+        assert!(err.to_string().contains("already written"), "{err}");
+        // Deleting the first frees the port.
+        api.delete(ApiServer::ADMIN, &s1).unwrap();
+        api.create(ApiServer::ADMIN, &s2, mk("s2", "scB", "stats")).unwrap();
+    }
+
+    #[test]
+    fn diamond_rejected_at_admission() {
+        let (mut api, _g) = setup();
+        let r1 = ObjectRef::default_ns("Room", "r1");
+        let r2 = ObjectRef::default_ns("Room", "r2");
+        let pc = ObjectRef::default_ns("Power", "pc");
+        // pc -> r1, r1 -> l1. Then pc -> l1 would create a diamond.
+        let (p, v) = mount_patch("Room", "r1", "active");
+        api.patch_path(ApiServer::ADMIN, &pc, &p, v).unwrap();
+        let (p, v) = mount_patch("Lamp", "l1", "active");
+        api.patch_path(ApiServer::ADMIN, &r1, &p, v).unwrap();
+        let (p, v) = mount_patch("Lamp", "l1", "yielded");
+        let err = api.patch_path(ApiServer::ADMIN, &pc, &p, v).unwrap_err();
+        assert!(err.to_string().contains("mount rule"), "{err}");
+        // An unrelated room can still mount it (multi-root is fine).
+        let (p, v) = mount_patch("Lamp", "l1", "yielded");
+        api.patch_path(ApiServer::ADMIN, &r2, &p, v).unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Structured runtime trace used by the evaluation harnesses.
+//!
+//! The Figure-7 experiment decomposes time-to-fulfillment into FPT
+//! (forward propagation), DT (device actuation / data processing), and BPT
+//! (backward propagation). The runtime appends [`TraceEntry`]s at the
+//! relevant points; harnesses scan the trace to compute the components.
+
+use dspace_simnet::Time;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The user issued an intent update from the CLI.
+    UserIntent,
+    /// A model mutation committed on the apiserver.
+    Commit,
+    /// A digi driver ran a reconciliation cycle.
+    DriverReconciled,
+    /// A driver issued a device command.
+    DeviceCommand,
+    /// A device/data-engine actuation completed (its duration is in
+    /// `detail` as fractional milliseconds).
+    DeviceDone,
+    /// The user's CLI observed a model update.
+    UserObserved,
+    /// A controller performed a composition action (mount/yield/...).
+    Composition,
+    /// A policy fired.
+    PolicyFired,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Virtual timestamp.
+    pub t: Time,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The digi (or object) concerned, as `kind/ns/name`.
+    pub subject: String,
+    /// Free-form detail (attribute path, duration, reason).
+    pub detail: String,
+}
+
+/// An append-only trace log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, t: Time, kind: TraceKind, subject: impl Into<String>, detail: impl Into<String>) {
+        self.entries.push(TraceEntry { t, kind, subject: subject.into(), detail: detail.into() });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a TraceKind) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.kind == *kind)
+    }
+
+    /// First entry of `kind` for `subject` at or after `t0`.
+    pub fn first_after(&self, kind: &TraceKind, subject: &str, t0: Time) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == *kind && e.subject == subject && e.t >= t0)
+    }
+
+    /// Last entry of `kind` for `subject`.
+    pub fn last_of(&self, kind: &TraceKind, subject: &str) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.kind == *kind && e.subject == subject)
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut tr = Trace::new();
+        tr.push(10, TraceKind::UserIntent, "Lamp/default/l1", ".control.power.intent");
+        tr.push(20, TraceKind::DriverReconciled, "Lamp/default/l1", "");
+        tr.push(30, TraceKind::DriverReconciled, "Lamp/default/l1", "");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.of_kind(&TraceKind::DriverReconciled).count(), 2);
+        assert_eq!(
+            tr.first_after(&TraceKind::DriverReconciled, "Lamp/default/l1", 15).unwrap().t,
+            20
+        );
+        assert_eq!(
+            tr.last_of(&TraceKind::DriverReconciled, "Lamp/default/l1").unwrap().t,
+            30
+        );
+        assert!(tr.first_after(&TraceKind::UserObserved, "Lamp/default/l1", 0).is_none());
+        tr.clear();
+        assert!(tr.is_empty());
+    }
+}

@@ -1,0 +1,471 @@
+//! The runtime world: components exchanging state through the apiserver.
+//!
+//! The paper's architecture (§5, Fig. 5) runs digis and controllers as
+//! separate pods that coordinate *only* via the apiserver. This module
+//! keeps that discipline in a deterministic, simulated form: each
+//! component (Mounter, Syncer, Policer, every digi driver, and the user's
+//! CLI) owns a watch subscription; when the apiserver has pending events
+//! for a component, a *wake* is scheduled after that component's network
+//! link latency; the woken component drains its watch and reacts, possibly
+//! committing further model writes — which schedule further wakes.
+//!
+//! This per-hop wake latency is exactly what the paper measures as forward
+//! and backward propagation time (Figure 7).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use dspace_apiserver::{ApiServer, ObjectRef, Role, Rule, Verb, WatchEvent, WatchId};
+use dspace_simnet::{Link, Metrics, Rng, Sim};
+use dspace_value::Value;
+
+use crate::actuator::Actuator;
+use crate::driver::{Driver, Effect};
+use crate::graph::DigiGraph;
+use crate::mounter::Mounter;
+use crate::policer::Policer;
+use crate::syncer::Syncer;
+use crate::topology::TopologyWebhook;
+use crate::trace::{Trace, TraceKind};
+
+/// Network link latencies for the deployment being simulated.
+#[derive(Debug, Clone)]
+pub struct LinkSet {
+    /// Controllers ↔ apiserver (same node or control-plane-local).
+    pub controller: Link,
+    /// Digi driver pods ↔ apiserver.
+    pub driver: Link,
+    /// The user's CLI ↔ apiserver.
+    pub user: Link,
+}
+
+impl Default for LinkSet {
+    /// On-prem-ish defaults (minikube on a single host).
+    fn default() -> Self {
+        LinkSet {
+            controller: Link::new("controller", dspace_simnet::LatencyModel::FixedMs(2.0)),
+            driver: Link::new("driver", dspace_simnet::LatencyModel::FixedMs(8.0)),
+            user: Link::new("user", dspace_simnet::LatencyModel::FixedMs(10.0)),
+        }
+    }
+}
+
+/// A digi driver plus its reconcile-loop state.
+pub struct DriverRuntime {
+    /// The digi this driver reconciles.
+    pub oref: ObjectRef,
+    /// Authenticated subject of this driver.
+    pub subject: String,
+    driver: Driver,
+    last_model: Value,
+    last_written: Option<u64>,
+}
+
+/// The user's CLI session: watches models and records when updates become
+/// visible to the user (the BPT endpoint of Figure 7).
+#[derive(Default)]
+struct UserCli {
+    cache: BTreeMap<ObjectRef, Value>,
+}
+
+enum Component {
+    Mounter(Mounter),
+    Syncer(Syncer),
+    Policer(Policer),
+    Driver(DriverRuntime),
+    User(UserCli),
+}
+
+struct ComponentSlot {
+    name: String,
+    watch: WatchId,
+    link: Link,
+    woken: bool,
+    kind: Option<Component>,
+}
+
+/// The complete runtime state mutated by simulation events.
+pub struct World {
+    /// The apiserver (object store + admission + RBAC).
+    pub api: ApiServer,
+    /// The digi-graph, shared with the topology webhook.
+    pub graph: Rc<RefCell<DigiGraph>>,
+    /// Deterministic randomness for links and devices.
+    pub rng: Rng,
+    /// Experiment metrics.
+    pub metrics: Metrics,
+    /// Structured event trace.
+    pub trace: Trace,
+    /// Link latencies.
+    pub links: LinkSet,
+    slots: Vec<ComponentSlot>,
+    actuators: BTreeMap<ObjectRef, Option<Box<dyn Actuator>>>,
+}
+
+impl World {
+    /// Builds a world with the three dSpace controllers, the topology
+    /// webhook, and a user CLI component already registered.
+    pub fn new(links: LinkSet, seed: u64) -> Self {
+        let graph = Rc::new(RefCell::new(DigiGraph::new()));
+        let mut api = ApiServer::new();
+        api.register_webhook(Box::new(TopologyWebhook::new(graph.clone())));
+        // Controller and user roles (§3.6): controllers get broad access;
+        // the user (home owner) gets full access to digi models.
+        api.rbac_mut().add_role(Role::new("controller", vec![Rule::allow_all()]));
+        for subject in [crate::mounter::SUBJECT, crate::syncer::SUBJECT, crate::policer::SUBJECT] {
+            api.rbac_mut().bind(subject, "controller");
+        }
+        api.rbac_mut().add_role(Role::new(
+            "home-owner",
+            vec![Rule::new(
+                [Verb::Get, Verb::List, Verb::Watch, Verb::Patch, Verb::Create, Verb::Update, Verb::Delete],
+                ["*"],
+                ["*"],
+            )],
+        ));
+        api.rbac_mut().bind("user", "home-owner");
+
+        let mut world = World {
+            api,
+            graph: graph.clone(),
+            rng: Rng::new(seed),
+            metrics: Metrics::new(),
+            trace: Trace::new(),
+            links,
+            slots: Vec::new(),
+            actuators: BTreeMap::new(),
+        };
+        let controller_link = world.links.controller.clone();
+        let user_link = world.links.user.clone();
+        world.add_slot("mounter", controller_link.clone(), Component::Mounter(Mounter::new(graph.clone())));
+        world.add_slot("syncer", controller_link.clone(), Component::Syncer(Syncer::new()));
+        world.add_slot("policer", controller_link, Component::Policer(Policer::new(graph)));
+        world.add_slot("user-cli", user_link, Component::User(UserCli::default()));
+        world
+    }
+
+    fn add_slot(&mut self, name: &str, link: Link, kind: Component) {
+        let watch = self
+            .api
+            .watch(ApiServer::ADMIN, None)
+            .expect("admin watch is always authorized");
+        self.slots.push(ComponentSlot {
+            name: name.to_string(),
+            watch,
+            link,
+            woken: false,
+            kind: Some(kind),
+        });
+    }
+
+    /// Registers a digi driver component with its RBAC identity.
+    pub fn add_driver(&mut self, oref: ObjectRef, driver: Driver) {
+        let subject = format!("driver:{}", oref.name);
+        let role = format!("digi:{}", oref.name);
+        self.api.rbac_mut().add_role(Role::new(
+            role.clone(),
+            vec![
+                // A digi driver may only access its own model (§3.6)...
+                Rule::for_object(
+                    [Verb::Get, Verb::Update, Verb::Patch],
+                    oref.kind.clone(),
+                    oref.name.clone(),
+                ),
+                // ...plus watch access to receive its own change stream.
+                Rule::new([Verb::Watch], ["*"], ["*"]),
+            ],
+        ));
+        self.api.rbac_mut().bind(subject.clone(), role);
+        let last_model = self
+            .api
+            .get(ApiServer::ADMIN, &oref)
+            .map(|o| o.model)
+            .unwrap_or(Value::Null);
+        let link = self.links.driver.clone();
+        self.add_slot(
+            &format!("driver:{}", oref.name),
+            link,
+            Component::Driver(DriverRuntime {
+                oref,
+                subject,
+                driver,
+                last_model,
+                last_written: None,
+            }),
+        );
+    }
+
+    /// Attaches a simulated device/data engine to a leaf digi and arms its
+    /// periodic step hook.
+    pub fn attach_actuator(
+        &mut self,
+        sim: &mut Sim<World>,
+        oref: ObjectRef,
+        actuator: Box<dyn Actuator>,
+    ) {
+        let subject = format!("device:{}", oref.name);
+        let role = format!("device-role:{}", oref.name);
+        self.api.rbac_mut().add_role(Role::new(
+            role.clone(),
+            vec![Rule::for_object(
+                [Verb::Get, Verb::Patch],
+                oref.kind.clone(),
+                oref.name.clone(),
+            )],
+        ));
+        self.api.rbac_mut().bind(subject, role);
+        let interval = actuator.poll_interval();
+        self.actuators.insert(oref.clone(), Some(actuator));
+        if let Some(interval) = interval {
+            let target = oref.clone();
+            sim.schedule(interval, move |w: &mut World, sim| {
+                w.device_tick(target.clone(), sim);
+            });
+        }
+    }
+
+    /// Returns `true` if any component has undelivered watch events.
+    pub fn has_pending_work(&self) -> bool {
+        self.slots
+            .iter()
+            .any(|s| !s.woken && self.api.has_pending(s.watch))
+    }
+
+    /// Schedules wakes for every component with pending watch events.
+    /// Called by the space loop after every simulation event.
+    pub fn pump(&mut self, sim: &mut Sim<World>) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].woken || !self.api.has_pending(self.slots[i].watch) {
+                continue;
+            }
+            self.slots[i].woken = true;
+            let delay = self.slots[i].link.delay(1024, &mut self.rng);
+            sim.schedule(delay, move |w: &mut World, sim| w.wake(i, sim));
+        }
+    }
+
+    fn wake(&mut self, i: usize, sim: &mut Sim<World>) {
+        self.slots[i].woken = false;
+        let events = self.api.poll(self.slots[i].watch);
+        if events.is_empty() {
+            return;
+        }
+        let mut component = self.slots[i].kind.take().expect("component present");
+        match &mut component {
+            Component::Mounter(m) => {
+                let mut trace = std::mem::take(&mut self.trace);
+                m.process(&mut self.api, &events, &mut trace, sim.now());
+                self.trace = trace;
+            }
+            Component::Syncer(s) => s.process(&mut self.api, &events),
+            Component::Policer(p) => {
+                let mut trace = std::mem::take(&mut self.trace);
+                p.process(&mut self.api, &events, &mut trace, sim.now());
+                self.trace = trace;
+            }
+            Component::Driver(d) => {
+                Self::drive(self, d, &events, sim);
+            }
+            Component::User(u) => {
+                for ev in &events {
+                    let old = u.cache.get(&ev.oref).cloned().unwrap_or(Value::Null);
+                    let changes = dspace_value::diff(&old, &ev.model);
+                    let detail = changes
+                        .iter()
+                        .take(8)
+                        .map(|c| c.path.to_string())
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    self.trace.push(sim.now(), TraceKind::UserObserved, ev.oref.to_string(), detail);
+                    u.cache.insert(ev.oref.clone(), ev.model.clone());
+                }
+            }
+        }
+        self.slots[i].kind = Some(component);
+    }
+
+    /// Runs a driver's reconciliation cycles for a batch of events.
+    fn drive(world: &mut World, rt: &mut DriverRuntime, events: &[WatchEvent], sim: &mut Sim<World>) {
+        for ev in events {
+            if ev.oref != rt.oref {
+                continue; // A driver only accesses its own model (§4.2).
+            }
+            if ev.kind == dspace_apiserver::WatchEventKind::Deleted {
+                continue;
+            }
+            // Skip the echo of the driver's own previous write (Fig. 4:
+            // "unless the update is caused by the previous reconciliation").
+            if rt.last_written == Some(ev.resource_version) {
+                rt.last_model = ev.model.clone();
+                continue;
+            }
+            let now_s = sim.now() as f64 / 1e9;
+            let result = rt.driver.reconcile(&rt.last_model, &ev.model, now_s);
+            let changed: Vec<String> = dspace_value::diff(&rt.last_model, &ev.model)
+                .iter()
+                .take(8)
+                .map(|c| c.path.to_string())
+                .collect();
+            world.trace.push(
+                sim.now(),
+                TraceKind::DriverReconciled,
+                rt.oref.to_string(),
+                changed.join(";"),
+            );
+            for err in &result.errors {
+                world.metrics.count("driver_errors", 1);
+                world.trace.push(
+                    sim.now(),
+                    TraceKind::DriverReconciled,
+                    rt.oref.to_string(),
+                    format!("error: {err}"),
+                );
+            }
+            rt.last_model = ev.model.clone();
+            // Execute effects.
+            for effect in &result.effects {
+                match effect {
+                    Effect::Device(cmd) => {
+                        world.trace.push(
+                            sim.now(),
+                            TraceKind::DeviceCommand,
+                            rt.oref.to_string(),
+                            dspace_value::json::to_string(cmd),
+                        );
+                        world.actuate(rt.oref.clone(), cmd.clone(), sim);
+                    }
+                    Effect::Log(msg) => {
+                        world.trace.push(
+                            sim.now(),
+                            TraceKind::DriverReconciled,
+                            rt.oref.to_string(),
+                            format!("log: {msg}"),
+                        );
+                    }
+                }
+            }
+            // Commit the reconciled model with OCC; a conflict means a
+            // newer event is already queued and will retrigger the cycle.
+            if result.model != ev.model {
+                match world.api.update(
+                    &rt.subject,
+                    &rt.oref,
+                    result.model.clone(),
+                    Some(ev.resource_version),
+                ) {
+                    Ok(rv) => {
+                        rt.last_written = Some(rv);
+                        rt.last_model = result.model;
+                    }
+                    Err(dspace_apiserver::ApiError::Conflict { .. }) => {
+                        world.metrics.count("reconcile_conflicts", 1);
+                    }
+                    Err(e) => {
+                        world.metrics.count("driver_errors", 1);
+                        world.trace.push(
+                            sim.now(),
+                            TraceKind::DriverReconciled,
+                            rt.oref.to_string(),
+                            format!("write failed: {e}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a command to the actuator attached to `oref` and schedules the
+    /// resulting patches.
+    fn actuate(&mut self, oref: ObjectRef, cmd: Value, sim: &mut Sim<World>) {
+        let Some(slot) = self.actuators.get_mut(&oref) else {
+            self.metrics.count("commands_without_actuator", 1);
+            return;
+        };
+        let Some(mut actuator) = slot.take() else { return };
+        let acts = actuator.actuate(sim.now(), &cmd, &mut self.rng);
+        let name = actuator.name().to_string();
+        *self.actuators.get_mut(&oref).expect("slot exists") = Some(actuator);
+        self.schedule_actuations(oref, name, acts, sim);
+    }
+
+    /// Periodic device poll: spontaneous physical events (motion, manual
+    /// toggles, robot movement) surface here.
+    fn device_tick(&mut self, oref: ObjectRef, sim: &mut Sim<World>) {
+        let Some(slot) = self.actuators.get_mut(&oref) else { return };
+        let Some(mut actuator) = slot.take() else { return };
+        let model = self
+            .api
+            .get(ApiServer::ADMIN, &oref)
+            .map(|o| o.model)
+            .unwrap_or(Value::Null);
+        let acts = actuator.step(sim.now(), &model, &mut self.rng);
+        let name = actuator.name().to_string();
+        let interval = actuator.poll_interval();
+        *self.actuators.get_mut(&oref).expect("slot exists") = Some(actuator);
+        self.schedule_actuations(oref.clone(), name, acts, sim);
+        if let Some(interval) = interval {
+            sim.schedule(interval, move |w: &mut World, sim| {
+                w.device_tick(oref.clone(), sim);
+            });
+        }
+    }
+
+    fn schedule_actuations(
+        &mut self,
+        oref: ObjectRef,
+        device: String,
+        acts: Vec<crate::actuator::Actuation>,
+        sim: &mut Sim<World>,
+    ) {
+        for act in acts {
+            if act.bytes > 0 {
+                self.metrics.count(&format!("bytes:{device}"), act.bytes as u64);
+            }
+            // Pure bandwidth-accounting actuations carry no model change;
+            // committing them would spam every watcher with no-op events.
+            if act.patch.as_object().map(|m| m.is_empty()).unwrap_or(act.patch.is_null()) {
+                continue;
+            }
+            let target = oref.clone();
+            let dev = device.clone();
+            let delay_ms = act.delay as f64 / 1e6;
+            sim.schedule(act.delay, move |w: &mut World, sim| {
+                let subject = format!("device:{}", target.name);
+                if w.api.patch(&subject, &target, act.patch.clone()).is_ok() {
+                    w.trace.push(
+                        sim.now(),
+                        TraceKind::DeviceDone,
+                        target.to_string(),
+                        format!("{dev} {delay_ms:.1}ms"),
+                    );
+                    w.metrics.record(&format!("dt_ms:{}", target.name), delay_ms);
+                }
+            });
+        }
+    }
+
+    /// Injects a physical-world event directly on a digi's model (e.g. a
+    /// user manually flips the lamp switch — scenario S2).
+    pub fn physical_event(&mut self, oref: &ObjectRef, patch: Value, sim: &Sim<World>) {
+        let subject = format!("device:{}", oref.name);
+        let subject = if self.actuators.contains_key(oref) {
+            subject
+        } else {
+            ApiServer::ADMIN.to_string()
+        };
+        if self.api.patch(&subject, oref, patch).is_ok() {
+            self.trace.push(
+                sim.now(),
+                TraceKind::DeviceDone,
+                oref.to_string(),
+                "physical-event".to_string(),
+            );
+        }
+    }
+
+    /// Names of the registered components, in registration order.
+    pub fn component_names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.name.as_str()).collect()
+    }
+}

@@ -1,0 +1,191 @@
+//! Failure injection: flaky devices, disconnects, rejected policy actions,
+//! and write conflicts must degrade gracefully, never wedge the space.
+
+use dspace_core::actuator::{Actuation, Actuator, EchoActuator};
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::{AttrType, KindSchema, Value};
+
+/// Wraps an actuator; drops the first `drop_n` commands, reporting a
+/// DISCONNECT observation instead (the Fig. 1b `obs.reason` field).
+struct FlakyActuator {
+    inner: EchoActuator,
+    drop_n: usize,
+    dropped: usize,
+}
+
+impl FlakyActuator {
+    fn new(inner: EchoActuator, drop_n: usize) -> Self {
+        FlakyActuator { inner, drop_n, dropped: 0 }
+    }
+}
+
+impl Actuator for FlakyActuator {
+    fn name(&self) -> &str {
+        "flaky-device"
+    }
+
+    fn actuate(&mut self, now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        if self.dropped < self.drop_n {
+            self.dropped += 1;
+            let mut patch = dspace_value::obj();
+            patch.set(&".obs.reason".parse().unwrap(), "DISCONNECT".into()).unwrap();
+            return vec![Actuation::new(millis(50), patch)];
+        }
+        self.inner.actuate(now, cmd, rng)
+    }
+}
+
+fn lamp_space(drop_n: usize) -> Space {
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Lamp")
+            .control("power", AttrType::String)
+            .obs("reason", AttrType::String),
+    );
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "actuate", |ctx| {
+        let intent = ctx.digi().intent("power");
+        if !intent.is_null() && intent != ctx.digi().status("power") {
+            ctx.device(dspace_value::object([("power", intent)]));
+        }
+    });
+    let lamp = space.create_digi("Lamp", "l1", d).unwrap();
+    space.attach_actuator(
+        &lamp,
+        Box::new(FlakyActuator::new(EchoActuator::new("echo", millis(300)), drop_n)),
+    );
+    space
+}
+
+#[test]
+fn dropped_command_surfaces_disconnect_and_recovers_on_retry() {
+    let mut space = lamp_space(1);
+    space.set_intent("l1/power", "on".into()).unwrap();
+    // Shortly after the drop: no status yet, but the disconnect
+    // observation reached the model (and would reach any parent replica).
+    space.run_for_ms(200);
+    assert!(space.status("l1/power").unwrap().is_null());
+    assert_eq!(space.obs("l1/reason").unwrap().as_str(), Some("DISCONNECT"));
+    // The driver's next reconciliation (triggered by the obs change) sees
+    // intent != status and re-issues the command; the device now works.
+    space.run_for_ms(5_000);
+    assert_eq!(space.status("l1/power").unwrap().as_str(), Some("on"));
+}
+
+#[test]
+fn repeated_drops_eventually_converge() {
+    let mut space = lamp_space(3);
+    space.set_intent("l1/power", "on".into()).unwrap();
+    // Each DISCONNECT observation retriggers the reconcile loop.
+    space.run_for_ms(10_000);
+    assert_eq!(space.status("l1/power").unwrap().as_str(), Some("on"));
+}
+
+#[test]
+fn policy_with_failing_action_reports_and_continues() {
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Sensor").obs("alarm", AttrType::Bool),
+    );
+    let sensor = space.create_digi("Sensor", "s1", Driver::new()).unwrap();
+    // The policy references a digi that does not exist; firing must log a
+    // failure, not crash the policer.
+    space
+        .add_policy(
+            "bad-action",
+            dspace_value::yaml::parse(
+                "
+meta: {kind: Policy, name: bad-action, namespace: default}
+spec:
+  watch: [\"Sensor/default/s1\"]
+  condition: .s1.obs.alarm == true
+  on_rising:
+    - {action: unmount, child: Lamp/default/ghost, parent: Room/default/ghost}
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    space.run_for_ms(500);
+    space
+        .world
+        .physical_event(&sensor, dspace_value::json::parse(r#"{"obs": {"alarm": true}}"#).unwrap(), &space.sim);
+    space.pump();
+    space.run_for_ms(2_000);
+    let failures: Vec<_> = space
+        .world
+        .trace
+        .entries()
+        .iter()
+        .filter(|e| e.detail.contains("action failed"))
+        .collect();
+    assert_eq!(failures.len(), 1, "failure should be traced once");
+    // The policer is still alive: clearing and re-raising fires again.
+    space
+        .world
+        .physical_event(&sensor, dspace_value::json::parse(r#"{"obs": {"alarm": false}}"#).unwrap(), &space.sim);
+    space.pump();
+    space.run_for_ms(1_000);
+    space
+        .world
+        .physical_event(&sensor, dspace_value::json::parse(r#"{"obs": {"alarm": true}}"#).unwrap(), &space.sim);
+    space.pump();
+    space.run_for_ms(1_000);
+    let failures = space
+        .world
+        .trace
+        .entries()
+        .iter()
+        .filter(|e| e.detail.contains("action failed"))
+        .count();
+    assert_eq!(failures, 2);
+}
+
+#[test]
+fn conflicting_writers_converge_via_occ() {
+    // Two "controllers" (the user and the device) hammer the same model;
+    // the driver's OCC-based reconcile must converge without losing the
+    // final intent, and conflicts are counted, not fatal.
+    let mut space = lamp_space(0);
+    for i in 0..20 {
+        let v = if i % 2 == 0 { "on" } else { "off" };
+        space.set_intent("l1/power", v.into()).unwrap();
+        space.run_for_ms(40); // Deliberately shorter than actuation time.
+    }
+    space.run_for_ms(8_000);
+    // Final intent was "off" (i = 19); the device settled there.
+    assert_eq!(space.intent("l1/power").unwrap().as_str(), Some("off"));
+    assert_eq!(space.status("l1/power").unwrap().as_str(), Some("off"));
+}
+
+#[test]
+fn deleting_a_mounted_child_is_survivable() {
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Lamp").control("power", AttrType::String),
+    );
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Room")
+            .control("brightness", AttrType::Number)
+            .mounts("Lamp"),
+    );
+    let lamp = space.create_digi("Lamp", "l1", Driver::new()).unwrap();
+    let room = space.create_digi("Room", "r1", Driver::new()).unwrap();
+    space.mount(&lamp, &room, dspace_core::graph::MountMode::Expose).unwrap();
+    space.run_for_ms(1_000);
+    // The digi disappears (e.g. decommissioned) while still mounted.
+    space
+        .world
+        .api
+        .delete(dspace_apiserver::ApiServer::ADMIN, &lamp)
+        .unwrap();
+    space.pump();
+    space.run_for_ms(2_000);
+    // The runtime keeps going; the parent still exists and further writes
+    // to the room work.
+    space.set_intent_now("r1/brightness", 0.4.into()).unwrap();
+    space.run_for_ms(1_000);
+    assert_eq!(space.intent("r1/brightness").unwrap().as_f64(), Some(0.4));
+}

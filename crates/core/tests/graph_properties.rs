@@ -1,0 +1,102 @@
+//! Property tests for the digi-graph invariants (§3.3–3.4): no sequence
+//! of mount/unmount/yield/unyield operations — accepted or rejected — can
+//! ever leave the graph outside the multitree + single-writer envelope.
+
+use proptest::prelude::*;
+
+use dspace_apiserver::ObjectRef;
+use dspace_core::graph::{DigiGraph, MountMode};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mount(usize, usize),
+    Unmount(usize, usize),
+    Yield(usize, usize),
+    Unyield(usize, usize),
+}
+
+fn arb_ops(nodes: usize) -> impl Strategy<Value = Vec<Op>> {
+    let idx = 0..nodes;
+    prop::collection::vec(
+        prop_oneof![
+            (idx.clone(), idx.clone()).prop_map(|(a, b)| Op::Mount(a, b)),
+            (idx.clone(), idx.clone()).prop_map(|(a, b)| Op::Unmount(a, b)),
+            (idx.clone(), idx.clone()).prop_map(|(a, b)| Op::Yield(a, b)),
+            (idx.clone(), idx.clone()).prop_map(|(a, b)| Op::Unyield(a, b)),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn random_ops_preserve_multitree_and_single_writer(ops in arb_ops(8)) {
+        let nodes: Vec<ObjectRef> =
+            (0..8).map(|i| ObjectRef::default_ns("D", format!("n{i}"))).collect();
+        let mut g = DigiGraph::new();
+        for op in ops {
+            // Every operation may succeed or fail; the invariants must
+            // hold either way.
+            let _ = match op {
+                Op::Mount(a, b) => g.mount(&nodes[a], &nodes[b], MountMode::Expose).map(|_| ()),
+                Op::Unmount(a, b) => g.unmount(&nodes[a], &nodes[b]),
+                Op::Yield(a, b) => g.yield_edge(&nodes[a], &nodes[b]),
+                Op::Unyield(a, b) => g.unyield_edge(&nodes[a], &nodes[b]),
+            };
+            if let Err((x, y)) = g.verify_multitree() {
+                prop_assert!(false, "multitree violated between {x} and {y}");
+            }
+            if let Err(c) = g.verify_single_writer() {
+                prop_assert!(false, "two active parents over {c}");
+            }
+        }
+    }
+
+    /// check_mount is consistent with mount: whenever the check passes,
+    /// the mount succeeds, and vice versa.
+    #[test]
+    fn check_mount_predicts_mount(ops in arb_ops(6)) {
+        let nodes: Vec<ObjectRef> =
+            (0..6).map(|i| ObjectRef::default_ns("D", format!("n{i}"))).collect();
+        let mut g = DigiGraph::new();
+        for op in ops {
+            match op {
+                Op::Mount(a, b) => {
+                    let predicted = g.check_mount(&nodes[a], &nodes[b]).is_ok();
+                    let actual = g.mount(&nodes[a], &nodes[b], MountMode::Expose).is_ok();
+                    prop_assert_eq!(predicted, actual);
+                }
+                Op::Unmount(a, b) => {
+                    let _ = g.unmount(&nodes[a], &nodes[b]);
+                }
+                Op::Yield(a, b) => {
+                    let _ = g.yield_edge(&nodes[a], &nodes[b]);
+                }
+                Op::Unyield(a, b) => {
+                    let _ = g.unyield_edge(&nodes[a], &nodes[b]);
+                }
+            }
+        }
+    }
+
+    /// Descendants and ancestors are duals: y is a descendant of x iff x
+    /// is an ancestor of y.
+    #[test]
+    fn descendants_ancestors_duality(ops in arb_ops(6)) {
+        let nodes: Vec<ObjectRef> =
+            (0..6).map(|i| ObjectRef::default_ns("D", format!("n{i}"))).collect();
+        let mut g = DigiGraph::new();
+        for op in ops {
+            if let Op::Mount(a, b) = op {
+                let _ = g.mount(&nodes[a], &nodes[b], MountMode::Expose);
+            }
+        }
+        for x in &nodes {
+            for y in &nodes {
+                let down = g.descendants(x).contains(y);
+                let up = g.ancestors(y).contains(x);
+                prop_assert_eq!(down, up, "duality broken for {} / {}", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Focused tests of the Mounter's §5.2 semantics: hide/expose modes,
+//! status-never-flows-southbound, child-intent northbound flow, and the
+//! version gate.
+
+use dspace_core::actuator::EchoActuator;
+use dspace_core::driver::Driver;
+use dspace_core::graph::MountMode;
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::millis;
+use dspace_value::{AttrType, KindSchema, Value};
+
+fn space_with_chain(mode: MountMode) -> (Space, dspace_apiserver::ObjectRef) {
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Node")
+            .control("level", AttrType::Number)
+            .obs("note", AttrType::String)
+            .mounts("Node"),
+    );
+    // grandchild -> child -> parent, with the child mounted under `mode`.
+    let gc = space.create_digi("Node", "gc", Driver::new()).unwrap();
+    let ch = space.create_digi("Node", "ch", Driver::new()).unwrap();
+    let pa = space.create_digi("Node", "pa", Driver::new()).unwrap();
+    space.mount(&gc, &ch, MountMode::Expose).unwrap();
+    space.run_for_ms(500);
+    space.mount(&ch, &pa, mode).unwrap();
+    space.run_for_ms(1_000);
+    (space, pa)
+}
+
+#[test]
+fn expose_mode_reveals_grandchild_replicas() {
+    let (space, pa) = space_with_chain(MountMode::Expose);
+    let nested = space
+        .world
+        .api
+        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.mount.Node.gc")
+        .unwrap();
+    assert!(!nested.is_null(), "grandchild replica should be exposed");
+}
+
+#[test]
+fn hide_mode_conceals_grandchild_replicas() {
+    let (space, pa) = space_with_chain(MountMode::Hide);
+    let nested = space
+        .world
+        .api
+        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.mount")
+        .unwrap();
+    assert!(
+        nested.is_null(),
+        "hide mode must conceal the child's own mounts, got {nested}"
+    );
+    // But the child's control state is still visible.
+    let control = space
+        .world
+        .api
+        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.control")
+        .unwrap();
+    assert!(!control.is_null());
+}
+
+#[test]
+fn nested_intent_write_through_exposed_replicas() {
+    let (mut space, pa) = space_with_chain(MountMode::Expose);
+    // The parent writes the *grandchild's* intent through two replica
+    // levels; the mounter relays hop by hop.
+    space
+        .world
+        .api
+        .patch_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.mount.Node.gc.control.level.intent",
+            Value::from(0.42),
+        )
+        .unwrap();
+    space.pump();
+    space.run_for_ms(3_000);
+    assert_eq!(space.intent("gc/level").unwrap().as_f64(), Some(0.42));
+}
+
+#[test]
+fn status_never_flows_southbound() {
+    let (mut space, pa) = space_with_chain(MountMode::Expose);
+    // A (buggy or malicious) parent writes a *status* into the replica.
+    space
+        .world
+        .api
+        .patch_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.control.level.status",
+            Value::from(0.99),
+        )
+        .unwrap();
+    space.pump();
+    space.run_for_ms(3_000);
+    // The child's real status is untouched ("status information should
+    // never flow southbound", §5.2); the mounter's next northbound sync
+    // repairs the replica.
+    assert!(space.status("ch/level").unwrap().is_null());
+    let replica_status = space
+        .world
+        .api
+        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.control.level.status")
+        .unwrap();
+    assert!(replica_status.is_null(), "replica should be repaired, got {replica_status}");
+}
+
+#[test]
+fn child_intent_flows_northbound_for_reconciliation() {
+    let (mut space, pa) = space_with_chain(MountMode::Expose);
+    // The child's own intent changes (e.g. a physical interaction): the
+    // mounter copies it into the parent's replica so the parent driver
+    // can reconcile (§5.2: "It will, however, sync .intent updates from
+    // MA to the model replica to allow intent reconciliation").
+    space.set_intent_now("ch/level", 0.7.into()).unwrap();
+    space.run_for_ms(2_000);
+    let replica_intent = space
+        .world
+        .api
+        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.control.level.intent")
+        .unwrap();
+    assert_eq!(replica_intent.as_f64(), Some(0.7));
+}
+
+#[test]
+fn replica_tracks_child_generation() {
+    let (mut space, pa) = space_with_chain(MountMode::Expose);
+    let read_gen = |space: &Space| {
+        space
+            .world
+            .api
+            .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.gen")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    let g1 = read_gen(&space);
+    space.set_intent_now("ch/level", 0.3.into()).unwrap();
+    space.run_for_ms(2_000);
+    let g2 = read_gen(&space);
+    assert!(g2 > g1, "replica gen must advance with the child ({g1} -> {g2})");
+}
+
+#[test]
+fn parent_write_survives_concurrent_child_update() {
+    // The three-way-merge/version-gate path: the parent writes an intent
+    // into the replica in the same instant the child's model changes; the
+    // parent's write must not be lost to the northbound refresh.
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Node")
+            .control("level", AttrType::Number)
+            .obs("note", AttrType::String)
+            .mounts("Node"),
+    );
+    let ch = space.create_digi("Node", "ch", Driver::new()).unwrap();
+    space.attach_actuator(&ch, Box::new(EchoActuator::new("echo", millis(100))));
+    let pa = space.create_digi("Node", "pa", Driver::new()).unwrap();
+    space.mount(&ch, &pa, MountMode::Expose).unwrap();
+    space.run_for_ms(1_000);
+    // Same instant: the parent decides an intent while the child posts an
+    // observation (its model version bumps).
+    space
+        .world
+        .api
+        .patch_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.control.level.intent",
+            Value::from(0.55),
+        )
+        .unwrap();
+    space
+        .world
+        .api
+        .patch_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &ch,
+            ".obs.note",
+            Value::from("concurrent"),
+        )
+        .unwrap();
+    space.pump();
+    space.run_for_ms(3_000);
+    // Both effects land: the child has the parent's intent AND the obs.
+    assert_eq!(space.intent("ch/level").unwrap().as_f64(), Some(0.55));
+    assert_eq!(space.obs("ch/note").unwrap().as_str(), Some("concurrent"));
+}

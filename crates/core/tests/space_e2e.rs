@@ -1,0 +1,260 @@
+//! End-to-end tests of the Space runtime: user intent → apiserver → mounter
+//! → driver → device → status propagation back up the hierarchy.
+
+use dspace_core::actuator::EchoActuator;
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::graph::MountMode;
+use dspace_core::trace::TraceKind;
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::millis;
+use dspace_value::{AttrType, KindSchema, Value};
+
+fn lamp_schema() -> KindSchema {
+    KindSchema::digivice("digi.dev", "v1", "Lamp")
+        .control("power", AttrType::String)
+        .control("brightness", AttrType::Number)
+}
+
+fn room_schema() -> KindSchema {
+    KindSchema::digivice("digi.dev", "v1", "Room")
+        .control("brightness", AttrType::Number)
+        .mounts("Lamp")
+}
+
+/// A leaf lamp driver: forwards intents to the device, acknowledges status.
+fn lamp_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "actuate", |ctx| {
+        for attr in ["power", "brightness"] {
+            let intent = ctx.digi().intent(attr);
+            let status = ctx.digi().status(attr);
+            if !intent.is_null() && intent != status {
+                ctx.device(dspace_value::object([(attr, intent)]));
+            }
+        }
+    });
+    d
+}
+
+/// A room driver: propagates room brightness to every mounted lamp and
+/// aggregates lamp statuses into the room status.
+fn room_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "reconcile", |ctx| {
+        let target = ctx.digi().intent("brightness");
+        let names = ctx.digi().mounted_names("Lamp");
+        // Southbound: set each lamp's intent through its replica.
+        if let Some(t) = target.as_f64() {
+            for n in &names {
+                let cur = ctx.digi().replica("Lamp", n, ".control.brightness.intent");
+                if cur.as_f64() != Some(t) {
+                    ctx.digi().set_replica("Lamp", n, ".control.brightness.intent", t.into());
+                }
+            }
+        }
+        // Northbound: room status = mean of lamp statuses.
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for n in &names {
+            if let Some(b) = ctx
+                .digi()
+                .replica("Lamp", n, ".control.brightness.status")
+                .as_f64()
+            {
+                sum += b;
+                count += 1.0;
+            }
+        }
+        if count > 0.0 {
+            let mean = sum / count;
+            if ctx.digi().status("brightness").as_f64() != Some(mean) {
+                ctx.digi().set_status("brightness", mean.into());
+            }
+        }
+    });
+    d
+}
+
+fn build_room_with_lamps(n: usize) -> (Space, Vec<dspace_apiserver::ObjectRef>) {
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(lamp_schema());
+    space.register_kind(room_schema());
+    let room = space.create_digi("Room", "room", room_driver()).unwrap();
+    let mut lamps = Vec::new();
+    for i in 0..n {
+        let name = format!("lamp{i}");
+        let lamp = space.create_digi("Lamp", &name, lamp_driver()).unwrap();
+        space.attach_actuator(&lamp, Box::new(EchoActuator::new("echo-lamp", millis(400))));
+        space.mount(&lamp, &room, MountMode::Expose).unwrap();
+        lamps.push(lamp);
+    }
+    space.run_for_ms(2_000); // Let replicas initialize.
+    (space, lamps)
+}
+
+#[test]
+fn lamp_intent_reaches_device_and_status_returns() {
+    let (mut space, _lamps) = build_room_with_lamps(1);
+    space.set_intent("lamp0/power", "on".into()).unwrap();
+    space.run_for_ms(3_000);
+    assert_eq!(space.status("lamp0/power").unwrap().as_str(), Some("on"));
+    // The trace shows the full causal chain.
+    let trace = &space.world.trace;
+    assert!(trace.of_kind(&TraceKind::UserIntent).count() >= 1);
+    assert!(trace.of_kind(&TraceKind::DeviceCommand).count() >= 1);
+    assert!(trace.of_kind(&TraceKind::DeviceDone).count() >= 1);
+    // Device time was recorded.
+    let dt = space.world.metrics.histogram("dt_ms:lamp0").unwrap();
+    assert!(dt.mean() >= 399.0 && dt.mean() <= 401.0, "dt={}", dt.mean());
+}
+
+#[test]
+fn room_brightness_fans_out_to_all_lamps() {
+    let (mut space, _lamps) = build_room_with_lamps(3);
+    space.set_intent("room/brightness", 0.8.into()).unwrap();
+    space.run_for_ms(5_000);
+    for i in 0..3 {
+        assert_eq!(
+            space.status(&format!("lamp{i}/brightness")).unwrap().as_f64(),
+            Some(0.8),
+            "lamp{i} did not converge"
+        );
+    }
+    // Room status aggregates back (within float rounding of the mean).
+    let room_status = space.status("room/brightness").unwrap().as_f64().unwrap();
+    assert!((room_status - 0.8).abs() < 1e-9, "room status {room_status}");
+}
+
+#[test]
+fn adding_a_lamp_later_converges_to_room_intent() {
+    let (mut space, _lamps) = build_room_with_lamps(2);
+    space.set_intent("room/brightness", 0.5.into()).unwrap();
+    space.run_for_ms(5_000);
+    // A third lamp joins (S1's "later, the user adds L3").
+    let lamp = space.create_digi("Lamp", "lamp-late", lamp_driver()).unwrap();
+    space.attach_actuator(&lamp, Box::new(EchoActuator::new("echo-lamp", millis(400))));
+    let room = space.resolve("room").unwrap();
+    space.mount(&lamp, &room, MountMode::Expose).unwrap();
+    space.run_for_ms(5_000);
+    assert_eq!(space.status("lamp-late/brightness").unwrap().as_f64(), Some(0.5));
+}
+
+#[test]
+fn physical_event_flows_northbound_to_parent_replica() {
+    let (mut space, lamps) = build_room_with_lamps(1);
+    // Someone flips the physical switch: status + the lamp's own intent
+    // change from the device side (S2's setup).
+    space
+        .physical_event(
+            "lamp0",
+            dspace_value::json::parse(
+                r#"{"control": {"power": {"intent": "off", "status": "off"}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    space.run_for_ms(2_000);
+    // The room's replica of the lamp saw both fields.
+    let replica_status = space
+        .read("room", ".mount.Lamp.lamp0.control.power.status")
+        .unwrap();
+    assert_eq!(replica_status.as_str(), Some("off"));
+    let replica_intent = space
+        .read("room", ".mount.Lamp.lamp0.control.power.intent")
+        .unwrap();
+    assert_eq!(replica_intent.as_str(), Some("off"));
+    drop(lamps);
+}
+
+#[test]
+fn yielded_parent_cannot_write_but_still_reads() {
+    let (mut space, lamps) = build_room_with_lamps(1);
+    let room = space.resolve("room").unwrap();
+    space.yield_(&lamps[0], &room).unwrap();
+    space.run_for_ms(1_000);
+    // Parent sets room brightness; the lamp must NOT move.
+    space.set_intent("room/brightness", 0.9.into()).unwrap();
+    space.run_for_ms(4_000);
+    assert_ne!(space.intent("lamp0/brightness").unwrap().as_f64(), Some(0.9));
+    // But status still flows northbound into the replica.
+    space.physical_event(
+        "lamp0",
+        dspace_value::json::parse(r#"{"control": {"power": {"status": "on"}}}"#).unwrap(),
+    )
+    .unwrap();
+    space.run_for_ms(2_000);
+    assert_eq!(
+        space
+            .read("room", ".mount.Lamp.lamp0.control.power.status")
+            .unwrap()
+            .as_str(),
+        Some("on")
+    );
+}
+
+#[test]
+fn reflex_added_at_runtime_changes_behaviour() {
+    let (mut space, lamps) = build_room_with_lamps(1);
+    // Fig. 3's motion-brightness policy, adapted to the lamp digi.
+    space
+        .add_reflex(
+            &lamps[0],
+            "motion-brightness",
+            "if $time - (.obs.last_motion // 0) <= 600 \
+             then .control.brightness.intent = 1 else . end",
+            1,
+        )
+        .unwrap();
+    space.run_for_ms(1_000);
+    // Motion observed "now": the reflex raises the intent to 1.
+    let now_s = space.now_ms() / 1000.0;
+    space
+        .physical_event(
+            "lamp0",
+            dspace_value::object([(
+                "obs",
+                dspace_value::object([("last_motion", Value::from(now_s))]),
+            )]),
+        )
+        .unwrap();
+    space.run_for_ms(3_000);
+    assert_eq!(space.intent("lamp0/brightness").unwrap().as_f64(), Some(1.0));
+    assert_eq!(space.status("lamp0/brightness").unwrap().as_f64(), Some(1.0));
+}
+
+#[test]
+fn trace_supports_fpt_dt_decomposition() {
+    let (mut space, _lamps) = build_room_with_lamps(1);
+    space.world.trace.clear();
+    let t0 = space.sim.now();
+    space.set_intent("lamp0/power", "on".into()).unwrap();
+    space.run_for_ms(3_000);
+    let trace = &space.world.trace;
+    let intent = trace
+        .first_after(&TraceKind::UserIntent, "Lamp/default/lamp0", t0)
+        .expect("user intent traced");
+    let cmd = trace
+        .first_after(&TraceKind::DeviceCommand, "Lamp/default/lamp0", t0)
+        .expect("device command traced");
+    let done = trace
+        .first_after(&TraceKind::DeviceDone, "Lamp/default/lamp0", t0)
+        .expect("device done traced");
+    let observed = trace
+        .entries()
+        .iter()
+        .find(|e| {
+            e.kind == TraceKind::UserObserved
+                && e.subject == "Lamp/default/lamp0"
+                && e.detail.contains(".control.power.status")
+        })
+        .expect("user observed status");
+    // Causal ordering: intent -> command -> done -> observed.
+    assert!(intent.t <= cmd.t, "intent after command");
+    assert!(cmd.t < done.t, "command after completion");
+    assert!(done.t < observed.t, "completion after user observation");
+    // FPT (intent to command) is link latency, far below device time.
+    let fpt = (cmd.t - intent.t) as f64 / 1e6;
+    let dt = (done.t - cmd.t) as f64 / 1e6;
+    assert!(fpt > 0.0 && fpt < 100.0, "fpt={fpt}ms");
+    assert!((399.0..=401.0).contains(&dt), "dt={dt}ms");
+}

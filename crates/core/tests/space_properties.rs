@@ -1,0 +1,154 @@
+//! Property tests over the live runtime: any interleaving of user intents
+//! and physical-world events converges — statuses meet intents, the
+//! digi-graph invariants hold, and the event queue quiesces.
+
+use proptest::prelude::*;
+
+use dspace_core::actuator::EchoActuator;
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::graph::MountMode;
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::millis;
+use dspace_value::{AttrType, KindSchema, Value};
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// User sets the lamp brightness intent (0..=10 scaled to 0..=1).
+    UserIntent(u8),
+    /// Physical toggle: the device reports a new status + own intent.
+    Physical(u8),
+    /// Let time pass.
+    Wait(u8),
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..=10).prop_map(Action::UserIntent),
+            (0u8..=10).prop_map(Action::Physical),
+            (1u8..=5).prop_map(Action::Wait),
+        ],
+        1..12,
+    )
+}
+
+fn build() -> Space {
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Lamp")
+            .control("brightness", AttrType::Number),
+    );
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "actuate", |ctx| {
+        let intent = ctx.digi().intent("brightness");
+        if !intent.is_null() && intent != ctx.digi().status("brightness") {
+            ctx.device(dspace_value::object([("brightness", intent)]));
+        }
+    });
+    let lamp = space.create_digi("Lamp", "l1", d).unwrap();
+    space.attach_actuator(&lamp, Box::new(EchoActuator::new("echo", millis(150))));
+    space
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the interleaving, after quiescence the lamp's status
+    /// equals its intent (the declarative-control contract).
+    #[test]
+    fn lamp_always_converges(actions in arb_actions()) {
+        let mut space = build();
+        for action in &actions {
+            match action {
+                Action::UserIntent(v) => {
+                    space
+                        .set_intent("l1/brightness", (*v as f64 / 10.0).into())
+                        .unwrap();
+                    space.run_for_ms(30);
+                }
+                Action::Physical(v) => {
+                    let val = Value::from(*v as f64 / 10.0);
+                    let patch = dspace_value::object([(
+                        "control",
+                        dspace_value::object([(
+                            "brightness",
+                            dspace_value::object([
+                                ("intent", val.clone()),
+                                ("status", val),
+                            ]),
+                        )]),
+                    )]);
+                    space.physical_event("l1", patch).unwrap();
+                    space.run_for_ms(30);
+                }
+                Action::Wait(ms) => space.run_for_ms(*ms as u64 * 100),
+            }
+        }
+        // Quiesce.
+        space.run_for_ms(5_000);
+        let touched = actions
+            .iter()
+            .any(|a| !matches!(a, Action::Wait(_)));
+        let intent = space.intent("l1/brightness").unwrap();
+        let status = space.status("l1/brightness").unwrap();
+        if touched {
+            prop_assert!(!intent.is_null(), "an action set an intent");
+        }
+        prop_assert_eq!(intent, status, "converged state");
+        // No conflict ever became an error; conflicts only retried.
+        prop_assert_eq!(space.world.metrics.counter("driver_errors"), 0);
+    }
+
+    /// The same, through a mounted hierarchy: room intent wins whatever
+    /// the interleaving, and the graph invariants hold throughout.
+    #[test]
+    fn mounted_lamp_converges_to_last_room_intent(values in prop::collection::vec(0u8..=10, 1..6)) {
+        let mut space = Space::new(SpaceConfig::default());
+        space.register_kind(
+            KindSchema::digivice("digi.dev", "v1", "Lamp")
+                .control("brightness", AttrType::Number),
+        );
+        space.register_kind(
+            KindSchema::digivice("digi.dev", "v1", "Room")
+                .control("brightness", AttrType::Number)
+                .mounts("Lamp"),
+        );
+        let mut lamp_driver = Driver::new();
+        lamp_driver.on(Filter::on_control(), 0, "actuate", |ctx| {
+            let intent = ctx.digi().intent("brightness");
+            if !intent.is_null() && intent != ctx.digi().status("brightness") {
+                ctx.device(dspace_value::object([("brightness", intent)]));
+            }
+        });
+        let mut room_driver = Driver::new();
+        room_driver.on(Filter::any(), 0, "distribute", |ctx| {
+            let target = ctx.digi().intent("brightness");
+            if target.is_null() { return; }
+            for (kind, name) in ctx.digi().mounts() {
+                let cur = ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+                if cur != target {
+                    ctx.digi().set_replica(&kind, &name, ".control.brightness.intent", target.clone());
+                }
+            }
+        });
+        let lamp = space.create_digi("Lamp", "l1", lamp_driver).unwrap();
+        space.attach_actuator(&lamp, Box::new(EchoActuator::new("echo", millis(150))));
+        let room = space.create_digi("Room", "r1", room_driver).unwrap();
+        space.mount(&lamp, &room, MountMode::Expose).unwrap();
+        space.run_for_ms(1_000);
+        let mut last = 0.0;
+        for v in &values {
+            last = *v as f64 / 10.0;
+            space.set_intent("r1/brightness", last.into()).unwrap();
+            space.run_for_ms(80);
+        }
+        space.run_for_ms(8_000);
+        prop_assert_eq!(space.status("l1/brightness").unwrap().as_f64(), Some(last));
+        space.world.graph.borrow().verify_multitree().map_err(|e| {
+            TestCaseError::fail(format!("multitree broken: {e:?}"))
+        })?;
+        space.world.graph.borrow().verify_single_writer().map_err(|e| {
+            TestCaseError::fail(format!("single-writer broken: {e:?}"))
+        })?;
+    }
+}

@@ -1,0 +1,70 @@
+//! Device access paths (§6.1): LAN RPC, basestation relay, vendor cloud.
+//!
+//! "Most of these devices (8/9) can be accessed via local RPCs … The one
+//! exception is the Bose ST10 speaker, which "can only be accessed via the
+//! vendor (Bose) cloud." Access latency is the first component of the
+//! paper's *device actuation time* (DT); the second is the device's own
+//! settle time, modelled per device.
+
+use dspace_simnet::{LatencyModel, Rng, Time};
+
+/// How a device is reached from the digi driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Direct LAN RPC (Tuya local keys, lifxlan UDP, dorita980, RTSP…).
+    Lan,
+    /// Through a local basestation/bridge (Philips Hue bridge, Ring kit).
+    Basestation,
+    /// Relayed through the vendor's cloud (Bose SoundTouch).
+    VendorCloud,
+}
+
+impl AccessPath {
+    /// The RPC round-trip latency model for this path, calibrated to
+    /// home-networking magnitudes.
+    pub fn latency(&self) -> LatencyModel {
+        match self {
+            AccessPath::Lan => LatencyModel::NormalMs(12.0, 3.0),
+            AccessPath::Basestation => LatencyModel::NormalMs(45.0, 10.0),
+            AccessPath::VendorCloud => LatencyModel::NormalMs(160.0, 35.0),
+        }
+    }
+
+    /// Samples one round-trip over this path.
+    pub fn rpc_delay(&self, rng: &mut Rng) -> Time {
+        self.latency().sample(rng)
+    }
+
+    /// Short label used in traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AccessPath::Lan => "LAN",
+            AccessPath::Basestation => "BS/LAN",
+            AccessPath::VendorCloud => "VC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_is_slower_than_basestation_is_slower_than_lan() {
+        let mut rng = Rng::new(1);
+        let avg = |p: AccessPath, rng: &mut Rng| -> f64 {
+            (0..500).map(|_| p.rpc_delay(rng) as f64).sum::<f64>() / 500.0
+        };
+        let lan = avg(AccessPath::Lan, &mut rng);
+        let bs = avg(AccessPath::Basestation, &mut rng);
+        let vc = avg(AccessPath::VendorCloud, &mut rng);
+        assert!(lan < bs && bs < vc, "lan={lan} bs={bs} vc={vc}");
+    }
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(AccessPath::Lan.as_str(), "LAN");
+        assert_eq!(AccessPath::Basestation.as_str(), "BS/LAN");
+        assert_eq!(AccessPath::VendorCloud.as_str(), "VC");
+    }
+}

@@ -1,0 +1,319 @@
+//! The three vendor lamps of Table 2, each with its native API.
+//!
+//! The deliberately incompatible parameter spaces (Tuya integer `dps`,
+//! LIFX 16-bit HSBK, Hue 0–254 `bri`) are what scenario S1 exercises:
+//! "the lamps come from different vendors each with different APIs; e.g.,
+//! Geeni and Lifx lamps have different luminous intensity and color
+//! schemes."
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{Rng, Time};
+use dspace_value::Value;
+
+use crate::access::AccessPath;
+
+fn status_patch(pairs: &[(&str, Value)]) -> Value {
+    let mut patch = dspace_value::obj();
+    for (attr, v) in pairs {
+        let p = format!(".control.{attr}.status").parse().expect("attr path");
+        patch.set(&p, v.clone()).expect("object");
+    }
+    patch
+}
+
+/// GEENI LUX800 (Tuya platform): commands are Tuya *data point* tables.
+///
+/// `dps.1` is power (bool), `dps.2` is brightness in Tuya's 10–1000 range.
+/// Out-of-range brightness is clamped like the real firmware does.
+#[derive(Debug, Clone)]
+pub struct GeeniLamp {
+    power: bool,
+    /// Tuya brightness, 10–1000.
+    brightness: u32,
+    settle: Time,
+}
+
+impl GeeniLamp {
+    /// Tuya brightness lower bound.
+    pub const BRI_MIN: u32 = 10;
+    /// Tuya brightness upper bound.
+    pub const BRI_MAX: u32 = 1000;
+
+    /// Creates a lamp that is off.
+    pub fn new() -> Self {
+        GeeniLamp { power: false, brightness: Self::BRI_MIN, settle: dspace_simnet::millis(380) }
+    }
+
+    /// Current power state.
+    pub fn power(&self) -> bool {
+        self.power
+    }
+
+    /// Current Tuya-scale brightness.
+    pub fn brightness(&self) -> u32 {
+        self.brightness
+    }
+}
+
+impl Default for GeeniLamp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actuator for GeeniLamp {
+    fn name(&self) -> &str {
+        "GEENI LUX800"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let Some(dps) = cmd.get_path(".dps") else { return Vec::new() };
+        let mut changed = Vec::new();
+        if let Some(p) = dps.get_path("1").and_then(Value::as_bool) {
+            self.power = p;
+            changed.push(("power", Value::from(if p { "on" } else { "off" })));
+        }
+        if let Some(b) = dps.get_path("2").and_then(Value::as_f64) {
+            self.brightness = (b as u32).clamp(Self::BRI_MIN, Self::BRI_MAX);
+            changed.push(("brightness", Value::from(self.brightness as f64)));
+        }
+        if changed.is_empty() {
+            return Vec::new();
+        }
+        let delay = AccessPath::Lan.rpc_delay(rng) + self.settle;
+        vec![Actuation::new(delay, status_patch(&changed))]
+    }
+}
+
+/// LIFX Mini: 16-bit HSBK over lifxlan-style messages.
+///
+/// Commands: `{"set_power": 0|65535}` and
+/// `{"set_color": {"brightness": u16, "kelvin": 2500..9000}}`.
+#[derive(Debug, Clone)]
+pub struct LifxLamp {
+    power: u16,
+    /// 16-bit brightness.
+    brightness: u16,
+    /// Colour temperature in Kelvin (2500–9000).
+    kelvin: u32,
+    settle: Time,
+}
+
+impl LifxLamp {
+    /// Creates a lamp that is off at 3500 K.
+    pub fn new() -> Self {
+        LifxLamp { power: 0, brightness: 0, kelvin: 3500, settle: dspace_simnet::millis(350) }
+    }
+
+    /// Current 16-bit power value (0 or 65535).
+    pub fn power(&self) -> u16 {
+        self.power
+    }
+
+    /// Current 16-bit brightness.
+    pub fn brightness(&self) -> u16 {
+        self.brightness
+    }
+
+    /// Current colour temperature.
+    pub fn kelvin(&self) -> u32 {
+        self.kelvin
+    }
+}
+
+impl Default for LifxLamp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actuator for LifxLamp {
+    fn name(&self) -> &str {
+        "LIFX Mini"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let mut changed = Vec::new();
+        if let Some(p) = cmd.get_path(".set_power").and_then(Value::as_f64) {
+            self.power = if p >= 32768.0 { 65535 } else { 0 };
+            changed.push(("power", Value::from(self.power as f64)));
+        }
+        if let Some(color) = cmd.get_path(".set_color") {
+            if let Some(b) = color.get_path("brightness").and_then(Value::as_f64) {
+                self.brightness = b.clamp(0.0, 65535.0) as u16;
+                changed.push(("brightness", Value::from(self.brightness as f64)));
+            }
+            if let Some(k) = color.get_path("kelvin").and_then(Value::as_f64) {
+                self.kelvin = (k as u32).clamp(2500, 9000);
+                changed.push(("kelvin", Value::from(self.kelvin as f64)));
+            }
+        }
+        if changed.is_empty() {
+            return Vec::new();
+        }
+        let delay = AccessPath::Lan.rpc_delay(rng) + self.settle;
+        vec![Actuation::new(delay, status_patch(&changed))]
+    }
+}
+
+/// Philips Hue bulb behind its bridge (basestation access).
+///
+/// Commands use phue's field names: `{"on": bool, "bri": 0..254,
+/// "hue": 0..65535, "sat": 0..254}`.
+#[derive(Debug, Clone)]
+pub struct HueLamp {
+    on: bool,
+    bri: u16,
+    hue: u32,
+    sat: u16,
+    settle: Time,
+}
+
+impl HueLamp {
+    /// Creates a bulb that is off.
+    pub fn new() -> Self {
+        HueLamp { on: false, bri: 0, hue: 8402, sat: 140, settle: dspace_simnet::millis(300) }
+    }
+
+    /// Current on/off state.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Current 0–254 brightness.
+    pub fn bri(&self) -> u16 {
+        self.bri
+    }
+
+    /// Current hue (0–65535).
+    pub fn hue(&self) -> u32 {
+        self.hue
+    }
+
+    /// Current saturation (0–254).
+    pub fn sat(&self) -> u16 {
+        self.sat
+    }
+}
+
+impl Default for HueLamp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actuator for HueLamp {
+    fn name(&self) -> &str {
+        "Philips Hue"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let mut changed = Vec::new();
+        if let Some(on) = cmd.get_path(".on").and_then(Value::as_bool) {
+            self.on = on;
+            changed.push(("power", Value::from(if on { "on" } else { "off" })));
+        }
+        if let Some(b) = cmd.get_path(".bri").and_then(Value::as_f64) {
+            self.bri = b.clamp(0.0, 254.0) as u16;
+            changed.push(("brightness", Value::from(self.bri as f64)));
+        }
+        if let Some(h) = cmd.get_path(".hue").and_then(Value::as_f64) {
+            self.hue = h.clamp(0.0, 65535.0) as u32;
+            changed.push(("hue", Value::from(self.hue as f64)));
+        }
+        if let Some(s) = cmd.get_path(".sat").and_then(Value::as_f64) {
+            self.sat = s.clamp(0.0, 254.0) as u16;
+            changed.push(("sat", Value::from(self.sat as f64)));
+        }
+        if changed.is_empty() {
+            return Vec::new();
+        }
+        // Hue transits the bridge: basestation access path.
+        let delay = AccessPath::Basestation.rpc_delay(rng) + self.settle;
+        vec![Actuation::new(delay, status_patch(&changed))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn geeni_speaks_tuya_dps() {
+        let mut lamp = GeeniLamp::new();
+        let mut rng = Rng::new(1);
+        let cmd = json::parse(r#"{"dps": {"1": true, "2": 800}}"#).unwrap();
+        let acts = lamp.actuate(0, &cmd, &mut rng);
+        assert_eq!(acts.len(), 1);
+        assert!(lamp.power());
+        assert_eq!(lamp.brightness(), 800);
+        assert_eq!(
+            acts[0].patch.get_path(".control.power.status").unwrap().as_str(),
+            Some("on")
+        );
+        assert_eq!(
+            acts[0].patch.get_path(".control.brightness.status").unwrap().as_f64(),
+            Some(800.0)
+        );
+        // DT includes LAN RPC + settle, i.e. hundreds of ms.
+        assert!(acts[0].delay > dspace_simnet::millis(300));
+    }
+
+    #[test]
+    fn geeni_clamps_brightness_to_tuya_range() {
+        let mut lamp = GeeniLamp::new();
+        let mut rng = Rng::new(1);
+        let cmd = json::parse(r#"{"dps": {"2": 99999}}"#).unwrap();
+        lamp.actuate(0, &cmd, &mut rng);
+        assert_eq!(lamp.brightness(), GeeniLamp::BRI_MAX);
+        let cmd = json::parse(r#"{"dps": {"2": 1}}"#).unwrap();
+        lamp.actuate(0, &cmd, &mut rng);
+        assert_eq!(lamp.brightness(), GeeniLamp::BRI_MIN);
+    }
+
+    #[test]
+    fn geeni_ignores_foreign_commands() {
+        let mut lamp = GeeniLamp::new();
+        let mut rng = Rng::new(1);
+        // A LIFX-style command must not move a Tuya lamp.
+        let cmd = json::parse(r#"{"set_power": 65535}"#).unwrap();
+        assert!(lamp.actuate(0, &cmd, &mut rng).is_empty());
+        assert!(!lamp.power());
+    }
+
+    #[test]
+    fn lifx_uses_16bit_ranges() {
+        let mut lamp = LifxLamp::new();
+        let mut rng = Rng::new(2);
+        let cmd = json::parse(
+            r#"{"set_power": 65535, "set_color": {"brightness": 52428, "kelvin": 4000}}"#,
+        )
+        .unwrap();
+        let acts = lamp.actuate(0, &cmd, &mut rng);
+        assert_eq!(lamp.power(), 65535);
+        assert_eq!(lamp.brightness(), 52428);
+        assert_eq!(lamp.kelvin(), 4000);
+        assert_eq!(acts.len(), 1);
+        // Kelvin clamps to the Mini's range.
+        let cmd = json::parse(r#"{"set_color": {"kelvin": 99000}}"#).unwrap();
+        lamp.actuate(0, &cmd, &mut rng);
+        assert_eq!(lamp.kelvin(), 9000);
+    }
+
+    #[test]
+    fn hue_uses_254_scale_and_basestation_path() {
+        let mut lamp = HueLamp::new();
+        let mut rng = Rng::new(3);
+        let cmd = json::parse(r#"{"on": true, "bri": 254, "hue": 46920, "sat": 254}"#).unwrap();
+        let acts = lamp.actuate(0, &cmd, &mut rng);
+        assert!(lamp.is_on());
+        assert_eq!(lamp.bri(), 254);
+        assert_eq!(lamp.hue(), 46920);
+        // Basestation hop makes Hue slower than a pure-LAN lamp's RPC.
+        assert!(acts[0].delay > dspace_simnet::millis(310));
+        let cmd = json::parse(r#"{"bri": 900}"#).unwrap();
+        lamp.actuate(0, &cmd, &mut rng);
+        assert_eq!(lamp.bri(), 254, "bri must clamp to 254");
+    }
+}

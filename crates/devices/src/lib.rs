@@ -1,0 +1,38 @@
+//! Simulated IoT devices: the nine retail devices of Table 2.
+//!
+//! The paper's testbed uses real devices from nine vendors, each with its
+//! own library, parameter space, and access path (LAN, basestation relay,
+//! or vendor cloud). This crate reproduces that heterogeneity with
+//! simulated devices implementing [`dspace_core::Actuator`]:
+//!
+//! | Device | Vendor | Paper's library | Access | Module |
+//! |---|---|---|---|---|
+//! | Light bulb L1 | GEENI LUX800 | tuyapi | LAN | [`lamps::GeeniLamp`] |
+//! | Light bulb L2 | LIFX Mini | lifxlan | LAN | [`lamps::LifxLamp`] |
+//! | Light bulb L3 | Philips Hue | phue | basestation/LAN | [`lamps::HueLamp`] |
+//! | Motion sensor | Ring kit | ring-client-api | basestation/LAN | [`sensors::RingMotionSensor`] |
+//! | Camera | Wyze CP1 | RTSP stream | LAN | [`media::WyzeCam`] |
+//! | Robot vacuum | iRobot Roomba 675 | dorita980 | LAN | [`vacuum::Roomba`] |
+//! | Speaker | Bose ST10 | soundtouch | vendor cloud | [`media::BoseSpeaker`] |
+//! | Fan/heater | Dyson HP01 | libpurecoollink | LAN | [`sensors::DysonFan`] |
+//! | Plug | Teckin SP10 | tuyapi | LAN | [`plug::TeckinPlug`] |
+//!
+//! Each device keeps its vendor's *native* parameter space (Tuya `dps`
+//! tables, LIFX 16-bit HSBK, Hue 0–254 `bri`, Dyson's zero-padded string
+//! codes). Translating those to a universal model is exactly the job the
+//! paper gives the UniLamp digivice (§2.3) — the devices must stay
+//! idiosyncratic for that evaluation to be meaningful.
+
+pub mod access;
+pub mod lamps;
+pub mod media;
+pub mod plug;
+pub mod sensors;
+pub mod vacuum;
+
+pub use access::AccessPath;
+pub use lamps::{GeeniLamp, HueLamp, LifxLamp};
+pub use media::{BoseSpeaker, WyzeCam};
+pub use plug::TeckinPlug;
+pub use sensors::{DysonFan, RingMotionSensor};
+pub use vacuum::Roomba;

@@ -1,0 +1,211 @@
+//! Media devices: the Wyze camera and the Bose SoundTouch speaker.
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+use crate::access::AccessPath;
+
+/// Wyze Cam CP1: an RTSP camera (LAN).
+///
+/// The camera digi is a data *source*: once online it publishes its RTSP
+/// URL to `data.output.url`. The stream itself (≈4.3 Mb/s in the paper's
+/// hybrid experiment, §6.5) is consumed by whatever engine the URL is
+/// piped to; this device accounts the stream bandwidth while streaming.
+#[derive(Debug, Clone)]
+pub struct WyzeCam {
+    url: String,
+    online: bool,
+    /// Stream bitrate in bits per second (paper: 4.3 Mb/s).
+    pub bitrate_bps: f64,
+}
+
+impl WyzeCam {
+    /// Creates a camera that will publish `rtsp://<host>/live`.
+    pub fn new(host: impl Into<String>) -> Self {
+        WyzeCam { url: format!("rtsp://{}/live", host.into()), online: false, bitrate_bps: 4.3e6 }
+    }
+
+    /// The camera's stream URL.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+}
+
+impl Actuator for WyzeCam {
+    fn name(&self) -> &str {
+        "Wyze CP1"
+    }
+
+    fn actuate(&mut self, _now: Time, _cmd: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        Vec::new() // The camera exposes no control surface here.
+    }
+
+    fn step(&mut self, _now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        if self.online {
+            // Account stream bandwidth for this poll interval (500 ms).
+            let bytes = (self.bitrate_bps * 0.5 / 8.0) as usize;
+            return vec![Actuation::new(0, dspace_value::obj()).with_bytes(bytes)];
+        }
+        self.online = true;
+        let mut patch = dspace_value::obj();
+        patch
+            .set(&".data.output.url".parse().unwrap(), Value::from(self.url.as_str()))
+            .unwrap();
+        patch.set(&".obs.online".parse().unwrap(), true.into()).unwrap();
+        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), patch)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(500))
+    }
+}
+
+/// Bose SoundTouch 10 — the one vendor-cloud device of Table 2.
+///
+/// "The speaker can only be accessed via the vendor (Bose) cloud and hence
+/// RPC calls have to be sent to/from the vendor's server and then relayed
+/// to/from the device." Commands use SoundTouch key/volume semantics:
+/// `{"key": "PLAY"|"PAUSE"}`, `{"volume": 0..100}`,
+/// `{"source_url": "..."}`.
+#[derive(Debug, Clone)]
+pub struct BoseSpeaker {
+    playing: bool,
+    volume: u8,
+    source_url: String,
+}
+
+impl BoseSpeaker {
+    /// Creates a paused speaker at volume 30.
+    pub fn new() -> Self {
+        BoseSpeaker { playing: false, volume: 30, source_url: String::new() }
+    }
+
+    /// Whether audio is playing.
+    pub fn playing(&self) -> bool {
+        self.playing
+    }
+
+    /// Current volume (0–100).
+    pub fn volume(&self) -> u8 {
+        self.volume
+    }
+
+    /// Current source stream URL.
+    pub fn source_url(&self) -> &str {
+        &self.source_url
+    }
+}
+
+impl Default for BoseSpeaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actuator for BoseSpeaker {
+    fn name(&self) -> &str {
+        "Bose ST10"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let mut patch = dspace_value::obj();
+        let mut changed = false;
+        if let Some(key) = cmd.get_path(".key").and_then(Value::as_str) {
+            match key {
+                "PLAY" => self.playing = true,
+                "PAUSE" => self.playing = false,
+                _ => return Vec::new(), // Unknown SoundTouch key.
+            }
+            patch
+                .set(
+                    &".control.mode.status".parse().unwrap(),
+                    Value::from(if self.playing { "play" } else { "pause" }),
+                )
+                .unwrap();
+            changed = true;
+        }
+        if let Some(v) = cmd.get_path(".volume").and_then(Value::as_f64) {
+            self.volume = v.clamp(0.0, 100.0) as u8;
+            patch
+                .set(&".control.volume.status".parse().unwrap(), Value::from(self.volume as f64))
+                .unwrap();
+            changed = true;
+        }
+        if let Some(url) = cmd.get_path(".source_url").and_then(Value::as_str) {
+            self.source_url = url.to_string();
+            patch
+                .set(&".control.source_url.status".parse().unwrap(), Value::from(url))
+                .unwrap();
+            changed = true;
+        }
+        if !changed {
+            return Vec::new();
+        }
+        // Vendor-cloud round trip plus the speaker's own settle time.
+        let delay = AccessPath::VendorCloud.rpc_delay(rng) + millis(250);
+        vec![Actuation::new(delay, patch)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn camera_publishes_url_once_then_streams() {
+        let mut cam = WyzeCam::new("10.0.0.42");
+        let mut rng = Rng::new(1);
+        let first = cam.step(0, &Value::Null, &mut rng);
+        assert_eq!(first.len(), 1);
+        assert_eq!(
+            first[0].patch.get_path(".data.output.url").unwrap().as_str(),
+            Some("rtsp://10.0.0.42/live")
+        );
+        // Subsequent polls account bandwidth only.
+        let next = cam.step(millis(500), &Value::Null, &mut rng);
+        assert_eq!(next.len(), 1);
+        assert!(next[0].patch.as_object().unwrap().is_empty());
+        let expected = (4.3e6 * 0.5 / 8.0) as usize;
+        assert_eq!(next[0].bytes, expected);
+    }
+
+    #[test]
+    fn speaker_commands_via_vendor_cloud_are_slow() {
+        let mut spk = BoseSpeaker::new();
+        let mut rng = Rng::new(2);
+        let acts = spk.actuate(0, &json::parse(r#"{"key": "PLAY"}"#).unwrap(), &mut rng);
+        assert!(spk.playing());
+        assert_eq!(acts.len(), 1);
+        // Cloud relay: notably slower than LAN devices.
+        assert!(acts[0].delay > millis(300), "delay={}", acts[0].delay);
+        assert_eq!(
+            acts[0].patch.get_path(".control.mode.status").unwrap().as_str(),
+            Some("play")
+        );
+    }
+
+    #[test]
+    fn speaker_volume_and_source() {
+        let mut spk = BoseSpeaker::new();
+        let mut rng = Rng::new(3);
+        spk.actuate(
+            0,
+            &json::parse(r#"{"volume": 250, "source_url": "http://news/stream"}"#).unwrap(),
+            &mut rng,
+        );
+        assert_eq!(spk.volume(), 100, "volume clamps to 100");
+        assert_eq!(spk.source_url(), "http://news/stream");
+    }
+
+    #[test]
+    fn speaker_rejects_unknown_keys() {
+        let mut spk = BoseSpeaker::new();
+        let mut rng = Rng::new(4);
+        assert!(spk
+            .actuate(0, &json::parse(r#"{"key": "EXPLODE"}"#).unwrap(), &mut rng)
+            .is_empty());
+        assert!(!spk.playing());
+    }
+}

@@ -1,0 +1,130 @@
+//! Teckin SP10 smart plug (Tuya platform) with energy metering.
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+use crate::access::AccessPath;
+
+/// The simulated Teckin SP10 plug.
+///
+/// Like the Geeni lamp it speaks Tuya `dps`: `dps.1` is power. The plug
+/// also meters the attached load and periodically reports accumulated
+/// energy (`obs.energy_wh`) and instantaneous power (`obs.power_w`) —
+/// which is what scenario S9's power controller watches.
+#[derive(Debug, Clone)]
+pub struct TeckinPlug {
+    on: bool,
+    /// Wattage of the attached (simulated) load when on.
+    pub load_w: f64,
+    energy_wh: f64,
+    last_tick: Time,
+    report_phase: u64,
+}
+
+impl TeckinPlug {
+    /// Creates a plug that is off, with a given attached load.
+    pub fn new(load_w: f64) -> Self {
+        TeckinPlug { on: false, load_w, energy_wh: 0.0, last_tick: 0, report_phase: 0 }
+    }
+
+    /// Whether the relay is closed.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Total accumulated energy in watt-hours.
+    pub fn energy_wh(&self) -> f64 {
+        self.energy_wh
+    }
+}
+
+impl Actuator for TeckinPlug {
+    fn name(&self) -> &str {
+        "Teckin SP10"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let Some(p) = cmd.get_path(".dps.1").and_then(Value::as_bool) else {
+            return Vec::new();
+        };
+        self.on = p;
+        let mut patch = dspace_value::obj();
+        patch
+            .set(
+                &".control.power.status".parse().unwrap(),
+                Value::from(if p { "on" } else { "off" }),
+            )
+            .unwrap();
+        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng) + millis(150), patch)]
+    }
+
+    fn step(&mut self, now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let elapsed_h = (now - self.last_tick) as f64 / 1e9 / 3600.0;
+        self.last_tick = now;
+        if self.on {
+            self.energy_wh += self.load_w * elapsed_h;
+        }
+        self.report_phase += 1;
+        if self.report_phase % 10 != 0 {
+            return Vec::new();
+        }
+        let mut patch = dspace_value::obj();
+        patch.set(&".obs.energy_wh".parse().unwrap(), self.energy_wh.into()).unwrap();
+        patch
+            .set(
+                &".obs.power_w".parse().unwrap(),
+                Value::from(if self.on { self.load_w } else { 0.0 }),
+            )
+            .unwrap();
+        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), patch)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_simnet::secs;
+    use dspace_value::json;
+
+    #[test]
+    fn tuya_dps_switches_relay() {
+        let mut plug = TeckinPlug::new(60.0);
+        let mut rng = Rng::new(1);
+        let acts = plug.actuate(0, &json::parse(r#"{"dps": {"1": true}}"#).unwrap(), &mut rng);
+        assert!(plug.is_on());
+        assert_eq!(
+            acts[0].patch.get_path(".control.power.status").unwrap().as_str(),
+            Some("on")
+        );
+        assert!(plug
+            .actuate(0, &json::parse(r#"{"volume": 3}"#).unwrap(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn energy_accumulates_only_while_on() {
+        let mut plug = TeckinPlug::new(120.0);
+        let mut rng = Rng::new(2);
+        plug.step(secs(1800), &Value::Null, &mut rng); // 30 min off
+        assert_eq!(plug.energy_wh(), 0.0);
+        plug.actuate(secs(1800), &json::parse(r#"{"dps": {"1": true}}"#).unwrap(), &mut rng);
+        plug.step(secs(5400), &Value::Null, &mut rng); // 60 min on at 120 W
+        assert!((plug.energy_wh() - 120.0).abs() < 1.0, "wh={}", plug.energy_wh());
+    }
+
+    #[test]
+    fn periodic_energy_reports() {
+        let mut plug = TeckinPlug::new(60.0);
+        let mut rng = Rng::new(3);
+        let mut reports = 0;
+        for i in 1..=20u64 {
+            reports += plug.step(millis(i * 500), &Value::Null, &mut rng).len();
+        }
+        assert_eq!(reports, 2);
+    }
+}

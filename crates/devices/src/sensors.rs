@@ -1,0 +1,275 @@
+//! Sensors: the Ring motion detector and the Dyson HP01 fan/heater.
+
+use std::collections::VecDeque;
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+use crate::access::AccessPath;
+
+/// Ring Alarm Motion Detector (basestation access).
+///
+/// Purely event-driven: motion events come either from a scripted schedule
+/// (deterministic experiments) or a Poisson process (workload generation).
+/// Each event patches `obs.last_triggered_time` (seconds) and
+/// `obs.motion` — the attributes the Fig. 3 reflex reads.
+#[derive(Debug, Clone)]
+pub struct RingMotionSensor {
+    schedule: VecDeque<Time>,
+    /// Mean seconds between Poisson motion events; `None` = scripted only.
+    poisson_mean_s: Option<f64>,
+    next_poisson: Option<Time>,
+    battery_pct: f64,
+}
+
+impl RingMotionSensor {
+    /// Creates a sensor with a scripted list of motion times.
+    pub fn with_schedule(mut times: Vec<Time>) -> Self {
+        times.sort_unstable();
+        RingMotionSensor {
+            schedule: times.into(),
+            poisson_mean_s: None,
+            next_poisson: None,
+            battery_pct: 100.0,
+        }
+    }
+
+    /// Creates a sensor emitting Poisson-distributed motion events.
+    pub fn with_poisson(mean_seconds_between: f64) -> Self {
+        RingMotionSensor {
+            schedule: VecDeque::new(),
+            poisson_mean_s: Some(mean_seconds_between),
+            next_poisson: None,
+            battery_pct: 100.0,
+        }
+    }
+
+    /// Remaining battery percentage (drains slowly per event).
+    pub fn battery(&self) -> f64 {
+        self.battery_pct
+    }
+}
+
+impl Actuator for RingMotionSensor {
+    fn name(&self) -> &str {
+        "Ring Motion Detector"
+    }
+
+    fn actuate(&mut self, _now: Time, _cmd: &Value, _rng: &mut Rng) -> Vec<Actuation> {
+        Vec::new() // Sensors are not actuated.
+    }
+
+    fn step(&mut self, now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let mut fired = false;
+        while self.schedule.front().is_some_and(|t| *t <= now) {
+            self.schedule.pop_front();
+            fired = true;
+        }
+        if let Some(mean) = self.poisson_mean_s {
+            match self.next_poisson {
+                None => {
+                    self.next_poisson =
+                        Some(now + (rng.exponential(mean) * 1e9) as Time);
+                }
+                Some(t) if t <= now => {
+                    fired = true;
+                    self.next_poisson =
+                        Some(now + (rng.exponential(mean) * 1e9) as Time);
+                }
+                _ => {}
+            }
+        }
+        if !fired {
+            return Vec::new();
+        }
+        self.battery_pct = (self.battery_pct - 0.01).max(0.0);
+        let mut patch = dspace_value::obj();
+        let now_s = now as f64 / 1e9;
+        patch.set(&".obs.last_triggered_time".parse().unwrap(), now_s.into()).unwrap();
+        patch.set(&".obs.motion".parse().unwrap(), true.into()).unwrap();
+        patch.set(&".obs.battery".parse().unwrap(), self.battery_pct.into()).unwrap();
+        vec![Actuation::new(AccessPath::Basestation.rpc_delay(rng), patch)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(200))
+    }
+}
+
+/// Dyson HP01 fan/heater (LAN, libpurecoollink-style string codes).
+///
+/// The real library encodes fan speed as zero-padded strings (`"0004"`)
+/// and heat target as decikelvin strings (`"2930"`); the simulation keeps
+/// those quirks. It also reports air-quality observations periodically.
+#[derive(Debug, Clone)]
+pub struct DysonFan {
+    /// Fan speed 0–10.
+    speed: u8,
+    /// Heat target in decikelvin (e.g. 2930 = 293.0 K).
+    heat_target_dk: u32,
+    heating: bool,
+    aq_phase: u64,
+}
+
+impl DysonFan {
+    /// Creates a stopped fan.
+    pub fn new() -> Self {
+        DysonFan { speed: 0, heat_target_dk: 2930, heating: false, aq_phase: 0 }
+    }
+
+    /// Current fan speed (0–10).
+    pub fn speed(&self) -> u8 {
+        self.speed
+    }
+
+    /// Current heat target in decikelvin.
+    pub fn heat_target_dk(&self) -> u32 {
+        self.heat_target_dk
+    }
+
+    /// Whether heating mode is on.
+    pub fn heating(&self) -> bool {
+        self.heating
+    }
+}
+
+impl Default for DysonFan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actuator for DysonFan {
+    fn name(&self) -> &str {
+        "Dyson HP01"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let mut changed = Vec::new();
+        if let Some(code) = cmd.get_path(".fan_speed").and_then(Value::as_str) {
+            // libpurecoollink sends "0001".."0010".
+            if let Ok(speed) = code.parse::<u8>() {
+                self.speed = speed.min(10);
+                changed.push((".control.fan_speed.status", Value::from(self.speed as f64)));
+            }
+        }
+        if let Some(code) = cmd.get_path(".heat_target").and_then(Value::as_str) {
+            if let Ok(dk) = code.parse::<u32>() {
+                self.heat_target_dk = dk.clamp(2740, 3100);
+                changed.push((
+                    ".control.heat_target.status",
+                    Value::from(self.heat_target_dk as f64),
+                ));
+            }
+        }
+        if let Some(mode) = cmd.get_path(".heat_mode").and_then(Value::as_str) {
+            self.heating = mode == "HEAT";
+            changed.push((
+                ".control.heat_mode.status",
+                Value::from(if self.heating { "HEAT" } else { "OFF" }),
+            ));
+        }
+        if changed.is_empty() {
+            return Vec::new();
+        }
+        let mut patch = dspace_value::obj();
+        for (path, v) in changed {
+            patch.set(&path.parse().unwrap(), v).unwrap();
+        }
+        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng) + millis(320), patch)]
+    }
+
+    fn step(&mut self, _now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        // Air-quality report every ~10 ticks.
+        self.aq_phase += 1;
+        if self.aq_phase % 10 != 0 {
+            return Vec::new();
+        }
+        let pm25 = 5.0 + rng.uniform(0.0, 20.0);
+        let mut patch = dspace_value::obj();
+        patch.set(&".obs.pm25".parse().unwrap(), pm25.into()).unwrap();
+        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), patch)]
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn scripted_motion_fires_at_schedule() {
+        let mut sensor = RingMotionSensor::with_schedule(vec![dspace_simnet::secs(5)]);
+        let mut rng = Rng::new(1);
+        assert!(sensor.step(dspace_simnet::secs(1), &Value::Null, &mut rng).is_empty());
+        let acts = sensor.step(dspace_simnet::secs(5), &Value::Null, &mut rng);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(
+            acts[0].patch.get_path(".obs.last_triggered_time").unwrap().as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(acts[0].patch.get_path(".obs.motion").unwrap().as_bool(), Some(true));
+        // Consumed: does not fire twice.
+        assert!(sensor.step(dspace_simnet::secs(6), &Value::Null, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn poisson_motion_fires_repeatedly() {
+        let mut sensor = RingMotionSensor::with_poisson(10.0);
+        let mut rng = Rng::new(2);
+        let mut events = 0;
+        for tick in 0..3000u64 {
+            events += sensor
+                .step(dspace_simnet::millis(tick * 200), &Value::Null, &mut rng)
+                .len();
+        }
+        // 600 s at one event per ~10 s: about 60, allow wide slack.
+        assert!((30..120).contains(&events), "events={events}");
+    }
+
+    #[test]
+    fn motion_sensor_ignores_commands() {
+        let mut sensor = RingMotionSensor::with_schedule(vec![]);
+        let mut rng = Rng::new(3);
+        assert!(sensor
+            .actuate(0, &json::parse(r#"{"power": "on"}"#).unwrap(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn dyson_parses_string_codes() {
+        let mut fan = DysonFan::new();
+        let mut rng = Rng::new(4);
+        let cmd = json::parse(
+            r#"{"fan_speed": "0007", "heat_target": "2980", "heat_mode": "HEAT"}"#,
+        )
+        .unwrap();
+        let acts = fan.actuate(0, &cmd, &mut rng);
+        assert_eq!(fan.speed(), 7);
+        assert_eq!(fan.heat_target_dk(), 2980);
+        assert!(fan.heating());
+        assert_eq!(acts.len(), 1);
+        // Heat target clamps to the HP01 range.
+        let cmd = json::parse(r#"{"heat_target": "9999"}"#).unwrap();
+        fan.actuate(0, &cmd, &mut rng);
+        assert_eq!(fan.heat_target_dk(), 3100);
+    }
+
+    #[test]
+    fn dyson_reports_air_quality_periodically() {
+        let mut fan = DysonFan::new();
+        let mut rng = Rng::new(5);
+        let mut reports = 0;
+        for i in 0..40 {
+            reports += fan
+                .step(dspace_simnet::millis(i * 500), &Value::Null, &mut rng)
+                .len();
+        }
+        assert_eq!(reports, 4);
+    }
+}

@@ -1,0 +1,233 @@
+//! iRobot Roomba 675 (dorita980-style LAN API) with a movement model.
+//!
+//! Scenario S5 pauses the robot when a human is present; S8 remounts its
+//! digivice as it moves between rooms. The simulated Roomba has a
+//! dorita980 command surface (`start`/`pause`/`dock`), a battery model,
+//! and a scripted patrol route that reports the robot's current room as an
+//! observation.
+
+use dspace_core::actuator::{Actuation, Actuator};
+use dspace_simnet::{millis, Rng, Time};
+use dspace_value::Value;
+
+use crate::access::AccessPath;
+
+/// Cleaning phase, mirroring dorita980's `cleanMissionStatus.phase`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Docked and charging.
+    Charge,
+    /// Actively cleaning.
+    Run,
+    /// Paused mid-mission.
+    Stop,
+}
+
+impl Phase {
+    /// The dorita980 phase string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Charge => "charge",
+            Phase::Run => "run",
+            Phase::Stop => "stop",
+        }
+    }
+}
+
+/// The simulated Roomba 675.
+#[derive(Debug, Clone)]
+pub struct Roomba {
+    phase: Phase,
+    battery_pct: f64,
+    /// Scripted patrol: `(time, room)` waypoints; the robot is "in" the
+    /// room of the latest waypoint that has passed — but only progresses
+    /// while running.
+    route: Vec<(Time, String)>,
+    route_idx: usize,
+    current_room: String,
+    last_tick: Time,
+}
+
+impl Roomba {
+    /// Creates a docked Roomba in `start_room` with a patrol route.
+    pub fn new(start_room: impl Into<String>, route: Vec<(Time, String)>) -> Self {
+        Roomba {
+            phase: Phase::Charge,
+            battery_pct: 100.0,
+            route,
+            route_idx: 0,
+            current_room: start_room.into(),
+            last_tick: 0,
+        }
+    }
+
+    /// Current mission phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Current battery percentage.
+    pub fn battery(&self) -> f64 {
+        self.battery_pct
+    }
+
+    /// The room the robot currently occupies.
+    pub fn current_room(&self) -> &str {
+        &self.current_room
+    }
+}
+
+impl Actuator for Roomba {
+    fn name(&self) -> &str {
+        "iRobot Roomba 675"
+    }
+
+    fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let Some(command) = cmd.get_path(".command").and_then(Value::as_str) else {
+            return Vec::new();
+        };
+        let new_phase = match command {
+            "start" | "resume" => Phase::Run,
+            "pause" | "stop" => Phase::Stop,
+            "dock" => Phase::Charge,
+            _ => return Vec::new(),
+        };
+        self.phase = new_phase;
+        let mut patch = dspace_value::obj();
+        patch
+            .set(
+                &".control.mode.status".parse().unwrap(),
+                Value::from(self.phase.as_str()),
+            )
+            .unwrap();
+        // Robot command execution is slow: motor spin-up etc.
+        let delay = AccessPath::Lan.rpc_delay(rng) + millis(700);
+        vec![Actuation::new(delay, patch)]
+    }
+
+    fn step(&mut self, now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
+        let elapsed_s = (now - self.last_tick) as f64 / 1e9;
+        self.last_tick = now;
+        let mut patch = dspace_value::obj();
+        let mut changed = false;
+        match self.phase {
+            Phase::Run => {
+                self.battery_pct = (self.battery_pct - 0.05 * elapsed_s).max(0.0);
+                // Progress along the route only while running.
+                while self
+                    .route
+                    .get(self.route_idx)
+                    .is_some_and(|(t, _)| *t <= now)
+                {
+                    let (_, room) = &self.route[self.route_idx];
+                    if *room != self.current_room {
+                        self.current_room = room.clone();
+                        patch
+                            .set(
+                                &".obs.current_room".parse().unwrap(),
+                                Value::from(self.current_room.as_str()),
+                            )
+                            .unwrap();
+                        changed = true;
+                    }
+                    self.route_idx += 1;
+                }
+                if self.battery_pct <= 5.0 {
+                    // Auto-dock on low battery.
+                    self.phase = Phase::Charge;
+                    patch
+                        .set(&".control.mode.status".parse().unwrap(), "charge".into())
+                        .unwrap();
+                    changed = true;
+                }
+            }
+            Phase::Charge => {
+                self.battery_pct = (self.battery_pct + 0.5 * elapsed_s).min(100.0);
+            }
+            Phase::Stop => {}
+        }
+        if changed {
+            let mut full = patch;
+            full.set(&".obs.battery".parse().unwrap(), self.battery_pct.into()).unwrap();
+            vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), full)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn poll_interval(&self) -> Option<Time> {
+        Some(millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_simnet::secs;
+    use dspace_value::json;
+
+    #[test]
+    fn dorita980_commands_change_phase() {
+        let mut rb = Roomba::new("kitchen", vec![]);
+        let mut rng = Rng::new(1);
+        let acts = rb.actuate(0, &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        assert_eq!(rb.phase(), Phase::Run);
+        assert_eq!(
+            acts[0].patch.get_path(".control.mode.status").unwrap().as_str(),
+            Some("run")
+        );
+        rb.actuate(0, &json::parse(r#"{"command": "pause"}"#).unwrap(), &mut rng);
+        assert_eq!(rb.phase(), Phase::Stop);
+        rb.actuate(0, &json::parse(r#"{"command": "dock"}"#).unwrap(), &mut rng);
+        assert_eq!(rb.phase(), Phase::Charge);
+        // Unknown commands ignored.
+        assert!(rb
+            .actuate(0, &json::parse(r#"{"command": "fly"}"#).unwrap(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn route_progresses_only_while_running() {
+        let route = vec![(secs(10), "living".to_string()), (secs(20), "bedroom".to_string())];
+        let mut rb = Roomba::new("kitchen", route);
+        let mut rng = Rng::new(2);
+        // Docked: time passes, no movement.
+        rb.step(secs(15), &Value::Null, &mut rng);
+        assert_eq!(rb.current_room(), "kitchen");
+        // Start cleaning: waypoints that have passed apply.
+        rb.actuate(secs(15), &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        let acts = rb.step(secs(16), &Value::Null, &mut rng);
+        assert_eq!(rb.current_room(), "living");
+        assert_eq!(
+            acts[0].patch.get_path(".obs.current_room").unwrap().as_str(),
+            Some("living")
+        );
+        rb.step(secs(21), &Value::Null, &mut rng);
+        assert_eq!(rb.current_room(), "bedroom");
+    }
+
+    #[test]
+    fn battery_drains_cleaning_and_charges_docked() {
+        let mut rb = Roomba::new("kitchen", vec![]);
+        let mut rng = Rng::new(3);
+        rb.actuate(0, &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        rb.step(secs(100), &Value::Null, &mut rng);
+        assert!(rb.battery() < 100.0);
+        let low = rb.battery();
+        rb.actuate(secs(100), &json::parse(r#"{"command": "dock"}"#).unwrap(), &mut rng);
+        rb.step(secs(150), &Value::Null, &mut rng);
+        assert!(rb.battery() > low);
+    }
+
+    #[test]
+    fn auto_docks_on_low_battery() {
+        let mut rb = Roomba::new("kitchen", vec![]);
+        rb.battery_pct = 6.0;
+        let mut rng = Rng::new(4);
+        rb.actuate(0, &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        // Drain below the threshold: 0.05%/s, needs ~30s.
+        let acts = rb.step(secs(60), &Value::Null, &mut rng);
+        assert_eq!(rb.phase(), Phase::Charge);
+        assert!(!acts.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Digidata driver shims: Scene, Xcdr, Stats, Imitate.
+//!
+//! "The digidata's driver … can also be a thin wrapper around a standalone
+//! data processing system" (§3.1). The engines in [`dspace_analytics`] do
+//! the actual work through the actuator interface; these drivers exist so
+//! the digidata participate in the reconciler machinery (and so effort
+//! accounting sees the real wrapper size).
+
+use dspace_core::driver::Driver;
+
+/// Driver for the Scene digidata (TensorFlow/OpenCV wrapper).
+pub fn scene_driver() -> Driver {
+    Driver::new()
+}
+
+/// Driver for the Xcdr digidata (FFmpeg wrapper).
+pub fn xcdr_driver() -> Driver {
+    Driver::new()
+}
+
+/// Driver for the Stats digidata (PySpark wrapper).
+pub fn stats_driver() -> Driver {
+    Driver::new()
+}
+
+/// Driver for the Imitate digidata (Ray RLlib wrapper).
+pub fn imitate_driver() -> Driver {
+    Driver::new()
+}

@@ -1,0 +1,108 @@
+//! The city emergency-service digivice (S10 delegation of control).
+//!
+//! A third-party hierarchy root. While it holds (policy-granted) control
+//! over rooms, it enforces its directive — e.g. `evacuate` turns every
+//! delegated room to full brightness.
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_value::Value;
+
+/// The emergency service driver.
+pub fn emergency_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "directive", |ctx| {
+        let alarm = ctx.digi().obs("alarm").as_bool() == Some(true);
+        if !alarm {
+            return;
+        }
+        let directive = ctx
+            .digi()
+            .intent("directive")
+            .as_str()
+            .unwrap_or("evacuate")
+            .to_string();
+        for room in ctx.digi().mounted_names("Room") {
+            let active = ctx
+                .digi()
+                .raw()
+                .get_path(&format!(".mount.Room.{room}.status"))
+                .and_then(Value::as_str)
+                == Some("active");
+            if !active {
+                continue;
+            }
+            let target = match directive.as_str() {
+                "evacuate" => 1.0,
+                "lockdown" => 0.3,
+                _ => continue,
+            };
+            let cur = ctx.digi().replica("Room", &room, ".control.brightness.intent");
+            if cur.as_f64() != Some(target) {
+                ctx.digi()
+                    .set_replica("Room", &room, ".control.brightness.intent", target.into());
+            }
+        }
+    });
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn evacuate_raises_delegated_rooms_to_full() {
+        let mut d = emergency_driver();
+        let old = json::parse(r#"{"obs": {"alarm": false}}"#).unwrap();
+        let new = json::parse(
+            r#"{"obs": {"alarm": true},
+                "control": {"directive": {"intent": "evacuate"}},
+                "mount": {"Room": {
+                    "lv": {"status": "active", "control": {"brightness": {"intent": 0.2}}},
+                    "guest": {"status": "yielded", "control": {"brightness": {"intent": 0.2}}}
+                }}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.Room.lv.control.brightness.intent")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        // Yielded room: the emergency service only watches.
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.Room.guest.control.brightness.intent")
+                .unwrap()
+                .as_f64(),
+            Some(0.2)
+        );
+    }
+
+    #[test]
+    fn silent_without_alarm() {
+        let mut d = emergency_driver();
+        let old = json::parse(r#"{"obs": {"alarm": false}}"#).unwrap();
+        let new = json::parse(
+            r#"{"obs": {"alarm": false},
+                "control": {"directive": {"intent": "evacuate"}},
+                "mount": {"Room": {"lv": {"status": "active",
+                    "control": {"brightness": {"intent": 0.2}}}}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.Room.lv.control.brightness.intent")
+                .unwrap()
+                .as_f64(),
+            Some(0.2)
+        );
+    }
+}

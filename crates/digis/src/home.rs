@@ -1,0 +1,199 @@
+//! The Home digivice (S4 multi-level abstraction, S6 learned automation).
+//!
+//! The home exposes a single `mode` (sleep/active/eco/vacation); its
+//! driver propagates the mode to every mounted room (which translates it
+//! to a brightness level), aggregates per-room occupancy upward, feeds a
+//! mounted Imitate digidata with `(occupancy, mode)` demonstrations, and —
+//! when `mode_source` is `"auto"` — adopts the learned recommendation.
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_value::Value;
+
+/// The Home digivice driver.
+pub fn home_driver() -> Driver {
+    let mut d = Driver::new();
+
+    // --- s4 begin ---
+    // Mode propagation to rooms.
+    d.on(Filter::any(), 0, "mode", |ctx| {
+        let Some(mode) = ctx.digi().intent("mode").as_str().map(str::to_string) else {
+            return;
+        };
+        for room in ctx.digi().mounted_names("Room") {
+            let cur = ctx.digi().replica("Room", &room, ".control.mode.intent");
+            if cur.as_str() != Some(mode.as_str()) {
+                ctx.digi().set_replica(
+                    "Room",
+                    &room,
+                    ".control.mode.intent",
+                    Value::from(mode.as_str()),
+                );
+            }
+        }
+        if ctx.digi().status("mode").as_str() != Some(mode.as_str()) {
+            ctx.digi().set_status("mode", Value::from(mode));
+        }
+    });
+
+    // Occupancy aggregation from room observations.
+    d.on(Filter::on_mount(), 2, "occupancy", |ctx| {
+        let mut occupancy = dspace_value::obj();
+        let mut any = false;
+        for room in ctx.digi().mounted_names("Room") {
+            if let Some(n) = ctx.digi().replica("Room", &room, ".obs.occupancy").as_f64() {
+                occupancy
+                    .set(&format!(".{room}").parse().unwrap(), n.into())
+                    .unwrap();
+                any = true;
+            }
+        }
+        if any && ctx.digi().obs("occupancy") != occupancy {
+            ctx.digi().set_obs("occupancy", occupancy);
+        }
+    });
+
+    // --- s4 end ---
+
+    // --- s6 begin ---
+    // Learned automation (S6): feed demonstrations to the Imitate
+    // digidata and adopt its recommendation in auto mode.
+    d.on(Filter::any(), 5, "imitate", |ctx| {
+        let imitates = ctx.digi().mounted_names("Imitate");
+        let Some(im) = imitates.first().cloned() else { return };
+        let occupancy = ctx.digi().obs("occupancy");
+        let mode = ctx.digi().intent("mode");
+        if !occupancy.is_null() {
+            let cur = ctx.digi().replica("Imitate", &im, ".data.input.occupancy");
+            if cur != occupancy {
+                ctx.digi()
+                    .set_replica("Imitate", &im, ".data.input.occupancy", occupancy);
+            }
+        }
+        // Only demonstrate while the user drives the mode manually, and
+        // atomically: the demonstration pairs the mode with the occupancy
+        // at the moment the user chose it (avoids stale-label pairing).
+        let auto = ctx.digi().intent("mode_source").as_str() == Some("auto");
+        if !auto && !mode.is_null() && ctx.changed(".control.mode.intent") {
+            let demo = dspace_value::object([
+                ("occupancy", ctx.digi().obs("occupancy")),
+                ("mode", mode),
+            ]);
+            if ctx.digi().replica("Imitate", &im, ".data.input.demo") != demo {
+                ctx.digi().set_replica("Imitate", &im, ".data.input.demo", demo);
+            }
+        }
+        if auto {
+            let learned = ctx.digi().replica("Imitate", &im, ".data.output.mode");
+            if let Some(m) = learned.as_str() {
+                if ctx.digi().intent("mode").as_str() != Some(m) {
+                    ctx.digi().set_intent("mode", Value::from(m));
+                }
+            }
+        }
+    });
+    // --- s6 end ---
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn mode_propagates_to_room_replicas() {
+        let mut d = home_driver();
+        let old = json::parse(r#"{"control": {"mode": {"intent": null}}, "mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"mode": {"intent": "sleep", "status": null}},
+                "mount": {"Room": {"bedroom": {"control": {"mode": {"intent": null}}},
+                                    "kitchen": {"control": {"mode": {"intent": null}}}}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        for room in ["bedroom", "kitchen"] {
+            assert_eq!(
+                result
+                    .model
+                    .get_path(&format!(".mount.Room.{room}.control.mode.intent"))
+                    .unwrap()
+                    .as_str(),
+                Some("sleep"),
+                "{room} did not receive the mode"
+            );
+        }
+        assert_eq!(
+            result.model.get_path(".control.mode.status").unwrap().as_str(),
+            Some("sleep")
+        );
+    }
+
+    #[test]
+    fn occupancy_aggregates_from_rooms() {
+        let mut d = home_driver();
+        let old = json::parse(r#"{"mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"mode": {"intent": "active"}},
+                "mount": {"Room": {"a": {"obs": {"occupancy": 2}},
+                                    "b": {"obs": {"occupancy": 0}}}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(result.model.get_path(".obs.occupancy.a").unwrap().as_f64(), Some(2.0));
+        assert_eq!(result.model.get_path(".obs.occupancy.b").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn auto_mode_adopts_learned_recommendation() {
+        let mut d = home_driver();
+        let old = json::parse(r#"{"mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"mode": {"intent": "active"}, "mode_source": {"intent": "auto"}},
+                "obs": {"occupancy": {"a": 0}},
+                "mount": {"Imitate": {"im": {"data": {"input": {"occupancy": null, "demo": null},
+                                                        "output": {"mode": "sleep"}}}}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(
+            result.model.get_path(".control.mode.intent").unwrap().as_str(),
+            Some("sleep")
+        );
+        // In auto mode no demonstration is written.
+        assert!(result
+            .model
+            .get_path(".mount.Imitate.im.data.input.demo")
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn manual_mode_demonstrates_to_imitate() {
+        let mut d = home_driver();
+        let old = json::parse(r#"{"mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"mode": {"intent": "sleep"}, "mode_source": {"intent": "manual"}},
+                "obs": {"occupancy": {"a": 0}},
+                "mount": {"Imitate": {"im": {"data": {"input": {"occupancy": null, "demo": null},
+                                                        "output": {"mode": null}}}}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.Imitate.im.data.input.demo.mode")
+                .unwrap()
+                .as_str(),
+            Some("sleep")
+        );
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.Imitate.im.data.input.demo.occupancy.a")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Lamp digivices: the three vendor lamps and the UniLamp.
+//!
+//! Vendor digivices speak their device's native API (the paper's leaf
+//! digis, built once and reused). The **UniLamp** is the universal device
+//! of §2.3: it exposes a standardized model (power on/off, brightness
+//! 0–1) and "contains the logic to translate u to the parameters l of a
+//! vendor-specific lamp L" — the setpoint conversions live in
+//! [`to_vendor_brightness`]/[`from_vendor_brightness`].
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_value::Value;
+
+/// Converts a universal brightness (0–1) to a vendor's native scale.
+///
+/// Returns `None` for unknown vendor kinds.
+pub fn to_vendor_brightness(kind: &str, universal: f64) -> Option<f64> {
+    let u = universal.clamp(0.0, 1.0);
+    match kind {
+        "GeeniLamp" => Some((10.0 + u * 990.0).round()),
+        "LifxLamp" => Some((u * 65535.0).round()),
+        "HueLamp" => Some((u * 254.0).round()),
+        _ => None,
+    }
+}
+
+/// Converts a vendor-scale brightness back to the universal 0–1 range.
+pub fn from_vendor_brightness(kind: &str, vendor: f64) -> Option<f64> {
+    match kind {
+        "GeeniLamp" => Some(((vendor - 10.0) / 990.0).clamp(0.0, 1.0)),
+        "LifxLamp" => Some((vendor / 65535.0).clamp(0.0, 1.0)),
+        "HueLamp" => Some((vendor / 254.0).clamp(0.0, 1.0)),
+        _ => None,
+    }
+}
+
+/// Converts a universal power value to the vendor representation.
+pub fn to_vendor_power(kind: &str, on: bool) -> Option<Value> {
+    match kind {
+        "GeeniLamp" | "HueLamp" => Some(Value::from(if on { "on" } else { "off" })),
+        "LifxLamp" => Some(Value::from(if on { 65535.0 } else { 0.0 })),
+        _ => None,
+    }
+}
+
+/// Interprets a vendor power value as a boolean.
+pub fn from_vendor_power(value: &Value) -> Option<bool> {
+    match value {
+        Value::Str(s) => Some(s == "on"),
+        Value::Num(n) => Some(*n >= 32768.0),
+        _ => None,
+    }
+}
+
+/// Driver for the GEENI lamp digivice: control intents → Tuya `dps`.
+pub fn geeni_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "tuya-sync", |ctx| {
+        let mut dps = dspace_value::obj();
+        let mut any = false;
+        let power = ctx.digi().intent("power");
+        if let Some(p) = power.as_str() {
+            if power != ctx.digi().status("power") {
+                dps.set(&".1".parse().unwrap(), Value::from(p == "on")).unwrap();
+                any = true;
+            }
+        }
+        let bri = ctx.digi().intent("brightness");
+        if !bri.is_null() && bri != ctx.digi().status("brightness") {
+            dps.set(&".2".parse().unwrap(), bri).unwrap();
+            any = true;
+        }
+        if any {
+            ctx.device(dspace_value::object([("dps", dps)]));
+        }
+    });
+    d
+}
+
+/// Driver for the LIFX lamp digivice: control intents → lifxlan messages.
+pub fn lifx_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "lifxlan-sync", |ctx| {
+        let mut cmd = dspace_value::obj();
+        let mut any = false;
+        let power = ctx.digi().intent("power");
+        if !power.is_null() && power != ctx.digi().status("power") {
+            cmd.set(&".set_power".parse().unwrap(), power).unwrap();
+            any = true;
+        }
+        let mut color = dspace_value::obj();
+        let mut color_any = false;
+        for attr in ["brightness", "kelvin"] {
+            let v = ctx.digi().intent(attr);
+            if !v.is_null() && v != ctx.digi().status(attr) {
+                color.set(&format!(".{attr}").parse().unwrap(), v).unwrap();
+                color_any = true;
+            }
+        }
+        if color_any {
+            cmd.set(&".set_color".parse().unwrap(), color).unwrap();
+            any = true;
+        }
+        if any {
+            ctx.device(cmd);
+        }
+    });
+    d
+}
+
+/// Driver for the Philips Hue digivice: control intents → phue fields.
+pub fn hue_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "phue-sync", |ctx| {
+        let mut cmd = dspace_value::obj();
+        let mut any = false;
+        let power = ctx.digi().intent("power");
+        if let Some(p) = power.as_str() {
+            if power != ctx.digi().status("power") {
+                cmd.set(&".on".parse().unwrap(), Value::from(p == "on")).unwrap();
+                any = true;
+            }
+        }
+        for (attr, field) in [("brightness", "bri"), ("hue", "hue"), ("sat", "sat")] {
+            let v = ctx.digi().intent(attr);
+            if !v.is_null() && v != ctx.digi().status(attr) {
+                cmd.set(&format!(".{field}").parse().unwrap(), v).unwrap();
+                any = true;
+            }
+        }
+        if any {
+            ctx.device(cmd);
+        }
+    });
+    d
+}
+
+/// Driver for the UniLamp (§2.3): translates the universal model to
+/// whatever vendor lamp is mounted below, in both directions.
+///
+/// Southbound: universal intents → vendor-scale intents on the child's
+/// replica. Northbound: vendor statuses → universal statuses; and when the
+/// *child's own intent* moves (a physical toggle, S2), the UniLamp adopts
+/// it as its own intent — the intent-reconciliation hook of §3.5.
+pub fn unilamp_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "translate", |ctx| {
+        let mounts = ctx.digi().mounts();
+        let Some((kind, name)) = mounts.into_iter().next() else { return };
+
+        // --- Northbound first: statuses and child-initiated intents. ----
+        let vendor_bri_status =
+            ctx.digi().replica(&kind, &name, ".control.brightness.status");
+        if let Some(vb) = vendor_bri_status.as_f64() {
+            if let Some(u) = from_vendor_brightness(&kind, vb) {
+                if ctx.digi().status("brightness").as_f64() != Some(u) {
+                    ctx.digi().set_status("brightness", u.into());
+                }
+            }
+        }
+        let vendor_pow_status = ctx.digi().replica(&kind, &name, ".control.power.status");
+        if let Some(on) = from_vendor_power(&vendor_pow_status) {
+            let s = Value::from(if on { "on" } else { "off" });
+            if ctx.digi().status("power") != s {
+                ctx.digi().set_status("power", s);
+            }
+        }
+        // Intent reconciliation: the vendor lamp's own intent deviated from
+        // what we last assigned — adopt it upward.
+        let assigned_bri = ctx.digi().obs("assigned_brightness");
+        let vendor_bri_intent =
+            ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+        if let (Some(vi), Some(av)) = (vendor_bri_intent.as_f64(), assigned_bri.as_f64()) {
+            if vi != av {
+                if let Some(u) = from_vendor_brightness(&kind, vi) {
+                    ctx.digi().set_intent("brightness", u.into());
+                    ctx.digi().set_obs("assigned_brightness", vi.into());
+                }
+            }
+        }
+
+        // --- Southbound: universal intents → vendor intents. ------------
+        if let Some(u) = ctx.digi().intent("brightness").as_f64() {
+            if let Some(v) = to_vendor_brightness(&kind, u) {
+                let cur = ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+                if cur.as_f64() != Some(v) {
+                    ctx.digi()
+                        .set_replica(&kind, &name, ".control.brightness.intent", v.into());
+                    ctx.digi().set_obs("assigned_brightness", v.into());
+                }
+            }
+        }
+        if let Some(p) = ctx.digi().intent("power").as_str().map(|s| s == "on") {
+            if let Some(v) = to_vendor_power(&kind, p) {
+                let cur = ctx.digi().replica(&kind, &name, ".control.power.intent");
+                if cur != v {
+                    ctx.digi().set_replica(&kind, &name, ".control.power.intent", v);
+                }
+            }
+        }
+    });
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brightness_conversions_roundtrip() {
+        for kind in ["GeeniLamp", "LifxLamp", "HueLamp"] {
+            for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let v = to_vendor_brightness(kind, u).unwrap();
+                let back = from_vendor_brightness(kind, v).unwrap();
+                assert!((back - u).abs() < 0.01, "{kind} u={u} v={v} back={back}");
+            }
+        }
+        assert!(to_vendor_brightness("Toaster", 0.5).is_none());
+    }
+
+    #[test]
+    fn vendor_scales_differ() {
+        // The whole point of the UniLamp: 0.5 universal is three different
+        // vendor numbers.
+        assert_eq!(to_vendor_brightness("GeeniLamp", 0.5), Some(505.0));
+        assert_eq!(to_vendor_brightness("LifxLamp", 0.5), Some(32768.0));
+        assert_eq!(to_vendor_brightness("HueLamp", 0.5), Some(127.0));
+    }
+
+    #[test]
+    fn power_conversions() {
+        assert_eq!(to_vendor_power("GeeniLamp", true).unwrap().as_str(), Some("on"));
+        assert_eq!(to_vendor_power("LifxLamp", true).unwrap().as_f64(), Some(65535.0));
+        assert_eq!(to_vendor_power("LifxLamp", false).unwrap().as_f64(), Some(0.0));
+        assert_eq!(from_vendor_power(&Value::from("on")), Some(true));
+        assert_eq!(from_vendor_power(&Value::from(65535.0)), Some(true));
+        assert_eq!(from_vendor_power(&Value::from(0.0)), Some(false));
+        assert_eq!(from_vendor_power(&Value::Null), None);
+    }
+
+    #[test]
+    fn conversions_clamp_out_of_range() {
+        assert_eq!(to_vendor_brightness("GeeniLamp", 2.0), Some(1000.0));
+        assert_eq!(to_vendor_brightness("HueLamp", -1.0), Some(0.0));
+        assert_eq!(from_vendor_brightness("GeeniLamp", 0.0), Some(0.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Media digis: the camera source, the Bose speaker, and the RoamSpeaker
+//! (service handover, S7).
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_value::Value;
+
+/// Driver for the Camera digidata: the Wyze engine populates
+/// `data.output.url` by itself, so the driver is an empty shim — the
+/// "thin wrapper" case of §3.1.
+pub fn camera_driver() -> Driver {
+    Driver::new()
+}
+
+/// Driver for the Bose speaker digivice: reconciles mode/volume/source
+/// intents into SoundTouch commands.
+pub fn speaker_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "soundtouch", |ctx| {
+        let mut cmd = dspace_value::obj();
+        let mut any = false;
+        if let Some(mode) = ctx.digi().intent("mode").as_str() {
+            if ctx.digi().status("mode").as_str() != Some(mode) {
+                let key = if mode == "play" { "PLAY" } else { "PAUSE" };
+                cmd.set(&".key".parse().unwrap(), key.into()).unwrap();
+                any = true;
+            }
+        }
+        let vol = ctx.digi().intent("volume");
+        if !vol.is_null() && vol != ctx.digi().status("volume") {
+            cmd.set(&".volume".parse().unwrap(), vol).unwrap();
+            any = true;
+        }
+        let src = ctx.digi().intent("source_url");
+        if !src.is_null() && src != ctx.digi().status("source_url") {
+            cmd.set(&".source_url".parse().unwrap(), src).unwrap();
+            any = true;
+        }
+        if any {
+            ctx.device(cmd);
+        }
+    });
+    d
+}
+
+// --- s7 begin ---
+/// Driver for the RoamSpeaker digivice (S7).
+///
+/// Rooms are mounted to the RoamSpeaker; each room's speakers are mounted
+/// to the room under **expose** mode, so the RoamSpeaker reaches them
+/// through nested replicas. The audio follows the user: the speaker in an
+/// occupied room plays the roaming source; speakers elsewhere pause.
+pub fn roam_speaker_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "handover", |ctx| {
+        let Some(source) = ctx.digi().intent("source_url").as_str().map(str::to_string) else {
+            return;
+        };
+        let volume = ctx.digi().intent("volume");
+        let rooms = ctx.digi().mounted_names("Room");
+        for room in rooms {
+            let occupied = ctx
+                .digi()
+                .replica("Room", &room, ".obs.occupancy")
+                .as_f64()
+                .unwrap_or(0.0)
+                > 0.0;
+            // Speakers exposed through the room's replica.
+            let speakers = ctx
+                .digi()
+                .replica("Room", &room, ".mount.Speaker")
+                .as_object()
+                .map(|m| m.keys().cloned().collect::<Vec<_>>())
+                .unwrap_or_default();
+            for spk in speakers {
+                let base = format!(".mount.Speaker.{spk}.control");
+                let desired_mode = if occupied { "play" } else { "pause" };
+                let mode_path = format!("{base}.mode.intent");
+                if ctx.digi().replica("Room", &room, &mode_path).as_str() != Some(desired_mode)
+                {
+                    ctx.digi()
+                        .set_replica("Room", &room, &mode_path, desired_mode.into());
+                }
+                if occupied {
+                    let src_path = format!("{base}.source_url.intent");
+                    if ctx.digi().replica("Room", &room, &src_path).as_str()
+                        != Some(source.as_str())
+                    {
+                        ctx.digi().set_replica(
+                            "Room",
+                            &room,
+                            &src_path,
+                            Value::from(source.as_str()),
+                        );
+                    }
+                    if !volume.is_null() {
+                        let vol_path = format!("{base}.volume.intent");
+                        if ctx.digi().replica("Room", &room, &vol_path) != volume {
+                            ctx.digi().set_replica("Room", &room, &vol_path, volume.clone());
+                        }
+                    }
+                }
+            }
+        }
+    });
+    d
+}
+// --- s7 end ---
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn speaker_driver_builds_soundtouch_commands() {
+        let mut d = speaker_driver();
+        let old = json::parse(
+            r#"{"control": {"mode": {"intent": null}, "volume": {"intent": null},
+                 "source_url": {"intent": null}}}"#,
+        )
+        .unwrap();
+        let new = json::parse(
+            r#"{"control": {"mode": {"intent": "play"}, "volume": {"intent": 40},
+                 "source_url": {"intent": "http://news"}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(result.effects.len(), 1);
+        match &result.effects[0] {
+            dspace_core::driver::Effect::Device(cmd) => {
+                assert_eq!(cmd.get_path(".key").unwrap().as_str(), Some("PLAY"));
+                assert_eq!(cmd.get_path(".volume").unwrap().as_f64(), Some(40.0));
+                assert_eq!(cmd.get_path(".source_url").unwrap().as_str(), Some("http://news"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roam_speaker_routes_audio_to_occupied_room() {
+        let mut d = roam_speaker_driver();
+        let old = json::parse(r#"{"control": {}, "mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"source_url": {"intent": "http://news"}, "volume": {"intent": 35}},
+                "mount": {"Room": {
+                  "a": {"obs": {"occupancy": 1},
+                         "mount": {"Speaker": {"s1": {"control": {"mode": {"intent": null}}}}}},
+                  "b": {"obs": {"occupancy": 0},
+                         "mount": {"Speaker": {"s2": {"control": {"mode": {"intent": null}}}}}}
+                }}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        let m = &result.model;
+        assert_eq!(
+            m.get_path(".mount.Room.a.mount.Speaker.s1.control.mode.intent")
+                .unwrap()
+                .as_str(),
+            Some("play")
+        );
+        assert_eq!(
+            m.get_path(".mount.Room.a.mount.Speaker.s1.control.source_url.intent")
+                .unwrap()
+                .as_str(),
+            Some("http://news")
+        );
+        assert_eq!(
+            m.get_path(".mount.Room.b.mount.Speaker.s2.control.mode.intent")
+                .unwrap()
+                .as_str(),
+            Some("pause")
+        );
+        // The empty room's speaker got no source.
+        assert!(m
+            .get_path(".mount.Room.b.mount.Speaker.s2.control.source_url.intent")
+            .is_none());
+    }
+}

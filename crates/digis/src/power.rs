@@ -1,0 +1,129 @@
+//! The power controller digivice (S9 shared control).
+//!
+//! An independent control hierarchy: lamps (and plugs) are mounted to the
+//! power controller *in addition to* their room, normally in the yielded
+//! state. A yield policy transfers write access to the power controller
+//! when the room goes IDLE; while it holds control it drives devices to
+//! their energy-saving setpoints.
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_value::Value;
+
+/// Brightness the controller enforces while saving.
+pub const SAVING_BRIGHTNESS: f64 = 0.1;
+
+/// The power controller driver.
+pub fn power_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::any(), 0, "save", |ctx| {
+        let saving = ctx.digi().intent("saving").as_str() == Some("on");
+        if ctx.digi().status("saving").as_str()
+            != Some(if saving { "on" } else { "off" })
+        {
+            ctx.digi()
+                .set_status("saving", Value::from(if saving { "on" } else { "off" }));
+        }
+        if !saving {
+            return;
+        }
+        // Drive every *active* mounted lamp to the saving setpoint. Writes
+        // through yielded mounts are dropped by the mounter, so this is
+        // safe to attempt unconditionally; we still check the replica's
+        // status field to keep the model tidy.
+        for (kind, name) in ctx.digi().mounts() {
+            let active = ctx
+                .digi()
+                .raw()
+                .get_path(&format!(".mount.{kind}.{name}.status"))
+                .and_then(Value::as_str)
+                == Some("active");
+            if !active {
+                continue;
+            }
+            match kind.as_str() {
+                "UniLamp" => {
+                    let cur = ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+                    if cur.as_f64() != Some(SAVING_BRIGHTNESS) {
+                        ctx.digi().set_replica(
+                            &kind,
+                            &name,
+                            ".control.brightness.intent",
+                            SAVING_BRIGHTNESS.into(),
+                        );
+                    }
+                }
+                "Plug" => {
+                    let cur = ctx.digi().replica(&kind, &name, ".control.power.intent");
+                    if cur.as_str() != Some("off") {
+                        ctx.digi().set_replica(&kind, &name, ".control.power.intent", "off".into());
+                    }
+                }
+                _ => {}
+            }
+        }
+    });
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    #[test]
+    fn saving_drives_active_mounts_only() {
+        let mut d = power_driver();
+        let old = json::parse(r#"{"mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"saving": {"intent": "on", "status": null}},
+                "mount": {"UniLamp": {
+                    "ul1": {"status": "active", "control": {"brightness": {"intent": 0.8}}},
+                    "ul2": {"status": "yielded", "control": {"brightness": {"intent": 0.8}}}
+                }}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.UniLamp.ul1.control.brightness.intent")
+                .unwrap()
+                .as_f64(),
+            Some(SAVING_BRIGHTNESS)
+        );
+        // The yielded mount is untouched.
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.UniLamp.ul2.control.brightness.intent")
+                .unwrap()
+                .as_f64(),
+            Some(0.8)
+        );
+    }
+
+    #[test]
+    fn idle_when_not_saving() {
+        let mut d = power_driver();
+        let old = json::parse(r#"{"mount": {}}"#).unwrap();
+        let new = json::parse(
+            r#"{"control": {"saving": {"intent": "off", "status": null}},
+                "mount": {"UniLamp": {"ul1": {"status": "active",
+                    "control": {"brightness": {"intent": 0.8}}}}}}"#,
+        )
+        .unwrap();
+        let result = d.reconcile(&old, &new, 0.0);
+        assert_eq!(
+            result
+                .model
+                .get_path(".mount.UniLamp.ul1.control.brightness.intent")
+                .unwrap()
+                .as_f64(),
+            Some(0.8)
+        );
+        assert_eq!(
+            result.model.get_path(".control.saving.status").unwrap().as_str(),
+            Some("off")
+        );
+    }
+}

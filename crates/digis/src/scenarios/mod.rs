@@ -1,0 +1,123 @@
+//! The ten deployment scenarios of §6.1, incrementally building up in
+//! mounting complexity.
+//!
+//! Each scenario module contains the *scenario-specific* code the paper
+//! counts in Table 4 (higher-level digis were already counted when first
+//! introduced — e.g. the Room in S1, the Home in S4); each scenario also
+//! ships a YAML configuration (`configs/sN.yaml`) holding the composition
+//! and policies an end user would write — the paper's LoCF column.
+
+pub mod s1;
+pub mod s10;
+pub mod s2;
+pub mod s3;
+pub mod s4;
+pub mod s5;
+pub mod s6;
+pub mod s7;
+pub mod s8;
+pub mod s9;
+
+use dspace_apiserver::ObjectRef;
+use dspace_core::graph::MountMode;
+use dspace_core::policy::parse_ref;
+use dspace_core::{Space, SpaceError};
+use dspace_value::{yaml, Value};
+
+/// Applies a scenario configuration (the end-user YAML) to a space:
+/// `mounts`, `pipes`, `reflexes`, `policies`, and initial `intents`.
+///
+/// # Errors
+///
+/// Returns the first composition error; configurations in this repo are
+/// expected to apply cleanly.
+pub fn apply_config(space: &mut Space, config: &str) -> Result<(), SpaceError> {
+    let doc = yaml::parse(config)
+        .map_err(|e| SpaceError::BadSpec(format!("config parse error: {e}")))?;
+    if let Some(mounts) = doc.get_path(".mounts").and_then(Value::as_array) {
+        for m in mounts.clone() {
+            let child = ref_field(&m, "child")?;
+            let parent = ref_field(&m, "parent")?;
+            let mode = match m.get_path("mode").and_then(Value::as_str) {
+                Some("hide") => MountMode::Hide,
+                _ => MountMode::Expose,
+            };
+            space.mount(&child, &parent, mode)?;
+            space.run_for_ms(200);
+        }
+    }
+    if let Some(pipes) = doc.get_path(".pipes").and_then(Value::as_array) {
+        for p in pipes.clone() {
+            let (src, src_attr) = endpoint(&p, "from")?;
+            let (dst, dst_attr) = endpoint(&p, "to")?;
+            space.pipe(&src, &src_attr, &dst, &dst_attr)?;
+            space.run_for_ms(200);
+        }
+    }
+    if let Some(reflexes) = doc.get_path(".reflexes").and_then(Value::as_array) {
+        for r in reflexes.clone() {
+            let target = ref_field(&r, "target")?;
+            let name = str_field(&r, "name")?;
+            let policy = str_field(&r, "policy")?;
+            let priority = r.get_path("priority").and_then(Value::as_f64).unwrap_or(0.0) as i64;
+            space.add_reflex(&target, &name, &policy, priority)?;
+            space.run_for_ms(200);
+        }
+    }
+    if let Some(policies) = doc.get_path(".policies").and_then(Value::as_array) {
+        for (i, p) in policies.clone().into_iter().enumerate() {
+            let name = p
+                .get_path("meta.name")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("policy-{i}"));
+            space.add_policy(&name, p)?;
+            space.run_for_ms(200);
+        }
+    }
+    if let Some(intents) = doc.get_path(".intents").and_then(Value::as_array) {
+        for i in intents.clone() {
+            let spec = str_field(&i, "target")?;
+            let value = i.get_path("value").cloned().unwrap_or(Value::Null);
+            space.set_intent_now(&spec, value)?;
+            space.run_for_ms(200);
+        }
+    }
+    Ok(())
+}
+
+fn str_field(v: &Value, field: &str) -> Result<String, SpaceError> {
+    v.get_path(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| SpaceError::BadSpec(format!("missing field '{field}'")))
+}
+
+fn ref_field(v: &Value, field: &str) -> Result<ObjectRef, SpaceError> {
+    let s = str_field(v, field)?;
+    parse_ref(&s).map_err(|e| SpaceError::BadSpec(e.to_string()))
+}
+
+/// Parses `"Kind/name.attr"` pipe endpoints.
+fn endpoint(v: &Value, field: &str) -> Result<(ObjectRef, String), SpaceError> {
+    let s = str_field(v, field)?;
+    let (obj, attr) = s
+        .rsplit_once('.')
+        .ok_or_else(|| SpaceError::BadSpec(format!("bad endpoint '{s}'")))?;
+    Ok((
+        parse_ref(obj).map_err(|e| SpaceError::BadSpec(e.to_string()))?,
+        attr.to_string(),
+    ))
+}
+
+/// Convenience: total occupancy schedule used by the camera-based
+/// scenarios — a person enters at `enter` seconds and leaves at `leave`.
+pub fn person_window(
+    enter: u64,
+    leave: u64,
+) -> dspace_analytics::OccupancySchedule {
+    dspace_analytics::OccupancySchedule::from_entries([
+        (dspace_simnet::secs(enter), vec!["person"]),
+        (dspace_simnet::secs(leave), vec![]),
+    ])
+}

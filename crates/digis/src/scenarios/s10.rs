@@ -1,0 +1,64 @@
+//! S10 — Delegation of control.
+//!
+//! "Our user now wants to 'yield' control over the home to a city-run
+//! emergency service in the event of an emergency" (§6.1). A yield policy
+//! watches the city service's alarm; while raised, the service holds
+//! write access over the room and enforces its directive.
+
+use dspace_apiserver::ObjectRef;
+use dspace_core::Space;
+use dspace_devices::GeeniLamp;
+use dspace_simnet::millis;
+
+use crate::{emergency, home, lamps, room};
+
+/// The end-user configuration for S10 (the delegation policy).
+pub const CONFIG: &str = include_str!("../../configs/s10.yaml");
+
+/// The built S10 deployment.
+pub struct S10 {
+    /// The running space.
+    pub space: Space,
+    /// The home digivice.
+    pub home: ObjectRef,
+    /// The room under delegation.
+    pub room: ObjectRef,
+    /// The city emergency service.
+    pub city: ObjectRef,
+}
+
+impl S10 {
+    /// Builds the scenario.
+    pub fn build() -> S10 {
+        let mut space = crate::new_space();
+        let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+        space.attach_actuator(&l1, Box::new(GeeniLamp::new()));
+        let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
+        let room = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+        let home = space.create_digi("Home", "home", home::home_driver()).unwrap();
+        let city = space
+            .create_digi("Emergency", "city", emergency::emergency_driver())
+            .unwrap();
+        for (child, parent) in [(&l1, &ul1), (&ul1, &room)] {
+            space
+                .mount(child, parent, dspace_core::graph::MountMode::Expose)
+                .unwrap();
+            space.run_for(millis(300));
+        }
+        super::apply_config(&mut space, CONFIG).expect("S10 config applies");
+        space.set_intent_now("home/mode", "sleep".into()).unwrap();
+        space.run_for(millis(5_000));
+        S10 { space, home, room, city }
+    }
+
+    /// Raises or clears the city-wide alarm.
+    pub fn set_alarm(&mut self, on: bool) {
+        self.space
+            .physical_event(
+                "city",
+                dspace_value::object([("obs", dspace_value::object([("alarm", on.into())]))]),
+            )
+            .unwrap();
+        self.space.run_for(millis(8_000));
+    }
+}

@@ -1,0 +1,43 @@
+//! S2 — Reconciling intents specified in the physical vs. virtual world.
+//!
+//! "It requires no change to S1, other than the correct intent
+//! reconciliation logic in both lamp and room digivices" (§6.2) — that
+//! logic lives in [`crate::lamps::unilamp_driver`] (adopt the vendor
+//! lamp's own intent) and [`crate::room::room_driver`] (pin the
+//! user-touched lamp, rebalance the others). This module only adds the
+//! physical-interaction helpers.
+
+use crate::lamps::to_vendor_brightness;
+use crate::scenarios::s1::S1;
+
+/// S2 is S1 plus physical interactions.
+pub struct S2 {
+    /// The underlying S1 deployment.
+    pub inner: S1,
+}
+
+impl S2 {
+    /// Builds the scenario.
+    pub fn build() -> S2 {
+        S2 { inner: S1::build() }
+    }
+
+    /// The user manually dims a vendor lamp at its physical switch: the
+    /// lamp's own intent *and* status change from the device side, at the
+    /// vendor's native scale.
+    pub fn user_dims_lamp(&mut self, kind: &str, name: &str, universal: f64) {
+        let vendor = to_vendor_brightness(kind, universal).expect("known vendor");
+        let patch = dspace_value::object([(
+            "control",
+            dspace_value::object([(
+                "brightness",
+                dspace_value::object([
+                    ("intent", vendor.into()),
+                    ("status", vendor.into()),
+                ]),
+            )]),
+        )]);
+        self.inner.space.physical_event(name, patch).unwrap();
+        self.inner.space.run_for_ms(5_000);
+    }
+}

@@ -1,0 +1,53 @@
+//! S5 — Robot vacuum by scene.
+//!
+//! "We pipe the output of the Camera digivice first to the Xcdr digidata
+//! for transcoding; then from the Xcdr to the Scene digidata … We mount
+//! the Scene and Roomba digis to the Room digivice which reads the objects
+//! from the Scene's output. Whenever the Room sees humans in the objects,
+//! it will pause the Roomba" (§6.2).
+
+use dspace_analytics::{OccupancySchedule, SceneEngine, XcdrEngine};
+use dspace_apiserver::ObjectRef;
+use dspace_core::Space;
+use dspace_devices::{Roomba, WyzeCam};
+use dspace_simnet::{millis, Time};
+
+use crate::{data, media, room, vacuum};
+
+/// The end-user configuration for S5.
+pub const CONFIG: &str = include_str!("../../configs/s5.yaml");
+
+/// The built S5 deployment.
+pub struct S5 {
+    /// The running space.
+    pub space: Space,
+    /// The room digivice.
+    pub room: ObjectRef,
+    /// The roomba digivice.
+    pub roomba: ObjectRef,
+}
+
+impl S5 {
+    /// Builds the scenario around an occupancy script (ground truth for
+    /// the synthetic camera).
+    pub fn build(truth: OccupancySchedule) -> S5 {
+        Self::build_with_route(truth, Vec::new())
+    }
+
+    /// Builds the scenario with a roomba patrol route (used by S8).
+    pub fn build_with_route(truth: OccupancySchedule, route: Vec<(Time, String)>) -> S5 {
+        let mut space = crate::new_space();
+        let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+        space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.42")));
+        let x1 = space.create_digi("Xcdr", "x1", data::xcdr_driver()).unwrap();
+        space.attach_actuator(&x1, Box::new(XcdrEngine::new("edge-node")));
+        let sc1 = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+        space.attach_actuator(&sc1, Box::new(SceneEngine::new(truth)));
+        let rb1 = space.create_digi("Roomba", "rb1", vacuum::roomba_driver()).unwrap();
+        space.attach_actuator(&rb1, Box::new(Roomba::new("lvroom", route)));
+        let room = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+        super::apply_config(&mut space, CONFIG).expect("S5 config applies");
+        space.run_for(millis(4_000));
+        S5 { space, room, roomba: rb1 }
+    }
+}

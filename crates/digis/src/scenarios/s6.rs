@@ -1,0 +1,68 @@
+//! S6 — Learned automation.
+//!
+//! "The \[Imitate\] digidata is mounted to the Home, which writes the list
+//! of objects in each room and the Home's mode to the digidata's input
+//! attributes. The digidata … learns a policy, infers what the next mode
+//! should be, and writes the mode to its output attribute" (§6.2). Once
+//! the user flips `mode_source` to `auto`, the home adopts the learned
+//! recommendation.
+
+use dspace_analytics::ImitateEngine;
+use dspace_apiserver::ObjectRef;
+
+use crate::data;
+use crate::scenarios::s4::S4;
+
+/// The end-user configuration for S6.
+pub const CONFIG: &str = include_str!("../../configs/s6.yaml");
+
+/// S6: S4 plus the Imitate digidata.
+pub struct S6 {
+    /// The underlying home deployment.
+    pub inner: S4,
+    /// The Imitate digidata.
+    pub imitate: ObjectRef,
+}
+
+impl S6 {
+    /// Builds the scenario.
+    pub fn build() -> S6 {
+        let mut inner = S4::build();
+        let imitate = inner
+            .space
+            .create_digi("Imitate", "im1", data::imitate_driver())
+            .unwrap();
+        inner.space.attach_actuator(&imitate, Box::new(ImitateEngine::new()));
+        super::apply_config(&mut inner.space, CONFIG).expect("S6 config applies");
+        inner.space.run_for_ms(1_000);
+        S6 { inner, imitate }
+    }
+
+    /// The user demonstrates: sets room occupancy (through the scene
+    /// observation surrogate) and picks a mode, repeatedly.
+    pub fn demonstrate(&mut self, lv_people: u64, mode: &str) {
+        // Occupancy arrives via the room's obs (normally from a Scene).
+        self.inner
+            .space
+            .physical_event(
+                "lvroom",
+                dspace_value::object([(
+                    "obs",
+                    dspace_value::object([("occupancy", (lv_people as f64).into())]),
+                )]),
+            )
+            .unwrap();
+        self.inner.space.run_for_ms(2_000);
+        self.inner.space.set_intent_now("home/mode", mode.into()).unwrap();
+        self.inner.space.run_for_ms(3_000);
+    }
+
+    /// Switches the home to learned (auto) mode.
+    pub fn enable_auto(&mut self) {
+        self.inner
+            .space
+            .set_intent_now("home/mode_source", "auto".into())
+            .unwrap();
+        self.inner.space.run_for_ms(2_000);
+    }
+}

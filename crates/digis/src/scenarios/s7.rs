@@ -1,0 +1,59 @@
+//! S7 — Service handover.
+//!
+//! "We implemented a RoamSpeaker digivice that can mount the Room
+//! digivices and the Speakers digivices are mounted to the Room under
+//! 'expose' mode. RoamSpeaker … sets the mode of the Speaker (pause or
+//! resume) based on the Room's occupancy" (§6.2). The user's movement is
+//! injected as room-occupancy observations.
+
+use dspace_apiserver::ObjectRef;
+use dspace_core::Space;
+use dspace_devices::BoseSpeaker;
+use dspace_simnet::millis;
+
+use crate::{media, room};
+
+/// The end-user configuration for S7.
+pub const CONFIG: &str = include_str!("../../configs/s7.yaml");
+
+/// The built S7 deployment: two rooms with speakers under a RoamSpeaker.
+pub struct S7 {
+    /// The running space.
+    pub space: Space,
+    /// The RoamSpeaker digivice.
+    pub roam: ObjectRef,
+}
+
+impl S7 {
+    /// Builds the scenario.
+    pub fn build() -> S7 {
+        let mut space = crate::new_space();
+        for (spk, rm) in [("spk1", "rooma"), ("spk2", "roomb")] {
+            let s = space.create_digi("Speaker", spk, media::speaker_driver()).unwrap();
+            space.attach_actuator(&s, Box::new(BoseSpeaker::new()));
+            space.create_digi("Room", rm, room::room_driver()).unwrap();
+        }
+        let roam = space
+            .create_digi("RoamSpeaker", "roam", media::roam_speaker_driver())
+            .unwrap();
+        super::apply_config(&mut space, CONFIG).expect("S7 config applies");
+        space.run_for(millis(4_000));
+        S7 { space, roam }
+    }
+
+    /// Moves the user: one room becomes occupied, the other empties.
+    pub fn user_moves_to(&mut self, occupied: &str, empty: &str) {
+        for (rm, n) in [(occupied, 1.0), (empty, 0.0)] {
+            self.space
+                .physical_event(
+                    rm,
+                    dspace_value::object([(
+                        "obs",
+                        dspace_value::object([("occupancy", n.into())]),
+                    )]),
+                )
+                .unwrap();
+        }
+        self.space.run_for(millis(6_000));
+    }
+}

@@ -1,0 +1,39 @@
+//! S8 — Device mobility.
+//!
+//! "Dynamic composition that happens (i) at runtime, (ii) without user
+//! intervention but driven by user-defined policies, and (iii) the devices
+//! being composed depend on the context" (§6.2). A mount policy remounts
+//! the Roomba digivice between rooms as the robot's reported location
+//! changes.
+
+use dspace_analytics::OccupancySchedule;
+use dspace_apiserver::ObjectRef;
+use dspace_simnet::Time;
+
+use crate::room;
+use crate::scenarios::s5::S5;
+
+/// The end-user configuration for S8 (the mobility mount policy).
+pub const CONFIG: &str = include_str!("../../configs/s8.yaml");
+
+/// S8: the S5 deployment, a second room, and the mobility policy.
+pub struct S8 {
+    /// The underlying S5 deployment (camera + scene + roomba + lvroom).
+    pub inner: S5,
+    /// The second room.
+    pub bedroom: ObjectRef,
+}
+
+impl S8 {
+    /// Builds the scenario with the robot's patrol route.
+    pub fn build(truth: OccupancySchedule, route: Vec<(Time, String)>) -> S8 {
+        let mut inner = S5::build_with_route(truth, route);
+        let bedroom = inner
+            .space
+            .create_digi("Room", "bedroom", room::room_driver())
+            .unwrap();
+        super::apply_config(&mut inner.space, CONFIG).expect("S8 config applies");
+        inner.space.run_for_ms(1_000);
+        S8 { inner, bedroom }
+    }
+}

@@ -1,0 +1,241 @@
+//! Model schemas for every digi kind in the catalogue (§4.1).
+//!
+//! Vendor digivices keep their vendor-native parameter spaces (Tuya
+//! 10–1000 integers, LIFX 16-bit values, Hue 0–254); the UniLamp exposes
+//! the universal 0–1 model of §2.3; Room/Home expose the higher-level
+//! attributes of Fig. 1.
+
+use dspace_core::Space;
+use dspace_value::{AttrType, KindSchema};
+
+const GROUP: &str = "digi.dev";
+const V1: &str = "v1";
+
+/// Vendor lamp: GEENI LUX800 (Tuya scale: brightness 10–1000).
+pub fn geeni_lamp() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "GeeniLamp")
+        .control("power", AttrType::String)
+        .control("brightness", AttrType::Number)
+}
+
+/// Vendor lamp: LIFX Mini (16-bit brightness, kelvin 2500–9000).
+pub fn lifx_lamp() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "LifxLamp")
+        .control("power", AttrType::Number)
+        .control("brightness", AttrType::Number)
+        .control("kelvin", AttrType::Number)
+}
+
+/// Vendor lamp: Philips Hue (0–254 bri, hue/sat colour).
+pub fn hue_lamp() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "HueLamp")
+        .control("power", AttrType::String)
+        .control("brightness", AttrType::Number)
+        .control("hue", AttrType::Number)
+        .control("sat", AttrType::Number)
+}
+
+/// The universal lamp of §2.3: power on/off, brightness 0–1.
+pub fn uni_lamp() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "UniLamp")
+        .control("power", AttrType::String)
+        .control("brightness", AttrType::Number)
+        .mounts("GeeniLamp")
+        .mounts("LifxLamp")
+        .mounts("HueLamp")
+}
+
+/// Ring motion sensor digivice (observations only).
+pub fn motion_sensor() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "RingMotion")
+        .control("armed", AttrType::String)
+        .obs("last_triggered_time", AttrType::Number)
+        .obs("motion", AttrType::Bool)
+        .obs("battery", AttrType::Number)
+}
+
+/// Dyson HP01 fan/heater digivice.
+pub fn dyson_fan() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "DysonFan")
+        .control("fan_speed", AttrType::Number)
+        .control("heat_target", AttrType::Number)
+        .control("heat_mode", AttrType::String)
+        .obs("pm25", AttrType::Number)
+}
+
+/// Teckin SP10 plug digivice (the §4.1 example digi).
+pub fn plug() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "Plug")
+        .control("power", AttrType::String)
+        .obs("energy_wh", AttrType::Number)
+        .obs("power_w", AttrType::Number)
+}
+
+/// Roomba digivice.
+pub fn roomba() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "Roomba")
+        .control("mode", AttrType::String)
+        .obs("current_room", AttrType::String)
+        .obs("battery", AttrType::Number)
+}
+
+/// Bose speaker digivice.
+pub fn speaker() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "Speaker")
+        .control("mode", AttrType::String)
+        .control("volume", AttrType::Number)
+        .control("source_url", AttrType::String)
+}
+
+/// Wyze camera digidata: a stream source.
+pub fn camera() -> KindSchema {
+    KindSchema::digidata(GROUP, V1, "Camera")
+        .output("url", AttrType::String)
+        .obs("online", AttrType::Bool)
+}
+
+/// Scene digidata (Fig. 1c): url in, objects out.
+pub fn scene() -> KindSchema {
+    KindSchema::digidata(GROUP, V1, "Scene")
+        .input("url", AttrType::String)
+        .output("objects", AttrType::Array)
+}
+
+/// Xcdr digidata: url in, url out.
+pub fn xcdr() -> KindSchema {
+    KindSchema::digidata(GROUP, V1, "Xcdr")
+        .input("url", AttrType::String)
+        .output("url", AttrType::String)
+}
+
+/// Stats digidata: json in, json out.
+pub fn stats() -> KindSchema {
+    KindSchema::digidata(GROUP, V1, "Stats")
+        .input("objects", AttrType::Array)
+        .output("stats", AttrType::Object)
+}
+
+/// Imitate digidata: occupancy+mode in, recommended mode out.
+pub fn imitate() -> KindSchema {
+    KindSchema::digidata(GROUP, V1, "Imitate")
+        .input("occupancy", AttrType::Object)
+        .input("demo", AttrType::Object)
+        .output("mode", AttrType::String)
+}
+
+/// Room digivice (Fig. 1d): the first higher-level abstraction.
+pub fn room() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "Room")
+        .control("brightness", AttrType::Number)
+        .control("ambiance", AttrType::Object)
+        .control("mode", AttrType::String)
+        .obs("objects", AttrType::Array)
+        .obs("occupancy", AttrType::Number)
+        .obs("activity", AttrType::String)
+        .mounts("UniLamp")
+        .mounts("HueLamp")
+        .mounts("RingMotion")
+        .mounts("Scene")
+        .mounts("Roomba")
+        .mounts("Speaker")
+        .mounts("DysonFan")
+        .mounts("Plug")
+}
+
+/// Home digivice (S4): rooms composed under one mode switch.
+pub fn home() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "Home")
+        .control("mode", AttrType::String)
+        .control("mode_source", AttrType::String)
+        .obs("occupancy", AttrType::Object)
+        .mounts("Room")
+        .mounts("Imitate")
+}
+
+/// RoamSpeaker digivice (S7): follows the user across rooms.
+pub fn roam_speaker() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "RoamSpeaker")
+        .control("source_url", AttrType::String)
+        .control("volume", AttrType::Number)
+        .mounts("Room")
+}
+
+/// Power controller digivice (S9).
+pub fn power_controller() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "PowerController")
+        .control("saving", AttrType::String)
+        .mounts("UniLamp")
+        .mounts("HueLamp")
+        .mounts("Plug")
+}
+
+/// City emergency service digivice (S10).
+pub fn emergency() -> KindSchema {
+    KindSchema::digivice(GROUP, V1, "Emergency")
+        .control("directive", AttrType::String)
+        .obs("alarm", AttrType::Bool)
+        .mounts("Room")
+        .mounts("Home")
+}
+
+/// Registers every catalogue kind on a space.
+pub fn register_all(space: &mut Space) {
+    for schema in [
+        geeni_lamp(),
+        lifx_lamp(),
+        hue_lamp(),
+        uni_lamp(),
+        motion_sensor(),
+        dyson_fan(),
+        plug(),
+        roomba(),
+        speaker(),
+        camera(),
+        scene(),
+        xcdr(),
+        stats(),
+        imitate(),
+        room(),
+        home(),
+        roam_speaker(),
+        power_controller(),
+        emergency(),
+    ] {
+        space.register_kind(schema);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_register() {
+        let mut space = dspace_core::Space::default();
+        register_all(&mut space);
+        for kind in [
+            "GeeniLamp", "LifxLamp", "HueLamp", "UniLamp", "RingMotion", "DysonFan",
+            "Plug", "Roomba", "Speaker", "Camera", "Scene", "Xcdr", "Stats", "Imitate",
+            "Room", "Home", "RoamSpeaker", "PowerController", "Emergency",
+        ] {
+            assert!(space.world.api.schema(kind).is_some(), "{kind} missing");
+        }
+    }
+
+    #[test]
+    fn room_declares_its_mount_references() {
+        let r = room();
+        assert!(r.allows_mount_of("UniLamp"));
+        assert!(r.allows_mount_of("Scene"));
+        assert!(r.allows_mount_of("Roomba"));
+        assert!(!r.allows_mount_of("Home"));
+    }
+
+    #[test]
+    fn digidata_kinds_have_data_sections() {
+        let m = scene().new_model("sc", "default");
+        assert!(m.get_path("data.input.url").is_some());
+        assert!(m.get_path("data.output.objects").is_some());
+        assert!(m.get_path("control").is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Sensor and appliance leaf digis: Ring motion, Dyson fan, Teckin plug.
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_value::Value;
+
+/// Driver for the Ring motion sensor digivice.
+///
+/// The sensor is observation-only; the driver just acknowledges the armed
+/// state (there is nothing to actuate — events arrive from the device).
+pub fn motion_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control_attr("armed"), 0, "arm", |ctx| {
+        let intent = ctx.digi().intent("armed");
+        if !intent.is_null() && intent != ctx.digi().status("armed") {
+            ctx.digi().set_status("armed", intent);
+        }
+    });
+    d
+}
+
+/// Driver for the Dyson HP01 digivice: numeric intents → libpurecoollink
+/// string codes (`"0007"`, decikelvin strings).
+pub fn dyson_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "dyson-sync", |ctx| {
+        let mut cmd = dspace_value::obj();
+        let mut any = false;
+        if let Some(speed) = ctx.digi().intent("fan_speed").as_f64() {
+            if ctx.digi().status("fan_speed").as_f64() != Some(speed) {
+                let code = format!("{:04}", speed.clamp(0.0, 10.0) as u32);
+                cmd.set(&".fan_speed".parse().unwrap(), code.into()).unwrap();
+                any = true;
+            }
+        }
+        if let Some(target_c) = ctx.digi().intent("heat_target").as_f64() {
+            if ctx.digi().status("heat_target").as_f64() != Some(target_c) {
+                // Celsius → decikelvin string, as libpurecoollink does.
+                let dk = ((target_c + 273.15) * 10.0).round() as u32;
+                cmd.set(&".heat_target".parse().unwrap(), format!("{dk}").into()).unwrap();
+                cmd.set(&".heat_mode".parse().unwrap(), "HEAT".into()).unwrap();
+                any = true;
+            }
+        }
+        if any {
+            ctx.device(cmd);
+        }
+    });
+    d
+}
+
+/// Driver for the Teckin plug digivice — the paper's §4.1 example:
+/// "when invoked it sets the plug to the power's intent value."
+pub fn plug_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "handle", |ctx| {
+        let power = ctx.digi().intent("power");
+        if let Some(p) = power.as_str() {
+            if power != ctx.digi().status("power") {
+                let mut dps = dspace_value::obj();
+                dps.set(&".1".parse().unwrap(), Value::from(p == "on")).unwrap();
+                ctx.device(dspace_value::object([("dps", dps)]));
+            }
+        }
+    });
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspace_value::json;
+
+    fn reconcile_once(driver: &mut Driver, old: &str, new: &str) -> dspace_core::driver::ReconcileResult {
+        driver.reconcile(&json::parse(old).unwrap(), &json::parse(new).unwrap(), 0.0)
+    }
+
+    #[test]
+    fn plug_driver_emits_tuya_command() {
+        let mut d = plug_driver();
+        let result = reconcile_once(
+            &mut d,
+            r#"{"control": {"power": {"intent": null, "status": null}}}"#,
+            r#"{"control": {"power": {"intent": "on", "status": null}}}"#,
+        );
+        assert_eq!(result.effects.len(), 1);
+        match &result.effects[0] {
+            dspace_core::driver::Effect::Device(cmd) => {
+                assert_eq!(cmd.get_path(".dps.1").unwrap().as_bool(), Some(true));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plug_driver_idle_when_converged() {
+        let mut d = plug_driver();
+        let result = reconcile_once(
+            &mut d,
+            r#"{"control": {"power": {"intent": "on", "status": null}}}"#,
+            r#"{"control": {"power": {"intent": "on", "status": "on"}}}"#,
+        );
+        assert!(result.effects.is_empty());
+    }
+
+    #[test]
+    fn dyson_driver_encodes_string_codes() {
+        let mut d = dyson_driver();
+        let result = reconcile_once(
+            &mut d,
+            r#"{"control": {"fan_speed": {"intent": null}, "heat_target": {"intent": null}}}"#,
+            r#"{"control": {"fan_speed": {"intent": 7}, "heat_target": {"intent": 21}}}"#,
+        );
+        assert_eq!(result.effects.len(), 1);
+        match &result.effects[0] {
+            dspace_core::driver::Effect::Device(cmd) => {
+                assert_eq!(cmd.get_path(".fan_speed").unwrap().as_str(), Some("0007"));
+                // 21 °C = 294.15 K = "2942" decikelvin (rounded).
+                assert_eq!(cmd.get_path(".heat_target").unwrap().as_str(), Some("2942"));
+                assert_eq!(cmd.get_path(".heat_mode").unwrap().as_str(), Some("HEAT"));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn motion_driver_acknowledges_armed() {
+        let mut d = motion_driver();
+        let result = reconcile_once(
+            &mut d,
+            r#"{"control": {"armed": {"intent": null, "status": null}}}"#,
+            r#"{"control": {"armed": {"intent": "home", "status": null}}}"#,
+        );
+        assert_eq!(
+            result.model.get_path(".control.armed.status").unwrap().as_str(),
+            Some("home")
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! The Roomba digivice (S5 scene control, S8 mobility).
+
+use dspace_core::driver::{Driver, Filter};
+
+/// Maps a mode intent to the dorita980 command it requires, given the
+/// current status. Returns `None` when no command is needed.
+pub fn command_for(intent: &str, status: Option<&str>) -> Option<&'static str> {
+    let desired = match intent {
+        "start" | "run" => "run",
+        "pause" | "stop" => "stop",
+        "dock" | "charge" => "charge",
+        _ => return None,
+    };
+    if status == Some(desired) {
+        return None;
+    }
+    Some(match desired {
+        "run" => "start",
+        "stop" => "pause",
+        _ => "dock",
+    })
+}
+
+/// Driver for the Roomba digivice: reconciles the mode intent against the
+/// mission phase reported by the robot.
+pub fn roomba_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control_attr("mode"), 0, "mission", |ctx| {
+        let intent = ctx.digi().intent("mode");
+        let status = ctx.digi().status("mode");
+        let Some(i) = intent.as_str() else { return };
+        if let Some(command) = command_for(i, status.as_str()) {
+            ctx.device(dspace_value::object([("command", command.into())]));
+        }
+    });
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_mapping() {
+        assert_eq!(command_for("start", Some("charge")), Some("start"));
+        assert_eq!(command_for("start", Some("run")), None);
+        assert_eq!(command_for("pause", Some("run")), Some("pause"));
+        assert_eq!(command_for("pause", Some("stop")), None);
+        assert_eq!(command_for("dock", Some("run")), Some("dock"));
+        assert_eq!(command_for("dock", Some("charge")), None);
+        assert_eq!(command_for("fly", Some("run")), None);
+        // Unknown status: issue the command.
+        assert_eq!(command_for("start", None), Some("start"));
+    }
+}

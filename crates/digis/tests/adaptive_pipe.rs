@@ -1,0 +1,87 @@
+//! Pipe policies (the paper's footnote-3 extension): data flows that are
+//! created and torn down by policy, like mounts are.
+
+use dspace_analytics::{OccupancySchedule, SceneEngine};
+use dspace_core::graph::MountMode;
+use dspace_devices::WyzeCam;
+use dspace_digis::{data, media, room};
+use dspace_simnet::secs;
+
+/// When the room is armed (away mode), pipe the camera into the Scene
+/// detector; when someone is home, tear the pipe down (a privacy policy:
+/// no detection while occupants are present).
+#[test]
+fn privacy_pipe_policy_connects_and_disconnects_the_camera() {
+    let mut space = dspace_digis::new_space();
+    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.9")));
+    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    space.attach_actuator(
+        &sc,
+        Box::new(SceneEngine::new(OccupancySchedule::from_entries([(0, vec!["person"])]))),
+    );
+    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    space.mount(&sc, &rm, MountMode::Expose).unwrap();
+    space.run_for_ms(1_000);
+    space
+        .add_policy(
+            "privacy-pipe",
+            dspace_value::yaml::parse(
+                "
+meta: {kind: Policy, name: privacy-pipe, namespace: default}
+spec:
+  watch: [\"Room/default/lvroom\"]
+  condition: .lvroom.control.mode.intent == \"away\"
+  on_rising:
+    - {action: pipe, from: Camera/default/cam.url, to: Scene/default/sc1.url}
+  on_falling:
+    - {action: unpipe, from: Camera/default/cam.url, to: Scene/default/sc1.url}
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    space.run_for_ms(1_000);
+
+    // Nobody armed anything: the scene has no input, detects nothing.
+    space.run_for(secs(5));
+    assert!(space.read("sc1", ".data.input.url").unwrap().is_null());
+    assert!(space.read("sc1", ".data.output.objects").unwrap().is_null());
+
+    // The user arms the room: the policy pipes camera → scene.
+    space.set_intent_now("lvroom/mode", "away".into()).unwrap();
+    space.run_for(secs(8));
+    assert_eq!(
+        space.read("sc1", ".data.input.url").unwrap().as_str(),
+        Some("rtsp://10.0.0.9/live")
+    );
+    let objects = space.read("sc1", ".data.output.objects").unwrap();
+    assert!(objects.to_string().contains("person"), "objects={objects}");
+
+    // Occupants return: the pipe is torn down. (Already-delivered inputs
+    // stay; what matters is that the flow stops.)
+    space.set_intent_now("lvroom/mode", "active".into()).unwrap();
+    space.run_for(secs(2));
+    let syncs = space
+        .world
+        .api
+        .list(dspace_apiserver::ApiServer::ADMIN, "Sync")
+        .unwrap();
+    assert!(syncs.is_empty(), "pipe should be removed: {syncs:?}");
+}
+
+/// The single-writer-per-port rule also gates policy-created pipes.
+#[test]
+fn policy_pipe_respects_port_exclusivity() {
+    let mut space = dspace_digis::new_space();
+    let cam_a = space.create_digi("Camera", "cama", media::camera_driver()).unwrap();
+    let cam_b = space.create_digi("Camera", "camb", media::camera_driver()).unwrap();
+    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    space.run_for_ms(500);
+    // First pipe claims the port.
+    space.pipe(&cam_a, "url", &sc, "url").unwrap();
+    // A second pipe to the same input port is rejected by the topology
+    // webhook no matter who asks.
+    let err = space.pipe(&cam_b, "url", &sc, "url").unwrap_err();
+    assert!(err.to_string().contains("already written"), "{err}");
+}

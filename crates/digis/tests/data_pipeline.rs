@@ -1,0 +1,95 @@
+//! Data-flow composition tests: the Stats digidata (Table 3, used by the
+//! paper's S5/S6 rows) consuming a Scene's detections via pipe, including
+//! fan-out (one source, two consumers — "each digidata can pipe to
+//! multiple digidata", §3.2).
+
+use dspace_analytics::{OccupancySchedule, SceneEngine, StatsEngine};
+use dspace_core::graph::MountMode;
+use dspace_devices::WyzeCam;
+use dspace_digis::{data, media, room};
+use dspace_simnet::secs;
+
+#[test]
+fn scene_fans_out_to_stats_and_room() {
+    let mut space = dspace_digis::new_space();
+    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.7")));
+    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    space.attach_actuator(
+        &sc,
+        Box::new(SceneEngine::new(OccupancySchedule::from_entries([
+            (secs(5), vec!["person"]),
+            (secs(20), vec!["person", "dog"]),
+            (secs(40), vec![]),
+        ]))),
+    );
+    let st = space.create_digi("Stats", "st1", data::stats_driver()).unwrap();
+    space.attach_actuator(&st, Box::new(StatsEngine::new().with_window(10)));
+    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+
+    // Composition: camera -> scene (pipe); scene -> stats (pipe);
+    // scene -> room (mount, the control-plane consumer).
+    space.pipe(&cam, "url", &sc, "url").unwrap();
+    space.pipe(&sc, "objects", &st, "objects").unwrap();
+    space.mount(&sc, &rm, MountMode::Expose).unwrap();
+
+    space.run_for(secs(50));
+
+    // The room saw the objects through its replica…
+    assert_eq!(space.obs("lvroom/activity").unwrap().as_str(), Some("IDLE"));
+    // …and the stats digidata aggregated the history through the pipe.
+    let stats = space.read("st1", ".data.output.stats").unwrap();
+    let person = stats.get_path(".counts.person").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let dog = stats.get_path(".counts.dog").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    assert!(person >= 2.0, "stats={stats}");
+    assert!(dog >= 1.0, "stats={stats}");
+    assert!(person > dog, "person appeared in more frames than dog: {stats}");
+}
+
+#[test]
+fn pipe_only_carries_the_pointer_not_the_stream() {
+    // §3.2: "if A.mod.out is a pointer to data (e.g., a URL to a video
+    // stream), only the pointer gets written to B.in."
+    let mut space = dspace_digis::new_space();
+    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.8")));
+    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    space.attach_actuator(&sc, Box::new(SceneEngine::new(OccupancySchedule::new())));
+    space.pipe(&cam, "url", &sc, "url").unwrap();
+    space.run_for(secs(5));
+    let input = space.read("sc1", ".data.input.url").unwrap();
+    assert_eq!(input.as_str(), Some("rtsp://10.0.0.8/live"));
+    // The scene model holds a URL string, not frame bytes: the input is a
+    // single small scalar.
+    assert_eq!(input.leaf_count(), 1);
+}
+
+#[test]
+fn unpipe_stops_the_flow() {
+    let mut space = dspace_digis::new_space();
+    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    space.attach_actuator(&cam, Box::new(WyzeCam::new("host-a")));
+    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let sync = space.pipe(&cam, "url", &sc, "url").unwrap();
+    space.run_for(secs(3));
+    assert!(!space.read("sc1", ".data.input.url").unwrap().is_null());
+    space.unpipe(&sync).unwrap();
+    // A new camera URL no longer propagates.
+    space
+        .world
+        .api
+        .patch_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &cam,
+            ".data.output.url",
+            "rtsp://host-b/live".into(),
+        )
+        .unwrap();
+    space.pump();
+    space.run_for(secs(3));
+    assert_eq!(
+        space.read("sc1", ".data.input.url").unwrap().as_str(),
+        Some("rtsp://host-a/live"),
+        "stale pointer stays; no new flow"
+    );
+}

@@ -1,0 +1,127 @@
+//! Runtime programmability features of §4.2: users reconfiguring built-in
+//! driver handlers through the reflex API, disabling handlers with
+//! negative priorities, and handler priority interleaving — all exercised
+//! on a live space.
+
+use dspace_core::actuator::EchoActuator;
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::graph::MountMode;
+use dspace_digis::{lamps, room};
+use dspace_simnet::millis;
+use dspace_value::Value;
+
+fn s1_like() -> (dspace_core::Space, dspace_apiserver::ObjectRef) {
+    let mut space = dspace_digis::new_space();
+    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    space.attach_actuator(&l1, Box::new(dspace_devices::GeeniLamp::new()));
+    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
+    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    space.mount(&l1, &ul1, MountMode::Expose).unwrap();
+    space.run_for_ms(300);
+    space.mount(&ul1, &rm, MountMode::Expose).unwrap();
+    space.run_for_ms(2_000);
+    (space, rm)
+}
+
+#[test]
+fn user_reflex_overrides_builtin_handler_by_name() {
+    // §4.2: "one can reconfigure handlers in the driver by specifying a
+    // reflex with the handler's name." The room's built-in "brightness"
+    // handler distributes the room intent; a user reflex with the same
+    // name replaces it with a hard cap at 0.2.
+    let (mut space, rm) = s1_like();
+    space.set_intent_now("lvroom/brightness", 0.8.into()).unwrap();
+    space.run_for_ms(5_000);
+    let l1 = space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert!((l1 - 802.0).abs() <= 3.0, "baseline distribution: {l1}");
+    // Replace the built-in handler: the room now only caps its own
+    // status — it stops driving lamps entirely.
+    space
+        .add_reflex(
+            &rm,
+            "brightness",
+            ".control.brightness.status = .control.brightness.intent",
+            5,
+        )
+        .unwrap();
+    space.run_for_ms(1_000);
+    space.set_intent_now("lvroom/brightness", 0.1.into()).unwrap();
+    space.run_for_ms(5_000);
+    // The lamp did NOT follow (the distribution handler is gone)…
+    let l1_after = space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert!((l1_after - 802.0).abs() <= 3.0, "lamp should be untouched: {l1_after}");
+    // …but the replacement reflex ran (status mirrors intent directly).
+    assert_eq!(space.status("lvroom/brightness").unwrap().as_f64(), Some(0.1));
+}
+
+#[test]
+fn negative_priority_reflex_disables_handler_at_runtime() {
+    // §4.2: negative priority disables. Disabling the room's "brightness"
+    // handler freezes the lamps at their current level.
+    let (mut space, rm) = s1_like();
+    space.set_intent_now("lvroom/brightness", 0.5.into()).unwrap();
+    space.run_for_ms(5_000);
+    space
+        .add_reflex(&rm, "brightness", ". ", -1)
+        .unwrap();
+    space.run_for_ms(500);
+    space.set_intent_now("lvroom/brightness", 1.0.into()).unwrap();
+    space.run_for_ms(5_000);
+    let l1 = space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert!((l1 - 505.0).abs() <= 3.0, "lamp frozen at the old level: {l1}");
+}
+
+#[test]
+fn handler_priorities_order_pipeline_stages() {
+    // Two native handlers on one digi: a low-priority producer and a
+    // high-priority consumer that must see the producer's output within
+    // the same cycle (low runs before high, §4.3).
+    let mut space = dspace_core::Space::default();
+    space.register_kind(
+        dspace_value::KindSchema::digivice("digi.dev", "v1", "Probe")
+            .control("x", dspace_value::AttrType::Number)
+            .obs("doubled", dspace_value::AttrType::Number)
+            .obs("plus_one", dspace_value::AttrType::Number),
+    );
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 1, "double", |ctx| {
+        if let Some(x) = ctx.digi().intent("x").as_f64() {
+            ctx.digi().set_obs("doubled", (x * 2.0).into());
+        }
+    });
+    d.on(Filter::on_control(), 9, "plus-one", |ctx| {
+        if let Some(dbl) = ctx.digi().obs("doubled").as_f64() {
+            ctx.digi().set_obs("plus_one", (dbl + 1.0).into());
+        }
+    });
+    let probe = space.create_digi("Probe", "p", d).unwrap();
+    space.attach_actuator(&probe, Box::new(EchoActuator::new("noop", millis(10))));
+    space.set_intent_now("p/x", 21.0.into()).unwrap();
+    space.run_for_ms(2_000);
+    assert_eq!(space.obs("p/doubled").unwrap().as_f64(), Some(42.0));
+    assert_eq!(space.obs("p/plus_one").unwrap().as_f64(), Some(43.0));
+}
+
+#[test]
+fn vendor_conversion_properties_hold_over_the_full_range() {
+    // Conversions stay in vendor range and are monotone — the invariants
+    // UniLamp translation relies on (checked densely, not just at points).
+    for kind in ["GeeniLamp", "LifxLamp", "HueLamp"] {
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=1000 {
+            let u = i as f64 / 1000.0;
+            let v = lamps::to_vendor_brightness(kind, u).unwrap();
+            assert!(v >= last, "{kind} not monotone at {u}");
+            last = v;
+            let limit = match kind {
+                "GeeniLamp" => (10.0, 1000.0),
+                "LifxLamp" => (0.0, 65535.0),
+                _ => (0.0, 254.0),
+            };
+            assert!(v >= limit.0 && v <= limit.1, "{kind} out of range: {v}");
+            let back = lamps::from_vendor_brightness(kind, v).unwrap();
+            assert!((back - u).abs() < 0.01, "{kind} roundtrip {u} -> {v} -> {back}");
+        }
+    }
+    let _ = Value::Null;
+}

@@ -1,0 +1,265 @@
+//! Integration tests for scenarios S2–S10 (S1 has its own file).
+
+use dspace_analytics::OccupancySchedule;
+use dspace_core::graph::EdgeState;
+use dspace_digis::scenarios::{person_window, s10::S10, s2::S2, s3::S3, s4::S4, s5::S5, s6::S6, s7::S7, s8::S8, s9::S9};
+use dspace_simnet::secs;
+
+#[test]
+fn s2_physical_dimming_pins_lamp_and_rebalances() {
+    let mut s2 = S2::build();
+    // Room target is 0.5 with two lamps: aggregate 1.0.
+    // The user manually dims L1 (the GEENI) to 0.2 at the switch.
+    s2.user_dims_lamp("GeeniLamp", "l1", 0.2);
+    let space = &s2.inner.space;
+    // The user's choice is respected...
+    let l1 = space.status("l1/brightness").unwrap().as_f64().unwrap();
+    let l1_universal = dspace_digis::lamps::from_vendor_brightness("GeeniLamp", l1).unwrap();
+    assert!((l1_universal - 0.2).abs() < 0.02, "l1={l1_universal}");
+    // ...and the other lamp compensates to preserve the aggregate:
+    // target*2 - 0.2 = 0.8.
+    let l2 = space.status("l2/brightness").unwrap().as_f64().unwrap();
+    let l2_universal = dspace_digis::lamps::from_vendor_brightness("LifxLamp", l2).unwrap();
+    assert!((l2_universal - 0.8).abs() < 0.02, "l2={l2_universal}");
+}
+
+#[test]
+fn s2_room_update_clears_pins() {
+    let mut s2 = S2::build();
+    s2.user_dims_lamp("GeeniLamp", "l1", 0.2);
+    // The user then sets a fresh room brightness: pins clear, both lamps
+    // converge to the new uniform value.
+    s2.inner.space.set_intent("lvroom/brightness", 0.6.into()).unwrap();
+    s2.inner.space.run_for_ms(6_000);
+    for (kind, name) in [("GeeniLamp", "l1"), ("LifxLamp", "l2")] {
+        let v = s2.inner.space.status(&format!("{name}/brightness")).unwrap().as_f64().unwrap();
+        let u = dspace_digis::lamps::from_vendor_brightness(kind, v).unwrap();
+        assert!((u - 0.6).abs() < 0.02, "{name}={u}");
+    }
+}
+
+#[test]
+fn s3_motion_raises_brightness_to_full() {
+    let mut s3 = S3::build(vec![secs(10)]);
+    // Before motion: the configured 0.5.
+    assert_eq!(s3.inner.space.intent("lvroom/brightness").unwrap().as_f64(), Some(0.5));
+    s3.inner.space.run_for_ms(15_000);
+    // Motion at t=10s: the Fig. 3 reflex raises the room to 1.
+    assert_eq!(s3.inner.space.intent("lvroom/brightness").unwrap().as_f64(), Some(1.0));
+    let l1 = s3.inner.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert!((l1 - 1000.0).abs() <= 2.0, "geeni at full: {l1}");
+}
+
+#[test]
+fn s4_home_mode_cascades_to_rooms_and_lamps() {
+    let mut s4 = S4::build();
+    // Active mode: rooms at 0.7.
+    for room in ["lvroom", "bedroom"] {
+        assert_eq!(
+            s4.space.intent(&format!("{room}/brightness")).unwrap().as_f64(),
+            Some(0.7),
+            "{room} active"
+        );
+    }
+    // Sleep mode: everything to 0.
+    s4.set_mode("sleep");
+    for room in ["lvroom", "bedroom"] {
+        assert_eq!(
+            s4.space.intent(&format!("{room}/brightness")).unwrap().as_f64(),
+            Some(0.0),
+            "{room} sleep"
+        );
+    }
+    let l1 = s4.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert!(l1 <= 12.0, "geeni dark: {l1}"); // Tuya floor is 10.
+}
+
+#[test]
+fn s4_all_modes_map_to_documented_brightness() {
+    let mut s4 = S4::build();
+    for (mode, expected) in [("vacation", 0.05), ("eco", 0.2), ("active", 0.7), ("sleep", 0.0)] {
+        s4.set_mode(mode);
+        assert_eq!(s4.space.status("home/mode").unwrap().as_str(), Some(mode));
+        for room in ["lvroom", "bedroom"] {
+            assert_eq!(
+                s4.space.intent(&format!("{room}/brightness")).unwrap().as_f64(),
+                Some(expected),
+                "{room} under {mode}"
+            );
+        }
+    }
+}
+
+#[test]
+fn s7_volume_follows_with_the_stream() {
+    let mut s7 = S7::build();
+    s7.user_moves_to("rooma", "roomb");
+    assert_eq!(s7.space.status("spk1/volume").unwrap().as_f64(), Some(35.0));
+    // Raise the roaming volume: the occupied room's speaker follows.
+    s7.space.set_intent_now("roam/volume", 55.0.into()).unwrap();
+    s7.space.run_for_ms(6_000);
+    assert_eq!(s7.space.status("spk1/volume").unwrap().as_f64(), Some(55.0));
+}
+
+#[test]
+fn s5_roomba_pauses_when_person_appears() {
+    // Person enters at t=20s, leaves at t=60s.
+    let mut s5 = S5::build(person_window(20, 60));
+    // Initially empty: the roomba runs.
+    s5.space.run_for_ms(15_000);
+    assert_eq!(s5.space.status("rb1/mode").unwrap().as_str(), Some("run"));
+    // Person arrives: the pipeline (camera → xcdr → scene → room) detects
+    // it and the room pauses the roomba.
+    s5.space.run_for_ms(15_000);
+    assert_eq!(s5.space.status("rb1/mode").unwrap().as_str(), Some("stop"));
+    let objects = s5.space.obs("lvroom/objects").unwrap();
+    assert!(objects.to_string().contains("person"), "objects={objects}");
+    // Person leaves: cleaning resumes.
+    s5.space.run_for_ms(40_000);
+    assert_eq!(s5.space.status("rb1/mode").unwrap().as_str(), Some("run"));
+}
+
+#[test]
+fn s6_home_learns_mode_policy_from_demonstrations() {
+    let mut s6 = S6::build();
+    // Demonstrate three times: empty home -> sleep, occupied -> active.
+    for _ in 0..3 {
+        s6.demonstrate(0, "sleep");
+        s6.demonstrate(2, "active");
+    }
+    s6.enable_auto();
+    // Empty home: the learned policy should recommend (and the home
+    // adopt) sleep.
+    s6.inner
+        .space
+        .physical_event(
+            "lvroom",
+            dspace_value::object([(
+                "obs",
+                dspace_value::object([("occupancy", 0.0.into())]),
+            )]),
+        )
+        .unwrap();
+    s6.inner.space.run_for_ms(8_000);
+    assert_eq!(s6.inner.space.intent("home/mode").unwrap().as_str(), Some("sleep"));
+}
+
+#[test]
+fn s7_audio_follows_the_user() {
+    let mut s7 = S7::build();
+    s7.user_moves_to("rooma", "roomb");
+    assert_eq!(s7.space.status("spk1/mode").unwrap().as_str(), Some("play"));
+    assert_eq!(
+        s7.space.status("spk1/source_url").unwrap().as_str(),
+        Some("http://news/stream")
+    );
+    // The user walks to room B: spk1 pauses, spk2 takes over.
+    s7.user_moves_to("roomb", "rooma");
+    assert_eq!(s7.space.status("spk1/mode").unwrap().as_str(), Some("pause"));
+    assert_eq!(s7.space.status("spk2/mode").unwrap().as_str(), Some("play"));
+    assert_eq!(
+        s7.space.status("spk2/source_url").unwrap().as_str(),
+        Some("http://news/stream")
+    );
+}
+
+#[test]
+fn s8_roomba_remounts_as_it_moves() {
+    // The robot patrols into the bedroom at t=30s and back at t=90s.
+    let route = vec![
+        (secs(30), "bedroom".to_string()),
+        (secs(90), "lvroom".to_string()),
+    ];
+    let mut s8 = S8::build(OccupancySchedule::new(), route);
+    let roomba = s8.inner.roomba.clone();
+    s8.inner.space.set_intent_now("rb1/mode", "start".into()).unwrap();
+    s8.inner.space.run_for_ms(10_000);
+    assert_eq!(
+        s8.inner.space.world.graph.borrow().active_parent(&roomba),
+        Some(s8.inner.room.clone()),
+        "starts under the living room"
+    );
+    // After entering the bedroom, the mount policy moves the digivice.
+    s8.inner.space.run_for_ms(35_000);
+    assert_eq!(s8.inner.space.obs("rb1/current_room").unwrap().as_str(), Some("bedroom"));
+    assert_eq!(
+        s8.inner.space.world.graph.borrow().active_parent(&roomba),
+        Some(s8.bedroom.clone())
+    );
+    // And back again.
+    s8.inner.space.run_for_ms(60_000);
+    assert_eq!(
+        s8.inner.space.world.graph.borrow().active_parent(&roomba),
+        Some(s8.inner.room.clone())
+    );
+}
+
+#[test]
+fn s9_power_controller_takes_over_when_idle() {
+    let mut s9 = S9::build();
+    let ul1 = s9.inner.unilamps[0].clone();
+    let room = s9.inner.room.clone();
+    let pc = s9.pc.clone();
+    // The pc's mounts started yielded (room holds control).
+    assert_eq!(
+        s9.inner.space.world.graph.borrow().active_parent(&ul1),
+        Some(room.clone())
+    );
+    assert_eq!(
+        s9.inner.space.world.graph.borrow().edge(&pc, &ul1).unwrap().state,
+        EdgeState::Yielded
+    );
+    // Room goes IDLE: the yield policy hands the lamps to the pc, which
+    // drives them to the saving setpoint.
+    s9.set_activity("IDLE");
+    assert_eq!(
+        s9.inner.space.world.graph.borrow().active_parent(&ul1),
+        Some(pc.clone())
+    );
+    s9.inner.space.run_for_ms(6_000);
+    let l1 = s9.inner.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    let u = dspace_digis::lamps::from_vendor_brightness("GeeniLamp", l1).unwrap();
+    assert!((u - 0.1).abs() < 0.02, "saving brightness {u}");
+    // Activity returns: control goes back to the room.
+    s9.set_activity("ACTIVE");
+    assert_eq!(
+        s9.inner.space.world.graph.borrow().active_parent(&ul1),
+        Some(room)
+    );
+    // The user restores the room brightness (clears the takeover values).
+    s9.inner.space.set_intent("lvroom/brightness", 0.6.into()).unwrap();
+    s9.inner.space.run_for_ms(6_000);
+    let l1 = s9.inner.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    let u = dspace_digis::lamps::from_vendor_brightness("GeeniLamp", l1).unwrap();
+    assert!((u - 0.6).abs() < 0.02, "restored {u}");
+}
+
+#[test]
+fn s10_alarm_delegates_control_to_the_city() {
+    let mut s10 = S10::build();
+    let room = s10.room.clone();
+    let home = s10.home.clone();
+    let city = s10.city.clone();
+    // Sleeping home: room dark, home in control.
+    assert_eq!(s10.space.intent("lvroom/brightness").unwrap().as_f64(), Some(0.0));
+    assert_eq!(
+        s10.space.world.graph.borrow().active_parent(&room),
+        Some(home.clone())
+    );
+    // Alarm: control transfers, the evacuation directive floods light.
+    s10.set_alarm(true);
+    assert_eq!(
+        s10.space.world.graph.borrow().active_parent(&room),
+        Some(city.clone())
+    );
+    assert_eq!(s10.space.intent("lvroom/brightness").unwrap().as_f64(), Some(1.0));
+    let l1 = s10.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert!((l1 - 1000.0).abs() <= 2.0, "full evacuation brightness: {l1}");
+    // Alarm clears: the home regains control; the city keeps watching.
+    s10.set_alarm(false);
+    assert_eq!(s10.space.world.graph.borrow().active_parent(&room), Some(home));
+    assert_eq!(
+        s10.space.world.graph.borrow().edge(&city, &room).unwrap().state,
+        EdgeState::Yielded
+    );
+}

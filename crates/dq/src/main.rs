@@ -1,0 +1,57 @@
+//! The `dq` binary: a REPL (or batch interpreter) over a simulated space.
+//!
+//! ```text
+//! dq               # interactive REPL on scenario S1
+//! dq -c "set lvroom/brightness 0.8" -c "tick 5000" -c "get lvroom"
+//! ```
+
+use std::io::{BufRead, Write};
+
+use dq::{Dq, Outcome};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut dq = Dq::with_s1();
+    // Batch mode: -c commands.
+    let mut batch = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "-c" {
+            i += 1;
+            if let Some(cmd) = args.get(i) {
+                batch.push(cmd.clone());
+            }
+        } else if args[i] == "--help" {
+            println!("{}", dq::HELP);
+            return;
+        }
+        i += 1;
+    }
+    if !batch.is_empty() {
+        for cmd in batch {
+            match dq.exec(&cmd) {
+                Outcome::Text(t) if !t.is_empty() => println!("{t}"),
+                Outcome::Text(_) => {}
+                Outcome::Quit => return,
+            }
+        }
+        return;
+    }
+    // REPL mode.
+    println!("dq — dSpace shell over scenario S1 ('help' for commands)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("dq> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match dq.exec(&line) {
+                Outcome::Text(t) if !t.is_empty() => println!("{t}"),
+                Outcome::Text(_) => {}
+                Outcome::Quit => break,
+            },
+            Err(_) => break,
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Abstract syntax tree for the reflex language.
+
+use dspace_value::Value;
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStep {
+    /// `.field`.
+    Field(String),
+    /// `[expr]` — an index or key computed at evaluation time.
+    Index(Box<Expr>),
+}
+
+/// Binary operators with plain value semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numbers, strings, arrays, objects).
+    Add,
+    /// `-` (numbers).
+    Sub,
+    /// `*` (numbers).
+    Mul,
+    /// `/` (numbers).
+    Div,
+    /// `%` (numbers).
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+/// Assignment flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=` — RHS evaluated against the document root.
+    Set,
+    /// `|=` — RHS evaluated against the current value at the path.
+    Update,
+    /// `+=` — shorthand for `|= . + rhs` with rhs against the root.
+    Add,
+    /// `-=` — shorthand for `|= . - rhs` with rhs against the root.
+    Sub,
+}
+
+/// A reflex expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `.` — the current input.
+    Identity,
+    /// A literal constant.
+    Literal(Value),
+    /// `$name` — environment variable.
+    Var(String),
+    /// A path applied to a base expression (usually [`Expr::Identity`]).
+    Path(Box<Expr>, Vec<PathStep>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `and`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `or`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `lhs // rhs` — rhs if lhs is null/false or errors.
+    Alt(Box<Expr>, Box<Expr>),
+    /// `if c1 then e1 elif c2 then e2 ... else e end`.
+    If {
+        /// `(condition, branch)` pairs in order.
+        arms: Vec<(Expr, Expr)>,
+        /// The `else` branch; absent means identity (jq defaults to `.`).
+        otherwise: Option<Box<Expr>>,
+    },
+    /// `lhs | rhs` — rhs evaluated with lhs's output as input.
+    Pipe(Box<Expr>, Box<Expr>),
+    /// `path <op> rhs` — returns the whole updated document.
+    Assign {
+        /// The target path expression (must resolve to a concrete path).
+        target: Box<Expr>,
+        /// Which assignment flavour.
+        op: AssignOp,
+        /// The value expression.
+        rhs: Box<Expr>,
+    },
+    /// A builtin call such as `map(f)` or `length`.
+    Call(String, Vec<Expr>),
+    /// `[e1, e2, ...]`.
+    ArrayCons(Vec<Expr>),
+    /// `{k1: e1, k2: e2, ...}`.
+    ObjectCons(Vec<(String, Expr)>),
+}

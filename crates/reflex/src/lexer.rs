@@ -1,0 +1,431 @@
+//! Tokenizer for the reflex language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `.` (identity or path start).
+    Dot,
+    /// An identifier (`control`, `and`, `if`, builtin names, …).
+    Ident(String),
+    /// A `$name` variable reference.
+    Var(String),
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `:`.
+    Colon,
+    /// `;`.
+    Semi,
+    /// `|`.
+    Pipe,
+    /// `//`.
+    Alt,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `=`.
+    Assign,
+    /// `|=`.
+    UpdateAssign,
+    /// `+=`.
+    PlusAssign,
+    /// `-=`.
+    MinusAssign,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Dot => write!(f, "."),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Var(s) => write!(f, "${s}"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Semi => write!(f, ";"),
+            Token::Pipe => write!(f, "|"),
+            Token::Alt => write!(f, "//"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Assign => write!(f, "="),
+            Token::UpdateAssign => write!(f, "|="),
+            Token::PlusAssign => write!(f, "+="),
+            Token::MinusAssign => write!(f, "-="),
+        }
+    }
+}
+
+/// Error produced on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset of the problem.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a reflex program.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                pos += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                pos += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                pos += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                pos += 1;
+            }
+            b'{' => {
+                out.push(Token::LBrace);
+                pos += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                pos += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                pos += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                pos += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                pos += 1;
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::UpdateAssign);
+                    pos += 2;
+                } else {
+                    out.push(Token::Pipe);
+                    pos += 1;
+                }
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    out.push(Token::Alt);
+                    pos += 2;
+                } else {
+                    out.push(Token::Slash);
+                    pos += 1;
+                }
+            }
+            b'+' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::PlusAssign);
+                    pos += 2;
+                } else {
+                    out.push(Token::Plus);
+                    pos += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::MinusAssign);
+                    pos += 2;
+                } else {
+                    out.push(Token::Minus);
+                    pos += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Eq);
+                    pos += 2;
+                } else {
+                    out.push(Token::Assign);
+                    pos += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(LexError { message: "unexpected '!'".into(), offset: pos });
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    pos += 2;
+                } else {
+                    out.push(Token::Lt);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            b'$' => {
+                pos += 1;
+                let start = pos;
+                while pos < bytes.len() && is_ident_char(bytes[pos]) {
+                    pos += 1;
+                }
+                if start == pos {
+                    return Err(LexError { message: "expected variable name after '$'".into(), offset: pos });
+                }
+                out.push(Token::Var(input[start..pos].to_string()));
+            }
+            b'"' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => {
+                            return Err(LexError { message: "unterminated string".into(), offset: pos })
+                        }
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(pos + 1).copied().ok_or(LexError {
+                                message: "truncated escape".into(),
+                                offset: pos,
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                _ => {
+                                    return Err(LexError {
+                                        message: "invalid escape".into(),
+                                        offset: pos,
+                                    })
+                                }
+                            });
+                            pos += 2;
+                        }
+                        Some(&c) if c < 0x80 => {
+                            s.push(c as char);
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8: copy the whole char.
+                            let ch = input[pos..].chars().next().unwrap();
+                            s.push(ch);
+                            pos += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b if b.is_ascii_digit() => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_digit()
+                        || bytes[pos] == b'.'
+                        || bytes[pos] == b'e'
+                        || bytes[pos] == b'E')
+                {
+                    // Stop a trailing dot that is actually a path (e.g. `1.foo`
+                    // never occurs, but `600\n.x` could glue; a dot followed by
+                    // a non-digit terminates the number).
+                    if bytes[pos] == b'.'
+                        && !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    pos += 1;
+                }
+                let text = &input[start..pos];
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("bad number '{text}'"),
+                    offset: start,
+                })?;
+                out.push(Token::Num(n));
+            }
+            b if is_ident_start(b) => {
+                let start = pos;
+                while pos < bytes.len() && is_ident_char(bytes[pos]) {
+                    pos += 1;
+                }
+                out.push(Token::Ident(input[start..pos].to_string()));
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character '{}'", b as char),
+                    offset: pos,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_fig3_policy() {
+        let toks = lex(
+            "if $time - .motion.obs.last_triggered_time <= 600 \
+             then .control.brightness.intent = 1 else . end",
+        )
+        .unwrap();
+        assert_eq!(toks[0], Token::Ident("if".into()));
+        assert_eq!(toks[1], Token::Var("time".into()));
+        assert_eq!(toks[2], Token::Minus);
+        assert_eq!(toks[3], Token::Dot);
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Num(600.0)));
+        assert!(toks.contains(&Token::Assign));
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = lex(". == . != . <= . >= . // . |= . += . -=").unwrap();
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Alt));
+        assert!(toks.contains(&Token::UpdateAssign));
+        assert!(toks.contains(&Token::PlusAssign));
+        assert!(toks.contains(&Token::MinusAssign));
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        let toks = lex(r#""a\nb\"c""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("a\nb\"c".into())]);
+    }
+
+    #[test]
+    fn lex_number_then_path() {
+        // `600` followed by a path must not swallow the dot.
+        let toks = lex("600 .x").unwrap();
+        assert_eq!(toks, vec![Token::Num(600.0), Token::Dot, Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = lex("# a comment\n.x # trailing\n").unwrap();
+        assert_eq!(toks, vec![Token::Dot, Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn lex_idents_with_dashes() {
+        let toks = lex(".motion-brightness").unwrap();
+        assert_eq!(toks[1], Token::Ident("motion-brightness".into()));
+    }
+
+    #[test]
+    fn lex_rejects_bad_chars() {
+        assert!(lex("@").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("\"abc").is_err());
+        assert!(lex("$").is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The reflex policy language: a jq-like expression interpreter.
+//!
+//! dSpace embeds policies inside digis (§2.3, §4.2). On-model policies —
+//! *reflexes* — are small jq programs executed against the digi's model by
+//! a `processor: jq` (Fig. 3 of the paper). This crate implements that
+//! processor: a lexer, a Pratt parser, and an evaluator over
+//! [`dspace_value::Value`] documents.
+//!
+//! # Supported language
+//!
+//! - identity `.` and attribute paths `.control.brightness.intent`,
+//!   array indexing `.objects[0]`,
+//! - variables `$time`, `$name`, … provided by the embedding environment,
+//! - literals (numbers, strings, `true`, `false`, `null`), array and object
+//!   construction `[..]` / `{k: v}`,
+//! - arithmetic `+ - * / %`, comparison `== != < <= > >=`,
+//!   boolean `and` / `or`, alternative `//`, unary `-`,
+//! - `if <cond> then <e> [elif …] [else <e>] end`,
+//! - pipelines `e1 | e2`,
+//! - path assignment `.a.b = e`, update `.a.b |= e`, and arithmetic update
+//!   `.a.b += e` (assignments return the whole updated document, so
+//!   policies compose with `|`),
+//! - builtins: `length`, `keys`, `values`, `has`, `contains`, `min`, `max`,
+//!   `floor`, `ceil`, `round`, `abs`, `sqrt`, `add`, `any`, `all`, `not`,
+//!   `type`, `tostring`, `tonumber`, `map(f)`, `select(f)`, `now`, `empty`,
+//!   `error(msg)`, `startswith`, `endswith`, `split`, `join`, `index`,
+//!   `first`, `last`, `range(n)`.
+//!
+//! Deviations from jq (documented for reviewers): expressions are
+//! single-valued rather than streaming; `select` on a false condition and
+//! `empty` evaluate to `null` instead of producing an empty stream.
+//!
+//! # Examples
+//!
+//! The motion-brightness reflex from Fig. 3 of the paper:
+//!
+//! ```
+//! use dspace_reflex::{Program, Env};
+//! use dspace_value::json;
+//!
+//! let policy = Program::compile(
+//!     "if $time - .motion.obs.last_triggered_time <= 600
+//!      then .control.brightness.intent = 1 else . end",
+//! ).unwrap();
+//!
+//! let model = json::parse(r#"{
+//!     "motion": {"obs": {"last_triggered_time": 1000}},
+//!     "control": {"brightness": {"intent": 0.2}}
+//! }"#).unwrap();
+//!
+//! let mut env = Env::new();
+//! env.set_var("time", 1300.0.into());
+//! let out = policy.eval(&model, &env).unwrap();
+//! assert_eq!(out.get_path(".control.brightness.intent").unwrap().as_f64(), Some(1.0));
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Expr;
+pub use eval::{Env, EvalError};
+pub use lexer::{LexError, Token};
+pub use parser::ParseError;
+
+use dspace_value::Value;
+
+/// A compiled reflex program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Source text, kept for diagnostics and LoC accounting.
+    pub source: String,
+    expr: Expr,
+}
+
+/// Any error raised while compiling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Lex(e) => write!(f, "{e}"),
+            CompileError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl Program {
+    /// Compiles a policy source string.
+    pub fn compile(source: &str) -> Result<Program, CompileError> {
+        let tokens = lexer::lex(source).map_err(CompileError::Lex)?;
+        let expr = parser::parse(&tokens).map_err(CompileError::Parse)?;
+        Ok(Program { source: source.to_string(), expr })
+    }
+
+    /// Evaluates the program against `input` with the given environment.
+    pub fn eval(&self, input: &Value, env: &Env) -> Result<Value, EvalError> {
+        eval::eval(&self.expr, input, env)
+    }
+
+    /// Returns the parsed expression tree.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+}
+
+/// Compiles and evaluates `source` in one step.
+///
+/// Convenience for tests and one-shot policy conditions.
+pub fn eval_str(source: &str, input: &Value, env: &Env) -> Result<Value, EvalError> {
+    let p = Program::compile(source).map_err(|e| EvalError::Other(e.to_string()))?;
+    p.eval(input, env)
+}

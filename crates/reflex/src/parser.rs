@@ -1,0 +1,443 @@
+//! Pratt parser for the reflex language.
+
+use std::fmt;
+
+use dspace_value::Value;
+
+use crate::ast::{AssignOp, BinOp, Expr, PathStep};
+use crate::lexer::Token;
+
+/// Error produced on syntactically invalid programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Index of the offending token.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a token stream into an expression.
+pub fn parse(tokens: &[Token]) -> Result<Expr, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr(0)?;
+    if p.pos != tokens.len() {
+        return Err(p.err("trailing tokens"));
+    }
+    Ok(e)
+}
+
+// Binding powers, low to high. Pipe binds loosest; assignment next;
+// then //, or, and, comparison, additive, multiplicative.
+const BP_PIPE: u8 = 1;
+const BP_ASSIGN: u8 = 2;
+const BP_ALT: u8 = 3;
+const BP_OR: u8 = 4;
+const BP_AND: u8 = 5;
+const BP_CMP: u8 = 6;
+const BP_ADD: u8 = 7;
+const BP_MUL: u8 = 8;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { message: msg.into(), at: self.pos }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_ident(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}'")))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{t}'")))
+        }
+    }
+
+    /// Pratt expression parser with minimum binding power `min_bp`.
+    fn expr(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let (bp, right_assoc) = match self.peek() {
+                Some(Token::Pipe) => (BP_PIPE, true),
+                Some(Token::Assign)
+                | Some(Token::UpdateAssign)
+                | Some(Token::PlusAssign)
+                | Some(Token::MinusAssign) => (BP_ASSIGN, true),
+                Some(Token::Alt) => (BP_ALT, true),
+                Some(Token::Ident(s)) if s == "or" => (BP_OR, false),
+                Some(Token::Ident(s)) if s == "and" => (BP_AND, false),
+                Some(Token::Eq) | Some(Token::Ne) | Some(Token::Lt) | Some(Token::Le)
+                | Some(Token::Gt) | Some(Token::Ge) => (BP_CMP, false),
+                Some(Token::Plus) | Some(Token::Minus) => (BP_ADD, false),
+                Some(Token::Star) | Some(Token::Slash) | Some(Token::Percent) => (BP_MUL, false),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            let tok = self.bump().unwrap().clone();
+            let next_bp = if right_assoc { bp } else { bp + 1 };
+            let rhs = self.expr(next_bp)?;
+            lhs = match tok {
+                Token::Pipe => Expr::Pipe(Box::new(lhs), Box::new(rhs)),
+                Token::Assign => self.mk_assign(lhs, AssignOp::Set, rhs)?,
+                Token::UpdateAssign => self.mk_assign(lhs, AssignOp::Update, rhs)?,
+                Token::PlusAssign => self.mk_assign(lhs, AssignOp::Add, rhs)?,
+                Token::MinusAssign => self.mk_assign(lhs, AssignOp::Sub, rhs)?,
+                Token::Alt => Expr::Alt(Box::new(lhs), Box::new(rhs)),
+                Token::Ident(s) if s == "or" => Expr::Or(Box::new(lhs), Box::new(rhs)),
+                Token::Ident(s) if s == "and" => Expr::And(Box::new(lhs), Box::new(rhs)),
+                Token::Eq => Expr::Binary(BinOp::Eq, Box::new(lhs), Box::new(rhs)),
+                Token::Ne => Expr::Binary(BinOp::Ne, Box::new(lhs), Box::new(rhs)),
+                Token::Lt => Expr::Binary(BinOp::Lt, Box::new(lhs), Box::new(rhs)),
+                Token::Le => Expr::Binary(BinOp::Le, Box::new(lhs), Box::new(rhs)),
+                Token::Gt => Expr::Binary(BinOp::Gt, Box::new(lhs), Box::new(rhs)),
+                Token::Ge => Expr::Binary(BinOp::Ge, Box::new(lhs), Box::new(rhs)),
+                Token::Plus => Expr::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs)),
+                Token::Minus => Expr::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs)),
+                Token::Star => Expr::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs)),
+                Token::Slash => Expr::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs)),
+                Token::Percent => Expr::Binary(BinOp::Mod, Box::new(lhs), Box::new(rhs)),
+                _ => unreachable!(),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mk_assign(&self, target: Expr, op: AssignOp, rhs: Expr) -> Result<Expr, ParseError> {
+        match &target {
+            Expr::Path(..) | Expr::Identity => Ok(Expr::Assign {
+                target: Box::new(target),
+                op,
+                rhs: Box::new(rhs),
+            }),
+            _ => Err(self.err("left side of assignment must be a path")),
+        }
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.bump().cloned() {
+            Some(Token::Dot) => {
+                let steps = self.path_steps()?;
+                if steps.is_empty() {
+                    Ok(Expr::Identity)
+                } else {
+                    Ok(Expr::Path(Box::new(Expr::Identity), steps))
+                }
+            }
+            Some(Token::Num(n)) => Ok(Expr::Literal(Value::Num(n))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Var(name)) => Ok(Expr::Var(name)),
+            Some(Token::Minus) => {
+                let e = self.prefix()?;
+                Ok(Expr::Neg(Box::new(e)))
+            }
+            Some(Token::LParen) => {
+                let e = self.expr(0)?;
+                self.expect(&Token::RParen)?;
+                // A parenthesized expression may be followed by path steps,
+                // e.g. `(.a // .b).c` — not needed often, but cheap.
+                let steps = self.path_steps()?;
+                if steps.is_empty() {
+                    Ok(e)
+                } else {
+                    Ok(Expr::Path(Box::new(e), steps))
+                }
+            }
+            Some(Token::LBracket) => {
+                let mut items = Vec::new();
+                if self.peek() == Some(&Token::RBracket) {
+                    self.pos += 1;
+                    return Ok(Expr::ArrayCons(items));
+                }
+                loop {
+                    items.push(self.expr(BP_ALT)?);
+                    match self.bump() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RBracket) => break,
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+                Ok(Expr::ArrayCons(items))
+            }
+            Some(Token::LBrace) => {
+                let mut fields = Vec::new();
+                if self.peek() == Some(&Token::RBrace) {
+                    self.pos += 1;
+                    return Ok(Expr::ObjectCons(fields));
+                }
+                loop {
+                    let key = match self.bump().cloned() {
+                        Some(Token::Ident(s)) => s,
+                        Some(Token::Str(s)) => s,
+                        _ => return Err(self.err("expected object key")),
+                    };
+                    self.expect(&Token::Colon)?;
+                    let v = self.expr(BP_ALT)?;
+                    fields.push((key, v));
+                    match self.bump() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RBrace) => break,
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+                Ok(Expr::ObjectCons(fields))
+            }
+            Some(Token::Ident(word)) => match word.as_str() {
+                "true" => Ok(Expr::Literal(Value::Bool(true))),
+                "false" => Ok(Expr::Literal(Value::Bool(false))),
+                "null" => Ok(Expr::Literal(Value::Null)),
+                "if" => self.parse_if(),
+                "not" => Ok(Expr::Call("not".into(), vec![])),
+                name => {
+                    // Builtin call, with or without arguments.
+                    let mut args = Vec::new();
+                    if self.peek() == Some(&Token::LParen) {
+                        self.pos += 1;
+                        loop {
+                            args.push(self.expr(0)?);
+                            match self.bump() {
+                                Some(Token::Semi) | Some(Token::Comma) => continue,
+                                Some(Token::RParen) => break,
+                                _ => return Err(self.err("expected ';' or ')'")),
+                            }
+                        }
+                    }
+                    Ok(Expr::Call(name.to_string(), args))
+                }
+            },
+            Some(t) => Err(self.err(format!("unexpected token '{t}'"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// Parses `field`, `.field`, and `[expr]` steps after a `.` or a
+    /// parenthesized base.
+    fn path_steps(&mut self) -> Result<Vec<PathStep>, ParseError> {
+        let mut steps = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Ident(name)) => {
+                    // Only immediately after a dot: `.foo`. Keywords used as
+                    // infix operators must not be swallowed here; the lexer
+                    // has no context, so exclude them.
+                    if matches!(self.tokens.get(self.pos.wrapping_sub(1)), Some(Token::Dot)) {
+                        if name == "and" || name == "or" || name == "then" || name == "else"
+                            || name == "elif" || name == "end"
+                        {
+                            break;
+                        }
+                        let n = name.clone();
+                        self.pos += 1;
+                        steps.push(PathStep::Field(n));
+                    } else {
+                        break;
+                    }
+                }
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    // The next token must be a field or `[`.
+                    match self.peek() {
+                        Some(Token::Ident(_)) | Some(Token::LBracket) => continue,
+                        _ => return Err(self.err("expected field after '.'")),
+                    }
+                }
+                Some(Token::LBracket) => {
+                    self.pos += 1;
+                    let idx = self.expr(0)?;
+                    self.expect(&Token::RBracket)?;
+                    steps.push(PathStep::Index(Box::new(idx)));
+                }
+                _ => break,
+            }
+        }
+        Ok(steps)
+    }
+
+    fn parse_if(&mut self) -> Result<Expr, ParseError> {
+        let mut arms = Vec::new();
+        loop {
+            let cond = self.expr(0)?;
+            self.expect_ident("then")?;
+            let body = self.expr(0)?;
+            arms.push((cond, body));
+            if self.eat_ident("elif") {
+                continue;
+            }
+            break;
+        }
+        let otherwise = if self.eat_ident("else") {
+            Some(Box::new(self.expr(0)?))
+        } else {
+            None
+        };
+        self.expect_ident("end")?;
+        Ok(Expr::If { arms, otherwise })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn p(src: &str) -> Expr {
+        parse(&lex(src).unwrap()).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn parse_identity() {
+        assert_eq!(p("."), Expr::Identity);
+    }
+
+    #[test]
+    fn parse_path() {
+        match p(".control.brightness.intent") {
+            Expr::Path(base, steps) => {
+                assert_eq!(*base, Expr::Identity);
+                assert_eq!(steps.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fig3() {
+        let e = p(
+            "if $time - .motion.obs.last_triggered_time <= 600 \
+             then .control.brightness.intent = 1 else . end",
+        );
+        match e {
+            Expr::If { arms, otherwise } => {
+                assert_eq!(arms.len(), 1);
+                assert!(matches!(arms[0].1, Expr::Assign { .. }));
+                assert_eq!(*otherwise.unwrap(), Expr::Identity);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_precedence() {
+        // `1 + 2 * 3 == 7` parses as `(1 + (2*3)) == 7`.
+        match p("1 + 2 * 3 == 7") {
+            Expr::Binary(BinOp::Eq, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::Add, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_pipe_is_loosest() {
+        match p(".a = 1 | .b = 2") {
+            Expr::Pipe(lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Assign { .. }));
+                assert!(matches!(*rhs, Expr::Assign { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_and_or() {
+        match p(".a and .b or .c") {
+            Expr::Or(lhs, _) => assert!(matches!(*lhs, Expr::And(..))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_call_with_args() {
+        match p("map(. + 1)") {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "map");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_array_and_object_construction() {
+        assert!(matches!(p("[1, 2, 3]"), Expr::ArrayCons(v) if v.len() == 3));
+        assert!(matches!(p("{a: 1, b: .x}"), Expr::ObjectCons(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn parse_index_steps() {
+        match p(".objects[0].name") {
+            Expr::Path(_, steps) => assert_eq!(steps.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_requires_path_lhs() {
+        let toks = lex("1 = 2").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let toks = lex(". .x ,").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn parse_elif_chain() {
+        let e = p("if .a then 1 elif .b then 2 else 3 end");
+        match e {
+            Expr::If { arms, otherwise } => {
+                assert_eq!(arms.len(), 2);
+                assert!(otherwise.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_alternative() {
+        assert!(matches!(p(".a // 0"), Expr::Alt(..)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Network links: latency and bandwidth models for simulated hops.
+//!
+//! Every communication in the reproduction — CLI→apiserver, controller→
+//! apiserver, driver→device over LAN, basestation relay, vendor-cloud
+//! round-trip — goes through a [`Link`] that computes a delivery delay.
+//! Calibrations for the on-prem/cloud/hybrid setups of §6.5 live in the
+//! benchmark crate; this module only provides the mechanism.
+
+use crate::rng::Rng;
+use crate::time::{from_millis_f64, Time};
+
+/// A latency distribution, sampled per message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this many milliseconds.
+    FixedMs(f64),
+    /// Uniform in `[lo, hi)` milliseconds.
+    UniformMs(f64, f64),
+    /// Normal with mean/std-dev milliseconds, truncated at zero.
+    NormalMs(f64, f64),
+}
+
+impl LatencyModel {
+    /// Samples one latency value.
+    pub fn sample(&self, rng: &mut Rng) -> Time {
+        let ms = match *self {
+            LatencyModel::FixedMs(ms) => ms,
+            LatencyModel::UniformMs(lo, hi) => rng.uniform(lo, hi),
+            LatencyModel::NormalMs(mean, std) => rng.normal(mean, std).max(0.0),
+        };
+        from_millis_f64(ms)
+    }
+
+    /// The distribution's mean, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            LatencyModel::FixedMs(ms) => ms,
+            LatencyModel::UniformMs(lo, hi) => (lo + hi) / 2.0,
+            LatencyModel::NormalMs(mean, _) => mean,
+        }
+    }
+}
+
+/// A simulated network hop with propagation latency and bandwidth.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Human-readable name (for metrics), e.g. `"lan"` or `"wan"`.
+    pub name: String,
+    /// Per-message propagation latency.
+    pub latency: LatencyModel,
+    /// Bandwidth in bits per second; `None` means infinite (latency only).
+    pub bandwidth_bps: Option<f64>,
+}
+
+impl Link {
+    /// Creates a link with the given latency and unlimited bandwidth.
+    pub fn new(name: impl Into<String>, latency: LatencyModel) -> Self {
+        Link { name: name.into(), latency, bandwidth_bps: None }
+    }
+
+    /// Sets the link bandwidth in bits per second.
+    pub fn with_bandwidth_bps(mut self, bps: f64) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Returns the total transfer delay for a message of `bytes` bytes:
+    /// one latency sample plus serialization time at the link bandwidth.
+    pub fn delay(&self, bytes: usize, rng: &mut Rng) -> Time {
+        let prop = self.latency.sample(rng);
+        let ser = match self.bandwidth_bps {
+            Some(bps) if bps > 0.0 => {
+                let seconds = (bytes as f64 * 8.0) / bps;
+                (seconds * 1e9) as Time
+            }
+            _ => 0,
+        };
+        prop.saturating_add(ser)
+    }
+
+    /// A zero-latency, infinite-bandwidth link (in-process communication).
+    pub fn instant() -> Self {
+        Link::new("instant", LatencyModel::FixedMs(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::millis;
+
+    #[test]
+    fn fixed_latency_is_exact() {
+        let mut rng = Rng::new(1);
+        let link = Link::new("lan", LatencyModel::FixedMs(10.0));
+        for _ in 0..10 {
+            assert_eq!(link.delay(100, &mut rng), millis(10));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_range() {
+        let mut rng = Rng::new(2);
+        let link = Link::new("lan", LatencyModel::UniformMs(5.0, 15.0));
+        for _ in 0..1000 {
+            let d = link.delay(0, &mut rng);
+            assert!((millis(5)..millis(15)).contains(&d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn normal_latency_never_negative() {
+        let mut rng = Rng::new(3);
+        let link = Link::new("wan", LatencyModel::NormalMs(1.0, 5.0));
+        for _ in 0..1000 {
+            // Would frequently be negative without truncation.
+            let _ = link.delay(0, &mut rng);
+        }
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let mut rng = Rng::new(4);
+        // 8 Mbit/s: 1 MB takes 1 second.
+        let link = Link::new("uplink", LatencyModel::FixedMs(0.0)).with_bandwidth_bps(8e6);
+        let d = link.delay(1_000_000, &mut rng);
+        assert_eq!(d, crate::time::secs(1));
+    }
+
+    #[test]
+    fn instant_link_is_free() {
+        let mut rng = Rng::new(5);
+        assert_eq!(Link::instant().delay(1_000_000, &mut rng), 0);
+    }
+
+    #[test]
+    fn mean_ms_reports_distribution_mean() {
+        assert_eq!(LatencyModel::FixedMs(7.0).mean_ms(), 7.0);
+        assert_eq!(LatencyModel::UniformMs(5.0, 15.0).mean_ms(), 10.0);
+        assert_eq!(LatencyModel::NormalMs(3.0, 1.0).mean_ms(), 3.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Counters and histograms for experiment harnesses.
+
+use std::collections::BTreeMap;
+
+/// A sample-recording histogram with summary statistics.
+///
+/// Stores raw samples (experiments here record at most a few hundred
+/// thousand points), which keeps percentiles exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        finite_or_zero(self.samples.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Maximum sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        finite_or_zero(self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Exact percentile (`q` in `[0, 1]`), or 0.0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// Sample standard deviation, or 0.0 with fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Read-only view of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Maps the infinities produced by empty folds back to zero.
+fn finite_or_zero(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments a counter by `n`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Returns a counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Returns a histogram by name, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all histograms.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.median(), 3.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(1.0), 5.0);
+        assert!((h.std_dev() - 1.5811).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.median(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn metrics_counters_and_histograms() {
+        let mut m = Metrics::new();
+        m.count("requests", 1);
+        m.count("requests", 2);
+        assert_eq!(m.counter("requests"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        m.record("latency", 10.0);
+        m.record("latency", 20.0);
+        assert_eq!(m.histogram("latency").unwrap().mean(), 15.0);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histograms().count(), 1);
+        m.reset();
+        assert_eq!(m.counter("requests"), 0);
+        assert!(m.histogram("latency").is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! The discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event callback: mutates the world and may schedule follow-up events.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Entry<W> {
+    at: Time,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    /// Reverse ordering so the [`BinaryHeap`] pops the earliest event;
+    /// ties break by insertion sequence for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulator over world state `W`.
+///
+/// Events are closures executed in strict `(time, insertion order)` order.
+/// The world is owned by the caller and passed to [`Sim::step`]/[`Sim::run`],
+/// which keeps borrowing simple: callbacks receive `&mut W` and `&mut Sim`.
+///
+/// # Examples
+///
+/// ```
+/// use dspace_simnet::{millis, Sim};
+///
+/// let mut sim: Sim<Vec<u64>> = Sim::new();
+/// let mut world = Vec::new();
+/// sim.schedule(millis(10), |w: &mut Vec<u64>, sim| {
+///     w.push(sim.now());
+///     sim.schedule(millis(5), |w: &mut Vec<u64>, sim| w.push(sim.now()));
+/// });
+/// sim.run(&mut world);
+/// assert_eq!(world, vec![millis(10), millis(15)]);
+/// ```
+pub struct Sim<W> {
+    now: Time,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Sim { now: 0, seq: 0, executed: 0, queue: BinaryHeap::new() }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Returns the number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Returns the number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns the timestamp of the next pending event, if any.
+    pub fn next_at(&self) -> Option<Time> {
+        self.queue.peek().map(|e| e.at)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule(&mut self, delay: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.schedule_at(self.now.saturating_add(delay), f);
+    }
+
+    /// Schedules `f` at an absolute virtual time.
+    ///
+    /// Times in the past are clamped to "now" (the event still runs, after
+    /// the events already queued for the current instant).
+    pub fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, f: Box::new(f) });
+    }
+
+    /// Executes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(entry) => {
+                debug_assert!(entry.at >= self.now, "time went backwards");
+                self.now = entry.at;
+                self.executed += 1;
+                (entry.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    ///
+    /// Simulations whose components keep re-arming themselves (pollers,
+    /// frame sources) never drain; use [`Sim::run_until`] for those.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs events with `at <= deadline`, then sets the clock to `deadline`.
+    pub fn run_until(&mut self, world: &mut W, deadline: Time) {
+        while let Some(entry) = self.queue.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `span` more virtual time (see [`Sim::run_until`]).
+    pub fn run_for(&mut self, world: &mut W, span: Time) {
+        let deadline = self.now.saturating_add(span);
+        self.run_until(world, deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::millis;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<&'static str>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule(millis(20), |w: &mut Vec<&str>, _| w.push("b"));
+        sim.schedule(millis(10), |w: &mut Vec<&str>, _| w.push("a"));
+        sim.schedule(millis(30), |w: &mut Vec<&str>, _| w.push("c"));
+        sim.run(&mut log);
+        assert_eq!(log, vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), millis(30));
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_run_in_insertion_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut log = Vec::new();
+        for i in 0..10u32 {
+            sim.schedule(millis(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut count = 0u32;
+        fn tick(w: &mut u32, sim: &mut Sim<u32>) {
+            *w += 1;
+            if *w < 5 {
+                sim.schedule(millis(1), tick);
+            }
+        }
+        sim.schedule(millis(1), tick);
+        sim.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(sim.now(), millis(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut log = Vec::new();
+        for i in 1..=10 {
+            sim.schedule(millis(i * 10), move |w: &mut Vec<u64>, sim| w.push(sim.now()));
+        }
+        sim.run_until(&mut log, millis(35));
+        assert_eq!(log.len(), 3);
+        assert_eq!(sim.now(), millis(35));
+        assert_eq!(sim.pending(), 7);
+        sim.run(&mut log);
+        assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule(millis(10), |_: &mut Vec<u64>, sim| {
+            // Absolute time in the past: clamped, still runs.
+            sim.schedule_at(0, |w: &mut Vec<u64>, sim| w.push(sim.now()));
+        });
+        sim.run(&mut log);
+        assert_eq!(log, vec![millis(10)]);
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_without_events() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.run_for(&mut (), millis(100));
+        assert_eq!(sim.now(), millis(100));
+    }
+}

@@ -1,0 +1,59 @@
+//! Virtual time: nanoseconds since simulation start.
+
+/// A point in (or span of) virtual time, in nanoseconds.
+pub type Time = u64;
+
+/// Converts seconds to [`Time`].
+pub const fn secs(s: u64) -> Time {
+    s * 1_000_000_000
+}
+
+/// Converts milliseconds to [`Time`].
+pub const fn millis(ms: u64) -> Time {
+    ms * 1_000_000
+}
+
+/// Converts microseconds to [`Time`].
+pub const fn micros(us: u64) -> Time {
+    us * 1_000
+}
+
+/// Identity helper for symmetry with the other constructors.
+pub const fn nanos(ns: u64) -> Time {
+    ns
+}
+
+/// Converts a [`Time`] to fractional milliseconds (for reporting).
+pub fn as_millis_f64(t: Time) -> f64 {
+    t as f64 / 1_000_000.0
+}
+
+/// Converts a [`Time`] to fractional seconds (for reporting).
+pub fn as_secs_f64(t: Time) -> f64 {
+    t as f64 / 1_000_000_000.0
+}
+
+/// Converts fractional milliseconds to [`Time`], saturating at zero.
+pub fn from_millis_f64(ms: f64) -> Time {
+    if ms <= 0.0 {
+        0
+    } else {
+        (ms * 1_000_000.0) as Time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(secs(2), millis(2000));
+        assert_eq!(millis(3), micros(3000));
+        assert_eq!(micros(5), nanos(5000));
+        assert_eq!(as_millis_f64(millis(250)), 250.0);
+        assert_eq!(as_secs_f64(secs(4)), 4.0);
+        assert_eq!(from_millis_f64(1.5), 1_500_000);
+        assert_eq!(from_millis_f64(-1.0), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Structural diffs between two model snapshots.
+//!
+//! Drivers in dSpace register handlers with *filters* that fire only when
+//! particular attributes change (§4.2). The reconciler computes the set of
+//! changed paths between the previous and the new model with [`diff`] and
+//! matches handler filters against it.
+
+use crate::path::Path;
+use crate::value::Value;
+
+/// The kind of change at a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeOp {
+    /// The attribute was created.
+    Added,
+    /// The attribute's value changed.
+    Updated,
+    /// The attribute was removed.
+    Removed,
+}
+
+/// A single leaf-level change between two documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Change {
+    /// Path of the changed attribute.
+    pub path: Path,
+    /// Kind of change.
+    pub op: ChangeOp,
+    /// Value before the change (`Null` when added).
+    pub old: Value,
+    /// Value after the change (`Null` when removed).
+    pub new: Value,
+}
+
+impl Change {
+    /// Returns `true` if this change is at or below `prefix`.
+    pub fn under(&self, prefix: &Path) -> bool {
+        prefix.is_prefix_of(&self.path)
+    }
+}
+
+/// Computes the leaf-level changes needed to turn `old` into `new`.
+///
+/// Object attributes are compared recursively. Arrays are treated as leaves:
+/// any difference produces a single `Updated` change at the array's path,
+/// which matches how digi models treat list attributes (e.g. `obs.objects`)
+/// as atomic observations.
+///
+/// # Examples
+///
+/// ```
+/// use dspace_value::{diff, json};
+/// let old = json::parse(r#"{"a": 1, "b": {"c": 2}}"#).unwrap();
+/// let new = json::parse(r#"{"a": 1, "b": {"c": 3}, "d": 4}"#).unwrap();
+/// let changes = diff(&old, &new);
+/// assert_eq!(changes.len(), 2);
+/// ```
+pub fn diff(old: &Value, new: &Value) -> Vec<Change> {
+    let mut out = Vec::new();
+    walk(&Path::root(), old, new, &mut out);
+    out
+}
+
+fn walk(path: &Path, old: &Value, new: &Value, out: &mut Vec<Change>) {
+    match (old, new) {
+        (Value::Object(a), Value::Object(b)) => {
+            for (k, va) in a {
+                match b.get(k) {
+                    Some(vb) => walk(&path.child(k.clone()), va, vb, out),
+                    None => out.push(Change {
+                        path: path.child(k.clone()),
+                        op: ChangeOp::Removed,
+                        old: va.clone(),
+                        new: Value::Null,
+                    }),
+                }
+            }
+            for (k, vb) in b {
+                if !a.contains_key(k) {
+                    out.push(Change {
+                        path: path.child(k.clone()),
+                        op: ChangeOp::Added,
+                        old: Value::Null,
+                        new: vb.clone(),
+                    });
+                }
+            }
+        }
+        (a, b) if a == b => {}
+        (a, b) => out.push(Change {
+            path: path.clone(),
+            op: ChangeOp::Updated,
+            old: a.clone(),
+            new: b.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn identical_documents_have_no_changes() {
+        let v = parse(r#"{"a": {"b": [1, 2]}}"#).unwrap();
+        assert!(diff(&v, &v).is_empty());
+    }
+
+    #[test]
+    fn detects_update_add_remove() {
+        let old = parse(r#"{"keep": 1, "change": 2, "drop": 3}"#).unwrap();
+        let new = parse(r#"{"keep": 1, "change": 20, "fresh": 4}"#).unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 3);
+        let find = |p: &str| {
+            changes
+                .iter()
+                .find(|c| c.path.to_string() == p)
+                .unwrap_or_else(|| panic!("no change at {p}"))
+        };
+        assert_eq!(find(".change").op, ChangeOp::Updated);
+        assert_eq!(find(".drop").op, ChangeOp::Removed);
+        assert_eq!(find(".fresh").op, ChangeOp::Added);
+    }
+
+    #[test]
+    fn nested_change_reports_leaf_path() {
+        let old = parse(r#"{"control": {"power": {"intent": "off"}}}"#).unwrap();
+        let new = parse(r#"{"control": {"power": {"intent": "on"}}}"#).unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].path.to_string(), ".control.power.intent");
+        assert_eq!(changes[0].old.as_str(), Some("off"));
+        assert_eq!(changes[0].new.as_str(), Some("on"));
+    }
+
+    #[test]
+    fn arrays_are_atomic() {
+        let old = parse(r#"{"objects": ["person"]}"#).unwrap();
+        let new = parse(r#"{"objects": ["person", "dog"]}"#).unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].path.to_string(), ".objects");
+        assert_eq!(changes[0].op, ChangeOp::Updated);
+    }
+
+    #[test]
+    fn type_change_is_update() {
+        let old = parse(r#"{"x": {"y": 1}}"#).unwrap();
+        let new = parse(r#"{"x": 5}"#).unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].path.to_string(), ".x");
+    }
+
+    #[test]
+    fn change_under_prefix() {
+        let old = parse(r#"{"control": {"power": {"intent": "off"}}}"#).unwrap();
+        let new = parse(r#"{"control": {"power": {"intent": "on"}}}"#).unwrap();
+        let changes = diff(&old, &new);
+        let control: Path = ".control".parse().unwrap();
+        let obs: Path = ".obs".parse().unwrap();
+        assert!(changes[0].under(&control));
+        assert!(!changes[0].under(&obs));
+    }
+}

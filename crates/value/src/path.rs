@@ -1,0 +1,298 @@
+//! Dotted-path addressing of model attributes.
+//!
+//! dSpace accesses model attributes by URI-like paths (Table 1 of the paper
+//! uses e.g. `.control.brightness.intent`). A [`Path`] is a parsed sequence
+//! of [`Segment`]s supporting both object keys and array indices.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a [`Path`]: an object key or an array index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Segment {
+    /// Descend into an object attribute by name.
+    Key(String),
+    /// Descend into an array element by position.
+    Index(usize),
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::Key(k) => write!(f, "{k}"),
+            Segment::Index(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A parsed attribute path such as `.control.power.intent` or `obs.objects[0]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Path {
+    segments: Vec<Segment>,
+}
+
+/// Error returned when a path string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError(pub String);
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.0)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+impl Path {
+    /// The empty path, addressing the document root.
+    pub fn root() -> Self {
+        Path { segments: Vec::new() }
+    }
+
+    /// Builds a path from segments.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        Path { segments }
+    }
+
+    /// Builds a path of key segments from an iterator of strings.
+    pub fn keys<I, S>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Path {
+            segments: keys.into_iter().map(|k| Segment::Key(k.into())).collect(),
+        }
+    }
+
+    /// Returns the segments of the path.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Returns `true` if the path addresses the root.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Returns the number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns a new path extended by one key segment.
+    pub fn child(&self, key: impl Into<String>) -> Path {
+        let mut p = self.clone();
+        p.segments.push(Segment::Key(key.into()));
+        p
+    }
+
+    /// Returns a new path extended by one index segment.
+    pub fn index(&self, idx: usize) -> Path {
+        let mut p = self.clone();
+        p.segments.push(Segment::Index(idx));
+        p
+    }
+
+    /// Returns a new path that is `self` followed by `other`.
+    pub fn join(&self, other: &Path) -> Path {
+        let mut p = self.clone();
+        p.segments.extend(other.segments.iter().cloned());
+        p
+    }
+
+    /// Returns the first `n` segments as a path.
+    pub fn prefix(&self, n: usize) -> Path {
+        Path { segments: self.segments[..n.min(self.segments.len())].to_vec() }
+    }
+
+    /// Splits off the last segment, returning the parent path and that
+    /// segment, or `None` for the root path.
+    pub fn split_last(&self) -> Option<(Path, Segment)> {
+        let (last, rest) = self.segments.split_last()?;
+        Some((Path { segments: rest.to_vec() }, last.clone()))
+    }
+
+    /// Returns `true` if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// Returns the suffix of `other` after stripping `self`, if `self` is a
+    /// prefix of `other`.
+    pub fn strip_prefix(&self, other: &Path) -> Option<Path> {
+        if self.is_prefix_of(other) {
+            Some(Path { segments: other.segments[self.segments.len()..].to_vec() })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    /// Renders the canonical `.a.b[0].c` form with a leading dot.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return f.write_str(".");
+        }
+        for seg in &self.segments {
+            match seg {
+                Segment::Key(k) => write!(f, ".{k}")?,
+                Segment::Index(i) => write!(f, "[{i}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = PathParseError;
+
+    /// Parses paths like `.control.power.intent`, `control.power`, or
+    /// `obs.objects[2]`. A bare `.` is the root path.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "." {
+            return Ok(Path::root());
+        }
+        let mut segments = Vec::new();
+        let mut chars = s.chars().peekable();
+        // Accept an optional leading dot (jq style).
+        if let Some('.') = chars.peek() {
+            chars.next();
+        }
+        let mut cur = String::new();
+        let flush = |cur: &mut String, segments: &mut Vec<Segment>| -> Result<(), PathParseError> {
+            if !cur.is_empty() {
+                segments.push(Segment::Key(std::mem::take(cur)));
+            }
+            Ok(())
+        };
+        while let Some(c) = chars.next() {
+            match c {
+                '.' => {
+                    if cur.is_empty() {
+                        return Err(PathParseError(s.to_string()));
+                    }
+                    flush(&mut cur, &mut segments)?;
+                }
+                '[' => {
+                    flush(&mut cur, &mut segments)?;
+                    let mut num = String::new();
+                    for d in chars.by_ref() {
+                        if d == ']' {
+                            break;
+                        }
+                        num.push(d);
+                    }
+                    let idx: usize = num
+                        .trim()
+                        .parse()
+                        .map_err(|_| PathParseError(s.to_string()))?;
+                    segments.push(Segment::Index(idx));
+                    // After `]` the next char must be `.`, `[`, or end.
+                    match chars.peek() {
+                        None | Some('.') | Some('[') => {
+                            if let Some('.') = chars.peek() {
+                                chars.next();
+                            }
+                        }
+                        Some(_) => return Err(PathParseError(s.to_string())),
+                    }
+                }
+                c if c.is_alphanumeric() || c == '_' || c == '-' || c == '/' || c == ':' => {
+                    cur.push(c)
+                }
+                _ => return Err(PathParseError(s.to_string())),
+            }
+        }
+        flush(&mut cur, &mut segments)?;
+        if segments.is_empty() {
+            return Err(PathParseError(s.to_string()));
+        }
+        Ok(Path { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let p: Path = ".control.power.intent".parse().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_string(), ".control.power.intent");
+    }
+
+    #[test]
+    fn parse_without_leading_dot() {
+        let p: Path = "control.power".parse().unwrap();
+        assert_eq!(p.segments()[0], Segment::Key("control".into()));
+    }
+
+    #[test]
+    fn parse_indices() {
+        let p: Path = "obs.objects[2].name".parse().unwrap();
+        assert_eq!(
+            p.segments(),
+            &[
+                Segment::Key("obs".into()),
+                Segment::Key("objects".into()),
+                Segment::Index(2),
+                Segment::Key("name".into()),
+            ]
+        );
+        assert_eq!(p.to_string(), ".obs.objects[2].name");
+    }
+
+    #[test]
+    fn parse_root() {
+        assert!(".".parse::<Path>().unwrap().is_empty());
+        assert!("".parse::<Path>().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("a..b".parse::<Path>().is_err());
+        assert!("a[x]".parse::<Path>().is_err());
+        assert!("a b".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn prefix_relationships() {
+        let a: Path = ".control".parse().unwrap();
+        let b: Path = ".control.power.intent".parse().unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+        assert_eq!(a.strip_prefix(&b).unwrap().to_string(), ".power.intent");
+    }
+
+    #[test]
+    fn join_and_child() {
+        let a: Path = ".mount".parse().unwrap();
+        let b = a.child("unilamp").child("ul1");
+        assert_eq!(b.to_string(), ".mount.unilamp.ul1");
+        let c: Path = ".control".parse().unwrap();
+        assert_eq!(b.join(&c).to_string(), ".mount.unilamp.ul1.control");
+    }
+
+    #[test]
+    fn split_last() {
+        let p: Path = ".a.b[1]".parse().unwrap();
+        let (parent, last) = p.split_last().unwrap();
+        assert_eq!(parent.to_string(), ".a.b");
+        assert_eq!(last, Segment::Index(1));
+        assert!(Path::root().split_last().is_none());
+    }
+
+    #[test]
+    fn keys_in_names_allow_dashes_and_slashes() {
+        let p: Path = ".reflex.motion-brightness.policy".parse().unwrap();
+        assert_eq!(p.len(), 3);
+        let q: Path = ".data.input.url".parse().unwrap();
+        assert_eq!(q.len(), 3);
+    }
+}

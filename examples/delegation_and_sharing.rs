@@ -1,0 +1,53 @@
+//! Shared control and delegation: the multi-hierarchy scenarios S9 and
+//! S10 — an energy-saving controller that takes over idle rooms, and a
+//! city emergency service the home yields to when the alarm fires.
+//!
+//! Run with: `cargo run --example delegation_and_sharing`
+
+use dspace::digis::scenarios::{s10::S10, s9::S9};
+
+fn holder(space: &dspace::core::Space, child: &dspace::apiserver::ObjectRef) -> String {
+    space
+        .world
+        .graph
+        .borrow()
+        .active_parent(child)
+        .map(|p| p.to_string())
+        .unwrap_or_else(|| "(nobody)".into())
+}
+
+fn main() {
+    println!("== S9: shared control (power saving on idle) ==");
+    let mut s9 = S9::build();
+    let ul1 = s9.inner.unilamps[0].clone();
+    println!("writer over ul1 initially: {}", holder(&s9.inner.space, &ul1));
+    s9.set_activity("IDLE");
+    println!(
+        "room went IDLE -> writer: {} ; lamp dimmed to {}",
+        holder(&s9.inner.space, &ul1),
+        s9.inner.space.status("l1/brightness").unwrap()
+    );
+    s9.set_activity("ACTIVE");
+    println!("room ACTIVE again -> writer: {}", holder(&s9.inner.space, &ul1));
+
+    println!("\n== S10: delegation to a city emergency service ==");
+    let mut s10 = S10::build();
+    println!(
+        "sleeping home: room writer {} ; room brightness intent {}",
+        holder(&s10.space, &s10.room),
+        s10.space.intent("lvroom/brightness").unwrap()
+    );
+    s10.set_alarm(true);
+    println!(
+        "ALARM -> writer {} ; evacuation brightness intent {} ; lamp at {}",
+        holder(&s10.space, &s10.room),
+        s10.space.intent("lvroom/brightness").unwrap(),
+        s10.space.status("l1/brightness").unwrap()
+    );
+    s10.set_alarm(false);
+    println!("alarm cleared -> writer {}", holder(&s10.space, &s10.room));
+    println!("\npolicy firings in the trace:");
+    for e in s10.space.world.trace.of_kind(&dspace::core::TraceKind::PolicyFired) {
+        println!("  {:>9.1}ms {} {}", e.t as f64 / 1e6, e.subject, e.detail);
+    }
+}

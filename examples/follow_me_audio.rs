@@ -1,0 +1,39 @@
+//! Service handover (S7): a RoamSpeaker digivice moves the audio stream to
+//! whichever room the user occupies, writing through exposed nested
+//! replicas (RoamSpeaker → Room → Speaker).
+//!
+//! Run with: `cargo run --example follow_me_audio`
+
+use dspace::digis::scenarios::s7::S7;
+
+fn speakers(s7: &S7) -> String {
+    format!(
+        "spk1(roomA)={}/{} spk2(roomB)={}/{}",
+        s7.space.status("spk1/mode").unwrap(),
+        s7.space.status("spk1/source_url").unwrap(),
+        s7.space.status("spk2/mode").unwrap(),
+        s7.space.status("spk2/source_url").unwrap(),
+    )
+}
+
+fn main() {
+    let mut s7 = S7::build();
+    println!("roaming source: {}", s7.space.intent("roam/source_url").unwrap());
+
+    s7.user_moves_to("rooma", "roomb");
+    println!("user in room A -> {}", speakers(&s7));
+
+    s7.user_moves_to("roomb", "rooma");
+    println!("user in room B -> {}", speakers(&s7));
+
+    s7.user_moves_to("rooma", "roomb");
+    println!("user back in A -> {}", speakers(&s7));
+
+    // The handover path is visible in the mounts: the RoamSpeaker only
+    // ever touched its own model; the mounter carried the intents down
+    // two levels of replicas (note the Bose speaker's vendor-cloud DT).
+    println!("\ndevice actuations:");
+    for e in s7.space.world.trace.of_kind(&dspace::core::TraceKind::DeviceDone) {
+        println!("  {:>9.1}ms {} {}", e.t as f64 / 1e6, e.subject, e.detail);
+    }
+}

@@ -1,0 +1,60 @@
+//! Learned automation (S6): the home watches the user's manual mode
+//! choices, a behaviour-cloning digidata learns the occupancy→mode policy,
+//! and once switched to auto the home drives itself.
+//!
+//! Run with: `cargo run --example learned_automation`
+
+use dspace::digis::scenarios::s6::S6;
+
+fn main() {
+    let mut s6 = S6::build();
+    println!("demonstrating: empty home -> sleep, occupied home -> active (x3)");
+    for round in 1..=3 {
+        s6.demonstrate(0, "sleep");
+        s6.demonstrate(2, "active");
+        println!(
+            "  round {round}: imitate inputs {}",
+            s6.inner.space.read("im1", ".data.input.demo").unwrap()
+        );
+    }
+    println!(
+        "learned recommendation for current occupancy: {}",
+        s6.inner.space.read("im1", ".data.output.mode").unwrap()
+    );
+
+    s6.enable_auto();
+    println!("\nswitched home to auto mode.");
+    // The home empties: the learned policy puts it to sleep.
+    s6.inner
+        .space
+        .physical_event(
+            "lvroom",
+            dspace::value::object([(
+                "obs",
+                dspace::value::object([("occupancy", 0.0.into())]),
+            )]),
+        )
+        .unwrap();
+    s6.inner.space.run_for_ms(8_000);
+    println!(
+        "home emptied -> home mode intent: {} (lvroom brightness intent {})",
+        s6.inner.space.intent("home/mode").unwrap(),
+        s6.inner.space.intent("lvroom/brightness").unwrap()
+    );
+    // People return: the learned policy re-activates the home.
+    s6.inner
+        .space
+        .physical_event(
+            "lvroom",
+            dspace::value::object([(
+                "obs",
+                dspace::value::object([("occupancy", 2.0.into())]),
+            )]),
+        )
+        .unwrap();
+    s6.inner.space.run_for_ms(8_000);
+    println!(
+        "people returned -> home mode intent: {}",
+        s6.inner.space.intent("home/mode").unwrap()
+    );
+}

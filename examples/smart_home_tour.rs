@@ -1,0 +1,71 @@
+//! A tour of the paper's home-automation scenarios: unified lamp control
+//! (S1), physical/virtual intent reconciliation (S2), home modes (S4), and
+//! the camera→scene→roomba pipeline (S5).
+//!
+//! Run with: `cargo run --example smart_home_tour`
+
+use dspace::digis::scenarios::{person_window, s1::S1, s2::S2, s4::S4, s5::S5};
+
+fn show_graph(space: &dspace::core::Space, label: &str) {
+    println!("\n--- digi-graph: {label} ---");
+    for e in space.world.graph.borrow().edges() {
+        println!("  {} -> {}  ({:?})", e.parent, e.child, e.state);
+    }
+}
+
+fn main() {
+    // S1: two heterogeneous vendor lamps behind one room knob.
+    println!("== S1: unified control over lamps in a room ==");
+    let mut s1 = S1::build();
+    show_graph(&s1.space, "after composition");
+    println!(
+        "room brightness 0.5 -> GEENI (Tuya 10-1000): {}, LIFX (16-bit): {}",
+        s1.space.status("l1/brightness").unwrap(),
+        s1.space.status("l2/brightness").unwrap()
+    );
+    s1.add_l3();
+    println!(
+        "added Philips Hue directly (no UniLamp); it converged to {} (0-254 scale)",
+        s1.space.status("l3/brightness").unwrap()
+    );
+
+    // S2: the user physically dims one lamp; the room reconciles.
+    println!("\n== S2: physical vs virtual intents ==");
+    let mut s2 = S2::build();
+    s2.user_dims_lamp("GeeniLamp", "l1", 0.2);
+    println!(
+        "user dimmed l1 to 0.2 at the switch; room preserved the aggregate:\n  l1={} l2={} (room target 0.5 x 2 lamps)",
+        s2.inner.space.status("l1/brightness").unwrap(),
+        s2.inner.space.status("l2/brightness").unwrap()
+    );
+
+    // S4: a home abstraction over rooms.
+    println!("\n== S4: multi-level abstraction ==");
+    let mut s4 = S4::build();
+    println!(
+        "home mode active -> lvroom intent {}, bedroom intent {}",
+        s4.space.intent("lvroom/brightness").unwrap(),
+        s4.space.intent("bedroom/brightness").unwrap()
+    );
+    s4.set_mode("sleep");
+    println!(
+        "home mode sleep  -> lvroom intent {}, lamp status {} (Tuya floor is 10)",
+        s4.space.intent("lvroom/brightness").unwrap(),
+        s4.space.status("l1/brightness").unwrap()
+    );
+
+    // S5: the vacuum pauses when the camera sees a person.
+    println!("\n== S5: robot vacuum by scene ==");
+    let mut s5 = S5::build(person_window(20, 60));
+    s5.space.run_for_ms(15_000);
+    println!("t=15s  nobody visible: roomba {}", s5.space.status("rb1/mode").unwrap());
+    s5.space.run_for_ms(15_000);
+    println!(
+        "t=30s  person in view (objects {}): roomba {}",
+        s5.space.obs("lvroom/objects").unwrap(),
+        s5.space.status("rb1/mode").unwrap()
+    );
+    s5.space.run_for_ms(40_000);
+    println!("t=70s  person left: roomba {}", s5.space.status("rb1/mode").unwrap());
+    show_graph(&s5.space, "S5 pipeline");
+}
