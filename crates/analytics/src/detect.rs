@@ -83,8 +83,7 @@ impl Actuator for SceneEngine {
         }
         self.last_frame = now;
         let detected = self.detect_at(now, rng);
-        let frame_bytes =
-            (self.stream_bps * (self.frame_period as f64 / 1e9) / 8.0) as usize;
+        let frame_bytes = (self.stream_bps * (self.frame_period as f64 / 1e9) / 8.0) as usize;
         if self.last_output.as_deref() == Some(&detected) {
             // Nothing new: account the frame transfer, skip the write.
             return vec![Actuation::new(0, dspace_value::obj()).with_bytes(frame_bytes)];
@@ -158,7 +157,10 @@ mod tests {
         assert!(!first[0].patch.as_object().unwrap().is_empty());
         let second = eng.step(secs(2), &model_with_url(), &mut rng);
         assert_eq!(second.len(), 1);
-        assert!(second[0].patch.as_object().unwrap().is_empty(), "no redundant write");
+        assert!(
+            second[0].patch.as_object().unwrap().is_empty(),
+            "no redundant write"
+        );
         assert!(second[0].bytes > 0, "bandwidth still accounted");
     }
 
@@ -169,7 +171,9 @@ mod tests {
         let mut rng = Rng::new(4);
         assert_eq!(eng.step(secs(1), &model_with_url(), &mut rng).len(), 1);
         // 250 ms later: below the 1-frame-per-second period.
-        assert!(eng.step(secs(1) + millis(250), &model_with_url(), &mut rng).is_empty());
+        assert!(eng
+            .step(secs(1) + millis(250), &model_with_url(), &mut rng)
+            .is_empty());
     }
 
     #[test]

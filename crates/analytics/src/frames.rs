@@ -87,10 +87,7 @@ mod tests {
 
     #[test]
     fn unsorted_entries_are_sorted() {
-        let s = OccupancySchedule::from_entries([
-            (secs(20), vec!["b"]),
-            (secs(10), vec!["a"]),
-        ]);
+        let s = OccupancySchedule::from_entries([(secs(20), vec!["b"]), (secs(10), vec!["a"])]);
         assert_eq!(s.objects_at(secs(15)), ["a".to_string()]);
     }
 

@@ -30,7 +30,10 @@ pub struct BehaviorCloner {
 impl BehaviorCloner {
     /// Creates a cloner requiring 3 demonstrations per signature.
     pub fn new() -> Self {
-        BehaviorCloner { counts: BTreeMap::new(), min_samples: 3 }
+        BehaviorCloner {
+            counts: BTreeMap::new(),
+            min_samples: 3,
+        }
     }
 
     /// Canonical occupancy signature: room names with their person counts.
@@ -165,7 +168,10 @@ impl Actuator for ImitateEngine {
         self.last_output = Some(predicted.to_string());
         let mut patch = dspace_value::obj();
         patch
-            .set(&".data.output.mode".parse().unwrap(), Value::from(predicted))
+            .set(
+                &".data.output.mode".parse().unwrap(),
+                Value::from(predicted),
+            )
             .unwrap();
         vec![Actuation::new(self.infer_latency, patch)]
     }

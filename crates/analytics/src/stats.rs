@@ -94,7 +94,11 @@ impl Actuator for StatsEngine {
         self.last_seen = Some(objects.clone());
         let batch: Vec<String> = objects
             .as_array()
-            .map(|a| a.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
             .unwrap_or_default();
         self.history.push_back(batch);
         while self.history.len() > self.window {
@@ -108,12 +112,19 @@ impl Actuator for StatsEngine {
                 dspace_value::object(counts.iter().map(|(k, v)| (k.clone(), Value::from(*v)))),
             )
             .unwrap();
-        stats.set(&".distinct".parse().unwrap(), Value::from(counts.len())).unwrap();
         stats
-            .set(&".observations".parse().unwrap(), Value::from(self.history.len()))
+            .set(&".distinct".parse().unwrap(), Value::from(counts.len()))
+            .unwrap();
+        stats
+            .set(
+                &".observations".parse().unwrap(),
+                Value::from(self.history.len()),
+            )
             .unwrap();
         let mut patch = dspace_value::obj();
-        patch.set(&".data.output.stats".parse().unwrap(), stats).unwrap();
+        patch
+            .set(&".data.output.stats".parse().unwrap(), stats)
+            .unwrap();
         vec![Actuation::new(self.batch_latency, patch)]
     }
 
@@ -129,10 +140,8 @@ mod tests {
 
     #[test]
     fn aggregate_counts_pure() {
-        let counts = aggregate_counts(&[
-            vec!["person".into(), "dog".into()],
-            vec!["person".into()],
-        ]);
+        let counts =
+            aggregate_counts(&[vec!["person".into(), "dog".into()], vec!["person".into()]]);
         assert_eq!(counts["person"], 2);
         assert_eq!(counts["dog"], 1);
         assert!(aggregate_counts(&[]).is_empty());
@@ -143,7 +152,10 @@ mod tests {
         let mut eng = StatsEngine::new().with_window(2);
         let mut rng = Rng::new(1);
         let mk = |objs: &str| {
-            json::parse(&format!(r#"{{"data": {{"input": {{"objects": {objs}}}}}}}"#)).unwrap()
+            json::parse(&format!(
+                r#"{{"data": {{"input": {{"objects": {objs}}}}}}}"#
+            ))
+            .unwrap()
         };
         let acts = eng.step(0, &mk(r#"["person"]"#), &mut rng);
         assert_eq!(acts.len(), 1);
@@ -151,7 +163,10 @@ mod tests {
         // Third observation evicts the first (window 2).
         let acts = eng.step(0, &mk(r#"["cat"]"#), &mut rng);
         let stats = acts[0].patch.get_path(".data.output.stats").unwrap();
-        assert_eq!(stats.get_path(".counts.person").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            stats.get_path(".counts.person").unwrap().as_f64(),
+            Some(1.0)
+        );
         assert_eq!(stats.get_path(".counts.cat").unwrap().as_f64(), Some(1.0));
         assert_eq!(stats.get_path(".observations").unwrap().as_f64(), Some(2.0));
     }
@@ -160,8 +175,7 @@ mod tests {
     fn unchanged_input_is_ignored() {
         let mut eng = StatsEngine::new();
         let mut rng = Rng::new(2);
-        let model =
-            json::parse(r#"{"data": {"input": {"objects": ["person"]}}}"#).unwrap();
+        let model = json::parse(r#"{"data": {"input": {"objects": ["person"]}}}"#).unwrap();
         assert_eq!(eng.step(0, &model, &mut rng).len(), 1);
         assert!(eng.step(0, &model, &mut rng).is_empty());
     }

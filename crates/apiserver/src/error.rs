@@ -48,7 +48,11 @@ impl fmt::Display for ApiError {
         match self {
             ApiError::NotFound(r) => write!(f, "not found: {r}"),
             ApiError::AlreadyExists(r) => write!(f, "already exists: {r}"),
-            ApiError::Conflict { oref, expected, actual } => write!(
+            ApiError::Conflict {
+                oref,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "conflict on {oref}: expected resource version {expected}, found {actual}"
             ),

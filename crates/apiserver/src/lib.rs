@@ -49,4 +49,4 @@ pub use error::ApiError;
 pub use object::{Object, ObjectRef};
 pub use rbac::{Role, RoleBinding, Rule, Verb};
 pub use server::ApiServer;
-pub use store::{WatchEvent, WatchEventKind, WatchId};
+pub use store::{WatchEvent, WatchEventKind, WatchId, WatchSelector, WatchStats};

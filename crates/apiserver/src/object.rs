@@ -22,7 +22,11 @@ impl ObjectRef {
         namespace: impl Into<String>,
         name: impl Into<String>,
     ) -> Self {
-        ObjectRef { kind: kind.into(), namespace: namespace.into(), name: name.into() }
+        ObjectRef {
+            kind: kind.into(),
+            namespace: namespace.into(),
+            name: name.into(),
+        }
     }
 
     /// Shorthand for the `default` namespace.
@@ -82,11 +86,12 @@ mod tests {
 
     #[test]
     fn from_model_reads_meta() {
-        let m = json::parse(
-            r#"{"meta": {"kind": "Lamp", "namespace": "ns1", "name": "l1"}}"#,
-        )
-        .unwrap();
-        assert_eq!(ObjectRef::from_model(&m), Some(ObjectRef::new("Lamp", "ns1", "l1")));
+        let m =
+            json::parse(r#"{"meta": {"kind": "Lamp", "namespace": "ns1", "name": "l1"}}"#).unwrap();
+        assert_eq!(
+            ObjectRef::from_model(&m),
+            Some(ObjectRef::new("Lamp", "ns1", "l1"))
+        );
         // Missing name -> None.
         let bad = json::parse(r#"{"meta": {"kind": "Lamp"}}"#).unwrap();
         assert_eq!(ObjectRef::from_model(&bad), None);

@@ -43,7 +43,10 @@ impl Verb {
 
     /// Returns `true` for verbs that mutate state.
     pub fn is_mutation(&self) -> bool {
-        matches!(self, Verb::Create | Verb::Update | Verb::Patch | Verb::Delete)
+        matches!(
+            self,
+            Verb::Create | Verb::Update | Verb::Patch | Verb::Delete
+        )
     }
 }
 
@@ -118,7 +121,10 @@ pub struct Role {
 impl Role {
     /// Creates a role.
     pub fn new(name: impl Into<String>, rules: Vec<Rule>) -> Self {
-        Role { name: name.into(), rules }
+        Role {
+            name: name.into(),
+            rules,
+        }
     }
 }
 
@@ -151,7 +157,10 @@ impl Rbac {
 
     /// Binds `subject` to role `role`.
     pub fn bind(&mut self, subject: impl Into<String>, role: impl Into<String>) {
-        self.bindings.entry(subject.into()).or_default().insert(role.into());
+        self.bindings
+            .entry(subject.into())
+            .or_default()
+            .insert(role.into());
     }
 
     /// Removes a binding; no-op if absent.

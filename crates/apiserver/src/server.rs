@@ -7,7 +7,7 @@ use crate::admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
 use crate::error::ApiError;
 use crate::object::{Object, ObjectRef};
 use crate::rbac::{Rbac, Role, Rule, Verb};
-use crate::store::{Store, WatchEvent, WatchId};
+use crate::store::{Store, WatchEvent, WatchId, WatchSelector, WatchStats};
 
 /// The API server.
 ///
@@ -113,7 +113,13 @@ impl ApiServer {
         old: Option<&Value>,
         new: Option<&Value>,
     ) -> Result<(), ApiError> {
-        let review = AdmissionReview { subject, verb, oref, old, new };
+        let review = AdmissionReview {
+            subject,
+            verb,
+            oref,
+            old,
+            new,
+        };
         for hook in &mut self.webhooks {
             if let AdmissionResponse::Deny(reason) = hook.review(&review) {
                 return Err(ApiError::AdmissionDenied {
@@ -133,7 +139,13 @@ impl ApiServer {
         old: Option<&Value>,
         new: Option<&Value>,
     ) {
-        let review = AdmissionReview { subject, verb, oref, old, new };
+        let review = AdmissionReview {
+            subject,
+            verb,
+            oref,
+            old,
+            new,
+        };
         for hook in &mut self.webhooks {
             hook.observe(&review);
         }
@@ -168,12 +180,7 @@ impl ApiServer {
     }
 
     /// Reads a single attribute from an object's model.
-    pub fn get_path(
-        &self,
-        subject: &str,
-        oref: &ObjectRef,
-        path: &str,
-    ) -> Result<Value, ApiError> {
+    pub fn get_path(&self, subject: &str, oref: &ObjectRef, path: &str) -> Result<Value, ApiError> {
         let obj = self.get(subject, oref)?;
         Ok(obj.model.get_path(path).cloned().unwrap_or(Value::Null))
     }
@@ -306,14 +313,41 @@ impl ApiServer {
 
     /// Opens a watch over `kind` (or everything when `None`).
     pub fn watch(&mut self, subject: &str, kind: Option<&str>) -> Result<WatchId, ApiError> {
-        let probe = ObjectRef::new(kind.unwrap_or("*"), "*", "*");
+        self.watch_selector(
+            subject,
+            match kind {
+                None => WatchSelector::All,
+                Some(k) => WatchSelector::Kind(k.to_string()),
+            },
+        )
+    }
+
+    /// Opens a watch scoped to exactly one object. This is what digi
+    /// drivers use: they only ever need their own model's events.
+    pub fn watch_object(&mut self, subject: &str, oref: &ObjectRef) -> Result<WatchId, ApiError> {
+        self.watch_selector(subject, WatchSelector::Object(oref.clone()))
+    }
+
+    /// Opens a watch with an explicit selector. Authorization probes the
+    /// narrowest ref the selector covers, so a subject allowed to watch
+    /// only its own object can still hold an `Object` subscription.
+    pub fn watch_selector(
+        &mut self,
+        subject: &str,
+        selector: WatchSelector,
+    ) -> Result<WatchId, ApiError> {
+        let probe = match &selector {
+            WatchSelector::All => ObjectRef::new("*", "*", "*"),
+            WatchSelector::Kind(k) => ObjectRef::new(k, "*", "*"),
+            WatchSelector::Object(r) => r.clone(),
+        };
         if !self.rbac.authorize(subject, Verb::Watch, &probe) {
             return Err(ApiError::Forbidden {
                 subject: subject.to_string(),
-                reason: format!("Watch on kind {} not permitted", kind.unwrap_or("*")),
+                reason: format!("Watch on {probe} not permitted"),
             });
         }
-        Ok(self.store.watch(kind))
+        Ok(self.store.watch_selector(selector))
     }
 
     /// Drains pending events for a watch subscription.
@@ -326,9 +360,19 @@ impl ApiServer {
         self.store.has_pending(id)
     }
 
-    /// Cancels a watch subscription.
+    /// Cancels a watch subscription, releasing its log-compaction hold.
     pub fn cancel_watch(&mut self, id: WatchId) {
         self.store.cancel_watch(id)
+    }
+
+    /// Watch/notification traffic counters (bench + diagnostics).
+    pub fn watch_stats(&self) -> WatchStats {
+        self.store.watch_stats()
+    }
+
+    /// Current in-memory watch log length (bounded by live watcher lag).
+    pub fn log_len(&self) -> usize {
+        self.store.log_len()
     }
 
     /// Lists every stored object (admin/debug use).
@@ -360,7 +404,9 @@ mod tests {
         let obj = api.get(ApiServer::ADMIN, &oref).unwrap();
         assert_eq!(obj.resource_version, 1);
         assert_eq!(
-            api.get_path(ApiServer::ADMIN, &oref, ".meta.kind").unwrap().as_str(),
+            api.get_path(ApiServer::ADMIN, &oref, ".meta.kind")
+                .unwrap()
+                .as_str(),
             Some("Plug")
         );
     }
@@ -374,8 +420,13 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ApiError::Invalid(_)), "{err}");
         // Correct type passes.
-        api.patch_path(ApiServer::ADMIN, &oref, ".control.power.intent", "on".into())
-            .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &oref,
+            ".control.power.intent",
+            "on".into(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -414,9 +465,15 @@ mod tests {
         let (mut api, oref) = server_with_plug();
         let obj = api.get(ApiServer::ADMIN, &oref).unwrap();
         let mut m = obj.model.clone();
-        m.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
-        api.update(ApiServer::ADMIN, &oref, m.clone(), Some(obj.resource_version))
+        m.set(&".control.power.intent".parse().unwrap(), "on".into())
             .unwrap();
+        api.update(
+            ApiServer::ADMIN,
+            &oref,
+            m.clone(),
+            Some(obj.resource_version),
+        )
+        .unwrap();
         // Same base version again: conflict.
         let err = api
             .update(ApiServer::ADMIN, &oref, m, Some(obj.resource_version))
@@ -427,10 +484,8 @@ mod tests {
     #[test]
     fn patch_merges() {
         let (mut api, oref) = server_with_plug();
-        let patch = dspace_value::json::parse(
-            r#"{"control": {"power": {"intent": "on"}}}"#,
-        )
-        .unwrap();
+        let patch =
+            dspace_value::json::parse(r#"{"control": {"power": {"intent": "on"}}}"#).unwrap();
         api.patch(ApiServer::ADMIN, &oref, patch).unwrap();
         assert_eq!(
             api.get_path(ApiServer::ADMIN, &oref, ".control.power.intent")
@@ -440,7 +495,9 @@ mod tests {
         );
         // Untouched attributes survive.
         assert_eq!(
-            api.get_path(ApiServer::ADMIN, &oref, ".meta.name").unwrap().as_str(),
+            api.get_path(ApiServer::ADMIN, &oref, ".meta.name")
+                .unwrap()
+                .as_str(),
             Some("p1")
         );
     }
@@ -449,10 +506,20 @@ mod tests {
     fn watch_streams_patches() {
         let (mut api, oref) = server_with_plug();
         let w = api.watch(ApiServer::ADMIN, Some("Plug")).unwrap();
-        api.patch_path(ApiServer::ADMIN, &oref, ".control.power.intent", "on".into())
-            .unwrap();
-        api.patch_path(ApiServer::ADMIN, &oref, ".control.power.status", "on".into())
-            .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &oref,
+            ".control.power.intent",
+            "on".into(),
+        )
+        .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &oref,
+            ".control.power.status",
+            "on".into(),
+        )
+        .unwrap();
         let evs = api.poll(w);
         assert_eq!(evs.len(), 2);
         assert!(evs[0].resource_version < evs[1].resource_version);
@@ -461,9 +528,14 @@ mod tests {
     #[test]
     fn delete_path_removes_attribute() {
         let (mut api, oref) = server_with_plug();
-        api.patch_path(ApiServer::ADMIN, &oref, ".obs.note", "x".into()).unwrap();
-        api.delete_path(ApiServer::ADMIN, &oref, ".obs.note").unwrap();
-        assert!(api.get_path(ApiServer::ADMIN, &oref, ".obs.note").unwrap().is_null());
+        api.patch_path(ApiServer::ADMIN, &oref, ".obs.note", "x".into())
+            .unwrap();
+        api.delete_path(ApiServer::ADMIN, &oref, ".obs.note")
+            .unwrap();
+        assert!(api
+            .get_path(ApiServer::ADMIN, &oref, ".obs.note")
+            .unwrap()
+            .is_null());
     }
 
     #[test]
@@ -480,11 +552,17 @@ mod tests {
     fn unknown_object_operations_fail() {
         let (mut api, _) = server_with_plug();
         let ghost = ObjectRef::default_ns("Plug", "ghost");
-        assert!(matches!(api.get(ApiServer::ADMIN, &ghost), Err(ApiError::NotFound(_))));
+        assert!(matches!(
+            api.get(ApiServer::ADMIN, &ghost),
+            Err(ApiError::NotFound(_))
+        ));
         assert!(matches!(
             api.patch_path(ApiServer::ADMIN, &ghost, ".x", 1.0.into()),
             Err(ApiError::NotFound(_))
         ));
-        assert!(matches!(api.delete(ApiServer::ADMIN, &ghost), Err(ApiError::NotFound(_))));
+        assert!(matches!(
+            api.delete(ApiServer::ADMIN, &ghost),
+            Err(ApiError::NotFound(_))
+        ));
     }
 }

@@ -1,6 +1,7 @@
 //! Object storage and the Watch event log.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use dspace_value::Value;
 
@@ -19,6 +20,10 @@ pub enum WatchEventKind {
 }
 
 /// One entry of the totally ordered event log.
+///
+/// The model snapshot is reference-counted: a mutation materializes the
+/// snapshot once, and every watcher that receives the event shares it.
+/// Cloning a `WatchEvent` is O(1) in the model size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WatchEvent {
     /// Global, strictly increasing revision of the whole store.
@@ -28,7 +33,7 @@ pub struct WatchEvent {
     /// The object affected.
     pub oref: ObjectRef,
     /// Model snapshot after the change (for deletes: the last model).
-    pub model: Value,
+    pub model: Rc<Value>,
     /// The object's resource version after the change.
     pub resource_version: u64,
 }
@@ -37,12 +42,58 @@ pub struct WatchEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WatchId(pub u64);
 
+/// What a watch subscription is interested in.
+///
+/// Scoped subscriptions are what keep the notification fan-out linear: a
+/// digi driver subscribes to exactly its own model instead of receiving
+/// (and discarding) every other digi's events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchSelector {
+    /// Every object (controllers such as the mounter need the full view).
+    All,
+    /// Objects of one kind.
+    Kind(String),
+    /// One exact object.
+    Object(ObjectRef),
+}
+
+impl WatchSelector {
+    /// Returns `true` if events about `oref` belong to this subscription.
+    pub fn matches(&self, oref: &ObjectRef) -> bool {
+        match self {
+            WatchSelector::All => true,
+            WatchSelector::Kind(k) => *k == oref.kind,
+            WatchSelector::Object(r) => r == oref,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Watcher {
-    /// Restrict to one kind, or `None` for all.
-    kind: Option<String>,
-    /// Index into the event log of the next event to deliver.
-    cursor: usize,
+    selector: WatchSelector,
+    /// Revision of the next event this watcher has yet to examine: all
+    /// events with `revision < cursor` are delivered or filtered out.
+    cursor: u64,
+    /// Number of undelivered events matching the selector. Maintained at
+    /// append time, so `has_pending` is O(1) and `poll` never scans an
+    /// empty tail.
+    pending: u64,
+}
+
+/// Counters describing watch/notification traffic (bench + diagnostics).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WatchStats {
+    /// Events ever committed to the log. Each append materializes exactly
+    /// one shared model snapshot, regardless of watcher count.
+    pub events_appended: u64,
+    /// Events handed out by `poll` across all watchers (each delivery
+    /// shares the snapshot; no model deep-clone).
+    pub events_delivered: u64,
+    /// Log entries reclaimed by compaction.
+    pub events_compacted: u64,
+    /// High-water mark of the in-memory log length. Bounded by the lag of
+    /// the slowest live watcher, not by total mutation count.
+    pub peak_log_len: usize,
 }
 
 /// The persistent store: objects plus the event log and watchers.
@@ -50,13 +101,28 @@ struct Watcher {
 /// This is the etcd analogue. The event log is the linearization point:
 /// every mutation appends exactly one event, and watchers replay the log
 /// from their cursor — which yields the ordered, gap-free delivery
-/// guarantee that §3.5 of the paper requires for intent reconciliation.
+/// guarantee that §3.5 of the paper requires for intent reconciliation,
+/// per filtered stream.
+///
+/// The log is compacted: entries below every live watcher's hold point
+/// are dropped, so memory is bounded by watcher lag rather than by the
+/// lifetime mutation count.
 #[derive(Debug, Default)]
 pub struct Store {
     objects: BTreeMap<ObjectRef, Object>,
-    log: Vec<WatchEvent>,
+    /// Tail of the event log still needed by at least one watcher. The
+    /// first entry's revision is `committed - log.len() + 1`.
+    log: VecDeque<WatchEvent>,
+    /// Total events ever committed (== the revision of the newest event).
+    committed: u64,
     watchers: BTreeMap<WatchId, Watcher>,
     next_watch_id: u64,
+    /// Selector indexes: which watchers to notify per event, without
+    /// touching unrelated subscriptions.
+    all_watchers: BTreeSet<WatchId>,
+    kind_watchers: BTreeMap<String, BTreeSet<WatchId>>,
+    object_watchers: BTreeMap<ObjectRef, BTreeSet<WatchId>>,
+    stats: WatchStats,
 }
 
 impl Store {
@@ -67,7 +133,7 @@ impl Store {
 
     /// Returns the current global revision (number of committed events).
     pub fn revision(&self) -> u64 {
-        self.log.len() as u64
+        self.committed
     }
 
     /// Returns the stored object, if present.
@@ -96,9 +162,14 @@ impl Store {
         }
         let rv = 1;
         stamp_gen(&mut model, rv);
-        let obj = Object { oref: oref.clone(), model: model.clone(), resource_version: rv };
+        let shared = Rc::new(model);
+        let obj = Object {
+            oref: oref.clone(),
+            model: (*shared).clone(),
+            resource_version: rv,
+        };
         self.objects.insert(oref.clone(), obj);
-        self.append(WatchEventKind::Added, oref.clone(), model, rv);
+        self.append(WatchEventKind::Added, oref.clone(), shared, rv);
         Ok(self.objects.get(&oref).expect("just inserted"))
     }
 
@@ -128,37 +199,70 @@ impl Store {
         }
         let rv = obj.resource_version + 1;
         stamp_gen(&mut model, rv);
-        obj.model = model.clone();
+        let shared = Rc::new(model);
+        obj.model = (*shared).clone();
         obj.resource_version = rv;
-        self.append(WatchEventKind::Modified, oref.clone(), model, rv);
+        self.append(WatchEventKind::Modified, oref.clone(), shared, rv);
         Ok(rv)
     }
 
     /// Removes an object, returning its final state.
+    ///
+    /// The deletion is itself a model change: the returned object and the
+    /// `Deleted` event carry a *bumped* resource version, so watchers can
+    /// order the delete against the modifications that preceded it.
     pub fn delete(&mut self, oref: &ObjectRef) -> Result<Object, ApiError> {
-        let obj = self
+        let mut obj = self
             .objects
             .remove(oref)
             .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        obj.resource_version += 1;
+        stamp_gen(&mut obj.model, obj.resource_version);
         self.append(
             WatchEventKind::Deleted,
             oref.clone(),
-            obj.model.clone(),
+            Rc::new(obj.model.clone()),
             obj.resource_version,
         );
         Ok(obj)
     }
 
-    /// Opens a watch. `kind = None` watches everything. The cursor starts
-    /// at the current log tail: only *future* events are delivered.
-    pub fn watch(&mut self, kind: Option<&str>) -> WatchId {
+    /// Opens a watch over `selector`. The cursor starts at the current log
+    /// tail: only *future* events are delivered.
+    pub fn watch_selector(&mut self, selector: WatchSelector) -> WatchId {
         let id = WatchId(self.next_watch_id);
         self.next_watch_id += 1;
+        match &selector {
+            WatchSelector::All => {
+                self.all_watchers.insert(id);
+            }
+            WatchSelector::Kind(k) => {
+                self.kind_watchers.entry(k.clone()).or_default().insert(id);
+            }
+            WatchSelector::Object(r) => {
+                self.object_watchers
+                    .entry(r.clone())
+                    .or_default()
+                    .insert(id);
+            }
+        }
         self.watchers.insert(
             id,
-            Watcher { kind: kind.map(str::to_string), cursor: self.log.len() },
+            Watcher {
+                selector,
+                cursor: self.committed + 1,
+                pending: 0,
+            },
         );
         id
+    }
+
+    /// Opens a watch by kind. `kind = None` watches everything.
+    pub fn watch(&mut self, kind: Option<&str>) -> WatchId {
+        self.watch_selector(match kind {
+            None => WatchSelector::All,
+            Some(k) => WatchSelector::Kind(k.to_string()),
+        })
     }
 
     /// Drains pending events for a watcher, in revision order.
@@ -170,57 +274,134 @@ impl Store {
             return Vec::new();
         };
         let mut out = Vec::new();
-        while w.cursor < self.log.len() {
-            let ev = &self.log[w.cursor];
-            w.cursor += 1;
-            if w.kind.as_deref().is_none_or_match(&ev.oref.kind) {
-                out.push(ev.clone());
+        if w.pending > 0 {
+            let first_rev = self.committed - self.log.len() as u64 + 1;
+            // Compaction never reclaims past a watcher with pending
+            // events, so the scan window is fully resident.
+            let start = (w.cursor.max(first_rev) - first_rev) as usize;
+            for ev in self.log.iter().skip(start) {
+                if w.selector.matches(&ev.oref) {
+                    out.push(ev.clone());
+                }
             }
+            debug_assert_eq!(out.len() as u64, w.pending, "pending counter out of sync");
+            w.pending = 0;
         }
+        w.cursor = self.committed + 1;
+        self.stats.events_delivered += out.len() as u64;
+        self.compact();
         out
     }
 
-    /// Returns `true` if the watcher has undelivered events.
+    /// Returns `true` if the watcher has undelivered events. O(1): the
+    /// per-watcher counter is maintained at append time.
     pub fn has_pending(&self, id: WatchId) -> bool {
         self.watchers
             .get(&id)
-            .map(|w| {
-                self.log[w.cursor..]
-                    .iter()
-                    .any(|ev| w.kind.as_deref().is_none_or_match(&ev.oref.kind))
-            })
+            .map(|w| w.pending > 0)
             .unwrap_or(false)
     }
 
-    /// Cancels a watch subscription.
+    /// Cancels a watch subscription, releasing its compaction hold.
     pub fn cancel_watch(&mut self, id: WatchId) {
-        self.watchers.remove(&id);
+        if let Some(w) = self.watchers.remove(&id) {
+            match &w.selector {
+                WatchSelector::All => {
+                    self.all_watchers.remove(&id);
+                }
+                WatchSelector::Kind(k) => {
+                    if let Some(set) = self.kind_watchers.get_mut(k) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            self.kind_watchers.remove(k);
+                        }
+                    }
+                }
+                WatchSelector::Object(r) => {
+                    if let Some(set) = self.object_watchers.get_mut(r) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            self.object_watchers.remove(r);
+                        }
+                    }
+                }
+            }
+            self.compact();
+        }
     }
 
-    fn append(&mut self, kind: WatchEventKind, oref: ObjectRef, model: Value, rv: u64) {
-        let revision = self.log.len() as u64 + 1;
-        self.log.push(WatchEvent { revision, kind, oref, model, resource_version: rv });
+    /// Current in-memory log length (bounded by live watcher lag).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Watch/notification traffic counters.
+    pub fn watch_stats(&self) -> WatchStats {
+        self.stats
+    }
+
+    fn append(&mut self, kind: WatchEventKind, oref: ObjectRef, model: Rc<Value>, rv: u64) {
+        self.committed += 1;
+        self.stats.events_appended += 1;
+        // Bump pending on exactly the watchers whose selector matches;
+        // unrelated subscriptions are never touched.
+        let watchers = &mut self.watchers;
+        let mut bump = |ids: &BTreeSet<WatchId>| {
+            for id in ids {
+                if let Some(w) = watchers.get_mut(id) {
+                    w.pending += 1;
+                }
+            }
+        };
+        bump(&self.all_watchers);
+        if let Some(ids) = self.kind_watchers.get(&oref.kind) {
+            bump(ids);
+        }
+        if let Some(ids) = self.object_watchers.get(&oref) {
+            bump(ids);
+        }
+        self.log.push_back(WatchEvent {
+            revision: self.committed,
+            kind,
+            oref,
+            model,
+            resource_version: rv,
+        });
+        self.stats.peak_log_len = self.stats.peak_log_len.max(self.log.len());
+        // With no live watcher holding the tail, reclaim eagerly.
+        if self.watchers.is_empty() {
+            self.compact();
+        }
+    }
+
+    /// Drops log entries no watcher can still need. A watcher with
+    /// pending events holds everything from its cursor; a fully drained
+    /// watcher holds nothing (events it skipped did not match it, or it
+    /// would have `pending > 0`).
+    fn compact(&mut self) {
+        let tail = self.committed + 1;
+        let min_hold = self
+            .watchers
+            .values()
+            .map(|w| if w.pending == 0 { tail } else { w.cursor })
+            .min()
+            .unwrap_or(tail);
+        let mut first_rev = self.committed - self.log.len() as u64 + 1;
+        while first_rev < min_hold && !self.log.is_empty() {
+            self.log.pop_front();
+            self.stats.events_compacted += 1;
+            first_rev += 1;
+        }
     }
 }
 
 /// Keeps `meta.gen` in the model equal to the resource version, so the
 /// version number of §3.5 is visible to drivers and the mounter.
 fn stamp_gen(model: &mut Value, rv: u64) {
-    let _ = model.set(&".meta.gen".parse().expect("static path"), Value::from(rv as f64));
-}
-
-/// Tiny helper: `None` matches everything, `Some(k)` matches only `k`.
-trait KindFilter {
-    fn is_none_or_match(&self, kind: &str) -> bool;
-}
-
-impl KindFilter for Option<&str> {
-    fn is_none_or_match(&self, kind: &str) -> bool {
-        match self {
-            None => true,
-            Some(k) => *k == kind,
-        }
-    }
+    let _ = model.set(
+        &".meta.gen".parse().expect("static path"),
+        Value::from(rv as f64),
+    );
 }
 
 #[cfg(test)]
@@ -265,7 +446,12 @@ mod tests {
         let rv = s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
         assert_eq!(rv, 2);
         assert_eq!(
-            s.get(&lamp_ref()).unwrap().model.get_path("meta.gen").unwrap().as_f64(),
+            s.get(&lamp_ref())
+                .unwrap()
+                .model
+                .get_path("meta.gen")
+                .unwrap()
+                .as_f64(),
             Some(2.0)
         );
     }
@@ -276,8 +462,17 @@ mod tests {
         s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
         s.update(&lamp_ref(), model("Lamp", "l1"), Some(1)).unwrap();
         // A writer that read version 1 now loses.
-        let err = s.update(&lamp_ref(), model("Lamp", "l1"), Some(1)).unwrap_err();
-        assert!(matches!(err, ApiError::Conflict { expected: 1, actual: 2, .. }));
+        let err = s
+            .update(&lamp_ref(), model("Lamp", "l1"), Some(1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ApiError::Conflict {
+                expected: 1,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -285,9 +480,33 @@ mod tests {
         let mut s = Store::new();
         s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
         let gone = s.delete(&lamp_ref()).unwrap();
-        assert_eq!(gone.resource_version, 1);
+        // The delete is itself a version: 1 (create) -> 2 (delete).
+        assert_eq!(gone.resource_version, 2);
         assert!(s.get(&lamp_ref()).is_none());
         assert!(matches!(s.delete(&lamp_ref()), Err(ApiError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_event_orders_after_preceding_modify() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w = s.watch(Some("Lamp"));
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap(); // rv 2
+        s.delete(&lamp_ref()).unwrap(); // rv 3
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, WatchEventKind::Modified);
+        assert_eq!(evs[1].kind, WatchEventKind::Deleted);
+        assert!(
+            evs[1].resource_version > evs[0].resource_version,
+            "delete must be orderable after the preceding modify"
+        );
+        assert_eq!(evs[1].resource_version, 3);
+        // The event model's gen mirrors the bumped version.
+        assert_eq!(
+            evs[1].model.get_path("meta.gen").unwrap().as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -310,10 +529,31 @@ mod tests {
         let mut s = Store::new();
         let w = s.watch(Some("Room"));
         s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
-        s.create(ObjectRef::default_ns("Room", "r1"), model("Room", "r1")).unwrap();
+        s.create(ObjectRef::default_ns("Room", "r1"), model("Room", "r1"))
+            .unwrap();
         let evs = s.poll(w);
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].oref.kind, "Room");
+    }
+
+    #[test]
+    fn watch_object_selector_filters_exactly() {
+        let mut s = Store::new();
+        let l1 = lamp_ref();
+        let l2 = ObjectRef::default_ns("Lamp", "l2");
+        s.create(l1.clone(), model("Lamp", "l1")).unwrap();
+        s.create(l2.clone(), model("Lamp", "l2")).unwrap();
+        let w = s.watch_selector(WatchSelector::Object(l1.clone()));
+        s.update(&l2, model("Lamp", "l2"), None).unwrap();
+        assert!(
+            !s.has_pending(w),
+            "same-kind sibling must not wake the watcher"
+        );
+        s.update(&l1, model("Lamp", "l1"), None).unwrap();
+        assert!(s.has_pending(w));
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].oref, l1);
     }
 
     #[test]
@@ -358,7 +598,68 @@ mod tests {
         let w = s.watch(Some("Room"));
         s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
         assert!(!s.has_pending(w));
-        s.create(ObjectRef::default_ns("Room", "r1"), model("Room", "r1")).unwrap();
+        s.create(ObjectRef::default_ns("Room", "r1"), model("Room", "r1"))
+            .unwrap();
         assert!(s.has_pending(w));
+    }
+
+    #[test]
+    fn log_is_compacted_to_watcher_lag() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let fast = s.watch(Some("Lamp"));
+        let slow = s.watch(Some("Lamp"));
+        for i in 0..100 {
+            s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+            // The fast watcher drains every 10 events; the slow one lags.
+            if i % 10 == 9 {
+                assert_eq!(s.poll(fast).len(), 10);
+            }
+        }
+        // The slow watcher holds the whole stream.
+        assert_eq!(s.log_len(), 100);
+        assert_eq!(s.poll(slow).len(), 100);
+        // Everyone drained: the log is empty however many mutations ran.
+        assert_eq!(s.log_len(), 0);
+        assert!(s.watch_stats().events_compacted >= 100);
+    }
+
+    #[test]
+    fn log_reclaimed_with_no_watchers() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        for _ in 0..50 {
+            s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        }
+        assert_eq!(s.log_len(), 0, "no watcher, nothing to hold");
+        assert_eq!(s.revision(), 51, "revision still counts all commits");
+    }
+
+    #[test]
+    fn cancel_releases_compaction_hold() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let laggard = s.watch(Some("Lamp"));
+        for _ in 0..30 {
+            s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        }
+        assert_eq!(s.log_len(), 30);
+        s.cancel_watch(laggard);
+        assert_eq!(s.log_len(), 0, "cancel must release the hold");
+    }
+
+    #[test]
+    fn delivery_shares_snapshots_across_watchers() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w1 = s.watch(Some("Lamp"));
+        let w2 = s.watch(Some("Lamp"));
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        let e1 = s.poll(w1);
+        let e2 = s.poll(w2);
+        assert!(
+            Rc::ptr_eq(&e1[0].model, &e2[0].model),
+            "watchers must share one snapshot, not deep copies"
+        );
     }
 }

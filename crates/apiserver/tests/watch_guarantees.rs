@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use dspace_apiserver::{ApiServer, ObjectRef, WatchEventKind};
+use dspace_apiserver::{ApiServer, ObjectRef, WatchEventKind, WatchId};
 use dspace_value::Value;
 
 /// One scripted step of the interleaving.
@@ -78,8 +78,8 @@ proptest! {
         for j in 0..2 {
             run_step(&mut api, &Step::Poll(j), &mut seen)?;
         }
-        for w in 0..2 {
-            for (i, versions) in seen[w].iter().enumerate() {
+        for (w, streams) in seen.iter().enumerate() {
+            for (i, versions) in streams.iter().enumerate() {
                 // Versions start at 2 (creation was before the watch) and
                 // are consecutive: no gaps, no duplicates, no reordering.
                 let expect: Vec<u64> = (2..2 + writes[i]).collect();
@@ -127,5 +127,81 @@ proptest! {
             .as_f64()
             .unwrap() as u64;
         prop_assert_eq!(final_n, successful_increments, "an update was lost");
+    }
+
+    /// The §3.5 guarantee holds per *filtered* stream: a per-object
+    /// subscription (what digi drivers use) sees every version of its
+    /// object in order with no gaps — and nothing else — even while log
+    /// compaction runs underneath for faster watchers.
+    #[test]
+    fn object_selector_streams_are_gap_free_across_compaction(steps in arb_steps()) {
+        let mut api = ApiServer::new();
+        let objects: Vec<ObjectRef> = (0..3)
+            .map(|i| ObjectRef::default_ns("Thing", format!("t{i}")))
+            .collect();
+        for oref in &objects {
+            let model = dspace_value::json::parse(&format!(
+                r#"{{"meta": {{"kind": "Thing", "name": "{}", "namespace": "default"}}, "n": 0}}"#,
+                oref.name
+            )).unwrap();
+            api.create(ApiServer::ADMIN, oref, model).unwrap();
+        }
+        // One per-object subscription per digi. The random Poll steps only
+        // ever touch watchers 0 and 1, so watcher 2 lags arbitrarily far:
+        // its entries must survive compaction until the final drain.
+        let watchers: Vec<WatchId> = objects
+            .iter()
+            .map(|o| api.watch_object(ApiServer::ADMIN, o).unwrap())
+            .collect();
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut writes = [0u64; 3];
+        for step in &steps {
+            match step {
+                Step::Write(i) => {
+                    writes[*i] += 1;
+                    api.patch_path(ApiServer::ADMIN, &objects[*i], ".n", Value::from(1.0)).unwrap();
+                }
+                Step::Poll(j) => {
+                    for ev in api.poll(watchers[*j]) {
+                        prop_assert_eq!(&ev.oref, &objects[*j], "foreign event leaked into object stream");
+                        seen[*j].push(ev.resource_version);
+                    }
+                }
+            }
+        }
+        // Final drain: every stream — including the laggard's — is complete.
+        for j in 0..3 {
+            for ev in api.poll(watchers[j]) {
+                prop_assert_eq!(&ev.oref, &objects[j], "foreign event leaked into object stream");
+                seen[j].push(ev.resource_version);
+            }
+        }
+        for (i, versions) in seen.iter().enumerate() {
+            let expect: Vec<u64> = (2..2 + writes[i]).collect();
+            prop_assert_eq!(versions, &expect, "object {} stream has gaps/reorders", i);
+        }
+        // All drained: the log is fully compacted regardless of how many
+        // writes the run made.
+        prop_assert_eq!(api.log_len(), 0, "drained watchers must not hold the log");
+    }
+
+    /// Cancelling a subscription releases its compaction hold: a laggard
+    /// watcher pins the log tail only while it is alive.
+    #[test]
+    fn cancel_watch_releases_compaction_hold(writes in 1usize..80) {
+        let mut api = ApiServer::new();
+        let oref = ObjectRef::default_ns("Thing", "t");
+        let model = dspace_value::json::parse(
+            r#"{"meta": {"kind": "Thing", "name": "t", "namespace": "default"}, "n": 0}"#,
+        ).unwrap();
+        api.create(ApiServer::ADMIN, &oref, model).unwrap();
+        let laggard = api.watch(ApiServer::ADMIN, Some("Thing")).unwrap();
+        for _ in 0..writes {
+            api.patch_path(ApiServer::ADMIN, &oref, ".n", Value::from(1.0)).unwrap();
+        }
+        prop_assert_eq!(api.log_len(), writes, "laggard must pin undelivered events");
+        api.cancel_watch(laggard);
+        prop_assert_eq!(api.log_len(), 0, "cancel must release the log");
+        prop_assert!(api.poll(laggard).is_empty());
     }
 }

@@ -114,7 +114,11 @@ impl Hass {
     pub fn add_entity(&mut self, id: &str, state: &str) {
         self.entities.insert(
             id.to_string(),
-            Entity { id: id.to_string(), state: state.to_string(), attributes: BTreeMap::new() },
+            Entity {
+                id: id.to_string(),
+                state: state.to_string(),
+                attributes: BTreeMap::new(),
+            },
         );
     }
 
@@ -235,12 +239,15 @@ impl Hass {
                         ent.attributes.insert(k.clone(), v.clone());
                     }
                 }
-                ("light", "turn_off") | ("switch", "turn_off")
-                | ("homeassistant", "turn_off") => {
+                ("light", "turn_off") | ("switch", "turn_off") | ("homeassistant", "turn_off") => {
                     ent.state = "off".into();
                 }
                 ("media_player", "play_media") | ("media_player", "media_pause") => {
-                    ent.state = if service == "play_media" { "playing".into() } else { "paused".into() };
+                    ent.state = if service == "play_media" {
+                        "playing".into()
+                    } else {
+                        "paused".into()
+                    };
                     for (k, v) in data {
                         ent.attributes.insert(k.clone(), v.clone());
                     }
@@ -301,15 +308,23 @@ mod tests {
     use super::*;
 
     fn data(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
     fn service_calls_mutate_entities() {
         let mut h = Hass::new();
         h.add_entity("light.geeni_1", "off");
-        h.call_service("light", "turn_on", "light.geeni_1", data(&[("brightness", 200.into())]))
-            .unwrap();
+        h.call_service(
+            "light",
+            "turn_on",
+            "light.geeni_1",
+            data(&[("brightness", 200.into())]),
+        )
+        .unwrap();
         let e = h.entity("light.geeni_1").unwrap();
         assert_eq!(e.state, "on");
         assert_eq!(e.attributes["brightness"].as_f64(), Some(200.0));
@@ -320,13 +335,21 @@ mod tests {
         let mut h = Hass::new();
         h.add_entity("light.a", "off");
         h.add_entity("switch.b", "off");
-        let err = h.add_typed_group("group.mixed", "light", &["light.a", "switch.b"]).unwrap_err();
+        let err = h
+            .add_typed_group("group.mixed", "light", &["light.a", "switch.b"])
+            .unwrap_err();
         assert!(matches!(err, HassError::BadGroup(_)));
         // Same-type works and fans out.
         h.add_entity("light.c", "off");
-        h.add_typed_group("group.lights", "light", &["light.a", "light.c"]).unwrap();
-        h.call_service("light", "turn_on", "group.lights", data(&[("brightness", 128.into())]))
+        h.add_typed_group("group.lights", "light", &["light.a", "light.c"])
             .unwrap();
+        h.call_service(
+            "light",
+            "turn_on",
+            "group.lights",
+            data(&[("brightness", 128.into())]),
+        )
+        .unwrap();
         assert_eq!(h.entity("light.a").unwrap().state, "on");
         assert_eq!(h.entity("light.c").unwrap().state, "on");
     }
@@ -336,13 +359,20 @@ mod tests {
         let mut h = Hass::new();
         h.add_entity("light.a", "off");
         h.add_entity("switch.b", "off");
-        h.add_generic_group("group.room", &["light.a", "switch.b"]).unwrap();
-        h.call_service("homeassistant", "turn_on", "group.room", BTreeMap::new()).unwrap();
+        h.add_generic_group("group.room", &["light.a", "switch.b"])
+            .unwrap();
+        h.call_service("homeassistant", "turn_on", "group.room", BTreeMap::new())
+            .unwrap();
         assert_eq!(h.entity("light.a").unwrap().state, "on");
         assert_eq!(h.entity("switch.b").unwrap().state, "on");
         // Anything richer is unsupported — the paper's S1 pain point.
         let err = h
-            .call_service("light", "turn_on", "group.room", data(&[("brightness", 100.into())]))
+            .call_service(
+                "light",
+                "turn_on",
+                "group.room",
+                data(&[("brightness", 100.into())]),
+            )
             .unwrap_err();
         assert!(matches!(err, HassError::NoSuchService(..)));
     }
@@ -367,7 +397,8 @@ mod tests {
         h.set_state("binary_sensor.motion", "on").unwrap();
         assert_eq!(h.entity("light.a").unwrap().state, "on");
         // Disabled rules do nothing.
-        h.call_service("light", "turn_off", "light.a", BTreeMap::new()).unwrap();
+        h.call_service("light", "turn_off", "light.a", BTreeMap::new())
+            .unwrap();
         let mut rules = h.automations.clone();
         rules[0].enabled = false;
         h.reload_automations(rules);

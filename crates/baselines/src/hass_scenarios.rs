@@ -49,13 +49,25 @@ struct VendorQuirks {
 
 fn vendor_quirks(entity_id: &str) -> VendorQuirks {
     if entity_id.contains("geeni") || entity_id.contains("tuya") {
-        VendorQuirks { scale: 1000.0, reports_brightness_when_off: false }
+        VendorQuirks {
+            scale: 1000.0,
+            reports_brightness_when_off: false,
+        }
     } else if entity_id.contains("lifx") {
-        VendorQuirks { scale: 65535.0, reports_brightness_when_off: true }
+        VendorQuirks {
+            scale: 65535.0,
+            reports_brightness_when_off: true,
+        }
     } else if entity_id.contains("hue") {
-        VendorQuirks { scale: 254.0, reports_brightness_when_off: false }
+        VendorQuirks {
+            scale: 254.0,
+            reports_brightness_when_off: false,
+        }
     } else {
-        VendorQuirks { scale: 255.0, reports_brightness_when_off: false }
+        VendorQuirks {
+            scale: 255.0,
+            reports_brightness_when_off: false,
+        }
     }
 }
 
@@ -78,8 +90,7 @@ pub struct RoomConfig {
 impl RoomConfig {
     /// Parses and validates the configuration file contents.
     pub fn parse(config_yaml: &str, hass: &Hass) -> Result<RoomConfig, SetupError> {
-        let doc = yaml::parse(config_yaml)
-            .map_err(|e| SetupError::BadConfig(e.to_string()))?;
+        let doc = yaml::parse(config_yaml).map_err(|e| SetupError::BadConfig(e.to_string()))?;
         let name = doc
             .get_path(".room.name")
             .and_then(Value::as_str)
@@ -120,7 +131,11 @@ impl RoomService {
     /// services the rest of the system will call.
     pub fn setup(hass: &Hass, config_yaml: &str) -> Result<RoomService, SetupError> {
         let config = RoomConfig::parse(config_yaml, hass)?;
-        Ok(RoomService { config, target: 0.0, unavailable: Vec::new() })
+        Ok(RoomService {
+            config,
+            target: 0.0,
+            unavailable: Vec::new(),
+        })
     }
 
     /// The room name.
@@ -167,7 +182,9 @@ impl RoomService {
         let mut sum = 0.0;
         let mut n = 0.0;
         for member in &self.config.members {
-            let Some(ent) = hass.entity(member) else { continue };
+            let Some(ent) = hass.entity(member) else {
+                continue;
+            };
             let quirks = vendor_quirks(member);
             if ent.state == "on" {
                 if let Some(b) = ent.attributes.get("brightness").and_then(Value::as_f64) {
@@ -217,7 +234,10 @@ pub fn s3_load_automation(config_yaml: &str) -> Result<Vec<Automation>, SetupErr
         .ok_or_else(|| SetupError::BadConfig("automation list missing".into()))?;
     let mut out = Vec::new();
     for rule in rules {
-        let alias = rule.get_path("alias").and_then(Value::as_str).unwrap_or("rule");
+        let alias = rule
+            .get_path("alias")
+            .and_then(Value::as_str)
+            .unwrap_or("rule");
         let entity = rule
             .get_path("trigger.entity")
             .and_then(Value::as_str)
@@ -227,7 +247,11 @@ pub fn s3_load_automation(config_yaml: &str) -> Result<Vec<Automation>, SetupErr
             .and_then(Value::as_str)
             .ok_or_else(|| SetupError::BadConfig("trigger.to missing".into()))?;
         let mut actions = Vec::new();
-        for a in rule.get_path("actions").and_then(Value::as_array).unwrap_or(&vec![]) {
+        for a in rule
+            .get_path("actions")
+            .and_then(Value::as_array)
+            .unwrap_or(&vec![])
+        {
             let service = a.get_path("service").and_then(Value::as_str).unwrap_or("");
             let (domain, service) = service.split_once('.').unwrap_or(("light", "turn_on"));
             let mut data = BTreeMap::new();
@@ -286,7 +310,11 @@ impl HomeService {
         if mode_table.is_empty() {
             return Err(SetupError::BadConfig("home.modes empty".into()));
         }
-        Ok(HomeService { rooms, mode_table, mode: "active".into() })
+        Ok(HomeService {
+            rooms,
+            mode_table,
+            mode: "active".into(),
+        })
     }
 
     /// The `home.set_mode` service: resolves the mode through the table
@@ -308,7 +336,11 @@ impl HomeService {
         if self.rooms.is_empty() {
             return 0.0;
         }
-        self.rooms.iter().map(|r| r.read_brightness(hass)).sum::<f64>() / self.rooms.len() as f64
+        self.rooms
+            .iter()
+            .map(|r| r.read_brightness(hass))
+            .sum::<f64>()
+            / self.rooms.len() as f64
     }
 }
 // --- s4 end ---
@@ -374,8 +406,10 @@ room:
         let h = hass_with_lamps();
         let bad = RoomService::setup(&h, "\nroom:\n  name: x\n  members: [light.ghost]\n");
         assert!(matches!(bad, Err(SetupError::UnknownEntity(_))));
-        let not_light =
-            RoomService::setup(&h, "\nroom:\n  name: x\n  members: [binary_sensor.ring_motion]\n");
+        let not_light = RoomService::setup(
+            &h,
+            "\nroom:\n  name: x\n  members: [binary_sensor.ring_motion]\n",
+        );
         assert!(matches!(not_light, Err(SetupError::NotALight(_))));
         assert!(matches!(
             RoomService::setup(&h, "room: {}"),

@@ -53,7 +53,10 @@ pub struct FrameworkProfile {
 
 impl FrameworkProfile {
     fn new(name: &'static str, features: &[Feature]) -> Self {
-        FrameworkProfile { name, features: features.iter().copied().collect() }
+        FrameworkProfile {
+            name,
+            features: features.iter().copied().collect(),
+        }
     }
 
     /// Returns `true` if the framework has the feature.
@@ -71,29 +74,33 @@ pub fn all_frameworks() -> Vec<FrameworkProfile> {
         FrameworkProfile::new("EdgeX", &[AutomationRules, DataPipelines]),
         // HomeOS: PC-like abstractions and cross-device tasks (enough for
         // the S7 handover), but imperative and single-hierarchy.
-        FrameworkProfile::new(
-            "HomeOS",
-            &[AutomationRules, DynamicComposition],
-        ),
+        FrameworkProfile::new("HomeOS", &[AutomationRules, DynamicComposition]),
         // AWS IoT: device shadows ARE declarative desired/reported state;
         // Things Graph + ML services cover data-driven automation; no
         // home hierarchy or presence-following.
         FrameworkProfile::new(
             "AWS IoT",
-            &[DeclarativeState, AutomationRules, DataPipelines, LearnedPolicies],
+            &[
+                DeclarativeState,
+                AutomationRules,
+                DataPipelines,
+                LearnedPolicies,
+            ],
         ),
         // Home Assistant: entity registry, same-type groups, flat
         // automations, and open-source extensibility (custom components —
         // how the paper's S1 port was possible at all).
         FrameworkProfile::new(
             "HASS",
-            &[SameTypeGroups, AutomationRules, DynamicComposition, CustomComponents],
+            &[
+                SameTypeGroups,
+                AutomationRules,
+                DynamicComposition,
+                CustomComponents,
+            ],
         ),
         // SmartThings: capabilities + Rules API.
-        FrameworkProfile::new(
-            "ST",
-            &[SameTypeGroups, AutomationRules, DynamicComposition],
-        ),
+        FrameworkProfile::new("ST", &[SameTypeGroups, AutomationRules, DynamicComposition]),
         // dSpace: the full feature set (§3).
         FrameworkProfile::new(
             "dSpace",
@@ -156,6 +163,9 @@ mod tests {
     #[test]
     fn table5_row_order_matches_paper() {
         let names: Vec<&str> = all_frameworks().iter().map(|f| f.name).collect();
-        assert_eq!(names, vec!["EdgeX", "HomeOS", "AWS IoT", "HASS", "ST", "dSpace"]);
+        assert_eq!(
+            names,
+            vec!["EdgeX", "HomeOS", "AWS IoT", "HASS", "ST", "dSpace"]
+        );
     }
 }

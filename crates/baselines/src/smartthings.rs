@@ -112,7 +112,11 @@ impl SmartThings {
         }
         self.devices.insert(
             id.to_string(),
-            Device { id: id.to_string(), capabilities, attributes },
+            Device {
+                id: id.to_string(),
+                capabilities,
+                attributes,
+            },
         );
     }
 
@@ -134,7 +138,10 @@ impl SmartThings {
                 .get_mut(&cmd.device)
                 .ok_or_else(|| StError::NoSuchDevice(cmd.device.clone()))?;
             if !dev.capabilities.contains(&cmd.capability) {
-                return Err(StError::MissingCapability(cmd.device.clone(), cmd.capability));
+                return Err(StError::MissingCapability(
+                    cmd.device.clone(),
+                    cmd.capability,
+                ));
             }
             match (cmd.capability, cmd.command.as_str()) {
                 (Capability::Switch, "on") => {
@@ -146,7 +153,14 @@ impl SmartThings {
                 (Capability::SwitchLevel, "setLevel") => {
                     let level = cmd.argument.unwrap_or(0.0).clamp(0.0, 100.0);
                     dev.attributes.insert("level".into(), format!("{level}"));
-                    dev.attributes.insert("switch".into(), if level > 0.0 { "on".into() } else { "off".into() });
+                    dev.attributes.insert(
+                        "switch".into(),
+                        if level > 0.0 {
+                            "on".into()
+                        } else {
+                            "off".into()
+                        },
+                    );
                 }
                 (Capability::MediaPlayback, "play") => {
                     dev.attributes.insert("playback".into(), "playing".into());
@@ -167,14 +181,13 @@ impl SmartThings {
                 .devices
                 .get_mut(id)
                 .ok_or_else(|| StError::NoSuchDevice(id.to_string()))?;
-            dev.attributes.insert(attribute.to_string(), value.to_string());
+            dev.attributes
+                .insert(attribute.to_string(), value.to_string());
         }
         let fired: Vec<Rule> = self
             .rules
             .iter()
-            .filter(|r| {
-                r.if_device == id && r.if_attribute == attribute && r.equals == value
-            })
+            .filter(|r| r.if_device == id && r.if_attribute == attribute && r.equals == value)
             .cloned()
             .collect();
         for rule in fired {

@@ -130,10 +130,7 @@ pub fn support_level(framework: &FrameworkProfile, req: &Requirements) -> Suppor
 /// Applied as a post-rule so the base derivation stays simple.
 pub fn support_level_adjusted(framework: &FrameworkProfile, req: &Requirements) -> Support {
     let base = support_level(framework, req);
-    if req.scenario == "S4"
-        && base == Support::No
-        && framework.has(Feature::DeclarativeState)
-    {
+    if req.scenario == "S4" && base == Support::No && framework.has(Feature::DeclarativeState) {
         return Support::Partial;
     }
     base

@@ -19,7 +19,8 @@ fn populated(n: usize) -> ApiServer {
     let mut api = ApiServer::new();
     for i in 0..n {
         let oref = ObjectRef::default_ns("Lamp", format!("l{i}"));
-        api.create(ApiServer::ADMIN, &oref, model("Lamp", &format!("l{i}"))).unwrap();
+        api.create(ApiServer::ADMIN, &oref, model("Lamp", &format!("l{i}")))
+            .unwrap();
     }
     api
 }
@@ -30,7 +31,8 @@ fn bench_crud(c: &mut Criterion) {
             ApiServer::new,
             |mut api| {
                 let oref = ObjectRef::default_ns("Lamp", "l0");
-                api.create(ApiServer::ADMIN, &oref, model("Lamp", "l0")).unwrap();
+                api.create(ApiServer::ADMIN, &oref, model("Lamp", "l0"))
+                    .unwrap();
                 api
             },
             BatchSize::SmallInput,
@@ -45,8 +47,13 @@ fn bench_crud(c: &mut Criterion) {
         b.iter_batched(
             || populated(100),
             |mut api| {
-                api.patch_path(ApiServer::ADMIN, &target, ".control.power.intent", "on".into())
-                    .unwrap();
+                api.patch_path(
+                    ApiServer::ADMIN,
+                    &target,
+                    ".control.power.intent",
+                    "on".into(),
+                )
+                .unwrap();
                 api
             },
             BatchSize::SmallInput,

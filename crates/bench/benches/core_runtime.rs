@@ -49,7 +49,8 @@ fn bench_reconcile(c: &mut Criterion) {
     )
     .unwrap();
     let mut new = old.clone();
-    new.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
+    new.set(&".control.power.intent".parse().unwrap(), "on".into())
+        .unwrap();
     c.bench_function("driver/reconcile_native_handler", |b| {
         b.iter_batched(
             || {

@@ -25,8 +25,12 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| json::parse(MODEL).unwrap())
     });
     let v = json::parse(MODEL).unwrap();
-    c.bench_function("value/json_serialize_room_model", |b| b.iter(|| json::to_string(&v)));
-    c.bench_function("value/yaml_emit_room_model", |b| b.iter(|| yaml::to_string(&v)));
+    c.bench_function("value/json_serialize_room_model", |b| {
+        b.iter(|| json::to_string(&v))
+    });
+    c.bench_function("value/yaml_emit_room_model", |b| {
+        b.iter(|| yaml::to_string(&v))
+    });
     let y = yaml::to_string(&v);
     c.bench_function("value/yaml_parse_room_model", |b| {
         b.iter(|| yaml::parse(&y).unwrap())
@@ -35,11 +39,19 @@ fn bench_codecs(c: &mut Criterion) {
 
 fn bench_access(c: &mut Criterion) {
     let v = json::parse(MODEL).unwrap();
-    let p: Path = ".mount.UniLamp.ul1.control.brightness.status".parse().unwrap();
+    let p: Path = ".mount.UniLamp.ul1.control.brightness.status"
+        .parse()
+        .unwrap();
     c.bench_function("value/path_parse", |b| {
-        b.iter(|| ".mount.UniLamp.ul1.control.brightness.status".parse::<Path>().unwrap())
+        b.iter(|| {
+            ".mount.UniLamp.ul1.control.brightness.status"
+                .parse::<Path>()
+                .unwrap()
+        })
     });
-    c.bench_function("value/get_deep_path", |b| b.iter(|| v.get(&p).unwrap().clone()));
+    c.bench_function("value/get_deep_path", |b| {
+        b.iter(|| v.get(&p).unwrap().clone())
+    });
     let mut changed = v.clone();
     changed
         .set(&".control.brightness.intent".parse().unwrap(), 0.9.into())

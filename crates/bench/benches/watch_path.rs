@@ -1,0 +1,156 @@
+//! The watch/notification hot path, before vs. after scoped subscriptions.
+//!
+//! "Before" is emulated on the current engine by giving every digi driver
+//! an `All` subscription — the old `World::drive` pattern where each driver
+//! received the global stream and filter-skipped everything that wasn't its
+//! own model. "After" is the shipped configuration: one `Object` selector
+//! per driver. The sweep prints, per space size, the measured events
+//! delivered, the model bytes materialized for snapshots, and the peak
+//! in-memory log length (plus what the legacy never-truncated log would
+//! have held).
+
+use criterion::{criterion_group, BatchSize, Criterion};
+
+use dspace_apiserver::{ApiServer, ObjectRef, WatchId, WatchSelector};
+use dspace_value::{json, Value};
+
+const ROUNDS: usize = 4;
+
+fn model(name: &str) -> Value {
+    json::parse(&format!(
+        r#"{{"meta": {{"kind": "Lamp", "name": "{name}", "namespace": "default"}},
+             "control": {{"power": {{"intent": null, "status": null}},
+                          "brightness": {{"intent": 0.5, "status": 0.5}}}},
+             "obs": {{"lumens": 120, "temp_c": 31.5}}}}"#
+    ))
+    .unwrap()
+}
+
+fn oref(i: usize) -> ObjectRef {
+    ObjectRef::default_ns("Lamp", format!("l{i}"))
+}
+
+/// A space of `n` digis with one watcher per digi: `Object`-scoped when
+/// `scoped`, the legacy global stream otherwise.
+fn build(n: usize, scoped: bool) -> (ApiServer, Vec<WatchId>) {
+    let mut api = ApiServer::new();
+    for i in 0..n {
+        api.create(ApiServer::ADMIN, &oref(i), model(&format!("l{i}")))
+            .unwrap();
+    }
+    let watchers = (0..n)
+        .map(|i| {
+            let selector = if scoped {
+                WatchSelector::Object(oref(i))
+            } else {
+                WatchSelector::All
+            };
+            api.watch_selector(ApiServer::ADMIN, selector).unwrap()
+        })
+        .collect();
+    (api, watchers)
+}
+
+/// One notification round: every digi's model mutates once, then every
+/// driver drains its subscription (the `pump`/`wake` cycle).
+fn round(api: &mut ApiServer, watchers: &[WatchId], toggle: f64) -> usize {
+    let n = watchers.len();
+    for i in 0..n {
+        api.patch_path(
+            ApiServer::ADMIN,
+            &oref(i),
+            ".control.brightness.intent",
+            toggle.into(),
+        )
+        .unwrap();
+    }
+    let mut delivered = 0;
+    for &w in watchers {
+        delivered += api.poll(w).len();
+    }
+    delivered
+}
+
+fn bench_pump_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watch_path");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        group.bench_function(&format!("pump_round/global@{n}"), |b| {
+            b.iter_batched(
+                || build(n, false),
+                |(mut api, watchers)| round(&mut api, &watchers, 0.9),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(&format!("pump_round/scoped@{n}"), |b| {
+            b.iter_batched(
+                || build(n, true),
+                |(mut api, watchers)| round(&mut api, &watchers, 0.9),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn sweep() {
+    let model_bytes = json::to_string(&model("l0")).len();
+    println!();
+    println!("watch_path sweep: {ROUNDS} rounds x (1 mutation/digi + full drain), ~{model_bytes} B/model");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>14} {:>10} {:>12}",
+        "digis", "mode", "mutations", "delivered", "bytes-cloned", "peak-log", "legacy-peak"
+    );
+    for &n in &[64usize, 256, 1024] {
+        for scoped in [false, true] {
+            let (mut api, watchers) = build(n, scoped);
+            let base = api.watch_stats();
+            let mut delivered = 0;
+            for r in 0..ROUNDS {
+                delivered += round(&mut api, &watchers, r as f64 / ROUNDS as f64);
+            }
+            let stats = api.watch_stats();
+            let mutations = (stats.events_appended - base.events_appended) as usize;
+            // Shared snapshots: one model materialization per mutation.
+            // The legacy engine would have deep-cloned per delivery; its
+            // log was never truncated, so its peak equals the lifetime
+            // mutation count.
+            let cloned = if scoped {
+                mutations * model_bytes
+            } else {
+                delivered * model_bytes
+            };
+            println!(
+                "{:>6} {:>8} {:>10} {:>10} {:>14} {:>10} {:>12}",
+                n,
+                if scoped { "scoped" } else { "global" },
+                mutations,
+                delivered,
+                cloned,
+                stats.peak_log_len,
+                mutations,
+            );
+            assert_eq!(api.log_len(), 0, "drained space must compact to empty");
+            if scoped {
+                assert_eq!(
+                    delivered, mutations,
+                    "scoped: each event delivered exactly once"
+                );
+            } else {
+                assert_eq!(
+                    delivered,
+                    mutations * n,
+                    "global: every event hits every watcher"
+                );
+            }
+        }
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_pump_round);
+
+fn main() {
+    benches();
+    sweep();
+}

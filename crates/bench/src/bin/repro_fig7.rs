@@ -43,7 +43,10 @@ fn main() {
             Setup::Hybrid => "hybrid",
         };
         let (results, wan) = run_all(setup, trials, seed);
-        print!("{}", dspace_bench::tables::render_fig7(label, &results, wan));
+        print!(
+            "{}",
+            dspace_bench::tables::render_fig7(label, &results, wan)
+        );
         println!();
     }
 }

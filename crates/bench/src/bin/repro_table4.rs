@@ -2,5 +2,8 @@
 
 fn main() {
     let rows = dspace_bench::loc::scenario_rows();
-    print!("{}", dspace_bench::tables::render_table4(&rows, dspace_bench::loc::leaf_loc()));
+    print!(
+        "{}",
+        dspace_bench::tables::render_table4(&rows, dspace_bench::loc::leaf_loc())
+    );
 }

@@ -20,7 +20,7 @@ use dspace_core::trace::TraceKind;
 use dspace_core::world::LinkSet;
 use dspace_core::{Space, SpaceConfig};
 use dspace_devices::{GeeniLamp, LifxLamp, WyzeCam};
-use dspace_digis::{lamps, media, room, data};
+use dspace_digis::{data, lamps, media, room};
 use dspace_simnet::{secs, LatencyModel, Link, Rng, Time};
 use dspace_value::Value;
 
@@ -186,13 +186,18 @@ fn wrap_device(setup: Setup, inner: Box<dyn Actuator>) -> Box<dyn Actuator> {
 }
 
 fn space_for(setup: Setup, seed: u64) -> Space {
-    dspace_digis::new_space_with(SpaceConfig { links: setup.links(), seed })
+    dspace_digis::new_space_with(SpaceConfig {
+        links: setup.links(),
+        seed,
+    })
 }
 
 /// The `Lamp` scenario: one vendor lamp digi, direct intent updates.
 pub fn run_lamp(setup: Setup, trials: usize, seed: u64) -> ScenarioResult {
     let mut space = space_for(setup, seed);
-    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    let l1 = space
+        .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+        .unwrap();
     space.attach_actuator(&l1, wrap_device(setup, Box::new(GeeniLamp::new())));
     space.run_for_ms(1_000);
     let subject = "GeeniLamp/default/l1";
@@ -207,21 +212,36 @@ pub fn run_lamp(setup: Setup, trials: usize, seed: u64) -> ScenarioResult {
             samples.push(b);
         }
     }
-    ScenarioResult { name: "Lamp", samples }
+    ScenarioResult {
+        name: "Lamp",
+        samples,
+    }
 }
 
 /// The `Room-Lamp` scenario: S1's hierarchy, room-level intent updates.
 pub fn run_room_lamp(setup: Setup, trials: usize, seed: u64) -> ScenarioResult {
     let mut space = space_for(setup, seed);
-    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    let l1 = space
+        .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+        .unwrap();
     space.attach_actuator(&l1, wrap_device(setup, Box::new(GeeniLamp::new())));
-    let l2 = space.create_digi("LifxLamp", "l2", lamps::lifx_driver()).unwrap();
+    let l2 = space
+        .create_digi("LifxLamp", "l2", lamps::lifx_driver())
+        .unwrap();
     space.attach_actuator(&l2, wrap_device(setup, Box::new(LifxLamp::new())));
-    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-    let ul2 = space.create_digi("UniLamp", "ul2", lamps::unilamp_driver()).unwrap();
-    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    let ul1 = space
+        .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+        .unwrap();
+    let ul2 = space
+        .create_digi("UniLamp", "ul2", lamps::unilamp_driver())
+        .unwrap();
+    let rm = space
+        .create_digi("Room", "lvroom", room::room_driver())
+        .unwrap();
     for (c, p) in [(&l1, &ul1), (&l2, &ul2), (&ul1, &rm), (&ul2, &rm)] {
-        space.mount(c, p, dspace_core::graph::MountMode::Expose).unwrap();
+        space
+            .mount(c, p, dspace_core::graph::MountMode::Expose)
+            .unwrap();
         space.run_for_ms(400);
     }
     space.run_for_ms(2_000);
@@ -238,7 +258,10 @@ pub fn run_room_lamp(setup: Setup, trials: usize, seed: u64) -> ScenarioResult {
             samples.push(b);
         }
     }
-    ScenarioResult { name: "Room-Lamp", samples }
+    ScenarioResult {
+        name: "Room-Lamp",
+        samples,
+    }
 }
 
 /// The `Scene-Room` scenario: camera → Xcdr → Scene → room → lamp.
@@ -261,11 +284,17 @@ pub fn run_scene_room(setup: Setup, trials: usize, seed: u64) -> (ScenarioResult
         }
     }
     let truth = OccupancySchedule::from_entries(entries);
-    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    let cam = space
+        .create_digi("Camera", "cam", media::camera_driver())
+        .unwrap();
     space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.42")));
-    let x1 = space.create_digi("Xcdr", "x1", data::xcdr_driver()).unwrap();
+    let x1 = space
+        .create_digi("Xcdr", "x1", data::xcdr_driver())
+        .unwrap();
     space.attach_actuator(&x1, Box::new(XcdrEngine::new("edge")));
-    let sc1 = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let sc1 = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     // In the cloud setup the Scene runs remotely: its frame fetches cross
     // the WAN; in hybrid/on-prem it is local.
     let scene_engine = Box::new(SceneEngine::new(truth));
@@ -278,15 +307,27 @@ pub fn run_scene_room(setup: Setup, trials: usize, seed: u64) -> (ScenarioResult
         }
     };
     space.attach_actuator(&sc1, scene);
-    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    let l1 = space
+        .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+        .unwrap();
     space.attach_actuator(&l1, wrap_device(setup, Box::new(GeeniLamp::new())));
-    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
-    space.mount(&l1, &ul1, dspace_core::graph::MountMode::Expose).unwrap();
+    let ul1 = space
+        .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+        .unwrap();
+    let rm = space
+        .create_digi("Room", "lvroom", room::room_driver())
+        .unwrap();
+    space
+        .mount(&l1, &ul1, dspace_core::graph::MountMode::Expose)
+        .unwrap();
     space.run_for_ms(300);
-    space.mount(&ul1, &rm, dspace_core::graph::MountMode::Expose).unwrap();
+    space
+        .mount(&ul1, &rm, dspace_core::graph::MountMode::Expose)
+        .unwrap();
     space.run_for_ms(300);
-    space.mount(&sc1, &rm, dspace_core::graph::MountMode::Expose).unwrap();
+    space
+        .mount(&sc1, &rm, dspace_core::graph::MountMode::Expose)
+        .unwrap();
     space.run_for_ms(300);
     space.pipe(&cam, "url", &x1, "url").unwrap();
     space.pipe(&x1, "url", &sc1, "url").unwrap();
@@ -363,7 +404,13 @@ pub fn run_scene_room(setup: Setup, trials: usize, seed: u64) -> (ScenarioResult
             .sum()
     };
     let wan_mbps = wan_bytes * 8.0 / elapsed_s / 1e6;
-    (ScenarioResult { name: "Scene-Room", samples }, wan_mbps)
+    (
+        ScenarioResult {
+            name: "Scene-Room",
+            samples,
+        },
+        wan_mbps,
+    )
 }
 
 /// Extracts FPT/DT/BPT for a single-intent trial from the trace.

@@ -11,9 +11,7 @@ pub fn rust_loc(source: &str) -> usize {
     source
         .lines()
         .map(str::trim)
-        .filter(|l| {
-            !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && *l != "*/"
-        })
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && *l != "*/")
         .count()
 }
 
@@ -56,14 +54,20 @@ pub struct ScenarioEffort {
 /// digivices (the paper programs no additional digis for S9/S10).
 pub fn leaf_digi_sources() -> Vec<(&'static str, &'static str)> {
     vec![
-        ("lamps (vendor drivers + UniLamp)", include_str!("../../digis/src/lamps.rs")),
+        (
+            "lamps (vendor drivers + UniLamp)",
+            include_str!("../../digis/src/lamps.rs"),
+        ),
         ("sensors", include_str!("../../digis/src/sensors.rs")),
         ("media", include_str!("../../digis/src/media.rs")),
         ("vacuum", include_str!("../../digis/src/vacuum.rs")),
         ("data shims", include_str!("../../digis/src/data.rs")),
         ("schemas", include_str!("../../digis/src/schemas.rs")),
         ("power controller", include_str!("../../digis/src/power.rs")),
-        ("emergency service", include_str!("../../digis/src/emergency.rs")),
+        (
+            "emergency service",
+            include_str!("../../digis/src/emergency.rs"),
+        ),
     ]
 }
 

@@ -28,7 +28,8 @@ fn node_driver() -> Driver {
             if !intent.is_null() {
                 let cur = ctx.digi().replica(&kind, &name, ".control.level.intent");
                 if cur != intent {
-                    ctx.digi().set_replica(&kind, &name, ".control.level.intent", intent);
+                    ctx.digi()
+                        .set_replica(&kind, &name, ".control.level.intent", intent);
                 }
             }
             let status = ctx.digi().replica(&kind, &name, ".control.level.status");
@@ -56,10 +57,18 @@ pub struct DepthPoint {
 }
 
 /// Runs the sweep for hierarchy depths `1..=max_depth`.
-pub fn run_depth_sweep(setup: Setup, max_depth: usize, trials: usize, seed: u64) -> Vec<DepthPoint> {
+pub fn run_depth_sweep(
+    setup: Setup,
+    max_depth: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<DepthPoint> {
     let mut points = Vec::new();
     for depth in 1..=max_depth {
-        let mut space = Space::new(SpaceConfig { links: setup.links(), seed: seed + depth as u64 });
+        let mut space = Space::new(SpaceConfig {
+            links: setup.links(),
+            seed: seed + depth as u64,
+        });
         space.register_kind(
             KindSchema::digivice("digi.dev", "v1", "Node")
                 .control("level", AttrType::Number)
@@ -75,7 +84,9 @@ pub fn run_depth_sweep(setup: Setup, max_depth: usize, trials: usize, seed: u64)
         // n0 is the leaf; n_{depth-1} the root the user programs.
         space.attach_actuator(&nodes[0], Box::new(EchoActuator::new("echo", millis(400))));
         for i in 0..depth.saturating_sub(1) {
-            space.mount(&nodes[i], &nodes[i + 1], MountMode::Expose).unwrap();
+            space
+                .mount(&nodes[i], &nodes[i + 1], MountMode::Expose)
+                .unwrap();
             space.run_for_ms(300);
         }
         space.run_for_ms(2_000);
@@ -90,19 +101,19 @@ pub fn run_depth_sweep(setup: Setup, max_depth: usize, trials: usize, seed: u64)
             space.world.trace.clear();
             let t0 = space.sim.now();
             let value = 0.1 + 0.8 * ((trial as f64 * 0.37) % 1.0);
-            space.set_intent(&format!("{root}/level"), value.into()).unwrap();
+            space
+                .set_intent(&format!("{root}/level"), value.into())
+                .unwrap();
             space.run_for_ms(6_000 + 200 * depth as u64);
             let trace = &space.world.trace;
-            let Some(intent) = trace.first_after(&TraceKind::UserIntent, &root_subject, t0)
-            else {
+            let Some(intent) = trace.first_after(&TraceKind::UserIntent, &root_subject, t0) else {
                 continue;
             };
             let Some(cmd) = trace.first_after(&TraceKind::DeviceCommand, &leaf_subject, intent.t)
             else {
                 continue;
             };
-            let Some(done) = trace.first_after(&TraceKind::DeviceDone, &leaf_subject, cmd.t)
-            else {
+            let Some(done) = trace.first_after(&TraceKind::DeviceDone, &leaf_subject, cmd.t) else {
                 continue;
             };
             let observed = trace.entries().iter().find(|e| {
@@ -120,7 +131,11 @@ pub fn run_depth_sweep(setup: Setup, max_depth: usize, trials: usize, seed: u64)
         if n > 0.0 {
             points.push(DepthPoint {
                 depth,
-                mean: Breakdown { fpt_ms: fpt / n, bpt_ms: bpt / n, dt_ms: dt / n },
+                mean: Breakdown {
+                    fpt_ms: fpt / n,
+                    bpt_ms: bpt / n,
+                    dt_ms: dt / n,
+                },
             });
         }
     }

@@ -47,7 +47,9 @@ pub fn render_table5() -> String {
         ("S8,S9,S10", pick("S8")),
     ];
     let mut out = String::new();
-    out.push_str("Table 5 — Scenario support across frameworks (v easy, - partial, x unsupported)\n\n");
+    out.push_str(
+        "Table 5 — Scenario support across frameworks (v easy, - partial, x unsupported)\n\n",
+    );
     out.push_str(&format!("{:<9}", ""));
     for (label, _) in &columns {
         out.push_str(&format!(" {label:>9}"));
@@ -56,7 +58,10 @@ pub fn render_table5() -> String {
     for fw in all_frameworks() {
         out.push_str(&format!("{:<9}", fw.name));
         for (_, req) in &columns {
-            out.push_str(&format!(" {:>9}", support_level_adjusted(&fw, req).symbol()));
+            out.push_str(&format!(
+                " {:>9}",
+                support_level_adjusted(&fw, req).symbol()
+            ));
         }
         out.push('\n');
     }
@@ -125,20 +130,73 @@ pub fn render_fig7(setup: &str, results: &[ScenarioResult], wan_mbps: f64) -> St
 pub fn render_table1() -> String {
     let mut out = String::new();
     out.push_str("Table 1 — Abstractions in dSpace (as implemented here)\n\n");
-    out.push_str(&format!("{:<10} {:<18} {:<46} {:<18}\n", "Abstraction", "Notation", "Description", "Implementation"));
+    out.push_str(&format!(
+        "{:<10} {:<18} {:<46} {:<18}\n",
+        "Abstraction", "Notation", "Description", "Implementation"
+    ));
     for (a, n, d, i) in [
-        ("Digivice", "D.mod.i / intent", "D's intended states", "control.*.intent"),
-        ("", "D.mod.c / status", "D's current states", "control.*.status"),
+        (
+            "Digivice",
+            "D.mod.i / intent",
+            "D's intended states",
+            "control.*.intent",
+        ),
+        (
+            "",
+            "D.mod.c / status",
+            "D's current states",
+            "control.*.status",
+        ),
         ("", "D.mod.e / obs", "events observed by D", "obs.*"),
-        ("", "D.ch / mount", "D's children on the digi-graph", "mount.<Kind>.<name>"),
-        ("", "D.drv()", "reconciles intent with status", "core::driver"),
-        ("", "D.pol / reflex", "embedded policies", "reflex.* (jq programs)"),
-        ("Digidata", "T.mod.in / input", "T's data input", "data.input.*"),
+        (
+            "",
+            "D.ch / mount",
+            "D's children on the digi-graph",
+            "mount.<Kind>.<name>",
+        ),
+        (
+            "",
+            "D.drv()",
+            "reconciles intent with status",
+            "core::driver",
+        ),
+        (
+            "",
+            "D.pol / reflex",
+            "embedded policies",
+            "reflex.* (jq programs)",
+        ),
+        (
+            "Digidata",
+            "T.mod.in / input",
+            "T's data input",
+            "data.input.*",
+        ),
         ("", "T.mod.out / output", "T's data output", "data.output.*"),
-        ("", "T.drv()", "input->output transformation", "analytics engines"),
-        ("mount", "mount(A, B)", "B writes A.intent, reads A.status/obs", "core::verbs::mount"),
-        ("pipe", "pipe(A, B)", "A.output written to B.input", "Sync objects + Syncer"),
-        ("yield", "yield(A, B)", "revokes B's write access to A.intent", "edge state + webhook"),
+        (
+            "",
+            "T.drv()",
+            "input->output transformation",
+            "analytics engines",
+        ),
+        (
+            "mount",
+            "mount(A, B)",
+            "B writes A.intent, reads A.status/obs",
+            "core::verbs::mount",
+        ),
+        (
+            "pipe",
+            "pipe(A, B)",
+            "A.output written to B.input",
+            "Sync objects + Syncer",
+        ),
+        (
+            "yield",
+            "yield(A, B)",
+            "revokes B's write access to A.intent",
+            "edge state + webhook",
+        ),
     ] {
         out.push_str(&format!("{a:<10} {n:<18} {d:<46} {i:<18}\n"));
     }
@@ -155,17 +213,43 @@ pub fn render_tables23() -> String {
         "Device type", "Vendor", "Model", "Library analogue", "Access"
     ));
     for (ty, vendor, model, lib, access) in [
-        ("Light bulb (L1)", "GEENI", "LUX800", "tuyapi (dps tables)", "LAN"),
-        ("Light bulb (L2)", "LIFX", "Mini", "lifxlan (16-bit HSBK)", "LAN"),
-        ("Light bulb (L3)", "Philips", "Hue", "phue (bri/hue/sat)", "BS/LAN"),
-        ("Motion sensor", "Ring", "Ring kit", "ring-client-api", "BS/LAN"),
+        (
+            "Light bulb (L1)",
+            "GEENI",
+            "LUX800",
+            "tuyapi (dps tables)",
+            "LAN",
+        ),
+        (
+            "Light bulb (L2)",
+            "LIFX",
+            "Mini",
+            "lifxlan (16-bit HSBK)",
+            "LAN",
+        ),
+        (
+            "Light bulb (L3)",
+            "Philips",
+            "Hue",
+            "phue (bri/hue/sat)",
+            "BS/LAN",
+        ),
+        (
+            "Motion sensor",
+            "Ring",
+            "Ring kit",
+            "ring-client-api",
+            "BS/LAN",
+        ),
         ("Camera", "Wyze", "WYZECP1", "RTSP stream", "LAN"),
         ("Robot vacuum", "iRobot", "Roomba 675", "dorita980", "LAN"),
         ("Speaker", "Bose", "ST10", "soundtouch", "VC"),
         ("Fan | Heater", "Dyson", "HP01", "libpurecoollink", "LAN"),
         ("Plug", "Teckin", "SP10", "tuyapi (dps tables)", "LAN"),
     ] {
-        out.push_str(&format!("{ty:<16} {vendor:<10} {model:<14} {lib:<22} {access:<8}\n"));
+        out.push_str(&format!(
+            "{ty:<16} {vendor:<10} {model:<14} {lib:<22} {access:<8}\n"
+        ));
     }
     out.push_str("\nTable 3 — Digidata engines\n\n");
     out.push_str(&format!(

@@ -28,7 +28,11 @@ pub struct Actuation {
 impl Actuation {
     /// Creates an actuation with no payload bytes.
     pub fn new(delay: Time, patch: Value) -> Self {
-        Actuation { delay, patch, bytes: 0 }
+        Actuation {
+            delay,
+            patch,
+            bytes: 0,
+        }
     }
 
     /// Sets the transfer size.
@@ -75,7 +79,10 @@ pub struct EchoActuator {
 impl EchoActuator {
     /// Creates an echo actuator.
     pub fn new(device: impl Into<String>, latency: Time) -> Self {
-        EchoActuator { device: device.into(), latency }
+        EchoActuator {
+            device: device.into(),
+            latency,
+        }
     }
 }
 
@@ -91,7 +98,9 @@ impl Actuator for EchoActuator {
         };
         let mut patch = dspace_value::obj();
         for (attr, v) in map {
-            let p = format!(".control.{attr}.status").parse().expect("attr path");
+            let p = format!(".control.{attr}.status")
+                .parse()
+                .expect("attr path");
             patch.set(&p, v.clone()).expect("object patch");
         }
         vec![Actuation::new(self.latency, patch)]
@@ -112,7 +121,11 @@ mod tests {
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].delay, millis(100));
         assert_eq!(
-            acts[0].patch.get_path(".control.power.status").unwrap().as_str(),
+            acts[0]
+                .patch
+                .get_path(".control.power.status")
+                .unwrap()
+                .as_str(),
             Some("on")
         );
         // Non-object commands are ignored.

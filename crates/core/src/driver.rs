@@ -39,42 +39,58 @@ pub struct Filter {
 impl Filter {
     /// Fires on any model change.
     pub fn any() -> Self {
-        Filter { prefix: Path::root() }
+        Filter {
+            prefix: Path::root(),
+        }
     }
 
     /// Fires on changes under `.control` (the `@digi.on.control` decorator).
     pub fn on_control() -> Self {
-        Filter { prefix: ".control".parse().expect("static") }
+        Filter {
+            prefix: ".control".parse().expect("static"),
+        }
     }
 
     /// Fires on changes under `.control.<attr>`.
     pub fn on_control_attr(attr: &str) -> Self {
-        Filter { prefix: format!(".control.{attr}").parse().expect("valid attr") }
+        Filter {
+            prefix: format!(".control.{attr}").parse().expect("valid attr"),
+        }
     }
 
     /// Fires on changes under `.obs`.
     pub fn on_obs() -> Self {
-        Filter { prefix: ".obs".parse().expect("static") }
+        Filter {
+            prefix: ".obs".parse().expect("static"),
+        }
     }
 
     /// Fires on changes under `.data.input`.
     pub fn on_data_input() -> Self {
-        Filter { prefix: ".data.input".parse().expect("static") }
+        Filter {
+            prefix: ".data.input".parse().expect("static"),
+        }
     }
 
     /// Fires on changes under `.data.output`.
     pub fn on_data_output() -> Self {
-        Filter { prefix: ".data.output".parse().expect("static") }
+        Filter {
+            prefix: ".data.output".parse().expect("static"),
+        }
     }
 
     /// Fires on changes under `.mount` (children replicas).
     pub fn on_mount() -> Self {
-        Filter { prefix: ".mount".parse().expect("static") }
+        Filter {
+            prefix: ".mount".parse().expect("static"),
+        }
     }
 
     /// Fires on changes under an arbitrary path.
     pub fn on_path(path: &str) -> Self {
-        Filter { prefix: path.parse().unwrap_or_else(|_| Path::root()) }
+        Filter {
+            prefix: path.parse().unwrap_or_else(|_| Path::root()),
+        }
     }
 
     /// Returns `true` if this filter matches the change set.
@@ -82,9 +98,9 @@ impl Filter {
         if self.prefix.is_empty() {
             return !changes.is_empty();
         }
-        changes.iter().any(|c| {
-            self.prefix.is_prefix_of(&c.path) || c.path.is_prefix_of(&self.prefix)
-        })
+        changes
+            .iter()
+            .any(|c| self.prefix.is_prefix_of(&c.path) || c.path.is_prefix_of(&self.prefix))
     }
 }
 
@@ -350,7 +366,12 @@ impl Driver {
         }
         // Duplicate device commands from repeated passes collapse.
         effects.dedup();
-        ReconcileResult { model: working, effects, errors, ran }
+        ReconcileResult {
+            model: working,
+            effects,
+            errors,
+            ran,
+        }
     }
 }
 
@@ -449,7 +470,8 @@ mod tests {
     fn filter_matching() {
         let old = lamp();
         let mut new = old.clone();
-        new.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
+        new.set(&".control.power.intent".parse().unwrap(), "on".into())
+            .unwrap();
         let changes = diff(&old, &new);
         assert!(Filter::on_control().matches(&changes));
         assert!(Filter::on_control_attr("power").matches(&changes));
@@ -458,7 +480,10 @@ mod tests {
         assert!(Filter::any().matches(&changes));
         assert!(!Filter::any().matches(&[]));
         // A coarse change (whole subtree replaced) matches a finer filter.
-        let coarse = diff(&parse(r#"{"control": 1}"#).unwrap(), &parse(r#"{"control": 2}"#).unwrap());
+        let coarse = diff(
+            &parse(r#"{"control": 1}"#).unwrap(),
+            &parse(r#"{"control": 2}"#).unwrap(),
+        );
         assert!(Filter::on_control_attr("power").matches(&coarse));
     }
 
@@ -472,11 +497,16 @@ mod tests {
         });
         let old = lamp();
         let mut new = old.clone();
-        new.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
+        new.set(&".control.power.intent".parse().unwrap(), "on".into())
+            .unwrap();
         let result = driver.reconcile(&old, &new, 0.0);
         assert!(result.ran.contains(&"power".to_string()));
         assert_eq!(
-            result.model.get_path(".control.power.status").unwrap().as_str(),
+            result
+                .model
+                .get_path(".control.power.status")
+                .unwrap()
+                .as_str(),
             Some("on")
         );
         // Duplicate commands from fixpoint passes collapse to one.
@@ -491,7 +521,8 @@ mod tests {
         });
         let old = lamp();
         let mut new = old.clone();
-        new.set(&".obs.reason".parse().unwrap(), "x".into()).unwrap();
+        new.set(&".obs.reason".parse().unwrap(), "x".into())
+            .unwrap();
         let result = driver.reconcile(&old, &new, 0.0);
         assert!(result.ran.is_empty());
         assert!(result.effects.is_empty());
@@ -506,14 +537,23 @@ mod tests {
             ctx.model.set(&".trace".parse().unwrap(), s.into()).unwrap();
         });
         driver.on(Filter::any(), 1, "first", |ctx| {
-            ctx.model.set(&".trace".parse().unwrap(), "a".into()).unwrap();
+            ctx.model
+                .set(&".trace".parse().unwrap(), "a".into())
+                .unwrap();
         });
         let old = lamp();
         let mut new = old.clone();
-        new.set(&".obs.reason".parse().unwrap(), "x".into()).unwrap();
+        new.set(&".obs.reason".parse().unwrap(), "x".into())
+            .unwrap();
         let result = driver.reconcile(&old, &new, 0.0);
-        assert_eq!(&result.ran[..2], &["first".to_string(), "second".to_string()]);
-        assert_eq!(result.model.get_path(".trace").unwrap().as_str(), Some("ab"));
+        assert_eq!(
+            &result.ran[..2],
+            &["first".to_string(), "second".to_string()]
+        );
+        assert_eq!(
+            result.model.get_path(".trace").unwrap().as_str(),
+            Some("ab")
+        );
     }
 
     #[test]
@@ -522,7 +562,8 @@ mod tests {
         driver.on(Filter::any(), -1, "disabled", |ctx| ctx.log("no"));
         let old = lamp();
         let mut new = old.clone();
-        new.set(&".obs.reason".parse().unwrap(), "x".into()).unwrap();
+        new.set(&".obs.reason".parse().unwrap(), "x".into())
+            .unwrap();
         let result = driver.reconcile(&old, &new, 0.0);
         assert!(result.ran.is_empty());
     }
@@ -531,13 +572,21 @@ mod tests {
     fn reflex_handler_executes_policy() {
         let mut driver = Driver::new();
         driver
-            .reflex("cap", 0, "if .control.power.intent == \"on\" then .obs.lit = true else . end")
+            .reflex(
+                "cap",
+                0,
+                "if .control.power.intent == \"on\" then .obs.lit = true else . end",
+            )
             .unwrap();
         let old = lamp();
         let mut new = old.clone();
-        new.set(&".control.power.intent".parse().unwrap(), "on".into()).unwrap();
+        new.set(&".control.power.intent".parse().unwrap(), "on".into())
+            .unwrap();
         let result = driver.reconcile(&old, &new, 0.0);
-        assert_eq!(result.model.get_path(".obs.lit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            result.model.get_path(".obs.lit").unwrap().as_bool(),
+            Some(true)
+        );
     }
 
     #[test]
@@ -555,23 +604,37 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        new.set(&".obs.last_motion".parse().unwrap(), 100.0.into()).unwrap();
+        new.set(&".obs.last_motion".parse().unwrap(), 100.0.into())
+            .unwrap();
         let result = driver.reconcile(&old, &new, 200.0);
-        assert_eq!(result.ran.first().map(String::as_str), Some("motion-brightness"));
         assert_eq!(
-            result.model.get_path(".control.power.intent").unwrap().as_str(),
+            result.ran.first().map(String::as_str),
+            Some("motion-brightness")
+        );
+        assert_eq!(
+            result
+                .model
+                .get_path(".control.power.intent")
+                .unwrap()
+                .as_str(),
             Some("on")
         );
         // Outside the window, the policy leaves the model alone.
         let result = driver.reconcile(&old, &new, 2000.0);
-        assert!(result.model.get_path(".control.power.intent").unwrap().is_null());
+        assert!(result
+            .model
+            .get_path(".control.power.intent")
+            .unwrap()
+            .is_null());
     }
 
     #[test]
     fn reflex_with_same_name_reconfigures_handler() {
         let mut driver = Driver::new();
         driver.on(Filter::any(), 0, "behaviour", |ctx| {
-            ctx.model.set(&".obs.v".parse().unwrap(), 1.0.into()).unwrap();
+            ctx.model
+                .set(&".obs.v".parse().unwrap(), 1.0.into())
+                .unwrap();
         });
         let old = lamp();
         let mut new = old.clone();
@@ -588,7 +651,9 @@ mod tests {
     fn broken_reflex_reports_error_and_cycle_continues() {
         let mut driver = Driver::new();
         driver.on(Filter::any(), 10, "still-runs", |ctx| {
-            ctx.model.set(&".obs.ok".parse().unwrap(), true.into()).unwrap();
+            ctx.model
+                .set(&".obs.ok".parse().unwrap(), true.into())
+                .unwrap();
         });
         let old = lamp();
         let mut new = old.clone();
@@ -599,7 +664,10 @@ mod tests {
         .unwrap();
         let result = driver.reconcile(&old, &new, 0.0);
         assert_eq!(result.errors.len(), 1);
-        assert_eq!(result.model.get_path(".obs.ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            result.model.get_path(".obs.ok").unwrap().as_bool(),
+            Some(true)
+        );
     }
 
     #[test]
@@ -607,10 +675,9 @@ mod tests {
         let view = View::new()
             .map(".control.brightness.intent", ".bri")
             .map(".control.power.intent", ".pow");
-        let model = parse(
-            r#"{"control": {"brightness": {"intent": 0.5}, "power": {"intent": "on"}}}"#,
-        )
-        .unwrap();
+        let model =
+            parse(r#"{"control": {"brightness": {"intent": 0.5}, "power": {"intent": "on"}}}"#)
+                .unwrap();
         let v = view.forward(&model);
         assert_eq!(v.get_path(".bri").unwrap().as_f64(), Some(0.5));
         assert_eq!(v.get_path(".pow").unwrap().as_str(), Some("on"));
@@ -625,7 +692,9 @@ mod tests {
         let mut back = model.clone();
         chained.backward(&edited, &mut back);
         assert_eq!(
-            back.get_path(".control.brightness.intent").unwrap().as_f64(),
+            back.get_path(".control.brightness.intent")
+                .unwrap()
+                .as_f64(),
             Some(0.7)
         );
     }

@@ -12,6 +12,10 @@
 //! §3.4); other parents hold their mounts in the *yielded* state and
 //! retain read access only.
 
+// Graph mutations fail on the cold path only, and rejection messages carry
+// both endpoint refs by design; boxing the error is not worth the churn.
+#![allow(clippy::result_large_err)]
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -172,12 +176,19 @@ impl DigiGraph {
     /// Returns the parent currently holding write access over `child`, if
     /// any (single-writer invariant: there is at most one).
     pub fn active_parent(&self, child: &ObjectRef) -> Option<ObjectRef> {
-        self.parents.get(child)?.iter().find(|p| {
-            matches!(
-                self.edge(p, child),
-                Some(MountEdge { state: EdgeState::Active, .. })
-            )
-        }).cloned()
+        self.parents
+            .get(child)?
+            .iter()
+            .find(|p| {
+                matches!(
+                    self.edge(p, child),
+                    Some(MountEdge {
+                        state: EdgeState::Active,
+                        ..
+                    })
+                )
+            })
+            .cloned()
     }
 
     /// Looks up one edge.
@@ -223,12 +234,18 @@ impl DigiGraph {
             return Err(GraphError::DuplicateMount(parent.clone(), child.clone()));
         }
         if child == parent {
-            return Err(GraphError::Cycle { parent: parent.clone(), child: child.clone() });
+            return Err(GraphError::Cycle {
+                parent: parent.clone(),
+                child: child.clone(),
+            });
         }
         // Cycle: parent reachable downward from child.
         let down_of_child = self.descendants(child);
         if down_of_child.contains(parent) {
-            return Err(GraphError::Cycle { parent: parent.clone(), child: child.clone() });
+            return Err(GraphError::Cycle {
+                parent: parent.clone(),
+                child: child.clone(),
+            });
         }
         // Diamond: adding parent→child creates a second path x→…→y whenever
         // some ancestor-or-self x of parent already reaches some
@@ -317,7 +334,10 @@ impl DigiGraph {
     ) -> Result<(), GraphError> {
         if let Some(holder) = self.active_parent(child) {
             if holder != *parent {
-                return Err(GraphError::SecondActiveParent { child: child.clone(), holder });
+                return Err(GraphError::SecondActiveParent {
+                    child: child.clone(),
+                    holder,
+                });
             }
             return Ok(()); // Already active.
         }
@@ -345,11 +365,7 @@ impl DigiGraph {
             let mut counts: BTreeMap<ObjectRef, u64> = BTreeMap::new();
             // DFS with memoized path counts would be fine; graphs are small,
             // use simple recursion via explicit stack of paths.
-            fn count_paths(
-                g: &DigiGraph,
-                from: &ObjectRef,
-                counts: &mut BTreeMap<ObjectRef, u64>,
-            ) {
+            fn count_paths(g: &DigiGraph, from: &ObjectRef, counts: &mut BTreeMap<ObjectRef, u64>) {
                 for c in g.children_of(from) {
                     *counts.entry(c.clone()).or_insert(0) += 1;
                     count_paths(g, &c, counts);
@@ -371,7 +387,10 @@ impl DigiGraph {
                 .filter(|p| {
                     matches!(
                         self.edge(p, child),
-                        Some(MountEdge { state: EdgeState::Active, .. })
+                        Some(MountEdge {
+                            state: EdgeState::Active,
+                            ..
+                        })
                     )
                 })
                 .count();
@@ -394,8 +413,14 @@ mod tests {
     #[test]
     fn simple_mount_chain() {
         let mut g = DigiGraph::new();
-        assert_eq!(g.mount(&d("lamp"), &d("room"), MountMode::Expose).unwrap(), EdgeState::Active);
-        assert_eq!(g.mount(&d("room"), &d("home"), MountMode::Expose).unwrap(), EdgeState::Active);
+        assert_eq!(
+            g.mount(&d("lamp"), &d("room"), MountMode::Expose).unwrap(),
+            EdgeState::Active
+        );
+        assert_eq!(
+            g.mount(&d("room"), &d("home"), MountMode::Expose).unwrap(),
+            EdgeState::Active
+        );
         assert_eq!(g.children_of(&d("room")), vec![d("lamp")]);
         assert_eq!(g.parents_of(&d("room")), vec![d("home")]);
         assert_eq!(g.active_parent(&d("lamp")), Some(d("room")));
@@ -455,7 +480,8 @@ mod tests {
         );
         // Second parent: allowed, but starts yielded (single writer).
         assert_eq!(
-            g.mount(&d("lamp"), &d("power-ctl"), MountMode::Expose).unwrap(),
+            g.mount(&d("lamp"), &d("power-ctl"), MountMode::Expose)
+                .unwrap(),
             EdgeState::Yielded
         );
         assert_eq!(g.parents_of(&d("lamp")).len(), 2);
@@ -468,7 +494,8 @@ mod tests {
     fn yield_transfers_write_access() {
         let mut g = DigiGraph::new();
         g.mount(&d("lamp"), &d("room"), MountMode::Expose).unwrap();
-        g.mount(&d("lamp"), &d("power-ctl"), MountMode::Expose).unwrap();
+        g.mount(&d("lamp"), &d("power-ctl"), MountMode::Expose)
+            .unwrap();
         // power-ctl cannot unyield while room is active.
         assert!(matches!(
             g.unyield_edge(&d("lamp"), &d("power-ctl")),
@@ -495,7 +522,10 @@ mod tests {
         ));
         // After unmounting, remount is legal again.
         g.mount(&d("lamp"), &d("room"), MountMode::Hide).unwrap();
-        assert_eq!(g.edge(&d("room"), &d("lamp")).unwrap().mode, MountMode::Hide);
+        assert_eq!(
+            g.edge(&d("room"), &d("lamp")).unwrap().mode,
+            MountMode::Hide
+        );
     }
 
     #[test]
@@ -512,9 +542,12 @@ mod tests {
     fn device_mobility_remount() {
         // S8: roomba moves from room-a to room-b.
         let mut g = DigiGraph::new();
-        g.mount(&d("roomba"), &d("room-a"), MountMode::Expose).unwrap();
+        g.mount(&d("roomba"), &d("room-a"), MountMode::Expose)
+            .unwrap();
         g.unmount(&d("roomba"), &d("room-a")).unwrap();
-        let st = g.mount(&d("roomba"), &d("room-b"), MountMode::Expose).unwrap();
+        let st = g
+            .mount(&d("roomba"), &d("room-b"), MountMode::Expose)
+            .unwrap();
         assert_eq!(st, EdgeState::Active);
         assert_eq!(g.active_parent(&d("roomba")), Some(d("room-b")));
     }

@@ -77,14 +77,22 @@ impl<'a> DigiModel<'a> {
 
     /// Writes `control.<attr>.intent`.
     pub fn set_intent(&mut self, attr: &str, value: Value) {
-        let p: Path = format!(".control.{attr}.intent").parse().expect("valid path");
-        self.model.set(&p, value).expect("control section is an object");
+        let p: Path = format!(".control.{attr}.intent")
+            .parse()
+            .expect("valid path");
+        self.model
+            .set(&p, value)
+            .expect("control section is an object");
     }
 
     /// Writes `control.<attr>.status`.
     pub fn set_status(&mut self, attr: &str, value: Value) {
-        let p: Path = format!(".control.{attr}.status").parse().expect("valid path");
-        self.model.set(&p, value).expect("control section is an object");
+        let p: Path = format!(".control.{attr}.status")
+            .parse()
+            .expect("valid path");
+        self.model
+            .set(&p, value)
+            .expect("control section is an object");
     }
 
     /// Reads `obs.<attr>`.
@@ -112,7 +120,9 @@ impl<'a> DigiModel<'a> {
     /// Writes `data.input.<attr>` (digidata).
     pub fn set_input(&mut self, attr: &str, value: Value) {
         let p: Path = format!(".data.input.{attr}").parse().expect("valid path");
-        self.model.set(&p, value).expect("data section is an object");
+        self.model
+            .set(&p, value)
+            .expect("data section is an object");
     }
 
     /// Reads `data.output.<attr>` (digidata).
@@ -126,7 +136,9 @@ impl<'a> DigiModel<'a> {
     /// Writes `data.output.<attr>` (digidata).
     pub fn set_output(&mut self, attr: &str, value: Value) {
         let p: Path = format!(".data.output.{attr}").parse().expect("valid path");
-        self.model.set(&p, value).expect("data section is an object");
+        self.model
+            .set(&p, value)
+            .expect("data section is an object");
     }
 
     /// Lists `(kind, name)` of every mount reference in this model.
@@ -158,7 +170,9 @@ impl<'a> DigiModel<'a> {
         let full: Path = format!("{}{}", replica_path(kind, name), path)
             .parse()
             .expect("valid replica path");
-        self.model.set(&full, value).expect("mount section is an object");
+        self.model
+            .set(&full, value)
+            .expect("mount section is an object");
     }
 
     /// Lists names of children of `kind` currently mounted.
@@ -184,11 +198,7 @@ pub fn parse_replica_path(path: &Path) -> Option<(String, String, Path)> {
         [dspace_value::Segment::Key(mount), dspace_value::Segment::Key(kind), dspace_value::Segment::Key(name), rest @ ..]
             if mount == "mount" =>
         {
-            Some((
-                kind.clone(),
-                name.clone(),
-                Path::new(rest.to_vec()),
-            ))
+            Some((kind.clone(), name.clone(), Path::new(rest.to_vec())))
         }
         _ => None,
     }
@@ -250,7 +260,12 @@ mod tests {
             let mut dm = DigiModel::new(&mut m);
             dm.set_replica("UniLamp", "ul1", ".control.power.intent", "on".into());
             dm.set_replica("UniLamp", "ul2", ".control.power.intent", "off".into());
-            dm.set_replica("Scene", "sc1", ".data.output.objects", json::parse("[]").unwrap());
+            dm.set_replica(
+                "Scene",
+                "sc1",
+                ".data.output.objects",
+                json::parse("[]").unwrap(),
+            );
         }
         let mut dm = DigiModel::new(&mut m);
         let mut mounts = dm.mounts();
@@ -264,13 +279,15 @@ mod tests {
             ]
         );
         assert_eq!(
-            dm.replica("UniLamp", "ul1", ".control.power.intent").as_str(),
+            dm.replica("UniLamp", "ul1", ".control.power.intent")
+                .as_str(),
             Some("on")
         );
         assert_eq!(dm.mounted_names("UniLamp"), vec!["ul1", "ul2"]);
         dm.set_replica("UniLamp", "ul1", ".control.power.intent", "off".into());
         assert_eq!(
-            dm.replica("UniLamp", "ul1", ".control.power.intent").as_str(),
+            dm.replica("UniLamp", "ul1", ".control.power.intent")
+                .as_str(),
             Some("off")
         );
     }

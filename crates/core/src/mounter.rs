@@ -45,7 +45,10 @@ pub struct Mounter {
 impl Mounter {
     /// Creates a mounter sharing the runtime's digi-graph.
     pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
-        Mounter { graph, shadows: BTreeMap::new() }
+        Mounter {
+            graph,
+            shadows: BTreeMap::new(),
+        }
     }
 
     /// Processes a batch of watch events: re-synchronizes every mount edge
@@ -96,8 +99,12 @@ impl Mounter {
                 return;
             }
         };
-        let Ok(parent_obj) = api.get(SUBJECT, parent) else { return };
-        let Ok(child_obj) = api.get(SUBJECT, child) else { return };
+        let Ok(parent_obj) = api.get(SUBJECT, parent) else {
+            return;
+        };
+        let Ok(child_obj) = api.get(SUBJECT, child) else {
+            return;
+        };
         let replica_path = crate::model::replica_path(&child.kind, &child.name);
         let replica_cur = parent_obj
             .model
@@ -110,7 +117,11 @@ impl Mounter {
             return;
         }
         let key = (parent.clone(), child.clone());
-        let shadow = self.shadows.get(&key).cloned().unwrap_or_else(dspace_value::obj);
+        let shadow = self
+            .shadows
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(dspace_value::obj);
 
         // --- Northbound: build the replica candidate from the child. -----
         let child_gen = child_obj
@@ -139,6 +150,11 @@ impl Mounter {
                 set(&mut candidate, ".mount", v.clone());
             }
         }
+        // The northbound-only view, before parent-pending writes are
+        // merged in: this is what the shadow reverts to when the version
+        // gate blocks, so blocked writes stay pending instead of being
+        // silently absorbed.
+        let fresh = candidate.clone();
         // Three-way merge: parent writes pending since the last mounter
         // write survive the refresh.
         let mut pending: Vec<(Path, Value)> = Vec::new();
@@ -157,15 +173,19 @@ impl Mounter {
         }
 
         // --- Southbound: apply parent-pending intent/input writes. -------
-        // Version gate (§5.2): only sync when the replica is at least as
-        // fresh as the child's model. The candidate was just rebuilt from
-        // the child, so the gate holds unless the child moved concurrently.
-        let gate_ok = candidate
+        // Version gate (§5.2): only sync when the *stored* replica is at
+        // least as fresh as the child's model. A stale replica means the
+        // parent acted on an outdated view of the child; the northbound
+        // refresh above (which advances `.gen` to the child's version)
+        // must land first, and the retry happens on its event.
+        let stored_gen = replica_cur
             .get_path(".gen")
             .and_then(Value::as_f64)
-            .unwrap_or(0.0)
-            >= child_gen;
+            .unwrap_or(0.0);
+        let gate_ok = stored_gen >= child_gen;
+        let mut synced_south = false;
         if edge.state == EdgeState::Active && gate_ok {
+            synced_south = true;
             let mut patch = dspace_value::obj();
             let mut wrote = false;
             collect_southbound_leaves(&candidate, &Path::root(), &mut |path, v| {
@@ -178,18 +198,20 @@ impl Mounter {
                     wrote = true;
                 }
             });
-            if wrote {
-                if api.patch(SUBJECT, child, patch).is_ok() {
-                    trace.push(
-                        now,
-                        TraceKind::Composition,
-                        child.to_string(),
-                        format!("southbound sync from {parent}"),
-                    );
-                }
+            if wrote && api.patch(SUBJECT, child, patch).is_ok() {
+                trace.push(
+                    now,
+                    TraceKind::Composition,
+                    child.to_string(),
+                    format!("southbound sync from {parent}"),
+                );
             }
         }
-        self.shadows.insert(key, candidate);
+        // Only a southbound-synced candidate becomes the new shadow; when
+        // the gate (or a yielded edge) blocked, the pending parent writes
+        // must be re-detected on the next round.
+        self.shadows
+            .insert(key, if synced_south { candidate } else { fresh });
     }
 }
 
@@ -202,11 +224,7 @@ fn set(doc: &mut Value, path: &str, v: Value) {
 /// `control.<attr>.intent`, `data.input.<...>`, possibly nested below one
 /// or more `mount.<Kind>.<name>` prefixes (writes through exposed
 /// grandchild replicas).
-fn collect_southbound_leaves(
-    doc: &Value,
-    base: &Path,
-    visit: &mut impl FnMut(&Path, &Value),
-) {
+fn collect_southbound_leaves(doc: &Value, base: &Path, visit: &mut impl FnMut(&Path, &Value)) {
     fn walk(v: &Value, path: &Path, visit: &mut impl FnMut(&Path, &Value)) {
         if is_southbound(path) {
             // Leaves only: intent scalars or anything under data.input.

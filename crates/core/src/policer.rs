@@ -35,7 +35,11 @@ pub struct Policer {
 impl Policer {
     /// Creates a policer sharing the runtime's digi-graph.
     pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
-        Policer { graph, policies: BTreeMap::new(), state: BTreeMap::new() }
+        Policer {
+            graph,
+            policies: BTreeMap::new(),
+            state: BTreeMap::new(),
+        }
     }
 
     /// Number of registered policies.
@@ -97,7 +101,9 @@ impl Policer {
         now: Time,
         now_s: f64,
     ) {
-        let Some(policy) = self.policies.get(id).cloned() else { return };
+        let Some(policy) = self.policies.get(id).cloned() else {
+            return;
+        };
         let mut models = Vec::new();
         for w in &policy.watch {
             let Ok(obj) = api.get(SUBJECT, w) else { return };
@@ -108,7 +114,12 @@ impl Policer {
         let value = match policy.condition.eval(&ctx, &env) {
             Ok(v) => v.truthy(),
             Err(e) => {
-                trace.push(now, TraceKind::PolicyFired, id.to_string(), format!("error: {e}"));
+                trace.push(
+                    now,
+                    TraceKind::PolicyFired,
+                    id.to_string(),
+                    format!("error: {e}"),
+                );
                 return;
             }
         };
@@ -131,9 +142,19 @@ impl Policer {
         );
         for action in actions {
             if let Err(e) = self.run_action(api, action) {
-                trace.push(now, TraceKind::PolicyFired, id.to_string(), format!("action failed: {e}"));
+                trace.push(
+                    now,
+                    TraceKind::PolicyFired,
+                    id.to_string(),
+                    format!("action failed: {e}"),
+                );
             } else {
-                trace.push(now, TraceKind::Composition, id.to_string(), format!("{action:?}"));
+                trace.push(
+                    now,
+                    TraceKind::Composition,
+                    id.to_string(),
+                    format!("{action:?}"),
+                );
             }
         }
     }
@@ -145,23 +166,28 @@ impl Policer {
     ) -> Result<(), verbs::VerbError> {
         let graph = self.graph.borrow().clone();
         match action {
-            PolicyAction::Mount { child, parent, mode } => {
-                verbs::mount(api, &graph, SUBJECT, child, parent, *mode).map(|_| ())
-            }
-            PolicyAction::Unmount { child, parent } => {
-                verbs::unmount(api, SUBJECT, child, parent)
-            }
+            PolicyAction::Mount {
+                child,
+                parent,
+                mode,
+            } => verbs::mount(api, &graph, SUBJECT, child, parent, *mode).map(|_| ()),
+            PolicyAction::Unmount { child, parent } => verbs::unmount(api, SUBJECT, child, parent),
             PolicyAction::Yield { child, parent } => verbs::yield_(api, SUBJECT, child, parent),
-            PolicyAction::Unyield { child, parent } => {
-                verbs::unyield(api, SUBJECT, child, parent)
-            }
+            PolicyAction::Unyield { child, parent } => verbs::unyield(api, SUBJECT, child, parent),
             PolicyAction::Transfer { child, from, to } => {
                 verbs::transfer(api, &graph, SUBJECT, child, from, to)
             }
-            PolicyAction::SetIntent { target, attr, value } => {
-                verbs::set_intent(api, SUBJECT, target, attr, value.clone())
-            }
-            PolicyAction::Pipe { source, source_attr, target, target_attr } => {
+            PolicyAction::SetIntent {
+                target,
+                attr,
+                value,
+            } => verbs::set_intent(api, SUBJECT, target, attr, value.clone()),
+            PolicyAction::Pipe {
+                source,
+                source_attr,
+                target,
+                target_attr,
+            } => {
                 let spec = crate::syncer::SyncSpec {
                     source: source.clone(),
                     source_path: format!(".data.output.{source_attr}"),
@@ -170,7 +196,12 @@ impl Policer {
                 };
                 verbs::pipe(api, SUBJECT, &spec).map(|_| ())
             }
-            PolicyAction::Unpipe { source, source_attr, target, target_attr } => {
+            PolicyAction::Unpipe {
+                source,
+                source_attr,
+                target,
+                target_attr,
+            } => {
                 let spec = crate::syncer::SyncSpec {
                     source: source.clone(),
                     source_path: format!(".data.output.{source_attr}"),
@@ -232,7 +263,8 @@ mod tests {
                 if evs.is_empty() {
                     return;
                 }
-                self.policer.process(&mut self.api, &evs, &mut self.trace, 0);
+                self.policer
+                    .process(&mut self.api, &evs, &mut self.trace, 0);
             }
         }
     }
@@ -244,12 +276,22 @@ mod tests {
         let home = ObjectRef::default_ns("Home", "home");
         let city = ObjectRef::default_ns("Emergency", "city");
         for (k, n) in [("Room", "lvroom"), ("Home", "home"), ("Emergency", "city")] {
-            rig.api.create(ApiServer::ADMIN, &ObjectRef::default_ns(k, n), digi(k, n)).unwrap();
+            rig.api
+                .create(ApiServer::ADMIN, &ObjectRef::default_ns(k, n), digi(k, n))
+                .unwrap();
         }
         // home controls room.
         {
             let g = rig.graph.borrow().clone();
-            verbs::mount(&mut rig.api, &g, ApiServer::ADMIN, &room, &home, crate::graph::MountMode::Expose).unwrap();
+            verbs::mount(
+                &mut rig.api,
+                &g,
+                ApiServer::ADMIN,
+                &room,
+                &home,
+                crate::graph::MountMode::Expose,
+            )
+            .unwrap();
         }
         rig.settle();
         let policy = yaml::parse(
@@ -266,19 +308,27 @@ spec:
         )
         .unwrap();
         rig.api
-            .create(ApiServer::ADMIN, &ObjectRef::default_ns("Policy", "emergency-yield"), policy)
+            .create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns("Policy", "emergency-yield"),
+                policy,
+            )
             .unwrap();
         rig.settle();
         assert_eq!(rig.policer.active_policies(), 1);
         assert_eq!(rig.graph.borrow().active_parent(&room), Some(home.clone()));
 
         // Alarm fires: control transfers to the city service.
-        rig.api.patch_path(ApiServer::ADMIN, &city, ".obs.alarm", true.into()).unwrap();
+        rig.api
+            .patch_path(ApiServer::ADMIN, &city, ".obs.alarm", true.into())
+            .unwrap();
         rig.settle();
         assert_eq!(rig.graph.borrow().active_parent(&room), Some(city.clone()));
 
         // Alarm clears: control returns to the home.
-        rig.api.patch_path(ApiServer::ADMIN, &city, ".obs.alarm", false.into()).unwrap();
+        rig.api
+            .patch_path(ApiServer::ADMIN, &city, ".obs.alarm", false.into())
+            .unwrap();
         rig.settle();
         assert_eq!(rig.graph.borrow().active_parent(&room), Some(home));
         // The city keeps a yielded mount (it continues to watch).
@@ -295,11 +345,21 @@ spec:
         let room_a = ObjectRef::default_ns("Room", "a");
         let room_b = ObjectRef::default_ns("Room", "b");
         for (k, n) in [("Roomba", "rb"), ("Room", "a"), ("Room", "b")] {
-            rig.api.create(ApiServer::ADMIN, &ObjectRef::default_ns(k, n), digi(k, n)).unwrap();
+            rig.api
+                .create(ApiServer::ADMIN, &ObjectRef::default_ns(k, n), digi(k, n))
+                .unwrap();
         }
         {
             let g = rig.graph.borrow().clone();
-            verbs::mount(&mut rig.api, &g, ApiServer::ADMIN, &roomba, &room_a, crate::graph::MountMode::Expose).unwrap();
+            verbs::mount(
+                &mut rig.api,
+                &g,
+                ApiServer::ADMIN,
+                &roomba,
+                &room_a,
+                crate::graph::MountMode::Expose,
+            )
+            .unwrap();
         }
         rig.settle();
         // Unmount from A and mount to B when A no longer sees the roomba
@@ -317,7 +377,11 @@ spec:
         )
         .unwrap();
         rig.api
-            .create(ApiServer::ADMIN, &ObjectRef::default_ns("Policy", "roomba-mobility"), policy)
+            .create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns("Policy", "roomba-mobility"),
+                policy,
+            )
             .unwrap();
         rig.settle();
         // Roomba still visible in room a: nothing happens.
@@ -330,7 +394,10 @@ spec:
             )
             .unwrap();
         rig.settle();
-        assert_eq!(rig.graph.borrow().active_parent(&roomba), Some(room_a.clone()));
+        assert_eq!(
+            rig.graph.borrow().active_parent(&roomba),
+            Some(room_a.clone())
+        );
         // Roomba left the camera view of room a: remounted to room b.
         rig.api
             .patch_path(
@@ -352,7 +419,13 @@ spec:
             "meta: {kind: Policy, name: bad, namespace: default}\nspec:\n  condition: \"true\"\n",
         )
         .unwrap();
-        rig.api.create(ApiServer::ADMIN, &ObjectRef::default_ns("Policy", "bad"), bad).unwrap();
+        rig.api
+            .create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns("Policy", "bad"),
+                bad,
+            )
+            .unwrap();
         rig.settle();
         assert_eq!(rig.policer.active_policies(), 0);
         assert!(rig

@@ -174,9 +174,18 @@ fn parse_action(v: &Value) -> Result<PolicyAction, PolicyError> {
                 .and_then(MountMode::parse)
                 .unwrap_or(MountMode::Expose),
         }),
-        "unmount" => Ok(PolicyAction::Unmount { child: field("child")?, parent: field("parent")? }),
-        "yield" => Ok(PolicyAction::Yield { child: field("child")?, parent: field("parent")? }),
-        "unyield" => Ok(PolicyAction::Unyield { child: field("child")?, parent: field("parent")? }),
+        "unmount" => Ok(PolicyAction::Unmount {
+            child: field("child")?,
+            parent: field("parent")?,
+        }),
+        "yield" => Ok(PolicyAction::Yield {
+            child: field("child")?,
+            parent: field("parent")?,
+        }),
+        "unyield" => Ok(PolicyAction::Unyield {
+            child: field("child")?,
+            parent: field("parent")?,
+        }),
         "transfer" => Ok(PolicyAction::Transfer {
             child: field("child")?,
             from: field("from")?,
@@ -196,9 +205,19 @@ fn parse_action(v: &Value) -> Result<PolicyAction, PolicyError> {
             let (source, source_attr) = endpoint("from")?;
             let (target, target_attr) = endpoint("to")?;
             if kind == "pipe" {
-                Ok(PolicyAction::Pipe { source, source_attr, target, target_attr })
+                Ok(PolicyAction::Pipe {
+                    source,
+                    source_attr,
+                    target,
+                    target_attr,
+                })
             } else {
-                Ok(PolicyAction::Unpipe { source, source_attr, target, target_attr })
+                Ok(PolicyAction::Unpipe {
+                    source,
+                    source_attr,
+                    target,
+                    target_attr,
+                })
             }
         }
         "set-intent" => Ok(PolicyAction::SetIntent {
@@ -232,8 +251,8 @@ impl Policy {
             .get_path(".spec.condition")
             .and_then(Value::as_str)
             .ok_or_else(|| PolicyError::Malformed("spec.condition missing".into()))?;
-        let condition = Program::compile(cond_src)
-            .map_err(|e| PolicyError::BadCondition(e.to_string()))?;
+        let condition =
+            Program::compile(cond_src).map_err(|e| PolicyError::BadCondition(e.to_string()))?;
         let actions = |key: &str| -> Result<Vec<PolicyAction>, PolicyError> {
             match model.get_path(&format!(".spec.{key}")) {
                 None | Some(Value::Null) => Ok(Vec::new()),
@@ -299,8 +318,14 @@ spec:
 
     #[test]
     fn parse_ref_forms() {
-        assert_eq!(parse_ref("Room/default/r1").unwrap(), ObjectRef::default_ns("Room", "r1"));
-        assert_eq!(parse_ref("Room/r1").unwrap(), ObjectRef::default_ns("Room", "r1"));
+        assert_eq!(
+            parse_ref("Room/default/r1").unwrap(),
+            ObjectRef::default_ns("Room", "r1")
+        );
+        assert_eq!(
+            parse_ref("Room/r1").unwrap(),
+            ObjectRef::default_ns("Room", "r1")
+        );
         assert!(parse_ref("justaname").is_err());
         assert!(parse_ref("a/b/c/d").is_err());
     }
@@ -330,7 +355,10 @@ spec:
         assert!(matches!(p.on_rising[6], PolicyAction::Unpipe { .. }));
         assert!(matches!(
             p.on_rising[0],
-            PolicyAction::Mount { mode: MountMode::Hide, .. }
+            PolicyAction::Mount {
+                mode: MountMode::Hide,
+                ..
+            }
         ));
         assert!(matches!(p.on_rising[4], PolicyAction::SetIntent { .. }));
     }
@@ -338,12 +366,18 @@ spec:
     #[test]
     fn malformed_policies_rejected() {
         let no_watch = yaml::parse("meta: {kind: Policy}\nspec:\n  condition: \"true\"\n").unwrap();
-        assert!(matches!(Policy::parse(&no_watch), Err(PolicyError::Malformed(_))));
+        assert!(matches!(
+            Policy::parse(&no_watch),
+            Err(PolicyError::Malformed(_))
+        ));
         let bad_cond = yaml::parse(
             "meta: {kind: Policy}\nspec:\n  watch: [\"A/a\"]\n  condition: \"if if\"\n",
         )
         .unwrap();
-        assert!(matches!(Policy::parse(&bad_cond), Err(PolicyError::BadCondition(_))));
+        assert!(matches!(
+            Policy::parse(&bad_cond),
+            Err(PolicyError::BadCondition(_))
+        ));
         let bad_action = yaml::parse(
             "meta: {kind: Policy}\nspec:\n  watch: [\"A/a\"]\n  condition: \"true\"\n  on_rising:\n    - {action: explode}\n",
         )

@@ -29,7 +29,10 @@ pub struct SpaceConfig {
 
 impl Default for SpaceConfig {
     fn default() -> Self {
-        SpaceConfig { links: LinkSet::default(), seed: 7 }
+        SpaceConfig {
+            links: LinkSet::default(),
+            seed: 7,
+        }
     }
 }
 
@@ -131,7 +134,8 @@ impl Space {
 
     /// Attaches a simulated device / data engine to a digi.
     pub fn attach_actuator(&mut self, oref: &ObjectRef, actuator: Box<dyn Actuator>) {
-        self.world.attach_actuator(&mut self.sim, oref.clone(), actuator);
+        self.world
+            .attach_actuator(&mut self.sim, oref.clone(), actuator);
     }
 
     /// Resolves a digi name to its reference.
@@ -261,8 +265,12 @@ impl Space {
         };
         let value2 = value.clone();
         self.sim.schedule(delay, move |w: &mut World, sim| {
-            if w.api.patch_path(Self::USER, &oref, &path, value2.clone()).is_ok() {
-                w.trace.push(sim.now(), TraceKind::Commit, oref.to_string(), path.clone());
+            if w.api
+                .patch_path(Self::USER, &oref, &path, value2.clone())
+                .is_ok()
+            {
+                w.trace
+                    .push(sim.now(), TraceKind::Commit, oref.to_string(), path.clone());
             }
         });
         Ok(())
@@ -299,7 +307,10 @@ impl Space {
     /// Reads `obs.<attr>` of `"<digi>/<attr>"`.
     pub fn obs(&self, spec: &str) -> Result<Value, SpaceError> {
         let (oref, attr) = self.split_spec(spec)?;
-        Ok(self.world.api.get_path(ApiServer::ADMIN, &oref, &format!(".obs.{attr}"))?)
+        Ok(self
+            .world
+            .api
+            .get_path(ApiServer::ADMIN, &oref, &format!(".obs.{attr}"))?)
     }
 
     /// Reads an arbitrary model path of a digi by name.
@@ -352,8 +363,23 @@ impl Space {
     /// Runs until no component has pending work and the event queue is
     /// quiet, up to `max_ms` of virtual time (devices with periodic ticks
     /// keep the queue non-empty, hence the bound).
+    ///
+    /// Returns as soon as the space is quiescent instead of burning the
+    /// whole budget: if nothing is scheduled and no watcher has pending
+    /// events, the clock stops where the last event left it.
     pub fn settle(&mut self, max_ms: u64) {
-        self.run_for_ms(max_ms);
+        let deadline = self.sim.now().saturating_add(millis(max_ms));
+        self.pump();
+        while matches!(self.sim.next_at(), Some(t) if t <= deadline) {
+            self.sim.step(&mut self.world);
+            self.world.pump(&mut self.sim);
+        }
+        if self.sim.next_at().is_none() && !self.world.has_pending_work() {
+            return; // Quiescent: don't advance virtual time any further.
+        }
+        // Periodic device ticks (or events past the horizon) remain; run
+        // the clock out to the deadline as before.
+        self.sim.run_until(&mut self.world, deadline);
     }
 
     /// The current virtual time in milliseconds.

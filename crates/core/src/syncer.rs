@@ -134,7 +134,9 @@ impl Syncer {
     }
 
     fn propagate_for_sync(&mut self, api: &mut ApiServer, id: &ObjectRef) {
-        let Some(spec) = self.specs.get(id).cloned() else { return };
+        let Some(spec) = self.specs.get(id).cloned() else {
+            return;
+        };
         let Ok(value) = api.get_path(SUBJECT, &spec.source, &spec.source_path) else {
             return;
         };
@@ -184,15 +186,18 @@ mod tests {
         api.rbac_mut().bind(SUBJECT, "controller");
         let cam = ObjectRef::default_ns("Xcdr", "x1");
         let scene = ObjectRef::default_ns("Scene", "sc1");
-        api.create(ApiServer::ADMIN, &cam, digidata("Xcdr", "x1")).unwrap();
-        api.create(ApiServer::ADMIN, &scene, digidata("Scene", "sc1")).unwrap();
+        api.create(ApiServer::ADMIN, &cam, digidata("Xcdr", "x1"))
+            .unwrap();
+        api.create(ApiServer::ADMIN, &scene, digidata("Scene", "sc1"))
+            .unwrap();
         (api, Syncer::new(), cam, scene)
     }
 
     fn create_sync(api: &mut ApiServer, syncer: &mut Syncer, spec: &SyncSpec, name: &str) {
         let w = api.watch(ApiServer::ADMIN, None).unwrap();
         let sref = ObjectRef::default_ns("Sync", name);
-        api.create(ApiServer::ADMIN, &sref, spec.to_model(name)).unwrap();
+        api.create(ApiServer::ADMIN, &sref, spec.to_model(name))
+            .unwrap();
         let evs = api.poll(w);
         syncer.process(api, &evs);
         api.cancel_watch(w);
@@ -211,12 +216,19 @@ mod tests {
         assert_eq!(syncer.active_syncs(), 1);
         // Source update propagates.
         let w = api.watch(ApiServer::ADMIN, None).unwrap();
-        api.patch_path(ApiServer::ADMIN, &xcdr, ".data.output.url", "rtsp://out/1".into())
-            .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &xcdr,
+            ".data.output.url",
+            "rtsp://out/1".into(),
+        )
+        .unwrap();
         let evs = api.poll(w);
         syncer.process(&mut api, &evs);
         assert_eq!(
-            api.get_path(ApiServer::ADMIN, &scene, ".data.input.url").unwrap().as_str(),
+            api.get_path(ApiServer::ADMIN, &scene, ".data.input.url")
+                .unwrap()
+                .as_str(),
             Some("rtsp://out/1")
         );
     }
@@ -224,8 +236,13 @@ mod tests {
     #[test]
     fn initial_value_propagates_on_pipe_creation() {
         let (mut api, mut syncer, xcdr, scene) = setup();
-        api.patch_path(ApiServer::ADMIN, &xcdr, ".data.output.url", "rtsp://pre".into())
-            .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &xcdr,
+            ".data.output.url",
+            "rtsp://pre".into(),
+        )
+        .unwrap();
         let spec = SyncSpec {
             source: xcdr.clone(),
             source_path: ".data.output.url".into(),
@@ -234,7 +251,9 @@ mod tests {
         };
         create_sync(&mut api, &mut syncer, &spec, "s1");
         assert_eq!(
-            api.get_path(ApiServer::ADMIN, &scene, ".data.input.url").unwrap().as_str(),
+            api.get_path(ApiServer::ADMIN, &scene, ".data.input.url")
+                .unwrap()
+                .as_str(),
             Some("rtsp://pre")
         );
     }
@@ -250,9 +269,15 @@ mod tests {
         };
         create_sync(&mut api, &mut syncer, &spec, "s1");
         let w = api.watch(ApiServer::ADMIN, None).unwrap();
-        api.delete(ApiServer::ADMIN, &ObjectRef::default_ns("Sync", "s1")).unwrap();
-        api.patch_path(ApiServer::ADMIN, &xcdr, ".data.output.url", "rtsp://late".into())
+        api.delete(ApiServer::ADMIN, &ObjectRef::default_ns("Sync", "s1"))
             .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &xcdr,
+            ".data.output.url",
+            "rtsp://late".into(),
+        )
+        .unwrap();
         let evs = api.poll(w);
         syncer.process(&mut api, &evs);
         assert_eq!(syncer.active_syncs(), 0);
@@ -267,7 +292,8 @@ mod tests {
         // One digidata may pipe to multiple others (§3.2).
         let (mut api, mut syncer, xcdr, scene) = setup();
         let stats = ObjectRef::default_ns("Stats", "st1");
-        api.create(ApiServer::ADMIN, &stats, digidata("Stats", "st1")).unwrap();
+        api.create(ApiServer::ADMIN, &stats, digidata("Stats", "st1"))
+            .unwrap();
         for (i, target) in [&scene, &stats].into_iter().enumerate() {
             let spec = SyncSpec {
                 source: xcdr.clone(),

@@ -18,9 +18,9 @@ use dspace_apiserver::{AdmissionResponse, AdmissionReview, AdmissionWebhook, Obj
 use dspace_value::Value;
 
 use crate::graph::{DigiGraph, EdgeState, MountMode};
-use crate::model::MOUNT_YIELDED;
 #[cfg(test)]
 use crate::model::MOUNT_ACTIVE;
+use crate::model::MOUNT_YIELDED;
 
 /// A mount reference as written in a parent model's `.mount` section.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,7 +43,9 @@ pub fn mount_refs(model: &Value, namespace: &str) -> Vec<MountRef> {
         return out;
     };
     for (kind, names) in kinds {
-        let Some(names) = names.as_object() else { continue };
+        let Some(names) = names.as_object() else {
+            continue;
+        };
         for (name, body) in names {
             let mode = body
                 .get_path("mode")
@@ -75,14 +77,18 @@ fn sync_spec_ports(model: &Value) -> Option<(ObjectRef, Port)> {
     let tgt = model.get_path(".spec.target")?;
     let target = ObjectRef::new(
         tgt.get_path("kind")?.as_str()?,
-        tgt.get_path("namespace").and_then(Value::as_str).unwrap_or("default"),
+        tgt.get_path("namespace")
+            .and_then(Value::as_str)
+            .unwrap_or("default"),
         tgt.get_path("name")?.as_str()?,
     );
     let path = tgt.get_path("path")?.as_str()?.to_string();
     let src = model.get_path(".spec.source")?;
     let source = ObjectRef::new(
         src.get_path("kind")?.as_str()?,
-        src.get_path("namespace").and_then(Value::as_str).unwrap_or("default"),
+        src.get_path("namespace")
+            .and_then(Value::as_str)
+            .unwrap_or("default"),
         src.get_path("name")?.as_str()?,
     );
     Some((source, Port { target, path }))
@@ -99,7 +105,10 @@ pub struct TopologyWebhook {
 impl TopologyWebhook {
     /// Creates the webhook around a shared graph.
     pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
-        TopologyWebhook { graph, ports: BTreeMap::new() }
+        TopologyWebhook {
+            graph,
+            ports: BTreeMap::new(),
+        }
     }
 
     fn review_digi(&self, review: &AdmissionReview<'_>) -> AdmissionResponse {
@@ -130,7 +139,10 @@ impl TopologyWebhook {
             } else {
                 // State transitions: yielded -> active needs the writer slot
                 // to be free.
-                let was = old_refs.iter().find(|o| o.child == r.child).expect("existed");
+                let was = old_refs
+                    .iter()
+                    .find(|o| o.child == r.child)
+                    .expect("existed");
                 if was.state == EdgeState::Yielded && r.state == EdgeState::Active {
                     if let Some(holder) = graph.active_parent(&r.child) {
                         if holder != parent {
@@ -258,7 +270,12 @@ mod tests {
         let graph = Rc::new(RefCell::new(DigiGraph::new()));
         let mut api = ApiServer::new();
         api.register_webhook(Box::new(TopologyWebhook::new(graph.clone())));
-        for (k, n) in [("Lamp", "l1"), ("Room", "r1"), ("Room", "r2"), ("Power", "pc")] {
+        for (k, n) in [
+            ("Lamp", "l1"),
+            ("Room", "r1"),
+            ("Room", "r2"),
+            ("Power", "pc"),
+        ] {
             api.create(
                 ApiServer::ADMIN,
                 &ObjectRef::default_ns(k, n),
@@ -272,8 +289,10 @@ mod tests {
     fn mount_patch(kind: &str, name: &str, status: &str) -> (String, Value) {
         (
             format!(".mount.{kind}.{name}"),
-            json::parse(&format!(r#"{{"mode": "expose", "status": "{status}", "gen": 0}}"#))
-                .unwrap(),
+            json::parse(&format!(
+                r#"{{"mode": "expose", "status": "{status}", "gen": 0}}"#
+            ))
+            .unwrap(),
         )
     }
 
@@ -284,7 +303,10 @@ mod tests {
         let (path, v) = mount_patch("Lamp", "l1", "active");
         api.patch_path(ApiServer::ADMIN, &room, &path, v).unwrap();
         let g = graph.borrow();
-        assert_eq!(g.active_parent(&ObjectRef::default_ns("Lamp", "l1")), Some(room));
+        assert_eq!(
+            g.active_parent(&ObjectRef::default_ns("Lamp", "l1")),
+            Some(room)
+        );
     }
 
     #[test]
@@ -296,7 +318,9 @@ mod tests {
         api.patch_path(ApiServer::ADMIN, &room, &path, v).unwrap();
         // Now mount the room under the lamp: cycle.
         let (path, v) = mount_patch("Room", "r1", "active");
-        let err = api.patch_path(ApiServer::ADMIN, &lamp, &path, v).unwrap_err();
+        let err = api
+            .patch_path(ApiServer::ADMIN, &lamp, &path, v)
+            .unwrap_err();
         assert!(err.to_string().contains("cycle"), "{err}");
     }
 
@@ -328,14 +352,29 @@ mod tests {
         api.patch_path(ApiServer::ADMIN, &pc, &p2, v2).unwrap();
         // Unyield by pc while r1 active: denied.
         let err = api
-            .patch_path(ApiServer::ADMIN, &pc, ".mount.Lamp.l1.status", MOUNT_ACTIVE.into())
+            .patch_path(
+                ApiServer::ADMIN,
+                &pc,
+                ".mount.Lamp.l1.status",
+                MOUNT_ACTIVE.into(),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("write access"), "{err}");
         // r1 yields, then pc can take over.
-        api.patch_path(ApiServer::ADMIN, &r1, ".mount.Lamp.l1.status", MOUNT_YIELDED.into())
-            .unwrap();
-        api.patch_path(ApiServer::ADMIN, &pc, ".mount.Lamp.l1.status", MOUNT_ACTIVE.into())
-            .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &r1,
+            ".mount.Lamp.l1.status",
+            MOUNT_YIELDED.into(),
+        )
+        .unwrap();
+        api.patch_path(
+            ApiServer::ADMIN,
+            &pc,
+            ".mount.Lamp.l1.status",
+            MOUNT_ACTIVE.into(),
+        )
+        .unwrap();
         assert_eq!(graph.borrow().active_parent(&lamp), Some(pc));
     }
 
@@ -345,14 +384,20 @@ mod tests {
         let r1 = ObjectRef::default_ns("Room", "r1");
         let (p, v) = mount_patch("Lamp", "l1", "active");
         api.patch_path(ApiServer::ADMIN, &r1, &p, v).unwrap();
-        api.delete_path(ApiServer::ADMIN, &r1, ".mount.Lamp.l1").unwrap();
-        assert!(graph.borrow().parents_of(&ObjectRef::default_ns("Lamp", "l1")).is_empty());
+        api.delete_path(ApiServer::ADMIN, &r1, ".mount.Lamp.l1")
+            .unwrap();
+        assert!(graph
+            .borrow()
+            .parents_of(&ObjectRef::default_ns("Lamp", "l1"))
+            .is_empty());
         // Can now mount to another room.
         let r2 = ObjectRef::default_ns("Room", "r2");
         let (p, v) = mount_patch("Lamp", "l1", "active");
         api.patch_path(ApiServer::ADMIN, &r2, &p, v).unwrap();
         assert_eq!(
-            graph.borrow().active_parent(&ObjectRef::default_ns("Lamp", "l1")),
+            graph
+                .borrow()
+                .active_parent(&ObjectRef::default_ns("Lamp", "l1")),
             Some(r2)
         );
     }
@@ -371,14 +416,18 @@ mod tests {
             .unwrap()
         };
         let s1 = ObjectRef::default_ns("Sync", "s1");
-        api.create(ApiServer::ADMIN, &s1, mk("s1", "scA", "stats")).unwrap();
+        api.create(ApiServer::ADMIN, &s1, mk("s1", "scA", "stats"))
+            .unwrap();
         // A second writer to the same target port is rejected.
         let s2 = ObjectRef::default_ns("Sync", "s2");
-        let err = api.create(ApiServer::ADMIN, &s2, mk("s2", "scB", "stats")).unwrap_err();
+        let err = api
+            .create(ApiServer::ADMIN, &s2, mk("s2", "scB", "stats"))
+            .unwrap_err();
         assert!(err.to_string().contains("already written"), "{err}");
         // Deleting the first frees the port.
         api.delete(ApiServer::ADMIN, &s1).unwrap();
-        api.create(ApiServer::ADMIN, &s2, mk("s2", "scB", "stats")).unwrap();
+        api.create(ApiServer::ADMIN, &s2, mk("s2", "scB", "stats"))
+            .unwrap();
     }
 
     #[test]

@@ -55,8 +55,19 @@ impl Trace {
     }
 
     /// Appends an entry.
-    pub fn push(&mut self, t: Time, kind: TraceKind, subject: impl Into<String>, detail: impl Into<String>) {
-        self.entries.push(TraceEntry { t, kind, subject: subject.into(), detail: detail.into() });
+    pub fn push(
+        &mut self,
+        t: Time,
+        kind: TraceKind,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.entries.push(TraceEntry {
+            t,
+            kind,
+            subject: subject.into(),
+            detail: detail.into(),
+        });
     }
 
     /// All entries in order.
@@ -107,20 +118,31 @@ mod tests {
     #[test]
     fn push_and_query() {
         let mut tr = Trace::new();
-        tr.push(10, TraceKind::UserIntent, "Lamp/default/l1", ".control.power.intent");
+        tr.push(
+            10,
+            TraceKind::UserIntent,
+            "Lamp/default/l1",
+            ".control.power.intent",
+        );
         tr.push(20, TraceKind::DriverReconciled, "Lamp/default/l1", "");
         tr.push(30, TraceKind::DriverReconciled, "Lamp/default/l1", "");
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.of_kind(&TraceKind::DriverReconciled).count(), 2);
         assert_eq!(
-            tr.first_after(&TraceKind::DriverReconciled, "Lamp/default/l1", 15).unwrap().t,
+            tr.first_after(&TraceKind::DriverReconciled, "Lamp/default/l1", 15)
+                .unwrap()
+                .t,
             20
         );
         assert_eq!(
-            tr.last_of(&TraceKind::DriverReconciled, "Lamp/default/l1").unwrap().t,
+            tr.last_of(&TraceKind::DriverReconciled, "Lamp/default/l1")
+                .unwrap()
+                .t,
             30
         );
-        assert!(tr.first_after(&TraceKind::UserObserved, "Lamp/default/l1", 0).is_none());
+        assert!(tr
+            .first_after(&TraceKind::UserObserved, "Lamp/default/l1", 0)
+            .is_none());
         tr.clear();
         assert!(tr.is_empty());
     }

@@ -92,7 +92,10 @@ pub fn yield_(
     child: &ObjectRef,
     parent: &ObjectRef,
 ) -> Result<(), VerbError> {
-    let path = format!("{}.status", crate::model::replica_path(&child.kind, &child.name));
+    let path = format!(
+        "{}.status",
+        crate::model::replica_path(&child.kind, &child.name)
+    );
     api.patch_path(subject, parent, &path, MOUNT_YIELDED.into())?;
     Ok(())
 }
@@ -105,7 +108,10 @@ pub fn unyield(
     child: &ObjectRef,
     parent: &ObjectRef,
 ) -> Result<(), VerbError> {
-    let path = format!("{}.status", crate::model::replica_path(&child.kind, &child.name));
+    let path = format!(
+        "{}.status",
+        crate::model::replica_path(&child.kind, &child.name)
+    );
     api.patch_path(subject, parent, &path, MOUNT_ACTIVE.into())?;
     Ok(())
 }
@@ -143,11 +149,7 @@ pub fn set_intent(
 
 /// `pipe(A.out.x, B.in.x)`: creates the `Sync` object implementing the
 /// data flow. Returns the Sync object's reference (pass it to [`unpipe`]).
-pub fn pipe(
-    api: &mut ApiServer,
-    subject: &str,
-    spec: &SyncSpec,
-) -> Result<ObjectRef, VerbError> {
+pub fn pipe(api: &mut ApiServer, subject: &str, spec: &SyncSpec) -> Result<ObjectRef, VerbError> {
     if !spec.source_path.starts_with(".data.output") || !spec.target_path.starts_with(".data.input")
     {
         return Err(VerbError::Invalid(
@@ -212,16 +214,30 @@ mod tests {
         let graph = DigiGraph::new();
         let lamp = ObjectRef::default_ns("Lamp", "l1");
         let room = ObjectRef::default_ns("Room", "r1");
-        api.create(ApiServer::ADMIN, &lamp, digi("Lamp", "l1")).unwrap();
-        api.create(ApiServer::ADMIN, &room, digi("Room", "r1")).unwrap();
-        let st = mount(&mut api, &graph, ApiServer::ADMIN, &lamp, &room, MountMode::Hide).unwrap();
+        api.create(ApiServer::ADMIN, &lamp, digi("Lamp", "l1"))
+            .unwrap();
+        api.create(ApiServer::ADMIN, &room, digi("Room", "r1"))
+            .unwrap();
+        let st = mount(
+            &mut api,
+            &graph,
+            ApiServer::ADMIN,
+            &lamp,
+            &room,
+            MountMode::Hide,
+        )
+        .unwrap();
         assert_eq!(st, EdgeState::Active);
         assert_eq!(
-            api.get_path(ApiServer::ADMIN, &room, ".mount.Lamp.l1.mode").unwrap().as_str(),
+            api.get_path(ApiServer::ADMIN, &room, ".mount.Lamp.l1.mode")
+                .unwrap()
+                .as_str(),
             Some("hide")
         );
         assert_eq!(
-            api.get_path(ApiServer::ADMIN, &room, ".mount.Lamp.l1.status").unwrap().as_str(),
+            api.get_path(ApiServer::ADMIN, &room, ".mount.Lamp.l1.status")
+                .unwrap()
+                .as_str(),
             Some(MOUNT_ACTIVE)
         );
     }

@@ -16,7 +16,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use dspace_apiserver::{ApiServer, ObjectRef, Role, Rule, Verb, WatchEvent, WatchId};
+use dspace_apiserver::{
+    ApiServer, ObjectRef, Role, Rule, Verb, WatchEvent, WatchId, WatchSelector,
+};
 use dspace_simnet::{Link, Metrics, Rng, Sim};
 use dspace_value::Value;
 
@@ -58,7 +60,7 @@ pub struct DriverRuntime {
     /// Authenticated subject of this driver.
     pub subject: String,
     driver: Driver,
-    last_model: Value,
+    last_model: Rc<Value>,
     last_written: Option<u64>,
 }
 
@@ -66,7 +68,7 @@ pub struct DriverRuntime {
 /// visible to the user (the BPT endpoint of Figure 7).
 #[derive(Default)]
 struct UserCli {
-    cache: BTreeMap<ObjectRef, Value>,
+    cache: BTreeMap<ObjectRef, Rc<Value>>,
 }
 
 enum Component {
@@ -112,14 +114,27 @@ impl World {
         api.register_webhook(Box::new(TopologyWebhook::new(graph.clone())));
         // Controller and user roles (§3.6): controllers get broad access;
         // the user (home owner) gets full access to digi models.
-        api.rbac_mut().add_role(Role::new("controller", vec![Rule::allow_all()]));
-        for subject in [crate::mounter::SUBJECT, crate::syncer::SUBJECT, crate::policer::SUBJECT] {
+        api.rbac_mut()
+            .add_role(Role::new("controller", vec![Rule::allow_all()]));
+        for subject in [
+            crate::mounter::SUBJECT,
+            crate::syncer::SUBJECT,
+            crate::policer::SUBJECT,
+        ] {
             api.rbac_mut().bind(subject, "controller");
         }
         api.rbac_mut().add_role(Role::new(
             "home-owner",
             vec![Rule::new(
-                [Verb::Get, Verb::List, Verb::Watch, Verb::Patch, Verb::Create, Verb::Update, Verb::Delete],
+                [
+                    Verb::Get,
+                    Verb::List,
+                    Verb::Watch,
+                    Verb::Patch,
+                    Verb::Create,
+                    Verb::Update,
+                    Verb::Delete,
+                ],
                 ["*"],
                 ["*"],
             )],
@@ -138,18 +153,51 @@ impl World {
         };
         let controller_link = world.links.controller.clone();
         let user_link = world.links.user.clone();
-        world.add_slot("mounter", controller_link.clone(), Component::Mounter(Mounter::new(graph.clone())));
-        world.add_slot("syncer", controller_link.clone(), Component::Syncer(Syncer::new()));
-        world.add_slot("policer", controller_link, Component::Policer(Policer::new(graph)));
-        world.add_slot("user-cli", user_link, Component::User(UserCli::default()));
+        // Controllers and the user CLI genuinely need the global view; digi
+        // drivers (added later) subscribe to exactly their own object.
+        world.add_slot(
+            "mounter",
+            ApiServer::ADMIN,
+            WatchSelector::All,
+            controller_link.clone(),
+            Component::Mounter(Mounter::new(graph.clone())),
+        );
+        world.add_slot(
+            "syncer",
+            ApiServer::ADMIN,
+            WatchSelector::All,
+            controller_link.clone(),
+            Component::Syncer(Syncer::new()),
+        );
+        world.add_slot(
+            "policer",
+            ApiServer::ADMIN,
+            WatchSelector::All,
+            controller_link,
+            Component::Policer(Policer::new(graph)),
+        );
+        world.add_slot(
+            "user-cli",
+            "user",
+            WatchSelector::All,
+            user_link,
+            Component::User(UserCli::default()),
+        );
         world
     }
 
-    fn add_slot(&mut self, name: &str, link: Link, kind: Component) {
+    fn add_slot(
+        &mut self,
+        name: &str,
+        subject: &str,
+        selector: WatchSelector,
+        link: Link,
+        kind: Component,
+    ) {
         let watch = self
             .api
-            .watch(ApiServer::ADMIN, None)
-            .expect("admin watch is always authorized");
+            .watch_selector(subject, selector)
+            .expect("component subject authorized to watch its selector");
         self.slots.push(ComponentSlot {
             name: name.to_string(),
             watch,
@@ -165,30 +213,30 @@ impl World {
         let role = format!("digi:{}", oref.name);
         self.api.rbac_mut().add_role(Role::new(
             role.clone(),
-            vec![
-                // A digi driver may only access its own model (§3.6)...
-                Rule::for_object(
-                    [Verb::Get, Verb::Update, Verb::Patch],
-                    oref.kind.clone(),
-                    oref.name.clone(),
-                ),
-                // ...plus watch access to receive its own change stream.
-                Rule::new([Verb::Watch], ["*"], ["*"]),
-            ],
+            // A digi driver may only access its own model (§3.6) — the
+            // Watch verb included, so its subscription can cover nothing
+            // beyond its own change stream.
+            vec![Rule::for_object(
+                [Verb::Get, Verb::Update, Verb::Patch, Verb::Watch],
+                oref.kind.clone(),
+                oref.name.clone(),
+            )],
         ));
         self.api.rbac_mut().bind(subject.clone(), role);
         let last_model = self
             .api
             .get(ApiServer::ADMIN, &oref)
-            .map(|o| o.model)
-            .unwrap_or(Value::Null);
+            .map(|o| Rc::new(o.model))
+            .unwrap_or_else(|_| Rc::new(Value::Null));
         let link = self.links.driver.clone();
         self.add_slot(
             &format!("driver:{}", oref.name),
+            &subject,
+            WatchSelector::Object(oref.clone()),
             link,
             Component::Driver(DriverRuntime {
                 oref,
-                subject,
+                subject: subject.clone(),
                 driver,
                 last_model,
                 last_written: None,
@@ -269,7 +317,11 @@ impl World {
             }
             Component::User(u) => {
                 for ev in &events {
-                    let old = u.cache.get(&ev.oref).cloned().unwrap_or(Value::Null);
+                    let old = u
+                        .cache
+                        .get(&ev.oref)
+                        .cloned()
+                        .unwrap_or_else(|| Rc::new(Value::Null));
                     let changes = dspace_value::diff(&old, &ev.model);
                     let detail = changes
                         .iter()
@@ -277,7 +329,12 @@ impl World {
                         .map(|c| c.path.to_string())
                         .collect::<Vec<_>>()
                         .join(";");
-                    self.trace.push(sim.now(), TraceKind::UserObserved, ev.oref.to_string(), detail);
+                    self.trace.push(
+                        sim.now(),
+                        TraceKind::UserObserved,
+                        ev.oref.to_string(),
+                        detail,
+                    );
                     u.cache.insert(ev.oref.clone(), ev.model.clone());
                 }
             }
@@ -286,10 +343,19 @@ impl World {
     }
 
     /// Runs a driver's reconciliation cycles for a batch of events.
-    fn drive(world: &mut World, rt: &mut DriverRuntime, events: &[WatchEvent], sim: &mut Sim<World>) {
+    fn drive(
+        world: &mut World,
+        rt: &mut DriverRuntime,
+        events: &[WatchEvent],
+        sim: &mut Sim<World>,
+    ) {
         for ev in events {
             if ev.oref != rt.oref {
-                continue; // A driver only accesses its own model (§4.2).
+                // With per-object subscriptions this never fires; the
+                // counter exists so tests/benches can assert drivers no
+                // longer receive (and discard) other digis' events.
+                world.metrics.count("driver_foreign_events", 1);
+                continue;
             }
             if ev.kind == dspace_apiserver::WatchEventKind::Deleted {
                 continue;
@@ -347,7 +413,7 @@ impl World {
             }
             // Commit the reconciled model with OCC; a conflict means a
             // newer event is already queued and will retrigger the cycle.
-            if result.model != ev.model {
+            if result.model != *ev.model {
                 match world.api.update(
                     &rt.subject,
                     &rt.oref,
@@ -356,7 +422,7 @@ impl World {
                 ) {
                     Ok(rv) => {
                         rt.last_written = Some(rv);
-                        rt.last_model = result.model;
+                        rt.last_model = Rc::new(result.model);
                     }
                     Err(dspace_apiserver::ApiError::Conflict { .. }) => {
                         world.metrics.count("reconcile_conflicts", 1);
@@ -382,7 +448,9 @@ impl World {
             self.metrics.count("commands_without_actuator", 1);
             return;
         };
-        let Some(mut actuator) = slot.take() else { return };
+        let Some(mut actuator) = slot.take() else {
+            return;
+        };
         let acts = actuator.actuate(sim.now(), &cmd, &mut self.rng);
         let name = actuator.name().to_string();
         *self.actuators.get_mut(&oref).expect("slot exists") = Some(actuator);
@@ -392,8 +460,12 @@ impl World {
     /// Periodic device poll: spontaneous physical events (motion, manual
     /// toggles, robot movement) surface here.
     fn device_tick(&mut self, oref: ObjectRef, sim: &mut Sim<World>) {
-        let Some(slot) = self.actuators.get_mut(&oref) else { return };
-        let Some(mut actuator) = slot.take() else { return };
+        let Some(slot) = self.actuators.get_mut(&oref) else {
+            return;
+        };
+        let Some(mut actuator) = slot.take() else {
+            return;
+        };
         let model = self
             .api
             .get(ApiServer::ADMIN, &oref)
@@ -420,11 +492,17 @@ impl World {
     ) {
         for act in acts {
             if act.bytes > 0 {
-                self.metrics.count(&format!("bytes:{device}"), act.bytes as u64);
+                self.metrics
+                    .count(&format!("bytes:{device}"), act.bytes as u64);
             }
             // Pure bandwidth-accounting actuations carry no model change;
             // committing them would spam every watcher with no-op events.
-            if act.patch.as_object().map(|m| m.is_empty()).unwrap_or(act.patch.is_null()) {
+            if act
+                .patch
+                .as_object()
+                .map(|m| m.is_empty())
+                .unwrap_or(act.patch.is_null())
+            {
                 continue;
             }
             let target = oref.clone();
@@ -439,7 +517,8 @@ impl World {
                         target.to_string(),
                         format!("{dev} {delay_ms:.1}ms"),
                     );
-                    w.metrics.record(&format!("dt_ms:{}", target.name), delay_ms);
+                    w.metrics
+                        .record(&format!("dt_ms:{}", target.name), delay_ms);
                 }
             });
         }

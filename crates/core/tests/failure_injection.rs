@@ -17,7 +17,11 @@ struct FlakyActuator {
 
 impl FlakyActuator {
     fn new(inner: EchoActuator, drop_n: usize) -> Self {
-        FlakyActuator { inner, drop_n, dropped: 0 }
+        FlakyActuator {
+            inner,
+            drop_n,
+            dropped: 0,
+        }
     }
 }
 
@@ -30,7 +34,9 @@ impl Actuator for FlakyActuator {
         if self.dropped < self.drop_n {
             self.dropped += 1;
             let mut patch = dspace_value::obj();
-            patch.set(&".obs.reason".parse().unwrap(), "DISCONNECT".into()).unwrap();
+            patch
+                .set(&".obs.reason".parse().unwrap(), "DISCONNECT".into())
+                .unwrap();
             return vec![Actuation::new(millis(50), patch)];
         }
         self.inner.actuate(now, cmd, rng)
@@ -54,7 +60,10 @@ fn lamp_space(drop_n: usize) -> Space {
     let lamp = space.create_digi("Lamp", "l1", d).unwrap();
     space.attach_actuator(
         &lamp,
-        Box::new(FlakyActuator::new(EchoActuator::new("echo", millis(300)), drop_n)),
+        Box::new(FlakyActuator::new(
+            EchoActuator::new("echo", millis(300)),
+            drop_n,
+        )),
     );
     space
 }
@@ -109,9 +118,11 @@ spec:
         )
         .unwrap();
     space.run_for_ms(500);
-    space
-        .world
-        .physical_event(&sensor, dspace_value::json::parse(r#"{"obs": {"alarm": true}}"#).unwrap(), &space.sim);
+    space.world.physical_event(
+        &sensor,
+        dspace_value::json::parse(r#"{"obs": {"alarm": true}}"#).unwrap(),
+        &space.sim,
+    );
     space.pump();
     space.run_for_ms(2_000);
     let failures: Vec<_> = space
@@ -123,14 +134,18 @@ spec:
         .collect();
     assert_eq!(failures.len(), 1, "failure should be traced once");
     // The policer is still alive: clearing and re-raising fires again.
-    space
-        .world
-        .physical_event(&sensor, dspace_value::json::parse(r#"{"obs": {"alarm": false}}"#).unwrap(), &space.sim);
+    space.world.physical_event(
+        &sensor,
+        dspace_value::json::parse(r#"{"obs": {"alarm": false}}"#).unwrap(),
+        &space.sim,
+    );
     space.pump();
     space.run_for_ms(1_000);
-    space
-        .world
-        .physical_event(&sensor, dspace_value::json::parse(r#"{"obs": {"alarm": true}}"#).unwrap(), &space.sim);
+    space.world.physical_event(
+        &sensor,
+        dspace_value::json::parse(r#"{"obs": {"alarm": true}}"#).unwrap(),
+        &space.sim,
+    );
     space.pump();
     space.run_for_ms(1_000);
     let failures = space
@@ -173,7 +188,9 @@ fn deleting_a_mounted_child_is_survivable() {
     );
     let lamp = space.create_digi("Lamp", "l1", Driver::new()).unwrap();
     let room = space.create_digi("Room", "r1", Driver::new()).unwrap();
-    space.mount(&lamp, &room, dspace_core::graph::MountMode::Expose).unwrap();
+    space
+        .mount(&lamp, &room, dspace_core::graph::MountMode::Expose)
+        .unwrap();
     space.run_for_ms(1_000);
     // The digi disappears (e.g. decommissioned) while still mounted.
     space

@@ -34,7 +34,11 @@ fn expose_mode_reveals_grandchild_replicas() {
     let nested = space
         .world
         .api
-        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.mount.Node.gc")
+        .get_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.mount.Node.gc",
+        )
         .unwrap();
     assert!(!nested.is_null(), "grandchild replica should be exposed");
 }
@@ -45,7 +49,11 @@ fn hide_mode_conceals_grandchild_replicas() {
     let nested = space
         .world
         .api
-        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.mount")
+        .get_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.mount",
+        )
         .unwrap();
     assert!(
         nested.is_null(),
@@ -55,7 +63,11 @@ fn hide_mode_conceals_grandchild_replicas() {
     let control = space
         .world
         .api
-        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.control")
+        .get_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.control",
+        )
         .unwrap();
     assert!(!control.is_null());
 }
@@ -103,9 +115,16 @@ fn status_never_flows_southbound() {
     let replica_status = space
         .world
         .api
-        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.control.level.status")
+        .get_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.control.level.status",
+        )
         .unwrap();
-    assert!(replica_status.is_null(), "replica should be repaired, got {replica_status}");
+    assert!(
+        replica_status.is_null(),
+        "replica should be repaired, got {replica_status}"
+    );
 }
 
 #[test]
@@ -120,7 +139,11 @@ fn child_intent_flows_northbound_for_reconciliation() {
     let replica_intent = space
         .world
         .api
-        .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.control.level.intent")
+        .get_path(
+            dspace_apiserver::ApiServer::ADMIN,
+            &pa,
+            ".mount.Node.ch.control.level.intent",
+        )
         .unwrap();
     assert_eq!(replica_intent.as_f64(), Some(0.7));
 }
@@ -132,7 +155,11 @@ fn replica_tracks_child_generation() {
         space
             .world
             .api
-            .get_path(dspace_apiserver::ApiServer::ADMIN, &pa, ".mount.Node.ch.gen")
+            .get_path(
+                dspace_apiserver::ApiServer::ADMIN,
+                &pa,
+                ".mount.Node.ch.gen",
+            )
             .unwrap()
             .as_f64()
             .unwrap()
@@ -141,7 +168,10 @@ fn replica_tracks_child_generation() {
     space.set_intent_now("ch/level", 0.3.into()).unwrap();
     space.run_for_ms(2_000);
     let g2 = read_gen(&space);
-    assert!(g2 > g1, "replica gen must advance with the child ({g1} -> {g2})");
+    assert!(
+        g2 > g1,
+        "replica gen must advance with the child ({g1} -> {g2})"
+    );
 }
 
 #[test]
@@ -188,4 +218,92 @@ fn parent_write_survives_concurrent_child_update() {
     // Both effects land: the child has the parent's intent AND the obs.
     assert_eq!(space.intent("ch/level").unwrap().as_f64(), Some(0.55));
     assert_eq!(space.obs("ch/note").unwrap().as_str(), Some("concurrent"));
+}
+
+#[test]
+fn stale_replica_does_not_sync_southbound() {
+    // The §5.2 version gate, driven directly: a replica whose `gen` lags
+    // the child's model version carries decisions made against an outdated
+    // view, and must NOT be written southbound until the northbound
+    // refresh has landed.
+    use dspace_apiserver::{ApiServer, ObjectRef, Role, Rule};
+    use dspace_core::mounter::{Mounter, SUBJECT};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut api = ApiServer::new();
+    api.rbac_mut()
+        .add_role(Role::new("controller", vec![Rule::allow_all()]));
+    api.rbac_mut().bind(SUBJECT, "controller");
+    let admin = ApiServer::ADMIN;
+    let w = api.watch(admin, None).unwrap();
+
+    let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
+    let mut mounter = Mounter::new(graph.clone());
+
+    let ch = ObjectRef::default_ns("Node", "ch");
+    let pa = ObjectRef::default_ns("Node", "pa");
+    let model = |name: &str| {
+        dspace_value::json::parse(&format!(
+            r#"{{"meta": {{"kind": "Node", "name": "{name}", "namespace": "default"}},
+                 "control": {{"level": {{}}}}}}"#
+        ))
+        .unwrap()
+    };
+    api.create(admin, &ch, model("ch")).unwrap();
+    api.create(admin, &pa, model("pa")).unwrap();
+    graph.borrow_mut().mount(&ch, &pa, MountMode::Hide).unwrap();
+
+    // The child moves ahead: its model version advances past the replica.
+    api.patch_path(admin, &ch, ".obs.note", "v2".into())
+        .unwrap();
+    api.patch_path(admin, &ch, ".obs.note", "v3".into())
+        .unwrap();
+    let child_gen = api
+        .get_path(admin, &ch, ".meta.gen")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(child_gen > 1.0);
+
+    // Drain the setup events so the mounter's next batch contains only
+    // the parent's stale write (no child event to refresh from first).
+    api.poll(w);
+
+    // The parent holds a STALE replica (gen 1, from before the child
+    // moved) carrying an intent decided against that outdated view.
+    let replica = dspace_value::json::parse(
+        r#"{"mode": "hide", "status": "active", "gen": 1,
+            "control": {"level": {"intent": 0.9}}}"#,
+    )
+    .unwrap();
+    api.patch_path(admin, &pa, ".mount.Node.ch", replica)
+        .unwrap();
+
+    let mut trace = dspace_core::Trace::new();
+    let events = api.poll(w);
+    mounter.process(&mut api, &events, &mut trace, 0);
+    assert!(
+        api.get_path(admin, &ch, ".control.level.intent")
+            .unwrap()
+            .is_null(),
+        "stale replica (gen 1 < child gen {child_gen}) must not sync southbound"
+    );
+
+    // The northbound refresh advanced the replica's gen; the parent's
+    // still-pending intent syncs on the next event round — the gate delays
+    // it, it doesn't lose it.
+    for _ in 0..8 {
+        let events = api.poll(w);
+        if events.is_empty() {
+            break;
+        }
+        mounter.process(&mut api, &events, &mut trace, 0);
+    }
+    assert_eq!(
+        api.get_path(admin, &ch, ".control.level.intent")
+            .unwrap()
+            .as_f64(),
+        Some(0.9)
+    );
 }

@@ -48,7 +48,8 @@ fn room_driver() -> Driver {
             for n in &names {
                 let cur = ctx.digi().replica("Lamp", n, ".control.brightness.intent");
                 if cur.as_f64() != Some(t) {
-                    ctx.digi().set_replica("Lamp", n, ".control.brightness.intent", t.into());
+                    ctx.digi()
+                        .set_replica("Lamp", n, ".control.brightness.intent", t.into());
                 }
             }
         }
@@ -115,14 +116,20 @@ fn room_brightness_fans_out_to_all_lamps() {
     space.run_for_ms(5_000);
     for i in 0..3 {
         assert_eq!(
-            space.status(&format!("lamp{i}/brightness")).unwrap().as_f64(),
+            space
+                .status(&format!("lamp{i}/brightness"))
+                .unwrap()
+                .as_f64(),
             Some(0.8),
             "lamp{i} did not converge"
         );
     }
     // Room status aggregates back (within float rounding of the mean).
     let room_status = space.status("room/brightness").unwrap().as_f64().unwrap();
-    assert!((room_status - 0.8).abs() < 1e-9, "room status {room_status}");
+    assert!(
+        (room_status - 0.8).abs() < 1e-9,
+        "room status {room_status}"
+    );
 }
 
 #[test]
@@ -131,12 +138,17 @@ fn adding_a_lamp_later_converges_to_room_intent() {
     space.set_intent("room/brightness", 0.5.into()).unwrap();
     space.run_for_ms(5_000);
     // A third lamp joins (S1's "later, the user adds L3").
-    let lamp = space.create_digi("Lamp", "lamp-late", lamp_driver()).unwrap();
+    let lamp = space
+        .create_digi("Lamp", "lamp-late", lamp_driver())
+        .unwrap();
     space.attach_actuator(&lamp, Box::new(EchoActuator::new("echo-lamp", millis(400))));
     let room = space.resolve("room").unwrap();
     space.mount(&lamp, &room, MountMode::Expose).unwrap();
     space.run_for_ms(5_000);
-    assert_eq!(space.status("lamp-late/brightness").unwrap().as_f64(), Some(0.5));
+    assert_eq!(
+        space.status("lamp-late/brightness").unwrap().as_f64(),
+        Some(0.5)
+    );
 }
 
 #[test]
@@ -175,13 +187,17 @@ fn yielded_parent_cannot_write_but_still_reads() {
     // Parent sets room brightness; the lamp must NOT move.
     space.set_intent("room/brightness", 0.9.into()).unwrap();
     space.run_for_ms(4_000);
-    assert_ne!(space.intent("lamp0/brightness").unwrap().as_f64(), Some(0.9));
+    assert_ne!(
+        space.intent("lamp0/brightness").unwrap().as_f64(),
+        Some(0.9)
+    );
     // But status still flows northbound into the replica.
-    space.physical_event(
-        "lamp0",
-        dspace_value::json::parse(r#"{"control": {"power": {"status": "on"}}}"#).unwrap(),
-    )
-    .unwrap();
+    space
+        .physical_event(
+            "lamp0",
+            dspace_value::json::parse(r#"{"control": {"power": {"status": "on"}}}"#).unwrap(),
+        )
+        .unwrap();
     space.run_for_ms(2_000);
     assert_eq!(
         space
@@ -218,8 +234,14 @@ fn reflex_added_at_runtime_changes_behaviour() {
         )
         .unwrap();
     space.run_for_ms(3_000);
-    assert_eq!(space.intent("lamp0/brightness").unwrap().as_f64(), Some(1.0));
-    assert_eq!(space.status("lamp0/brightness").unwrap().as_f64(), Some(1.0));
+    assert_eq!(
+        space.intent("lamp0/brightness").unwrap().as_f64(),
+        Some(1.0)
+    );
+    assert_eq!(
+        space.status("lamp0/brightness").unwrap().as_f64(),
+        Some(1.0)
+    );
 }
 
 #[test]
@@ -257,4 +279,42 @@ fn trace_supports_fpt_dt_decomposition() {
     let dt = (done.t - cmd.t) as f64 / 1e6;
     assert!(fpt > 0.0 && fpt < 100.0, "fpt={fpt}ms");
     assert!((399.0..=401.0).contains(&dt), "dt={dt}ms");
+}
+
+#[test]
+fn drivers_receive_no_foreign_events() {
+    // With per-object watch subscriptions, a busy multi-digi space never
+    // delivers one digi's events to another digi's driver.
+    let (mut space, _lamps) = build_room_with_lamps(4);
+    space.set_intent("room/brightness", 0.6.into()).unwrap();
+    space.run_for_ms(6_000);
+    // Plenty of cross-digi traffic happened...
+    assert_eq!(
+        space.status("lamp0/brightness").unwrap().as_f64(),
+        Some(0.6)
+    );
+    // ...but no driver ever saw an event for a model other than its own.
+    assert_eq!(
+        space.world.metrics.counter("driver_foreign_events"),
+        0,
+        "drivers must only receive their own model's events"
+    );
+}
+
+#[test]
+fn settle_returns_early_when_quiescent() {
+    // Without periodic device ticks the event queue drains completely;
+    // settle must stop there instead of burning the whole budget.
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(lamp_schema());
+    space.create_digi("Lamp", "solo", lamp_driver()).unwrap();
+    space.set_intent("solo/power", "on".into()).unwrap();
+    space.settle(60_000);
+    assert!(
+        space.now_ms() < 1_000.0,
+        "settle burned virtual time past quiescence: now={}ms",
+        space.now_ms()
+    );
+    // Quiescent means quiescent: nothing is pending anywhere.
+    assert!(!space.world.has_pending_work());
 }

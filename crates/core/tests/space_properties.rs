@@ -35,8 +35,7 @@ fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
 fn build() -> Space {
     let mut space = Space::new(SpaceConfig::default());
     space.register_kind(
-        KindSchema::digivice("digi.dev", "v1", "Lamp")
-            .control("brightness", AttrType::Number),
+        KindSchema::digivice("digi.dev", "v1", "Lamp").control("brightness", AttrType::Number),
     );
     let mut d = Driver::new();
     d.on(Filter::on_control(), 0, "actuate", |ctx| {

@@ -15,7 +15,9 @@ use crate::access::AccessPath;
 fn status_patch(pairs: &[(&str, Value)]) -> Value {
     let mut patch = dspace_value::obj();
     for (attr, v) in pairs {
-        let p = format!(".control.{attr}.status").parse().expect("attr path");
+        let p = format!(".control.{attr}.status")
+            .parse()
+            .expect("attr path");
         patch.set(&p, v.clone()).expect("object");
     }
     patch
@@ -41,7 +43,11 @@ impl GeeniLamp {
 
     /// Creates a lamp that is off.
     pub fn new() -> Self {
-        GeeniLamp { power: false, brightness: Self::BRI_MIN, settle: dspace_simnet::millis(380) }
+        GeeniLamp {
+            power: false,
+            brightness: Self::BRI_MIN,
+            settle: dspace_simnet::millis(380),
+        }
     }
 
     /// Current power state.
@@ -67,7 +73,9 @@ impl Actuator for GeeniLamp {
     }
 
     fn actuate(&mut self, _now: Time, cmd: &Value, rng: &mut Rng) -> Vec<Actuation> {
-        let Some(dps) = cmd.get_path(".dps") else { return Vec::new() };
+        let Some(dps) = cmd.get_path(".dps") else {
+            return Vec::new();
+        };
         let mut changed = Vec::new();
         if let Some(p) = dps.get_path("1").and_then(Value::as_bool) {
             self.power = p;
@@ -102,7 +110,12 @@ pub struct LifxLamp {
 impl LifxLamp {
     /// Creates a lamp that is off at 3500 K.
     pub fn new() -> Self {
-        LifxLamp { power: 0, brightness: 0, kelvin: 3500, settle: dspace_simnet::millis(350) }
+        LifxLamp {
+            power: 0,
+            brightness: 0,
+            kelvin: 3500,
+            settle: dspace_simnet::millis(350),
+        }
     }
 
     /// Current 16-bit power value (0 or 65535).
@@ -172,7 +185,13 @@ pub struct HueLamp {
 impl HueLamp {
     /// Creates a bulb that is off.
     pub fn new() -> Self {
-        HueLamp { on: false, bri: 0, hue: 8402, sat: 140, settle: dspace_simnet::millis(300) }
+        HueLamp {
+            on: false,
+            bri: 0,
+            hue: 8402,
+            sat: 140,
+            settle: dspace_simnet::millis(300),
+        }
     }
 
     /// Current on/off state.
@@ -249,11 +268,19 @@ mod tests {
         assert!(lamp.power());
         assert_eq!(lamp.brightness(), 800);
         assert_eq!(
-            acts[0].patch.get_path(".control.power.status").unwrap().as_str(),
+            acts[0]
+                .patch
+                .get_path(".control.power.status")
+                .unwrap()
+                .as_str(),
             Some("on")
         );
         assert_eq!(
-            acts[0].patch.get_path(".control.brightness.status").unwrap().as_f64(),
+            acts[0]
+                .patch
+                .get_path(".control.brightness.status")
+                .unwrap()
+                .as_f64(),
             Some(800.0)
         );
         // DT includes LAN RPC + settle, i.e. hundreds of ms.

@@ -23,7 +23,11 @@ pub struct WyzeCam {
 impl WyzeCam {
     /// Creates a camera that will publish `rtsp://<host>/live`.
     pub fn new(host: impl Into<String>) -> Self {
-        WyzeCam { url: format!("rtsp://{}/live", host.into()), online: false, bitrate_bps: 4.3e6 }
+        WyzeCam {
+            url: format!("rtsp://{}/live", host.into()),
+            online: false,
+            bitrate_bps: 4.3e6,
+        }
     }
 
     /// The camera's stream URL.
@@ -50,9 +54,14 @@ impl Actuator for WyzeCam {
         self.online = true;
         let mut patch = dspace_value::obj();
         patch
-            .set(&".data.output.url".parse().unwrap(), Value::from(self.url.as_str()))
+            .set(
+                &".data.output.url".parse().unwrap(),
+                Value::from(self.url.as_str()),
+            )
             .unwrap();
-        patch.set(&".obs.online".parse().unwrap(), true.into()).unwrap();
+        patch
+            .set(&".obs.online".parse().unwrap(), true.into())
+            .unwrap();
         vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), patch)]
     }
 
@@ -78,7 +87,11 @@ pub struct BoseSpeaker {
 impl BoseSpeaker {
     /// Creates a paused speaker at volume 30.
     pub fn new() -> Self {
-        BoseSpeaker { playing: false, volume: 30, source_url: String::new() }
+        BoseSpeaker {
+            playing: false,
+            volume: 30,
+            source_url: String::new(),
+        }
     }
 
     /// Whether audio is playing.
@@ -128,14 +141,20 @@ impl Actuator for BoseSpeaker {
         if let Some(v) = cmd.get_path(".volume").and_then(Value::as_f64) {
             self.volume = v.clamp(0.0, 100.0) as u8;
             patch
-                .set(&".control.volume.status".parse().unwrap(), Value::from(self.volume as f64))
+                .set(
+                    &".control.volume.status".parse().unwrap(),
+                    Value::from(self.volume as f64),
+                )
                 .unwrap();
             changed = true;
         }
         if let Some(url) = cmd.get_path(".source_url").and_then(Value::as_str) {
             self.source_url = url.to_string();
             patch
-                .set(&".control.source_url.status".parse().unwrap(), Value::from(url))
+                .set(
+                    &".control.source_url.status".parse().unwrap(),
+                    Value::from(url),
+                )
                 .unwrap();
             changed = true;
         }
@@ -160,7 +179,11 @@ mod tests {
         let first = cam.step(0, &Value::Null, &mut rng);
         assert_eq!(first.len(), 1);
         assert_eq!(
-            first[0].patch.get_path(".data.output.url").unwrap().as_str(),
+            first[0]
+                .patch
+                .get_path(".data.output.url")
+                .unwrap()
+                .as_str(),
             Some("rtsp://10.0.0.42/live")
         );
         // Subsequent polls account bandwidth only.
@@ -181,7 +204,11 @@ mod tests {
         // Cloud relay: notably slower than LAN devices.
         assert!(acts[0].delay > millis(300), "delay={}", acts[0].delay);
         assert_eq!(
-            acts[0].patch.get_path(".control.mode.status").unwrap().as_str(),
+            acts[0]
+                .patch
+                .get_path(".control.mode.status")
+                .unwrap()
+                .as_str(),
             Some("play")
         );
     }

@@ -25,7 +25,13 @@ pub struct TeckinPlug {
 impl TeckinPlug {
     /// Creates a plug that is off, with a given attached load.
     pub fn new(load_w: f64) -> Self {
-        TeckinPlug { on: false, load_w, energy_wh: 0.0, last_tick: 0, report_phase: 0 }
+        TeckinPlug {
+            on: false,
+            load_w,
+            energy_wh: 0.0,
+            last_tick: 0,
+            report_phase: 0,
+        }
     }
 
     /// Whether the relay is closed.
@@ -56,7 +62,10 @@ impl Actuator for TeckinPlug {
                 Value::from(if p { "on" } else { "off" }),
             )
             .unwrap();
-        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng) + millis(150), patch)]
+        vec![Actuation::new(
+            AccessPath::Lan.rpc_delay(rng) + millis(150),
+            patch,
+        )]
     }
 
     fn step(&mut self, now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
@@ -66,11 +75,13 @@ impl Actuator for TeckinPlug {
             self.energy_wh += self.load_w * elapsed_h;
         }
         self.report_phase += 1;
-        if self.report_phase % 10 != 0 {
+        if !self.report_phase.is_multiple_of(10) {
             return Vec::new();
         }
         let mut patch = dspace_value::obj();
-        patch.set(&".obs.energy_wh".parse().unwrap(), self.energy_wh.into()).unwrap();
+        patch
+            .set(&".obs.energy_wh".parse().unwrap(), self.energy_wh.into())
+            .unwrap();
         patch
             .set(
                 &".obs.power_w".parse().unwrap(),
@@ -95,10 +106,18 @@ mod tests {
     fn tuya_dps_switches_relay() {
         let mut plug = TeckinPlug::new(60.0);
         let mut rng = Rng::new(1);
-        let acts = plug.actuate(0, &json::parse(r#"{"dps": {"1": true}}"#).unwrap(), &mut rng);
+        let acts = plug.actuate(
+            0,
+            &json::parse(r#"{"dps": {"1": true}}"#).unwrap(),
+            &mut rng,
+        );
         assert!(plug.is_on());
         assert_eq!(
-            acts[0].patch.get_path(".control.power.status").unwrap().as_str(),
+            acts[0]
+                .patch
+                .get_path(".control.power.status")
+                .unwrap()
+                .as_str(),
             Some("on")
         );
         assert!(plug
@@ -112,9 +131,17 @@ mod tests {
         let mut rng = Rng::new(2);
         plug.step(secs(1800), &Value::Null, &mut rng); // 30 min off
         assert_eq!(plug.energy_wh(), 0.0);
-        plug.actuate(secs(1800), &json::parse(r#"{"dps": {"1": true}}"#).unwrap(), &mut rng);
+        plug.actuate(
+            secs(1800),
+            &json::parse(r#"{"dps": {"1": true}}"#).unwrap(),
+            &mut rng,
+        );
         plug.step(secs(5400), &Value::Null, &mut rng); // 60 min on at 120 W
-        assert!((plug.energy_wh() - 120.0).abs() < 1.0, "wh={}", plug.energy_wh());
+        assert!(
+            (plug.energy_wh() - 120.0).abs() < 1.0,
+            "wh={}",
+            plug.energy_wh()
+        );
     }
 
     #[test]

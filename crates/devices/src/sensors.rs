@@ -69,13 +69,11 @@ impl Actuator for RingMotionSensor {
         if let Some(mean) = self.poisson_mean_s {
             match self.next_poisson {
                 None => {
-                    self.next_poisson =
-                        Some(now + (rng.exponential(mean) * 1e9) as Time);
+                    self.next_poisson = Some(now + (rng.exponential(mean) * 1e9) as Time);
                 }
                 Some(t) if t <= now => {
                     fired = true;
-                    self.next_poisson =
-                        Some(now + (rng.exponential(mean) * 1e9) as Time);
+                    self.next_poisson = Some(now + (rng.exponential(mean) * 1e9) as Time);
                 }
                 _ => {}
             }
@@ -86,10 +84,19 @@ impl Actuator for RingMotionSensor {
         self.battery_pct = (self.battery_pct - 0.01).max(0.0);
         let mut patch = dspace_value::obj();
         let now_s = now as f64 / 1e9;
-        patch.set(&".obs.last_triggered_time".parse().unwrap(), now_s.into()).unwrap();
-        patch.set(&".obs.motion".parse().unwrap(), true.into()).unwrap();
-        patch.set(&".obs.battery".parse().unwrap(), self.battery_pct.into()).unwrap();
-        vec![Actuation::new(AccessPath::Basestation.rpc_delay(rng), patch)]
+        patch
+            .set(&".obs.last_triggered_time".parse().unwrap(), now_s.into())
+            .unwrap();
+        patch
+            .set(&".obs.motion".parse().unwrap(), true.into())
+            .unwrap();
+        patch
+            .set(&".obs.battery".parse().unwrap(), self.battery_pct.into())
+            .unwrap();
+        vec![Actuation::new(
+            AccessPath::Basestation.rpc_delay(rng),
+            patch,
+        )]
     }
 
     fn poll_interval(&self) -> Option<Time> {
@@ -115,7 +122,12 @@ pub struct DysonFan {
 impl DysonFan {
     /// Creates a stopped fan.
     pub fn new() -> Self {
-        DysonFan { speed: 0, heat_target_dk: 2930, heating: false, aq_phase: 0 }
+        DysonFan {
+            speed: 0,
+            heat_target_dk: 2930,
+            heating: false,
+            aq_phase: 0,
+        }
     }
 
     /// Current fan speed (0–10).
@@ -177,18 +189,23 @@ impl Actuator for DysonFan {
         for (path, v) in changed {
             patch.set(&path.parse().unwrap(), v).unwrap();
         }
-        vec![Actuation::new(AccessPath::Lan.rpc_delay(rng) + millis(320), patch)]
+        vec![Actuation::new(
+            AccessPath::Lan.rpc_delay(rng) + millis(320),
+            patch,
+        )]
     }
 
     fn step(&mut self, _now: Time, _model: &Value, rng: &mut Rng) -> Vec<Actuation> {
         // Air-quality report every ~10 ticks.
         self.aq_phase += 1;
-        if self.aq_phase % 10 != 0 {
+        if !self.aq_phase.is_multiple_of(10) {
             return Vec::new();
         }
         let pm25 = 5.0 + rng.uniform(0.0, 20.0);
         let mut patch = dspace_value::obj();
-        patch.set(&".obs.pm25".parse().unwrap(), pm25.into()).unwrap();
+        patch
+            .set(&".obs.pm25".parse().unwrap(), pm25.into())
+            .unwrap();
         vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), patch)]
     }
 
@@ -206,16 +223,27 @@ mod tests {
     fn scripted_motion_fires_at_schedule() {
         let mut sensor = RingMotionSensor::with_schedule(vec![dspace_simnet::secs(5)]);
         let mut rng = Rng::new(1);
-        assert!(sensor.step(dspace_simnet::secs(1), &Value::Null, &mut rng).is_empty());
+        assert!(sensor
+            .step(dspace_simnet::secs(1), &Value::Null, &mut rng)
+            .is_empty());
         let acts = sensor.step(dspace_simnet::secs(5), &Value::Null, &mut rng);
         assert_eq!(acts.len(), 1);
         assert_eq!(
-            acts[0].patch.get_path(".obs.last_triggered_time").unwrap().as_f64(),
+            acts[0]
+                .patch
+                .get_path(".obs.last_triggered_time")
+                .unwrap()
+                .as_f64(),
             Some(5.0)
         );
-        assert_eq!(acts[0].patch.get_path(".obs.motion").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            acts[0].patch.get_path(".obs.motion").unwrap().as_bool(),
+            Some(true)
+        );
         // Consumed: does not fire twice.
-        assert!(sensor.step(dspace_simnet::secs(6), &Value::Null, &mut rng).is_empty());
+        assert!(sensor
+            .step(dspace_simnet::secs(6), &Value::Null, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -245,10 +273,9 @@ mod tests {
     fn dyson_parses_string_codes() {
         let mut fan = DysonFan::new();
         let mut rng = Rng::new(4);
-        let cmd = json::parse(
-            r#"{"fan_speed": "0007", "heat_target": "2980", "heat_mode": "HEAT"}"#,
-        )
-        .unwrap();
+        let cmd =
+            json::parse(r#"{"fan_speed": "0007", "heat_target": "2980", "heat_mode": "HEAT"}"#)
+                .unwrap();
         let acts = fan.actuate(0, &cmd, &mut rng);
         assert_eq!(fan.speed(), 7);
         assert_eq!(fan.heat_target_dk(), 2980);

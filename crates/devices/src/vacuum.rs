@@ -148,7 +148,8 @@ impl Actuator for Roomba {
         }
         if changed {
             let mut full = patch;
-            full.set(&".obs.battery".parse().unwrap(), self.battery_pct.into()).unwrap();
+            full.set(&".obs.battery".parse().unwrap(), self.battery_pct.into())
+                .unwrap();
             vec![Actuation::new(AccessPath::Lan.rpc_delay(rng), full)]
         } else {
             Vec::new()
@@ -170,13 +171,25 @@ mod tests {
     fn dorita980_commands_change_phase() {
         let mut rb = Roomba::new("kitchen", vec![]);
         let mut rng = Rng::new(1);
-        let acts = rb.actuate(0, &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        let acts = rb.actuate(
+            0,
+            &json::parse(r#"{"command": "start"}"#).unwrap(),
+            &mut rng,
+        );
         assert_eq!(rb.phase(), Phase::Run);
         assert_eq!(
-            acts[0].patch.get_path(".control.mode.status").unwrap().as_str(),
+            acts[0]
+                .patch
+                .get_path(".control.mode.status")
+                .unwrap()
+                .as_str(),
             Some("run")
         );
-        rb.actuate(0, &json::parse(r#"{"command": "pause"}"#).unwrap(), &mut rng);
+        rb.actuate(
+            0,
+            &json::parse(r#"{"command": "pause"}"#).unwrap(),
+            &mut rng,
+        );
         assert_eq!(rb.phase(), Phase::Stop);
         rb.actuate(0, &json::parse(r#"{"command": "dock"}"#).unwrap(), &mut rng);
         assert_eq!(rb.phase(), Phase::Charge);
@@ -188,18 +201,29 @@ mod tests {
 
     #[test]
     fn route_progresses_only_while_running() {
-        let route = vec![(secs(10), "living".to_string()), (secs(20), "bedroom".to_string())];
+        let route = vec![
+            (secs(10), "living".to_string()),
+            (secs(20), "bedroom".to_string()),
+        ];
         let mut rb = Roomba::new("kitchen", route);
         let mut rng = Rng::new(2);
         // Docked: time passes, no movement.
         rb.step(secs(15), &Value::Null, &mut rng);
         assert_eq!(rb.current_room(), "kitchen");
         // Start cleaning: waypoints that have passed apply.
-        rb.actuate(secs(15), &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        rb.actuate(
+            secs(15),
+            &json::parse(r#"{"command": "start"}"#).unwrap(),
+            &mut rng,
+        );
         let acts = rb.step(secs(16), &Value::Null, &mut rng);
         assert_eq!(rb.current_room(), "living");
         assert_eq!(
-            acts[0].patch.get_path(".obs.current_room").unwrap().as_str(),
+            acts[0]
+                .patch
+                .get_path(".obs.current_room")
+                .unwrap()
+                .as_str(),
             Some("living")
         );
         rb.step(secs(21), &Value::Null, &mut rng);
@@ -210,11 +234,19 @@ mod tests {
     fn battery_drains_cleaning_and_charges_docked() {
         let mut rb = Roomba::new("kitchen", vec![]);
         let mut rng = Rng::new(3);
-        rb.actuate(0, &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        rb.actuate(
+            0,
+            &json::parse(r#"{"command": "start"}"#).unwrap(),
+            &mut rng,
+        );
         rb.step(secs(100), &Value::Null, &mut rng);
         assert!(rb.battery() < 100.0);
         let low = rb.battery();
-        rb.actuate(secs(100), &json::parse(r#"{"command": "dock"}"#).unwrap(), &mut rng);
+        rb.actuate(
+            secs(100),
+            &json::parse(r#"{"command": "dock"}"#).unwrap(),
+            &mut rng,
+        );
         rb.step(secs(150), &Value::Null, &mut rng);
         assert!(rb.battery() > low);
     }
@@ -224,7 +256,11 @@ mod tests {
         let mut rb = Roomba::new("kitchen", vec![]);
         rb.battery_pct = 6.0;
         let mut rng = Rng::new(4);
-        rb.actuate(0, &json::parse(r#"{"command": "start"}"#).unwrap(), &mut rng);
+        rb.actuate(
+            0,
+            &json::parse(r#"{"command": "start"}"#).unwrap(),
+            &mut rng,
+        );
         // Drain below the threshold: 0.05%/s, needs ~30s.
         let acts = rb.step(secs(60), &Value::Null, &mut rng);
         assert_eq!(rb.phase(), Phase::Charge);

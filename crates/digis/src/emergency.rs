@@ -36,7 +36,9 @@ pub fn emergency_driver() -> Driver {
                 "lockdown" => 0.3,
                 _ => continue,
             };
-            let cur = ctx.digi().replica("Room", &room, ".control.brightness.intent");
+            let cur = ctx
+                .digi()
+                .replica("Room", &room, ".control.brightness.intent");
             if cur.as_f64() != Some(target) {
                 ctx.digi()
                     .set_replica("Room", &room, ".control.brightness.intent", target.into());

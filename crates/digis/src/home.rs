@@ -59,7 +59,9 @@ pub fn home_driver() -> Driver {
     // digidata and adopt its recommendation in auto mode.
     d.on(Filter::any(), 5, "imitate", |ctx| {
         let imitates = ctx.digi().mounted_names("Imitate");
-        let Some(im) = imitates.first().cloned() else { return };
+        let Some(im) = imitates.first().cloned() else {
+            return;
+        };
         let occupancy = ctx.digi().obs("occupancy");
         let mode = ctx.digi().intent("mode");
         if !occupancy.is_null() {
@@ -74,12 +76,11 @@ pub fn home_driver() -> Driver {
         // at the moment the user chose it (avoids stale-label pairing).
         let auto = ctx.digi().intent("mode_source").as_str() == Some("auto");
         if !auto && !mode.is_null() && ctx.changed(".control.mode.intent") {
-            let demo = dspace_value::object([
-                ("occupancy", ctx.digi().obs("occupancy")),
-                ("mode", mode),
-            ]);
+            let demo =
+                dspace_value::object([("occupancy", ctx.digi().obs("occupancy")), ("mode", mode)]);
             if ctx.digi().replica("Imitate", &im, ".data.input.demo") != demo {
-                ctx.digi().set_replica("Imitate", &im, ".data.input.demo", demo);
+                ctx.digi()
+                    .set_replica("Imitate", &im, ".data.input.demo", demo);
             }
         }
         if auto {
@@ -123,7 +124,11 @@ mod tests {
             );
         }
         assert_eq!(
-            result.model.get_path(".control.mode.status").unwrap().as_str(),
+            result
+                .model
+                .get_path(".control.mode.status")
+                .unwrap()
+                .as_str(),
             Some("sleep")
         );
     }
@@ -139,8 +144,14 @@ mod tests {
         )
         .unwrap();
         let result = d.reconcile(&old, &new, 0.0);
-        assert_eq!(result.model.get_path(".obs.occupancy.a").unwrap().as_f64(), Some(2.0));
-        assert_eq!(result.model.get_path(".obs.occupancy.b").unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            result.model.get_path(".obs.occupancy.a").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            result.model.get_path(".obs.occupancy.b").unwrap().as_f64(),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -156,7 +167,11 @@ mod tests {
         .unwrap();
         let result = d.reconcile(&old, &new, 0.0);
         assert_eq!(
-            result.model.get_path(".control.mode.intent").unwrap().as_str(),
+            result
+                .model
+                .get_path(".control.mode.intent")
+                .unwrap()
+                .as_str(),
             Some("sleep")
         );
         // In auto mode no demonstration is written.

@@ -60,7 +60,8 @@ pub fn geeni_driver() -> Driver {
         let power = ctx.digi().intent("power");
         if let Some(p) = power.as_str() {
             if power != ctx.digi().status("power") {
-                dps.set(&".1".parse().unwrap(), Value::from(p == "on")).unwrap();
+                dps.set(&".1".parse().unwrap(), Value::from(p == "on"))
+                    .unwrap();
                 any = true;
             }
         }
@@ -116,7 +117,8 @@ pub fn hue_driver() -> Driver {
         let power = ctx.digi().intent("power");
         if let Some(p) = power.as_str() {
             if power != ctx.digi().status("power") {
-                cmd.set(&".on".parse().unwrap(), Value::from(p == "on")).unwrap();
+                cmd.set(&".on".parse().unwrap(), Value::from(p == "on"))
+                    .unwrap();
                 any = true;
             }
         }
@@ -145,11 +147,14 @@ pub fn unilamp_driver() -> Driver {
     let mut d = Driver::new();
     d.on(Filter::any(), 0, "translate", |ctx| {
         let mounts = ctx.digi().mounts();
-        let Some((kind, name)) = mounts.into_iter().next() else { return };
+        let Some((kind, name)) = mounts.into_iter().next() else {
+            return;
+        };
 
         // --- Northbound first: statuses and child-initiated intents. ----
-        let vendor_bri_status =
-            ctx.digi().replica(&kind, &name, ".control.brightness.status");
+        let vendor_bri_status = ctx
+            .digi()
+            .replica(&kind, &name, ".control.brightness.status");
         if let Some(vb) = vendor_bri_status.as_f64() {
             if let Some(u) = from_vendor_brightness(&kind, vb) {
                 if ctx.digi().status("brightness").as_f64() != Some(u) {
@@ -167,8 +172,9 @@ pub fn unilamp_driver() -> Driver {
         // Intent reconciliation: the vendor lamp's own intent deviated from
         // what we last assigned — adopt it upward.
         let assigned_bri = ctx.digi().obs("assigned_brightness");
-        let vendor_bri_intent =
-            ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+        let vendor_bri_intent = ctx
+            .digi()
+            .replica(&kind, &name, ".control.brightness.intent");
         if let (Some(vi), Some(av)) = (vendor_bri_intent.as_f64(), assigned_bri.as_f64()) {
             if vi != av {
                 if let Some(u) = from_vendor_brightness(&kind, vi) {
@@ -181,7 +187,9 @@ pub fn unilamp_driver() -> Driver {
         // --- Southbound: universal intents → vendor intents. ------------
         if let Some(u) = ctx.digi().intent("brightness").as_f64() {
             if let Some(v) = to_vendor_brightness(&kind, u) {
-                let cur = ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+                let cur = ctx
+                    .digi()
+                    .replica(&kind, &name, ".control.brightness.intent");
                 if cur.as_f64() != Some(v) {
                     ctx.digi()
                         .set_replica(&kind, &name, ".control.brightness.intent", v.into());
@@ -193,7 +201,8 @@ pub fn unilamp_driver() -> Driver {
             if let Some(v) = to_vendor_power(&kind, p) {
                 let cur = ctx.digi().replica(&kind, &name, ".control.power.intent");
                 if cur != v {
-                    ctx.digi().set_replica(&kind, &name, ".control.power.intent", v);
+                    ctx.digi()
+                        .set_replica(&kind, &name, ".control.power.intent", v);
                 }
             }
         }
@@ -228,9 +237,18 @@ mod tests {
 
     #[test]
     fn power_conversions() {
-        assert_eq!(to_vendor_power("GeeniLamp", true).unwrap().as_str(), Some("on"));
-        assert_eq!(to_vendor_power("LifxLamp", true).unwrap().as_f64(), Some(65535.0));
-        assert_eq!(to_vendor_power("LifxLamp", false).unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            to_vendor_power("GeeniLamp", true).unwrap().as_str(),
+            Some("on")
+        );
+        assert_eq!(
+            to_vendor_power("LifxLamp", true).unwrap().as_f64(),
+            Some(65535.0)
+        );
+        assert_eq!(
+            to_vendor_power("LifxLamp", false).unwrap().as_f64(),
+            Some(0.0)
+        );
         assert_eq!(from_vendor_power(&Value::from("on")), Some(true));
         assert_eq!(from_vendor_power(&Value::from(65535.0)), Some(true));
         assert_eq!(from_vendor_power(&Value::from(0.0)), Some(false));

@@ -75,8 +75,7 @@ pub fn roam_speaker_driver() -> Driver {
                 let base = format!(".mount.Speaker.{spk}.control");
                 let desired_mode = if occupied { "play" } else { "pause" };
                 let mode_path = format!("{base}.mode.intent");
-                if ctx.digi().replica("Room", &room, &mode_path).as_str() != Some(desired_mode)
-                {
+                if ctx.digi().replica("Room", &room, &mode_path).as_str() != Some(desired_mode) {
                     ctx.digi()
                         .set_replica("Room", &room, &mode_path, desired_mode.into());
                 }
@@ -95,7 +94,8 @@ pub fn roam_speaker_driver() -> Driver {
                     if !volume.is_null() {
                         let vol_path = format!("{base}.volume.intent");
                         if ctx.digi().replica("Room", &room, &vol_path) != volume {
-                            ctx.digi().set_replica("Room", &room, &vol_path, volume.clone());
+                            ctx.digi()
+                                .set_replica("Room", &room, &vol_path, volume.clone());
                         }
                     }
                 }
@@ -130,7 +130,10 @@ mod tests {
             dspace_core::driver::Effect::Device(cmd) => {
                 assert_eq!(cmd.get_path(".key").unwrap().as_str(), Some("PLAY"));
                 assert_eq!(cmd.get_path(".volume").unwrap().as_f64(), Some(40.0));
-                assert_eq!(cmd.get_path(".source_url").unwrap().as_str(), Some("http://news"));
+                assert_eq!(
+                    cmd.get_path(".source_url").unwrap().as_str(),
+                    Some("http://news")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

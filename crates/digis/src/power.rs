@@ -17,9 +17,7 @@ pub fn power_driver() -> Driver {
     let mut d = Driver::new();
     d.on(Filter::any(), 0, "save", |ctx| {
         let saving = ctx.digi().intent("saving").as_str() == Some("on");
-        if ctx.digi().status("saving").as_str()
-            != Some(if saving { "on" } else { "off" })
-        {
+        if ctx.digi().status("saving").as_str() != Some(if saving { "on" } else { "off" }) {
             ctx.digi()
                 .set_status("saving", Value::from(if saving { "on" } else { "off" }));
         }
@@ -42,7 +40,9 @@ pub fn power_driver() -> Driver {
             }
             match kind.as_str() {
                 "UniLamp" => {
-                    let cur = ctx.digi().replica(&kind, &name, ".control.brightness.intent");
+                    let cur = ctx
+                        .digi()
+                        .replica(&kind, &name, ".control.brightness.intent");
                     if cur.as_f64() != Some(SAVING_BRIGHTNESS) {
                         ctx.digi().set_replica(
                             &kind,
@@ -55,7 +55,8 @@ pub fn power_driver() -> Driver {
                 "Plug" => {
                     let cur = ctx.digi().replica(&kind, &name, ".control.power.intent");
                     if cur.as_str() != Some("off") {
-                        ctx.digi().set_replica(&kind, &name, ".control.power.intent", "off".into());
+                        ctx.digi()
+                            .set_replica(&kind, &name, ".control.power.intent", "off".into());
                     }
                 }
                 _ => {}
@@ -122,7 +123,11 @@ mod tests {
             Some(0.8)
         );
         assert_eq!(
-            result.model.get_path(".control.saving.status").unwrap().as_str(),
+            result
+                .model
+                .get_path(".control.saving.status")
+                .unwrap()
+                .as_str(),
             Some("off")
         );
     }

@@ -39,7 +39,10 @@ fn lamp_children(ctx: &mut ReconcileCtx<'_>) -> Vec<(String, String)> {
 
 /// Reads a lamp child's intent in universal scale.
 fn child_intent_universal(ctx: &mut ReconcileCtx<'_>, kind: &str, name: &str) -> Option<f64> {
-    let v = ctx.digi().replica(kind, name, ".control.brightness.intent").as_f64()?;
+    let v = ctx
+        .digi()
+        .replica(kind, name, ".control.brightness.intent")
+        .as_f64()?;
     if kind == "UniLamp" {
         Some(v)
     } else {
@@ -98,7 +101,9 @@ pub fn room_driver() -> Driver {
         if lamps.is_empty() {
             return;
         }
-        let Some(target) = ctx.digi().intent("brightness").as_f64() else { return };
+        let Some(target) = ctx.digi().intent("brightness").as_f64() else {
+            return;
+        };
         // --- s1 end ---
         // --- s2 begin ---
         // A fresh user-set room intent clears all pins.
@@ -188,7 +193,9 @@ pub fn room_driver() -> Driver {
     // Scene objects → room observations, occupancy, and activity.
     d.on(Filter::on_mount(), 3, "scene", |ctx| {
         let scenes: Vec<String> = ctx.digi().mounted_names("Scene");
-        let Some(scene) = scenes.first().cloned() else { return };
+        let Some(scene) = scenes.first().cloned() else {
+            return;
+        };
         let objects = ctx.digi().replica("Scene", &scene, ".data.output.objects");
         if objects.is_null() {
             return;
@@ -211,7 +218,9 @@ pub fn room_driver() -> Driver {
     d.on(Filter::any(), 7, "roomba", |ctx| {
         // (still s5)
         let roombas = ctx.digi().mounted_names("Roomba");
-        let Some(rb) = roombas.first().cloned() else { return };
+        let Some(rb) = roombas.first().cloned() else {
+            return;
+        };
         let people = ctx.digi().obs("occupancy").as_f64().unwrap_or(0.0);
         let desired = if people > 0.0 { "pause" } else { "start" };
         let cur = ctx.digi().replica("Roomba", &rb, ".control.mode.intent");

@@ -32,8 +32,8 @@ use dspace_value::{yaml, Value};
 /// Returns the first composition error; configurations in this repo are
 /// expected to apply cleanly.
 pub fn apply_config(space: &mut Space, config: &str) -> Result<(), SpaceError> {
-    let doc = yaml::parse(config)
-        .map_err(|e| SpaceError::BadSpec(format!("config parse error: {e}")))?;
+    let doc =
+        yaml::parse(config).map_err(|e| SpaceError::BadSpec(format!("config parse error: {e}")))?;
     if let Some(mounts) = doc.get_path(".mounts").and_then(Value::as_array) {
         for m in mounts.clone() {
             let child = ref_field(&m, "child")?;
@@ -59,7 +59,10 @@ pub fn apply_config(space: &mut Space, config: &str) -> Result<(), SpaceError> {
             let target = ref_field(&r, "target")?;
             let name = str_field(&r, "name")?;
             let policy = str_field(&r, "policy")?;
-            let priority = r.get_path("priority").and_then(Value::as_f64).unwrap_or(0.0) as i64;
+            let priority = r
+                .get_path("priority")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0) as i64;
             space.add_reflex(&target, &name, &policy, priority)?;
             space.run_for_ms(200);
         }
@@ -112,10 +115,7 @@ fn endpoint(v: &Value, field: &str) -> Result<(ObjectRef, String), SpaceError> {
 
 /// Convenience: total occupancy schedule used by the camera-based
 /// scenarios — a person enters at `enter` seconds and leaves at `leave`.
-pub fn person_window(
-    enter: u64,
-    leave: u64,
-) -> dspace_analytics::OccupancySchedule {
+pub fn person_window(enter: u64, leave: u64) -> dspace_analytics::OccupancySchedule {
     dspace_analytics::OccupancySchedule::from_entries([
         (dspace_simnet::secs(enter), vec!["person"]),
         (dspace_simnet::secs(leave), vec![]),

@@ -35,16 +35,31 @@ impl S1 {
     pub fn build() -> S1 {
         let mut space = crate::new_space();
         // Leaf digis with their simulated devices.
-        let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+        let l1 = space
+            .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+            .unwrap();
         space.attach_actuator(&l1, Box::new(GeeniLamp::new()));
-        let l2 = space.create_digi("LifxLamp", "l2", lamps::lifx_driver()).unwrap();
+        let l2 = space
+            .create_digi("LifxLamp", "l2", lamps::lifx_driver())
+            .unwrap();
         space.attach_actuator(&l2, Box::new(LifxLamp::new()));
-        let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-        let ul2 = space.create_digi("UniLamp", "ul2", lamps::unilamp_driver()).unwrap();
-        let room = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+        let ul1 = space
+            .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+            .unwrap();
+        let ul2 = space
+            .create_digi("UniLamp", "ul2", lamps::unilamp_driver())
+            .unwrap();
+        let room = space
+            .create_digi("Room", "lvroom", room::room_driver())
+            .unwrap();
         super::apply_config(&mut space, CONFIG).expect("S1 config applies");
         space.run_for(millis(3_000));
-        S1 { space, room, unilamps: vec![ul1, ul2], l3: None }
+        S1 {
+            space,
+            room,
+            unilamps: vec![ul1, ul2],
+            l3: None,
+        }
     }
 
     /// Adds the Philips Hue lamp (L3) directly under the room.
@@ -54,7 +69,9 @@ impl S1 {
             .create_digi("HueLamp", "l3", lamps::hue_driver())
             .unwrap();
         self.space.attach_actuator(&l3, Box::new(HueLamp::new()));
-        self.space.mount(&l3, &self.room, MountMode::Expose).unwrap();
+        self.space
+            .mount(&l3, &self.room, MountMode::Expose)
+            .unwrap();
         self.space.run_for(millis(3_000));
         self.l3 = Some(l3.clone());
         l3

@@ -31,11 +31,19 @@ impl S10 {
     /// Builds the scenario.
     pub fn build() -> S10 {
         let mut space = crate::new_space();
-        let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+        let l1 = space
+            .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+            .unwrap();
         space.attach_actuator(&l1, Box::new(GeeniLamp::new()));
-        let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-        let room = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
-        let home = space.create_digi("Home", "home", home::home_driver()).unwrap();
+        let ul1 = space
+            .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+            .unwrap();
+        let room = space
+            .create_digi("Room", "lvroom", room::room_driver())
+            .unwrap();
+        let home = space
+            .create_digi("Home", "home", home::home_driver())
+            .unwrap();
         let city = space
             .create_digi("Emergency", "city", emergency::emergency_driver())
             .unwrap();
@@ -48,7 +56,12 @@ impl S10 {
         super::apply_config(&mut space, CONFIG).expect("S10 config applies");
         space.set_intent_now("home/mode", "sleep".into()).unwrap();
         space.run_for(millis(5_000));
-        S10 { space, home, room, city }
+        S10 {
+            space,
+            home,
+            room,
+            city,
+        }
     }
 
     /// Raises or clears the city-wide alarm.

@@ -31,10 +31,7 @@ impl S2 {
             "control",
             dspace_value::object([(
                 "brightness",
-                dspace_value::object([
-                    ("intent", vendor.into()),
-                    ("status", vendor.into()),
-                ]),
+                dspace_value::object([("intent", vendor.into()), ("status", vendor.into())]),
             )]),
         )]);
         self.inner.space.physical_event(name, patch).unwrap();

@@ -31,9 +31,10 @@ impl S3 {
             .space
             .create_digi("RingMotion", "motion1", sensors::motion_driver())
             .unwrap();
-        inner
-            .space
-            .attach_actuator(&motion, Box::new(RingMotionSensor::with_schedule(motion_times)));
+        inner.space.attach_actuator(
+            &motion,
+            Box::new(RingMotionSensor::with_schedule(motion_times)),
+        );
         super::apply_config(&mut inner.space, CONFIG).expect("S3 config applies");
         inner.space.run_for_ms(1_000);
         S3 { inner, motion }

@@ -29,16 +29,30 @@ impl S4 {
     pub fn build() -> S4 {
         let mut space = crate::new_space();
         // Living room: GEENI lamp behind a UniLamp.
-        let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+        let l1 = space
+            .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+            .unwrap();
         space.attach_actuator(&l1, Box::new(GeeniLamp::new()));
-        let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-        let lvroom = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+        let ul1 = space
+            .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+            .unwrap();
+        let lvroom = space
+            .create_digi("Room", "lvroom", room::room_driver())
+            .unwrap();
         // Bedroom: LIFX lamp behind a UniLamp.
-        let l2 = space.create_digi("LifxLamp", "l2", lamps::lifx_driver()).unwrap();
+        let l2 = space
+            .create_digi("LifxLamp", "l2", lamps::lifx_driver())
+            .unwrap();
         space.attach_actuator(&l2, Box::new(LifxLamp::new()));
-        let ul2 = space.create_digi("UniLamp", "ul2", lamps::unilamp_driver()).unwrap();
-        let bedroom = space.create_digi("Room", "bedroom", room::room_driver()).unwrap();
-        let home = space.create_digi("Home", "home", home::home_driver()).unwrap();
+        let ul2 = space
+            .create_digi("UniLamp", "ul2", lamps::unilamp_driver())
+            .unwrap();
+        let bedroom = space
+            .create_digi("Room", "bedroom", room::room_driver())
+            .unwrap();
+        let home = space
+            .create_digi("Home", "home", home::home_driver())
+            .unwrap();
         for (child, parent) in [(&l1, &ul1), (&l2, &ul2), (&ul1, &lvroom), (&ul2, &bedroom)] {
             space
                 .mount(child, parent, dspace_core::graph::MountMode::Expose)
@@ -47,7 +61,11 @@ impl S4 {
         }
         super::apply_config(&mut space, CONFIG).expect("S4 config applies");
         space.run_for(millis(5_000));
-        S4 { space, home, rooms: vec![lvroom, bedroom] }
+        S4 {
+            space,
+            home,
+            rooms: vec![lvroom, bedroom],
+        }
     }
 
     /// Sets the home mode and lets the hierarchy settle.

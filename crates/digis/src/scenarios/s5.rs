@@ -37,17 +37,31 @@ impl S5 {
     /// Builds the scenario with a roomba patrol route (used by S8).
     pub fn build_with_route(truth: OccupancySchedule, route: Vec<(Time, String)>) -> S5 {
         let mut space = crate::new_space();
-        let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+        let cam = space
+            .create_digi("Camera", "cam", media::camera_driver())
+            .unwrap();
         space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.42")));
-        let x1 = space.create_digi("Xcdr", "x1", data::xcdr_driver()).unwrap();
+        let x1 = space
+            .create_digi("Xcdr", "x1", data::xcdr_driver())
+            .unwrap();
         space.attach_actuator(&x1, Box::new(XcdrEngine::new("edge-node")));
-        let sc1 = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+        let sc1 = space
+            .create_digi("Scene", "sc1", data::scene_driver())
+            .unwrap();
         space.attach_actuator(&sc1, Box::new(SceneEngine::new(truth)));
-        let rb1 = space.create_digi("Roomba", "rb1", vacuum::roomba_driver()).unwrap();
+        let rb1 = space
+            .create_digi("Roomba", "rb1", vacuum::roomba_driver())
+            .unwrap();
         space.attach_actuator(&rb1, Box::new(Roomba::new("lvroom", route)));
-        let room = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+        let room = space
+            .create_digi("Room", "lvroom", room::room_driver())
+            .unwrap();
         super::apply_config(&mut space, CONFIG).expect("S5 config applies");
         space.run_for(millis(4_000));
-        S5 { space, room, roomba: rb1 }
+        S5 {
+            space,
+            room,
+            roomba: rb1,
+        }
     }
 }

@@ -32,7 +32,9 @@ impl S6 {
             .space
             .create_digi("Imitate", "im1", data::imitate_driver())
             .unwrap();
-        inner.space.attach_actuator(&imitate, Box::new(ImitateEngine::new()));
+        inner
+            .space
+            .attach_actuator(&imitate, Box::new(ImitateEngine::new()));
         super::apply_config(&mut inner.space, CONFIG).expect("S6 config applies");
         inner.space.run_for_ms(1_000);
         S6 { inner, imitate }
@@ -53,7 +55,10 @@ impl S6 {
             )
             .unwrap();
         self.inner.space.run_for_ms(2_000);
-        self.inner.space.set_intent_now("home/mode", mode.into()).unwrap();
+        self.inner
+            .space
+            .set_intent_now("home/mode", mode.into())
+            .unwrap();
         self.inner.space.run_for_ms(3_000);
     }
 

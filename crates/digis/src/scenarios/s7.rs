@@ -29,7 +29,9 @@ impl S7 {
     pub fn build() -> S7 {
         let mut space = crate::new_space();
         for (spk, rm) in [("spk1", "rooma"), ("spk2", "roomb")] {
-            let s = space.create_digi("Speaker", spk, media::speaker_driver()).unwrap();
+            let s = space
+                .create_digi("Speaker", spk, media::speaker_driver())
+                .unwrap();
             space.attach_actuator(&s, Box::new(BoseSpeaker::new()));
             space.create_digi("Room", rm, room::room_driver()).unwrap();
         }

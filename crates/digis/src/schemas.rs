@@ -214,9 +214,25 @@ mod tests {
         let mut space = dspace_core::Space::default();
         register_all(&mut space);
         for kind in [
-            "GeeniLamp", "LifxLamp", "HueLamp", "UniLamp", "RingMotion", "DysonFan",
-            "Plug", "Roomba", "Speaker", "Camera", "Scene", "Xcdr", "Stats", "Imitate",
-            "Room", "Home", "RoamSpeaker", "PowerController", "Emergency",
+            "GeeniLamp",
+            "LifxLamp",
+            "HueLamp",
+            "UniLamp",
+            "RingMotion",
+            "DysonFan",
+            "Plug",
+            "Roomba",
+            "Speaker",
+            "Camera",
+            "Scene",
+            "Xcdr",
+            "Stats",
+            "Imitate",
+            "Room",
+            "Home",
+            "RoamSpeaker",
+            "PowerController",
+            "Emergency",
         ] {
             assert!(space.world.api.schema(kind).is_some(), "{kind} missing");
         }

@@ -28,7 +28,8 @@ pub fn dyson_driver() -> Driver {
         if let Some(speed) = ctx.digi().intent("fan_speed").as_f64() {
             if ctx.digi().status("fan_speed").as_f64() != Some(speed) {
                 let code = format!("{:04}", speed.clamp(0.0, 10.0) as u32);
-                cmd.set(&".fan_speed".parse().unwrap(), code.into()).unwrap();
+                cmd.set(&".fan_speed".parse().unwrap(), code.into())
+                    .unwrap();
                 any = true;
             }
         }
@@ -36,8 +37,10 @@ pub fn dyson_driver() -> Driver {
             if ctx.digi().status("heat_target").as_f64() != Some(target_c) {
                 // Celsius → decikelvin string, as libpurecoollink does.
                 let dk = ((target_c + 273.15) * 10.0).round() as u32;
-                cmd.set(&".heat_target".parse().unwrap(), format!("{dk}").into()).unwrap();
-                cmd.set(&".heat_mode".parse().unwrap(), "HEAT".into()).unwrap();
+                cmd.set(&".heat_target".parse().unwrap(), format!("{dk}").into())
+                    .unwrap();
+                cmd.set(&".heat_mode".parse().unwrap(), "HEAT".into())
+                    .unwrap();
                 any = true;
             }
         }
@@ -57,7 +60,8 @@ pub fn plug_driver() -> Driver {
         if let Some(p) = power.as_str() {
             if power != ctx.digi().status("power") {
                 let mut dps = dspace_value::obj();
-                dps.set(&".1".parse().unwrap(), Value::from(p == "on")).unwrap();
+                dps.set(&".1".parse().unwrap(), Value::from(p == "on"))
+                    .unwrap();
                 ctx.device(dspace_value::object([("dps", dps)]));
             }
         }
@@ -70,7 +74,11 @@ mod tests {
     use super::*;
     use dspace_value::json;
 
-    fn reconcile_once(driver: &mut Driver, old: &str, new: &str) -> dspace_core::driver::ReconcileResult {
+    fn reconcile_once(
+        driver: &mut Driver,
+        old: &str,
+        new: &str,
+    ) -> dspace_core::driver::ReconcileResult {
         driver.reconcile(&json::parse(old).unwrap(), &json::parse(new).unwrap(), 0.0)
     }
 
@@ -131,7 +139,11 @@ mod tests {
             r#"{"control": {"armed": {"intent": "home", "status": null}}}"#,
         );
         assert_eq!(
-            result.model.get_path(".control.armed.status").unwrap().as_str(),
+            result
+                .model
+                .get_path(".control.armed.status")
+                .unwrap()
+                .as_str(),
             Some("home")
         );
     }

@@ -13,14 +13,23 @@ use dspace_simnet::secs;
 #[test]
 fn privacy_pipe_policy_connects_and_disconnects_the_camera() {
     let mut space = dspace_digis::new_space();
-    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    let cam = space
+        .create_digi("Camera", "cam", media::camera_driver())
+        .unwrap();
     space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.9")));
-    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let sc = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     space.attach_actuator(
         &sc,
-        Box::new(SceneEngine::new(OccupancySchedule::from_entries([(0, vec!["person"])]))),
+        Box::new(SceneEngine::new(OccupancySchedule::from_entries([(
+            0,
+            vec!["person"],
+        )]))),
     );
-    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    let rm = space
+        .create_digi("Room", "lvroom", room::room_driver())
+        .unwrap();
     space.mount(&sc, &rm, MountMode::Expose).unwrap();
     space.run_for_ms(1_000);
     space
@@ -60,7 +69,9 @@ spec:
 
     // Occupants return: the pipe is torn down. (Already-delivered inputs
     // stay; what matters is that the flow stops.)
-    space.set_intent_now("lvroom/mode", "active".into()).unwrap();
+    space
+        .set_intent_now("lvroom/mode", "active".into())
+        .unwrap();
     space.run_for(secs(2));
     let syncs = space
         .world
@@ -74,9 +85,15 @@ spec:
 #[test]
 fn policy_pipe_respects_port_exclusivity() {
     let mut space = dspace_digis::new_space();
-    let cam_a = space.create_digi("Camera", "cama", media::camera_driver()).unwrap();
-    let cam_b = space.create_digi("Camera", "camb", media::camera_driver()).unwrap();
-    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let cam_a = space
+        .create_digi("Camera", "cama", media::camera_driver())
+        .unwrap();
+    let cam_b = space
+        .create_digi("Camera", "camb", media::camera_driver())
+        .unwrap();
+    let sc = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     space.run_for_ms(500);
     // First pipe claims the port.
     space.pipe(&cam_a, "url", &sc, "url").unwrap();

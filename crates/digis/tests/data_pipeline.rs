@@ -12,9 +12,13 @@ use dspace_simnet::secs;
 #[test]
 fn scene_fans_out_to_stats_and_room() {
     let mut space = dspace_digis::new_space();
-    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    let cam = space
+        .create_digi("Camera", "cam", media::camera_driver())
+        .unwrap();
     space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.7")));
-    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let sc = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     space.attach_actuator(
         &sc,
         Box::new(SceneEngine::new(OccupancySchedule::from_entries([
@@ -23,9 +27,13 @@ fn scene_fans_out_to_stats_and_room() {
             (secs(40), vec![]),
         ]))),
     );
-    let st = space.create_digi("Stats", "st1", data::stats_driver()).unwrap();
+    let st = space
+        .create_digi("Stats", "st1", data::stats_driver())
+        .unwrap();
     space.attach_actuator(&st, Box::new(StatsEngine::new().with_window(10)));
-    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    let rm = space
+        .create_digi("Room", "lvroom", room::room_driver())
+        .unwrap();
 
     // Composition: camera -> scene (pipe); scene -> stats (pipe);
     // scene -> room (mount, the control-plane consumer).
@@ -39,11 +47,20 @@ fn scene_fans_out_to_stats_and_room() {
     assert_eq!(space.obs("lvroom/activity").unwrap().as_str(), Some("IDLE"));
     // …and the stats digidata aggregated the history through the pipe.
     let stats = space.read("st1", ".data.output.stats").unwrap();
-    let person = stats.get_path(".counts.person").and_then(|v| v.as_f64()).unwrap_or(0.0);
-    let dog = stats.get_path(".counts.dog").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let person = stats
+        .get_path(".counts.person")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let dog = stats
+        .get_path(".counts.dog")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
     assert!(person >= 2.0, "stats={stats}");
     assert!(dog >= 1.0, "stats={stats}");
-    assert!(person > dog, "person appeared in more frames than dog: {stats}");
+    assert!(
+        person > dog,
+        "person appeared in more frames than dog: {stats}"
+    );
 }
 
 #[test]
@@ -51,9 +68,13 @@ fn pipe_only_carries_the_pointer_not_the_stream() {
     // §3.2: "if A.mod.out is a pointer to data (e.g., a URL to a video
     // stream), only the pointer gets written to B.in."
     let mut space = dspace_digis::new_space();
-    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    let cam = space
+        .create_digi("Camera", "cam", media::camera_driver())
+        .unwrap();
     space.attach_actuator(&cam, Box::new(WyzeCam::new("10.0.0.8")));
-    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let sc = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     space.attach_actuator(&sc, Box::new(SceneEngine::new(OccupancySchedule::new())));
     space.pipe(&cam, "url", &sc, "url").unwrap();
     space.run_for(secs(5));
@@ -67,9 +88,13 @@ fn pipe_only_carries_the_pointer_not_the_stream() {
 #[test]
 fn unpipe_stops_the_flow() {
     let mut space = dspace_digis::new_space();
-    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    let cam = space
+        .create_digi("Camera", "cam", media::camera_driver())
+        .unwrap();
     space.attach_actuator(&cam, Box::new(WyzeCam::new("host-a")));
-    let sc = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let sc = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     let sync = space.pipe(&cam, "url", &sc, "url").unwrap();
     space.run_for(secs(3));
     assert!(!space.read("sc1", ".data.input.url").unwrap().is_null());

@@ -12,10 +12,16 @@ use dspace_value::Value;
 
 fn s1_like() -> (dspace_core::Space, dspace_apiserver::ObjectRef) {
     let mut space = dspace_digis::new_space();
-    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    let l1 = space
+        .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+        .unwrap();
     space.attach_actuator(&l1, Box::new(dspace_devices::GeeniLamp::new()));
-    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-    let rm = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    let ul1 = space
+        .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+        .unwrap();
+    let rm = space
+        .create_digi("Room", "lvroom", room::room_driver())
+        .unwrap();
     space.mount(&l1, &ul1, MountMode::Expose).unwrap();
     space.run_for_ms(300);
     space.mount(&ul1, &rm, MountMode::Expose).unwrap();
@@ -30,7 +36,9 @@ fn user_reflex_overrides_builtin_handler_by_name() {
     // handler distributes the room intent; a user reflex with the same
     // name replaces it with a hard cap at 0.2.
     let (mut space, rm) = s1_like();
-    space.set_intent_now("lvroom/brightness", 0.8.into()).unwrap();
+    space
+        .set_intent_now("lvroom/brightness", 0.8.into())
+        .unwrap();
     space.run_for_ms(5_000);
     let l1 = space.status("l1/brightness").unwrap().as_f64().unwrap();
     assert!((l1 - 802.0).abs() <= 3.0, "baseline distribution: {l1}");
@@ -45,13 +53,21 @@ fn user_reflex_overrides_builtin_handler_by_name() {
         )
         .unwrap();
     space.run_for_ms(1_000);
-    space.set_intent_now("lvroom/brightness", 0.1.into()).unwrap();
+    space
+        .set_intent_now("lvroom/brightness", 0.1.into())
+        .unwrap();
     space.run_for_ms(5_000);
     // The lamp did NOT follow (the distribution handler is gone)…
     let l1_after = space.status("l1/brightness").unwrap().as_f64().unwrap();
-    assert!((l1_after - 802.0).abs() <= 3.0, "lamp should be untouched: {l1_after}");
+    assert!(
+        (l1_after - 802.0).abs() <= 3.0,
+        "lamp should be untouched: {l1_after}"
+    );
     // …but the replacement reflex ran (status mirrors intent directly).
-    assert_eq!(space.status("lvroom/brightness").unwrap().as_f64(), Some(0.1));
+    assert_eq!(
+        space.status("lvroom/brightness").unwrap().as_f64(),
+        Some(0.1)
+    );
 }
 
 #[test]
@@ -59,16 +75,21 @@ fn negative_priority_reflex_disables_handler_at_runtime() {
     // §4.2: negative priority disables. Disabling the room's "brightness"
     // handler freezes the lamps at their current level.
     let (mut space, rm) = s1_like();
-    space.set_intent_now("lvroom/brightness", 0.5.into()).unwrap();
-    space.run_for_ms(5_000);
     space
-        .add_reflex(&rm, "brightness", ". ", -1)
+        .set_intent_now("lvroom/brightness", 0.5.into())
         .unwrap();
+    space.run_for_ms(5_000);
+    space.add_reflex(&rm, "brightness", ". ", -1).unwrap();
     space.run_for_ms(500);
-    space.set_intent_now("lvroom/brightness", 1.0.into()).unwrap();
+    space
+        .set_intent_now("lvroom/brightness", 1.0.into())
+        .unwrap();
     space.run_for_ms(5_000);
     let l1 = space.status("l1/brightness").unwrap().as_f64().unwrap();
-    assert!((l1 - 505.0).abs() <= 3.0, "lamp frozen at the old level: {l1}");
+    assert!(
+        (l1 - 505.0).abs() <= 3.0,
+        "lamp frozen at the old level: {l1}"
+    );
 }
 
 #[test]
@@ -120,7 +141,10 @@ fn vendor_conversion_properties_hold_over_the_full_range() {
             };
             assert!(v >= limit.0 && v <= limit.1, "{kind} out of range: {v}");
             let back = lamps::from_vendor_brightness(kind, v).unwrap();
-            assert!((back - u).abs() < 0.01, "{kind} roundtrip {u} -> {v} -> {back}");
+            assert!(
+                (back - u).abs() < 0.01,
+                "{kind} roundtrip {u} -> {v} -> {back}"
+            );
         }
     }
     let _ = Value::Null;

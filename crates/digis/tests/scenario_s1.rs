@@ -5,17 +5,27 @@ use dspace_digis::scenarios::s1::S1;
 fn s1_unified_brightness_converges_across_vendors() {
     let mut s1 = S1::build();
     // Initial config sets room brightness 0.5.
-    assert_eq!(s1.space.intent("lvroom/brightness").unwrap().as_f64(), Some(0.5));
+    assert_eq!(
+        s1.space.intent("lvroom/brightness").unwrap().as_f64(),
+        Some(0.5)
+    );
     // Vendor lamps converge to 0.5 in their own scales.
     let geeni = s1.space.status("l1/brightness").unwrap().as_f64().unwrap();
     assert!((geeni - 505.0).abs() <= 2.0, "geeni={geeni}");
     let lifx = s1.space.status("l2/brightness").unwrap().as_f64().unwrap();
     assert!((lifx - 32768.0).abs() <= 40.0, "lifx={lifx}");
     // Room status aggregates.
-    let st = s1.space.status("lvroom/brightness").unwrap().as_f64().unwrap();
+    let st = s1
+        .space
+        .status("lvroom/brightness")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     assert!((st - 0.5).abs() < 0.02, "room status={st}");
     // Change the room brightness: everything follows.
-    s1.space.set_intent("lvroom/brightness", 0.9.into()).unwrap();
+    s1.space
+        .set_intent("lvroom/brightness", 0.9.into())
+        .unwrap();
     s1.space.run_for_ms(4000);
     let geeni = s1.space.status("l1/brightness").unwrap().as_f64().unwrap();
     assert!((geeni - 901.0).abs() <= 2.0, "geeni={geeni}");
@@ -28,8 +38,12 @@ fn s1_add_l3_with_color() {
     let hue = s1.space.status("l3/brightness").unwrap().as_f64().unwrap();
     assert!((hue - 127.0).abs() <= 2.0, "hue={hue}");
     // Ambiance color reaches only the Hue lamp.
-    s1.space.set_intent_now("lvroom/ambiance",
-        dspace_value::object([("hue", 46920.0.into()), ("sat", 254.0.into())])).unwrap();
+    s1.space
+        .set_intent_now(
+            "lvroom/ambiance",
+            dspace_value::object([("hue", 46920.0.into()), ("sat", 254.0.into())]),
+        )
+        .unwrap();
     s1.space.run_for_ms(4000);
     assert_eq!(s1.space.status("l3/hue").unwrap().as_f64(), Some(46920.0));
     assert_eq!(s1.space.status("l3/sat").unwrap().as_f64(), Some(254.0));

@@ -2,7 +2,9 @@
 
 use dspace_analytics::OccupancySchedule;
 use dspace_core::graph::EdgeState;
-use dspace_digis::scenarios::{person_window, s10::S10, s2::S2, s3::S3, s4::S4, s5::S5, s6::S6, s7::S7, s8::S8, s9::S9};
+use dspace_digis::scenarios::{
+    person_window, s10::S10, s2::S2, s3::S3, s4::S4, s5::S5, s6::S6, s7::S7, s8::S8, s9::S9,
+};
 use dspace_simnet::secs;
 
 #[test]
@@ -29,10 +31,19 @@ fn s2_room_update_clears_pins() {
     s2.user_dims_lamp("GeeniLamp", "l1", 0.2);
     // The user then sets a fresh room brightness: pins clear, both lamps
     // converge to the new uniform value.
-    s2.inner.space.set_intent("lvroom/brightness", 0.6.into()).unwrap();
+    s2.inner
+        .space
+        .set_intent("lvroom/brightness", 0.6.into())
+        .unwrap();
     s2.inner.space.run_for_ms(6_000);
     for (kind, name) in [("GeeniLamp", "l1"), ("LifxLamp", "l2")] {
-        let v = s2.inner.space.status(&format!("{name}/brightness")).unwrap().as_f64().unwrap();
+        let v = s2
+            .inner
+            .space
+            .status(&format!("{name}/brightness"))
+            .unwrap()
+            .as_f64()
+            .unwrap();
         let u = dspace_digis::lamps::from_vendor_brightness(kind, v).unwrap();
         assert!((u - 0.6).abs() < 0.02, "{name}={u}");
     }
@@ -42,11 +53,23 @@ fn s2_room_update_clears_pins() {
 fn s3_motion_raises_brightness_to_full() {
     let mut s3 = S3::build(vec![secs(10)]);
     // Before motion: the configured 0.5.
-    assert_eq!(s3.inner.space.intent("lvroom/brightness").unwrap().as_f64(), Some(0.5));
+    assert_eq!(
+        s3.inner.space.intent("lvroom/brightness").unwrap().as_f64(),
+        Some(0.5)
+    );
     s3.inner.space.run_for_ms(15_000);
     // Motion at t=10s: the Fig. 3 reflex raises the room to 1.
-    assert_eq!(s3.inner.space.intent("lvroom/brightness").unwrap().as_f64(), Some(1.0));
-    let l1 = s3.inner.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    assert_eq!(
+        s3.inner.space.intent("lvroom/brightness").unwrap().as_f64(),
+        Some(1.0)
+    );
+    let l1 = s3
+        .inner
+        .space
+        .status("l1/brightness")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     assert!((l1 - 1000.0).abs() <= 2.0, "geeni at full: {l1}");
 }
 
@@ -56,7 +79,10 @@ fn s4_home_mode_cascades_to_rooms_and_lamps() {
     // Active mode: rooms at 0.7.
     for room in ["lvroom", "bedroom"] {
         assert_eq!(
-            s4.space.intent(&format!("{room}/brightness")).unwrap().as_f64(),
+            s4.space
+                .intent(&format!("{room}/brightness"))
+                .unwrap()
+                .as_f64(),
             Some(0.7),
             "{room} active"
         );
@@ -65,7 +91,10 @@ fn s4_home_mode_cascades_to_rooms_and_lamps() {
     s4.set_mode("sleep");
     for room in ["lvroom", "bedroom"] {
         assert_eq!(
-            s4.space.intent(&format!("{room}/brightness")).unwrap().as_f64(),
+            s4.space
+                .intent(&format!("{room}/brightness"))
+                .unwrap()
+                .as_f64(),
             Some(0.0),
             "{room} sleep"
         );
@@ -77,12 +106,20 @@ fn s4_home_mode_cascades_to_rooms_and_lamps() {
 #[test]
 fn s4_all_modes_map_to_documented_brightness() {
     let mut s4 = S4::build();
-    for (mode, expected) in [("vacation", 0.05), ("eco", 0.2), ("active", 0.7), ("sleep", 0.0)] {
+    for (mode, expected) in [
+        ("vacation", 0.05),
+        ("eco", 0.2),
+        ("active", 0.7),
+        ("sleep", 0.0),
+    ] {
         s4.set_mode(mode);
         assert_eq!(s4.space.status("home/mode").unwrap().as_str(), Some(mode));
         for room in ["lvroom", "bedroom"] {
             assert_eq!(
-                s4.space.intent(&format!("{room}/brightness")).unwrap().as_f64(),
+                s4.space
+                    .intent(&format!("{room}/brightness"))
+                    .unwrap()
+                    .as_f64(),
                 Some(expected),
                 "{room} under {mode}"
             );
@@ -134,14 +171,14 @@ fn s6_home_learns_mode_policy_from_demonstrations() {
         .space
         .physical_event(
             "lvroom",
-            dspace_value::object([(
-                "obs",
-                dspace_value::object([("occupancy", 0.0.into())]),
-            )]),
+            dspace_value::object([("obs", dspace_value::object([("occupancy", 0.0.into())]))]),
         )
         .unwrap();
     s6.inner.space.run_for_ms(8_000);
-    assert_eq!(s6.inner.space.intent("home/mode").unwrap().as_str(), Some("sleep"));
+    assert_eq!(
+        s6.inner.space.intent("home/mode").unwrap().as_str(),
+        Some("sleep")
+    );
 }
 
 #[test]
@@ -155,7 +192,10 @@ fn s7_audio_follows_the_user() {
     );
     // The user walks to room B: spk1 pauses, spk2 takes over.
     s7.user_moves_to("roomb", "rooma");
-    assert_eq!(s7.space.status("spk1/mode").unwrap().as_str(), Some("pause"));
+    assert_eq!(
+        s7.space.status("spk1/mode").unwrap().as_str(),
+        Some("pause")
+    );
     assert_eq!(s7.space.status("spk2/mode").unwrap().as_str(), Some("play"));
     assert_eq!(
         s7.space.status("spk2/source_url").unwrap().as_str(),
@@ -172,7 +212,10 @@ fn s8_roomba_remounts_as_it_moves() {
     ];
     let mut s8 = S8::build(OccupancySchedule::new(), route);
     let roomba = s8.inner.roomba.clone();
-    s8.inner.space.set_intent_now("rb1/mode", "start".into()).unwrap();
+    s8.inner
+        .space
+        .set_intent_now("rb1/mode", "start".into())
+        .unwrap();
     s8.inner.space.run_for_ms(10_000);
     assert_eq!(
         s8.inner.space.world.graph.borrow().active_parent(&roomba),
@@ -181,7 +224,10 @@ fn s8_roomba_remounts_as_it_moves() {
     );
     // After entering the bedroom, the mount policy moves the digivice.
     s8.inner.space.run_for_ms(35_000);
-    assert_eq!(s8.inner.space.obs("rb1/current_room").unwrap().as_str(), Some("bedroom"));
+    assert_eq!(
+        s8.inner.space.obs("rb1/current_room").unwrap().as_str(),
+        Some("bedroom")
+    );
     assert_eq!(
         s8.inner.space.world.graph.borrow().active_parent(&roomba),
         Some(s8.bedroom.clone())
@@ -206,7 +252,14 @@ fn s9_power_controller_takes_over_when_idle() {
         Some(room.clone())
     );
     assert_eq!(
-        s9.inner.space.world.graph.borrow().edge(&pc, &ul1).unwrap().state,
+        s9.inner
+            .space
+            .world
+            .graph
+            .borrow()
+            .edge(&pc, &ul1)
+            .unwrap()
+            .state,
         EdgeState::Yielded
     );
     // Room goes IDLE: the yield policy hands the lamps to the pc, which
@@ -217,7 +270,13 @@ fn s9_power_controller_takes_over_when_idle() {
         Some(pc.clone())
     );
     s9.inner.space.run_for_ms(6_000);
-    let l1 = s9.inner.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    let l1 = s9
+        .inner
+        .space
+        .status("l1/brightness")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     let u = dspace_digis::lamps::from_vendor_brightness("GeeniLamp", l1).unwrap();
     assert!((u - 0.1).abs() < 0.02, "saving brightness {u}");
     // Activity returns: control goes back to the room.
@@ -227,9 +286,18 @@ fn s9_power_controller_takes_over_when_idle() {
         Some(room)
     );
     // The user restores the room brightness (clears the takeover values).
-    s9.inner.space.set_intent("lvroom/brightness", 0.6.into()).unwrap();
+    s9.inner
+        .space
+        .set_intent("lvroom/brightness", 0.6.into())
+        .unwrap();
     s9.inner.space.run_for_ms(6_000);
-    let l1 = s9.inner.space.status("l1/brightness").unwrap().as_f64().unwrap();
+    let l1 = s9
+        .inner
+        .space
+        .status("l1/brightness")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     let u = dspace_digis::lamps::from_vendor_brightness("GeeniLamp", l1).unwrap();
     assert!((u - 0.6).abs() < 0.02, "restored {u}");
 }
@@ -241,7 +309,10 @@ fn s10_alarm_delegates_control_to_the_city() {
     let home = s10.home.clone();
     let city = s10.city.clone();
     // Sleeping home: room dark, home in control.
-    assert_eq!(s10.space.intent("lvroom/brightness").unwrap().as_f64(), Some(0.0));
+    assert_eq!(
+        s10.space.intent("lvroom/brightness").unwrap().as_f64(),
+        Some(0.0)
+    );
     assert_eq!(
         s10.space.world.graph.borrow().active_parent(&room),
         Some(home.clone())
@@ -252,14 +323,29 @@ fn s10_alarm_delegates_control_to_the_city() {
         s10.space.world.graph.borrow().active_parent(&room),
         Some(city.clone())
     );
-    assert_eq!(s10.space.intent("lvroom/brightness").unwrap().as_f64(), Some(1.0));
+    assert_eq!(
+        s10.space.intent("lvroom/brightness").unwrap().as_f64(),
+        Some(1.0)
+    );
     let l1 = s10.space.status("l1/brightness").unwrap().as_f64().unwrap();
-    assert!((l1 - 1000.0).abs() <= 2.0, "full evacuation brightness: {l1}");
+    assert!(
+        (l1 - 1000.0).abs() <= 2.0,
+        "full evacuation brightness: {l1}"
+    );
     // Alarm clears: the home regains control; the city keeps watching.
     s10.set_alarm(false);
-    assert_eq!(s10.space.world.graph.borrow().active_parent(&room), Some(home));
     assert_eq!(
-        s10.space.world.graph.borrow().edge(&city, &room).unwrap().state,
+        s10.space.world.graph.borrow().active_parent(&room),
+        Some(home)
+    );
+    assert_eq!(
+        s10.space
+            .world
+            .graph
+            .borrow()
+            .edge(&city, &room)
+            .unwrap()
+            .state,
         EdgeState::Yielded
     );
 }

@@ -35,7 +35,10 @@ pub enum Outcome {
 impl Dq {
     /// Wraps a space.
     pub fn new(space: Space) -> Dq {
-        Dq { space, aliases: Default::default() }
+        Dq {
+            space,
+            aliases: Default::default(),
+        }
     }
 
     /// Builds the interpreter around scenario S1 (the default playground).
@@ -90,7 +93,10 @@ impl Dq {
         };
         let driver = dspace_digis::driver_for(kind)
             .ok_or_else(|| format!("no catalogue driver for kind {kind}"))?;
-        let oref = self.space.create_digi(kind, name, driver).map_err(|e| e.to_string())?;
+        let oref = self
+            .space
+            .create_digi(kind, name, driver)
+            .map_err(|e| e.to_string())?;
         self.space.run_for_ms(100);
         Ok(format!("running {oref}"))
     }
@@ -139,7 +145,9 @@ impl Dq {
         let value = json::parse(raw)
             .or_else(|_| json::parse(&format!("\"{raw}\"")))
             .map_err(|e| e.to_string())?;
-        self.space.set_intent_now(target, value).map_err(|e| e.to_string())?;
+        self.space
+            .set_intent_now(target, value)
+            .map_err(|e| e.to_string())?;
         self.space.run_for_ms(100);
         Ok(format!("intent set: {target}"))
     }
@@ -294,7 +302,10 @@ mod tests {
     fn graph_lists_mounts() {
         let mut dq = Dq::with_s1();
         let out = text(dq.exec("graph"));
-        assert!(out.contains("Room/default/lvroom -> UniLamp/default/ul1"), "{out}");
+        assert!(
+            out.contains("Room/default/lvroom -> UniLamp/default/ul1"),
+            "{out}"
+        );
         assert!(out.contains("active"));
     }
 
@@ -352,7 +363,13 @@ mod tests {
         text(dq.exec("unmount ul2 lvroom"));
         let out = text(dq.exec("graph"));
         // The room→ul2 edge is gone; ul2's own child mount remains.
-        assert!(!out.contains("Room/default/lvroom -> UniLamp/default/ul2"), "{out}");
-        assert!(out.contains("UniLamp/default/ul2 -> LifxLamp/default/l2"), "{out}");
+        assert!(
+            !out.contains("Room/default/lvroom -> UniLamp/default/ul2"),
+            "{out}"
+        );
+        assert!(
+            out.contains("UniLamp/default/ul2 -> LifxLamp/default/l2"),
+            "{out}"
+        );
     }
 }

@@ -1,0 +1,698 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, dependency-free implementation of the proptest API
+//! subset its test suites use: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive`, range and tuple strategies, regex-subset string
+//! strategies, `prop::collection::{vec, btree_map}`, the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros, and a
+//! deterministic case runner.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated input as-is.
+//! - **Deterministic seeds.** Case `i` of every test derives its RNG from a
+//!   fixed constant and `i`, so runs are reproducible across machines.
+//! - **Regex strategies** support the subset used here: character classes
+//!   (`[a-zA-Z0-9_ .:/-]`), the `\PC` printable class, literal characters,
+//!   and `{m,n}` / `{n}` quantifiers.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64)
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (reference-counted, so it is `Clone`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `branch`
+    /// wraps an inner strategy into a composite, up to `depth` levels.
+    /// The `_desired_size` / `_expected_branch` hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let composite = branch(cur.clone()).boxed();
+            // Prefer composites so documents have structure, but keep a
+            // leaf arm so every level can terminate early.
+            cur = Union {
+                choices: vec![(1, cur), (3, composite)],
+            }
+            .boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy: always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between strategies of a common value type (the
+/// expansion of [`prop_oneof!`]).
+pub struct Union<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Unweighted union.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        Union {
+            choices: choices.into_iter().map(|c| (1, c)).collect(),
+        }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            choices: self.choices.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.choices.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.below(total.max(1) as usize) as u32;
+        for (w, s) in &self.choices {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        self.choices
+            .last()
+            .expect("non-empty union")
+            .1
+            .generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf strategies: any::<T>(), ranges, regex-subset strings, tuples
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical arbitrary-value strategy.
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span.max(1)) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end().wrapping_sub(*self.start()) as u64).saturating_add(1);
+                self.start().wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `&str` regex-subset patterns are string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// Generates maps; duplicate generated keys collapse, so the final
+    /// size may be below the drawn target (as with the real crate).
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            let mut out = BTreeMap::new();
+            for _ in 0..len {
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset pattern generator
+// ---------------------------------------------------------------------------
+
+mod pattern {
+    use super::TestRng;
+
+    /// Generates a string from the supported regex subset: literal chars,
+    /// `[...]` classes (with ranges), `\PC`, and `{m,n}` / `{n}`
+    /// quantifiers.
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    // `\PC`: any non-control character. Other escapes fall
+                    // back to the escaped literal.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        printable_set()
+                    } else {
+                        let c = *chars.get(i + 1).unwrap_or(&'\\');
+                        i += 2;
+                        vec![c]
+                    }
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let (lo, hi, next) = parse_quantifier(&chars, i + 1);
+                i = next;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(set[rng.below(set.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            // `a-z` range (a `-` just before `]` is a literal).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        set.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        (set, i + 1) // skip ']'
+    }
+
+    fn parse_quantifier(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+        let mut lo = 0usize;
+        let mut hi = None;
+        let mut cur = 0usize;
+        while i < chars.len() && chars[i] != '}' {
+            match chars[i] {
+                ',' => {
+                    lo = cur;
+                    cur = 0;
+                    hi = Some(0);
+                }
+                d if d.is_ascii_digit() => cur = cur * 10 + (d as usize - '0' as usize),
+                _ => {}
+            }
+            i += 1;
+        }
+        match hi {
+            Some(_) => (lo, cur, i + 1), // `{lo,cur}`
+            None => (cur, cur, i + 1),   // `{cur}`
+        }
+    }
+
+    /// Printable characters: ASCII plus a few multi-byte code points so
+    /// UTF-8 handling gets exercised.
+    fn printable_set() -> Vec<char> {
+        let mut set: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+        set.extend(['é', 'λ', '☃', '中', '𝄞']);
+        set
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner, config, errors
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runs `config.cases` generated cases of `f` (the `proptest!` macro
+/// expands into calls to this). Panics on the first failing case,
+/// reporting the generated input; no shrinking is attempted.
+pub fn run_cases<S, F>(config: &ProptestConfig, strategy: S, mut f: F)
+where
+    S: Strategy,
+    S::Value: Clone + fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(
+            0x5eed_0000_0000_0000 ^ u64::from(case).wrapping_mul(0x1234_5678_9abc_def1),
+        );
+        let input = strategy.generate(&mut rng);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(input.clone())));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest case {case}/{} failed: {e}\ninput: {input:#?}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest case {case}/{} panicked\ninput: {input:#?}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests; see the real crate's documentation. Supported
+/// grammar: an optional leading `#![proptest_config(expr)]`, then test
+/// functions whose arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_cases(&__config, ($($strat,)+), |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fallible assertion: returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}`: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Chooses uniformly between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+
+    /// Mirror of the real prelude's `prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// A handful of self-tests so the stub itself is covered by tier-1.
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = prop::collection::vec(0usize..10, 1..5);
+        let mut r1 = crate::TestRng::new(42);
+        let mut r2 = crate::TestRng::new(42);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_len() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_-]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::generate(&(0u8..=10), &mut rng);
+            assert!(u <= 10);
+            let f = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro pipeline itself works end to end.
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0usize..100, 0..8), b in any::<bool>()) {
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(b, b);
+        }
+    }
+}

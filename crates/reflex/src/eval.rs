@@ -140,7 +140,11 @@ pub fn eval(expr: &Expr, input: &Value, env: &Env) -> Result<Value, EvalError> {
             let steps = match target.as_ref() {
                 Expr::Path(_, steps) => steps.as_slice(),
                 Expr::Identity => &[],
-                _ => return Err(EvalError::TypeError("assignment target must be a path".into())),
+                _ => {
+                    return Err(EvalError::TypeError(
+                        "assignment target must be a path".into(),
+                    ))
+                }
             };
             let path = resolve_path(steps, input, env)?;
             let mut out = input.clone();
@@ -307,7 +311,10 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
         if args.len() == n {
             Ok(())
         } else {
-            Err(EvalError::Arity(format!("{name} expects {n} argument(s), got {}", args.len())))
+            Err(EvalError::Arity(format!(
+                "{name} expects {n} argument(s), got {}",
+                args.len()
+            )))
         }
     };
     match name {
@@ -319,9 +326,7 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
                 Value::Array(a) => a.len() as f64,
                 Value::Object(o) => o.len() as f64,
                 Value::Num(n) => n.abs(),
-                Value::Bool(_) => {
-                    return Err(EvalError::TypeError("boolean has no length".into()))
-                }
+                Value::Bool(_) => return Err(EvalError::TypeError("boolean has no length".into())),
             };
             Ok(Value::Num(n))
         }
@@ -334,7 +339,10 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
                 Value::Array(a) => Ok(Value::Array(
                     (0..a.len()).map(|i| Value::Num(i as f64)).collect(),
                 )),
-                other => Err(EvalError::TypeError(format!("{} has no keys", other.type_name()))),
+                other => Err(EvalError::TypeError(format!(
+                    "{} has no keys",
+                    other.type_name()
+                ))),
             }
         }
         "values" => {
@@ -342,7 +350,10 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
             match input {
                 Value::Object(o) => Ok(Value::Array(o.values().cloned().collect())),
                 Value::Array(a) => Ok(Value::Array(a.clone())),
-                other => Err(EvalError::TypeError(format!("{} has no values", other.type_name()))),
+                other => Err(EvalError::TypeError(format!(
+                    "{} has no values",
+                    other.type_name()
+                ))),
             }
         }
         "has" => {
@@ -400,12 +411,9 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
                 best = match best {
                     None => Some(v),
                     Some(b) => {
-                        let take = compare(
-                            if name == "min" { BinOp::Lt } else { BinOp::Gt },
-                            v,
-                            b,
-                        )?
-                        .truthy();
+                        let take =
+                            compare(if name == "min" { BinOp::Lt } else { BinOp::Gt }, v, b)?
+                                .truthy();
                         Some(if take { v } else { b })
                     }
                 };
@@ -495,14 +503,20 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
             arity(0)?;
             match input {
                 Value::Array(a) => Ok(a.first().cloned().unwrap_or(Value::Null)),
-                other => Err(EvalError::TypeError(format!("first on {}", other.type_name()))),
+                other => Err(EvalError::TypeError(format!(
+                    "first on {}",
+                    other.type_name()
+                ))),
             }
         }
         "last" => {
             arity(0)?;
             match input {
                 Value::Array(a) => Ok(a.last().cloned().unwrap_or(Value::Null)),
-                other => Err(EvalError::TypeError(format!("last on {}", other.type_name()))),
+                other => Err(EvalError::TypeError(format!(
+                    "last on {}",
+                    other.type_name()
+                ))),
             }
         }
         "range" => {
@@ -511,7 +525,9 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
                 .as_f64()
                 .ok_or_else(|| EvalError::TypeError("range expects a number".into()))?;
             Ok(Value::Array(
-                (0..n.max(0.0) as usize).map(|i| Value::Num(i as f64)).collect(),
+                (0..n.max(0.0) as usize)
+                    .map(|i| Value::Num(i as f64))
+                    .collect(),
             ))
         }
         "startswith" | "endswith" => {
@@ -531,9 +547,13 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
             let sep = eval(&args[0], input, env)?;
             match (input, sep) {
                 (Value::Str(s), Value::Str(p)) if !p.is_empty() => Ok(Value::Array(
-                    s.split(&p as &str).map(|part| Value::Str(part.into())).collect(),
+                    s.split(&p as &str)
+                        .map(|part| Value::Str(part.into()))
+                        .collect(),
                 )),
-                _ => Err(EvalError::TypeError("split expects non-empty string separator".into())),
+                _ => Err(EvalError::TypeError(
+                    "split expects non-empty string separator".into(),
+                )),
             }
         }
         "join" => {
@@ -541,7 +561,11 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
             let sep = eval(&args[0], input, env)?;
             let (arr, sep) = match (input, sep) {
                 (Value::Array(a), Value::Str(s)) => (a, s),
-                _ => return Err(EvalError::TypeError("join expects array input and string sep".into())),
+                _ => {
+                    return Err(EvalError::TypeError(
+                        "join expects array input and string sep".into(),
+                    ))
+                }
             };
             let parts: Result<Vec<String>, EvalError> = arr
                 .iter()
@@ -603,7 +627,10 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
             match input {
                 Value::Array(a) => Ok(Value::Array(a.iter().rev().cloned().collect())),
                 Value::Str(s) => Ok(Value::Str(s.chars().rev().collect())),
-                other => Err(EvalError::TypeError(format!("reverse on {}", other.type_name()))),
+                other => Err(EvalError::TypeError(format!(
+                    "reverse on {}",
+                    other.type_name()
+                ))),
             }
         }
         "flatten" => {
@@ -686,7 +713,9 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
             arity(1)?;
             let msg = eval(&args[0], input, env)?;
             Err(EvalError::UserError(
-                msg.as_str().map(str::to_string).unwrap_or_else(|| msg.to_string()),
+                msg.as_str()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| msg.to_string()),
             ))
         }
         other => Err(EvalError::UnknownFunction(other.to_string())),
@@ -696,7 +725,10 @@ fn call(name: &str, args: &[Expr], input: &Value, env: &Env) -> Result<Value, Ev
 fn num_fn(name: &str, input: &Value, f: impl Fn(f64) -> f64) -> Result<Value, EvalError> {
     match input {
         Value::Num(n) => Ok(Value::Num(f(*n))),
-        other => Err(EvalError::TypeError(format!("{name} on {}", other.type_name()))),
+        other => Err(EvalError::TypeError(format!(
+            "{name} on {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -723,8 +755,7 @@ mod tests {
     use dspace_value::json::parse;
 
     fn run(src: &str, input: &str) -> Value {
-        eval_str(src, &parse(input).unwrap(), &Env::new())
-            .unwrap_or_else(|e| panic!("{src}: {e}"))
+        eval_str(src, &parse(input).unwrap(), &Env::new()).unwrap_or_else(|e| panic!("{src}: {e}"))
     }
 
     #[test]
@@ -753,20 +784,32 @@ mod tests {
 
     #[test]
     fn if_then_else() {
-        assert_eq!(run("if .x > 1 then \"big\" else \"small\" end", r#"{"x": 5}"#),
-            Value::Str("big".into()));
-        assert_eq!(run("if .x > 1 then \"big\" else \"small\" end", r#"{"x": 0}"#),
-            Value::Str("small".into()));
+        assert_eq!(
+            run("if .x > 1 then \"big\" else \"small\" end", r#"{"x": 5}"#),
+            Value::Str("big".into())
+        );
+        assert_eq!(
+            run("if .x > 1 then \"big\" else \"small\" end", r#"{"x": 0}"#),
+            Value::Str("small".into())
+        );
         // Missing else defaults to identity.
         assert_eq!(run("if false then 1 end", "42"), Value::Num(42.0));
-        assert_eq!(run("if .x == 1 then \"a\" elif .x == 2 then \"b\" else \"c\" end",
-            r#"{"x": 2}"#), Value::Str("b".into()));
+        assert_eq!(
+            run(
+                "if .x == 1 then \"a\" elif .x == 2 then \"b\" else \"c\" end",
+                r#"{"x": 2}"#
+            ),
+            Value::Str("b".into())
+        );
     }
 
     #[test]
     fn assignment_returns_updated_document() {
         let out = run(".control.power.intent = \"on\"", r#"{"control": {}}"#);
-        assert_eq!(out.get_path(".control.power.intent").unwrap().as_str(), Some("on"));
+        assert_eq!(
+            out.get_path(".control.power.intent").unwrap().as_str(),
+            Some("on")
+        );
     }
 
     #[test]
@@ -796,7 +839,10 @@ mod tests {
         let src = "if $time - .motion.obs.last_triggered_time <= 600 \
                    then .control.brightness.intent = 1 else . end";
         let out = eval_str(src, &model, &env).unwrap();
-        assert_eq!(out.get_path(".control.brightness.intent").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            out.get_path(".control.brightness.intent").unwrap().as_f64(),
+            Some(1.0)
+        );
         // Outside the window the model is unchanged.
         let env = Env::new().with_var("time", 5000.0.into());
         let out = eval_str(src, &model, &env).unwrap();
@@ -807,10 +853,19 @@ mod tests {
     fn builtins() {
         assert_eq!(run("length", r#"[1, 2, 3]"#), Value::Num(3.0));
         assert_eq!(run("length", r#""abc""#), Value::Num(3.0));
-        assert_eq!(run("keys", r#"{"b": 1, "a": 2}"#), run(r#"["a", "b"]"#, "null"));
+        assert_eq!(
+            run("keys", r#"{"b": 1, "a": 2}"#),
+            run(r#"["a", "b"]"#, "null")
+        );
         assert_eq!(run("has(\"a\")", r#"{"a": 1}"#), Value::Bool(true));
-        assert_eq!(run("contains([\"person\"])", r#"["person", "dog"]"#), Value::Bool(true));
-        assert_eq!(run("contains([\"cat\"])", r#"["person", "dog"]"#), Value::Bool(false));
+        assert_eq!(
+            run("contains([\"person\"])", r#"["person", "dog"]"#),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run("contains([\"cat\"])", r#"["person", "dog"]"#),
+            Value::Bool(false)
+        );
         assert_eq!(run("min", "[3, 1, 2]"), Value::Num(1.0));
         assert_eq!(run("max", "[3, 1, 2]"), Value::Num(3.0));
         assert_eq!(run("add", "[1, 2, 3]"), Value::Num(6.0));
@@ -828,9 +883,15 @@ mod tests {
         assert_eq!(run("last", "[7, 8]"), Value::Num(8.0));
         assert_eq!(run("range(3)", "null"), run("[0, 1, 2]", "null"));
         assert_eq!(run("index(\"dog\")", r#"["cat", "dog"]"#), Value::Num(1.0));
-        assert_eq!(run("\"a,b\" | split(\",\")", "null"), run(r#"["a","b"]"#, "null"));
+        assert_eq!(
+            run("\"a,b\" | split(\",\")", "null"),
+            run(r#"["a","b"]"#, "null")
+        );
         assert_eq!(run("join(\"-\")", r#"["a","b"]"#), Value::Str("a-b".into()));
-        assert_eq!(run("startswith(\"rt\")", r#""rtsp://x""#), Value::Bool(true));
+        assert_eq!(
+            run("startswith(\"rt\")", r#""rtsp://x""#),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -843,7 +904,10 @@ mod tests {
         assert_eq!(run("unique", "[2, 1, 2, 3, 1]"), run("[1, 2, 3]", "null"));
         assert_eq!(run("reverse", "[1, 2]"), run("[2, 1]", "null"));
         assert_eq!(run("reverse", r#""ab""#), Value::Str("ba".into()));
-        assert_eq!(run("flatten", "[[1], [2, 3], 4]"), run("[1, 2, 3, 4]", "null"));
+        assert_eq!(
+            run("flatten", "[[1], [2, 3], 4]"),
+            run("[1, 2, 3, 4]", "null")
+        );
         assert_eq!(
             run("to_entries", r#"{"a": 1}"#),
             run(r#"[{"key": "a", "value": 1}]"#, "null")
@@ -852,8 +916,10 @@ mod tests {
             run("from_entries", r#"[{"key": "a", "value": 1}]"#),
             run(r#"{"a": 1}"#, "null")
         );
-        assert_eq!(run("to_entries | from_entries", r#"{"x": 5, "y": 6}"#),
-            run(r#"{"x": 5, "y": 6}"#, "null"));
+        assert_eq!(
+            run("to_entries | from_entries", r#"{"x": 5, "y": 6}"#),
+            run(r#"{"x": 5, "y": 6}"#, "null")
+        );
         assert_eq!(run("ascii_downcase", r#""AbC""#), Value::Str("abc".into()));
         assert_eq!(run("ascii_upcase", r#""AbC""#), Value::Str("ABC".into()));
         // Incomparable elements error rather than panic.

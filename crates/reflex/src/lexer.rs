@@ -236,7 +236,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     out.push(Token::Ne);
                     pos += 2;
                 } else {
-                    return Err(LexError { message: "unexpected '!'".into(), offset: pos });
+                    return Err(LexError {
+                        message: "unexpected '!'".into(),
+                        offset: pos,
+                    });
                 }
             }
             b'<' => {
@@ -264,7 +267,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     pos += 1;
                 }
                 if start == pos {
-                    return Err(LexError { message: "expected variable name after '$'".into(), offset: pos });
+                    return Err(LexError {
+                        message: "expected variable name after '$'".into(),
+                        offset: pos,
+                    });
                 }
                 out.push(Token::Var(input[start..pos].to_string()));
             }
@@ -274,7 +280,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 loop {
                     match bytes.get(pos) {
                         None => {
-                            return Err(LexError { message: "unterminated string".into(), offset: pos })
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                offset: pos,
+                            })
                         }
                         Some(b'"') => {
                             pos += 1;
@@ -325,8 +334,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     // Stop a trailing dot that is actually a path (e.g. `1.foo`
                     // never occurs, but `600\n.x` could glue; a dot followed by
                     // a non-digit terminates the number).
-                    if bytes[pos] == b'.'
-                        && !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit())
+                    if bytes[pos] == b'.' && !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit())
                     {
                         break;
                     }
@@ -371,10 +379,8 @@ mod tests {
 
     #[test]
     fn lex_fig3_policy() {
-        let toks = lex(
-            "if $time - .motion.obs.last_triggered_time <= 600 \
-             then .control.brightness.intent = 1 else . end",
-        )
+        let toks = lex("if $time - .motion.obs.last_triggered_time <= 600 \
+             then .control.brightness.intent = 1 else . end")
         .unwrap();
         assert_eq!(toks[0], Token::Ident("if".into()));
         assert_eq!(toks[1], Token::Var("time".into()));
@@ -406,7 +412,10 @@ mod tests {
     fn lex_number_then_path() {
         // `600` followed by a path must not swallow the dot.
         let toks = lex("600 .x").unwrap();
-        assert_eq!(toks, vec![Token::Num(600.0), Token::Dot, Token::Ident("x".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Num(600.0), Token::Dot, Token::Ident("x".into())]
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl Program {
     pub fn compile(source: &str) -> Result<Program, CompileError> {
         let tokens = lexer::lex(source).map_err(CompileError::Lex)?;
         let expr = parser::parse(&tokens).map_err(CompileError::Parse)?;
-        Ok(Program { source: source.to_string(), expr })
+        Ok(Program {
+            source: source.to_string(),
+            expr,
+        })
     }
 
     /// Evaluates the program against `input` with the given environment.

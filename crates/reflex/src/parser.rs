@@ -52,7 +52,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { message: msg.into(), at: self.pos }
+        ParseError {
+            message: msg.into(),
+            at: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -262,8 +265,12 @@ impl<'a> Parser<'a> {
                     // infix operators must not be swallowed here; the lexer
                     // has no context, so exclude them.
                     if matches!(self.tokens.get(self.pos.wrapping_sub(1)), Some(Token::Dot)) {
-                        if name == "and" || name == "or" || name == "then" || name == "else"
-                            || name == "elif" || name == "end"
+                        if name == "and"
+                            || name == "or"
+                            || name == "then"
+                            || name == "else"
+                            || name == "elif"
+                            || name == "end"
                         {
                             break;
                         }
@@ -343,10 +350,8 @@ mod tests {
 
     #[test]
     fn parse_fig3() {
-        let e = p(
-            "if $time - .motion.obs.last_triggered_time <= 600 \
-             then .control.brightness.intent = 1 else . end",
-        );
+        let e = p("if $time - .motion.obs.last_triggered_time <= 600 \
+             then .control.brightness.intent = 1 else . end");
         match e {
             Expr::If { arms, otherwise } => {
                 assert_eq!(arms.len(), 1);

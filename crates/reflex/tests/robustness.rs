@@ -46,10 +46,22 @@ fn arb_program() -> impl Strategy<Value = String> {
         Just("frobnicate".to_string()),
     ];
     let op = prop_oneof![
-        Just(" + "), Just(" - "), Just(" * "), Just(" / "), Just(" % "),
-        Just(" == "), Just(" != "), Just(" < "), Just(" <= "),
-        Just(" and "), Just(" or "), Just(" // "), Just(" | "),
-        Just(" = "), Just(" |= "), Just(" += "),
+        Just(" + "),
+        Just(" - "),
+        Just(" * "),
+        Just(" / "),
+        Just(" % "),
+        Just(" == "),
+        Just(" != "),
+        Just(" < "),
+        Just(" <= "),
+        Just(" and "),
+        Just(" or "),
+        Just(" // "),
+        Just(" | "),
+        Just(" = "),
+        Just(" |= "),
+        Just(" += "),
     ];
     (atom.clone(), prop::collection::vec((op, atom), 0..5)).prop_map(|(first, rest)| {
         let mut s = first;

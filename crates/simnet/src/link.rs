@@ -55,7 +55,11 @@ pub struct Link {
 impl Link {
     /// Creates a link with the given latency and unlimited bandwidth.
     pub fn new(name: impl Into<String>, latency: LatencyModel) -> Self {
-        Link { name: name.into(), latency, bandwidth_bps: None }
+        Link {
+            name: name.into(),
+            latency,
+            bandwidth_bps: None,
+        }
     }
 
     /// Sets the link bandwidth in bits per second.

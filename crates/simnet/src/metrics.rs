@@ -43,7 +43,12 @@ impl Histogram {
 
     /// Maximum sample, or 0.0 when empty.
     pub fn max(&self) -> f64 {
-        finite_or_zero(self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        finite_or_zero(
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 
     /// Exact percentile (`q` in `[0, 1]`), or 0.0 when empty.
@@ -117,7 +122,10 @@ impl Metrics {
 
     /// Records a histogram sample.
     pub fn record(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_string()).or_default().record(value);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     }
 
     /// Returns a histogram by name, if any samples were recorded.

@@ -14,7 +14,9 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
-        Rng { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+        Rng {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
     }
 
     /// Returns the next 64 random bits.

@@ -75,7 +75,12 @@ impl<W> Default for Sim<W> {
 impl<W> Sim<W> {
     /// Creates an empty simulator at time zero.
     pub fn new() -> Self {
-        Sim { now: 0, seq: 0, executed: 0, queue: BinaryHeap::new() }
+        Sim {
+            now: 0,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// Returns the current virtual time.
@@ -111,7 +116,11 @@ impl<W> Sim<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, f: Box::new(f) });
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
     }
 
     /// Executes the next event, if any. Returns `false` when the queue is
@@ -205,7 +214,9 @@ mod tests {
         let mut sim: Sim<Vec<u64>> = Sim::new();
         let mut log = Vec::new();
         for i in 1..=10 {
-            sim.schedule(millis(i * 10), move |w: &mut Vec<u64>, sim| w.push(sim.now()));
+            sim.schedule(millis(i * 10), move |w: &mut Vec<u64>, sim| {
+                w.push(sim.now())
+            });
         }
         sim.run_until(&mut log, millis(35));
         assert_eq!(log.len(), 3);

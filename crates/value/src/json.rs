@@ -34,7 +34,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsonError> {
-        Err(JsonError { message: msg.into(), offset: self.pos })
+        Err(JsonError {
+            message: msg.into(),
+            offset: self.pos,
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -161,13 +164,10 @@ impl<'a> Parser<'a> {
                                 return self.err("invalid low surrogate");
                             }
                             let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
-                            out.push(
-                                char::from_u32(c)
-                                    .ok_or(JsonError {
-                                        message: "invalid codepoint".into(),
-                                        offset: self.pos,
-                                    })?,
-                            );
+                            out.push(char::from_u32(c).ok_or(JsonError {
+                                message: "invalid codepoint".into(),
+                                offset: self.pos,
+                            })?);
                         } else {
                             out.push(char::from_u32(cp).ok_or(JsonError {
                                 message: "invalid codepoint".into(),
@@ -189,11 +189,12 @@ impl<'a> Parser<'a> {
                         if end > self.bytes.len() {
                             return self.err("truncated utf-8");
                         }
-                        let s = std::str::from_utf8(&self.bytes[start..end])
-                            .map_err(|_| JsonError {
+                        let s = std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
+                            JsonError {
                                 message: "invalid utf-8".into(),
                                 offset: start,
-                            })?;
+                            }
+                        })?;
                         out.push_str(s);
                         self.pos = end;
                     }
@@ -242,9 +243,10 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| JsonError { message: format!("invalid number '{text}'"), offset: start })
+        text.parse::<f64>().map(Value::Num).map_err(|_| JsonError {
+            message: format!("invalid number '{text}'"),
+            offset: start,
+        })
     }
 }
 
@@ -267,7 +269,10 @@ fn utf8_width(b: u8) -> usize {
 /// assert_eq!(v.get_path("a[2]").and_then(|x| x.as_str()), Some("x"));
 /// ```
 pub fn parse(input: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {

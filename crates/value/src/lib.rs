@@ -59,12 +59,7 @@ where
     I: IntoIterator<Item = (K, Value)>,
     K: Into<String>,
 {
-    Value::Object(
-        pairs
-            .into_iter()
-            .map(|(k, v)| (k.into(), v))
-            .collect(),
-    )
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
 /// Builds an array [`Value`] from an iterator of values.

@@ -46,7 +46,9 @@ impl std::error::Error for PathParseError {}
 impl Path {
     /// The empty path, addressing the document root.
     pub fn root() -> Self {
-        Path { segments: Vec::new() }
+        Path {
+            segments: Vec::new(),
+        }
     }
 
     /// Builds a path from segments.
@@ -103,14 +105,21 @@ impl Path {
 
     /// Returns the first `n` segments as a path.
     pub fn prefix(&self, n: usize) -> Path {
-        Path { segments: self.segments[..n.min(self.segments.len())].to_vec() }
+        Path {
+            segments: self.segments[..n.min(self.segments.len())].to_vec(),
+        }
     }
 
     /// Splits off the last segment, returning the parent path and that
     /// segment, or `None` for the root path.
     pub fn split_last(&self) -> Option<(Path, Segment)> {
         let (last, rest) = self.segments.split_last()?;
-        Some((Path { segments: rest.to_vec() }, last.clone()))
+        Some((
+            Path {
+                segments: rest.to_vec(),
+            },
+            last.clone(),
+        ))
     }
 
     /// Returns `true` if `self` is a (non-strict) prefix of `other`.
@@ -123,7 +132,9 @@ impl Path {
     /// prefix of `other`.
     pub fn strip_prefix(&self, other: &Path) -> Option<Path> {
         if self.is_prefix_of(other) {
-            Some(Path { segments: other.segments[self.segments.len()..].to_vec() })
+            Some(Path {
+                segments: other.segments[self.segments.len()..].to_vec(),
+            })
         } else {
             None
         }

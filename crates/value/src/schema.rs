@@ -32,16 +32,16 @@ impl AttrType {
     /// Returns `true` if `value` conforms to this type. `Null` conforms to
     /// every type (attributes may be unset).
     pub fn admits(&self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => true,
-            (AttrType::Any, _) => true,
-            (AttrType::String, Value::Str(_)) => true,
-            (AttrType::Number, Value::Num(_)) => true,
-            (AttrType::Bool, Value::Bool(_)) => true,
-            (AttrType::Object, Value::Object(_)) => true,
-            (AttrType::Array, Value::Array(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (AttrType::Any, _)
+                | (AttrType::String, Value::Str(_))
+                | (AttrType::Number, Value::Num(_))
+                | (AttrType::Bool, Value::Bool(_))
+                | (AttrType::Object, Value::Object(_))
+                | (AttrType::Array, Value::Array(_))
+        )
     }
 }
 
@@ -88,11 +88,18 @@ pub enum SchemaError {
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchemaError::TypeMismatch { path, expected, found } => {
+            SchemaError::TypeMismatch {
+                path,
+                expected,
+                found,
+            } => {
                 write!(f, "attribute {path}: expected {expected}, found {found}")
             }
             SchemaError::KindMismatch { expected, found } => {
-                write!(f, "model kind {found} does not match schema kind {expected}")
+                write!(
+                    f,
+                    "model kind {found} does not match schema kind {expected}"
+                )
             }
             SchemaError::UnknownAttribute(p) => write!(f, "unknown attribute {p}"),
             SchemaError::MixedControlAndData => {
@@ -149,7 +156,11 @@ pub struct KindSchema {
 
 impl KindSchema {
     /// Starts a digivice schema.
-    pub fn digivice(group: impl Into<String>, version: impl Into<String>, kind: impl Into<String>) -> Self {
+    pub fn digivice(
+        group: impl Into<String>,
+        version: impl Into<String>,
+        kind: impl Into<String>,
+    ) -> Self {
         KindSchema {
             group: group.into(),
             version: version.into(),
@@ -164,7 +175,11 @@ impl KindSchema {
     }
 
     /// Starts a digidata schema.
-    pub fn digidata(group: impl Into<String>, version: impl Into<String>, kind: impl Into<String>) -> Self {
+    pub fn digidata(
+        group: impl Into<String>,
+        version: impl Into<String>,
+        kind: impl Into<String>,
+    ) -> Self {
         let mut s = Self::digivice(group, version, kind);
         s.class = DigiClass::Digidata;
         s
@@ -191,7 +206,10 @@ impl KindSchema {
     ///
     /// Panics if called on a digivice schema.
     pub fn input(mut self, name: impl Into<String>, ty: AttrType) -> Self {
-        assert!(self.class == DigiClass::Digidata, "input attributes are digidata-only");
+        assert!(
+            self.class == DigiClass::Digidata,
+            "input attributes are digidata-only"
+        );
         self.input.insert(name.into(), ty);
         self
     }
@@ -202,7 +220,10 @@ impl KindSchema {
     ///
     /// Panics if called on a digivice schema.
     pub fn output(mut self, name: impl Into<String>, ty: AttrType) -> Self {
-        assert!(self.class == DigiClass::Digidata, "output attributes are digidata-only");
+        assert!(
+            self.class == DigiClass::Digidata,
+            "output attributes are digidata-only"
+        );
         self.output.insert(name.into(), ty);
         self
     }
@@ -252,9 +273,7 @@ impl KindSchema {
             DigiClass::Digidata => {
                 let mut data = BTreeMap::new();
                 let mk = |attrs: &BTreeMap<String, AttrType>| {
-                    Value::Object(
-                        attrs.keys().map(|k| (k.clone(), Value::Null)).collect(),
-                    )
+                    Value::Object(attrs.keys().map(|k| (k.clone(), Value::Null)).collect())
                 };
                 data.insert("input".to_string(), mk(&self.input));
                 data.insert("output".to_string(), mk(&self.output));
@@ -355,7 +374,10 @@ mod tests {
     #[test]
     fn new_model_has_declared_attributes() {
         let m = room().new_model("lvroom", "default");
-        assert_eq!(m.get_path("meta.kind").and_then(Value::as_str), Some("Room"));
+        assert_eq!(
+            m.get_path("meta.kind").and_then(Value::as_str),
+            Some("Room")
+        );
         assert!(m.get_path("control.brightness.intent").unwrap().is_null());
         assert!(m.get_path("control.mode.status").unwrap().is_null());
         assert!(m.get_path("obs.objects").unwrap().is_null());
@@ -366,8 +388,11 @@ mod tests {
     fn validate_accepts_conforming_model() {
         let schema = room();
         let mut m = schema.new_model("r", "default");
-        m.set(&".control.brightness.intent".parse().unwrap(), Value::from(0.8))
-            .unwrap();
+        m.set(
+            &".control.brightness.intent".parse().unwrap(),
+            Value::from(0.8),
+        )
+        .unwrap();
         assert_eq!(schema.validate(&m), Ok(()));
     }
 
@@ -375,8 +400,11 @@ mod tests {
     fn validate_rejects_type_mismatch() {
         let schema = room();
         let mut m = schema.new_model("r", "default");
-        m.set(&".control.brightness.intent".parse().unwrap(), Value::from("high"))
-            .unwrap();
+        m.set(
+            &".control.brightness.intent".parse().unwrap(),
+            Value::from("high"),
+        )
+        .unwrap();
         assert!(matches!(
             schema.validate(&m),
             Err(SchemaError::TypeMismatch { .. })

@@ -10,9 +10,10 @@ use crate::path::{Path, Segment};
 /// Objects use [`BTreeMap`] so that serialization, diffing, and hashing are
 /// deterministic — a requirement for the reproducible experiments in this
 /// repository (every run of a scenario must produce identical model states).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The null value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -179,11 +180,7 @@ impl Value {
                     }
                     let map = match cur {
                         Value::Object(m) => m,
-                        _ => {
-                            return Err(ValueError::NotAContainer(
-                                path.prefix(i).to_string(),
-                            ))
-                        }
+                        _ => return Err(ValueError::NotAContainer(path.prefix(i).to_string())),
                     };
                     if last {
                         map.insert(k.clone(), value);
@@ -194,11 +191,7 @@ impl Value {
                 Segment::Index(idx) => {
                     let arr = match cur {
                         Value::Array(a) => a,
-                        _ => {
-                            return Err(ValueError::NotAContainer(
-                                path.prefix(i).to_string(),
-                            ))
-                        }
+                        _ => return Err(ValueError::NotAContainer(path.prefix(i).to_string())),
                     };
                     let len = arr.len();
                     let slot = arr
@@ -221,9 +214,7 @@ impl Value {
         let parent = self.get_mut(&parent_path)?;
         match (last, parent) {
             (Segment::Key(k), Value::Object(map)) => map.remove(&k),
-            (Segment::Index(i), Value::Array(arr)) if i < arr.len() => {
-                Some(arr.remove(i))
-            }
+            (Segment::Index(i), Value::Array(arr)) if i < arr.len() => Some(arr.remove(i)),
             _ => None,
         }
     }
@@ -268,12 +259,6 @@ impl Value {
             Value::Array(_) => "array",
             Value::Object(_) => "object",
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 
@@ -414,10 +399,8 @@ mod tests {
     #[test]
     fn merge_is_recursive_for_objects() {
         let mut a = sample();
-        let b = crate::json::parse(
-            r#"{"control": {"power": {"status": "on"}}, "extra": 1}"#,
-        )
-        .unwrap();
+        let b =
+            crate::json::parse(r#"{"control": {"power": {"status": "on"}}, "extra": 1}"#).unwrap();
         a.merge(&b);
         assert_eq!(
             a.get_path(".control.power.status").and_then(Value::as_str),
@@ -436,7 +419,10 @@ mod tests {
         let mut a = sample();
         let b = crate::json::parse(r#"{"obs": {"objects": ["cat"]}}"#).unwrap();
         a.merge(&b);
-        assert_eq!(a.get_path("obs.objects").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(
+            a.get_path("obs.objects").unwrap().as_array().unwrap().len(),
+            1
+        );
     }
 
     #[test]

@@ -110,11 +110,11 @@ fn strip_comment(line: &str) -> &str {
         match c {
             '\'' if !in_double => in_single = !in_single,
             '"' if !in_single => in_double = !in_double,
-            '#' if !in_single && !in_double => {
+            '#' if !in_single && !in_double
                 // Comments must be preceded by whitespace or start the line.
-                if idx == 0 || line[..idx].ends_with(char::is_whitespace) {
-                    return &line[..idx];
-                }
+                && (idx == 0 || line[..idx].ends_with(char::is_whitespace)) =>
+            {
+                return &line[..idx];
             }
             _ => {}
         }
@@ -154,14 +154,22 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             } else {
                 items.push(Value::Null);
             }
-        } else if rest.starts_with('{') || rest.starts_with('[') || rest.starts_with('"') || rest.starts_with('\'') {
+        } else if rest.starts_with('{')
+            || rest.starts_with('[')
+            || rest.starts_with('"')
+            || rest.starts_with('\'')
+        {
             // A flow collection or quoted scalar item.
             items.push(parse_scalar(&rest, number)?);
         } else if rest.ends_with(':') || rest.contains(": ") {
             // Inline mapping entry beginning a block mapping item, e.g.
             // `- name: x` followed by more keys at deeper indentation.
             let virtual_indent = indent + 2;
-            let mut synthetic = vec![Line { number, indent: virtual_indent, text: rest }];
+            let mut synthetic = vec![Line {
+                number,
+                indent: virtual_indent,
+                text: rest,
+            }];
             while *pos < lines.len() && lines[*pos].indent >= virtual_indent {
                 let l = &lines[*pos];
                 synthetic.push(Line {
@@ -205,7 +213,13 @@ fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value
                 Value::Null
             }
         } else if rest == ">" || rest == ">-" || rest == "|" || rest == "|-" {
-            parse_block_scalar(lines, pos, indent, rest == ">" || rest == ">-", rest.ends_with('-'))
+            parse_block_scalar(
+                lines,
+                pos,
+                indent,
+                rest == ">" || rest == ">-",
+                rest.ends_with('-'),
+            )
         } else {
             parse_scalar(rest, number)?
         };
@@ -251,10 +265,12 @@ fn find_key_colon(text: &str) -> Option<usize> {
             b'"' if !in_single => in_double = !in_double,
             b'{' | b'[' if !in_single && !in_double => depth += 1,
             b'}' | b']' if !in_single && !in_double => depth = depth.saturating_sub(1),
-            b':' if !in_single && !in_double && depth == 0 => {
-                if i + 1 == bytes.len() || bytes[i + 1] == b' ' {
-                    return Some(i);
-                }
+            b':' if !in_single
+                && !in_double
+                && depth == 0
+                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') =>
+            {
+                return Some(i);
             }
             _ => {}
         }
@@ -311,10 +327,10 @@ fn plain_scalar(t: &str) -> Value {
         _ => {}
     }
     if let Ok(n) = t.parse::<f64>() {
-        if !t.contains(|c: char| c.is_alphabetic() && c != 'e' && c != 'E') || t == "inf" {
-            if n.is_finite() {
-                return Value::Num(n);
-            }
+        if (!t.contains(|c: char| c.is_alphabetic() && c != 'e' && c != 'E') || t == "inf")
+            && n.is_finite()
+        {
+            return Value::Num(n);
         }
     }
     Value::Str(t.to_string())
@@ -322,11 +338,18 @@ fn plain_scalar(t: &str) -> Value {
 
 /// Parses a single-line flow collection like `{a: 1, b: [2, 3]}`.
 fn parse_flow(text: &str, line: usize) -> Result<Value, YamlError> {
-    let mut p = FlowParser { chars: text.chars().collect(), pos: 0, line };
+    let mut p = FlowParser {
+        chars: text.chars().collect(),
+        pos: 0,
+        line,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.chars.len() {
-        return Err(YamlError { message: "trailing flow content".into(), line });
+        return Err(YamlError {
+            message: "trailing flow content".into(),
+            line,
+        });
     }
     Ok(v)
 }
@@ -339,7 +362,10 @@ struct FlowParser {
 
 impl FlowParser {
     fn err<T>(&self, msg: &str) -> Result<T, YamlError> {
-        Err(YamlError { message: msg.into(), line: self.line })
+        Err(YamlError {
+            message: msg.into(),
+            line: self.line,
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -486,7 +512,11 @@ fn emit_block(out: &mut String, value: &Value, indent: usize) {
                         // `- key: value` with the rest indented under it.
                         let mut first = true;
                         for (k, v) in m {
-                            let lead = if first { format!("{pad}- ") } else { format!("{pad}  ") };
+                            let lead = if first {
+                                format!("{pad}- ")
+                            } else {
+                                format!("{pad}  ")
+                            };
                             first = false;
                             let key = emit_key(k);
                             match v {
@@ -498,10 +528,9 @@ fn emit_block(out: &mut String, value: &Value, indent: usize) {
                                     out.push_str(&format!("{lead}{key}:\n"));
                                     emit_block(out, v, indent + 2);
                                 }
-                                scalar => out.push_str(&format!(
-                                    "{lead}{key}: {}\n",
-                                    emit_scalar(scalar)
-                                )),
+                                scalar => {
+                                    out.push_str(&format!("{lead}{key}: {}\n", emit_scalar(scalar)))
+                                }
                             }
                         }
                     }
@@ -518,10 +547,7 @@ fn emit_block(out: &mut String, value: &Value, indent: usize) {
 }
 
 fn emit_key(k: &str) -> String {
-    if k.is_empty()
-        || k.contains(|c: char| c == ':' || c == '#' || c == '"' || c == '\n')
-        || k.trim() != k
-    {
+    if k.is_empty() || k.contains([':', '#', '"', '\n']) || k.trim() != k {
         crate::json::to_string(&Value::Str(k.to_string()))
     } else {
         k.to_string()
@@ -535,11 +561,17 @@ fn emit_scalar(v: &Value) -> String {
         Value::Num(_) => crate::json::to_string(v),
         Value::Str(s) => {
             let needs_quotes = s.is_empty()
-                || matches!(s.as_str(), "null" | "~" | "true" | "false" | "True" | "False")
+                || matches!(
+                    s.as_str(),
+                    "null" | "~" | "true" | "false" | "True" | "False"
+                )
                 || s.trim() != s
                 || s.parse::<f64>().is_ok()
                 || s.contains(|c: char| {
-                    matches!(c, ':' | '#' | '{' | '[' | ']' | '}' | '"' | '\'' | '\n' | ',')
+                    matches!(
+                        c,
+                        ':' | '#' | '{' | '[' | ']' | '}' | '"' | '\'' | '\n' | ','
+                    )
                 })
                 || s.starts_with('-')
                 || s.starts_with('>')
@@ -581,12 +613,19 @@ obs:
 ",
         )
         .unwrap();
-        assert_eq!(v.get_path("meta.kind").and_then(|x| x.as_str()), Some("UniLamp"));
         assert_eq!(
-            v.get_path("control.brightness.intent").and_then(|x| x.as_f64()),
+            v.get_path("meta.kind").and_then(|x| x.as_str()),
+            Some("UniLamp")
+        );
+        assert_eq!(
+            v.get_path("control.brightness.intent")
+                .and_then(|x| x.as_f64()),
             Some(0.3)
         );
-        assert_eq!(v.get_path("obs.reason").and_then(|x| x.as_str()), Some("DISCONNECT"));
+        assert_eq!(
+            v.get_path("obs.reason").and_then(|x| x.as_str()),
+            Some("DISCONNECT")
+        );
     }
 
     #[test]
@@ -612,7 +651,8 @@ reflex:
         assert!(policy.ends_with("else . end"));
         assert!(!policy.contains('\n'));
         assert_eq!(
-            v.get_path("reflex.motion-brightness.priority").and_then(|x| x.as_f64()),
+            v.get_path("reflex.motion-brightness.priority")
+                .and_then(|x| x.as_f64()),
             Some(1.0)
         );
     }
@@ -630,7 +670,10 @@ tags: [a, b, 3]
 ",
         )
         .unwrap();
-        assert_eq!(v.get_path("rooms[1].name").and_then(|x| x.as_str()), Some("kitchen"));
+        assert_eq!(
+            v.get_path("rooms[1].name").and_then(|x| x.as_str()),
+            Some("kitchen")
+        );
         assert_eq!(v.get_path("tags[2]").and_then(|x| x.as_f64()), Some(3.0));
     }
 
@@ -638,7 +681,8 @@ tags: [a, b, 3]
     fn parse_flow_map() {
         let v = parse("mount:\n  unilamp:\n    ul1: {mode: expose, status: active}\n").unwrap();
         assert_eq!(
-            v.get_path("mount.unilamp.ul1.mode").and_then(|x| x.as_str()),
+            v.get_path("mount.unilamp.ul1.mode")
+                .and_then(|x| x.as_str()),
             Some("expose")
         );
     }
@@ -647,13 +691,19 @@ tags: [a, b, 3]
     fn comments_and_blank_lines_ignored() {
         let v = parse("# header\n\na: 1 # trailing\nb: \"#notacomment\"\n").unwrap();
         assert_eq!(v.get_path("a").and_then(|x| x.as_f64()), Some(1.0));
-        assert_eq!(v.get_path("b").and_then(|x| x.as_str()), Some("#notacomment"));
+        assert_eq!(
+            v.get_path("b").and_then(|x| x.as_str()),
+            Some("#notacomment")
+        );
     }
 
     #[test]
     fn literal_block_scalar_keeps_newlines() {
         let v = parse("script: |\n  line1\n  line2\n").unwrap();
-        assert_eq!(v.get_path("script").and_then(|x| x.as_str()), Some("line1\nline2"));
+        assert_eq!(
+            v.get_path("script").and_then(|x| x.as_str()),
+            Some("line1\nline2")
+        );
     }
 
     #[test]
@@ -663,7 +713,10 @@ tags: [a, b, 3]
         assert!(v.get_path("b").unwrap().is_null());
         assert!(v.get_path("c").unwrap().is_null());
         assert_eq!(v.get_path("d").and_then(|x| x.as_f64()), Some(1.5));
-        assert_eq!(v.get_path("e").and_then(|x| x.as_str()), Some("hello world"));
+        assert_eq!(
+            v.get_path("e").and_then(|x| x.as_str()),
+            Some("hello world")
+        );
         assert_eq!(v.get_path("f").and_then(|x| x.as_str()), Some("quoted"));
     }
 

@@ -31,7 +31,9 @@ fn zone_driver() -> Driver {
             if !children.is_empty() {
                 let per_child = (limit / children.len() as f64).floor();
                 for c in &children {
-                    let cur = ctx.digi().replica("Zone", c, ".control.occupancy_limit.intent");
+                    let cur = ctx
+                        .digi()
+                        .replica("Zone", c, ".control.occupancy_limit.intent");
                     if cur.as_f64() != Some(per_child) {
                         ctx.digi().set_replica(
                             "Zone",
@@ -55,7 +57,11 @@ fn zone_driver() -> Driver {
         }
         // Violation status + lighting response at every level.
         let occ = ctx.digi().obs("occupancy").as_f64().unwrap_or(0.0);
-        let limit = ctx.digi().intent("occupancy_limit").as_f64().unwrap_or(f64::MAX);
+        let limit = ctx
+            .digi()
+            .intent("occupancy_limit")
+            .as_f64()
+            .unwrap_or(f64::MAX);
         let status = if occ > limit { "OVER" } else { "OK" };
         if ctx.digi().status("occupancy_limit").as_str() != Some(status) {
             ctx.digi().set_status("occupancy_limit", status.into());
@@ -94,7 +100,9 @@ fn main() {
     space.run_for_ms(2_000);
 
     // The campus admin sets one number; every room learns its share.
-    space.set_intent("campus/occupancy_limit", 40.0.into()).unwrap();
+    space
+        .set_intent("campus/occupancy_limit", 40.0.into())
+        .unwrap();
     space.run_for_ms(6_000);
     println!("campus limit 40 ->");
     for room in &rooms {
@@ -128,10 +136,7 @@ fn main() {
     space
         .physical_event(
             "b0r0",
-            dspace::value::object([(
-                "obs",
-                dspace::value::object([("occupancy", 25.0.into())]),
-            )]),
+            dspace::value::object([("obs", dspace::value::object([("occupancy", 25.0.into())]))]),
         )
         .unwrap();
     space.run_for_ms(6_000);

@@ -20,7 +20,10 @@ fn main() {
     println!("== S9: shared control (power saving on idle) ==");
     let mut s9 = S9::build();
     let ul1 = s9.inner.unilamps[0].clone();
-    println!("writer over ul1 initially: {}", holder(&s9.inner.space, &ul1));
+    println!(
+        "writer over ul1 initially: {}",
+        holder(&s9.inner.space, &ul1)
+    );
     s9.set_activity("IDLE");
     println!(
         "room went IDLE -> writer: {} ; lamp dimmed to {}",
@@ -28,7 +31,10 @@ fn main() {
         s9.inner.space.status("l1/brightness").unwrap()
     );
     s9.set_activity("ACTIVE");
-    println!("room ACTIVE again -> writer: {}", holder(&s9.inner.space, &ul1));
+    println!(
+        "room ACTIVE again -> writer: {}",
+        holder(&s9.inner.space, &ul1)
+    );
 
     println!("\n== S10: delegation to a city emergency service ==");
     let mut s10 = S10::build();
@@ -47,7 +53,12 @@ fn main() {
     s10.set_alarm(false);
     println!("alarm cleared -> writer {}", holder(&s10.space, &s10.room));
     println!("\npolicy firings in the trace:");
-    for e in s10.space.world.trace.of_kind(&dspace::core::TraceKind::PolicyFired) {
+    for e in s10
+        .space
+        .world
+        .trace
+        .of_kind(&dspace::core::TraceKind::PolicyFired)
+    {
         println!("  {:>9.1}ms {} {}", e.t as f64 / 1e6, e.subject, e.detail);
     }
 }

@@ -18,7 +18,10 @@ fn speakers(s7: &S7) -> String {
 
 fn main() {
     let mut s7 = S7::build();
-    println!("roaming source: {}", s7.space.intent("roam/source_url").unwrap());
+    println!(
+        "roaming source: {}",
+        s7.space.intent("roam/source_url").unwrap()
+    );
 
     s7.user_moves_to("rooma", "roomb");
     println!("user in room A -> {}", speakers(&s7));
@@ -33,7 +36,12 @@ fn main() {
     // ever touched its own model; the mounter carried the intents down
     // two levels of replicas (note the Bose speaker's vendor-cloud DT).
     println!("\ndevice actuations:");
-    for e in s7.space.world.trace.of_kind(&dspace::core::TraceKind::DeviceDone) {
+    for e in s7
+        .space
+        .world
+        .trace
+        .of_kind(&dspace::core::TraceKind::DeviceDone)
+    {
         println!("  {:>9.1}ms {} {}", e.t as f64 / 1e6, e.subject, e.detail);
     }
 }

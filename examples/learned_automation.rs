@@ -29,10 +29,7 @@ fn main() {
         .space
         .physical_event(
             "lvroom",
-            dspace::value::object([(
-                "obs",
-                dspace::value::object([("occupancy", 0.0.into())]),
-            )]),
+            dspace::value::object([("obs", dspace::value::object([("occupancy", 0.0.into())]))]),
         )
         .unwrap();
     s6.inner.space.run_for_ms(8_000);
@@ -46,10 +43,7 @@ fn main() {
         .space
         .physical_event(
             "lvroom",
-            dspace::value::object([(
-                "obs",
-                dspace::value::object([("occupancy", 2.0.into())]),
-            )]),
+            dspace::value::object([("obs", dspace::value::object([("occupancy", 2.0.into())]))]),
         )
         .unwrap();
     s6.inner.space.run_for_ms(8_000);

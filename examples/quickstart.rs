@@ -30,7 +30,8 @@ fn main() {
         if let Some(p) = power.as_str() {
             if power != ctx.digi().status("power") {
                 let mut dps = dspace::value::obj();
-                dps.set(&".1".parse().unwrap(), Value::from(p == "on")).unwrap();
+                dps.set(&".1".parse().unwrap(), Value::from(p == "on"))
+                    .unwrap();
                 ctx.device(dspace::value::object([("dps", dps)]));
             }
         }
@@ -59,6 +60,12 @@ fn main() {
     println!("\nlast trace entries:");
     let entries = space.world.trace.entries();
     for e in &entries[entries.len().saturating_sub(5)..] {
-        println!("  {:>8.1}ms {:?} {} {}", e.t as f64 / 1e6, e.kind, e.subject, e.detail);
+        println!(
+            "  {:>8.1}ms {:?} {} {}",
+            e.t as f64 / 1e6,
+            e.kind,
+            e.subject,
+            e.detail
+        );
     }
 }

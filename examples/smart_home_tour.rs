@@ -58,7 +58,10 @@ fn main() {
     println!("\n== S5: robot vacuum by scene ==");
     let mut s5 = S5::build(person_window(20, 60));
     s5.space.run_for_ms(15_000);
-    println!("t=15s  nobody visible: roomba {}", s5.space.status("rb1/mode").unwrap());
+    println!(
+        "t=15s  nobody visible: roomba {}",
+        s5.space.status("rb1/mode").unwrap()
+    );
     s5.space.run_for_ms(15_000);
     println!(
         "t=30s  person in view (objects {}): roomba {}",
@@ -66,6 +69,9 @@ fn main() {
         s5.space.status("rb1/mode").unwrap()
     );
     s5.space.run_for_ms(40_000);
-    println!("t=70s  person left: roomba {}", s5.space.status("rb1/mode").unwrap());
+    println!(
+        "t=70s  person left: roomba {}",
+        s5.space.status("rb1/mode").unwrap()
+    );
     show_graph(&s5.space, "S5 pipeline");
 }

@@ -6,7 +6,7 @@ use dspace::analytics::OccupancySchedule;
 use dspace::apiserver::ObjectRef;
 use dspace::core::graph::MountMode;
 use dspace::devices::{GeeniLamp, LifxLamp, RingMotionSensor, Roomba, TeckinPlug, WyzeCam};
-use dspace::digis::{home, lamps, media, room, sensors, vacuum, data};
+use dspace::digis::{data, home, lamps, media, room, sensors, vacuum};
 use dspace::simnet::secs;
 use dspace::value::Value;
 
@@ -15,33 +15,59 @@ use dspace::value::Value;
 fn build_full_home() -> dspace::core::Space {
     let mut space = dspace::digis::new_space();
     // Living room devices.
-    let l1 = space.create_digi("GeeniLamp", "l1", lamps::geeni_driver()).unwrap();
+    let l1 = space
+        .create_digi("GeeniLamp", "l1", lamps::geeni_driver())
+        .unwrap();
     space.attach_actuator(&l1, Box::new(GeeniLamp::new()));
-    let ul1 = space.create_digi("UniLamp", "ul1", lamps::unilamp_driver()).unwrap();
-    let lvroom = space.create_digi("Room", "lvroom", room::room_driver()).unwrap();
+    let ul1 = space
+        .create_digi("UniLamp", "ul1", lamps::unilamp_driver())
+        .unwrap();
+    let lvroom = space
+        .create_digi("Room", "lvroom", room::room_driver())
+        .unwrap();
     // Bedroom devices.
-    let l2 = space.create_digi("LifxLamp", "l2", lamps::lifx_driver()).unwrap();
+    let l2 = space
+        .create_digi("LifxLamp", "l2", lamps::lifx_driver())
+        .unwrap();
     space.attach_actuator(&l2, Box::new(LifxLamp::new()));
-    let ul2 = space.create_digi("UniLamp", "ul2", lamps::unilamp_driver()).unwrap();
-    let bedroom = space.create_digi("Room", "bedroom", room::room_driver()).unwrap();
+    let ul2 = space
+        .create_digi("UniLamp", "ul2", lamps::unilamp_driver())
+        .unwrap();
+    let bedroom = space
+        .create_digi("Room", "bedroom", room::room_driver())
+        .unwrap();
     // Extras: plug, motion, camera -> scene, roomba.
-    let plug = space.create_digi("Plug", "plug1", sensors::plug_driver()).unwrap();
+    let plug = space
+        .create_digi("Plug", "plug1", sensors::plug_driver())
+        .unwrap();
     space.attach_actuator(&plug, Box::new(TeckinPlug::new(45.0)));
-    let motion = space.create_digi("RingMotion", "motion1", sensors::motion_driver()).unwrap();
-    space.attach_actuator(&motion, Box::new(RingMotionSensor::with_schedule(vec![secs(40)])));
-    let cam = space.create_digi("Camera", "cam", media::camera_driver()).unwrap();
+    let motion = space
+        .create_digi("RingMotion", "motion1", sensors::motion_driver())
+        .unwrap();
+    space.attach_actuator(
+        &motion,
+        Box::new(RingMotionSensor::with_schedule(vec![secs(40)])),
+    );
+    let cam = space
+        .create_digi("Camera", "cam", media::camera_driver())
+        .unwrap();
     space.attach_actuator(&cam, Box::new(WyzeCam::new("cam-host")));
-    let scene = space.create_digi("Scene", "sc1", data::scene_driver()).unwrap();
+    let scene = space
+        .create_digi("Scene", "sc1", data::scene_driver())
+        .unwrap();
     space.attach_actuator(
         &scene,
-        Box::new(dspace::analytics::SceneEngine::new(OccupancySchedule::from_entries([
-            (secs(30), vec!["person"]),
-            (secs(70), vec![]),
-        ]))),
+        Box::new(dspace::analytics::SceneEngine::new(
+            OccupancySchedule::from_entries([(secs(30), vec!["person"]), (secs(70), vec![])]),
+        )),
     );
-    let rb = space.create_digi("Roomba", "rb1", vacuum::roomba_driver()).unwrap();
+    let rb = space
+        .create_digi("Roomba", "rb1", vacuum::roomba_driver())
+        .unwrap();
     space.attach_actuator(&rb, Box::new(Roomba::new("lvroom", vec![])));
-    let home_digi = space.create_digi("Home", "home", home::home_driver()).unwrap();
+    let home_digi = space
+        .create_digi("Home", "home", home::home_driver())
+        .unwrap();
     // Composition.
     for (c, p) in [
         (&l1, &ul1),
@@ -73,18 +99,24 @@ fn full_home_mode_cascade_and_pipeline() {
     assert!((geeni - 703.0).abs() <= 3.0, "geeni={geeni}"); // 0.7 * Tuya scale
     let lifx = space.status("l2/brightness").unwrap().as_f64().unwrap();
     assert!((lifx - 45875.0).abs() <= 50.0, "lifx={lifx}"); // 0.7 * 65535
-    // The camera pipeline fills the room's observations and pauses the
-    // roomba when the person appears at t=30s.
+                                                            // The camera pipeline fills the room's observations and pauses the
+                                                            // roomba when the person appears at t=30s.
     space.set_intent("rb1/mode", "start".into()).unwrap();
     space.run_for(secs(35));
     assert_eq!(space.status("rb1/mode").unwrap().as_str(), Some("stop"));
-    assert_eq!(space.obs("lvroom/activity").unwrap().as_str(), Some("ACTIVE"));
+    assert_eq!(
+        space.obs("lvroom/activity").unwrap().as_str(),
+        Some("ACTIVE")
+    );
     // Home-level occupancy aggregation sees the living room.
     let occ = space.read("home", ".obs.occupancy.lvroom").unwrap();
     assert_eq!(occ.as_f64(), Some(1.0));
     // Motion sensor fired at t=40s and is visible through the replica.
     let lt = space
-        .read("lvroom", ".mount.RingMotion.motion1.obs.last_triggered_time")
+        .read(
+            "lvroom",
+            ".mount.RingMotion.motion1.obs.last_triggered_time",
+        )
         .unwrap();
     assert!(lt.as_f64().unwrap() >= 39.0, "motion time {lt}");
     // The multitree invariant held throughout.
@@ -102,7 +134,12 @@ fn rbac_denies_foreign_driver_writes() {
     let err = api_space
         .world
         .api
-        .patch_path("driver:l1", &room_ref, ".control.brightness.intent", 1.0.into())
+        .patch_path(
+            "driver:l1",
+            &room_ref,
+            ".control.brightness.intent",
+            1.0.into(),
+        )
         .unwrap_err();
     assert!(matches!(err, dspace::apiserver::ApiError::Forbidden { .. }));
     // Its own model is fine.
@@ -119,7 +156,9 @@ fn schema_validation_holds_at_runtime() {
     let mut space = build_full_home();
     // Room brightness is declared Number; a string intent is rejected by
     // the apiserver's schema validation.
-    let err = space.set_intent_now("lvroom/brightness", "bright".into()).unwrap_err();
+    let err = space
+        .set_intent_now("lvroom/brightness", "bright".into())
+        .unwrap_err();
     assert!(err.to_string().contains("expected number"), "{err}");
 }
 
@@ -142,15 +181,25 @@ fn deterministic_replay_same_seed_same_state() {
         space.run_for(secs(45));
         (
             dspace::value::json::to_string(
-                &space.world.api.get(dspace::apiserver::ApiServer::ADMIN,
-                    &ObjectRef::default_ns("Room", "lvroom")).unwrap().model,
+                &space
+                    .world
+                    .api
+                    .get(
+                        dspace::apiserver::ApiServer::ADMIN,
+                        &ObjectRef::default_ns("Room", "lvroom"),
+                    )
+                    .unwrap()
+                    .model,
             ),
             space.world.trace.len(),
         )
     };
     let (a_model, a_trace) = run();
     let (b_model, b_trace) = run();
-    assert_eq!(a_model, b_model, "model state diverged across identical runs");
+    assert_eq!(
+        a_model, b_model,
+        "model state diverged across identical runs"
+    );
     assert_eq!(a_trace, b_trace, "trace length diverged");
 }
 

@@ -1,7 +1,7 @@
 //! Tests pinning the paper's headline claims to this reproduction.
 
-use dspace::baselines::{scenario_requirements, support_level, Support};
 use dspace::baselines::profiles::all_frameworks;
+use dspace::baselines::{scenario_requirements, support_level, Support};
 
 /// §1: "40% of our scenarios cannot be supported by any of these other
 /// frameworks."
@@ -9,17 +9,14 @@ use dspace::baselines::profiles::all_frameworks;
 fn forty_percent_unsupported_claim() {
     let reqs = scenario_requirements();
     let frameworks = all_frameworks();
-    let unsupported = reqs
-        .iter()
-        .filter(|r| {
-            frameworks
-                .iter()
-                .filter(|f| f.name != "dSpace")
-                .all(|f| {
+    let unsupported =
+        reqs.iter()
+            .filter(|r| {
+                frameworks.iter().filter(|f| f.name != "dSpace").all(|f| {
                     dspace::baselines::support::support_level_adjusted(f, r) == Support::No
                 })
-        })
-        .count();
+            })
+            .count();
     assert_eq!(unsupported * 10, reqs.len() * 4, "expected exactly 40%");
 }
 
@@ -62,7 +59,12 @@ fn intent_version_guarantee_in_vivo() {
     use dspace::apiserver::{ApiServer, ObjectRef};
     let mut s1 = dspace::digis::scenarios::s1::S1::build();
     let lamp = ObjectRef::default_ns("GeeniLamp", "l1");
-    let w = s1.space.world.api.watch(ApiServer::ADMIN, Some("GeeniLamp")).unwrap();
+    let w = s1
+        .space
+        .world
+        .api
+        .watch(ApiServer::ADMIN, Some("GeeniLamp"))
+        .unwrap();
     for i in 0..10 {
         s1.space
             .set_intent("lvroom/brightness", (0.1 + 0.08 * i as f64).into())
@@ -77,7 +79,11 @@ fn intent_version_guarantee_in_vivo() {
         .collect();
     assert!(!versions.is_empty());
     for pair in versions.windows(2) {
-        assert_eq!(pair[1], pair[0] + 1, "gap in observed versions: {versions:?}");
+        assert_eq!(
+            pair[1],
+            pair[0] + 1,
+            "gap in observed versions: {versions:?}"
+        );
     }
 }
 
@@ -93,9 +99,16 @@ fn device_time_dominates_ttf() {
     let trace = &s1.space.world.trace;
     let leaf = "GeeniLamp/default/l1";
     let intent = trace.first_after(&TraceKind::UserIntent, leaf, t0).unwrap();
-    let cmd = trace.first_after(&TraceKind::DeviceCommand, leaf, intent.t).unwrap();
-    let done = trace.first_after(&TraceKind::DeviceDone, leaf, cmd.t).unwrap();
+    let cmd = trace
+        .first_after(&TraceKind::DeviceCommand, leaf, intent.t)
+        .unwrap();
+    let done = trace
+        .first_after(&TraceKind::DeviceDone, leaf, cmd.t)
+        .unwrap();
     let dt = (done.t - cmd.t) as f64;
     let fpt = (cmd.t - intent.t) as f64;
-    assert!(dt > 3.0 * fpt, "device time should dominate: dt={dt} fpt={fpt}");
+    assert!(
+        dt > 3.0 * fpt,
+        "device time should dominate: dt={dt} fpt={fpt}"
+    );
 }
