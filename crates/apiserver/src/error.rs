@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::object::ObjectRef;
+use crate::store::WatchId;
 
 /// Errors returned by apiserver verbs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +42,9 @@ pub enum ApiError {
     UnknownKind(String),
     /// Malformed request (400).
     BadRequest(String),
+    /// The watch subscription does not exist (410): never opened, or
+    /// already cancelled.
+    UnknownWatch(WatchId),
 }
 
 impl fmt::Display for ApiError {
@@ -65,6 +69,7 @@ impl fmt::Display for ApiError {
             ApiError::Invalid(m) => write!(f, "invalid object: {m}"),
             ApiError::UnknownKind(k) => write!(f, "unknown kind: {k}"),
             ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::UnknownWatch(id) => write!(f, "unknown watch subscription: {}", id.0),
         }
     }
 }

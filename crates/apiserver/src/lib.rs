@@ -38,6 +38,7 @@
 //! ```
 
 pub mod admission;
+pub mod client;
 pub mod error;
 pub mod object;
 pub mod rbac;
@@ -45,8 +46,9 @@ pub mod server;
 pub mod store;
 
 pub use admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
+pub use client::{Client, NamespacedClient};
 pub use error::ApiError;
 pub use object::{Object, ObjectRef};
 pub use rbac::{Role, RoleBinding, Rule, Verb};
 pub use server::ApiServer;
-pub use store::{WatchEvent, WatchEventKind, WatchId, WatchSelector, WatchStats};
+pub use store::{CoalescedEvent, WatchEvent, WatchEventKind, WatchId, WatchSelector, WatchStats};

@@ -4,10 +4,11 @@
 use dspace_value::{KindSchema, Value};
 
 use crate::admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
+use crate::client::Client;
 use crate::error::ApiError;
 use crate::object::{Object, ObjectRef};
 use crate::rbac::{Rbac, Role, Rule, Verb};
-use crate::store::{Store, WatchEvent, WatchId, WatchSelector, WatchStats};
+use crate::store::{CoalescedEvent, Store, WatchEvent, WatchId, WatchSelector, WatchStats};
 
 /// The API server.
 ///
@@ -196,6 +197,27 @@ impl ApiServer {
         Ok(self.store.list(kind).into_iter().cloned().collect())
     }
 
+    /// Lists objects of a kind within one namespace.
+    pub fn list_namespaced(
+        &self,
+        subject: &str,
+        kind: &str,
+        namespace: &str,
+    ) -> Result<Vec<Object>, ApiError> {
+        let probe = ObjectRef::new(kind, namespace, "*");
+        self.authorize(subject, Verb::List, &probe)
+            .map_err(|_| ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("List on kind {kind} in namespace {namespace} not permitted"),
+            })?;
+        Ok(self
+            .store
+            .list_in(kind, namespace)
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+
     /// Replaces an object's model with optimistic concurrency control.
     pub fn update(
         &mut self,
@@ -328,31 +350,80 @@ impl ApiServer {
         self.watch_selector(subject, WatchSelector::Object(oref.clone()))
     }
 
-    /// Opens a watch with an explicit selector. Authorization probes the
-    /// narrowest ref the selector covers, so a subject allowed to watch
-    /// only its own object can still hold an `Object` subscription.
+    /// Authorizes a watch by probing the narrowest ref the selector
+    /// covers, so a subject allowed to watch only its own object can
+    /// still hold an `Object` subscription.
+    fn authorize_watch(&self, subject: &str, selector: &WatchSelector) -> Result<(), ApiError> {
+        let probe = match selector {
+            WatchSelector::All => ObjectRef::new("*", "*", "*"),
+            WatchSelector::Kind(k) => ObjectRef::new(k, "*", "*"),
+            WatchSelector::KindInNamespace { kind, namespace } => {
+                ObjectRef::new(kind, namespace, "*")
+            }
+            WatchSelector::Object(r) => r.clone(),
+        };
+        if self.rbac.authorize(subject, Verb::Watch, &probe) {
+            Ok(())
+        } else {
+            Err(ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("Watch on {probe} not permitted"),
+            })
+        }
+    }
+
+    /// Opens a watch with an explicit selector.
     pub fn watch_selector(
         &mut self,
         subject: &str,
         selector: WatchSelector,
     ) -> Result<WatchId, ApiError> {
-        let probe = match &selector {
-            WatchSelector::All => ObjectRef::new("*", "*", "*"),
-            WatchSelector::Kind(k) => ObjectRef::new(k, "*", "*"),
-            WatchSelector::Object(r) => r.clone(),
-        };
-        if !self.rbac.authorize(subject, Verb::Watch, &probe) {
-            return Err(ApiError::Forbidden {
-                subject: subject.to_string(),
-                reason: format!("Watch on {probe} not permitted"),
-            });
-        }
+        self.authorize_watch(subject, &selector)?;
         Ok(self.store.watch_selector(selector))
+    }
+
+    /// Opens one watch subscription over the union of `selectors`. An
+    /// event matching several of them is still delivered once. The empty
+    /// union is a valid, never-firing subscription that can be widened
+    /// later with [`ApiServer::add_watch_selector`].
+    pub fn watch_selectors(
+        &mut self,
+        subject: &str,
+        selectors: Vec<WatchSelector>,
+    ) -> Result<WatchId, ApiError> {
+        for selector in &selectors {
+            self.authorize_watch(subject, selector)?;
+        }
+        Ok(self.store.watch_selectors(selectors))
+    }
+
+    /// Widens an existing subscription with another selector (only future
+    /// events of the newly covered scope are delivered).
+    pub fn add_watch_selector(
+        &mut self,
+        subject: &str,
+        id: WatchId,
+        selector: WatchSelector,
+    ) -> Result<(), ApiError> {
+        self.authorize_watch(subject, &selector)?;
+        if self.store.add_selector(id, selector) {
+            Ok(())
+        } else {
+            Err(ApiError::UnknownWatch(id))
+        }
     }
 
     /// Drains pending events for a watch subscription.
     pub fn poll(&mut self, id: WatchId) -> Vec<WatchEvent> {
         self.store.poll(id)
+    }
+
+    /// Drains pending events, collapsing rapid mutations of the same
+    /// object into one delivery carrying the newest snapshot plus the
+    /// number of raw events it absorbed (see
+    /// [`Store::poll_coalesced`](crate::store::Store::poll_coalesced)).
+    pub fn poll_coalesced(&mut self, id: WatchId) -> Vec<CoalescedEvent> {
+        self.store.poll_coalesced(id)
     }
 
     /// Returns `true` if the subscription has undelivered events.
@@ -375,9 +446,23 @@ impl ApiServer {
         self.store.log_len()
     }
 
+    /// Current in-memory watch log length of one namespace's shard.
+    pub fn shard_log_len(&self, namespace: &str) -> usize {
+        self.store.shard_log_len(namespace)
+    }
+
     /// Lists every stored object (admin/debug use).
     pub fn dump(&self) -> Vec<Object> {
         self.store.list_all().into_iter().cloned().collect()
+    }
+
+    /// Opens a scoped client handle acting as `subject`. Chain with
+    /// [`Client::namespace`] to get a
+    /// [`NamespacedClient`](crate::client::NamespacedClient) whose verbs
+    /// take `(kind, name)` instead of hand-assembled
+    /// `(subject, ObjectRef)` tuples.
+    pub fn client(&mut self, subject: impl Into<String>) -> Client<'_> {
+        Client::new(self, subject.into())
     }
 }
 

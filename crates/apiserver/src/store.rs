@@ -1,4 +1,10 @@
-//! Object storage and the Watch event log.
+//! Object storage and the Watch event log, sharded by namespace.
+//!
+//! Every namespace owns a *shard*: its own event log, its own revision
+//! counter, its own selector indexes, and its own compaction horizon.
+//! Mutations in one namespace never touch another shard's log or wake its
+//! watchers, so tenants cannot contend — the structural prerequisite for
+//! running controllers on separate threads.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
@@ -19,14 +25,16 @@ pub enum WatchEventKind {
     Deleted,
 }
 
-/// One entry of the totally ordered event log.
+/// One entry of a namespace shard's ordered event log.
 ///
 /// The model snapshot is reference-counted: a mutation materializes the
 /// snapshot once, and every watcher that receives the event shares it.
 /// Cloning a `WatchEvent` is O(1) in the model size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WatchEvent {
-    /// Global, strictly increasing revision of the whole store.
+    /// Strictly increasing revision *within the event's namespace shard*.
+    /// A single shard's log is totally ordered and gap-free; there is no
+    /// revision ordering across namespaces (shards never contend).
     pub revision: u64,
     /// What happened.
     pub kind: WatchEventKind,
@@ -36,6 +44,22 @@ pub struct WatchEvent {
     pub model: Rc<Value>,
     /// The object's resource version after the change.
     pub resource_version: u64,
+}
+
+/// One coalesced delivery: the newest event for an object plus the number
+/// of raw log events it absorbed.
+///
+/// The contract drivers rely on (§3.5 adapted to batch wakes): the carried
+/// snapshot is the *newest* committed state of the object at poll time, and
+/// `coalesced` counts *every* raw event folded in — so a driver woken after
+/// a burst reconciles once, against current state, and its metrics still
+/// account for the full mutation volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoalescedEvent {
+    /// The newest pending event for the object.
+    pub event: WatchEvent,
+    /// Raw events collapsed into this delivery (>= 1).
+    pub coalesced: u64,
 }
 
 /// Handle to a watch subscription.
@@ -49,12 +73,21 @@ pub struct WatchId(pub u64);
 /// (and discarding) every other digi's events.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WatchSelector {
-    /// Every object (controllers such as the mounter need the full view).
+    /// Every object in every namespace (debug/CLI views).
     All,
-    /// Objects of one kind.
+    /// Objects of one kind, in every namespace.
     Kind(String),
     /// One exact object.
     Object(ObjectRef),
+    /// Objects of one kind inside one namespace. This is the tenancy
+    /// boundary: the subscription registers in exactly one shard, so
+    /// activity in other namespaces can never wake it.
+    KindInNamespace {
+        /// The object kind.
+        kind: String,
+        /// The namespace shard to register in.
+        namespace: String,
+    },
 }
 
 impl WatchSelector {
@@ -64,64 +97,162 @@ impl WatchSelector {
             WatchSelector::All => true,
             WatchSelector::Kind(k) => *k == oref.kind,
             WatchSelector::Object(r) => r == oref,
+            WatchSelector::KindInNamespace { kind, namespace } => {
+                *kind == oref.kind && *namespace == oref.namespace
+            }
+        }
+    }
+
+    /// Returns `true` when the selector spans every namespace and must be
+    /// registered in every shard, existing and future.
+    fn is_global(&self) -> bool {
+        matches!(self, WatchSelector::All | WatchSelector::Kind(_))
+    }
+
+    /// The single shard a namespace-scoped selector registers in.
+    fn home_namespace(&self) -> Option<&str> {
+        match self {
+            WatchSelector::Object(r) => Some(&r.namespace),
+            WatchSelector::KindInNamespace { namespace, .. } => Some(namespace),
+            _ => None,
         }
     }
 }
 
+/// A watcher's position within one shard.
 #[derive(Debug, Clone)]
-struct Watcher {
-    selector: WatchSelector,
-    /// Revision of the next event this watcher has yet to examine: all
-    /// events with `revision < cursor` are delivered or filtered out.
+struct ShardCursor {
+    /// Shard revision of the next event this watcher has yet to examine:
+    /// all events with `revision < cursor` are delivered or filtered out.
     cursor: u64,
-    /// Number of undelivered events matching the selector. Maintained at
-    /// append time, so `has_pending` is O(1) and `poll` never scans an
-    /// empty tail.
+    /// Undelivered matching events in this shard. Maintained at append
+    /// time, so `has_pending` is O(1) and `poll` never scans empty tails.
     pending: u64,
 }
 
-/// Counters describing watch/notification traffic (bench + diagnostics).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct WatchStats {
-    /// Events ever committed to the log. Each append materializes exactly
-    /// one shared model snapshot, regardless of watcher count.
-    pub events_appended: u64,
-    /// Events handed out by `poll` across all watchers (each delivery
-    /// shares the snapshot; no model deep-clone).
-    pub events_delivered: u64,
-    /// Log entries reclaimed by compaction.
-    pub events_compacted: u64,
-    /// High-water mark of the in-memory log length. Bounded by the lag of
-    /// the slowest live watcher, not by total mutation count.
-    pub peak_log_len: usize,
+#[derive(Debug, Clone, Default)]
+struct Watcher {
+    /// The union of these selectors defines the subscription; a watcher
+    /// matching an event through several selectors still receives it once.
+    selectors: Vec<WatchSelector>,
+    /// Cursor + pending counter per shard the watcher is registered in.
+    shards: BTreeMap<String, ShardCursor>,
+    /// Sum of the per-shard pending counts (O(1) `has_pending`).
+    total_pending: u64,
 }
 
-/// The persistent store: objects plus the event log and watchers.
-///
-/// This is the etcd analogue. The event log is the linearization point:
-/// every mutation appends exactly one event, and watchers replay the log
-/// from their cursor — which yields the ordered, gap-free delivery
-/// guarantee that §3.5 of the paper requires for intent reconciliation,
-/// per filtered stream.
-///
-/// The log is compacted: entries below every live watcher's hold point
-/// are dropped, so memory is bounded by watcher lag rather than by the
-/// lifetime mutation count.
+/// One namespace's slice of the store: event log, revision counter,
+/// selector indexes, and member bookkeeping for compaction.
 #[derive(Debug, Default)]
-pub struct Store {
-    objects: BTreeMap<ObjectRef, Object>,
-    /// Tail of the event log still needed by at least one watcher. The
+struct Shard {
+    /// Tail of this namespace's event log still needed by some member. The
     /// first entry's revision is `committed - log.len() + 1`.
     log: VecDeque<WatchEvent>,
-    /// Total events ever committed (== the revision of the newest event).
+    /// Events ever committed in this shard (== the newest revision).
     committed: u64,
-    watchers: BTreeMap<WatchId, Watcher>,
-    next_watch_id: u64,
     /// Selector indexes: which watchers to notify per event, without
     /// touching unrelated subscriptions.
     all_watchers: BTreeSet<WatchId>,
     kind_watchers: BTreeMap<String, BTreeSet<WatchId>>,
     object_watchers: BTreeMap<ObjectRef, BTreeSet<WatchId>>,
+    /// Selector-registration refcount per member watcher (a watcher may
+    /// reach this shard through several selectors).
+    members: BTreeMap<WatchId, usize>,
+}
+
+impl Shard {
+    fn register(&mut self, id: WatchId, selector: &WatchSelector) {
+        match selector {
+            WatchSelector::All => {
+                self.all_watchers.insert(id);
+            }
+            WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
+                self.kind_watchers.entry(k.clone()).or_default().insert(id);
+            }
+            WatchSelector::Object(r) => {
+                self.object_watchers
+                    .entry(r.clone())
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        *self.members.entry(id).or_insert(0) += 1;
+    }
+
+    fn deregister(&mut self, id: WatchId, selector: &WatchSelector) {
+        fn prune<K: Ord>(index: &mut BTreeMap<K, BTreeSet<WatchId>>, key: &K, id: WatchId) {
+            if let Some(set) = index.get_mut(key) {
+                set.remove(&id);
+                if set.is_empty() {
+                    index.remove(key);
+                }
+            }
+        }
+        match selector {
+            WatchSelector::All => {
+                self.all_watchers.remove(&id);
+            }
+            WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
+                prune(&mut self.kind_watchers, k, id);
+            }
+            WatchSelector::Object(r) => {
+                prune(&mut self.object_watchers, r, id);
+            }
+        }
+        if let Some(n) = self.members.get_mut(&id) {
+            *n -= 1;
+            if *n == 0 {
+                self.members.remove(&id);
+            }
+        }
+    }
+}
+
+/// Counters describing watch/notification traffic (bench + diagnostics).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WatchStats {
+    /// Events ever committed across all shards. Each append materializes
+    /// exactly one shared model snapshot, regardless of watcher count.
+    pub events_appended: u64,
+    /// Raw events consumed by watchers, via `poll` or `poll_coalesced`
+    /// (each delivery shares the snapshot; no model deep-clone).
+    pub events_delivered: u64,
+    /// Log entries reclaimed by compaction, across all shards.
+    pub events_compacted: u64,
+    /// High-water mark of a *single shard's* in-memory log length. Bounded
+    /// by the lag of that shard's slowest member, not by mutation count.
+    pub peak_log_len: usize,
+    /// Deliveries handed out by `poll_coalesced` (one per object with
+    /// pending events at poll time).
+    pub coalesced_deliveries: u64,
+    /// Raw events absorbed into an earlier delivery of the same object by
+    /// coalescing (`raw - deliveries`, summed over polls).
+    pub events_coalesced: u64,
+}
+
+/// The persistent store: objects plus the per-namespace event logs.
+///
+/// This is the etcd analogue. Each shard's log is its linearization point:
+/// every mutation appends exactly one event to its namespace's log, and
+/// watchers replay that log from their per-shard cursor — which yields the
+/// ordered, gap-free delivery guarantee that §3.5 of the paper requires
+/// for intent reconciliation, per shard and per filtered stream.
+///
+/// Logs are compacted independently: entries below every member's hold
+/// point are dropped, so memory is bounded by watcher lag within the
+/// shard, and a laggard in one namespace never pins another namespace's
+/// log.
+#[derive(Debug, Default)]
+pub struct Store {
+    objects: BTreeMap<ObjectRef, Object>,
+    shards: BTreeMap<String, Shard>,
+    /// Total events ever committed across all shards.
+    committed_total: u64,
+    watchers: BTreeMap<WatchId, Watcher>,
+    next_watch_id: u64,
+    /// Watchers holding at least one namespace-spanning selector: they
+    /// join every shard, including shards created after they subscribed.
+    global_watchers: BTreeSet<WatchId>,
     stats: WatchStats,
 }
 
@@ -131,9 +262,10 @@ impl Store {
         Store::default()
     }
 
-    /// Returns the current global revision (number of committed events).
+    /// Returns the current global revision (total committed events across
+    /// all shards).
     pub fn revision(&self) -> u64 {
-        self.committed
+        self.committed_total
     }
 
     /// Returns the stored object, if present.
@@ -141,11 +273,20 @@ impl Store {
         self.objects.get(oref)
     }
 
-    /// Lists objects of `kind` (sorted by namespace/name).
+    /// Lists objects of `kind` across namespaces (sorted by namespace/name).
     pub fn list(&self, kind: &str) -> Vec<&Object> {
         self.objects
             .iter()
             .filter(|(r, _)| r.kind == kind)
+            .map(|(_, o)| o)
+            .collect()
+    }
+
+    /// Lists objects of `kind` within one namespace (sorted by name).
+    pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
+        self.objects
+            .iter()
+            .filter(|(r, _)| r.kind == kind && r.namespace == namespace)
             .map(|(_, o)| o)
             .collect()
     }
@@ -227,34 +368,24 @@ impl Store {
         Ok(obj)
     }
 
-    /// Opens a watch over `selector`. The cursor starts at the current log
-    /// tail: only *future* events are delivered.
-    pub fn watch_selector(&mut self, selector: WatchSelector) -> WatchId {
+    /// Opens a watch over the union of `selectors`. Each cursor starts at
+    /// its shard's current tail: only *future* events are delivered. An
+    /// empty selector list is a valid (never-firing) subscription that can
+    /// be widened later with [`Store::add_selector`].
+    pub fn watch_selectors(&mut self, selectors: Vec<WatchSelector>) -> WatchId {
         let id = WatchId(self.next_watch_id);
         self.next_watch_id += 1;
-        match &selector {
-            WatchSelector::All => {
-                self.all_watchers.insert(id);
-            }
-            WatchSelector::Kind(k) => {
-                self.kind_watchers.entry(k.clone()).or_default().insert(id);
-            }
-            WatchSelector::Object(r) => {
-                self.object_watchers
-                    .entry(r.clone())
-                    .or_default()
-                    .insert(id);
-            }
+        self.watchers.insert(id, Watcher::default());
+        for selector in selectors {
+            let known = self.add_selector(id, selector);
+            debug_assert!(known, "freshly inserted watcher");
         }
-        self.watchers.insert(
-            id,
-            Watcher {
-                selector,
-                cursor: self.committed + 1,
-                pending: 0,
-            },
-        );
         id
+    }
+
+    /// Opens a watch over one selector.
+    pub fn watch_selector(&mut self, selector: WatchSelector) -> WatchId {
+        self.watch_selectors(vec![selector])
     }
 
     /// Opens a watch by kind. `kind = None` watches everything.
@@ -265,7 +396,45 @@ impl Store {
         })
     }
 
-    /// Drains pending events for a watcher, in revision order.
+    /// Widens an existing subscription with another selector. Only future
+    /// events of the newly covered scope are delivered. Returns `false`
+    /// when the watch id is unknown (e.g. already cancelled).
+    pub fn add_selector(&mut self, id: WatchId, selector: WatchSelector) -> bool {
+        if !self.watchers.contains_key(&id) {
+            return false;
+        }
+        if selector.is_global() {
+            self.global_watchers.insert(id);
+            let w = self.watchers.get_mut(&id).expect("checked above");
+            for (ns, shard) in self.shards.iter_mut() {
+                shard.register(id, &selector);
+                w.shards.entry(ns.clone()).or_insert(ShardCursor {
+                    cursor: shard.committed + 1,
+                    pending: 0,
+                });
+            }
+            w.selectors.push(selector);
+        } else {
+            let ns = selector
+                .home_namespace()
+                .expect("non-global selector has a home namespace")
+                .to_string();
+            self.ensure_shard(&ns);
+            let shard = self.shards.get_mut(&ns).expect("just ensured");
+            shard.register(id, &selector);
+            let cursor = shard.committed + 1;
+            let w = self.watchers.get_mut(&id).expect("checked above");
+            w.shards
+                .entry(ns)
+                .or_insert(ShardCursor { cursor, pending: 0 });
+            w.selectors.push(selector);
+        }
+        true
+    }
+
+    /// Drains pending events for a watcher: within each shard in revision
+    /// order (the per-shard §3.5 guarantee); shards are visited in
+    /// namespace order, with no ordering defined across namespaces.
     ///
     /// Unknown watch ids return an empty vector (the subscription may have
     /// been cancelled).
@@ -274,65 +443,116 @@ impl Store {
             return Vec::new();
         };
         let mut out = Vec::new();
-        if w.pending > 0 {
-            let first_rev = self.committed - self.log.len() as u64 + 1;
-            // Compaction never reclaims past a watcher with pending
-            // events, so the scan window is fully resident.
-            let start = (w.cursor.max(first_rev) - first_rev) as usize;
-            for ev in self.log.iter().skip(start) {
-                if w.selector.matches(&ev.oref) {
-                    out.push(ev.clone());
+        let mut touched: Vec<String> = Vec::new();
+        for (ns, sc) in w.shards.iter_mut() {
+            let shard = self.shards.get(ns).expect("cursor implies shard");
+            if sc.pending > 0 {
+                let first_rev = shard.committed - shard.log.len() as u64 + 1;
+                // Compaction never reclaims past a member with pending
+                // events, so the scan window is fully resident.
+                let start = (sc.cursor.max(first_rev) - first_rev) as usize;
+                let before = out.len();
+                for ev in shard.log.iter().skip(start) {
+                    if w.selectors.iter().any(|s| s.matches(&ev.oref)) {
+                        out.push(ev.clone());
+                    }
+                }
+                debug_assert_eq!(
+                    (out.len() - before) as u64,
+                    sc.pending,
+                    "pending counter out of sync in shard {ns}"
+                );
+                w.total_pending -= sc.pending;
+                sc.pending = 0;
+                touched.push(ns.clone());
+            }
+            sc.cursor = shard.committed + 1;
+        }
+        self.stats.events_delivered += out.len() as u64;
+        for ns in &touched {
+            self.compact_shard(ns);
+        }
+        out
+    }
+
+    /// Drains pending events like [`Store::poll`], collapsing rapid
+    /// mutations of the same object into one delivery carrying the newest
+    /// snapshot plus the count of raw events absorbed.
+    ///
+    /// Deliveries keep the first-occurrence order of the raw stream; a
+    /// burst of N writes to one object yields exactly one delivery with
+    /// `coalesced == N`. A delete inside the burst is absorbed like any
+    /// other event — the final delivery carries the newest state (the
+    /// `Deleted` event itself, if the object ended deleted).
+    pub fn poll_coalesced(&mut self, id: WatchId) -> Vec<CoalescedEvent> {
+        let raw = self.poll(id);
+        let raw_count = raw.len() as u64;
+        let mut out: Vec<CoalescedEvent> = Vec::new();
+        let mut slots: BTreeMap<ObjectRef, usize> = BTreeMap::new();
+        for ev in raw {
+            match slots.get(&ev.oref) {
+                Some(&i) => {
+                    // Newest snapshot wins; the count remembers the burst.
+                    out[i].event = ev;
+                    out[i].coalesced += 1;
+                }
+                None => {
+                    slots.insert(ev.oref.clone(), out.len());
+                    out.push(CoalescedEvent {
+                        event: ev,
+                        coalesced: 1,
+                    });
                 }
             }
-            debug_assert_eq!(out.len() as u64, w.pending, "pending counter out of sync");
-            w.pending = 0;
         }
-        w.cursor = self.committed + 1;
-        self.stats.events_delivered += out.len() as u64;
-        self.compact();
+        self.stats.coalesced_deliveries += out.len() as u64;
+        self.stats.events_coalesced += raw_count - out.len() as u64;
         out
     }
 
     /// Returns `true` if the watcher has undelivered events. O(1): the
-    /// per-watcher counter is maintained at append time.
+    /// per-shard counters are maintained at append time and summed into
+    /// `total_pending`.
     pub fn has_pending(&self, id: WatchId) -> bool {
         self.watchers
             .get(&id)
-            .map(|w| w.pending > 0)
+            .map(|w| w.total_pending > 0)
             .unwrap_or(false)
     }
 
-    /// Cancels a watch subscription, releasing its compaction hold.
+    /// Cancels a watch subscription, releasing its compaction holds in
+    /// every shard it was registered in.
     pub fn cancel_watch(&mut self, id: WatchId) {
-        if let Some(w) = self.watchers.remove(&id) {
-            match &w.selector {
-                WatchSelector::All => {
-                    self.all_watchers.remove(&id);
-                }
-                WatchSelector::Kind(k) => {
-                    if let Some(set) = self.kind_watchers.get_mut(k) {
-                        set.remove(&id);
-                        if set.is_empty() {
-                            self.kind_watchers.remove(k);
-                        }
-                    }
-                }
-                WatchSelector::Object(r) => {
-                    if let Some(set) = self.object_watchers.get_mut(r) {
-                        set.remove(&id);
-                        if set.is_empty() {
-                            self.object_watchers.remove(r);
-                        }
-                    }
+        let Some(w) = self.watchers.remove(&id) else {
+            return;
+        };
+        self.global_watchers.remove(&id);
+        for ns in w.shards.keys() {
+            let shard = self.shards.get_mut(ns).expect("cursor implies shard");
+            for selector in &w.selectors {
+                if selector.is_global() || selector.home_namespace() == Some(ns.as_str()) {
+                    shard.deregister(id, selector);
                 }
             }
-            self.compact();
+            debug_assert!(
+                !shard.members.contains_key(&id),
+                "all registrations released"
+            );
+        }
+        for ns in w.shards.keys() {
+            self.compact_shard(ns);
         }
     }
 
-    /// Current in-memory log length (bounded by live watcher lag).
+    /// Total in-memory log length, summed over shards (each bounded by its
+    /// own members' lag).
     pub fn log_len(&self) -> usize {
-        self.log.len()
+        self.shards.values().map(|s| s.log.len()).sum()
+    }
+
+    /// In-memory log length of one namespace's shard.
+    pub fn shard_log_len(&self, namespace: &str) -> usize {
+        self.shards.get(namespace).map(|s| s.log.len()).unwrap_or(0)
     }
 
     /// Watch/notification traffic counters.
@@ -340,58 +560,98 @@ impl Store {
         self.stats
     }
 
-    fn append(&mut self, kind: WatchEventKind, oref: ObjectRef, model: Rc<Value>, rv: u64) {
-        self.committed += 1;
-        self.stats.events_appended += 1;
-        // Bump pending on exactly the watchers whose selector matches;
-        // unrelated subscriptions are never touched.
-        let watchers = &mut self.watchers;
-        let mut bump = |ids: &BTreeSet<WatchId>| {
-            for id in ids {
-                if let Some(w) = watchers.get_mut(id) {
-                    w.pending += 1;
+    /// Creates the shard for `ns` if absent, joining every live
+    /// namespace-spanning watcher so `All`/`Kind` subscriptions cover
+    /// namespaces born after them.
+    fn ensure_shard(&mut self, ns: &str) {
+        if self.shards.contains_key(ns) {
+            return;
+        }
+        let mut shard = Shard::default();
+        for &id in &self.global_watchers {
+            let w = self.watchers.get_mut(&id).expect("global watcher is live");
+            for selector in &w.selectors {
+                if selector.is_global() {
+                    shard.register(id, selector);
                 }
             }
-        };
-        bump(&self.all_watchers);
-        if let Some(ids) = self.kind_watchers.get(&oref.kind) {
-            bump(ids);
+            // A fresh shard starts at revision 0: cursor 1 delivers
+            // everything ever committed here.
+            w.shards.entry(ns.to_string()).or_insert(ShardCursor {
+                cursor: 1,
+                pending: 0,
+            });
         }
-        if let Some(ids) = self.object_watchers.get(&oref) {
-            bump(ids);
+        self.shards.insert(ns.to_string(), shard);
+    }
+
+    fn append(&mut self, kind: WatchEventKind, oref: ObjectRef, model: Rc<Value>, rv: u64) {
+        let ns = oref.namespace.clone();
+        self.ensure_shard(&ns);
+        self.committed_total += 1;
+        self.stats.events_appended += 1;
+        let shard = self.shards.get_mut(&ns).expect("just ensured");
+        shard.committed += 1;
+        let revision = shard.committed;
+        // Collect interested watchers via the shard's selector indexes; the
+        // set dedupes watchers reachable through several selectors, so the
+        // pending counter bumps exactly once per delivered event.
+        let mut interested: BTreeSet<WatchId> = shard.all_watchers.iter().copied().collect();
+        if let Some(ids) = shard.kind_watchers.get(&oref.kind) {
+            interested.extend(ids.iter().copied());
         }
-        self.log.push_back(WatchEvent {
-            revision: self.committed,
+        if let Some(ids) = shard.object_watchers.get(&oref) {
+            interested.extend(ids.iter().copied());
+        }
+        shard.log.push_back(WatchEvent {
+            revision,
             kind,
             oref,
             model,
             resource_version: rv,
         });
-        self.stats.peak_log_len = self.stats.peak_log_len.max(self.log.len());
-        // With no live watcher holding the tail, reclaim eagerly.
-        if self.watchers.is_empty() {
-            self.compact();
+        let no_members = shard.members.is_empty();
+        self.stats.peak_log_len = self.stats.peak_log_len.max(shard.log.len());
+        for id in interested {
+            let w = self.watchers.get_mut(&id).expect("indexed watcher is live");
+            let sc = w
+                .shards
+                .get_mut(&ns)
+                .expect("indexed watcher holds a cursor in its shard");
+            sc.pending += 1;
+            w.total_pending += 1;
+        }
+        if no_members {
+            // No watcher holds this shard: reclaim the tail eagerly.
+            let shard = self.shards.get_mut(&ns).expect("just ensured");
+            let n = shard.log.len() as u64;
+            shard.log.clear();
+            self.stats.events_compacted += n;
         }
     }
 
-    /// Drops log entries no watcher can still need. A watcher with
-    /// pending events holds everything from its cursor; a fully drained
-    /// watcher holds nothing (events it skipped did not match it, or it
-    /// would have `pending > 0`).
-    fn compact(&mut self) {
-        let tail = self.committed + 1;
-        let min_hold = self
-            .watchers
-            .values()
-            .map(|w| if w.pending == 0 { tail } else { w.cursor })
-            .min()
-            .unwrap_or(tail);
-        let mut first_rev = self.committed - self.log.len() as u64 + 1;
-        while first_rev < min_hold && !self.log.is_empty() {
-            self.log.pop_front();
-            self.stats.events_compacted += 1;
+    /// Drops log entries of one shard that no member can still need. A
+    /// member with pending events holds everything from its cursor; a
+    /// fully drained member holds nothing (events it skipped did not match
+    /// it, or it would have `pending > 0`).
+    fn compact_shard(&mut self, ns: &str) {
+        let Some(shard) = self.shards.get_mut(ns) else {
+            return;
+        };
+        let tail = shard.committed + 1;
+        let mut min_hold = tail;
+        for id in shard.members.keys() {
+            let sc = &self.watchers[id].shards[ns];
+            min_hold = min_hold.min(if sc.pending == 0 { tail } else { sc.cursor });
+        }
+        let mut first_rev = shard.committed - shard.log.len() as u64 + 1;
+        let mut reclaimed = 0u64;
+        while first_rev < min_hold && !shard.log.is_empty() {
+            shard.log.pop_front();
+            reclaimed += 1;
             first_rev += 1;
         }
+        self.stats.events_compacted += reclaimed;
     }
 }
 
@@ -410,8 +670,12 @@ mod tests {
     use dspace_value::json;
 
     fn model(kind: &str, name: &str) -> Value {
+        model_in(kind, "default", name)
+    }
+
+    fn model_in(kind: &str, ns: &str, name: &str) -> Value {
         json::parse(&format!(
-            r#"{{"meta": {{"kind": "{kind}", "name": "{name}", "namespace": "default"}}, "x": 0}}"#
+            r#"{{"meta": {{"kind": "{kind}", "name": "{name}", "namespace": "{ns}"}}, "x": 0}}"#
         ))
         .unwrap()
     }
@@ -661,5 +925,184 @@ mod tests {
             Rc::ptr_eq(&e1[0].model, &e2[0].model),
             "watchers must share one snapshot, not deep copies"
         );
+    }
+
+    // ----- Namespace shards ---------------------------------------------
+
+    #[test]
+    fn namespace_shards_isolate_watchers() {
+        let mut s = Store::new();
+        let a = ObjectRef::new("Lamp", "ns-a", "l1");
+        let b = ObjectRef::new("Lamp", "ns-b", "l1");
+        s.create(a.clone(), model_in("Lamp", "ns-a", "l1")).unwrap();
+        s.create(b.clone(), model_in("Lamp", "ns-b", "l1")).unwrap();
+        let wa = s.watch_selector(WatchSelector::KindInNamespace {
+            kind: "Lamp".into(),
+            namespace: "ns-a".into(),
+        });
+        // A burst entirely inside ns-b never touches the ns-a watcher.
+        for _ in 0..100 {
+            s.update(&b, model_in("Lamp", "ns-b", "l1"), None).unwrap();
+        }
+        assert!(!s.has_pending(wa), "cross-namespace burst leaked a wake");
+        assert!(s.poll(wa).is_empty());
+        s.update(&a, model_in("Lamp", "ns-a", "l1"), None).unwrap();
+        let evs = s.poll(wa);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].oref, a);
+    }
+
+    #[test]
+    fn shard_revisions_are_independent_and_gap_free() {
+        let mut s = Store::new();
+        let a = ObjectRef::new("Lamp", "ns-a", "l1");
+        let b = ObjectRef::new("Lamp", "ns-b", "l1");
+        s.create(a.clone(), model_in("Lamp", "ns-a", "l1")).unwrap();
+        s.create(b.clone(), model_in("Lamp", "ns-b", "l1")).unwrap();
+        let w = s.watch(Some("Lamp")); // global: joined to both shards
+        for _ in 0..5 {
+            s.update(&a, model_in("Lamp", "ns-a", "l1"), None).unwrap();
+            s.update(&b, model_in("Lamp", "ns-b", "l1"), None).unwrap();
+        }
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 10);
+        // Each shard's sub-stream is consecutive from revision 2 (the
+        // create was revision 1, before the watch).
+        for ns in ["ns-a", "ns-b"] {
+            let revs: Vec<u64> = evs
+                .iter()
+                .filter(|e| e.oref.namespace == ns)
+                .map(|e| e.revision)
+                .collect();
+            assert_eq!(revs, (2..=6).collect::<Vec<_>>(), "shard {ns}");
+        }
+        // Global revision still totals all commits.
+        assert_eq!(s.revision(), 12);
+    }
+
+    #[test]
+    fn global_watcher_joins_future_shards() {
+        let mut s = Store::new();
+        let w = s.watch(None);
+        let late = ObjectRef::new("Lamp", "born-later", "l1");
+        s.create(late.clone(), model_in("Lamp", "born-later", "l1"))
+            .unwrap();
+        assert!(s.has_pending(w));
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].oref, late);
+        assert_eq!(evs[0].revision, 1, "fresh shard starts at revision 1");
+    }
+
+    #[test]
+    fn laggard_in_one_namespace_does_not_pin_other_shards() {
+        let mut s = Store::new();
+        let a = ObjectRef::new("Lamp", "ns-a", "l1");
+        let b = ObjectRef::new("Lamp", "ns-b", "l1");
+        s.create(a.clone(), model_in("Lamp", "ns-a", "l1")).unwrap();
+        s.create(b.clone(), model_in("Lamp", "ns-b", "l1")).unwrap();
+        let _laggard = s.watch_selector(WatchSelector::KindInNamespace {
+            kind: "Lamp".into(),
+            namespace: "ns-a".into(),
+        });
+        for _ in 0..20 {
+            s.update(&a, model_in("Lamp", "ns-a", "l1"), None).unwrap();
+            s.update(&b, model_in("Lamp", "ns-b", "l1"), None).unwrap();
+        }
+        assert_eq!(s.shard_log_len("ns-a"), 20, "laggard holds its shard");
+        assert_eq!(s.shard_log_len("ns-b"), 0, "other shard compacts freely");
+    }
+
+    #[test]
+    fn multi_selector_watch_delivers_once() {
+        let mut s = Store::new();
+        let l1 = lamp_ref();
+        s.create(l1.clone(), model("Lamp", "l1")).unwrap();
+        // Kind and Object selectors both match l1's events.
+        let w = s.watch_selectors(vec![
+            WatchSelector::Kind("Lamp".into()),
+            WatchSelector::Object(l1.clone()),
+        ]);
+        s.update(&l1, model("Lamp", "l1"), None).unwrap();
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1, "overlapping selectors must not duplicate");
+        assert!(!s.has_pending(w));
+    }
+
+    #[test]
+    fn add_selector_widens_subscription() {
+        let mut s = Store::new();
+        let w = s.watch_selectors(vec![]);
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        assert!(!s.has_pending(w), "empty subscription never fires");
+        assert!(s.add_selector(
+            w,
+            WatchSelector::KindInNamespace {
+                kind: "Lamp".into(),
+                namespace: "default".into(),
+            }
+        ));
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        // Unknown ids are reported, not panicked on.
+        assert!(!s.add_selector(WatchId(999), WatchSelector::All));
+    }
+
+    // ----- Coalescing ----------------------------------------------------
+
+    #[test]
+    fn coalesced_poll_collapses_burst_to_newest_snapshot() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w = s.watch_selector(WatchSelector::Object(lamp_ref()));
+        for _ in 0..100 {
+            s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        }
+        let evs = s.poll_coalesced(w);
+        assert_eq!(evs.len(), 1, "one burst, one delivery");
+        assert_eq!(evs[0].coalesced, 100, "every raw event accounted for");
+        assert_eq!(evs[0].event.resource_version, 101, "newest snapshot");
+        assert_eq!(
+            evs[0].event.model.get_path("meta.gen").unwrap().as_f64(),
+            Some(101.0)
+        );
+        let st = s.watch_stats();
+        assert_eq!(st.coalesced_deliveries, 1);
+        assert_eq!(st.events_coalesced, 99);
+        assert_eq!(s.log_len(), 0, "drained and compacted");
+    }
+
+    #[test]
+    fn coalesced_poll_keeps_first_occurrence_order_across_objects() {
+        let mut s = Store::new();
+        let l1 = lamp_ref();
+        let l2 = ObjectRef::default_ns("Lamp", "l2");
+        s.create(l1.clone(), model("Lamp", "l1")).unwrap();
+        s.create(l2.clone(), model("Lamp", "l2")).unwrap();
+        let w = s.watch(Some("Lamp"));
+        s.update(&l2, model("Lamp", "l2"), None).unwrap();
+        s.update(&l1, model("Lamp", "l1"), None).unwrap();
+        s.update(&l2, model("Lamp", "l2"), None).unwrap();
+        let evs = s.poll_coalesced(w);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].event.oref, l2, "l2 changed first");
+        assert_eq!(evs[0].coalesced, 2);
+        assert_eq!(evs[0].event.resource_version, 3, "newest l2 state");
+        assert_eq!(evs[1].event.oref, l1);
+        assert_eq!(evs[1].coalesced, 1);
+    }
+
+    #[test]
+    fn coalesced_poll_absorbs_delete_as_newest_state() {
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w = s.watch(Some("Lamp"));
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        s.delete(&lamp_ref()).unwrap();
+        let evs = s.poll_coalesced(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].coalesced, 2);
+        assert_eq!(evs[0].event.kind, WatchEventKind::Deleted);
     }
 }

@@ -16,14 +16,18 @@ use dspace_value::{json, Value};
 
 const ROUNDS: usize = 4;
 
-fn model(name: &str) -> Value {
+fn model_in(ns: &str, name: &str) -> Value {
     json::parse(&format!(
-        r#"{{"meta": {{"kind": "Lamp", "name": "{name}", "namespace": "default"}},
+        r#"{{"meta": {{"kind": "Lamp", "name": "{name}", "namespace": "{ns}"}},
              "control": {{"power": {{"intent": null, "status": null}},
                           "brightness": {{"intent": 0.5, "status": 0.5}}}},
              "obs": {{"lumens": 120, "temp_c": 31.5}}}}"#
     ))
     .unwrap()
+}
+
+fn model(name: &str) -> Value {
+    model_in("default", name)
 }
 
 fn oref(i: usize) -> ObjectRef {
@@ -71,6 +75,52 @@ fn round(api: &mut ApiServer, watchers: &[WatchId], toggle: f64) -> usize {
     delivered
 }
 
+/// A space of `digis` lamps spread round-robin over `namespaces` shards,
+/// with one `KindInNamespace` watcher per namespace (the controller
+/// subscription shape after narrowing).
+fn build_ns(namespaces: usize, digis: usize) -> (ApiServer, Vec<WatchId>) {
+    let mut api = ApiServer::new();
+    for i in 0..digis {
+        let ns = format!("ns{}", i % namespaces);
+        let oref = ObjectRef::new("Lamp", &ns, format!("l{i}"));
+        api.create(ApiServer::ADMIN, &oref, model_in(&ns, &format!("l{i}")))
+            .unwrap();
+    }
+    let watchers = (0..namespaces)
+        .map(|k| {
+            api.watch_selector(
+                ApiServer::ADMIN,
+                WatchSelector::KindInNamespace {
+                    kind: "Lamp".into(),
+                    namespace: format!("ns{k}"),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    (api, watchers)
+}
+
+/// One sharded notification round: every digi mutates once, then every
+/// per-namespace watcher drains its shard.
+fn round_ns(api: &mut ApiServer, namespaces: usize, digis: usize, watchers: &[WatchId]) -> usize {
+    for i in 0..digis {
+        let ns = format!("ns{}", i % namespaces);
+        api.patch_path(
+            ApiServer::ADMIN,
+            &ObjectRef::new("Lamp", ns, format!("l{i}")),
+            ".control.brightness.intent",
+            0.9.into(),
+        )
+        .unwrap();
+    }
+    let mut delivered = 0;
+    for &w in watchers {
+        delivered += api.poll(w).len();
+    }
+    delivered
+}
+
 fn bench_pump_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("watch_path");
     group.sample_size(10);
@@ -86,6 +136,25 @@ fn bench_pump_round(c: &mut Criterion) {
             b.iter_batched(
                 || build(n, true),
                 |(mut api, watchers)| round(&mut api, &watchers, 0.9),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The same 1024-digi workload under 1, 8, and 64 namespace shards: total
+/// deliveries are identical, so the timing isolates the per-shard scan and
+/// compaction costs.
+fn bench_pump_round_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watch_path");
+    group.sample_size(10);
+    const DIGIS: usize = 1024;
+    for &k in &[1usize, 8, 64] {
+        group.bench_function(&format!("pump_round/sharded@{k}ns"), |b| {
+            b.iter_batched(
+                || build_ns(k, DIGIS),
+                |(mut api, watchers)| round_ns(&mut api, k, DIGIS, &watchers),
                 BatchSize::LargeInput,
             )
         });
@@ -148,9 +217,94 @@ fn sweep() {
     println!();
 }
 
-criterion_group!(benches, bench_pump_round);
+/// Namespace-shard isolation: 1024 digis over 1/8/64 namespaces, burst
+/// every digi of ns0 once. Watchers of the other namespaces must not even
+/// go pending — isolation is structural, not filtered at poll time.
+fn ns_sweep() {
+    const DIGIS: usize = 1024;
+    println!();
+    println!("namespace shard sweep: {DIGIS} digis, burst = 1 mutation per ns0 digi");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>14}",
+        "ns", "burst", "ns0-seen", "others-seen", "others-pending"
+    );
+    for &k in &[1usize, 8, 64] {
+        let (mut api, watchers) = build_ns(k, DIGIS);
+        let in_ns0 = (0..DIGIS).filter(|i| i % k == 0).count();
+        for i in (0..DIGIS).filter(|i| i % k == 0) {
+            api.patch_path(
+                ApiServer::ADMIN,
+                &ObjectRef::new("Lamp", "ns0", format!("l{i}")),
+                ".control.brightness.intent",
+                0.9.into(),
+            )
+            .unwrap();
+        }
+        let others_pending = watchers[1..]
+            .iter()
+            .filter(|&&w| api.has_pending(w))
+            .count();
+        let ns0_seen = api.poll(watchers[0]).len();
+        let others_seen: usize = watchers[1..].iter().map(|&w| api.poll(w).len()).sum();
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>14}",
+            k, in_ns0, ns0_seen, others_seen, others_pending
+        );
+        assert_eq!(ns0_seen, in_ns0, "ns0 watcher sees exactly its burst");
+        assert_eq!(others_seen, 0, "burst in ns0 must not reach other shards");
+        assert_eq!(others_pending, 0, "other-ns watchers must never go pending");
+        assert_eq!(api.log_len(), 0, "drained space must compact to empty");
+    }
+}
+
+/// Coalesced wake: a 100-mutation burst against one digi reaches the
+/// driver as a single delivery carrying the newest snapshot and the count.
+fn coalesce_demo() {
+    const BURST: usize = 100;
+    let mut api = ApiServer::new();
+    let lamp = oref(0);
+    api.create(ApiServer::ADMIN, &lamp, model("l0")).unwrap();
+    let w = api
+        .watch_selector(ApiServer::ADMIN, WatchSelector::Object(lamp.clone()))
+        .unwrap();
+    for i in 0..BURST {
+        api.patch_path(
+            ApiServer::ADMIN,
+            &lamp,
+            ".control.brightness.intent",
+            (i as f64 / BURST as f64).into(),
+        )
+        .unwrap();
+    }
+    let batch = api.poll_coalesced(w);
+    println!();
+    println!(
+        "coalesced wake: {BURST}-mutation burst -> {} delivery (coalesced = {})",
+        batch.len(),
+        batch[0].coalesced
+    );
+    assert_eq!(batch.len(), 1, "one object's burst is one delivery");
+    assert_eq!(
+        batch[0].coalesced, BURST as u64,
+        "count must not under-report"
+    );
+    assert_eq!(
+        batch[0]
+            .event
+            .model
+            .get_path("control.brightness.intent")
+            .and_then(Value::as_f64),
+        Some((BURST - 1) as f64 / BURST as f64),
+        "delivery must carry the newest snapshot"
+    );
+    println!();
+}
+
+criterion_group!(benches, bench_pump_round, bench_pump_round_sharded);
 
 fn main() {
     benches();
     sweep();
+    ns_sweep();
+    coalesce_demo();
 }

@@ -99,10 +99,20 @@ impl Mounter {
                 return;
             }
         };
-        let Ok(parent_obj) = api.get(SUBJECT, parent) else {
+        // Parent and child may live in different namespaces (cross-tenant
+        // mounts), so each side gets its own scoped client.
+        let Ok(parent_obj) = api
+            .client(SUBJECT)
+            .namespace(&parent.namespace)
+            .get(&parent.kind, &parent.name)
+        else {
             return;
         };
-        let Ok(child_obj) = api.get(SUBJECT, child) else {
+        let Ok(child_obj) = api
+            .client(SUBJECT)
+            .namespace(&child.namespace)
+            .get(&child.kind, &child.name)
+        else {
             return;
         };
         let replica_path = crate::model::replica_path(&child.kind, &child.name);
@@ -169,7 +179,12 @@ impl Mounter {
         }
 
         if candidate != replica_cur {
-            let _ = api.patch_path(SUBJECT, parent, &replica_path, candidate.clone());
+            let _ = api.client(SUBJECT).namespace(&parent.namespace).patch_path(
+                &parent.kind,
+                &parent.name,
+                &replica_path,
+                candidate.clone(),
+            );
         }
 
         // --- Southbound: apply parent-pending intent/input writes. -------
@@ -198,7 +213,13 @@ impl Mounter {
                     wrote = true;
                 }
             });
-            if wrote && api.patch(SUBJECT, child, patch).is_ok() {
+            let committed = wrote
+                && api
+                    .client(SUBJECT)
+                    .namespace(&child.namespace)
+                    .patch(&child.kind, &child.name, patch)
+                    .is_ok();
+            if committed {
                 trace.push(
                     now,
                     TraceKind::Composition,

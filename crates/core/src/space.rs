@@ -103,12 +103,14 @@ impl Space {
         }
     }
 
-    /// Registers a digi kind schema.
+    /// Registers a digi kind schema and widens the controllers' watch
+    /// subscriptions to cover it.
     pub fn register_kind(&mut self, schema: KindSchema) {
-        self.world.api.register_schema(schema);
+        self.world.register_kind(schema);
     }
 
-    /// Creates a digi of a registered kind and attaches its driver.
+    /// Creates a digi of a registered kind in the `default` namespace and
+    /// attaches its driver.
     ///
     /// Returns the digi's object reference. Names must be unique within
     /// the space.
@@ -118,13 +120,29 @@ impl Space {
         name: &str,
         driver: Driver,
     ) -> Result<ObjectRef, SpaceError> {
+        self.create_digi_in(kind, "default", name, driver)
+    }
+
+    /// Creates a digi in an explicit namespace (multi-tenant spaces: each
+    /// tenant's digis live in their own namespace shard, so one tenant's
+    /// bursts never wake another's watchers).
+    pub fn create_digi_in(
+        &mut self,
+        kind: &str,
+        namespace: &str,
+        name: &str,
+        driver: Driver,
+    ) -> Result<ObjectRef, SpaceError> {
         let schema = self
             .world
             .api
             .schema(kind)
             .ok_or_else(|| SpaceError::Api(ApiError::UnknownKind(kind.to_string())))?;
-        let model = schema.new_model(name, "default");
-        let oref = ObjectRef::default_ns(kind, name);
+        let model = schema.new_model(name, namespace);
+        let oref = ObjectRef::new(kind, namespace, name);
+        // Widen controller subscriptions before the create commits, so
+        // they observe the digi's `Added` event.
+        self.world.ensure_namespace(namespace);
         self.world.api.create(ApiServer::ADMIN, &oref, model)?;
         self.world.add_driver(oref.clone(), driver);
         self.names.insert(name.to_string(), oref.clone());
@@ -220,7 +238,11 @@ impl Space {
     /// [`crate::policy::Policy`] for the shape).
     pub fn add_policy(&mut self, name: &str, model: Value) -> Result<ObjectRef, SpaceError> {
         let oref = ObjectRef::default_ns("Policy", name);
-        self.world.api.create(Self::USER, &oref, model)?;
+        self.world
+            .api
+            .client(Self::USER)
+            .namespace("default")
+            .create("Policy", name, model)?;
         self.pump();
         Ok(oref)
     }
@@ -281,7 +303,14 @@ impl Space {
         let (oref, attr) = self.split_spec(spec)?;
         self.world
             .api
-            .patch_path(Self::USER, &oref, &format!(".control.{attr}.intent"), value)?;
+            .client(Self::USER)
+            .namespace(&oref.namespace)
+            .patch_path(
+                &oref.kind,
+                &oref.name,
+                &format!(".control.{attr}.intent"),
+                value,
+            )?;
         self.pump();
         Ok(())
     }
@@ -367,18 +396,26 @@ impl Space {
     /// Returns as soon as the space is quiescent instead of burning the
     /// whole budget: if nothing is scheduled and no watcher has pending
     /// events, the clock stops where the last event left it.
+    /// Periodic device ticks are *background* events: a queue that holds
+    /// nothing but re-arming ticks counts as quiescent, so a space with
+    /// polling devices settles as fast as one without.
     pub fn settle(&mut self, max_ms: u64) {
         let deadline = self.sim.now().saturating_add(millis(max_ms));
         self.pump();
-        while matches!(self.sim.next_at(), Some(t) if t <= deadline) {
-            self.sim.step(&mut self.world);
-            self.world.pump(&mut self.sim);
+        loop {
+            if self.sim.foreground_pending() == 0 && !self.world.has_pending_work() {
+                return; // Only background ticks (if anything) remain.
+            }
+            match self.sim.next_at() {
+                Some(t) if t <= deadline => {
+                    self.sim.step(&mut self.world);
+                    self.world.pump(&mut self.sim);
+                }
+                // Foreground work exists but is past the horizon (or only
+                // un-pumped watch events remain): burn out the budget.
+                _ => break,
+            }
         }
-        if self.sim.next_at().is_none() && !self.world.has_pending_work() {
-            return; // Quiescent: don't advance virtual time any further.
-        }
-        // Periodic device ticks (or events past the horizon) remain; run
-        // the clock out to the deadline as before.
         self.sim.run_until(&mut self.world, deadline);
     }
 

@@ -137,7 +137,13 @@ impl Syncer {
         let Some(spec) = self.specs.get(id).cloned() else {
             return;
         };
-        let Ok(value) = api.get_path(SUBJECT, &spec.source, &spec.source_path) else {
+        // Source and target may live in different namespaces; scope a
+        // client per side.
+        let Ok(value) = api
+            .client(SUBJECT)
+            .namespace(&spec.source.namespace)
+            .get_path(&spec.source.kind, &spec.source.name, &spec.source_path)
+        else {
             return;
         };
         if value.is_null() {
@@ -148,12 +154,18 @@ impl Syncer {
         }
         // Read the current target value: skip the write when it already
         // matches (keeps the event log quiet and loops convergent).
-        let current = api
-            .get_path(SUBJECT, &spec.target, &spec.target_path)
+        let mut target = api.client(SUBJECT).namespace(&spec.target.namespace);
+        let current = target
+            .get_path(&spec.target.kind, &spec.target.name, &spec.target_path)
             .unwrap_or(Value::Null);
         if current != value
-            && api
-                .patch_path(SUBJECT, &spec.target, &spec.target_path, value.clone())
+            && target
+                .patch_path(
+                    &spec.target.kind,
+                    &spec.target.name,
+                    &spec.target_path,
+                    value.clone(),
+                )
                 .is_err()
         {
             return;

@@ -13,14 +13,14 @@
 //! and backward propagation time (Figure 7).
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use dspace_apiserver::{
-    ApiServer, ObjectRef, Role, Rule, Verb, WatchEvent, WatchId, WatchSelector,
+    ApiServer, CoalescedEvent, ObjectRef, Role, Rule, Verb, WatchId, WatchSelector,
 };
 use dspace_simnet::{Link, Metrics, Rng, Sim};
-use dspace_value::Value;
+use dspace_value::{KindSchema, Value};
 
 use crate::actuator::Actuator;
 use crate::driver::{Driver, Effect};
@@ -79,11 +79,30 @@ enum Component {
     User(UserCli),
 }
 
+/// How a component's watch subscription is maintained.
+#[derive(Clone, Copy)]
+enum SlotScope {
+    /// The subscription is fixed at creation (drivers, the user CLI).
+    Fixed,
+    /// A space-wide controller: its subscription grows to cover
+    /// `(system_kinds ∪ digi kinds) × namespaces` as kinds are registered
+    /// and namespaces appear — every shard it owns, and nothing else.
+    Space {
+        /// Non-digi kinds this controller owns (e.g. `Sync` for the
+        /// syncer), subscribed alongside every digi kind.
+        system_kinds: &'static [&'static str],
+    },
+}
+
 struct ComponentSlot {
     name: String,
     watch: WatchId,
     link: Link,
     woken: bool,
+    scope: SlotScope,
+    /// Drain with `poll_coalesced` on wake: a burst of mutations to one
+    /// object becomes a single reconciliation against the newest snapshot.
+    coalesce: bool,
     kind: Option<Component>,
 }
 
@@ -103,6 +122,11 @@ pub struct World {
     pub links: LinkSet,
     slots: Vec<ComponentSlot>,
     actuators: BTreeMap<ObjectRef, Option<Box<dyn Actuator>>>,
+    /// Digi kinds registered so far; space-scoped controllers subscribe to
+    /// each of them in every known namespace.
+    digi_kinds: BTreeSet<String>,
+    /// Namespaces with at least one digi (always includes `default`).
+    namespaces: BTreeSet<String>,
 }
 
 impl World {
@@ -150,61 +174,135 @@ impl World {
             links,
             slots: Vec::new(),
             actuators: BTreeMap::new(),
+            digi_kinds: BTreeSet::new(),
+            namespaces: BTreeSet::new(),
         };
         let controller_link = world.links.controller.clone();
         let user_link = world.links.user.clone();
-        // Controllers and the user CLI genuinely need the global view; digi
-        // drivers (added later) subscribe to exactly their own object.
+        // Controllers start with empty subscriptions that grow to exactly
+        // the kinds/namespaces they own (via `register_kind` and
+        // `ensure_namespace`); only the user CLI keeps the global view.
+        // Digi drivers (added later) subscribe to their own object.
         world.add_slot(
             "mounter",
             ApiServer::ADMIN,
-            WatchSelector::All,
+            Vec::new(),
             controller_link.clone(),
+            SlotScope::Space { system_kinds: &[] },
+            false,
             Component::Mounter(Mounter::new(graph.clone())),
         );
         world.add_slot(
             "syncer",
             ApiServer::ADMIN,
-            WatchSelector::All,
+            Vec::new(),
             controller_link.clone(),
+            SlotScope::Space {
+                system_kinds: &["Sync"],
+            },
+            false,
             Component::Syncer(Syncer::new()),
         );
         world.add_slot(
             "policer",
             ApiServer::ADMIN,
-            WatchSelector::All,
+            Vec::new(),
             controller_link,
+            SlotScope::Space {
+                system_kinds: &["Policy"],
+            },
+            false,
             Component::Policer(Policer::new(graph)),
         );
         world.add_slot(
             "user-cli",
             "user",
-            WatchSelector::All,
+            vec![WatchSelector::All],
             user_link,
+            SlotScope::Fixed,
+            false,
             Component::User(UserCli::default()),
         );
+        world.ensure_namespace("default");
         world
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn add_slot(
         &mut self,
         name: &str,
         subject: &str,
-        selector: WatchSelector,
+        selectors: Vec<WatchSelector>,
         link: Link,
+        scope: SlotScope,
+        coalesce: bool,
         kind: Component,
     ) {
         let watch = self
             .api
-            .watch_selector(subject, selector)
-            .expect("component subject authorized to watch its selector");
+            .watch_selectors(subject, selectors)
+            .expect("component subject authorized to watch its selectors");
         self.slots.push(ComponentSlot {
             name: name.to_string(),
             watch,
             link,
             woken: false,
+            scope,
+            coalesce,
             kind: Some(kind),
         });
+    }
+
+    /// Registers a digi kind's schema and widens every space-scoped
+    /// controller to watch it in all known namespaces.
+    pub fn register_kind(&mut self, schema: KindSchema) {
+        let kind = schema.kind.clone();
+        self.api.register_schema(schema);
+        if !self.digi_kinds.insert(kind.clone()) {
+            return;
+        }
+        let namespaces: Vec<String> = self.namespaces.iter().cloned().collect();
+        for i in 0..self.slots.len() {
+            if matches!(self.slots[i].scope, SlotScope::Space { .. }) {
+                for ns in &namespaces {
+                    self.subscribe(i, &kind, ns);
+                }
+            }
+        }
+    }
+
+    /// Makes `ns` known to the space, widening every space-scoped
+    /// controller to watch its owned kinds in the new namespace's shard.
+    /// Must run before the namespace's first object is created, so
+    /// controllers see the `Added` event.
+    pub fn ensure_namespace(&mut self, ns: &str) {
+        if !self.namespaces.insert(ns.to_string()) {
+            return;
+        }
+        let kinds: Vec<String> = self.digi_kinds.iter().cloned().collect();
+        for i in 0..self.slots.len() {
+            if let SlotScope::Space { system_kinds } = self.slots[i].scope {
+                for kind in system_kinds {
+                    self.subscribe(i, kind, ns);
+                }
+                for kind in &kinds {
+                    self.subscribe(i, kind, ns);
+                }
+            }
+        }
+    }
+
+    fn subscribe(&mut self, i: usize, kind: &str, ns: &str) {
+        self.api
+            .add_watch_selector(
+                ApiServer::ADMIN,
+                self.slots[i].watch,
+                WatchSelector::KindInNamespace {
+                    kind: kind.to_string(),
+                    namespace: ns.to_string(),
+                },
+            )
+            .expect("controller subscription is live");
     }
 
     /// Registers a digi driver component with its RBAC identity.
@@ -232,8 +330,12 @@ impl World {
         self.add_slot(
             &format!("driver:{}", oref.name),
             &subject,
-            WatchSelector::Object(oref.clone()),
+            vec![WatchSelector::Object(oref.clone())],
             link,
+            SlotScope::Fixed,
+            // Drivers drain coalesced: a burst of N writes to the digi is
+            // one wake, one reconcile, against the newest snapshot.
+            true,
             Component::Driver(DriverRuntime {
                 oref,
                 subject: subject.clone(),
@@ -267,7 +369,9 @@ impl World {
         self.actuators.insert(oref.clone(), Some(actuator));
         if let Some(interval) = interval {
             let target = oref.clone();
-            sim.schedule(interval, move |w: &mut World, sim| {
+            // Background: the re-arming tick alone must not look like
+            // pending propagation to quiescence checks (`Space::settle`).
+            sim.schedule_background(interval, move |w: &mut World, sim| {
                 w.device_tick(target.clone(), sim);
             });
         }
@@ -295,25 +399,74 @@ impl World {
 
     fn wake(&mut self, i: usize, sim: &mut Sim<World>) {
         self.slots[i].woken = false;
+        if self.slots[i].coalesce {
+            let events = self.api.poll_coalesced(self.slots[i].watch);
+            if events.is_empty() {
+                return;
+            }
+            self.metrics.count("driver_deliveries", events.len() as u64);
+            let absorbed: u64 = events.iter().map(|e| e.coalesced - 1).sum();
+            if absorbed > 0 {
+                self.metrics.count("driver_coalesced_events", absorbed);
+            }
+            let mut component = self.slots[i].kind.take().expect("component present");
+            if let Component::Driver(d) = &mut component {
+                Self::drive(self, d, &events, sim);
+            } else {
+                debug_assert!(false, "only driver slots coalesce");
+            }
+            self.slots[i].kind = Some(component);
+            return;
+        }
         let events = self.api.poll(self.slots[i].watch);
         if events.is_empty() {
             return;
         }
+        // Foreign-event accounting: with subscriptions narrowed to owned
+        // kinds, controllers should never receive another controller's
+        // system objects. The counters exist so tests can assert it.
+        let foreign = |kinds: &[&str]| {
+            events
+                .iter()
+                .filter(|e| kinds.contains(&e.oref.kind.as_str()))
+                .count() as u64
+        };
         let mut component = self.slots[i].kind.take().expect("component present");
         match &mut component {
             Component::Mounter(m) => {
+                let n = foreign(&["Sync", "Policy"]);
+                if n > 0 {
+                    self.metrics.count("mounter_foreign_events", n);
+                }
                 let mut trace = std::mem::take(&mut self.trace);
                 m.process(&mut self.api, &events, &mut trace, sim.now());
                 self.trace = trace;
             }
-            Component::Syncer(s) => s.process(&mut self.api, &events),
+            Component::Syncer(s) => {
+                let n = foreign(&["Policy"]);
+                if n > 0 {
+                    self.metrics.count("syncer_foreign_events", n);
+                }
+                s.process(&mut self.api, &events)
+            }
             Component::Policer(p) => {
+                let n = foreign(&["Sync"]);
+                if n > 0 {
+                    self.metrics.count("policer_foreign_events", n);
+                }
                 let mut trace = std::mem::take(&mut self.trace);
                 p.process(&mut self.api, &events, &mut trace, sim.now());
                 self.trace = trace;
             }
             Component::Driver(d) => {
-                Self::drive(self, d, &events, sim);
+                let wrapped: Vec<CoalescedEvent> = events
+                    .iter()
+                    .map(|event| CoalescedEvent {
+                        event: event.clone(),
+                        coalesced: 1,
+                    })
+                    .collect();
+                Self::drive(self, d, &wrapped, sim);
             }
             Component::User(u) => {
                 for ev in &events {
@@ -342,14 +495,16 @@ impl World {
         self.slots[i].kind = Some(component);
     }
 
-    /// Runs a driver's reconciliation cycles for a batch of events.
+    /// Runs a driver's reconciliation cycles for a batch of coalesced
+    /// deliveries: one cycle per object, against its newest snapshot.
     fn drive(
         world: &mut World,
         rt: &mut DriverRuntime,
-        events: &[WatchEvent],
+        events: &[CoalescedEvent],
         sim: &mut Sim<World>,
     ) {
-        for ev in events {
+        for ce in events {
+            let ev = &ce.event;
             if ev.oref != rt.oref {
                 // With per-object subscriptions this never fires; the
                 // counter exists so tests/benches can assert drivers no
@@ -414,12 +569,16 @@ impl World {
             // Commit the reconciled model with OCC; a conflict means a
             // newer event is already queued and will retrigger the cycle.
             if result.model != *ev.model {
-                match world.api.update(
-                    &rt.subject,
-                    &rt.oref,
-                    result.model.clone(),
-                    Some(ev.resource_version),
-                ) {
+                match world
+                    .api
+                    .client(&rt.subject)
+                    .namespace(&rt.oref.namespace)
+                    .update(
+                        &rt.oref.kind,
+                        &rt.oref.name,
+                        result.model.clone(),
+                        Some(ev.resource_version),
+                    ) {
                     Ok(rv) => {
                         rt.last_written = Some(rv);
                         rt.last_model = Rc::new(result.model);
@@ -477,7 +636,7 @@ impl World {
         *self.actuators.get_mut(&oref).expect("slot exists") = Some(actuator);
         self.schedule_actuations(oref.clone(), name, acts, sim);
         if let Some(interval) = interval {
-            sim.schedule(interval, move |w: &mut World, sim| {
+            sim.schedule_background(interval, move |w: &mut World, sim| {
                 w.device_tick(oref.clone(), sim);
             });
         }
@@ -510,7 +669,13 @@ impl World {
             let delay_ms = act.delay as f64 / 1e6;
             sim.schedule(act.delay, move |w: &mut World, sim| {
                 let subject = format!("device:{}", target.name);
-                if w.api.patch(&subject, &target, act.patch.clone()).is_ok() {
+                let committed = w
+                    .api
+                    .client(subject)
+                    .namespace(&target.namespace)
+                    .patch(&target.kind, &target.name, act.patch.clone())
+                    .is_ok();
+                if committed {
                     w.trace.push(
                         sim.now(),
                         TraceKind::DeviceDone,
@@ -533,7 +698,13 @@ impl World {
         } else {
             ApiServer::ADMIN.to_string()
         };
-        if self.api.patch(&subject, oref, patch).is_ok() {
+        let committed = self
+            .api
+            .client(subject)
+            .namespace(&oref.namespace)
+            .patch(&oref.kind, &oref.name, patch)
+            .is_ok();
+        if committed {
             self.trace.push(
                 sim.now(),
                 TraceKind::DeviceDone,

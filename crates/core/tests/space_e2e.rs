@@ -302,6 +302,157 @@ fn drivers_receive_no_foreign_events() {
 }
 
 #[test]
+fn controllers_receive_no_foreign_events() {
+    // Controller subscriptions are narrowed to the kinds they own: the
+    // syncer never sees Policy objects, the policer never sees Sync
+    // objects, and the mounter sees neither — even in a space where both
+    // system kinds exist and plenty of digi traffic flows.
+    let (mut space, lamps) = build_room_with_lamps(2);
+    // A Sync object (pipe) and a Policy object both get created and
+    // updated while digis churn.
+    let room = space.resolve("room").unwrap();
+    space.pipe(&lamps[0], "ignored", &room, "ignored").unwrap();
+    space
+        .add_policy(
+            "lamp-policy",
+            dspace_value::json::parse(
+                r#"{"meta": {"kind": "Policy", "name": "lamp-policy", "namespace": "default"},
+                    "spec": {"target": {"kind": "Lamp"}, "mode": "expose"}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    space.set_intent("room/brightness", 0.7.into()).unwrap();
+    space.run_for_ms(6_000);
+    for counter in [
+        "mounter_foreign_events",
+        "syncer_foreign_events",
+        "policer_foreign_events",
+        "driver_foreign_events",
+    ] {
+        assert_eq!(
+            space.world.metrics.counter(counter),
+            0,
+            "{counter} must stay zero with narrowed subscriptions"
+        );
+    }
+}
+
+#[test]
+fn burst_is_coalesced_into_one_driver_wake() {
+    // A 100-mutation burst committed between two driver wakes must yield
+    // exactly ONE delivery at the driver, carrying the newest snapshot and
+    // accounting for all 100 raw events (ISSUE 2 acceptance criterion).
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(lamp_schema());
+    let lamp = space.create_digi("Lamp", "solo", lamp_driver()).unwrap();
+    space.settle(5_000);
+    let deliveries_before = space.world.metrics.counter("driver_deliveries");
+    // Commit the burst synchronously — no pumping in between, like a
+    // chatty parent or sensor writing faster than the driver's link.
+    for i in 0..100 {
+        space
+            .world
+            .api
+            .client(dspace_apiserver::ApiServer::ADMIN)
+            .namespace("default")
+            .patch_path(
+                &lamp.kind,
+                &lamp.name,
+                ".control.brightness.intent",
+                (i as f64 / 100.0).into(),
+            )
+            .unwrap();
+    }
+    space.settle(5_000);
+    let deliveries = space.world.metrics.counter("driver_deliveries") - deliveries_before;
+    assert_eq!(deliveries, 1, "burst must collapse to one delivery");
+    assert_eq!(
+        space.world.metrics.counter("driver_coalesced_events"),
+        99,
+        "all 100 raw events accounted for in one delivery"
+    );
+    // The driver reconciled against the newest snapshot.
+    assert_eq!(
+        space.intent("solo/brightness").unwrap().as_f64(),
+        Some(0.99)
+    );
+}
+
+#[test]
+fn digis_in_separate_namespaces_converge_without_cross_talk() {
+    // Two tenants, one namespace each. Both converge, and the apiserver
+    // confirms the tenants' event logs lived in separate shards.
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(lamp_schema());
+    for ns in ["tenant-a", "tenant-b"] {
+        let name = format!("lamp-{ns}");
+        let lamp = space
+            .create_digi_in("Lamp", ns, &name, lamp_driver())
+            .unwrap();
+        space.attach_actuator(&lamp, Box::new(EchoActuator::new("echo-lamp", millis(400))));
+    }
+    space
+        .set_intent("lamp-tenant-a/power", "on".into())
+        .unwrap();
+    space
+        .set_intent("lamp-tenant-b/power", "on".into())
+        .unwrap();
+    space.run_for_ms(3_000);
+    for ns in ["tenant-a", "tenant-b"] {
+        assert_eq!(
+            space.status(&format!("lamp-{ns}/power")).unwrap().as_str(),
+            Some("on"),
+            "tenant {ns} did not converge"
+        );
+    }
+    assert_eq!(space.world.metrics.counter("driver_foreign_events"), 0);
+}
+
+/// A device that ticks periodically but never produces any actuation —
+/// e.g. a sensor polling hardware that reports nothing new.
+struct IdleTicker;
+
+impl dspace_core::actuator::Actuator for IdleTicker {
+    fn name(&self) -> &str {
+        "idle-ticker"
+    }
+    fn actuate(
+        &mut self,
+        _now: dspace_simnet::Time,
+        _cmd: &Value,
+        _rng: &mut dspace_simnet::Rng,
+    ) -> Vec<dspace_core::actuator::Actuation> {
+        Vec::new()
+    }
+    fn poll_interval(&self) -> Option<dspace_simnet::Time> {
+        Some(millis(250))
+    }
+}
+
+#[test]
+fn settle_returns_early_despite_periodic_device_ticks() {
+    // Regression (ROADMAP): periodic ticks keep the event queue non-empty
+    // forever, and settle used to burn its whole budget walking them.
+    // Ticks are background activity; settle must return at propagation
+    // quiescence.
+    let mut space = Space::new(SpaceConfig::default());
+    space.register_kind(lamp_schema());
+    let lamp = space.create_digi("Lamp", "solo", lamp_driver()).unwrap();
+    space.attach_actuator(&lamp, Box::new(IdleTicker));
+    space.set_intent("solo/power", "on".into()).unwrap();
+    space.settle(60_000);
+    assert!(
+        space.now_ms() < 1_000.0,
+        "settle burned the budget under tick-only activity: now={}ms",
+        space.now_ms()
+    );
+    assert!(!space.world.has_pending_work());
+    // The intent still propagated before settle returned.
+    assert_eq!(space.intent("solo/power").unwrap().as_str(), Some("on"));
+}
+
+#[test]
 fn settle_returns_early_when_quiescent() {
     // Without periodic device ticks the event queue drains completely;
     // settle must stop there instead of burning the whole budget.

@@ -44,13 +44,16 @@ pub struct Bencher {
     elapsed: Duration,
     /// Number of timed iterations.
     iters: u64,
+    /// Smoke mode: run each routine exactly once, skip calibration.
+    test_mode: bool,
 }
 
 impl Bencher {
-    fn new() -> Self {
+    fn new(test_mode: bool) -> Self {
         Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
+            test_mode,
         }
     }
 
@@ -60,6 +63,11 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
+        if self.test_mode {
+            self.elapsed += once;
+            self.iters += 1;
+            return;
+        }
         let budget =
             (TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, MAX_ITERS as u128) as u64;
         let start = Instant::now();
@@ -83,6 +91,11 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine(input));
         let once = start.elapsed().max(Duration::from_nanos(1));
+        if self.test_mode {
+            self.elapsed += once;
+            self.iters += 1;
+            return;
+        }
         let budget =
             (TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, (MAX_ITERS / 4) as u128) as u64;
         for _ in 0..budget {
@@ -117,13 +130,36 @@ fn report(name: &str, b: &Bencher) {
 }
 
 /// The benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Honors criterion's `cargo bench -- --test` smoke mode (also
+    /// switchable via the `CRITERION_TEST_MODE` env var): each benchmark
+    /// runs exactly once to prove it executes, skipping calibration.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some();
+        Criterion { test_mode }
+    }
+}
 
 impl Criterion {
+    /// Forces smoke mode on or off, overriding CLI/env detection.
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// Whether this driver runs each benchmark once (smoke mode).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut b = Bencher::new();
+        let mut b = Bencher::new(self.test_mode);
         f(&mut b);
         report(name, &b);
         self
@@ -133,7 +169,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.to_string(),
-            _criterion: self,
+            criterion: self,
         }
     }
 }
@@ -141,7 +177,7 @@ impl Criterion {
 /// A named group of benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -152,7 +188,7 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one named benchmark within the group.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut b = Bencher::new();
+        let mut b = Bencher::new(self.criterion.test_mode);
         f(&mut b);
         report(&format!("{}/{name}", self.name), &b);
         self
@@ -199,6 +235,21 @@ mod tests {
         let mut n = 0u64;
         c.bench_function("smoke/add", |b| b.iter(|| n = n.wrapping_add(1)));
         assert!(n > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_exactly_once() {
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut calls = 0u64;
+        c.bench_function("smoke/once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "smoke mode must run the routine exactly once");
+        let mut batched_calls = 0u64;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("once_batched", |b| {
+            b.iter_batched(|| (), |()| batched_calls += 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(batched_calls, 1);
     }
 
     #[test]

@@ -11,6 +11,10 @@ type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 struct Entry<W> {
     at: Time,
     seq: u64,
+    /// Background events (periodic device ticks, pollers) keep the queue
+    /// non-empty forever but carry no propagation of their own; quiescence
+    /// checks ignore them.
+    background: bool,
     f: EventFn<W>,
 }
 
@@ -63,6 +67,9 @@ pub struct Sim<W> {
     now: Time,
     seq: u64,
     executed: u64,
+    /// Pending events scheduled as foreground work (everything but the
+    /// `schedule_background` family).
+    foreground: usize,
     queue: BinaryHeap<Entry<W>>,
 }
 
@@ -79,6 +86,7 @@ impl<W> Sim<W> {
             now: 0,
             seq: 0,
             executed: 0,
+            foreground: 0,
             queue: BinaryHeap::new(),
         }
     }
@@ -98,6 +106,13 @@ impl<W> Sim<W> {
         self.queue.len()
     }
 
+    /// Returns the number of pending *foreground* events — pending work
+    /// excluding re-arming background activity such as periodic device
+    /// ticks. Zero means the simulation is quiescent apart from ticks.
+    pub fn foreground_pending(&self) -> usize {
+        self.foreground
+    }
+
     /// Returns the timestamp of the next pending event, if any.
     pub fn next_at(&self) -> Option<Time> {
         self.queue.peek().map(|e| e.at)
@@ -113,13 +128,42 @@ impl<W> Sim<W> {
     /// Times in the past are clamped to "now" (the event still runs, after
     /// the events already queued for the current instant).
     pub fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.push(at, false, Box::new(f));
+    }
+
+    /// Schedules background work (a periodic tick, a poller) `delay` after
+    /// the current time. Background events run exactly like foreground
+    /// ones but are excluded from [`Sim::foreground_pending`], so
+    /// quiescence detection isn't fooled by self-re-arming activity.
+    pub fn schedule_background(
+        &mut self,
+        delay: Time,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        self.schedule_at_background(self.now.saturating_add(delay), f);
+    }
+
+    /// Schedules background work at an absolute virtual time.
+    pub fn schedule_at_background(
+        &mut self,
+        at: Time,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        self.push(at, true, Box::new(f));
+    }
+
+    fn push(&mut self, at: Time, background: bool, f: EventFn<W>) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
+        if !background {
+            self.foreground += 1;
+        }
         self.queue.push(Entry {
             at,
             seq,
-            f: Box::new(f),
+            background,
+            f,
         });
     }
 
@@ -131,6 +175,9 @@ impl<W> Sim<W> {
                 debug_assert!(entry.at >= self.now, "time went backwards");
                 self.now = entry.at;
                 self.executed += 1;
+                if !entry.background {
+                    self.foreground -= 1;
+                }
                 (entry.f)(world, self);
                 true
             }
@@ -243,5 +290,31 @@ mod tests {
         let mut sim: Sim<()> = Sim::new();
         sim.run_for(&mut (), millis(100));
         assert_eq!(sim.now(), millis(100));
+    }
+
+    #[test]
+    fn background_events_do_not_count_as_foreground() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut ticks = 0u32;
+        fn tick(w: &mut u32, sim: &mut Sim<u32>) {
+            *w += 1;
+            // Re-arming keeps the queue non-empty forever.
+            sim.schedule_background(millis(10), tick);
+        }
+        sim.schedule_background(millis(10), tick);
+        sim.schedule(millis(5), |_: &mut u32, _| {});
+        assert_eq!(sim.foreground_pending(), 1);
+        assert_eq!(sim.pending(), 2);
+        sim.step(&mut ticks); // the foreground event
+        assert_eq!(sim.foreground_pending(), 0);
+        sim.run_for(&mut ticks, millis(100));
+        assert_eq!(ticks, 10, "ticks keep running");
+        assert_eq!(sim.foreground_pending(), 0, "but never count as work");
+        // A tick that spawns foreground work makes it visible again.
+        sim.schedule_background(millis(1), |_, sim| {
+            sim.schedule(millis(1), |w: &mut u32, _| *w += 100);
+        });
+        sim.step(&mut ticks);
+        assert_eq!(sim.foreground_pending(), 1);
     }
 }
