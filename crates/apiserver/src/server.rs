@@ -333,6 +333,20 @@ impl ApiServer {
         Ok(gone)
     }
 
+    /// Jumps an object's resource version forward without changing its
+    /// model (see [`Store::fast_forward`](crate::store::Store::fast_forward)).
+    /// A simulation aid for placing an object deep into its mutation
+    /// history; requires update rights.
+    pub fn fast_forward(
+        &mut self,
+        subject: &str,
+        oref: &ObjectRef,
+        rv: u64,
+    ) -> Result<u64, ApiError> {
+        self.authorize(subject, Verb::Update, oref)?;
+        self.store.fast_forward(oref, rv)
+    }
+
     /// Opens a watch over `kind` (or everything when `None`).
     pub fn watch(&mut self, subject: &str, kind: Option<&str>) -> Result<WatchId, ApiError> {
         self.watch_selector(
@@ -429,6 +443,12 @@ impl ApiServer {
     /// Returns `true` if the subscription has undelivered events.
     pub fn has_pending(&self, id: WatchId) -> bool {
         self.store.has_pending(id)
+    }
+
+    /// The serialized size of the subscription's undelivered events — what
+    /// the next notification would put on the wire.
+    pub fn pending_bytes(&self, id: WatchId) -> u64 {
+        self.store.pending_bytes(id)
     }
 
     /// Cancels a watch subscription, releasing its log-compaction hold.

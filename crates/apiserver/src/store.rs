@@ -128,6 +128,10 @@ struct ShardCursor {
     /// Undelivered matching events in this shard. Maintained at append
     /// time, so `has_pending` is O(1) and `poll` never scans empty tails.
     pending: u64,
+    /// Serialized bytes of the undelivered matching events — what a real
+    /// apiserver would put on the wire at the next notification. Drained
+    /// alongside `pending`.
+    pending_bytes: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -139,6 +143,8 @@ struct Watcher {
     shards: BTreeMap<String, ShardCursor>,
     /// Sum of the per-shard pending counts (O(1) `has_pending`).
     total_pending: u64,
+    /// Sum of the per-shard pending byte counts (O(1) `pending_bytes`).
+    total_pending_bytes: u64,
 }
 
 /// One namespace's slice of the store: event log, revision counter,
@@ -368,6 +374,31 @@ impl Store {
         Ok(obj)
     }
 
+    /// Jumps an object's resource version forward to `rv` without changing
+    /// its model, re-stamping `meta.gen` and emitting a `Modified` event.
+    ///
+    /// A simulation aid: a real deployment reaches generation 2^53 only
+    /// after years of mutations, but the version-gate arithmetic must be
+    /// exact there. Tests use this to place an object deep into its
+    /// mutation history in one step.
+    pub fn fast_forward(&mut self, oref: &ObjectRef, rv: u64) -> Result<u64, ApiError> {
+        let obj = self
+            .objects
+            .get_mut(oref)
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+        if rv <= obj.resource_version {
+            return Err(ApiError::Invalid(format!(
+                "fast_forward to {rv} would not advance {} (at {})",
+                oref, obj.resource_version
+            )));
+        }
+        stamp_gen(&mut obj.model, rv);
+        obj.resource_version = rv;
+        let shared = Rc::new(obj.model.clone());
+        self.append(WatchEventKind::Modified, oref.clone(), shared, rv);
+        Ok(rv)
+    }
+
     /// Opens a watch over the union of `selectors`. Each cursor starts at
     /// its shard's current tail: only *future* events are delivered. An
     /// empty selector list is a valid (never-firing) subscription that can
@@ -411,6 +442,7 @@ impl Store {
                 w.shards.entry(ns.clone()).or_insert(ShardCursor {
                     cursor: shard.committed + 1,
                     pending: 0,
+                    pending_bytes: 0,
                 });
             }
             w.selectors.push(selector);
@@ -424,9 +456,11 @@ impl Store {
             shard.register(id, &selector);
             let cursor = shard.committed + 1;
             let w = self.watchers.get_mut(&id).expect("checked above");
-            w.shards
-                .entry(ns)
-                .or_insert(ShardCursor { cursor, pending: 0 });
+            w.shards.entry(ns).or_insert(ShardCursor {
+                cursor,
+                pending: 0,
+                pending_bytes: 0,
+            });
             w.selectors.push(selector);
         }
         true
@@ -463,7 +497,9 @@ impl Store {
                     "pending counter out of sync in shard {ns}"
                 );
                 w.total_pending -= sc.pending;
+                w.total_pending_bytes -= sc.pending_bytes;
                 sc.pending = 0;
+                sc.pending_bytes = 0;
                 touched.push(ns.clone());
             }
             sc.cursor = shard.committed + 1;
@@ -518,6 +554,16 @@ impl Store {
             .get(&id)
             .map(|w| w.total_pending > 0)
             .unwrap_or(false)
+    }
+
+    /// The serialized size of the watcher's undelivered events — the bytes
+    /// its next notification would put on the wire. O(1), maintained at
+    /// append time like `has_pending`.
+    pub fn pending_bytes(&self, id: WatchId) -> u64 {
+        self.watchers
+            .get(&id)
+            .map(|w| w.total_pending_bytes)
+            .unwrap_or(0)
     }
 
     /// Cancels a watch subscription, releasing its compaction holds in
@@ -580,6 +626,7 @@ impl Store {
             w.shards.entry(ns.to_string()).or_insert(ShardCursor {
                 cursor: 1,
                 pending: 0,
+                pending_bytes: 0,
             });
         }
         self.shards.insert(ns.to_string(), shard);
@@ -603,6 +650,13 @@ impl Store {
         if let Some(ids) = shard.object_watchers.get(&oref) {
             interested.extend(ids.iter().copied());
         }
+        // Size the notification payload once per event, and only when
+        // somebody will actually receive it.
+        let event_bytes = if interested.is_empty() {
+            0
+        } else {
+            dspace_value::json::encoded_len(&model) as u64
+        };
         shard.log.push_back(WatchEvent {
             revision,
             kind,
@@ -619,7 +673,9 @@ impl Store {
                 .get_mut(&ns)
                 .expect("indexed watcher holds a cursor in its shard");
             sc.pending += 1;
+            sc.pending_bytes += event_bytes;
             w.total_pending += 1;
+            w.total_pending_bytes += event_bytes;
         }
         if no_members {
             // No watcher holds this shard: reclaim the tail eagerly.
@@ -656,11 +712,13 @@ impl Store {
 }
 
 /// Keeps `meta.gen` in the model equal to the resource version, so the
-/// version number of §3.5 is visible to drivers and the mounter.
+/// version number of §3.5 is visible to drivers and the mounter. Encoded
+/// via [`Value::from_exact_u64`]: generations beyond 2^53 survive without
+/// `f64` rounding, so the mounter's version gate stays exact.
 fn stamp_gen(model: &mut Value, rv: u64) {
     let _ = model.set(
         &".meta.gen".parse().expect("static path"),
-        Value::from(rv as f64),
+        Value::from_exact_u64(rv),
     );
 }
 
@@ -854,6 +912,51 @@ mod tests {
         s.cancel_watch(w);
         assert!(s.poll(w).is_empty());
         assert!(!s.has_pending(w));
+    }
+
+    #[test]
+    fn pending_bytes_tracks_serialized_payloads() {
+        let mut s = Store::new();
+        let w = s.watch(Some("Lamp"));
+        assert_eq!(s.pending_bytes(w), 0);
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let one = s.pending_bytes(w);
+        let stored = s.get(&lamp_ref()).unwrap().model.clone();
+        assert_eq!(one, dspace_value::json::encoded_len(&stored) as u64);
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        assert!(s.pending_bytes(w) > one, "second event adds bytes");
+        s.poll(w);
+        assert_eq!(s.pending_bytes(w), 0, "poll drains the byte counter");
+        // An uninterested watcher is never charged.
+        let other = s.watch(Some("Room"));
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        assert_eq!(s.pending_bytes(other), 0);
+    }
+
+    #[test]
+    fn fast_forward_jumps_version_and_stamps_exact_gen() {
+        const BIG: u64 = (1 << 53) + 7;
+        let mut s = Store::new();
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let w = s.watch(Some("Lamp"));
+        assert_eq!(s.fast_forward(&lamp_ref(), BIG).unwrap(), BIG);
+        let obj = s.get(&lamp_ref()).unwrap();
+        assert_eq!(obj.resource_version, BIG);
+        // Past 2^53 the generation is stored exactly (string-encoded).
+        assert_eq!(
+            obj.model.get_path("meta.gen").and_then(Value::as_exact_u64),
+            Some(BIG)
+        );
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].resource_version, BIG);
+        // Subsequent normal updates keep counting from the new version.
+        assert_eq!(
+            s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap(),
+            BIG + 1
+        );
+        // Regression can't rewind.
+        assert!(s.fast_forward(&lamp_ref(), 5).is_err());
     }
 
     #[test]

@@ -300,6 +300,160 @@ fn coalesce_demo() {
     println!();
 }
 
+/// Mounter dedup cost: feed one giant event batch (many events per digi,
+/// many digis) through `Mounter::process` and assert the affected-object
+/// dedup stays linear. The old `Vec::contains` dedup was O(n²) in distinct
+/// objects — at 100k events / 25k digis it took seconds; the `BTreeSet`
+/// dedup takes milliseconds.
+fn mounter_dedup_sweep() {
+    use dspace_core::mounter::Mounter;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    println!();
+    println!("mounter dedup sweep: one process() call over a pre-built event batch");
+    println!(
+        "{:>9} {:>9} {:>10} {:>12}",
+        "events", "distinct", "ms", "us/event"
+    );
+    let shared = Rc::new(model("l0"));
+    let mut per_event_us = 0.0;
+    for &events in &[25_000usize, 100_000] {
+        let distinct = events / 4;
+        let batch: Vec<dspace_apiserver::WatchEvent> = (0..events)
+            .map(|i| dspace_apiserver::WatchEvent {
+                revision: i as u64 + 1,
+                kind: dspace_apiserver::WatchEventKind::Modified,
+                oref: oref(i % distinct),
+                model: Rc::clone(&shared),
+                resource_version: i as u64 + 1,
+            })
+            .collect();
+        let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
+        let mut mounter = Mounter::new(graph);
+        let mut api = ApiServer::new();
+        let mut trace = dspace_core::Trace::new();
+        let start = std::time::Instant::now();
+        mounter.process(&mut api, &batch, &mut trace, dspace_simnet::millis(0));
+        let dt = start.elapsed();
+        per_event_us = dt.as_secs_f64() * 1e6 / events as f64;
+        println!(
+            "{:>9} {:>9} {:>10.1} {:>12.3}",
+            events,
+            distinct,
+            dt.as_secs_f64() * 1e3,
+            per_event_us,
+        );
+    }
+    assert!(
+        per_event_us < 20.0,
+        "dedup must stay linear: {per_event_us:.1} us/event at 100k events \
+         (the old O(n²) Vec::contains dedup costs >100 us/event here)"
+    );
+    println!();
+}
+
+/// Busy-burst behavior under link faults: a 100-patch burst lands while the
+/// driver is mid-reconcile, over a driver link with increasing drop rates.
+/// Clean links must produce exactly ONE coalesced follow-up cycle; lossy
+/// links may need wake retransmits and commit retries but must converge
+/// without exhausting the retry budget.
+fn busy_burst_sweep() {
+    use dspace_core::driver::{Driver, Filter};
+    use dspace_core::world::LinkSet;
+    use dspace_core::{Space, SpaceConfig};
+    use dspace_simnet::{LatencyModel, Link};
+
+    const BURST: usize = 100;
+    println!();
+    println!("busy-burst sweep: {BURST}-patch burst mid-reconcile (50 ms), driver link 8 ms");
+    println!(
+        "{:>6} {:>10} {:>9} {:>11} {:>9} {:>9} {:>10}",
+        "drop%", "followups", "retries", "wake-drops", "gave-up", "status", "settle-ms"
+    );
+    for &drop in &[0.0f64, 0.05, 0.15] {
+        let mut driver_link = Link::new("driver", LatencyModel::FixedMs(8.0));
+        if drop > 0.0 {
+            driver_link = driver_link
+                .with_drop_probability(drop)
+                .with_jitter(LatencyModel::UniformMs(0.0, 6.0));
+        }
+        let mut space = Space::new(SpaceConfig {
+            links: LinkSet {
+                driver: driver_link,
+                ..LinkSet::default()
+            },
+            seed: 7,
+            reconcile: LatencyModel::FixedMs(50.0),
+            ..SpaceConfig::default()
+        });
+        space.register_kind(
+            dspace_value::KindSchema::digivice("digi.dev", "v1", "Lamp")
+                .control("brightness", dspace_value::AttrType::Number),
+        );
+        let mut d = Driver::new();
+        d.on(Filter::on_control(), 0, "ack", |ctx| {
+            let intent = ctx.digi().intent("brightness");
+            if !intent.is_null() && intent != ctx.digi().status("brightness") {
+                ctx.digi().set_status("brightness", intent);
+            }
+        });
+        space.create_digi("Lamp", "solo", d).unwrap();
+        space.settle(10_000);
+        space.set_intent_now("solo/brightness", 0.5.into()).unwrap();
+        while !space.world.driver_busy("solo") {
+            assert!(space.step(), "driver never went busy");
+        }
+        for i in 0..BURST {
+            space
+                .world
+                .api
+                .client(ApiServer::ADMIN)
+                .namespace("default")
+                .patch_path(
+                    "Lamp",
+                    "solo",
+                    ".control.brightness.intent",
+                    (i as f64 / BURST as f64).into(),
+                )
+                .unwrap();
+        }
+        space.pump();
+        space.settle(60_000);
+        let m = &space.world.metrics;
+        let followups = m.counter("driver_followup_cycles");
+        let status = space.status("solo/brightness").unwrap().as_f64().unwrap();
+        println!(
+            "{:>6} {:>10} {:>9} {:>11} {:>9} {:>9.2} {:>10.1}",
+            (drop * 100.0) as u32,
+            followups,
+            m.counter("driver_retries"),
+            m.counter("wake_drops"),
+            m.counter("driver_gave_up"),
+            status,
+            space.now_ms(),
+        );
+        assert_eq!(
+            status,
+            (BURST - 1) as f64 / BURST as f64,
+            "burst must converge at drop={drop}"
+        );
+        assert_eq!(
+            m.counter("driver_gave_up"),
+            0,
+            "budget must absorb drop={drop}"
+        );
+        if drop == 0.0 {
+            assert_eq!(followups, 1, "clean link: exactly one follow-up cycle");
+        }
+        assert!(
+            !space.world.has_pending_work(),
+            "must quiesce at drop={drop}"
+        );
+    }
+    println!();
+}
+
 criterion_group!(benches, bench_pump_round, bench_pump_round_sharded);
 
 fn main() {
@@ -307,4 +461,6 @@ fn main() {
     sweep();
     ns_sweep();
     coalesce_demo();
+    mounter_dedup_sweep();
+    busy_burst_sweep();
 }

@@ -189,6 +189,7 @@ fn space_for(setup: Setup, seed: u64) -> Space {
     dspace_digis::new_space_with(SpaceConfig {
         links: setup.links(),
         seed,
+        ..SpaceConfig::default()
     })
 }
 

@@ -68,6 +68,7 @@ pub fn run_depth_sweep(
         let mut space = Space::new(SpaceConfig {
             links: setup.links(),
             seed: seed + depth as u64,
+            ..SpaceConfig::default()
         });
         space.register_kind(
             KindSchema::digivice("digi.dev", "v1", "Node")

@@ -51,12 +51,14 @@ impl<'a> DigiModel<'a> {
         self.model.get_path("meta.name").and_then(Value::as_str)
     }
 
-    /// The model's version number (`meta.gen`, §3.5).
+    /// The model's version number (`meta.gen`, §3.5). Decoded exactly:
+    /// generations past 2^53 are string-encoded by the store and must not
+    /// round-trip through `f64`.
     pub fn gen(&self) -> u64 {
         self.model
             .get_path("meta.gen")
-            .and_then(Value::as_f64)
-            .unwrap_or(0.0) as u64
+            .and_then(Value::as_exact_u64)
+            .unwrap_or(0)
     }
 
     /// Reads `control.<attr>.intent`.

@@ -21,7 +21,7 @@
 //! writes and survive northbound refreshes.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent};
@@ -60,14 +60,14 @@ impl Mounter {
         trace: &mut Trace,
         now: Time,
     ) {
-        let mut affected: Vec<ObjectRef> = Vec::new();
+        // Dedup with a set: a burst batch repeats the same oref many
+        // times, and `Vec::contains` made this scan quadratic.
+        let mut affected: BTreeSet<ObjectRef> = BTreeSet::new();
         for ev in events {
             if ev.oref.kind == "Sync" || ev.oref.kind == "Policy" {
                 continue;
             }
-            if !affected.contains(&ev.oref) {
-                affected.push(ev.oref.clone());
-            }
+            affected.insert(ev.oref.clone());
         }
         for oref in affected {
             let (as_child, as_parent) = {
@@ -134,11 +134,13 @@ impl Mounter {
             .unwrap_or_else(dspace_value::obj);
 
         // --- Northbound: build the replica candidate from the child. -----
+        // Generations are compared exactly as u64: an f64 round-trip
+        // collapses adjacent versions past 2^53 and mis-orders the gate.
         let child_gen = child_obj
             .model
             .get_path(".meta.gen")
-            .and_then(Value::as_f64)
-            .unwrap_or(0.0);
+            .and_then(Value::as_exact_u64)
+            .unwrap_or(0);
         let mut candidate = dspace_value::obj();
         set(&mut candidate, ".mode", Value::from(edge.mode.as_str()));
         set(
@@ -149,7 +151,7 @@ impl Mounter {
                 EdgeState::Yielded => MOUNT_YIELDED,
             }),
         );
-        set(&mut candidate, ".gen", Value::from(child_gen));
+        set(&mut candidate, ".gen", Value::from_exact_u64(child_gen));
         for section in ["control", "obs", "data"] {
             if let Some(v) = child_obj.model.get_path(section) {
                 set(&mut candidate, &format!(".{section}"), v.clone());
@@ -195,8 +197,8 @@ impl Mounter {
         // must land first, and the retry happens on its event.
         let stored_gen = replica_cur
             .get_path(".gen")
-            .and_then(Value::as_f64)
-            .unwrap_or(0.0);
+            .and_then(Value::as_exact_u64)
+            .unwrap_or(0);
         let gate_ok = stored_gen >= child_gen;
         let mut synced_south = false;
         if edge.state == EdgeState::Active && gate_ok {

@@ -4,7 +4,7 @@
 //! the declarative API exposed by the root digivice").
 
 use dspace_apiserver::{ApiError, ApiServer, ObjectRef};
-use dspace_simnet::{millis, Sim, Time};
+use dspace_simnet::{millis, LatencyModel, RetryPolicy, Sim, Time};
 use dspace_value::{KindSchema, Value};
 
 use std::collections::BTreeMap;
@@ -25,6 +25,11 @@ pub struct SpaceConfig {
     pub links: LinkSet,
     /// RNG seed (experiments are deterministic per seed).
     pub seed: u64,
+    /// Duration of one driver reconcile cycle. The zero default keeps
+    /// reconciles instantaneous (the pre-async behavior).
+    pub reconcile: LatencyModel,
+    /// Backoff schedule for driver→apiserver commits over faulty links.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SpaceConfig {
@@ -32,6 +37,8 @@ impl Default for SpaceConfig {
         SpaceConfig {
             links: LinkSet::default(),
             seed: 7,
+            reconcile: LatencyModel::FixedMs(0.0),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -96,9 +103,12 @@ impl Space {
 
     /// Creates a space.
     pub fn new(config: SpaceConfig) -> Self {
+        let mut world = World::new(config.links, config.seed);
+        world.set_reconcile_latency(config.reconcile);
+        world.set_retry_policy(config.retry);
         Space {
             sim: Sim::new(),
-            world: World::new(config.links, config.seed),
+            world,
             names: BTreeMap::new(),
         }
     }

@@ -236,6 +236,18 @@ impl AdmissionWebhook for TopologyWebhook {
     }
 
     fn review(&mut self, review: &AdmissionReview<'_>) -> AdmissionResponse {
+        // Digi names become path segments of the parent's replica
+        // (`.mount.<Kind>.<name>`): a dot inside the name splits the
+        // segment and corrupts every replica-path parse downstream, so
+        // such names never enter the space.
+        if review.verb == Verb::Create
+            && (review.oref.name.contains('.') || review.oref.kind.contains('.'))
+        {
+            return AdmissionResponse::Deny(format!(
+                "name {} contains '.', which is reserved as the model path separator",
+                review.oref
+            ));
+        }
         match review.oref.kind.as_str() {
             "Sync" => self.review_sync(review),
             "Policy" => AdmissionResponse::Allow,
@@ -255,7 +267,7 @@ impl AdmissionWebhook for TopologyWebhook {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dspace_apiserver::ApiServer;
+    use dspace_apiserver::{ApiError, ApiServer};
     use dspace_value::json;
 
     fn digi_model(kind: &str, name: &str) -> Value {
@@ -294,6 +306,40 @@ mod tests {
             ))
             .unwrap(),
         )
+    }
+
+    #[test]
+    fn dotted_names_are_rejected_at_admission() {
+        let (mut api, _graph) = setup();
+        // A dot in the digi name would shear `.mount.Lamp.bad.name` into
+        // four segments and corrupt the replica path.
+        let err = api
+            .create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns("Lamp", "bad.name"),
+                digi_model("Lamp", "bad.name"),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, ApiError::AdmissionDenied { webhook, reason }
+                if webhook == "topology" && reason.contains("path separator")),
+            "got {err:?}"
+        );
+        // Dotted kinds are just as unrepresentable.
+        assert!(api
+            .create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns("La.mp", "ok"),
+                digi_model("La.mp", "ok"),
+            )
+            .is_err());
+        // Dot-free names still pass.
+        api.create(
+            ApiServer::ADMIN,
+            &ObjectRef::default_ns("Lamp", "dot-free"),
+            digi_model("Lamp", "dot-free"),
+        )
+        .unwrap();
     }
 
     #[test]

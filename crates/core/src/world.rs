@@ -13,13 +13,13 @@
 //! and backward propagation time (Figure 7).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use dspace_apiserver::{
     ApiServer, CoalescedEvent, ObjectRef, Role, Rule, Verb, WatchId, WatchSelector,
 };
-use dspace_simnet::{Link, Metrics, Rng, Sim};
+use dspace_simnet::{Delivery, LatencyModel, Link, Metrics, RetryPolicy, Rng, Sim};
 use dspace_value::{KindSchema, Value};
 
 use crate::actuator::Actuator;
@@ -99,11 +99,26 @@ struct ComponentSlot {
     watch: WatchId,
     link: Link,
     woken: bool,
+    /// A reconcile cycle is in flight (its completion event is scheduled).
+    /// Only driver slots go busy; controllers still process synchronously.
+    busy: bool,
+    /// A wake arrived while busy. Completion re-polls (coalesced), so
+    /// however many events queued up mid-reconcile, they land as exactly
+    /// one follow-up cycle.
+    dirty: bool,
     scope: SlotScope,
     /// Drain with `poll_coalesced` on wake: a burst of mutations to one
     /// object becomes a single reconciliation against the newest snapshot.
     coalesce: bool,
     kind: Option<Component>,
+}
+
+/// A model write a driver decided on during a reconcile, waiting to
+/// traverse the driver link (and survive its faults) before committing.
+struct PendingCommit {
+    model: Value,
+    /// OCC precondition: the resource version the reconcile ran against.
+    expected: u64,
 }
 
 /// The complete runtime state mutated by simulation events.
@@ -121,6 +136,12 @@ pub struct World {
     /// Link latencies.
     pub links: LinkSet,
     slots: Vec<ComponentSlot>,
+    /// Duration of one driver reconcile cycle (the work between draining
+    /// the watch and deciding on a commit). `FixedMs(0)` keeps the legacy
+    /// instantaneous behavior.
+    reconcile_latency: LatencyModel,
+    /// Backoff schedule for driver→apiserver commits over a faulty link.
+    retry: RetryPolicy,
     actuators: BTreeMap<ObjectRef, Option<Box<dyn Actuator>>>,
     /// Digi kinds registered so far; space-scoped controllers subscribe to
     /// each of them in every known namespace.
@@ -173,6 +194,8 @@ impl World {
             trace: Trace::new(),
             links,
             slots: Vec::new(),
+            reconcile_latency: LatencyModel::FixedMs(0.0),
+            retry: RetryPolicy::default(),
             actuators: BTreeMap::new(),
             digi_kinds: BTreeSet::new(),
             namespaces: BTreeSet::new(),
@@ -247,10 +270,28 @@ impl World {
             watch,
             link,
             woken: false,
+            busy: false,
+            dirty: false,
             scope,
             coalesce,
             kind: Some(kind),
         });
+    }
+
+    /// Sets the duration model for driver reconcile cycles.
+    pub fn set_reconcile_latency(&mut self, latency: LatencyModel) {
+        self.reconcile_latency = latency;
+    }
+
+    /// Sets the retry policy for driver→apiserver commits.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Returns `true` while the named driver has a reconcile in flight.
+    pub fn driver_busy(&self, name: &str) -> bool {
+        let slot_name = format!("driver:{name}");
+        self.slots.iter().any(|s| s.name == slot_name && s.busy)
     }
 
     /// Registers a digi kind's schema and widens every space-scoped
@@ -377,49 +418,78 @@ impl World {
         }
     }
 
-    /// Returns `true` if any component has undelivered watch events.
+    /// Returns `true` if any component has undelivered watch events or a
+    /// reconcile cycle still in flight.
     pub fn has_pending_work(&self) -> bool {
         self.slots
             .iter()
-            .any(|s| !s.woken && self.api.has_pending(s.watch))
+            .any(|s| s.busy || s.dirty || (!s.woken && self.api.has_pending(s.watch)))
     }
 
     /// Schedules wakes for every component with pending watch events.
     /// Called by the space loop after every simulation event.
+    ///
+    /// The notification travels the component's link sized by the actual
+    /// serialized payload of its pending events; a faulty link may drop
+    /// it, in which case the apiserver retransmits after the link's RTO.
     pub fn pump(&mut self, sim: &mut Sim<World>) {
         for i in 0..self.slots.len() {
             if self.slots[i].woken || !self.api.has_pending(self.slots[i].watch) {
                 continue;
             }
             self.slots[i].woken = true;
-            let delay = self.slots[i].link.delay(1024, &mut self.rng);
-            sim.schedule(delay, move |w: &mut World, sim| w.wake(i, sim));
+            let bytes = self.api.pending_bytes(self.slots[i].watch) as usize;
+            match self.slots[i].link.transfer(bytes, sim.now(), &mut self.rng) {
+                Delivery::After(delay) => {
+                    sim.schedule(delay, move |w: &mut World, sim| w.wake(i, sim));
+                }
+                Delivery::Dropped => {
+                    self.metrics.count("wake_drops", 1);
+                    let name = self.slots[i].name.clone();
+                    self.metrics.count(&format!("wake_drops:{name}"), 1);
+                    let rto = self.slots[i].link.rto();
+                    sim.schedule(rto, move |w: &mut World, sim| {
+                        w.slots[i].woken = false;
+                        w.pump(sim);
+                    });
+                }
+            }
         }
     }
 
     fn wake(&mut self, i: usize, sim: &mut Sim<World>) {
+        if self.slots[i].busy {
+            // Mid-reconcile: note the wake and let completion re-poll.
+            // `woken` stays set so `pump` doesn't schedule more wakes for
+            // events that will all drain in the one follow-up cycle.
+            self.slots[i].dirty = true;
+            return;
+        }
         self.slots[i].woken = false;
         if self.slots[i].coalesce {
             let events = self.api.poll_coalesced(self.slots[i].watch);
             if events.is_empty() {
                 return;
             }
-            self.metrics.count("driver_deliveries", events.len() as u64);
-            let absorbed: u64 = events.iter().map(|e| e.coalesced - 1).sum();
-            if absorbed > 0 {
-                self.metrics.count("driver_coalesced_events", absorbed);
-            }
-            let mut component = self.slots[i].kind.take().expect("component present");
-            if let Component::Driver(d) = &mut component {
-                Self::drive(self, d, &events, sim);
-            } else {
-                debug_assert!(false, "only driver slots coalesce");
-            }
-            self.slots[i].kind = Some(component);
+            self.count_driver_delivery(&events);
+            self.start_reconcile(i, events, sim);
             return;
         }
         let events = self.api.poll(self.slots[i].watch);
         if events.is_empty() {
+            return;
+        }
+        if matches!(self.slots[i].kind, Some(Component::Driver(_))) {
+            // A non-coalescing driver still goes through the async cycle;
+            // each raw event is a single-event "batch".
+            let wrapped: Vec<CoalescedEvent> = events
+                .iter()
+                .map(|event| CoalescedEvent {
+                    event: event.clone(),
+                    coalesced: 1,
+                })
+                .collect();
+            self.start_reconcile(i, wrapped, sim);
             return;
         }
         // Foreign-event accounting: with subscriptions narrowed to owned
@@ -458,16 +528,7 @@ impl World {
                 p.process(&mut self.api, &events, &mut trace, sim.now());
                 self.trace = trace;
             }
-            Component::Driver(d) => {
-                let wrapped: Vec<CoalescedEvent> = events
-                    .iter()
-                    .map(|event| CoalescedEvent {
-                        event: event.clone(),
-                        coalesced: 1,
-                    })
-                    .collect();
-                Self::drive(self, d, &wrapped, sim);
-            }
+            Component::Driver(_) => unreachable!("driver slots dispatch before this match"),
             Component::User(u) => {
                 for ev in &events {
                     let old = u
@@ -495,109 +556,224 @@ impl World {
         self.slots[i].kind = Some(component);
     }
 
-    /// Runs a driver's reconciliation cycles for a batch of coalesced
-    /// deliveries: one cycle per object, against its newest snapshot.
-    fn drive(
-        world: &mut World,
-        rt: &mut DriverRuntime,
-        events: &[CoalescedEvent],
-        sim: &mut Sim<World>,
-    ) {
-        for ce in events {
-            let ev = &ce.event;
-            if ev.oref != rt.oref {
-                // With per-object subscriptions this never fires; the
-                // counter exists so tests/benches can assert drivers no
-                // longer receive (and discard) other digis' events.
-                world.metrics.count("driver_foreign_events", 1);
-                continue;
-            }
-            if ev.kind == dspace_apiserver::WatchEventKind::Deleted {
-                continue;
-            }
-            // Skip the echo of the driver's own previous write (Fig. 4:
-            // "unless the update is caused by the previous reconciliation").
-            if rt.last_written == Some(ev.resource_version) {
-                rt.last_model = ev.model.clone();
-                continue;
-            }
-            let now_s = sim.now() as f64 / 1e9;
-            let result = rt.driver.reconcile(&rt.last_model, &ev.model, now_s);
-            let changed: Vec<String> = dspace_value::diff(&rt.last_model, &ev.model)
-                .iter()
-                .take(8)
-                .map(|c| c.path.to_string())
-                .collect();
-            world.trace.push(
-                sim.now(),
-                TraceKind::DriverReconciled,
-                rt.oref.to_string(),
-                changed.join(";"),
-            );
-            for err in &result.errors {
-                world.metrics.count("driver_errors", 1);
-                world.trace.push(
+    fn count_driver_delivery(&mut self, events: &[CoalescedEvent]) {
+        self.metrics.count("driver_deliveries", events.len() as u64);
+        let absorbed: u64 = events.iter().map(|e| e.coalesced - 1).sum();
+        if absorbed > 0 {
+            self.metrics.count("driver_coalesced_events", absorbed);
+        }
+    }
+
+    /// Begins a driver reconcile cycle: the slot goes busy for a duration
+    /// drawn from the reconcile latency model, then the cycle's decisions
+    /// (effects, commits) land at completion time.
+    fn start_reconcile(&mut self, i: usize, events: Vec<CoalescedEvent>, sim: &mut Sim<World>) {
+        debug_assert!(!self.slots[i].busy, "one reconcile in flight per driver");
+        self.slots[i].busy = true;
+        let duration = self.reconcile_latency.sample(&mut self.rng);
+        self.metrics.record("reconcile_ms", duration as f64 / 1e6);
+        sim.schedule(duration, move |w: &mut World, sim| {
+            w.finish_reconcile(i, events, sim);
+        });
+    }
+
+    /// Completion of the reconcile work: runs the driver logic against the
+    /// snapshots drained at wake time, fires device effects, and queues
+    /// the resulting model writes for transmission over the driver link.
+    fn finish_reconcile(&mut self, i: usize, events: Vec<CoalescedEvent>, sim: &mut Sim<World>) {
+        let mut commits: VecDeque<PendingCommit> = VecDeque::new();
+        let mut component = self.slots[i].kind.take().expect("component present");
+        if let Component::Driver(rt) = &mut component {
+            for ce in &events {
+                let ev = &ce.event;
+                if ev.oref != rt.oref {
+                    // With per-object subscriptions this never fires; the
+                    // counter exists so tests/benches can assert drivers no
+                    // longer receive (and discard) other digis' events.
+                    self.metrics.count("driver_foreign_events", 1);
+                    continue;
+                }
+                if ev.kind == dspace_apiserver::WatchEventKind::Deleted {
+                    continue;
+                }
+                // Skip the echo of the driver's own previous write (Fig. 4:
+                // "unless the update is caused by the previous
+                // reconciliation").
+                if rt.last_written == Some(ev.resource_version) {
+                    rt.last_model = ev.model.clone();
+                    continue;
+                }
+                let now_s = sim.now() as f64 / 1e9;
+                let result = rt.driver.reconcile(&rt.last_model, &ev.model, now_s);
+                let changed: Vec<String> = dspace_value::diff(&rt.last_model, &ev.model)
+                    .iter()
+                    .take(8)
+                    .map(|c| c.path.to_string())
+                    .collect();
+                self.trace.push(
                     sim.now(),
                     TraceKind::DriverReconciled,
                     rt.oref.to_string(),
-                    format!("error: {err}"),
+                    changed.join(";"),
                 );
-            }
-            rt.last_model = ev.model.clone();
-            // Execute effects.
-            for effect in &result.effects {
-                match effect {
-                    Effect::Device(cmd) => {
-                        world.trace.push(
-                            sim.now(),
-                            TraceKind::DeviceCommand,
-                            rt.oref.to_string(),
-                            dspace_value::json::to_string(cmd),
-                        );
-                        world.actuate(rt.oref.clone(), cmd.clone(), sim);
-                    }
-                    Effect::Log(msg) => {
-                        world.trace.push(
-                            sim.now(),
-                            TraceKind::DriverReconciled,
-                            rt.oref.to_string(),
-                            format!("log: {msg}"),
-                        );
+                for err in &result.errors {
+                    self.metrics.count("driver_errors", 1);
+                    self.trace.push(
+                        sim.now(),
+                        TraceKind::DriverReconciled,
+                        rt.oref.to_string(),
+                        format!("error: {err}"),
+                    );
+                }
+                rt.last_model = ev.model.clone();
+                // Execute effects.
+                for effect in &result.effects {
+                    match effect {
+                        Effect::Device(cmd) => {
+                            self.trace.push(
+                                sim.now(),
+                                TraceKind::DeviceCommand,
+                                rt.oref.to_string(),
+                                dspace_value::json::to_string(cmd),
+                            );
+                            let oref = rt.oref.clone();
+                            self.actuate(oref, cmd.clone(), sim);
+                        }
+                        Effect::Log(msg) => {
+                            self.trace.push(
+                                sim.now(),
+                                TraceKind::DriverReconciled,
+                                rt.oref.to_string(),
+                                format!("log: {msg}"),
+                            );
+                        }
                     }
                 }
+                if result.model != *ev.model {
+                    commits.push_back(PendingCommit {
+                        model: result.model,
+                        expected: ev.resource_version,
+                    });
+                }
             }
-            // Commit the reconciled model with OCC; a conflict means a
-            // newer event is already queued and will retrigger the cycle.
-            if result.model != *ev.model {
-                match world
-                    .api
-                    .client(&rt.subject)
-                    .namespace(&rt.oref.namespace)
-                    .update(
-                        &rt.oref.kind,
-                        &rt.oref.name,
-                        result.model.clone(),
-                        Some(ev.resource_version),
-                    ) {
-                    Ok(rv) => {
-                        rt.last_written = Some(rv);
-                        rt.last_model = Rc::new(result.model);
-                    }
-                    Err(dspace_apiserver::ApiError::Conflict { .. }) => {
-                        world.metrics.count("reconcile_conflicts", 1);
-                    }
-                    Err(e) => {
-                        world.metrics.count("driver_errors", 1);
-                        world.trace.push(
-                            sim.now(),
-                            TraceKind::DriverReconciled,
-                            rt.oref.to_string(),
-                            format!("write failed: {e}"),
-                        );
-                    }
+        } else {
+            debug_assert!(false, "only driver slots run reconcile cycles");
+        }
+        self.slots[i].kind = Some(component);
+        self.run_commits(i, commits, sim);
+    }
+
+    /// Sends the next queued commit, or closes the cycle when none remain.
+    fn run_commits(
+        &mut self,
+        i: usize,
+        mut commits: VecDeque<PendingCommit>,
+        sim: &mut Sim<World>,
+    ) {
+        match commits.pop_front() {
+            Some(commit) => self.attempt_commit(i, commit, 0, commits, sim),
+            None => self.complete_cycle(i, sim),
+        }
+    }
+
+    /// Offers one commit to the driver link. Delivered writes apply after
+    /// the transfer delay; drops retry on an exponential backoff until the
+    /// budget runs out (`driver_retries` / `driver_gave_up`).
+    fn attempt_commit(
+        &mut self,
+        i: usize,
+        commit: PendingCommit,
+        attempt: u32,
+        rest: VecDeque<PendingCommit>,
+        sim: &mut Sim<World>,
+    ) {
+        let bytes = dspace_value::json::encoded_len(&commit.model);
+        match self.slots[i].link.transfer(bytes, sim.now(), &mut self.rng) {
+            Delivery::After(delay) => {
+                sim.schedule(delay, move |w: &mut World, sim| {
+                    w.apply_commit(i, commit, sim);
+                    w.run_commits(i, rest, sim);
+                });
+            }
+            Delivery::Dropped if attempt < self.retry.budget => {
+                let name = self.slots[i].name.clone();
+                self.metrics.count("driver_retries", 1);
+                self.metrics.count(&format!("driver_retries:{name}"), 1);
+                let backoff = self.retry.backoff(attempt);
+                sim.schedule(backoff, move |w: &mut World, sim| {
+                    w.attempt_commit(i, commit, attempt + 1, rest, sim);
+                });
+            }
+            Delivery::Dropped => {
+                let name = self.slots[i].name.clone();
+                self.metrics.count("driver_gave_up", 1);
+                self.metrics.count(&format!("driver_gave_up:{name}"), 1);
+                self.trace.push(
+                    sim.now(),
+                    TraceKind::DriverReconciled,
+                    name,
+                    format!("gave up after {attempt} retries"),
+                );
+                self.run_commits(i, rest, sim);
+            }
+        }
+    }
+
+    /// A commit arrived at the apiserver: apply it with OCC. A conflict
+    /// means a newer event is already queued and will retrigger the cycle.
+    fn apply_commit(&mut self, i: usize, commit: PendingCommit, sim: &mut Sim<World>) {
+        let mut component = self.slots[i].kind.take().expect("component present");
+        if let Component::Driver(rt) = &mut component {
+            match self
+                .api
+                .client(&rt.subject)
+                .namespace(&rt.oref.namespace)
+                .update(
+                    &rt.oref.kind,
+                    &rt.oref.name,
+                    commit.model.clone(),
+                    Some(commit.expected),
+                ) {
+                Ok(rv) => {
+                    rt.last_written = Some(rv);
+                    rt.last_model = Rc::new(commit.model);
+                }
+                Err(dspace_apiserver::ApiError::Conflict { .. }) => {
+                    self.metrics.count("reconcile_conflicts", 1);
+                }
+                Err(e) => {
+                    self.metrics.count("driver_errors", 1);
+                    self.trace.push(
+                        sim.now(),
+                        TraceKind::DriverReconciled,
+                        rt.oref.to_string(),
+                        format!("write failed: {e}"),
+                    );
                 }
             }
         }
+        self.slots[i].kind = Some(component);
+    }
+
+    /// Ends a reconcile cycle. If wakes arrived while busy, everything
+    /// that queued up mid-cycle drains through one coalesced re-poll —
+    /// the single follow-up reconcile the busy-state machine guarantees.
+    fn complete_cycle(&mut self, i: usize, sim: &mut Sim<World>) {
+        self.slots[i].busy = false;
+        if !self.slots[i].dirty {
+            return;
+        }
+        self.slots[i].dirty = false;
+        // The wake that set the dirty bit already traveled the link, so
+        // the re-poll is immediate.
+        self.slots[i].woken = false;
+        let events = self.api.poll_coalesced(self.slots[i].watch);
+        if events.is_empty() {
+            return;
+        }
+        self.metrics.count("driver_followup_cycles", 1);
+        self.count_driver_delivery(&events);
+        self.start_reconcile(i, events, sim);
     }
 
     /// Sends a command to the actuator attached to `oref` and schedules the

@@ -1,0 +1,281 @@
+//! End-to-end tests of the asynchronous, failure-aware reconcile path:
+//! reconciles take simulated wall-clock time, writes landing mid-reconcile
+//! coalesce into exactly one follow-up cycle, and driver↔apiserver traffic
+//! survives lossy/jittery links through retries — deterministically.
+
+use proptest::prelude::*;
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::world::LinkSet;
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::{LatencyModel, Link};
+use dspace_value::json;
+
+fn lamp_schema() -> dspace_value::KindSchema {
+    dspace_value::KindSchema::digivice("digi.dev", "v1", "Lamp")
+        .control("brightness", dspace_value::AttrType::Number)
+}
+
+/// A driver that acknowledges intent by writing status into its own model —
+/// every reconcile that observes an unmet intent produces a commit, so the
+/// driver→apiserver link actually carries write traffic (unlike the
+/// device-effect-only drivers in `space_e2e`).
+fn ack_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "ack", |ctx| {
+        let intent = ctx.digi().intent("brightness");
+        if !intent.is_null() && intent != ctx.digi().status("brightness") {
+            ctx.digi().set_status("brightness", intent);
+        }
+    });
+    d
+}
+
+fn build(config: SpaceConfig) -> Space {
+    let mut space = Space::new(config);
+    space.register_kind(lamp_schema());
+    space.create_digi("Lamp", "solo", ack_driver()).unwrap();
+    space.settle(10_000);
+    space
+}
+
+/// Steps the simulation until the named driver is mid-reconcile.
+fn step_until_busy(space: &mut Space, name: &str) {
+    let mut guard = 0u32;
+    while !space.world.driver_busy(name) {
+        assert!(space.step(), "sim drained before {name} went busy");
+        guard += 1;
+        assert!(guard < 100_000, "driver {name} never went busy");
+    }
+}
+
+/// Commits `n` brightness patches back-to-back (no pumping in between),
+/// like a chatty controller writing faster than the driver's link.
+fn admin_burst(space: &mut Space, n: usize) {
+    for i in 0..n {
+        space
+            .world
+            .api
+            .client(dspace_apiserver::ApiServer::ADMIN)
+            .namespace("default")
+            .patch_path(
+                "Lamp",
+                "solo",
+                ".control.brightness.intent",
+                (i as f64 / n as f64).into(),
+            )
+            .unwrap();
+    }
+    space.pump();
+}
+
+#[test]
+fn burst_while_busy_lands_as_one_followup_cycle() {
+    // A 100-patch burst arriving while the driver is mid-reconcile must be
+    // absorbed by the dirty bit and re-polled through the coalescer: ONE
+    // follow-up cycle carrying one snapshot that accounts for all 100 raw
+    // events (tentpole acceptance criterion, clean-link variant).
+    let mut space = build(SpaceConfig {
+        reconcile: LatencyModel::FixedMs(50.0),
+        ..SpaceConfig::default()
+    });
+    let deliveries0 = space.world.metrics.counter("driver_deliveries");
+    let coalesced0 = space.world.metrics.counter("driver_coalesced_events");
+
+    space.set_intent_now("solo/brightness", 0.5.into()).unwrap();
+    step_until_busy(&mut space, "solo");
+    admin_burst(&mut space, 100);
+    space.settle(30_000);
+
+    assert_eq!(
+        space.world.metrics.counter("driver_followup_cycles"),
+        1,
+        "burst mid-reconcile must land as exactly one follow-up cycle"
+    );
+    // Cycle 1 (intent 0.5) + follow-up (coalesced burst) + echo of the
+    // follow-up's successful commit.
+    assert_eq!(
+        space.world.metrics.counter("driver_deliveries") - deliveries0,
+        3
+    );
+    assert_eq!(
+        space.world.metrics.counter("driver_coalesced_events") - coalesced0,
+        99,
+        "burst snapshot must account for all 100 raw events"
+    );
+    // Cycle 1's commit was built against the pre-burst snapshot; OCC must
+    // reject it rather than clobber the burst.
+    assert_eq!(space.world.metrics.counter("reconcile_conflicts"), 1);
+    assert_eq!(
+        space.status("solo/brightness").unwrap().as_f64(),
+        Some(0.99),
+        "follow-up reconcile must converge on the newest intent"
+    );
+    assert!(!space.world.has_pending_work());
+}
+
+#[test]
+fn reconcile_duration_is_observable_and_zero_by_default() {
+    // Default config keeps reconciles instantaneous (legacy behavior);
+    // a LatencyModel stretches them and records the reconcile_ms histogram.
+    let mut fast = build(SpaceConfig::default());
+    fast.set_intent_now("solo/brightness", 0.3.into()).unwrap();
+    assert!(!fast.world.driver_busy("solo"));
+    fast.settle(10_000);
+    let h = fast.world.metrics.histogram("reconcile_ms").unwrap();
+    assert!(h.mean().abs() < f64::EPSILON, "mean={}", h.mean());
+
+    let mut slow = build(SpaceConfig {
+        reconcile: LatencyModel::FixedMs(25.0),
+        ..SpaceConfig::default()
+    });
+    slow.set_intent_now("solo/brightness", 0.3.into()).unwrap();
+    step_until_busy(&mut slow, "solo");
+    slow.settle(10_000);
+    let h = slow.world.metrics.histogram("reconcile_ms").unwrap();
+    assert!((h.mean() - 25.0).abs() < 1e-9, "mean={}", h.mean());
+    assert_eq!(slow.status("solo/brightness").unwrap().as_f64(), Some(0.3));
+}
+
+/// Everything observable about one faulty-link run, for bit-identical
+/// same-seed comparison.
+#[derive(Debug, PartialEq)]
+struct RunSummary {
+    status: String,
+    intent: String,
+    now_ms_bits: u64,
+    followup_cycles: u64,
+    retries: u64,
+    gave_up: u64,
+    wake_drops: u64,
+    deliveries: u64,
+    coalesced: u64,
+    conflicts: u64,
+    store: Vec<(String, u64, String)>,
+}
+
+fn faulty_links() -> LinkSet {
+    LinkSet {
+        driver: Link::new("driver", LatencyModel::FixedMs(8.0))
+            .with_jitter(LatencyModel::UniformMs(0.0, 6.0))
+            .with_drop_probability(0.05),
+        ..LinkSet::default()
+    }
+}
+
+/// The ISSUE acceptance scenario: a 5%-drop jittered driver link, a warm-up
+/// of sequential intents (each a commit over the lossy link), then a
+/// 100-patch burst injected mid-reconcile.
+fn faulty_run(seed: u64) -> RunSummary {
+    let mut space = build(SpaceConfig {
+        links: faulty_links(),
+        seed,
+        reconcile: LatencyModel::FixedMs(50.0),
+        ..SpaceConfig::default()
+    });
+    for i in 1..=12 {
+        space
+            .set_intent_now("solo/brightness", (i as f64 / 100.0).into())
+            .unwrap();
+        space.settle(30_000);
+    }
+    let followups0 = space.world.metrics.counter("driver_followup_cycles");
+    space.set_intent_now("solo/brightness", 0.5.into()).unwrap();
+    step_until_busy(&mut space, "solo");
+    admin_burst(&mut space, 100);
+    space.settle(60_000);
+
+    let m = &space.world.metrics;
+    RunSummary {
+        status: json::to_string(&space.status("solo/brightness").unwrap()),
+        intent: json::to_string(&space.intent("solo/brightness").unwrap()),
+        now_ms_bits: space.now_ms().to_bits(),
+        followup_cycles: m.counter("driver_followup_cycles") - followups0,
+        retries: m.counter("driver_retries"),
+        gave_up: m.counter("driver_gave_up"),
+        wake_drops: m.counter("wake_drops"),
+        deliveries: m.counter("driver_deliveries"),
+        coalesced: m.counter("driver_coalesced_events"),
+        conflicts: m.counter("reconcile_conflicts"),
+        store: space
+            .world
+            .api
+            .dump()
+            .into_iter()
+            .map(|o| {
+                (
+                    o.oref.to_string(),
+                    o.resource_version,
+                    json::to_string(&o.model),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn faulty_link_burst_converges_with_retries_and_is_deterministic() {
+    // ISSUE acceptance: 5%-drop jittered driver link, 100-patch burst
+    // mid-reconcile → converges to the final intent with exactly one
+    // coalesced follow-up cycle, driver_retries > 0, driver_gave_up == 0,
+    // and the whole run is bit-identical across two same-seed executions.
+    let a = faulty_run(7);
+    assert_eq!(a.status, "0.99", "must converge on the final burst intent");
+    assert_eq!(a.intent, "0.99");
+    assert_eq!(
+        a.followup_cycles, 1,
+        "burst mid-reconcile must land as exactly one follow-up cycle"
+    );
+    assert!(
+        a.retries > 0,
+        "lossy link must have forced at least one retry"
+    );
+    assert_eq!(a.gave_up, 0, "retry budget must absorb a 5% drop rate");
+
+    let b = faulty_run(7);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+
+    // A different seed draws a different fault schedule (timing differs)
+    // but reaches the same fixed point.
+    let c = faulty_run(8);
+    assert_eq!(c.status, "0.99");
+    assert_eq!(c.gave_up, 0);
+    assert_ne!(a.now_ms_bits, c.now_ms_bits, "seeds should diverge in time");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the fault schedule — drop rate up to 25%, jitter, slow
+    /// reconciles, arbitrary burst sizes — the driver converges on the
+    /// final intent without exhausting its retry budget, and the event
+    /// queue quiesces.
+    #[test]
+    fn reconcile_converges_under_random_faults(
+        seed in 0u64..1_000_000,
+        drop_pct in 0u32..=25,
+        jitter_ms in 0u32..=10,
+        reconcile_ms in 0u32..=80,
+        burst in 1usize..=120,
+    ) {
+        let mut driver_link = Link::new("driver", LatencyModel::FixedMs(8.0))
+            .with_drop_probability(drop_pct as f64 / 100.0);
+        if jitter_ms > 0 {
+            driver_link =
+                driver_link.with_jitter(LatencyModel::UniformMs(0.0, jitter_ms as f64));
+        }
+        let mut space = build(SpaceConfig {
+            links: LinkSet { driver: driver_link, ..LinkSet::default() },
+            seed,
+            reconcile: LatencyModel::FixedMs(reconcile_ms as f64),
+            ..SpaceConfig::default()
+        });
+        admin_burst(&mut space, burst);
+        space.settle(120_000);
+
+        let want = (burst - 1) as f64 / burst as f64;
+        prop_assert_eq!(space.status("solo/brightness").unwrap().as_f64(), Some(want));
+        prop_assert_eq!(space.world.metrics.counter("driver_gave_up"), 0);
+        prop_assert!(!space.world.has_pending_work(), "queue must quiesce");
+    }
+}

@@ -221,6 +221,109 @@ fn parent_write_survives_concurrent_child_update() {
 }
 
 #[test]
+fn version_gate_is_exact_past_f64_precision() {
+    // Generations live in `meta.gen` of a JSON model; the gate used to
+    // round-trip them through `f64`, where 2^53 and 2^53+1 collapse to the
+    // same number — so a replica exactly one version stale slipped the
+    // gate. Store and compare them as u64 end-to-end.
+    use dspace_apiserver::{ApiServer, ObjectRef, Role, Rule};
+    use dspace_core::mounter::{Mounter, SUBJECT};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const BIG: u64 = 1 << 53;
+
+    let mut api = ApiServer::new();
+    api.rbac_mut()
+        .add_role(Role::new("controller", vec![Rule::allow_all()]));
+    api.rbac_mut().bind(SUBJECT, "controller");
+    let admin = ApiServer::ADMIN;
+    let w = api.watch(admin, None).unwrap();
+
+    let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
+    let mut mounter = Mounter::new(graph.clone());
+
+    let ch = ObjectRef::default_ns("Node", "ch");
+    let pa = ObjectRef::default_ns("Node", "pa");
+    let model = |name: &str| {
+        dspace_value::json::parse(&format!(
+            r#"{{"meta": {{"kind": "Node", "name": "{name}", "namespace": "default"}},
+                 "control": {{"level": {{}}}}}}"#
+        ))
+        .unwrap()
+    };
+    api.create(admin, &ch, model("ch")).unwrap();
+    api.create(admin, &pa, model("pa")).unwrap();
+    graph.borrow_mut().mount(&ch, &pa, MountMode::Hide).unwrap();
+
+    // Place the child deep into its mutation history, then advance it one
+    // more step: its generation becomes 2^53 + 1 (string-encoded, exact).
+    api.fast_forward(admin, &ch, BIG).unwrap();
+    api.patch_path(admin, &ch, ".obs.note", "fresh".into())
+        .unwrap();
+    assert_eq!(
+        api.get_path(admin, &ch, ".meta.gen")
+            .unwrap()
+            .as_exact_u64(),
+        Some(BIG + 1),
+        "generation must survive storage exactly"
+    );
+    api.poll(w);
+
+    // The parent holds a replica captured at gen 2^53 — one version
+    // stale, but indistinguishable from 2^53+1 after an f64 round-trip.
+    let mut replica = dspace_value::json::parse(
+        r#"{"mode": "hide", "status": "active",
+            "control": {"level": {"intent": 0.9}}}"#,
+    )
+    .unwrap();
+    replica
+        .set(&".gen".parse().unwrap(), Value::from_exact_u64(BIG))
+        .unwrap();
+    api.patch_path(admin, &pa, ".mount.Node.ch", replica)
+        .unwrap();
+
+    let mut trace = dspace_core::Trace::new();
+    let events = api.poll(w);
+    mounter.process(&mut api, &events, &mut trace, 0);
+    assert!(
+        api.get_path(admin, &ch, ".control.level.intent")
+            .unwrap()
+            .is_null(),
+        "replica at gen 2^53 is stale against child gen 2^53+1 and must not sync"
+    );
+
+    // After the northbound refresh advances the replica's gen, the
+    // pending intent syncs — delayed, not lost.
+    for _ in 0..8 {
+        let events = api.poll(w);
+        if events.is_empty() {
+            break;
+        }
+        mounter.process(&mut api, &events, &mut trace, 0);
+    }
+    assert_eq!(
+        api.get_path(admin, &ch, ".control.level.intent")
+            .unwrap()
+            .as_f64(),
+        Some(0.9)
+    );
+    // And the replica's gen now mirrors the child's exactly, past 2^53.
+    let replica_gen = api
+        .get_path(admin, &pa, ".mount.Node.ch.gen")
+        .unwrap()
+        .as_exact_u64()
+        .unwrap();
+    let child_gen = api
+        .get_path(admin, &ch, ".meta.gen")
+        .unwrap()
+        .as_exact_u64()
+        .unwrap();
+    assert_eq!(replica_gen, child_gen);
+    assert!(replica_gen > BIG);
+}
+
+#[test]
 fn stale_replica_does_not_sync_southbound() {
     // The §5.2 version gate, driven directly: a replica whose `gen` lags
     // the child's model version carries decisions made against an outdated

@@ -24,7 +24,7 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 
-pub use link::{LatencyModel, Link};
+pub use link::{Delivery, LatencyModel, Link, RetryPolicy};
 pub use metrics::{Histogram, Metrics};
 pub use rng::Rng;
 pub use sim::Sim;

@@ -41,7 +41,21 @@ impl LatencyModel {
     }
 }
 
+/// The outcome of offering a message to a faulty [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives after this delay.
+    After(Time),
+    /// The link ate the message; the sender sees a timeout, never an ack.
+    Dropped,
+}
+
 /// A simulated network hop with propagation latency and bandwidth.
+///
+/// Links can also be lossy: a per-message drop probability, additive
+/// jitter on top of the base latency, and scheduled transient-outage
+/// windows during which every message is lost. All randomness flows
+/// through the caller's seeded [`Rng`], so faulty runs stay replayable.
 #[derive(Debug, Clone)]
 pub struct Link {
     /// Human-readable name (for metrics), e.g. `"lan"` or `"wan"`.
@@ -50,6 +64,13 @@ pub struct Link {
     pub latency: LatencyModel,
     /// Bandwidth in bits per second; `None` means infinite (latency only).
     pub bandwidth_bps: Option<f64>,
+    /// Probability in `[0, 1]` that any given message is silently lost.
+    pub drop_probability: f64,
+    /// Extra per-message delay sampled on top of the base latency.
+    pub jitter: Option<LatencyModel>,
+    /// Half-open `[start, end)` windows of virtual time during which the
+    /// link is down and every message offered to it is dropped.
+    pub outages: Vec<(Time, Time)>,
 }
 
 impl Link {
@@ -59,6 +80,9 @@ impl Link {
             name: name.into(),
             latency,
             bandwidth_bps: None,
+            drop_probability: 0.0,
+            jitter: None,
+            outages: Vec::new(),
         }
     }
 
@@ -68,10 +92,33 @@ impl Link {
         self
     }
 
+    /// Sets the probability that any given message is silently dropped.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds per-message jitter on top of the base latency.
+    pub fn with_jitter(mut self, jitter: LatencyModel) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    /// Adds a transient-outage window `[start, end)` in virtual time.
+    pub fn with_outage(mut self, start: Time, end: Time) -> Self {
+        self.outages.push((start, end));
+        self
+    }
+
     /// Returns the total transfer delay for a message of `bytes` bytes:
-    /// one latency sample plus serialization time at the link bandwidth.
+    /// one latency sample, one jitter sample if configured, plus
+    /// serialization time at the link bandwidth.
     pub fn delay(&self, bytes: usize, rng: &mut Rng) -> Time {
         let prop = self.latency.sample(rng);
+        let jit = match &self.jitter {
+            Some(model) => model.sample(rng),
+            None => 0,
+        };
         let ser = match self.bandwidth_bps {
             Some(bps) if bps > 0.0 => {
                 let seconds = (bytes as f64 * 8.0) / bps;
@@ -79,12 +126,64 @@ impl Link {
             }
             _ => 0,
         };
-        prop.saturating_add(ser)
+        prop.saturating_add(jit).saturating_add(ser)
+    }
+
+    /// Offers a message of `bytes` bytes to the link at virtual time
+    /// `now`. An outage window covering `now` drops without consuming
+    /// randomness (outages are schedule-driven, not chance-driven); the
+    /// drop probability burns exactly one RNG draw when configured.
+    pub fn transfer(&self, bytes: usize, now: Time, rng: &mut Rng) -> Delivery {
+        if self.outages.iter().any(|&(s, e)| (s..e).contains(&now)) {
+            return Delivery::Dropped;
+        }
+        if self.drop_probability > 0.0 && rng.chance(self.drop_probability) {
+            return Delivery::Dropped;
+        }
+        Delivery::After(self.delay(bytes, rng))
+    }
+
+    /// A deterministic retransmission timeout for this link: twice the
+    /// mean one-way latency (an ack would take a full round trip), with a
+    /// 1 ms floor so zero-latency links still make forward progress.
+    pub fn rto(&self) -> Time {
+        from_millis_f64((self.latency.mean_ms() * 2.0).max(1.0))
     }
 
     /// A zero-latency, infinite-bandwidth link (in-process communication).
     pub fn instant() -> Self {
         Link::new("instant", LatencyModel::FixedMs(0.0))
+    }
+}
+
+/// Exponential backoff with a cap and a bounded retry budget, used by
+/// driver→apiserver verbs when the link drops a message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: f64,
+    /// Ceiling on any single backoff interval, in milliseconds.
+    pub cap_ms: f64,
+    /// Maximum number of retries before the sender gives up.
+    pub budget: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 4.0,
+            cap_ms: 250.0,
+            budget: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): `base * 2^attempt`,
+    /// capped at `cap_ms`.
+    pub fn backoff(&self, attempt: u32) -> Time {
+        let exp = 2f64.powi(attempt.min(52) as i32);
+        from_millis_f64((self.base_ms * exp).min(self.cap_ms))
     }
 }
 
@@ -142,5 +241,89 @@ mod tests {
         assert_eq!(LatencyModel::FixedMs(7.0).mean_ms(), 7.0);
         assert_eq!(LatencyModel::UniformMs(5.0, 15.0).mean_ms(), 10.0);
         assert_eq!(LatencyModel::NormalMs(3.0, 1.0).mean_ms(), 3.0);
+    }
+
+    #[test]
+    fn clean_link_always_delivers() {
+        let mut rng = Rng::new(6);
+        let link = Link::new("lan", LatencyModel::FixedMs(10.0));
+        for t in 0..100 {
+            assert_eq!(
+                link.transfer(64, millis(t), &mut rng),
+                Delivery::After(millis(10))
+            );
+        }
+    }
+
+    #[test]
+    fn drop_probability_loses_roughly_that_fraction() {
+        let mut rng = Rng::new(7);
+        let link = Link::new("lossy", LatencyModel::FixedMs(1.0)).with_drop_probability(0.2);
+        let dropped = (0..10_000)
+            .filter(|_| link.transfer(64, 0, &mut rng) == Delivery::Dropped)
+            .count();
+        assert!((1_700..2_300).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn outage_window_drops_everything_inside_and_nothing_outside() {
+        let mut rng = Rng::new(8);
+        let link =
+            Link::new("flaky", LatencyModel::FixedMs(1.0)).with_outage(millis(10), millis(20));
+        assert_ne!(link.transfer(64, millis(9), &mut rng), Delivery::Dropped);
+        assert_eq!(link.transfer(64, millis(10), &mut rng), Delivery::Dropped);
+        assert_eq!(link.transfer(64, millis(19), &mut rng), Delivery::Dropped);
+        assert_ne!(link.transfer(64, millis(20), &mut rng), Delivery::Dropped);
+    }
+
+    #[test]
+    fn outage_drop_consumes_no_randomness() {
+        // Two RNGs in lockstep: one link with an outage, one without. After
+        // the outage drop, both streams must still agree — determinism
+        // requires outages not to burn draws.
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        let flaky =
+            Link::new("flaky", LatencyModel::UniformMs(1.0, 5.0)).with_outage(millis(0), millis(1));
+        let clean = Link::new("clean", LatencyModel::UniformMs(1.0, 5.0));
+        assert_eq!(flaky.transfer(64, 0, &mut a), Delivery::Dropped);
+        assert_eq!(
+            flaky.transfer(64, millis(2), &mut a),
+            clean.transfer(64, millis(2), &mut b)
+        );
+    }
+
+    #[test]
+    fn jitter_widens_fixed_latency() {
+        let mut rng = Rng::new(10);
+        let link = Link::new("jittery", LatencyModel::FixedMs(5.0))
+            .with_jitter(LatencyModel::UniformMs(0.0, 3.0));
+        for _ in 0..1000 {
+            let d = link.delay(0, &mut rng);
+            assert!((millis(5)..millis(8)).contains(&d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn rto_is_twice_mean_latency_with_floor() {
+        assert_eq!(
+            Link::new("lan", LatencyModel::FixedMs(8.0)).rto(),
+            millis(16)
+        );
+        assert_eq!(Link::instant().rto(), millis(1));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            base_ms: 4.0,
+            cap_ms: 20.0,
+            budget: 8,
+        };
+        assert_eq!(p.backoff(0), millis(4));
+        assert_eq!(p.backoff(1), millis(8));
+        assert_eq!(p.backoff(2), millis(16));
+        assert_eq!(p.backoff(3), millis(20));
+        assert_eq!(p.backoff(40), millis(20));
     }
 }

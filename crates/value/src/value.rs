@@ -86,6 +86,32 @@ impl Value {
         self.as_f64().map(|n| n as i64)
     }
 
+    /// Encodes a `u64` without precision loss: values at or below 2^53
+    /// (exactly representable in an `f64`) become [`Value::Num`]; larger
+    /// values become their decimal [`Value::Str`] rendering. Counters such
+    /// as `meta.gen` use this so version comparisons stay exact past the
+    /// `f64` mantissa.
+    pub fn from_exact_u64(n: u64) -> Value {
+        const MAX_SAFE: u64 = 1 << 53;
+        if n <= MAX_SAFE {
+            Value::Num(n as f64)
+        } else {
+            Value::Str(n.to_string())
+        }
+    }
+
+    /// Inverse of [`Value::from_exact_u64`]: reads a non-negative integer
+    /// from either a `Num` that is exactly representable (integral,
+    /// within 2^53) or a decimal `Str`.
+    pub fn as_exact_u64(&self) -> Option<u64> {
+        const MAX_SAFE: f64 = (1u64 << 53) as f64;
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_SAFE => Some(*n as u64),
+            Value::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// Returns the string slice if this value is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -325,6 +351,35 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exact_u64_roundtrips_across_the_f64_cliff() {
+        const MAX_SAFE: u64 = 1 << 53;
+        for n in [0, 1, 42, MAX_SAFE - 1, MAX_SAFE, MAX_SAFE + 1, u64::MAX] {
+            assert_eq!(Value::from_exact_u64(n).as_exact_u64(), Some(n), "n={n}");
+        }
+        // Small values stay plain numbers for backward compatibility...
+        assert_eq!(Value::from_exact_u64(7), Value::Num(7.0));
+        // ...and only the unrepresentable tail switches to strings.
+        assert_eq!(
+            Value::from_exact_u64(MAX_SAFE + 1),
+            Value::Str((MAX_SAFE + 1).to_string())
+        );
+        // Adjacent giants must stay distinguishable (f64 would collapse them).
+        assert_ne!(
+            Value::from_exact_u64(MAX_SAFE + 1).as_exact_u64(),
+            Value::from_exact_u64(MAX_SAFE + 2).as_exact_u64()
+        );
+    }
+
+    #[test]
+    fn as_exact_u64_rejects_lossy_shapes() {
+        assert_eq!(Value::Num(-1.0).as_exact_u64(), None);
+        assert_eq!(Value::Num(1.5).as_exact_u64(), None);
+        assert_eq!(Value::Num(1e300).as_exact_u64(), None);
+        assert_eq!(Value::Str("not a number".into()).as_exact_u64(), None);
+        assert_eq!(Value::Null.as_exact_u64(), None);
+    }
 
     fn sample() -> Value {
         crate::json::parse(
