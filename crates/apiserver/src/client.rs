@@ -168,6 +168,80 @@ impl NamespacedClient<'_> {
     }
 }
 
+/// A read-only client handle bound to one subject. Unlike [`Client`] this
+/// borrows the server immutably, so many readers can coexist (and a reader
+/// can be held while inspecting results of a previous mutation).
+pub struct ReadClient<'a> {
+    api: &'a ApiServer,
+    subject: String,
+}
+
+impl<'a> ReadClient<'a> {
+    pub(crate) fn new(api: &'a ApiServer, subject: String) -> Self {
+        ReadClient { api, subject }
+    }
+
+    /// The subject this handle acts as.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// Scopes the handle to one namespace.
+    pub fn namespace(self, namespace: impl Into<String>) -> NamespacedReadClient<'a> {
+        NamespacedReadClient {
+            api: self.api,
+            subject: self.subject,
+            namespace: namespace.into(),
+        }
+    }
+}
+
+/// A read-only handle bound to one subject *and* one namespace.
+pub struct NamespacedReadClient<'a> {
+    api: &'a ApiServer,
+    subject: String,
+    namespace: String,
+}
+
+impl NamespacedReadClient<'_> {
+    /// The subject this handle acts as.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// The namespace this handle is scoped to.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Builds the full reference for `(kind, name)` in this namespace.
+    pub fn oref(&self, kind: &str, name: &str) -> ObjectRef {
+        ObjectRef::new(kind, self.namespace.clone(), name)
+    }
+
+    /// Reads an object.
+    pub fn get(&self, kind: &str, name: &str) -> Result<Object, ApiError> {
+        self.api.get(&self.subject, &self.oref(kind, name))
+    }
+
+    /// Reads a single attribute from an object's model.
+    pub fn get_path(&self, kind: &str, name: &str, path: &str) -> Result<Value, ApiError> {
+        self.api
+            .get_path(&self.subject, &self.oref(kind, name), path)
+    }
+
+    /// Lists objects of a kind in this namespace.
+    pub fn list(&self, kind: &str) -> Result<Vec<Object>, ApiError> {
+        self.api
+            .list_namespaced(&self.subject, kind, &self.namespace)
+    }
+
+    /// Returns `true` if the subscription has undelivered events.
+    pub fn has_pending(&self, id: WatchId) -> bool {
+        self.api.has_pending(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,163 @@
+//! Parallel shard executor: thread-per-shard up to a configurable cap.
+//!
+//! Namespace shards are structurally independent (PR 2), which makes them
+//! the unit of parallelism: a mutation batch that spans namespaces can run
+//! each shard's slice on its own worker thread, with the coordinator thread
+//! only assigning global commit tickets in arrival order and merging the
+//! per-shard outcomes in a deterministic (shard-name) order.
+//!
+//! The executor is deliberately dumb: it knows nothing about stores or
+//! shards, only how to map `Send` work items across up to `threads` scoped
+//! worker threads. Determinism falls out of the structure around it — each
+//! item is a whole shard (so per-shard event order is the ticket order the
+//! coordinator assigned), items never share state, and results come back in
+//! item order regardless of which thread ran them or how they interleaved.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable configuring the shard worker cap for a process.
+///
+/// Accepts a positive integer, or `max` / `0` for the machine's available
+/// parallelism. Unset or unparsable values mean 1 (inline execution), which
+/// keeps tests and single-threaded tools deterministic-by-default.
+pub const SHARD_THREADS_ENV: &str = "DSPACE_SHARD_THREADS";
+
+/// Maps work items across up to a fixed number of worker threads.
+///
+/// With more items than threads, items are multiplexed round-robin onto the
+/// workers (item `i` runs on lane `i % workers`), each lane running its
+/// items in order. With `threads <= 1` (or a single item) everything runs
+/// inline on the caller's thread — no spawn, no overhead, and trivially
+/// bit-identical to the multi-threaded schedule because items are
+/// independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardExecutor {
+    threads: usize,
+}
+
+impl Default for ShardExecutor {
+    fn default() -> Self {
+        ShardExecutor::new(1)
+    }
+}
+
+impl ShardExecutor {
+    /// Creates an executor with a worker cap (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ShardExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates an executor from [`SHARD_THREADS_ENV`] (default: 1).
+    pub fn from_env() -> Self {
+        let threads = match std::env::var(SHARD_THREADS_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("max") || v == "0" => available_parallelism(),
+            Ok(v) => v.parse().unwrap_or(1),
+            Err(_) => 1,
+        };
+        ShardExecutor::new(threads)
+    }
+
+    /// The worker cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Changes the worker cap (clamped to at least 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Runs `work` over every item, returning results in item order.
+    ///
+    /// Items are distributed round-robin over `min(threads, items)` lanes;
+    /// lane 0 runs on the calling thread so a single-lane run never spawns.
+    pub fn run<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.into_iter().map(work).collect();
+        }
+        let mut lanes: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            lanes[i % workers].push((i, item));
+        }
+        let mut indexed: Vec<(usize, R)> = Vec::new();
+        let work = &work;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest = lanes.drain(1..).collect::<Vec<_>>();
+            for lane in rest.drain(..) {
+                handles.push(scope.spawn(move || {
+                    lane.into_iter()
+                        .map(|(i, item)| (i, work(item)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            // Lane 0 runs here: the coordinator thread is a worker too.
+            for (i, item) in lanes.remove(0) {
+                indexed.push((i, work(item)));
+            }
+            for h in handles {
+                indexed.extend(h.join().expect("shard worker panicked"));
+            }
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for threads in [1, 2, 4, 8] {
+            let ex = ShardExecutor::new(threads);
+            let items: Vec<usize> = (0..37).collect();
+            let out = ex.run(items, |i| i * 2);
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_run_inline() {
+        let ex = ShardExecutor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(ex.run(empty, |i| i).is_empty());
+        assert_eq!(ex.run(vec![7u32], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let ex = ShardExecutor::new(0);
+        assert_eq!(ex.threads(), 1);
+    }
+
+    #[test]
+    fn mutating_owned_state_is_safe_per_lane() {
+        // Each item owns its state; workers only touch disjoint items.
+        let ex = ShardExecutor::new(4);
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i]).collect();
+        let out = ex.run(items, |mut v| {
+            v.push(v[0] * 10);
+            v
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i as u64, i as u64 * 10]);
+        }
+    }
+}

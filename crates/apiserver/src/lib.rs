@@ -40,15 +40,19 @@
 pub mod admission;
 pub mod client;
 pub mod error;
+pub mod executor;
 pub mod object;
 pub mod rbac;
 pub mod server;
 pub mod store;
 
 pub use admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
-pub use client::{Client, NamespacedClient};
+pub use client::{Client, NamespacedClient, NamespacedReadClient, ReadClient};
 pub use error::ApiError;
+pub use executor::{ShardExecutor, SHARD_THREADS_ENV};
 pub use object::{Object, ObjectRef};
 pub use rbac::{Role, RoleBinding, Rule, Verb};
-pub use server::ApiServer;
-pub use store::{CoalescedEvent, WatchEvent, WatchEventKind, WatchId, WatchSelector, WatchStats};
+pub use server::{ApiServer, BatchOp};
+pub use store::{
+    CoalescedEvent, StoreOp, WatchEvent, WatchEventKind, WatchId, WatchSelector, WatchStats,
+};

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use dspace_value::Value;
+use dspace_value::{Shared, Value};
 
 /// Uniquely identifies an API object: `(kind, namespace, name)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,7 +61,12 @@ pub struct Object {
     /// The model document. `meta.gen` mirrors `resource_version` — this is
     /// the version number that §3.5's intent-reconciliation guarantee is
     /// built on.
-    pub model: Value,
+    ///
+    /// The snapshot is [`Shared`] with the watch events that announced it:
+    /// reading an object is O(1) in the model size, and the store only
+    /// deep-copies when it must mutate a snapshot that watchers still hold
+    /// (copy-on-write via `Shared::make_mut`).
+    pub model: Shared<Value>,
     /// Monotonic per-object version, incremented on every write.
     pub resource_version: u64,
 }

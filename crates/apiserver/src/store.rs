@@ -7,11 +7,12 @@
 //! running controllers on separate threads.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::OnceLock;
 
-use dspace_value::Value;
+use dspace_value::{json, Path, Segment, Shared, Value, ValueError};
 
 use crate::error::ApiError;
+use crate::executor::ShardExecutor;
 use crate::object::{Object, ObjectRef};
 
 /// What happened to an object.
@@ -41,7 +42,7 @@ pub struct WatchEvent {
     /// The object affected.
     pub oref: ObjectRef,
     /// Model snapshot after the change (for deletes: the last model).
-    pub model: Rc<Value>,
+    pub model: Shared<Value>,
     /// The object's resource version after the change.
     pub resource_version: u64,
 }
@@ -119,9 +120,14 @@ impl WatchSelector {
     }
 }
 
-/// A watcher's position within one shard.
-#[derive(Debug, Clone)]
-struct ShardCursor {
+/// A watcher's registration state within one shard, owned *by the shard*
+/// so a worker thread can maintain cursors and pending counters without
+/// touching coordinator state.
+#[derive(Debug, Clone, Copy)]
+struct ShardMember {
+    /// Selector-registration refcount (a watcher may reach this shard
+    /// through several selectors).
+    refs: usize,
     /// Shard revision of the next event this watcher has yet to examine:
     /// all events with `revision < cursor` are delivered or filtered out.
     cursor: u64,
@@ -139,18 +145,55 @@ struct Watcher {
     /// The union of these selectors defines the subscription; a watcher
     /// matching an event through several selectors still receives it once.
     selectors: Vec<WatchSelector>,
-    /// Cursor + pending counter per shard the watcher is registered in.
-    shards: BTreeMap<String, ShardCursor>,
+    /// Shards this watcher is a member of; per-shard cursors and pending
+    /// counters live in the shard itself (see [`ShardMember`]).
+    shards: BTreeSet<String>,
     /// Sum of the per-shard pending counts (O(1) `has_pending`).
     total_pending: u64,
     /// Sum of the per-shard pending byte counts (O(1) `pending_bytes`).
     total_pending_bytes: u64,
 }
 
-/// One namespace's slice of the store: event log, revision counter,
-/// selector indexes, and member bookkeeping for compaction.
+/// Pending-count change for one watcher, produced on a shard worker and
+/// folded into the watcher's totals by the coordinator.
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingDelta {
+    pending: u64,
+    bytes: u64,
+}
+
+/// Per-shard side effects of a mutation batch, accumulated on the owning
+/// worker and merged into `Store`-level counters afterwards (in shard-name
+/// order, so the merge is deterministic).
+#[derive(Debug, Default)]
+struct ShardTally {
+    /// Events appended (each is one global commit ticket).
+    appended: u64,
+    /// Log entries reclaimed by eager or batch-end compaction.
+    compacted: u64,
+    /// High-water mark of this shard's log during the batch.
+    peak_log_len: usize,
+    /// Pending-count deltas per interested watcher.
+    deltas: BTreeMap<WatchId, PendingDelta>,
+}
+
+/// One namespace's slice of the store: its objects, event log, revision
+/// counter, selector indexes, and member cursors.
+///
+/// A `Shard` owns everything a mutation batch in its namespace touches and
+/// is `Send`: the executor can move it onto a worker thread, run the batch
+/// there, and move it back — no locks, no shared state, and therefore no
+/// scheduling-dependent results.
 #[derive(Debug, Default)]
 struct Shard {
+    /// The namespace's objects, keyed by full reference.
+    objects: BTreeMap<ObjectRef, Object>,
+    /// Serialized size of each object's current model, maintained across
+    /// mutations so the batch path can update notification byte counts
+    /// with delta arithmetic instead of re-encoding whole documents.
+    /// An entry is present iff it was computed for the object's newest
+    /// model; absent entries are recomputed on demand.
+    enc_cache: BTreeMap<ObjectRef, u64>,
     /// Tail of this namespace's event log still needed by some member. The
     /// first entry's revision is `committed - log.len() + 1`.
     log: VecDeque<WatchEvent>,
@@ -161,13 +204,23 @@ struct Shard {
     all_watchers: BTreeSet<WatchId>,
     kind_watchers: BTreeMap<String, BTreeSet<WatchId>>,
     object_watchers: BTreeMap<ObjectRef, BTreeSet<WatchId>>,
-    /// Selector-registration refcount per member watcher (a watcher may
-    /// reach this shard through several selectors).
-    members: BTreeMap<WatchId, usize>,
+    /// Member watchers with their cursors and pending counters.
+    members: BTreeMap<WatchId, ShardMember>,
+    /// Set while the namespace is being deleted: once the objects are gone
+    /// and the log drains, the shard itself is dropped.
+    retiring: bool,
 }
 
+// The executor moves shards across threads; keep that statically true.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Shard>();
+};
+
 impl Shard {
-    fn register(&mut self, id: WatchId, selector: &WatchSelector) {
+    /// Registers a selector for `id`; a first registration creates the
+    /// member with `cursor` (existing members keep their position).
+    fn register(&mut self, id: WatchId, selector: &WatchSelector, cursor: u64) {
         match selector {
             WatchSelector::All => {
                 self.all_watchers.insert(id);
@@ -182,10 +235,21 @@ impl Shard {
                     .insert(id);
             }
         }
-        *self.members.entry(id).or_insert(0) += 1;
+        self.members
+            .entry(id)
+            .or_insert(ShardMember {
+                refs: 0,
+                cursor,
+                pending: 0,
+                pending_bytes: 0,
+            })
+            .refs += 1;
     }
 
-    fn deregister(&mut self, id: WatchId, selector: &WatchSelector) {
+    /// Releases one selector registration. Returns the member state when
+    /// this was the last registration (so the caller can refund pending
+    /// counters), `None` while other selectors still hold the shard.
+    fn deregister(&mut self, id: WatchId, selector: &WatchSelector) -> Option<ShardMember> {
         fn prune<K: Ord>(index: &mut BTreeMap<K, BTreeSet<WatchId>>, key: &K, id: WatchId) {
             if let Some(set) = index.get_mut(key) {
                 set.remove(&id);
@@ -205,12 +269,13 @@ impl Shard {
                 prune(&mut self.object_watchers, r, id);
             }
         }
-        if let Some(n) = self.members.get_mut(&id) {
-            *n -= 1;
-            if *n == 0 {
-                self.members.remove(&id);
+        if let Some(m) = self.members.get_mut(&id) {
+            m.refs -= 1;
+            if m.refs == 0 {
+                return self.members.remove(&id);
             }
         }
+        None
     }
 }
 
@@ -250,9 +315,11 @@ pub struct WatchStats {
 /// log.
 #[derive(Debug, Default)]
 pub struct Store {
-    objects: BTreeMap<ObjectRef, Object>,
+    /// Namespace shards; each owns its slice of the object space.
     shards: BTreeMap<String, Shard>,
-    /// Total events ever committed across all shards.
+    /// Total events ever committed across all shards. This is the only
+    /// global counter a mutation touches: the coordinator assigns it in
+    /// arrival order, so it is independent of worker scheduling.
     committed_total: u64,
     watchers: BTreeMap<WatchId, Watcher>,
     next_watch_id: u64,
@@ -260,12 +327,87 @@ pub struct Store {
     /// join every shard, including shards created after they subscribed.
     global_watchers: BTreeSet<WatchId>,
     stats: WatchStats,
+    /// Runs per-shard batch slices, possibly on worker threads.
+    executor: ShardExecutor,
+}
+
+/// One mutation of a batch, addressed to the shard owning its object.
+///
+/// `SetPath` is the high-frequency op (every intent/status write is one);
+/// it carries a parsed [`Path`] so shard workers never parse strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreOp {
+    /// Insert a new object (resource version 1).
+    Create {
+        /// The object to create.
+        oref: ObjectRef,
+        /// Its initial model.
+        model: Value,
+    },
+    /// Replace an object's model, optionally OCC-guarded.
+    Put {
+        /// The object to replace.
+        oref: ObjectRef,
+        /// The replacement model.
+        model: Value,
+        /// Optimistic-concurrency guard, as in [`Store::update`].
+        expected_rv: Option<u64>,
+    },
+    /// Deep-merge a patch into the current model.
+    Merge {
+        /// The object to patch.
+        oref: ObjectRef,
+        /// The patch document.
+        patch: Value,
+    },
+    /// Set one attribute path.
+    SetPath {
+        /// The object to mutate.
+        oref: ObjectRef,
+        /// The attribute to set.
+        path: Path,
+        /// The new value.
+        value: Value,
+    },
+    /// Delete the object.
+    Delete {
+        /// The object to delete.
+        oref: ObjectRef,
+    },
+}
+
+impl StoreOp {
+    /// The object this op addresses (its namespace picks the shard).
+    pub fn oref(&self) -> &ObjectRef {
+        match self {
+            StoreOp::Create { oref, .. }
+            | StoreOp::Put { oref, .. }
+            | StoreOp::Merge { oref, .. }
+            | StoreOp::SetPath { oref, .. }
+            | StoreOp::Delete { oref } => oref,
+        }
+    }
 }
 
 impl Store {
-    /// Creates an empty store.
+    /// Creates an empty store. The shard worker cap comes from
+    /// [`crate::executor::SHARD_THREADS_ENV`] (default: inline execution).
     pub fn new() -> Self {
-        Store::default()
+        Store {
+            executor: ShardExecutor::from_env(),
+            ..Store::default()
+        }
+    }
+
+    /// The shard worker cap.
+    pub fn executor_threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// Sets the shard worker cap (clamped to at least 1). Results are
+    /// bit-identical at any setting; this only trades latency for threads.
+    pub fn set_executor_threads(&mut self, threads: usize) {
+        self.executor.set_threads(threads);
     }
 
     /// Returns the current global revision (total committed events across
@@ -276,48 +418,62 @@ impl Store {
 
     /// Returns the stored object, if present.
     pub fn get(&self, oref: &ObjectRef) -> Option<&Object> {
-        self.objects.get(oref)
+        self.shards.get(&oref.namespace)?.objects.get(oref)
     }
 
     /// Lists objects of `kind` across namespaces (sorted by namespace/name).
     pub fn list(&self, kind: &str) -> Vec<&Object> {
-        self.objects
+        self.shards
+            .values()
+            .flat_map(|s| {
+                s.objects
+                    .iter()
+                    .filter(move |(r, _)| r.kind == kind)
+                    .map(|(_, o)| o)
+            })
+            .collect()
+    }
+
+    /// Lists objects of `kind` within one namespace (sorted by name).
+    pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
+        let Some(shard) = self.shards.get(namespace) else {
+            return Vec::new();
+        };
+        shard
+            .objects
             .iter()
             .filter(|(r, _)| r.kind == kind)
             .map(|(_, o)| o)
             .collect()
     }
 
-    /// Lists objects of `kind` within one namespace (sorted by name).
-    pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
-        self.objects
-            .iter()
-            .filter(|(r, _)| r.kind == kind && r.namespace == namespace)
-            .map(|(_, o)| o)
-            .collect()
-    }
-
-    /// Lists every object.
+    /// Lists every object (sorted by kind/namespace/name).
     pub fn list_all(&self) -> Vec<&Object> {
-        self.objects.values().collect()
+        let mut out: Vec<&Object> = self
+            .shards
+            .values()
+            .flat_map(|s| s.objects.values())
+            .collect();
+        out.sort_by(|a, b| a.oref.cmp(&b.oref));
+        out
     }
 
     /// Inserts a new object, assigning resource version 1.
-    pub fn create(&mut self, oref: ObjectRef, mut model: Value) -> Result<&Object, ApiError> {
-        if self.objects.contains_key(&oref) {
-            return Err(ApiError::AlreadyExists(oref));
-        }
-        let rv = 1;
-        stamp_gen(&mut model, rv);
-        let shared = Rc::new(model);
-        let obj = Object {
-            oref: oref.clone(),
-            model: (*shared).clone(),
-            resource_version: rv,
-        };
-        self.objects.insert(oref.clone(), obj);
-        self.append(WatchEventKind::Added, oref.clone(), shared, rv);
-        Ok(self.objects.get(&oref).expect("just inserted"))
+    pub fn create(&mut self, oref: ObjectRef, model: Value) -> Result<&Object, ApiError> {
+        let ns = oref.namespace.clone();
+        self.ensure_shard(&ns);
+        let mut tally = ShardTally::default();
+        let shard = self.shards.get_mut(&ns).expect("just ensured");
+        let result = shard_create(shard, oref.clone(), model, &mut tally);
+        self.finish_serial(tally);
+        result?;
+        Ok(self
+            .shards
+            .get(&ns)
+            .expect("just ensured")
+            .objects
+            .get(&oref)
+            .expect("just inserted"))
     }
 
     /// Replaces an object's model.
@@ -328,29 +484,16 @@ impl Store {
     pub fn update(
         &mut self,
         oref: &ObjectRef,
-        mut model: Value,
+        model: Value,
         expected_rv: Option<u64>,
     ) -> Result<u64, ApiError> {
-        let obj = self
-            .objects
-            .get_mut(oref)
-            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
-        if let Some(expected) = expected_rv {
-            if expected != obj.resource_version {
-                return Err(ApiError::Conflict {
-                    oref: oref.clone(),
-                    expected,
-                    actual: obj.resource_version,
-                });
-            }
-        }
-        let rv = obj.resource_version + 1;
-        stamp_gen(&mut model, rv);
-        let shared = Rc::new(model);
-        obj.model = (*shared).clone();
-        obj.resource_version = rv;
-        self.append(WatchEventKind::Modified, oref.clone(), shared, rv);
-        Ok(rv)
+        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
+            return Err(ApiError::NotFound(oref.clone()));
+        };
+        let mut tally = ShardTally::default();
+        let result = shard_update(shard, oref, model, expected_rv, &mut tally);
+        self.finish_serial(tally);
+        result
     }
 
     /// Removes an object, returning its final state.
@@ -359,19 +502,13 @@ impl Store {
     /// `Deleted` event carry a *bumped* resource version, so watchers can
     /// order the delete against the modifications that preceded it.
     pub fn delete(&mut self, oref: &ObjectRef) -> Result<Object, ApiError> {
-        let mut obj = self
-            .objects
-            .remove(oref)
-            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
-        obj.resource_version += 1;
-        stamp_gen(&mut obj.model, obj.resource_version);
-        self.append(
-            WatchEventKind::Deleted,
-            oref.clone(),
-            Rc::new(obj.model.clone()),
-            obj.resource_version,
-        );
-        Ok(obj)
+        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
+            return Err(ApiError::NotFound(oref.clone()));
+        };
+        let mut tally = ShardTally::default();
+        let result = shard_delete(shard, oref, &mut tally);
+        self.finish_serial(tally);
+        result
     }
 
     /// Jumps an object's resource version forward to `rv` without changing
@@ -382,21 +519,82 @@ impl Store {
     /// exact there. Tests use this to place an object deep into its
     /// mutation history in one step.
     pub fn fast_forward(&mut self, oref: &ObjectRef, rv: u64) -> Result<u64, ApiError> {
-        let obj = self
-            .objects
-            .get_mut(oref)
-            .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
-        if rv <= obj.resource_version {
-            return Err(ApiError::Invalid(format!(
-                "fast_forward to {rv} would not advance {} (at {})",
-                oref, obj.resource_version
-            )));
+        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
+            return Err(ApiError::NotFound(oref.clone()));
+        };
+        let mut tally = ShardTally::default();
+        let result = shard_fast_forward(shard, oref, rv, &mut tally);
+        self.finish_serial(tally);
+        result
+    }
+
+    /// Applies a batch of mutations, fanning each namespace's slice out to
+    /// its shard's worker.
+    ///
+    /// Ops are ticketed in arrival (vector) order by the coordinator; each
+    /// shard executes its ops in ticket order on one worker, and results
+    /// come back in ticket order. Because shards share nothing and the
+    /// per-shard outcomes are merged in shard-name order, the store's
+    /// final state and every watcher stream are **bit-identical at any
+    /// thread count** — parallelism is unobservable except in wall-clock.
+    ///
+    /// Per-op semantics (versioning, OCC, `meta.gen` stamping, event
+    /// kinds) match the serial verbs exactly; in addition the whole batch
+    /// pays one compaction pass per shard instead of one per write.
+    pub fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Vec<Result<u64, ApiError>> {
+        let ticketed = ops.into_iter().enumerate().collect();
+        self.apply_ops(ticketed)
+            .into_iter()
+            .map(|(_, result)| result)
+            .collect()
+    }
+
+    /// [`Store::apply_batch`] with caller-assigned tickets. Results are
+    /// returned sorted by ticket.
+    pub fn apply_ops(&mut self, ops: Vec<(usize, StoreOp)>) -> Vec<(usize, Result<u64, ApiError>)> {
+        // Group ops per shard, preserving ticket order within each group.
+        let mut grouped: BTreeMap<String, Vec<(usize, StoreOp)>> = BTreeMap::new();
+        for (ticket, op) in ops {
+            grouped
+                .entry(op.oref().namespace.clone())
+                .or_default()
+                .push((ticket, op));
         }
-        stamp_gen(&mut obj.model, rv);
-        obj.resource_version = rv;
-        let shared = Rc::new(obj.model.clone());
-        self.append(WatchEventKind::Modified, oref.clone(), shared, rv);
-        Ok(rv)
+        let mut items = Vec::with_capacity(grouped.len());
+        for (ns, batch) in grouped {
+            self.ensure_shard(&ns);
+            let shard = self.shards.remove(&ns).expect("just ensured");
+            items.push((ns, shard, batch));
+        }
+        // Hand each shard to a worker; shards move out of the map and back,
+        // so workers own their slice outright.
+        let outcomes = self.executor.run(items, |(ns, mut shard, batch)| {
+            let outcome = apply_shard_batch(&mut shard, batch);
+            (ns, shard, outcome)
+        });
+        let mut results = Vec::new();
+        for (ns, shard, outcome) in outcomes {
+            self.shards.insert(ns.clone(), shard);
+            self.finish_serial(outcome.tally);
+            self.maybe_drop_shard(&ns);
+            results.extend(outcome.results);
+        }
+        results.sort_by_key(|(ticket, _)| *ticket);
+        results
+    }
+
+    /// Folds a worker-side tally into the store's global counters; called
+    /// on the coordinator, in shard-name order for batches.
+    fn finish_serial(&mut self, tally: ShardTally) {
+        self.committed_total += tally.appended;
+        self.stats.events_appended += tally.appended;
+        self.stats.events_compacted += tally.compacted;
+        self.stats.peak_log_len = self.stats.peak_log_len.max(tally.peak_log_len);
+        for (id, delta) in tally.deltas {
+            let w = self.watchers.get_mut(&id).expect("indexed watcher is live");
+            w.total_pending += delta.pending;
+            w.total_pending_bytes += delta.bytes;
+        }
     }
 
     /// Opens a watch over the union of `selectors`. Each cursor starts at
@@ -438,12 +636,8 @@ impl Store {
             self.global_watchers.insert(id);
             let w = self.watchers.get_mut(&id).expect("checked above");
             for (ns, shard) in self.shards.iter_mut() {
-                shard.register(id, &selector);
-                w.shards.entry(ns.clone()).or_insert(ShardCursor {
-                    cursor: shard.committed + 1,
-                    pending: 0,
-                    pending_bytes: 0,
-                });
+                shard.register(id, &selector, shard.committed + 1);
+                w.shards.insert(ns.clone());
             }
             w.selectors.push(selector);
         } else {
@@ -453,14 +647,9 @@ impl Store {
                 .to_string();
             self.ensure_shard(&ns);
             let shard = self.shards.get_mut(&ns).expect("just ensured");
-            shard.register(id, &selector);
-            let cursor = shard.committed + 1;
+            shard.register(id, &selector, shard.committed + 1);
             let w = self.watchers.get_mut(&id).expect("checked above");
-            w.shards.entry(ns).or_insert(ShardCursor {
-                cursor,
-                pending: 0,
-                pending_bytes: 0,
-            });
+            w.shards.insert(ns);
             w.selectors.push(selector);
         }
         true
@@ -473,18 +662,25 @@ impl Store {
     /// Unknown watch ids return an empty vector (the subscription may have
     /// been cancelled).
     pub fn poll(&mut self, id: WatchId) -> Vec<WatchEvent> {
-        let Some(w) = self.watchers.get_mut(&id) else {
+        let Store {
+            shards,
+            watchers,
+            stats,
+            ..
+        } = self;
+        let Some(w) = watchers.get_mut(&id) else {
             return Vec::new();
         };
         let mut out = Vec::new();
         let mut touched: Vec<String> = Vec::new();
-        for (ns, sc) in w.shards.iter_mut() {
-            let shard = self.shards.get(ns).expect("cursor implies shard");
-            if sc.pending > 0 {
+        for ns in &w.shards {
+            let shard = shards.get_mut(ns).expect("membership implies shard");
+            let member = *shard.members.get(&id).expect("membership implies member");
+            if member.pending > 0 {
                 let first_rev = shard.committed - shard.log.len() as u64 + 1;
                 // Compaction never reclaims past a member with pending
                 // events, so the scan window is fully resident.
-                let start = (sc.cursor.max(first_rev) - first_rev) as usize;
+                let start = (member.cursor.max(first_rev) - first_rev) as usize;
                 let before = out.len();
                 for ev in shard.log.iter().skip(start) {
                     if w.selectors.iter().any(|s| s.matches(&ev.oref)) {
@@ -493,18 +689,22 @@ impl Store {
                 }
                 debug_assert_eq!(
                     (out.len() - before) as u64,
-                    sc.pending,
+                    member.pending,
                     "pending counter out of sync in shard {ns}"
                 );
-                w.total_pending -= sc.pending;
-                w.total_pending_bytes -= sc.pending_bytes;
-                sc.pending = 0;
-                sc.pending_bytes = 0;
+                w.total_pending -= member.pending;
+                w.total_pending_bytes -= member.pending_bytes;
                 touched.push(ns.clone());
             }
-            sc.cursor = shard.committed + 1;
+            let m = shard
+                .members
+                .get_mut(&id)
+                .expect("membership implies member");
+            m.pending = 0;
+            m.pending_bytes = 0;
+            m.cursor = shard.committed + 1;
         }
-        self.stats.events_delivered += out.len() as u64;
+        stats.events_delivered += out.len() as u64;
         for ns in &touched {
             self.compact_shard(ns);
         }
@@ -573,8 +773,8 @@ impl Store {
             return;
         };
         self.global_watchers.remove(&id);
-        for ns in w.shards.keys() {
-            let shard = self.shards.get_mut(ns).expect("cursor implies shard");
+        for ns in &w.shards {
+            let shard = self.shards.get_mut(ns).expect("membership implies shard");
             for selector in &w.selectors {
                 if selector.is_global() || selector.home_namespace() == Some(ns.as_str()) {
                     shard.deregister(id, selector);
@@ -585,7 +785,7 @@ impl Store {
                 "all registrations released"
             );
         }
-        for ns in w.shards.keys() {
+        for ns in &w.shards {
             self.compact_shard(ns);
         }
     }
@@ -601,6 +801,12 @@ impl Store {
         self.shards.get(namespace).map(|s| s.log.len()).unwrap_or(0)
     }
 
+    /// Number of live namespace shards (a deleted namespace's shard is
+    /// dropped once its log drains).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Watch/notification traffic counters.
     pub fn watch_stats(&self) -> WatchStats {
         self.stats
@@ -610,7 +816,10 @@ impl Store {
     /// namespace-spanning watcher so `All`/`Kind` subscriptions cover
     /// namespaces born after them.
     fn ensure_shard(&mut self, ns: &str) {
-        if self.shards.contains_key(ns) {
+        if let Some(shard) = self.shards.get_mut(ns) {
+            // New activity while a deletion was draining: the namespace is
+            // live again.
+            shard.retiring = false;
             return;
         }
         let mut shard = Shard::default();
@@ -618,108 +827,575 @@ impl Store {
             let w = self.watchers.get_mut(&id).expect("global watcher is live");
             for selector in &w.selectors {
                 if selector.is_global() {
-                    shard.register(id, selector);
+                    // A fresh shard starts at revision 0: cursor 1
+                    // delivers everything ever committed here.
+                    shard.register(id, selector, 1);
                 }
             }
-            // A fresh shard starts at revision 0: cursor 1 delivers
-            // everything ever committed here.
-            w.shards.entry(ns.to_string()).or_insert(ShardCursor {
-                cursor: 1,
-                pending: 0,
-                pending_bytes: 0,
-            });
+            w.shards.insert(ns.to_string());
         }
         self.shards.insert(ns.to_string(), shard);
     }
 
-    fn append(&mut self, kind: WatchEventKind, oref: ObjectRef, model: Rc<Value>, rv: u64) {
-        let ns = oref.namespace.clone();
-        self.ensure_shard(&ns);
-        self.committed_total += 1;
-        self.stats.events_appended += 1;
-        let shard = self.shards.get_mut(&ns).expect("just ensured");
-        shard.committed += 1;
-        let revision = shard.committed;
-        // Collect interested watchers via the shard's selector indexes; the
-        // set dedupes watchers reachable through several selectors, so the
-        // pending counter bumps exactly once per delivered event.
-        let mut interested: BTreeSet<WatchId> = shard.all_watchers.iter().copied().collect();
-        if let Some(ids) = shard.kind_watchers.get(&oref.kind) {
-            interested.extend(ids.iter().copied());
+    /// Removes a fully drained, retiring shard: the namespace is gone, its
+    /// terminal events are delivered, so remaining registrations (global
+    /// watchers) release their membership. They re-join at cursor 1 if the
+    /// namespace is ever recreated ([`Store::ensure_shard`]).
+    fn maybe_drop_shard(&mut self, ns: &str) {
+        let done = self
+            .shards
+            .get(ns)
+            .is_some_and(|s| s.retiring && s.objects.is_empty() && s.log.is_empty());
+        if !done {
+            return;
         }
-        if let Some(ids) = shard.object_watchers.get(&oref) {
-            interested.extend(ids.iter().copied());
+        let shard = self.shards.remove(ns).expect("checked above");
+        for (id, member) in shard.members {
+            debug_assert_eq!(member.pending, 0, "empty log implies nothing pending");
+            if let Some(w) = self.watchers.get_mut(&id) {
+                w.shards.remove(ns);
+            }
         }
-        // Size the notification payload once per event, and only when
-        // somebody will actually receive it.
-        let event_bytes = if interested.is_empty() {
-            0
+    }
+}
+
+/// Appends one committed event to a shard: bump its revision, size the
+/// notification, push the log entry, and charge interested members.
+///
+/// Runs on the shard's owning worker during batches (the `tally` carries
+/// watcher-total deltas back to the coordinator). `enc_hint` is the
+/// serialized size of `model` when the caller maintained it incrementally;
+/// `None` falls back to a full encoding walk.
+fn shard_append(
+    shard: &mut Shard,
+    kind: WatchEventKind,
+    oref: ObjectRef,
+    model: Shared<Value>,
+    rv: u64,
+    enc_hint: Option<u64>,
+    tally: &mut ShardTally,
+) {
+    shard.committed += 1;
+    tally.appended += 1;
+    let revision = shard.committed;
+    // Collect interested watchers via the shard's selector indexes; the
+    // set dedupes watchers reachable through several selectors, so the
+    // pending counter bumps exactly once per delivered event.
+    let mut interested: BTreeSet<WatchId> = shard.all_watchers.iter().copied().collect();
+    if let Some(ids) = shard.kind_watchers.get(&oref.kind) {
+        interested.extend(ids.iter().copied());
+    }
+    if let Some(ids) = shard.object_watchers.get(&oref) {
+        interested.extend(ids.iter().copied());
+    }
+    // Size the notification payload once per event, and only when somebody
+    // will actually receive it. The cache entry always mirrors the newest
+    // model's size — or is absent when that size was never computed.
+    let event_bytes = if interested.is_empty() {
+        shard.enc_cache.remove(&oref);
+        0
+    } else {
+        let n = enc_hint.unwrap_or_else(|| json::encoded_len(&model) as u64);
+        debug_assert_eq!(n, json::encoded_len(&model) as u64, "stale encoded size");
+        if kind == WatchEventKind::Deleted {
+            shard.enc_cache.remove(&oref);
         } else {
-            dspace_value::json::encoded_len(&model) as u64
-        };
-        shard.log.push_back(WatchEvent {
-            revision,
-            kind,
-            oref,
-            model,
-            resource_version: rv,
-        });
-        let no_members = shard.members.is_empty();
-        self.stats.peak_log_len = self.stats.peak_log_len.max(shard.log.len());
+            shard.enc_cache.insert(oref.clone(), n);
+        }
+        n
+    };
+    shard.log.push_back(WatchEvent {
+        revision,
+        kind,
+        oref,
+        model,
+        resource_version: rv,
+    });
+    tally.peak_log_len = tally.peak_log_len.max(shard.log.len());
+    if shard.members.is_empty() {
+        // No watcher holds this shard: reclaim the tail eagerly.
+        let n = shard.log.len() as u64;
+        shard.log.clear();
+        tally.compacted += n;
+    } else {
         for id in interested {
-            let w = self.watchers.get_mut(&id).expect("indexed watcher is live");
-            let sc = w
-                .shards
-                .get_mut(&ns)
-                .expect("indexed watcher holds a cursor in its shard");
-            sc.pending += 1;
-            sc.pending_bytes += event_bytes;
-            w.total_pending += 1;
-            w.total_pending_bytes += event_bytes;
+            let m = shard
+                .members
+                .get_mut(&id)
+                .expect("indexed watcher is a member");
+            m.pending += 1;
+            m.pending_bytes += event_bytes;
+            let d = tally.deltas.entry(id).or_default();
+            d.pending += 1;
+            d.bytes += event_bytes;
         }
-        if no_members {
-            // No watcher holds this shard: reclaim the tail eagerly.
-            let shard = self.shards.get_mut(&ns).expect("just ensured");
-            let n = shard.log.len() as u64;
-            shard.log.clear();
-            self.stats.events_compacted += n;
+    }
+}
+
+/// Drops log entries that no member can still need, returning the count. A
+/// member with pending events holds everything from its cursor; a fully
+/// drained member holds nothing (events it skipped did not match it, or it
+/// would have `pending > 0`).
+fn compact(shard: &mut Shard) -> u64 {
+    let tail = shard.committed + 1;
+    let mut min_hold = tail;
+    for m in shard.members.values() {
+        min_hold = min_hold.min(if m.pending == 0 { tail } else { m.cursor });
+    }
+    let mut first_rev = shard.committed - shard.log.len() as u64 + 1;
+    let mut reclaimed = 0u64;
+    while first_rev < min_hold && !shard.log.is_empty() {
+        shard.log.pop_front();
+        reclaimed += 1;
+        first_rev += 1;
+    }
+    reclaimed
+}
+
+impl Store {
+    fn compact_shard(&mut self, ns: &str) {
+        if let Some(shard) = self.shards.get_mut(ns) {
+            self.stats.events_compacted += compact(shard);
+            self.maybe_drop_shard(ns);
         }
+    }
+}
+
+impl Store {
+    /// Detaches every watcher from namespace `ns` ahead of its deletion
+    /// and marks the shard retiring, returning the objects that still need
+    /// terminal `Deleted` events.
+    ///
+    /// Selectors homed in the namespace are *cancelled*: they are removed
+    /// from their subscriptions and their undelivered events are refunded
+    /// — the subscription's scope is being deleted, so the events can
+    /// never be re-matched. Global selectors stay registered: their
+    /// watchers still see every already-pending event plus the terminal
+    /// `Deleted` events, gap-free, and their membership is released only
+    /// when the drained shard is dropped.
+    ///
+    /// The caller deletes the returned objects (possibly through admission
+    /// / audit layers) and then calls [`Store::finish_delete_namespace`].
+    pub fn begin_delete_namespace(&mut self, ns: &str) -> Vec<ObjectRef> {
+        let Store {
+            shards, watchers, ..
+        } = self;
+        let Some(shard) = shards.get_mut(ns) else {
+            return Vec::new();
+        };
+        let member_ids: Vec<WatchId> = shard.members.keys().copied().collect();
+        for id in member_ids {
+            let w = watchers.get_mut(&id).expect("member watcher is live");
+            let homed: Vec<WatchSelector> = w
+                .selectors
+                .iter()
+                .filter(|s| s.home_namespace() == Some(ns))
+                .cloned()
+                .collect();
+            if homed.is_empty() {
+                continue; // a purely global member keeps its cursor
+            }
+            w.selectors.retain(|s| s.home_namespace() != Some(ns));
+            let mut removed: Option<ShardMember> = None;
+            for selector in &homed {
+                if let Some(m) = shard.deregister(id, selector) {
+                    removed = Some(m);
+                }
+            }
+            if let Some(member) = removed {
+                // Last registration gone: refund everything undelivered.
+                w.total_pending -= member.pending;
+                w.total_pending_bytes -= member.pending_bytes;
+                w.shards.remove(ns);
+            } else {
+                // Still a member through global selectors. Pending counts
+                // may include events only the cancelled selectors matched;
+                // re-settle them against the remaining selector set.
+                let member = *shard.members.get(&id).expect("still a member");
+                if member.pending > 0 {
+                    let (p, b) = recount_pending(shard, member.cursor, &w.selectors);
+                    let m = shard.members.get_mut(&id).expect("still a member");
+                    w.total_pending -= m.pending - p;
+                    w.total_pending_bytes -= m.pending_bytes - b;
+                    m.pending = p;
+                    m.pending_bytes = b;
+                }
+            }
+        }
+        shard.retiring = true;
+        shard.objects.keys().cloned().collect()
     }
 
-    /// Drops log entries of one shard that no member can still need. A
-    /// member with pending events holds everything from its cursor; a
-    /// fully drained member holds nothing (events it skipped did not match
-    /// it, or it would have `pending > 0`).
-    fn compact_shard(&mut self, ns: &str) {
-        let Some(shard) = self.shards.get_mut(ns) else {
-            return;
-        };
-        let tail = shard.committed + 1;
-        let mut min_hold = tail;
-        for id in shard.members.keys() {
-            let sc = &self.watchers[id].shards[ns];
-            min_hold = min_hold.min(if sc.pending == 0 { tail } else { sc.cursor });
+    /// Completes a namespace deletion: once the terminal events drain, the
+    /// shard is dropped (immediately, if nobody is lagging).
+    pub fn finish_delete_namespace(&mut self, ns: &str) {
+        if let Some(shard) = self.shards.get_mut(ns) {
+            shard.retiring = true;
         }
-        let mut first_rev = shard.committed - shard.log.len() as u64 + 1;
-        let mut reclaimed = 0u64;
-        while first_rev < min_hold && !shard.log.is_empty() {
-            shard.log.pop_front();
-            reclaimed += 1;
-            first_rev += 1;
-        }
-        self.stats.events_compacted += reclaimed;
+        self.compact_shard(ns);
     }
+
+    /// Deletes a namespace: every object in it is deleted (emitting
+    /// ordered terminal `Deleted` events to global watchers), selectors
+    /// homed in it are cancelled, and the shard itself is dropped once its
+    /// log drains. Returns the number of objects deleted.
+    pub fn delete_namespace(&mut self, ns: &str) -> u64 {
+        let orefs = self.begin_delete_namespace(ns);
+        let deleted = orefs.len() as u64;
+        for oref in &orefs {
+            let _ = self.delete(oref);
+        }
+        self.finish_delete_namespace(ns);
+        deleted
+    }
+}
+
+/// Counts the undelivered events from `cursor` that match `selectors`,
+/// with their serialized sizes. Used to re-settle a member's pending
+/// counters when part of its selector set is cancelled.
+fn recount_pending(shard: &Shard, cursor: u64, selectors: &[WatchSelector]) -> (u64, u64) {
+    if shard.log.is_empty() {
+        return (0, 0);
+    }
+    let first_rev = shard.committed - shard.log.len() as u64 + 1;
+    let start = (cursor.max(first_rev) - first_rev) as usize;
+    let mut pending = 0u64;
+    let mut bytes = 0u64;
+    for ev in shard.log.iter().skip(start) {
+        if selectors.iter().any(|s| s.matches(&ev.oref)) {
+            pending += 1;
+            bytes += json::encoded_len(&ev.model) as u64;
+        }
+    }
+    (pending, bytes)
+}
+
+// ----- Shard-local mutation ops ------------------------------------------
+//
+// These run on the shard's owning worker thread during batches (and inline
+// for the serial verbs). They may touch only the shard and the tally.
+
+/// Outcome of one shard's slice of a batch.
+struct ShardOutcome {
+    /// Per-ticket results, in execution (= ticket) order.
+    results: Vec<(usize, Result<u64, ApiError>)>,
+    /// Side effects to fold into the coordinator's counters.
+    tally: ShardTally,
+}
+
+/// Executes one shard's slice of a batch in ticket order, with a single
+/// compaction pass at the end instead of one per write.
+fn apply_shard_batch(shard: &mut Shard, batch: Vec<(usize, StoreOp)>) -> ShardOutcome {
+    let mut tally = ShardTally::default();
+    let mut results = Vec::with_capacity(batch.len());
+    for (ticket, op) in batch {
+        let result = match op {
+            StoreOp::Create { oref, model } => shard_create(shard, oref, model, &mut tally),
+            StoreOp::Put {
+                oref,
+                model,
+                expected_rv,
+            } => shard_update(shard, &oref, model, expected_rv, &mut tally),
+            StoreOp::Merge { oref, patch } => shard_merge(shard, &oref, &patch, &mut tally),
+            StoreOp::SetPath { oref, path, value } => {
+                shard_set_path(shard, &oref, &path, value, &mut tally)
+            }
+            StoreOp::Delete { oref } => {
+                shard_delete(shard, &oref, &mut tally).map(|o| o.resource_version)
+            }
+        };
+        results.push((ticket, result));
+    }
+    tally.compacted += compact(shard);
+    ShardOutcome { results, tally }
+}
+
+fn shard_create(
+    shard: &mut Shard,
+    oref: ObjectRef,
+    mut model: Value,
+    tally: &mut ShardTally,
+) -> Result<u64, ApiError> {
+    if shard.objects.contains_key(&oref) {
+        return Err(ApiError::AlreadyExists(oref));
+    }
+    let rv = 1;
+    stamp_gen(&mut model, rv);
+    let shared = Shared::new(model);
+    shard.objects.insert(
+        oref.clone(),
+        Object {
+            oref: oref.clone(),
+            model: shared.clone(),
+            resource_version: rv,
+        },
+    );
+    shard_append(shard, WatchEventKind::Added, oref, shared, rv, None, tally);
+    Ok(rv)
+}
+
+fn shard_update(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    mut model: Value,
+    expected_rv: Option<u64>,
+    tally: &mut ShardTally,
+) -> Result<u64, ApiError> {
+    let obj = shard
+        .objects
+        .get_mut(oref)
+        .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+    if let Some(expected) = expected_rv {
+        if expected != obj.resource_version {
+            return Err(ApiError::Conflict {
+                oref: oref.clone(),
+                expected,
+                actual: obj.resource_version,
+            });
+        }
+    }
+    let rv = obj.resource_version + 1;
+    stamp_gen(&mut model, rv);
+    let shared = Shared::new(model);
+    obj.model = shared.clone();
+    obj.resource_version = rv;
+    shard_append(
+        shard,
+        WatchEventKind::Modified,
+        oref.clone(),
+        shared,
+        rv,
+        None,
+        tally,
+    );
+    Ok(rv)
+}
+
+/// Deep-merges a patch into the stored model **in place** (copy-on-write:
+/// the snapshot is only deep-cloned if watchers still hold it).
+fn shard_merge(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    patch: &Value,
+    tally: &mut ShardTally,
+) -> Result<u64, ApiError> {
+    let obj = shard
+        .objects
+        .get_mut(oref)
+        .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+    let rv = obj.resource_version + 1;
+    let m = Shared::make_mut(&mut obj.model);
+    m.merge(patch);
+    stamp_gen(m, rv);
+    obj.resource_version = rv;
+    let snapshot = obj.model.clone();
+    shard_append(
+        shard,
+        WatchEventKind::Modified,
+        oref.clone(),
+        snapshot,
+        rv,
+        None,
+        tally,
+    );
+    Ok(rv)
+}
+
+/// Sets one attribute **in place** with copy-on-write, maintaining the
+/// serialized size incrementally when the write is a straight-line
+/// replacement — the hot path of every intent/status toggle, which then
+/// commits without a single full-document walk or deep clone.
+fn shard_set_path(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    path: &Path,
+    value: Value,
+    tally: &mut ShardTally,
+) -> Result<u64, ApiError> {
+    let cached = shard.enc_cache.get(oref).copied();
+    let obj = shard
+        .objects
+        .get_mut(oref)
+        .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+    let rv = obj.resource_version + 1;
+    let m = Shared::make_mut(&mut obj.model);
+    let d1 = checked_set(m, path, value).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+    let d2 = checked_set(m, gen_path(), Value::from_exact_u64(rv))
+        .ok()
+        .flatten();
+    obj.resource_version = rv;
+    let snapshot = obj.model.clone();
+    let enc_hint = match (cached, d1, d2) {
+        (Some(base), Some(d1), Some(d2)) => Some((base as i64 + d1 + d2) as u64),
+        _ => None,
+    };
+    shard_append(
+        shard,
+        WatchEventKind::Modified,
+        oref.clone(),
+        snapshot,
+        rv,
+        enc_hint,
+        tally,
+    );
+    Ok(rv)
+}
+
+fn shard_delete(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    tally: &mut ShardTally,
+) -> Result<Object, ApiError> {
+    let mut obj = shard
+        .objects
+        .remove(oref)
+        .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+    obj.resource_version += 1;
+    stamp_gen(Shared::make_mut(&mut obj.model), obj.resource_version);
+    shard_append(
+        shard,
+        WatchEventKind::Deleted,
+        oref.clone(),
+        obj.model.clone(),
+        obj.resource_version,
+        None,
+        tally,
+    );
+    Ok(obj)
+}
+
+fn shard_fast_forward(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    rv: u64,
+    tally: &mut ShardTally,
+) -> Result<u64, ApiError> {
+    let obj = shard
+        .objects
+        .get_mut(oref)
+        .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+    if rv <= obj.resource_version {
+        return Err(ApiError::Invalid(format!(
+            "fast_forward to {rv} would not advance {} (at {})",
+            oref, obj.resource_version
+        )));
+    }
+    stamp_gen(Shared::make_mut(&mut obj.model), rv);
+    obj.resource_version = rv;
+    let snapshot = obj.model.clone();
+    shard_append(
+        shard,
+        WatchEventKind::Modified,
+        oref.clone(),
+        snapshot,
+        rv,
+        None,
+        tally,
+    );
+    Ok(rv)
+}
+
+/// The parsed `.meta.gen` path (parsed once per process).
+fn gen_path() -> &'static Path {
+    static GEN: OnceLock<Path> = OnceLock::new();
+    GEN.get_or_init(|| ".meta.gen".parse().expect("static path"))
 }
 
 /// Keeps `meta.gen` in the model equal to the resource version, so the
 /// version number of §3.5 is visible to drivers and the mounter. Encoded
 /// via [`Value::from_exact_u64`]: generations beyond 2^53 survive without
 /// `f64` rounding, so the mounter's version gate stays exact.
-fn stamp_gen(model: &mut Value, rv: u64) {
-    let _ = model.set(
-        &".meta.gen".parse().expect("static path"),
-        Value::from_exact_u64(rv),
-    );
+pub(crate) fn stamp_gen(model: &mut Value, rv: u64) {
+    let _ = model.set(gen_path(), Value::from_exact_u64(rv));
+}
+
+// ----- Incremental sets ----------------------------------------------------
+
+/// Sets `path` to `value`, returning `Ok(Some(delta))` — the exact change
+/// in the model's serialized length — when the write was a straight-line
+/// replacement or single-key insert through existing containers.
+///
+/// Anything else (intermediate-object creation, type mismatches, bad
+/// indexes) falls back to [`Value::set`] on a scratch copy: semantics and
+/// error values match `set` exactly, except that errors leave the document
+/// untouched (which the in-place batch path requires — `set` itself may
+/// create intermediates before failing).
+fn checked_set(doc: &mut Value, path: &Path, value: Value) -> Result<Option<i64>, ValueError> {
+    if fast_set_applies(doc, path) {
+        return Ok(Some(fast_set(doc, path, value)));
+    }
+    let mut next = doc.clone();
+    next.set(path, value)?;
+    *doc = next;
+    Ok(None)
+}
+
+/// Can `fast_set` handle this write? True when every segment resolves
+/// through an existing container and the final slot either exists or is a
+/// fresh object key (the two shapes with exactly computable deltas).
+fn fast_set_applies(doc: &Value, path: &Path) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let segs = path.segments();
+    let mut cur = doc;
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i + 1 == segs.len();
+        match (seg, cur) {
+            (Segment::Key(k), Value::Object(map)) => match map.get(k) {
+                Some(v) => cur = v,
+                None => return last,
+            },
+            (Segment::Index(ix), Value::Array(arr)) => match arr.get(*ix) {
+                Some(v) => cur = v,
+                None => return false,
+            },
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// In-place set along a pre-validated path; returns the serialized-length
+/// delta. Only call after [`fast_set_applies`] returns true.
+fn fast_set(doc: &mut Value, path: &Path, value: Value) -> i64 {
+    let segs = path.segments();
+    let mut cur = doc;
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i + 1 == segs.len();
+        match seg {
+            Segment::Key(k) => {
+                let Value::Object(map) = cur else {
+                    unreachable!("fast_set_applies verified the container")
+                };
+                if last {
+                    let added = json::encoded_len(&value) as i64;
+                    return match map.insert(k.clone(), value) {
+                        Some(old) => added - json::encoded_len(&old) as i64,
+                        None => {
+                            // `"k":v`, plus a comma unless it is now the
+                            // object's only entry.
+                            let sep = if map.len() == 1 { 0 } else { 1 };
+                            json::string_encoded_len(k) as i64 + 1 + added + sep
+                        }
+                    };
+                }
+                cur = map.get_mut(k).expect("fast_set_applies verified the key");
+            }
+            Segment::Index(ix) => {
+                let Value::Array(arr) = cur else {
+                    unreachable!("fast_set_applies verified the container")
+                };
+                if last {
+                    let added = json::encoded_len(&value) as i64;
+                    let old = std::mem::replace(&mut arr[*ix], value);
+                    return added - json::encoded_len(&old) as i64;
+                }
+                cur = &mut arr[*ix];
+            }
+        }
+    }
+    unreachable!("fast_set_applies rejects empty paths")
 }
 
 #[cfg(test)]
@@ -1025,7 +1701,7 @@ mod tests {
         let e1 = s.poll(w1);
         let e2 = s.poll(w2);
         assert!(
-            Rc::ptr_eq(&e1[0].model, &e2[0].model),
+            Shared::ptr_eq(&e1[0].model, &e2[0].model),
             "watchers must share one snapshot, not deep copies"
         );
     }

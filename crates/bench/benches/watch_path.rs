@@ -307,6 +307,7 @@ fn coalesce_demo() {
 /// dedup takes milliseconds.
 fn mounter_dedup_sweep() {
     use dspace_core::mounter::Mounter;
+    use dspace_value::Shared;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -316,7 +317,7 @@ fn mounter_dedup_sweep() {
         "{:>9} {:>9} {:>10} {:>12}",
         "events", "distinct", "ms", "us/event"
     );
-    let shared = Rc::new(model("l0"));
+    let shared = Shared::new(model("l0"));
     let mut per_event_us = 0.0;
     for &events in &[25_000usize, 100_000] {
         let distinct = events / 4;
@@ -325,7 +326,7 @@ fn mounter_dedup_sweep() {
                 revision: i as u64 + 1,
                 kind: dspace_apiserver::WatchEventKind::Modified,
                 oref: oref(i % distinct),
-                model: Rc::clone(&shared),
+                model: Shared::clone(&shared),
                 resource_version: i as u64 + 1,
             })
             .collect();
@@ -454,13 +455,175 @@ fn busy_burst_sweep() {
     println!();
 }
 
+/// A digi model with a realistic observation payload: 48 ring-buffered
+/// sensor readings (~2 KB serialized). Intent toggles against models of
+/// this shape are the executor's hot path — the serial verbs deep-clone
+/// and re-encode the whole document per write, the batch path touches one
+/// leaf.
+fn rich_model_in(ns: &str, name: &str) -> Value {
+    let readings: Vec<String> = (0..48)
+        .map(|i| {
+            format!(
+                r#"{{"t": {i}, "lumens": {}, "temp_c": {}}}"#,
+                100 + i,
+                20.0 + i as f64 / 10.0
+            )
+        })
+        .collect();
+    json::parse(&format!(
+        r#"{{"meta": {{"kind": "Lamp", "name": "{name}", "namespace": "{ns}"}},
+             "control": {{"power": {{"intent": null, "status": null}},
+                          "brightness": {{"intent": 0.5, "status": 0.5}}}},
+             "obs": {{"lumens": 120, "temp_c": 31.5, "history": [{}]}}}}"#,
+        readings.join(",")
+    ))
+    .unwrap()
+}
+
+/// [`build_ns`] with [`rich_model_in`] models.
+fn build_ns_rich(namespaces: usize, digis: usize) -> (ApiServer, Vec<WatchId>) {
+    let mut api = ApiServer::new();
+    for i in 0..digis {
+        let ns = format!("ns{}", i % namespaces);
+        let oref = ObjectRef::new("Lamp", &ns, format!("l{i}"));
+        api.create(
+            ApiServer::ADMIN,
+            &oref,
+            rich_model_in(&ns, &format!("l{i}")),
+        )
+        .unwrap();
+    }
+    let watchers = (0..namespaces)
+        .map(|k| {
+            api.watch_selector(
+                ApiServer::ADMIN,
+                WatchSelector::KindInNamespace {
+                    kind: "Lamp".into(),
+                    namespace: format!("ns{k}"),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    (api, watchers)
+}
+
+/// One round of the parallel sweep through the serial verbs: every digi
+/// patched one at a time, then every per-namespace watcher drained.
+fn serial_round(api: &mut ApiServer, namespaces: usize, digis: usize, watchers: &[WatchId]) {
+    for i in 0..digis {
+        let ns = format!("ns{}", i % namespaces);
+        api.patch_path(
+            ApiServer::ADMIN,
+            &ObjectRef::new("Lamp", ns, format!("l{i}")),
+            ".control.brightness.intent",
+            0.7.into(),
+        )
+        .unwrap();
+    }
+    for &w in watchers {
+        api.poll(w);
+    }
+}
+
+/// The same round as one `apply_batch` call: the coordinator tickets all
+/// `digis` ops, the shard executor applies each shard's slice (on up to
+/// `threads` workers) with copy-on-write models, incremental re-encoding,
+/// and one compaction pass per shard.
+fn batch_round(api: &mut ApiServer, namespaces: usize, digis: usize, watchers: &[WatchId]) {
+    let ops: Vec<dspace_apiserver::BatchOp> = (0..digis)
+        .map(|i| dspace_apiserver::BatchOp::PatchPath {
+            oref: ObjectRef::new("Lamp", format!("ns{}", i % namespaces), format!("l{i}")),
+            path: ".control.brightness.intent".into(),
+            value: 0.7.into(),
+        })
+        .collect();
+    for r in api.apply_batch(ApiServer::ADMIN, ops) {
+        r.unwrap();
+    }
+    for &w in watchers {
+        api.poll(w);
+    }
+}
+
+/// Batched mutation rounds over the shard executor vs. the serial verbs:
+/// 1024 digis spread over 1/8/64 namespaces, applied with 1/4/8 shard
+/// workers. Emits `BENCH_parallel_shards.json` at the repo root and (in
+/// full mode) asserts the 8-namespace/8-thread configuration beats the
+/// serial path by >=2x.
+fn parallel_shards_sweep(smoke: bool) {
+    let digis: usize = if smoke { 128 } else { 1024 };
+    let rounds: usize = if smoke { 1 } else { 3 };
+    let model_bytes = json::to_string(&rich_model_in("ns0", "l0")).len();
+    println!();
+    println!(
+        "parallel shard sweep: {digis} digis (~{model_bytes} B/model), \
+         {rounds} batched rounds vs serial verbs"
+    );
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>9}",
+        "ns", "threads", "serial-ms", "batch-ms", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &k in &[1usize, 8, 64] {
+        // The serial baseline does not depend on the worker cap; time it
+        // once per shard layout.
+        let (mut api, watchers) = build_ns_rich(k, digis);
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            serial_round(&mut api, k, digis, &watchers);
+        }
+        let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+        for &threads in &[1usize, 4, 8] {
+            let (mut api, watchers) = build_ns_rich(k, digis);
+            api.set_executor_threads(threads);
+            let start = std::time::Instant::now();
+            for _ in 0..rounds {
+                batch_round(&mut api, k, digis, &watchers);
+            }
+            let batch_ms = start.elapsed().as_secs_f64() * 1e3;
+            let speedup = serial_ms / batch_ms;
+            println!(
+                "{:>6} {:>8} {:>12.2} {:>12.2} {:>8.2}x",
+                k, threads, serial_ms, batch_ms, speedup
+            );
+            assert_eq!(api.log_len(), 0, "drained space must compact to empty");
+            rows.push(format!(
+                r#"    {{"namespaces": {k}, "threads": {threads}, "serial_ms": {serial_ms:.3}, "batch_ms": {batch_ms:.3}, "speedup": {speedup:.3}}}"#
+            ));
+            if !smoke && k == 8 && threads == 8 {
+                assert!(
+                    speedup >= 2.0,
+                    "batched execution at 8 namespaces / 8 workers must be >=2x \
+                     the serial verbs, got {speedup:.2}x"
+                );
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_shards\",\n  \"digis\": {digis},\n  \"rounds\": {rounds},\n  \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_shards.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_parallel_shards.json");
+    println!("wrote {path}");
+    println!();
+}
+
 criterion_group!(benches, bench_pump_round, bench_pump_round_sharded);
 
 fn main() {
+    // `cargo bench -- --test` (the CI smoke) shrinks the sweeps and skips
+    // the speedup floor; a full `cargo bench` enforces it.
+    let smoke = std::env::args().any(|a| a == "--test");
     benches();
     sweep();
     ns_sweep();
     coalesce_demo();
     mounter_dedup_sweep();
+    parallel_shards_sweep(smoke);
     busy_burst_sweep();
 }

@@ -22,7 +22,7 @@ use std::fmt;
 use dspace_apiserver::ObjectRef;
 
 /// Mount mode (§3.2): whether the parent may see the child's own children.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MountMode {
     /// Parent can access the child's children through the replica.
     Expose,
@@ -50,7 +50,7 @@ impl MountMode {
 }
 
 /// Write-access state of a mount edge (§3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EdgeState {
     /// The parent holds write access to the child's intent.
     Active,
@@ -127,12 +127,16 @@ impl fmt::Display for GraphError {
 impl std::error::Error for GraphError {}
 
 /// The digi-graph.
+///
+/// Both directions of every edge are indexed with the full `(mode, state)`
+/// payload, so "all edges adjacent to this digi" ([`DigiGraph::adjacent_edges`])
+/// is O(degree) — no per-neighbor re-lookup through the other index.
 #[derive(Debug, Clone, Default)]
 pub struct DigiGraph {
-    /// parent → children.
+    /// parent → children, with the edge payload.
     children: BTreeMap<ObjectRef, BTreeMap<ObjectRef, (MountMode, EdgeState)>>,
-    /// child → parents.
-    parents: BTreeMap<ObjectRef, BTreeSet<ObjectRef>>,
+    /// child → parents, mirroring the same payload.
+    parents: BTreeMap<ObjectRef, BTreeMap<ObjectRef, (MountMode, EdgeState)>>,
 }
 
 impl DigiGraph {
@@ -169,26 +173,47 @@ impl DigiGraph {
     pub fn parents_of(&self, child: &ObjectRef) -> Vec<ObjectRef> {
         self.parents
             .get(child)
-            .map(|s| s.iter().cloned().collect())
+            .map(|s| s.keys().cloned().collect())
             .unwrap_or_default()
     }
 
+    /// Returns every mount edge touching `node`, in a deterministic order:
+    /// edges where `node` is the parent first (sorted by child), then edges
+    /// where it is the child (sorted by parent). O(degree of `node`).
+    pub fn adjacent_edges(&self, node: &ObjectRef) -> Vec<MountEdge> {
+        let mut out = Vec::new();
+        if let Some(kids) = self.children.get(node) {
+            for (child, (mode, state)) in kids {
+                out.push(MountEdge {
+                    parent: node.clone(),
+                    child: child.clone(),
+                    mode: *mode,
+                    state: *state,
+                });
+            }
+        }
+        if let Some(ps) = self.parents.get(node) {
+            for (parent, (mode, state)) in ps {
+                out.push(MountEdge {
+                    parent: parent.clone(),
+                    child: node.clone(),
+                    mode: *mode,
+                    state: *state,
+                });
+            }
+        }
+        out
+    }
+
     /// Returns the parent currently holding write access over `child`, if
-    /// any (single-writer invariant: there is at most one).
+    /// any (single-writer invariant: there is at most one). O(degree): the
+    /// parent index mirrors the edge payload.
     pub fn active_parent(&self, child: &ObjectRef) -> Option<ObjectRef> {
         self.parents
             .get(child)?
             .iter()
-            .find(|p| {
-                matches!(
-                    self.edge(p, child),
-                    Some(MountEdge {
-                        state: EdgeState::Active,
-                        ..
-                    })
-                )
-            })
-            .cloned()
+            .find(|(_, (_, state))| *state == EdgeState::Active)
+            .map(|(p, _)| p.clone())
     }
 
     /// Looks up one edge.
@@ -293,7 +318,7 @@ impl DigiGraph {
         self.parents
             .entry(child.clone())
             .or_default()
-            .insert(parent.clone());
+            .insert(parent.clone(), (mode, state));
         Ok(state)
     }
 
@@ -306,10 +331,36 @@ impl DigiGraph {
         if kids.remove(child).is_none() {
             return Err(GraphError::NoSuchMount(parent.clone(), child.clone()));
         }
+        if kids.is_empty() {
+            self.children.remove(parent);
+        }
         if let Some(ps) = self.parents.get_mut(child) {
             ps.remove(parent);
+            if ps.is_empty() {
+                self.parents.remove(child);
+            }
         }
         Ok(())
+    }
+
+    /// Drops every edge with at least one endpoint in `namespace` (used
+    /// when a namespace is deleted: its digis are gone, so mounts into or
+    /// out of it are dangling). Returns the number of edges removed.
+    pub fn remove_namespace(&mut self, namespace: &str) -> usize {
+        let doomed: Vec<(ObjectRef, ObjectRef)> = self
+            .children
+            .iter()
+            .flat_map(|(parent, kids)| {
+                kids.keys()
+                    .filter(|child| parent.namespace == namespace || child.namespace == namespace)
+                    .map(|child| (parent.clone(), child.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (parent, child) in &doomed {
+            self.unmount(child, parent).expect("edge listed above");
+        }
+        doomed.len()
     }
 
     /// Yields `parent`'s write access over `child` (edge → yielded).
@@ -317,10 +368,21 @@ impl DigiGraph {
         match self.children.get_mut(parent).and_then(|k| k.get_mut(child)) {
             Some((_, state)) => {
                 *state = EdgeState::Yielded;
+                self.mirror_state(child, parent, EdgeState::Yielded);
                 Ok(())
             }
             None => Err(GraphError::NoSuchMount(parent.clone(), child.clone())),
         }
+    }
+
+    /// Keeps the child→parent payload mirror in sync after a state change.
+    fn mirror_state(&mut self, child: &ObjectRef, parent: &ObjectRef, state: EdgeState) {
+        let (_, s) = self
+            .parents
+            .get_mut(child)
+            .and_then(|ps| ps.get_mut(parent))
+            .expect("parent index mirrors children index");
+        *s = state;
     }
 
     /// Restores `parent`'s write access over `child` (edge → active).
@@ -344,6 +406,7 @@ impl DigiGraph {
         match self.children.get_mut(parent).and_then(|k| k.get_mut(child)) {
             Some((_, state)) => {
                 *state = EdgeState::Active;
+                self.mirror_state(child, parent, EdgeState::Active);
                 Ok(())
             }
             None => Err(GraphError::NoSuchMount(parent.clone(), child.clone())),
@@ -383,22 +446,41 @@ impl DigiGraph {
     pub fn verify_single_writer(&self) -> Result<(), ObjectRef> {
         for (child, parents) in &self.parents {
             let active = parents
-                .iter()
-                .filter(|p| {
-                    matches!(
-                        self.edge(p, child),
-                        Some(MountEdge {
-                            state: EdgeState::Active,
-                            ..
-                        })
-                    )
-                })
+                .values()
+                .filter(|(_, state)| *state == EdgeState::Active)
                 .count();
             if active > 1 {
                 return Err(child.clone());
             }
         }
         Ok(())
+    }
+
+    /// Verifies that the child→parent index mirrors the parent→child index
+    /// exactly (payload included). Used by tests.
+    pub fn verify_mirror(&self) -> Result<(), (ObjectRef, ObjectRef)> {
+        let forward: BTreeSet<(ObjectRef, ObjectRef, MountMode, EdgeState)> = self
+            .children
+            .iter()
+            .flat_map(|(p, kids)| {
+                kids.iter()
+                    .map(|(c, (m, s))| (p.clone(), c.clone(), *m, *s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let backward: BTreeSet<(ObjectRef, ObjectRef, MountMode, EdgeState)> = self
+            .parents
+            .iter()
+            .flat_map(|(c, ps)| {
+                ps.iter()
+                    .map(|(p, (m, s))| (p.clone(), c.clone(), *m, *s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        match forward.symmetric_difference(&backward).next() {
+            None => Ok(()),
+            Some((p, c, _, _)) => Err((p.clone(), c.clone())),
+        }
     }
 }
 
@@ -550,6 +632,67 @@ mod tests {
             .unwrap();
         assert_eq!(st, EdgeState::Active);
         assert_eq!(g.active_parent(&d("roomba")), Some(d("room-b")));
+    }
+
+    #[test]
+    fn adjacent_edges_covers_both_directions() {
+        let mut g = DigiGraph::new();
+        g.mount(&d("lamp"), &d("room"), MountMode::Expose).unwrap();
+        g.mount(&d("room"), &d("home"), MountMode::Hide).unwrap();
+        let adj = g.adjacent_edges(&d("room"));
+        assert_eq!(adj.len(), 2);
+        // Parent-side edge first, then child-side.
+        assert_eq!(
+            (adj[0].parent.clone(), adj[0].child.clone()),
+            (d("room"), d("lamp"))
+        );
+        assert_eq!(adj[0].mode, MountMode::Expose);
+        assert_eq!(
+            (adj[1].parent.clone(), adj[1].child.clone()),
+            (d("home"), d("room"))
+        );
+        assert_eq!(adj[1].mode, MountMode::Hide);
+        assert!(g.adjacent_edges(&d("nobody")).is_empty());
+        g.verify_mirror().unwrap();
+    }
+
+    #[test]
+    fn mirror_tracks_state_changes() {
+        let mut g = DigiGraph::new();
+        g.mount(&d("lamp"), &d("room"), MountMode::Expose).unwrap();
+        g.mount(&d("lamp"), &d("power-ctl"), MountMode::Expose)
+            .unwrap();
+        g.verify_mirror().unwrap();
+        g.yield_edge(&d("lamp"), &d("room")).unwrap();
+        g.unyield_edge(&d("lamp"), &d("power-ctl")).unwrap();
+        g.verify_mirror().unwrap();
+        // The child-side view reports the new states without edge() calls.
+        let adj = g.adjacent_edges(&d("lamp"));
+        let state_of = |p: &ObjectRef| {
+            adj.iter()
+                .find(|e| e.parent == *p)
+                .map(|e| e.state)
+                .unwrap()
+        };
+        assert_eq!(state_of(&d("room")), EdgeState::Yielded);
+        assert_eq!(state_of(&d("power-ctl")), EdgeState::Active);
+    }
+
+    #[test]
+    fn remove_namespace_drops_cross_namespace_edges() {
+        let mut g = DigiGraph::new();
+        let guest_lamp = ObjectRef::new("Digi", "guest", "lamp");
+        let guest_hub = ObjectRef::new("Digi", "guest", "hub");
+        g.mount(&guest_lamp, &guest_hub, MountMode::Expose).unwrap();
+        // Cross-namespace mount: default-ns home controls the guest hub.
+        g.mount(&guest_hub, &d("home"), MountMode::Expose).unwrap();
+        g.mount(&d("lamp"), &d("home"), MountMode::Expose).unwrap();
+        assert_eq!(g.remove_namespace("guest"), 2);
+        g.verify_mirror().unwrap();
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.children_of(&d("home")), vec![d("lamp")]);
+        assert!(g.adjacent_edges(&guest_hub).is_empty());
+        assert_eq!(g.remove_namespace("guest"), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent};
 use dspace_simnet::Time;
 use dspace_value::{Path, Segment, Value};
 
-use crate::graph::{DigiGraph, EdgeState, MountMode};
+use crate::graph::{DigiGraph, EdgeState, MountEdge, MountMode};
 use crate::model::{MOUNT_ACTIVE, MOUNT_YIELDED};
 use crate::trace::{Trace, TraceKind};
 
@@ -70,35 +70,19 @@ impl Mounter {
             affected.insert(ev.oref.clone());
         }
         for oref in affected {
-            let (as_child, as_parent) = {
-                let g = self.graph.borrow();
-                (g.parents_of(&oref), g.children_of(&oref))
-            };
-            for parent in as_child {
-                self.sync_edge(api, &parent, &oref, trace, now);
-            }
-            for child in as_parent {
-                self.sync_edge(api, &oref, &child, trace, now);
+            // One O(degree) pass per changed digi: the graph's endpoint
+            // index hands back full edges (payload included), so there is
+            // no per-neighbor `edge()` re-lookup.
+            let adjacent = self.graph.borrow().adjacent_edges(&oref);
+            for edge in adjacent {
+                self.sync_edge(api, edge, trace, now);
             }
         }
     }
 
     /// Synchronizes one mount edge in both directions.
-    fn sync_edge(
-        &mut self,
-        api: &mut ApiServer,
-        parent: &ObjectRef,
-        child: &ObjectRef,
-        trace: &mut Trace,
-        now: Time,
-    ) {
-        let edge = match self.graph.borrow().edge(parent, child) {
-            Some(e) => e,
-            None => {
-                self.shadows.remove(&(parent.clone(), child.clone()));
-                return;
-            }
-        };
+    fn sync_edge(&mut self, api: &mut ApiServer, edge: MountEdge, trace: &mut Trace, now: Time) {
+        let MountEdge { parent, child, .. } = &edge;
         // Parent and child may live in different namespaces (cross-tenant
         // mounts), so each side gets its own scoped client.
         let Ok(parent_obj) = api

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent, WatchEventKind};
+use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, WatchEvent, WatchEventKind};
 use dspace_reflex::Env;
 use dspace_simnet::Time;
 
@@ -107,7 +107,7 @@ impl Policer {
         let mut models = Vec::new();
         for w in &policy.watch {
             let Ok(obj) = api.get(SUBJECT, w) else { return };
-            models.push((w.name.clone(), obj.model));
+            models.push((w.name.clone(), (*obj.model).clone()));
         }
         let ctx = policy.context(&models);
         let env = Env::new().with_var("time", now_s.into());
@@ -140,7 +140,56 @@ impl Policer {
             id.to_string(),
             format!("condition -> {value}, {} action(s)", actions.len()),
         );
-        for action in actions {
+        let mut i = 0;
+        while i < actions.len() {
+            // A run of consecutive set-intent actions commits as ONE
+            // apiserver batch: a fan-out like "all tenants' lamps off"
+            // spans namespaces, so the shard executor can run the writes
+            // in parallel, while per-action results (and their order in
+            // the trace) are preserved exactly.
+            let run = i + actions[i..]
+                .iter()
+                .take_while(|a| matches!(a, PolicyAction::SetIntent { .. }))
+                .count();
+            if run - i >= 2 {
+                let ops = actions[i..run]
+                    .iter()
+                    .map(|a| {
+                        let PolicyAction::SetIntent {
+                            target,
+                            attr,
+                            value,
+                        } = a
+                        else {
+                            unreachable!("run contains only set-intent actions")
+                        };
+                        BatchOp::PatchPath {
+                            oref: target.clone(),
+                            path: format!(".control.{attr}.intent"),
+                            value: value.clone(),
+                        }
+                    })
+                    .collect();
+                for (action, result) in actions[i..run].iter().zip(api.apply_batch(SUBJECT, ops)) {
+                    match result {
+                        Ok(_) => trace.push(
+                            now,
+                            TraceKind::Composition,
+                            id.to_string(),
+                            format!("{action:?}"),
+                        ),
+                        Err(e) => trace.push(
+                            now,
+                            TraceKind::PolicyFired,
+                            id.to_string(),
+                            format!("action failed: {e}"),
+                        ),
+                    }
+                }
+                i = run;
+                continue;
+            }
+            let action = &actions[i];
             if let Err(e) = self.run_action(api, action) {
                 trace.push(
                     now,
@@ -156,6 +205,7 @@ impl Policer {
                     format!("{action:?}"),
                 );
             }
+            i += 1;
         }
     }
 
@@ -410,6 +460,68 @@ spec:
         rig.settle();
         assert_eq!(rig.graph.borrow().active_parent(&roomba), Some(room_b));
         assert!(rig.graph.borrow().edge(&room_a, &roomba).is_none());
+    }
+
+    #[test]
+    fn consecutive_set_intents_commit_as_one_batch() {
+        let mut rig = Rig::new();
+        let alarm = ObjectRef::default_ns("Alarm", "alarm");
+        rig.api
+            .create(ApiServer::ADMIN, &alarm, digi("Alarm", "alarm"))
+            .unwrap();
+        // Lamps in two tenant namespaces: the fan-out spans shards.
+        for ns in ["tenant-a", "tenant-b"] {
+            let mut m = digi("Lamp", "l1");
+            m.set(&".meta.namespace".parse().unwrap(), ns.into())
+                .unwrap();
+            rig.api
+                .create(ApiServer::ADMIN, &ObjectRef::new("Lamp", ns, "l1"), m)
+                .unwrap();
+        }
+        rig.settle();
+        let policy = yaml::parse(
+            "
+meta: {kind: Policy, name: lights-out, namespace: default}
+spec:
+  watch: [\"Alarm/default/alarm\"]
+  condition: .alarm.obs.night == true
+  on_rising:
+    - {action: set-intent, target: Lamp/tenant-a/l1, attr: power, value: \"off\"}
+    - {action: set-intent, target: Lamp/tenant-b/l1, attr: power, value: \"off\"}
+",
+        )
+        .unwrap();
+        rig.api
+            .create(
+                ApiServer::ADMIN,
+                &ObjectRef::default_ns("Policy", "lights-out"),
+                policy,
+            )
+            .unwrap();
+        rig.settle();
+        rig.api
+            .patch_path(ApiServer::ADMIN, &alarm, ".obs.night", true.into())
+            .unwrap();
+        rig.settle();
+        for ns in ["tenant-a", "tenant-b"] {
+            let v = rig
+                .api
+                .get_path(
+                    ApiServer::ADMIN,
+                    &ObjectRef::new("Lamp", ns, "l1"),
+                    ".control.power.intent",
+                )
+                .unwrap();
+            assert_eq!(v.as_str(), Some("off"), "{ns} lamp not switched off");
+        }
+        // Both actions traced as committed compositions.
+        let composed = rig
+            .trace
+            .entries()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Composition && e.detail.contains("SetIntent"))
+            .count();
+        assert_eq!(composed, 2);
     }
 
     #[test]

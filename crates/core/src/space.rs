@@ -30,6 +30,11 @@ pub struct SpaceConfig {
     pub reconcile: LatencyModel,
     /// Backoff schedule for driver→apiserver commits over faulty links.
     pub retry: RetryPolicy,
+    /// Shard worker cap for the apiserver's batch paths. `0` keeps the
+    /// process default (the `DSPACE_SHARD_THREADS` environment variable,
+    /// or 1). Any setting yields bit-identical results — this is purely a
+    /// wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for SpaceConfig {
@@ -39,6 +44,7 @@ impl Default for SpaceConfig {
             seed: 7,
             reconcile: LatencyModel::FixedMs(0.0),
             retry: RetryPolicy::default(),
+            threads: 0,
         }
     }
 }
@@ -106,6 +112,9 @@ impl Space {
         let mut world = World::new(config.links, config.seed);
         world.set_reconcile_latency(config.reconcile);
         world.set_retry_policy(config.retry);
+        if config.threads > 0 {
+            world.api.set_executor_threads(config.threads);
+        }
         Space {
             sim: Sim::new(),
             world,
@@ -328,34 +337,46 @@ impl Space {
     /// Reads `control.<attr>.status` of `"<digi>/<attr>"`.
     pub fn status(&self, spec: &str) -> Result<Value, SpaceError> {
         let (oref, attr) = self.split_spec(spec)?;
-        Ok(self
-            .world
-            .api
-            .get_path(ApiServer::ADMIN, &oref, &format!(".control.{attr}.status"))?)
+        self.read_oref(&oref, &format!(".control.{attr}.status"))
     }
 
     /// Reads `control.<attr>.intent` of `"<digi>/<attr>"`.
     pub fn intent(&self, spec: &str) -> Result<Value, SpaceError> {
         let (oref, attr) = self.split_spec(spec)?;
-        Ok(self
-            .world
-            .api
-            .get_path(ApiServer::ADMIN, &oref, &format!(".control.{attr}.intent"))?)
+        self.read_oref(&oref, &format!(".control.{attr}.intent"))
     }
 
     /// Reads `obs.<attr>` of `"<digi>/<attr>"`.
     pub fn obs(&self, spec: &str) -> Result<Value, SpaceError> {
         let (oref, attr) = self.split_spec(spec)?;
-        Ok(self
-            .world
-            .api
-            .get_path(ApiServer::ADMIN, &oref, &format!(".obs.{attr}"))?)
+        self.read_oref(&oref, &format!(".obs.{attr}"))
     }
 
     /// Reads an arbitrary model path of a digi by name.
     pub fn read(&self, name: &str, path: &str) -> Result<Value, SpaceError> {
         let oref = self.resolve(name)?;
-        Ok(self.world.api.get_path(ApiServer::ADMIN, &oref, path)?)
+        self.read_oref(&oref, path)
+    }
+
+    fn read_oref(&self, oref: &ObjectRef, path: &str) -> Result<Value, SpaceError> {
+        Ok(self
+            .world
+            .api
+            .reader(ApiServer::ADMIN)
+            .namespace(&oref.namespace)
+            .get_path(&oref.kind, &oref.name, path)?)
+    }
+
+    /// Deletes every digi in `namespace` (multi-tenant teardown): models
+    /// are deleted one by one — watchers observe terminal `Deleted` events
+    /// with the §3.5 guarantee intact — and the namespace's shard, drivers,
+    /// devices, and mount edges are released. Returns the number of digis
+    /// deleted.
+    pub fn delete_namespace(&mut self, namespace: &str) -> Result<u64, SpaceError> {
+        let deleted = self.world.delete_namespace(namespace)?;
+        self.names.retain(|_, oref| oref.namespace != namespace);
+        self.pump();
+        Ok(deleted)
     }
 
     /// Injects a physical-world event on a digi (manual switch flip, etc.).

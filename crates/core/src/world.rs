@@ -20,7 +20,7 @@ use dspace_apiserver::{
     ApiServer, CoalescedEvent, ObjectRef, Role, Rule, Verb, WatchId, WatchSelector,
 };
 use dspace_simnet::{Delivery, LatencyModel, Link, Metrics, RetryPolicy, Rng, Sim};
-use dspace_value::{KindSchema, Value};
+use dspace_value::{KindSchema, Shared, Value};
 
 use crate::actuator::Actuator;
 use crate::driver::{Driver, Effect};
@@ -60,7 +60,7 @@ pub struct DriverRuntime {
     /// Authenticated subject of this driver.
     pub subject: String,
     driver: Driver,
-    last_model: Rc<Value>,
+    last_model: Shared<Value>,
     last_written: Option<u64>,
 }
 
@@ -68,7 +68,7 @@ pub struct DriverRuntime {
 /// visible to the user (the BPT endpoint of Figure 7).
 #[derive(Default)]
 struct UserCli {
-    cache: BTreeMap<ObjectRef, Rc<Value>>,
+    cache: BTreeMap<ObjectRef, Shared<Value>>,
 }
 
 enum Component {
@@ -126,6 +126,11 @@ pub struct World {
     /// The apiserver (object store + admission + RBAC).
     pub api: ApiServer,
     /// The digi-graph, shared with the topology webhook.
+    ///
+    /// Deliberately `Rc`, not [`Shared`]: the graph is coordinator-only
+    /// state. Admission (and thus every webhook) runs on the control
+    /// thread before ops are handed to the shard executor, so the graph is
+    /// never touched from a shard worker and needs no `Send` bound.
     pub graph: Rc<RefCell<DigiGraph>>,
     /// Deterministic randomness for links and devices.
     pub rng: Rng,
@@ -333,6 +338,26 @@ impl World {
         }
     }
 
+    /// Deletes a whole namespace: every digi model in it is deleted (each
+    /// watcher observes a terminal `Deleted` event, gap-free), its shard is
+    /// dropped once drained, devices are detached, and mount edges with an
+    /// endpoint in the namespace are GC'd from the digi-graph.
+    ///
+    /// Driver slots for the deleted digis stay registered but go silent:
+    /// the apiserver cancels their (namespace-homed) subscriptions as part
+    /// of the namespace teardown, so they can never wake again.
+    pub fn delete_namespace(&mut self, ns: &str) -> Result<u64, dspace_apiserver::ApiError> {
+        let deleted = self.api.delete_namespace(ApiServer::ADMIN, ns)?;
+        // Edges where the deleted digis were *children* live in their
+        // parents' models and survive the per-object deletes; sweep them.
+        self.graph.borrow_mut().remove_namespace(ns);
+        // Detached devices stop re-arming: the next periodic tick finds no
+        // actuator entry and does not reschedule.
+        self.actuators.retain(|oref, _| oref.namespace != ns);
+        self.namespaces.remove(ns);
+        Ok(deleted)
+    }
+
     fn subscribe(&mut self, i: usize, kind: &str, ns: &str) {
         self.api
             .add_watch_selector(
@@ -365,8 +390,8 @@ impl World {
         let last_model = self
             .api
             .get(ApiServer::ADMIN, &oref)
-            .map(|o| Rc::new(o.model))
-            .unwrap_or_else(|_| Rc::new(Value::Null));
+            .map(|o| o.model)
+            .unwrap_or_else(|_| Shared::new(Value::Null));
         let link = self.links.driver.clone();
         self.add_slot(
             &format!("driver:{}", oref.name),
@@ -535,7 +560,7 @@ impl World {
                         .cache
                         .get(&ev.oref)
                         .cloned()
-                        .unwrap_or_else(|| Rc::new(Value::Null));
+                        .unwrap_or_else(|| Shared::new(Value::Null));
                     let changes = dspace_value::diff(&old, &ev.model);
                     let detail = changes
                         .iter()
@@ -736,7 +761,7 @@ impl World {
                 ) {
                 Ok(rv) => {
                     rt.last_written = Some(rv);
-                    rt.last_model = Rc::new(commit.model);
+                    rt.last_model = Shared::new(commit.model);
                 }
                 Err(dspace_apiserver::ApiError::Conflict { .. }) => {
                     self.metrics.count("reconcile_conflicts", 1);
@@ -805,7 +830,7 @@ impl World {
             .api
             .get(ApiServer::ADMIN, &oref)
             .map(|o| o.model)
-            .unwrap_or(Value::Null);
+            .unwrap_or_else(|_| Shared::new(Value::Null));
         let acts = actuator.step(sim.now(), &model, &mut self.rng);
         let name = actuator.name().to_string();
         let interval = actuator.poll_interval();

@@ -66,6 +66,7 @@ impl Dq {
             "unyield" => self.cmd_yield(&parts, false),
             "pipe" => self.cmd_pipe(&parts),
             "run" => self.cmd_run(&parts),
+            "rmns" => self.cmd_rmns(&parts),
             "alias" => self.cmd_alias(&parts),
             "graph" => Ok(self.cmd_graph()),
             "list" => Ok(self.cmd_list()),
@@ -101,6 +102,17 @@ impl Dq {
         Ok(format!("running {oref}"))
     }
 
+    /// `dq rmns <namespace>`: tears down a whole namespace — every digi in
+    /// it is deleted and its shard, drivers, devices, and mounts released.
+    fn cmd_rmns(&mut self, parts: &[&str]) -> Result<String, String> {
+        let [_, ns] = parts else {
+            return Err("usage: rmns <namespace>".into());
+        };
+        let deleted = self.space.delete_namespace(ns).map_err(|e| e.to_string())?;
+        self.space.run_for_ms(100);
+        Ok(format!("namespace {ns} deleted ({deleted} digis)"))
+    }
+
     /// `dq alias <short> <digi>`: a local shorthand for later commands.
     fn cmd_alias(&mut self, parts: &[&str]) -> Result<String, String> {
         match parts {
@@ -131,7 +143,9 @@ impl Dq {
             .space
             .world
             .api
-            .get(dspace_apiserver::ApiServer::ADMIN, &oref)
+            .reader(dspace_apiserver::ApiServer::ADMIN)
+            .namespace(&oref.namespace)
+            .get(&oref.kind, &oref.name)
             .map_err(|e| e.to_string())?;
         let v = obj.model.get_path(&path).cloned().unwrap_or(Value::Null);
         // Models render as YAML, matching the paper's presentation (Fig. 1).
@@ -270,6 +284,7 @@ dq — dSpace command line (simulated space)
   unyield <child> <parent>        restore the parent's write access
   pipe <digi>.<out> <digi>.<in>   create a data flow
   run <Kind> <name>               create a digi with its catalogue driver
+  rmns <namespace>                delete every digi in a namespace
   alias [<short> <digi>]          define or list name shorthands
   graph                           show the digi-graph
   list                            list all API objects
@@ -355,6 +370,17 @@ mod tests {
         assert!(out.contains("Plug"), "{out}");
         let out = text(dq.exec("alias"));
         assert!(out.contains("p -> plug9"), "{out}");
+    }
+
+    #[test]
+    fn rmns_tears_down_namespace() {
+        let mut dq = Dq::with_s1();
+        let out = text(dq.exec("rmns default"));
+        assert!(out.contains("namespace default deleted"), "{out}");
+        assert!(text(dq.exec("get l1")).contains("error"));
+        assert!(!text(dq.exec("list")).contains("Room/default/lvroom"));
+        assert_eq!(text(dq.exec("graph")), "(empty digi-graph)");
+        assert!(text(dq.exec("rmns")).contains("usage"));
     }
 
     #[test]

@@ -326,7 +326,11 @@ pub fn encoded_len(value: &Value) -> usize {
     }
 }
 
-fn string_encoded_len(s: &str) -> usize {
+/// Returns the byte length of the compact serialization of `s` as a JSON
+/// string (quotes and escapes included). Exposed so callers maintaining an
+/// incremental [`encoded_len`] for a mutating document can account for a
+/// key insertion without serializing anything.
+pub fn string_encoded_len(s: &str) -> usize {
     2 + s
         .chars()
         .map(|c| match c {

@@ -41,6 +41,14 @@ pub use path::{Path, Segment};
 pub use schema::{AttrType, KindSchema, SchemaError};
 pub use value::{Value, ValueError};
 
+/// Reference-counted shared snapshot of a model document.
+///
+/// Model snapshots are shared between the store, its event logs, and every
+/// watcher that receives them; `Shared` is the one place that choice is
+/// spelled. It is `Arc` (not `Rc`) so shard state that holds snapshots is
+/// `Send` and can live on a per-shard worker thread.
+pub type Shared<T = Value> = std::sync::Arc<T>;
+
 /// Convenience constructor for an empty object value.
 pub fn obj() -> Value {
     Value::Object(Default::default())
