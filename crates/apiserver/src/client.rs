@@ -10,8 +10,9 @@ use dspace_value::Value;
 
 use crate::error::ApiError;
 use crate::object::{Object, ObjectRef};
+use crate::rbac::Verb;
 use crate::server::ApiServer;
-use crate::store::{CoalescedEvent, WatchEvent, WatchId, WatchSelector};
+use crate::store::{CoalescedEvent, StoreSnapshot, WatchEvent, WatchId, WatchSelector};
 
 /// A client handle bound to one subject. Borrow the server mutably, pick a
 /// namespace, issue verbs, and drop it; the borrow is as short as a direct
@@ -171,14 +172,24 @@ impl NamespacedClient<'_> {
 /// A read-only client handle bound to one subject. Unlike [`Client`] this
 /// borrows the server immutably, so many readers can coexist (and a reader
 /// can be held while inspecting results of a previous mutation).
+///
+/// Reads are served from a [`StoreSnapshot`] taken when the handle is
+/// created: they are consistent as of that commit boundary, never touch
+/// the store's own accessors, and therefore never contend with the write
+/// coordinator. RBAC is still enforced per read.
 pub struct ReadClient<'a> {
     api: &'a ApiServer,
+    snap: StoreSnapshot,
     subject: String,
 }
 
 impl<'a> ReadClient<'a> {
     pub(crate) fn new(api: &'a ApiServer, subject: String) -> Self {
-        ReadClient { api, subject }
+        ReadClient {
+            snap: api.snapshot(),
+            api,
+            subject,
+        }
     }
 
     /// The subject this handle acts as.
@@ -190,15 +201,18 @@ impl<'a> ReadClient<'a> {
     pub fn namespace(self, namespace: impl Into<String>) -> NamespacedReadClient<'a> {
         NamespacedReadClient {
             api: self.api,
+            snap: self.snap,
             subject: self.subject,
             namespace: namespace.into(),
         }
     }
 }
 
-/// A read-only handle bound to one subject *and* one namespace.
+/// A read-only handle bound to one subject *and* one namespace, serving
+/// reads from the snapshot its parent [`ReadClient`] pinned.
 pub struct NamespacedReadClient<'a> {
     api: &'a ApiServer,
+    snap: StoreSnapshot,
     subject: String,
     namespace: String,
 }
@@ -219,24 +233,55 @@ impl NamespacedReadClient<'_> {
         ObjectRef::new(kind, self.namespace.clone(), name)
     }
 
-    /// Reads an object.
+    fn authorize(&self, verb: Verb, oref: &ObjectRef) -> Result<(), ApiError> {
+        if self.api.rbac().authorize(&self.subject, verb, oref) {
+            Ok(())
+        } else {
+            Err(ApiError::Forbidden {
+                subject: self.subject.clone(),
+                reason: format!("{verb:?} on {oref} not permitted"),
+            })
+        }
+    }
+
+    /// Reads an object (as of the handle's snapshot).
     pub fn get(&self, kind: &str, name: &str) -> Result<Object, ApiError> {
-        self.api.get(&self.subject, &self.oref(kind, name))
+        let oref = self.oref(kind, name);
+        self.authorize(Verb::Get, &oref)?;
+        self.snap
+            .get(&oref)
+            .cloned()
+            .ok_or(ApiError::NotFound(oref))
     }
 
     /// Reads a single attribute from an object's model.
     pub fn get_path(&self, kind: &str, name: &str, path: &str) -> Result<Value, ApiError> {
-        self.api
-            .get_path(&self.subject, &self.oref(kind, name), path)
+        let obj = self.get(kind, name)?;
+        Ok(obj.model.get_path(path).cloned().unwrap_or(Value::Null))
     }
 
-    /// Lists objects of a kind in this namespace.
+    /// Lists objects of a kind in this namespace (as of the snapshot).
     pub fn list(&self, kind: &str) -> Result<Vec<Object>, ApiError> {
-        self.api
-            .list_namespaced(&self.subject, kind, &self.namespace)
+        let probe = ObjectRef::new(kind, self.namespace.clone(), "*");
+        self.authorize(Verb::List, &probe)
+            .map_err(|_| ApiError::Forbidden {
+                subject: self.subject.clone(),
+                reason: format!(
+                    "List on kind {kind} in namespace {} not permitted",
+                    self.namespace
+                ),
+            })?;
+        Ok(self
+            .snap
+            .list_in(kind, &self.namespace)
+            .into_iter()
+            .cloned()
+            .collect())
     }
 
-    /// Returns `true` if the subscription has undelivered events.
+    /// Returns `true` if the subscription has undelivered events. This is
+    /// watch state, not object state: it is read live, not from the
+    /// snapshot.
     pub fn has_pending(&self, id: WatchId) -> bool {
         self.api.has_pending(id)
     }

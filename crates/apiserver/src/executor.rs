@@ -1,4 +1,5 @@
-//! Parallel shard executor: thread-per-shard up to a configurable cap.
+//! Parallel shard executor: a persistent worker pool, thread-per-shard up
+//! to a configurable cap.
 //!
 //! Namespace shards are structurally independent (PR 2), which makes them
 //! the unit of parallelism: a mutation batch that spans namespaces can run
@@ -7,13 +8,23 @@
 //! per-shard outcomes in a deterministic (shard-name) order.
 //!
 //! The executor is deliberately dumb: it knows nothing about stores or
-//! shards, only how to map `Send` work items across up to `threads` scoped
-//! worker threads. Determinism falls out of the structure around it — each
-//! item is a whole shard (so per-shard event order is the ticket order the
+//! shards, only how to map `Send` work items across up to `threads` worker
+//! threads. Determinism falls out of the structure around it — each item is
+//! a whole shard (so per-shard event order is the ticket order the
 //! coordinator assigned), items never share state, and results come back in
 //! item order regardless of which thread ran them or how they interleaved.
+//!
+//! Workers are *pooled*: they are spawned lazily on the first batch that
+//! needs more than one lane, then parked on their per-lane channels between
+//! batches. A pump loop committing thousands of small cross-namespace
+//! batches pays the thread-spawn cost once, not once per batch. Resizing
+//! the cap (or dropping the executor) drains the channels and joins every
+//! worker; a single-lane batch never touches the pool at all.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 
 /// Environment variable configuring the shard worker cap for a process.
 ///
@@ -22,17 +33,93 @@ use std::num::NonZeroUsize;
 /// keeps tests and single-threaded tools deterministic-by-default.
 pub const SHARD_THREADS_ENV: &str = "DSPACE_SHARD_THREADS";
 
+/// A unit of pooled work: one lane's item slice, type-erased so the same
+/// long-lived worker can serve batches of any item/result type.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One parked worker: its job channel plus the handle to join on shutdown.
+#[derive(Debug)]
+struct Worker {
+    tx: mpsc::Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The persistent lane workers. Lane 0 is always the coordinator thread,
+/// so a pool serving `threads` lanes holds `threads - 1` workers.
+#[derive(Debug)]
+struct WorkerPool {
+    workers: Vec<Worker>,
+    /// Live worker threads; each worker decrements it on exit, so tests
+    /// can observe that a dropped pool joined cleanly.
+    live: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    fn new() -> Self {
+        WorkerPool {
+            workers: Vec::new(),
+            live: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Grows the pool to at least `n` workers (never shrinks; shrinking
+    /// happens by dropping the whole pool on a cap change).
+    fn ensure(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let live = Arc::clone(&self.live);
+            live.fetch_add(1, Ordering::SeqCst);
+            let handle = std::thread::Builder::new()
+                .name(format!("dspace-shard-{}", self.workers.len() + 1))
+                .spawn(move || {
+                    // Park on the channel between batches; a dropped sender
+                    // is the shutdown signal.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("spawn shard worker");
+            self.workers.push(Worker {
+                tx,
+                handle: Some(handle),
+            });
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close every channel first so all workers unpark, then join.
+        for w in &mut self.workers {
+            let (closed, _) = mpsc::channel::<Job>();
+            w.tx = closed;
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                h.join().expect("shard worker panicked");
+            }
+        }
+    }
+}
+
 /// Maps work items across up to a fixed number of worker threads.
 ///
 /// With more items than threads, items are multiplexed round-robin onto the
 /// workers (item `i` runs on lane `i % workers`), each lane running its
 /// items in order. With `threads <= 1` (or a single item) everything runs
-/// inline on the caller's thread — no spawn, no overhead, and trivially
+/// inline on the caller's thread — no pool, no channels, and trivially
 /// bit-identical to the multi-threaded schedule because items are
 /// independent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct ShardExecutor {
     threads: usize,
+    /// Lazily created on the first multi-lane batch; parked between
+    /// batches; dropped (joining its threads) on resize and on drop.
+    pool: Option<WorkerPool>,
+    /// Benchmarking baseline: when set, multi-lane batches spawn scoped
+    /// threads per batch (the pre-pool behavior) instead of using the pool.
+    spawn_per_batch: bool,
 }
 
 impl Default for ShardExecutor {
@@ -42,10 +129,13 @@ impl Default for ShardExecutor {
 }
 
 impl ShardExecutor {
-    /// Creates an executor with a worker cap (clamped to at least 1).
+    /// Creates an executor with a worker cap (clamped to at least 1). No
+    /// threads are spawned until a batch actually needs them.
     pub fn new(threads: usize) -> Self {
         ShardExecutor {
             threads: threads.max(1),
+            pool: None,
+            spawn_per_batch: false,
         }
     }
 
@@ -64,20 +154,46 @@ impl ShardExecutor {
         self.threads
     }
 
-    /// Changes the worker cap (clamped to at least 1).
+    /// Changes the worker cap (clamped to at least 1). The existing pool is
+    /// shut down — every worker joins — and a right-sized one is built
+    /// lazily on the next multi-lane batch.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        let threads = threads.max(1);
+        if threads != self.threads {
+            self.threads = threads;
+            self.pool = None;
+        }
+    }
+
+    /// Number of pooled worker threads currently alive (0 while the pool
+    /// is cold). Diagnostics/bench: `> 0` means the pool is warm.
+    pub fn pooled_workers(&self) -> usize {
+        self.pool
+            .as_ref()
+            .map(|p| p.live.load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    /// Benchmarking baseline knob: `true` restores the pre-pool behavior of
+    /// spawning scoped threads for every multi-lane batch. Results are
+    /// bit-identical either way; only wall-clock differs.
+    pub fn set_spawn_per_batch(&mut self, spawn: bool) {
+        self.spawn_per_batch = spawn;
+        if spawn {
+            self.pool = None;
+        }
     }
 
     /// Runs `work` over every item, returning results in item order.
     ///
     /// Items are distributed round-robin over `min(threads, items)` lanes;
-    /// lane 0 runs on the calling thread so a single-lane run never spawns.
-    pub fn run<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
+    /// lane 0 runs on the calling thread, so a single-lane run touches
+    /// neither the pool nor any channel (and never spawns).
+    pub fn run<T, R, F>(&mut self, items: Vec<T>, work: F) -> Vec<R>
     where
-        T: Send,
-        R: Send,
-        F: Fn(T) -> R + Sync,
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
     {
         let workers = self.threads.min(items.len());
         if workers <= 1 {
@@ -87,29 +203,74 @@ impl ShardExecutor {
         for (i, item) in items.into_iter().enumerate() {
             lanes[i % workers].push((i, item));
         }
+        if self.spawn_per_batch {
+            return run_scoped(lanes, work);
+        }
+        let pool = self.pool.get_or_insert_with(WorkerPool::new);
+        pool.ensure(workers - 1);
+        let work = Arc::new(work);
+        let (done_tx, done_rx) = mpsc::channel::<Vec<(usize, R)>>();
+        let mut rest = lanes.drain(1..);
+        for worker in &pool.workers[..workers - 1] {
+            let lane = rest.next().expect("one lane per dispatched worker");
+            let work = Arc::clone(&work);
+            let done = done_tx.clone();
+            let job: Job = Box::new(move || {
+                let out: Vec<(usize, R)> =
+                    lane.into_iter().map(|(i, item)| (i, work(item))).collect();
+                let _ = done.send(out);
+            });
+            worker.tx.send(job).expect("shard worker channel open");
+        }
+        drop(done_tx);
+        drop(rest);
+        // Lane 0 runs here: the coordinator thread is a worker too.
         let mut indexed: Vec<(usize, R)> = Vec::new();
-        let work = &work;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut rest = lanes.drain(1..).collect::<Vec<_>>();
-            for lane in rest.drain(..) {
-                handles.push(scope.spawn(move || {
-                    lane.into_iter()
-                        .map(|(i, item)| (i, work(item)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            // Lane 0 runs here: the coordinator thread is a worker too.
-            for (i, item) in lanes.remove(0) {
-                indexed.push((i, work(item)));
-            }
-            for h in handles {
-                indexed.extend(h.join().expect("shard worker panicked"));
-            }
-        });
+        for (i, item) in lanes.remove(0) {
+            indexed.push((i, work(item)));
+        }
+        for _ in 0..workers - 1 {
+            indexed.extend(done_rx.recv().expect("shard worker panicked"));
+        }
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
     }
+
+    #[cfg(test)]
+    fn liveness_handle(&mut self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.pool.get_or_insert_with(WorkerPool::new).live)
+    }
+}
+
+/// The pre-pool execution strategy: scoped threads spawned per batch. Kept
+/// as a measurable baseline for the pump-throughput bench.
+fn run_scoped<T, R, F>(mut lanes: Vec<Vec<(usize, T)>>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut indexed: Vec<(usize, R)> = Vec::new();
+    let work = &work;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = lanes.drain(1..).collect::<Vec<_>>();
+        for lane in rest.drain(..) {
+            handles.push(scope.spawn(move || {
+                lane.into_iter()
+                    .map(|(i, item)| (i, work(item)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for (i, item) in lanes.remove(0) {
+            indexed.push((i, work(item)));
+        }
+        for h in handles {
+            indexed.extend(h.join().expect("shard worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// The machine's available parallelism (1 if unknown).
@@ -122,11 +283,13 @@ pub fn available_parallelism() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::thread::ThreadId;
 
     #[test]
     fn results_come_back_in_item_order() {
         for threads in [1, 2, 4, 8] {
-            let ex = ShardExecutor::new(threads);
+            let mut ex = ShardExecutor::new(threads);
             let items: Vec<usize> = (0..37).collect();
             let out = ex.run(items, |i| i * 2);
             assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
@@ -135,10 +298,12 @@ mod tests {
 
     #[test]
     fn empty_and_single_item_run_inline() {
-        let ex = ShardExecutor::new(8);
+        let mut ex = ShardExecutor::new(8);
         let empty: Vec<u32> = Vec::new();
         assert!(ex.run(empty, |i| i).is_empty());
         assert_eq!(ex.run(vec![7u32], |i| i + 1), vec![8]);
+        // Inline runs never warm the pool.
+        assert_eq!(ex.pooled_workers(), 0);
     }
 
     #[test]
@@ -150,7 +315,7 @@ mod tests {
     #[test]
     fn mutating_owned_state_is_safe_per_lane() {
         // Each item owns its state; workers only touch disjoint items.
-        let ex = ShardExecutor::new(4);
+        let mut ex = ShardExecutor::new(4);
         let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i]).collect();
         let out = ex.run(items, |mut v| {
             v.push(v[0] * 10);
@@ -159,5 +324,66 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(v, &vec![i as u64, i as u64 * 10]);
         }
+    }
+
+    #[test]
+    fn scoped_baseline_matches_pooled_results() {
+        let mut pooled = ShardExecutor::new(4);
+        let mut scoped = ShardExecutor::new(4);
+        scoped.set_spawn_per_batch(true);
+        let items: Vec<usize> = (0..23).collect();
+        assert_eq!(
+            pooled.run(items.clone(), |i| i * 3),
+            scoped.run(items, |i| i * 3)
+        );
+        assert_eq!(scoped.pooled_workers(), 0, "scoped mode never pools");
+    }
+
+    /// Runs a batch and records which thread served each item.
+    fn thread_ids(ex: &mut ShardExecutor, items: usize) -> Vec<ThreadId> {
+        ex.run((0..items).collect(), |_| std::thread::current().id())
+    }
+
+    #[test]
+    fn pool_reuses_the_same_threads_across_batches() {
+        let mut ex = ShardExecutor::new(3);
+        let first = thread_ids(&mut ex, 12);
+        assert_eq!(ex.pooled_workers(), 2, "two workers beside the caller");
+        let second = thread_ids(&mut ex, 12);
+        // Item i runs on lane i % workers, and each lane is pinned to one
+        // pooled thread: the schedule is identical batch over batch.
+        assert_eq!(first, second, "lanes must stay pinned to their threads");
+        let distinct: HashSet<ThreadId> = first.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "3 lanes on 3 distinct threads");
+        assert!(
+            first.contains(&std::thread::current().id()),
+            "lane 0 runs on the coordinator"
+        );
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let mut ex = ShardExecutor::new(4);
+        let _ = thread_ids(&mut ex, 8);
+        let live = ex.liveness_handle();
+        assert_eq!(live.load(Ordering::SeqCst), 3);
+        drop(ex);
+        // Drop joins synchronously, so by now every worker has exited.
+        assert_eq!(live.load(Ordering::SeqCst), 0, "drop must join workers");
+    }
+
+    #[test]
+    fn resize_shuts_down_and_rebuilds_the_pool() {
+        let mut ex = ShardExecutor::new(4);
+        let _ = thread_ids(&mut ex, 8);
+        let live = ex.liveness_handle();
+        assert_eq!(live.load(Ordering::SeqCst), 3);
+        ex.set_threads(2);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "resize joins old workers");
+        assert_eq!(ex.pooled_workers(), 0, "pool is cold after resize");
+        let ids = thread_ids(&mut ex, 8);
+        let distinct: HashSet<ThreadId> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 2, "rebuilt at the new cap");
+        assert_eq!(ex.pooled_workers(), 1);
     }
 }

@@ -54,5 +54,6 @@ pub use object::{Object, ObjectRef};
 pub use rbac::{Role, RoleBinding, Rule, Verb};
 pub use server::{ApiServer, BatchOp};
 pub use store::{
-    CoalescedEvent, StoreOp, WatchEvent, WatchEventKind, WatchId, WatchSelector, WatchStats,
+    stamp_gen, CoalescedEvent, StoreOp, StoreSnapshot, WatchEvent, WatchEventKind, WatchId,
+    WatchSelector, WatchStats,
 };

@@ -11,7 +11,8 @@ use crate::error::ApiError;
 use crate::object::{Object, ObjectRef};
 use crate::rbac::{Rbac, Role, Rule, Verb};
 use crate::store::{
-    stamp_gen, CoalescedEvent, Store, StoreOp, WatchEvent, WatchId, WatchSelector, WatchStats,
+    stamp_gen, CoalescedEvent, Store, StoreOp, StoreSnapshot, WatchEvent, WatchId, WatchSelector,
+    WatchStats,
 };
 
 /// A post-commit webhook notification queued by the prepared batch path:
@@ -725,6 +726,26 @@ impl ApiServer {
         self.store.list_all().into_iter().cloned().collect()
     }
 
+    /// Takes a consistent, immutable snapshot of the whole store (see
+    /// [`Store::snapshot`](crate::store::Store::snapshot)): O(shards), no
+    /// model copies, detached from the server's borrow. This is the read
+    /// path for CLIs and scenario readers — a reader chewing on a snapshot
+    /// can never stall the write coordinator.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.store.snapshot()
+    }
+
+    /// Reads ever served by snapshots of this server's store.
+    pub fn snapshot_reads(&self) -> u64 {
+        self.store.snapshot_reads()
+    }
+
+    /// Reads ever served through the store's own accessors (on the
+    /// coordinator's borrow).
+    pub fn direct_reads(&self) -> u64 {
+        self.store.direct_reads()
+    }
+
     /// Opens a scoped client handle acting as `subject`. Chain with
     /// [`Client::namespace`] to get a
     /// [`NamespacedClient`](crate::client::NamespacedClient) whose verbs
@@ -751,6 +772,17 @@ impl ApiServer {
     /// setting; this only changes how many shards commit concurrently.
     pub fn set_executor_threads(&mut self, threads: usize) {
         self.store.set_executor_threads(threads)
+    }
+
+    /// Number of pooled shard-worker threads currently alive.
+    pub fn pooled_workers(&self) -> usize {
+        self.store.pooled_workers()
+    }
+
+    /// Benchmarking baseline knob: spawn scoped threads per batch instead
+    /// of using the persistent pool. Bit-identical results.
+    pub fn set_executor_spawn_per_batch(&mut self, spawn: bool) {
+        self.store.set_executor_spawn_per_batch(spawn)
     }
 }
 

@@ -6,8 +6,10 @@
 //! watchers, so tenants cannot contend — the structural prerequisite for
 //! running controllers on separate threads.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use dspace_value::{json, Path, Segment, Shared, Value, ValueError};
 
@@ -173,6 +175,8 @@ struct ShardTally {
     compacted: u64,
     /// High-water mark of this shard's log during the batch.
     peak_log_len: usize,
+    /// Batch-end compaction passes run for this slice (0 or 1).
+    compaction_passes: u64,
     /// Pending-count deltas per interested watcher.
     deltas: BTreeMap<WatchId, PendingDelta>,
 }
@@ -187,7 +191,14 @@ struct ShardTally {
 #[derive(Debug, Default)]
 struct Shard {
     /// The namespace's objects, keyed by full reference.
-    objects: BTreeMap<ObjectRef, Object>,
+    ///
+    /// The map lives behind an `Arc` so [`Store::snapshot`] can publish it
+    /// to readers in O(1). Mutations go through [`Arc::make_mut`]: while no
+    /// snapshot holds the map the write is in place (free), and when one
+    /// does, the map is cloned once — every entry's model is itself a
+    /// [`Shared`] value, so the clone is shallow — and the snapshot keeps
+    /// observing exactly the batch-boundary state it was taken at.
+    objects: Arc<BTreeMap<ObjectRef, Object>>,
     /// Serialized size of each object's current model, maintained across
     /// mutations so the batch path can update notification byte counts
     /// with delta arithmetic instead of re-encoding whole documents.
@@ -218,6 +229,13 @@ const _: fn() = || {
 };
 
 impl Shard {
+    /// Mutable view of the object map. Copy-on-write against snapshots:
+    /// in place while unshared, one shallow map clone when a live
+    /// [`StoreSnapshot`] still holds the previous index.
+    fn objects_mut(&mut self) -> &mut BTreeMap<ObjectRef, Object> {
+        Arc::make_mut(&mut self.objects)
+    }
+
     /// Registers a selector for `id`; a first registration creates the
     /// member with `cursor` (existing members keep their position).
     fn register(&mut self, id: WatchId, selector: &WatchSelector, cursor: u64) {
@@ -299,6 +317,12 @@ pub struct WatchStats {
     /// Raw events absorbed into an earlier delivery of the same object by
     /// coalescing (`raw - deliveries`, summed over polls).
     pub events_coalesced: u64,
+    /// Batch-end compaction passes run by [`Store::apply_batch`] workers
+    /// (one per shard slice per batch). A controller that batches its
+    /// writes pays at most one of these per shard per pump cycle; a
+    /// controller issuing per-op writes pays none here but loses the
+    /// amortization (serial verbs compact at poll time instead).
+    pub batch_compaction_passes: u64,
 }
 
 /// The persistent store: objects plus the per-namespace event logs.
@@ -329,6 +353,14 @@ pub struct Store {
     stats: WatchStats,
     /// Runs per-shard batch slices, possibly on worker threads.
     executor: ShardExecutor,
+    /// Reads served through the store itself (`get`/`list`/...), i.e. on
+    /// the coordinator's borrow. The snapshot read path must keep this
+    /// flat — that is what "readers never contend with the write
+    /// coordinator" means operationally, and tests assert it.
+    direct_reads: Cell<u64>,
+    /// Reads served by detached [`StoreSnapshot`] handles. The counter is
+    /// shared with every snapshot ever taken from this store.
+    snapshot_reads: Arc<AtomicU64>,
 }
 
 /// One mutation of a batch, addressed to the shard owning its object.
@@ -406,8 +438,54 @@ impl Store {
 
     /// Sets the shard worker cap (clamped to at least 1). Results are
     /// bit-identical at any setting; this only trades latency for threads.
+    /// The executor's persistent pool is shut down (every worker joins)
+    /// and rebuilt lazily at the new cap.
     pub fn set_executor_threads(&mut self, threads: usize) {
         self.executor.set_threads(threads);
+    }
+
+    /// Number of pooled worker threads currently alive (0 while cold).
+    pub fn pooled_workers(&self) -> usize {
+        self.executor.pooled_workers()
+    }
+
+    /// Benchmarking baseline knob: `true` restores spawn-per-batch scoped
+    /// threads instead of the persistent pool. Bit-identical results.
+    pub fn set_executor_spawn_per_batch(&mut self, spawn: bool) {
+        self.executor.set_spawn_per_batch(spawn);
+    }
+
+    /// Takes a consistent, immutable snapshot of every object in the
+    /// store, detached from the store's borrow: O(shards) `Arc` clones,
+    /// no model copies.
+    ///
+    /// The snapshot observes exactly the state at the last commit
+    /// boundary — never a half-applied batch, because the per-shard
+    /// indexes it pins are only ever replaced (copy-on-write) by whole
+    /// committed mutations. Reads against it are counted in
+    /// [`Store::snapshot_reads`], not [`Store::direct_reads`].
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|(ns, s)| (ns.clone(), Arc::clone(&s.objects)))
+                .collect(),
+            revision: self.committed_total,
+            reads: Arc::clone(&self.snapshot_reads),
+        }
+    }
+
+    /// Reads ever served by [`StoreSnapshot`] handles of this store.
+    pub fn snapshot_reads(&self) -> u64 {
+        self.snapshot_reads.load(Ordering::Relaxed)
+    }
+
+    /// Reads ever served through the store's own accessors (i.e. on the
+    /// coordinator's borrow). Hot read paths ported onto snapshots keep
+    /// this flat; tests assert it.
+    pub fn direct_reads(&self) -> u64 {
+        self.direct_reads.get()
     }
 
     /// Returns the current global revision (total committed events across
@@ -418,11 +496,13 @@ impl Store {
 
     /// Returns the stored object, if present.
     pub fn get(&self, oref: &ObjectRef) -> Option<&Object> {
+        self.direct_reads.set(self.direct_reads.get() + 1);
         self.shards.get(&oref.namespace)?.objects.get(oref)
     }
 
     /// Lists objects of `kind` across namespaces (sorted by namespace/name).
     pub fn list(&self, kind: &str) -> Vec<&Object> {
+        self.direct_reads.set(self.direct_reads.get() + 1);
         self.shards
             .values()
             .flat_map(|s| {
@@ -436,6 +516,7 @@ impl Store {
 
     /// Lists objects of `kind` within one namespace (sorted by name).
     pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
+        self.direct_reads.set(self.direct_reads.get() + 1);
         let Some(shard) = self.shards.get(namespace) else {
             return Vec::new();
         };
@@ -449,6 +530,7 @@ impl Store {
 
     /// Lists every object (sorted by kind/namespace/name).
     pub fn list_all(&self) -> Vec<&Object> {
+        self.direct_reads.set(self.direct_reads.get() + 1);
         let mut out: Vec<&Object> = self
             .shards
             .values()
@@ -560,6 +642,20 @@ impl Store {
                 .or_default()
                 .push((ticket, op));
         }
+        // Single-shard short-circuit: one namespace means one lane, so the
+        // batch applies inline on the coordinator — the shard stays in the
+        // map and neither the pool nor any channel is touched.
+        if grouped.len() == 1 {
+            let (ns, batch) = grouped.pop_first().expect("checked non-empty");
+            self.ensure_shard(&ns);
+            let shard = self.shards.get_mut(&ns).expect("just ensured");
+            let outcome = apply_shard_batch(shard, batch);
+            self.finish_serial(outcome.tally);
+            self.maybe_drop_shard(&ns);
+            let mut results = outcome.results;
+            results.sort_by_key(|(ticket, _)| *ticket);
+            return results;
+        }
         let mut items = Vec::with_capacity(grouped.len());
         for (ns, batch) in grouped {
             self.ensure_shard(&ns);
@@ -589,6 +685,7 @@ impl Store {
         self.committed_total += tally.appended;
         self.stats.events_appended += tally.appended;
         self.stats.events_compacted += tally.compacted;
+        self.stats.batch_compaction_passes += tally.compaction_passes;
         self.stats.peak_log_len = self.stats.peak_log_len.max(tally.peak_log_len);
         for (id, delta) in tally.deltas {
             let w = self.watchers.get_mut(&id).expect("indexed watcher is live");
@@ -1070,6 +1167,85 @@ fn recount_pending(shard: &Shard, cursor: u64, selectors: &[WatchSelector]) -> (
     (pending, bytes)
 }
 
+/// A consistent, immutable view of every object in the store at one
+/// commit boundary, detached from the store's borrow.
+///
+/// Cloning is O(shards); the per-shard indexes and every model inside them
+/// are reference-counted and shared with the store. The view is `Send` and
+/// `Sync`, so slow readers (CLIs, scenario assertions, dashboards) can
+/// hold or even move it to another thread while the coordinator keeps
+/// committing — later batches copy-on-write around it, they never mutate
+/// it. A snapshot therefore always equals the exact batch-boundary state
+/// it was taken at: no torn batches, ever.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    shards: BTreeMap<String, Arc<BTreeMap<ObjectRef, Object>>>,
+    revision: u64,
+    /// Shared with the originating store: snapshot reads are counted
+    /// globally so tests can assert hot paths stay off the store borrow.
+    reads: Arc<AtomicU64>,
+}
+
+// Snapshots may be handed to reader threads; keep that statically true.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StoreSnapshot>();
+};
+
+impl StoreSnapshot {
+    /// The store's global revision when the snapshot was taken.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn count_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the object as of the snapshot, if present.
+    pub fn get(&self, oref: &ObjectRef) -> Option<&Object> {
+        self.count_read();
+        self.shards.get(&oref.namespace)?.get(oref)
+    }
+
+    /// Lists objects of `kind` across namespaces (sorted by
+    /// namespace/name), as of the snapshot.
+    pub fn list(&self, kind: &str) -> Vec<&Object> {
+        self.count_read();
+        self.shards
+            .values()
+            .flat_map(|s| {
+                s.iter()
+                    .filter(move |(r, _)| r.kind == kind)
+                    .map(|(_, o)| o)
+            })
+            .collect()
+    }
+
+    /// Lists objects of `kind` within one namespace (sorted by name), as
+    /// of the snapshot.
+    pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
+        self.count_read();
+        let Some(shard) = self.shards.get(namespace) else {
+            return Vec::new();
+        };
+        shard
+            .iter()
+            .filter(|(r, _)| r.kind == kind)
+            .map(|(_, o)| o)
+            .collect()
+    }
+
+    /// Lists every object (sorted by kind/namespace/name), as of the
+    /// snapshot.
+    pub fn list_all(&self) -> Vec<&Object> {
+        self.count_read();
+        let mut out: Vec<&Object> = self.shards.values().flat_map(|s| s.values()).collect();
+        out.sort_by(|a, b| a.oref.cmp(&b.oref));
+        out
+    }
+}
+
 // ----- Shard-local mutation ops ------------------------------------------
 //
 // These run on the shard's owning worker thread during batches (and inline
@@ -1107,6 +1283,7 @@ fn apply_shard_batch(shard: &mut Shard, batch: Vec<(usize, StoreOp)>) -> ShardOu
         results.push((ticket, result));
     }
     tally.compacted += compact(shard);
+    tally.compaction_passes += 1;
     ShardOutcome { results, tally }
 }
 
@@ -1122,7 +1299,7 @@ fn shard_create(
     let rv = 1;
     stamp_gen(&mut model, rv);
     let shared = Shared::new(model);
-    shard.objects.insert(
+    shard.objects_mut().insert(
         oref.clone(),
         Object {
             oref: oref.clone(),
@@ -1142,7 +1319,7 @@ fn shard_update(
     tally: &mut ShardTally,
 ) -> Result<u64, ApiError> {
     let obj = shard
-        .objects
+        .objects_mut()
         .get_mut(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     if let Some(expected) = expected_rv {
@@ -1180,7 +1357,7 @@ fn shard_merge(
     tally: &mut ShardTally,
 ) -> Result<u64, ApiError> {
     let obj = shard
-        .objects
+        .objects_mut()
         .get_mut(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     let rv = obj.resource_version + 1;
@@ -1214,7 +1391,7 @@ fn shard_set_path(
 ) -> Result<u64, ApiError> {
     let cached = shard.enc_cache.get(oref).copied();
     let obj = shard
-        .objects
+        .objects_mut()
         .get_mut(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     let rv = obj.resource_version + 1;
@@ -1247,7 +1424,7 @@ fn shard_delete(
     tally: &mut ShardTally,
 ) -> Result<Object, ApiError> {
     let mut obj = shard
-        .objects
+        .objects_mut()
         .remove(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     obj.resource_version += 1;
@@ -1271,7 +1448,7 @@ fn shard_fast_forward(
     tally: &mut ShardTally,
 ) -> Result<u64, ApiError> {
     let obj = shard
-        .objects
+        .objects_mut()
         .get_mut(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     if rv <= obj.resource_version {
@@ -1305,7 +1482,10 @@ fn gen_path() -> &'static Path {
 /// version number of §3.5 is visible to drivers and the mounter. Encoded
 /// via [`Value::from_exact_u64`]: generations beyond 2^53 survive without
 /// `f64` rounding, so the mounter's version gate stays exact.
-pub(crate) fn stamp_gen(model: &mut Value, rv: u64) {
+///
+/// Public because write-batching controllers simulate pending writes in a
+/// local overlay and must stamp exactly like the server will at commit.
+pub fn stamp_gen(model: &mut Value, rv: u64) {
     let _ = model.set(gen_path(), Value::from_exact_u64(rv));
 }
 

@@ -1,0 +1,182 @@
+//! Snapshot consistency: `ApiServer::snapshot` is batch-boundary exact.
+//!
+//! A snapshot taken between batches must equal the store state at that
+//! boundary — bit for bit, at any executor thread count — and must stay
+//! frozen there while later batches commit around it (copy-on-write: the
+//! coordinator clones shared maps rather than mutating them in place).
+//! A snapshot can never observe half of a batch: `snapshot()` borrows
+//! the server immutably, every mutation path borrows it mutably, so the
+//! only reachable states are commit boundaries.
+
+use proptest::prelude::*;
+
+use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, StoreSnapshot};
+use dspace_value::{json, Value};
+
+const NAMESPACES: [&str; 3] = ["alpha", "beta", "gamma"];
+const OBJECTS_PER_NS: usize = 2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    SetN { ns: usize, obj: usize, value: u32 },
+    Delete { ns: usize, obj: usize },
+    Create { ns: usize, obj: usize },
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let op = prop_oneof![
+        ((0usize..3), (0usize..OBJECTS_PER_NS), (0u32..100))
+            .prop_map(|(ns, obj, value)| Op::SetN { ns, obj, value }),
+        ((0usize..3), (0usize..OBJECTS_PER_NS)).prop_map(|(ns, obj)| Op::Delete { ns, obj }),
+        ((0usize..3), (0usize..OBJECTS_PER_NS)).prop_map(|(ns, obj)| Op::Create { ns, obj }),
+    ];
+    prop::collection::vec(prop::collection::vec(op, 1..10), 1..10)
+}
+
+fn oref(ns: usize, obj: usize) -> ObjectRef {
+    ObjectRef::new("Thing", NAMESPACES[ns], format!("t{obj}"))
+}
+
+fn model(ns: usize, obj: usize) -> Value {
+    json::parse(&format!(
+        r#"{{"meta": {{"kind": "Thing", "name": "t{obj}", "namespace": "{}"}}, "n": 0}}"#,
+        NAMESPACES[ns]
+    ))
+    .unwrap()
+}
+
+fn to_batch_op(op: &Op) -> BatchOp {
+    match *op {
+        Op::SetN { ns, obj, value } => BatchOp::PatchPath {
+            oref: oref(ns, obj),
+            path: ".n".into(),
+            value: Value::from(value as f64),
+        },
+        Op::Delete { ns, obj } => BatchOp::Delete {
+            oref: oref(ns, obj),
+        },
+        Op::Create { ns, obj } => BatchOp::Create {
+            oref: oref(ns, obj),
+            model: model(ns, obj),
+        },
+    }
+}
+
+fn setup(threads: usize) -> ApiServer {
+    let mut api = ApiServer::new();
+    api.set_executor_threads(threads);
+    for ns in 0..NAMESPACES.len() {
+        for obj in 0..OBJECTS_PER_NS {
+            api.create(ApiServer::ADMIN, &oref(ns, obj), model(ns, obj))
+                .unwrap();
+        }
+    }
+    api
+}
+
+/// Serializes everything a snapshot exposes.
+fn fingerprint(snap: &StoreSnapshot) -> Vec<String> {
+    let mut out = vec![format!("revision={}", snap.revision())];
+    for obj in snap.list_all() {
+        out.push(format!(
+            "{} rv={} {}",
+            obj.oref,
+            obj.resource_version,
+            json::to_string(&obj.model)
+        ));
+    }
+    out
+}
+
+/// Applies the script once at `threads`, snapshotting after every batch
+/// and keeping every snapshot alive until the very end.
+fn run(script: &[Vec<Op>], threads: usize) -> Vec<StoreSnapshot> {
+    let mut api = setup(threads);
+    let mut snaps = vec![api.snapshot()];
+    for batch in script {
+        let ops: Vec<BatchOp> = batch.iter().map(to_batch_op).collect();
+        api.apply_batch(ApiServer::ADMIN, ops);
+        snaps.push(api.snapshot());
+    }
+    snaps
+}
+
+proptest! {
+    /// Every snapshot equals the batch-boundary state it was taken at —
+    /// across executor thread counts, and even though every snapshot was
+    /// held alive while all later batches committed (no torn batches, no
+    /// retroactive mutation through shared maps).
+    #[test]
+    fn snapshots_pin_batch_boundaries_at_any_thread_count(script in arb_script()) {
+        // Reference history: consume each boundary's fingerprint
+        // immediately, before the next batch runs.
+        let mut api = setup(1);
+        let mut reference = vec![fingerprint(&api.snapshot())];
+        for batch in &script {
+            let ops: Vec<BatchOp> = batch.iter().map(to_batch_op).collect();
+            api.apply_batch(ApiServer::ADMIN, ops);
+            reference.push(fingerprint(&api.snapshot()));
+        }
+        for threads in [1usize, 2, 4] {
+            let snaps = run(&script, threads);
+            prop_assert_eq!(snaps.len(), reference.len());
+            for (k, snap) in snaps.iter().enumerate() {
+                prop_assert_eq!(
+                    &fingerprint(snap), &reference[k],
+                    "threads={}, boundary {}", threads, k
+                );
+            }
+        }
+    }
+}
+
+/// Snapshots are `Send + Sync`: a reader thread can chew on one while
+/// the coordinator keeps committing, with no lock between them, and the
+/// reader still sees exactly its boundary.
+#[test]
+fn reader_threads_see_their_boundary_while_writes_continue() {
+    let mut api = setup(2);
+    let snap = api.snapshot();
+    let pinned = fingerprint(&snap);
+    let reader = std::thread::spawn(move || fingerprint(&snap));
+    for round in 0..50 {
+        let ops: Vec<BatchOp> = (0..6)
+            .map(|i| BatchOp::PatchPath {
+                oref: oref(i % 3, i % OBJECTS_PER_NS),
+                path: ".n".into(),
+                value: Value::from((round * 10 + i) as f64),
+            })
+            .collect();
+        api.apply_batch(ApiServer::ADMIN, ops);
+    }
+    assert_eq!(reader.join().unwrap(), pinned);
+    assert_ne!(
+        fingerprint(&api.snapshot()),
+        pinned,
+        "the live store moved on"
+    );
+}
+
+/// The hot read paths bump the snapshot-read counter, never the store's
+/// direct-read counter: zero store involvement per read.
+#[test]
+fn snapshot_reads_never_touch_the_store() {
+    let api = setup(1);
+    let direct_before = api.direct_reads();
+    let snap_before = api.snapshot_reads();
+    let snap = api.snapshot();
+    snap.get(&oref(0, 0));
+    assert_eq!(snap.list("Thing").len(), 6);
+    assert_eq!(snap.list_in("Thing", "alpha").len(), OBJECTS_PER_NS);
+    assert_eq!(snap.list_all().len(), 6);
+    assert_eq!(
+        api.snapshot_reads(),
+        snap_before + 4,
+        "each accessor counts as one snapshot read"
+    );
+    assert_eq!(
+        api.direct_reads(),
+        direct_before,
+        "snapshot reads take zero store reads (and zero store locks)"
+    );
+}

@@ -30,6 +30,7 @@
 //!   compute FPT/BPT/DT.
 
 pub mod actuator;
+pub mod batch;
 pub mod driver;
 pub mod graph;
 pub mod model;

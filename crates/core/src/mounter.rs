@@ -28,6 +28,7 @@ use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent};
 use dspace_simnet::Time;
 use dspace_value::{Path, Segment, Value};
 
+use crate::batch::WriteBatch;
 use crate::graph::{DigiGraph, EdgeState, MountEdge, MountMode};
 use crate::model::{MOUNT_ACTIVE, MOUNT_YIELDED};
 use crate::trace::{Trace, TraceKind};
@@ -35,11 +36,20 @@ use crate::trace::{Trace, TraceKind};
 /// The apiserver subject the mounter authenticates as.
 pub const SUBJECT: &str = "controller:mounter";
 
+/// A trace entry to emit iff the write behind `ticket` commits.
+struct TraceEffect {
+    ticket: usize,
+    subject: String,
+    detail: String,
+}
+
 /// The Mounter controller.
 pub struct Mounter {
     graph: Rc<RefCell<DigiGraph>>,
     /// Replica content as last written by the mounter, per (parent, child).
     shadows: BTreeMap<(ObjectRef, ObjectRef), Value>,
+    /// Commit all of a pump cycle's writes as one `apply_batch` call.
+    batched: bool,
 }
 
 impl Mounter {
@@ -48,11 +58,21 @@ impl Mounter {
         Mounter {
             graph,
             shadows: BTreeMap::new(),
+            batched: true,
         }
     }
 
+    /// Switches between batched (one `apply_batch` per pump cycle) and
+    /// legacy per-op writes. Both modes make identical decisions and
+    /// leave identical store state.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
+    }
+
     /// Processes a batch of watch events: re-synchronizes every mount edge
-    /// adjacent to an object that changed.
+    /// adjacent to an object that changed. All writes of the pass commit
+    /// as one batch; trace entries for southbound syncs are emitted after
+    /// the commit, gated on their op's result.
     pub fn process(
         &mut self,
         api: &mut ApiServer,
@@ -69,39 +89,46 @@ impl Mounter {
             }
             affected.insert(ev.oref.clone());
         }
+        let mut batch = WriteBatch::new(SUBJECT, self.batched);
+        let mut effects: Vec<TraceEffect> = Vec::new();
         for oref in affected {
             // One O(degree) pass per changed digi: the graph's endpoint
             // index hands back full edges (payload included), so there is
             // no per-neighbor `edge()` re-lookup.
             let adjacent = self.graph.borrow().adjacent_edges(&oref);
             for edge in adjacent {
-                self.sync_edge(api, edge, trace, now);
+                self.sync_edge(api, &mut batch, edge, &mut effects);
+            }
+        }
+        let results = batch.commit(api);
+        for e in effects {
+            if results[e.ticket].is_ok() {
+                trace.push(now, TraceKind::Composition, e.subject, e.detail);
             }
         }
     }
 
-    /// Synchronizes one mount edge in both directions.
-    fn sync_edge(&mut self, api: &mut ApiServer, edge: MountEdge, trace: &mut Trace, now: Time) {
+    /// Synchronizes one mount edge in both directions, queueing writes on
+    /// `batch` and success-gated trace entries on `effects`.
+    fn sync_edge(
+        &mut self,
+        api: &mut ApiServer,
+        batch: &mut WriteBatch,
+        edge: MountEdge,
+        effects: &mut Vec<TraceEffect>,
+    ) {
         let MountEdge { parent, child, .. } = &edge;
-        // Parent and child may live in different namespaces (cross-tenant
-        // mounts), so each side gets its own scoped client.
-        let Ok(parent_obj) = api
-            .client(SUBJECT)
-            .namespace(&parent.namespace)
-            .get(&parent.kind, &parent.name)
-        else {
+        // Reads go through the batch so an edge synced later in the pass
+        // observes the writes of earlier edges, exactly as it would have
+        // observed their commits under per-op writes.
+        let Ok((parent_model, _)) = batch.get(api, parent) else {
             return;
         };
-        let Ok(child_obj) = api
-            .client(SUBJECT)
-            .namespace(&child.namespace)
-            .get(&child.kind, &child.name)
-        else {
+        let Ok((child_model, _)) = batch.get(api, child) else {
             return;
         };
         let replica_path = crate::model::replica_path(&child.kind, &child.name);
-        let replica_cur = parent_obj
-            .model
+        let replica_cur = parent_model
             .get_path(&replica_path)
             .cloned()
             .unwrap_or(Value::Null);
@@ -110,6 +137,11 @@ impl Mounter {
             // the topology webhook will drop the edge shortly.
             return;
         }
+        // Release the parent read handle before any write: the batch
+        // overlay mutates in place only while no reader still holds the
+        // model, so keeping this alive would force a deep clone of the
+        // whole parent model on every northbound refresh.
+        drop(parent_model);
         let key = (parent.clone(), child.clone());
         let shadow = self
             .shadows
@@ -120,8 +152,7 @@ impl Mounter {
         // --- Northbound: build the replica candidate from the child. -----
         // Generations are compared exactly as u64: an f64 round-trip
         // collapses adjacent versions past 2^53 and mis-orders the gate.
-        let child_gen = child_obj
-            .model
+        let child_gen = child_model
             .get_path(".meta.gen")
             .and_then(Value::as_exact_u64)
             .unwrap_or(0);
@@ -137,12 +168,12 @@ impl Mounter {
         );
         set(&mut candidate, ".gen", Value::from_exact_u64(child_gen));
         for section in ["control", "obs", "data"] {
-            if let Some(v) = child_obj.model.get_path(section) {
+            if let Some(v) = child_model.get_path(section) {
                 set(&mut candidate, &format!(".{section}"), v.clone());
             }
         }
         if edge.mode == MountMode::Expose {
-            if let Some(v) = child_obj.model.get_path("mount") {
+            if let Some(v) = child_model.get_path("mount") {
                 set(&mut candidate, ".mount", v.clone());
             }
         }
@@ -165,12 +196,8 @@ impl Mounter {
         }
 
         if candidate != replica_cur {
-            let _ = api.client(SUBJECT).namespace(&parent.namespace).patch_path(
-                &parent.kind,
-                &parent.name,
-                &replica_path,
-                candidate.clone(),
-            );
+            // Errors are ignored (as before): no effect rides on this op.
+            let _ = batch.patch_path(api, parent, &replica_path, candidate.clone());
         }
 
         // --- Southbound: apply parent-pending intent/input writes. -------
@@ -193,25 +220,23 @@ impl Mounter {
                 if v.is_null() {
                     return;
                 }
-                let child_val = child_obj.model.get(path).cloned().unwrap_or(Value::Null);
+                let child_val = child_model.get(path).cloned().unwrap_or(Value::Null);
                 if *v != child_val {
                     let _ = patch.set(path, v.clone());
                     wrote = true;
                 }
             });
-            let committed = wrote
-                && api
-                    .client(SUBJECT)
-                    .namespace(&child.namespace)
-                    .patch(&child.kind, &child.name, patch)
-                    .is_ok();
-            if committed {
-                trace.push(
-                    now,
-                    TraceKind::Composition,
-                    child.to_string(),
-                    format!("southbound sync from {parent}"),
-                );
+            // Same copy-on-write discipline as the parent handle above.
+            drop(child_model);
+            if wrote {
+                // The trace entry is deferred: it only appears if the op
+                // commits, matching the old per-op success gate.
+                let ticket = batch.patch(api, child, patch);
+                effects.push(TraceEffect {
+                    ticket,
+                    subject: child.to_string(),
+                    detail: format!("southbound sync from {parent}"),
+                });
             }
         }
         // Only a southbound-synced candidate becomes the new shadow; when

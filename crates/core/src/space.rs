@@ -35,6 +35,11 @@ pub struct SpaceConfig {
     /// or 1). Any setting yields bit-identical results — this is purely a
     /// wall-clock knob.
     pub threads: usize,
+    /// Commit each controller pump cycle's writes as one `apply_batch`
+    /// call (the default) instead of one serial verb per write. Both
+    /// modes leave bit-identical store state — this too is purely a
+    /// wall-clock knob.
+    pub batch_controller_writes: bool,
 }
 
 impl Default for SpaceConfig {
@@ -45,6 +50,7 @@ impl Default for SpaceConfig {
             reconcile: LatencyModel::FixedMs(0.0),
             retry: RetryPolicy::default(),
             threads: 0,
+            batch_controller_writes: true,
         }
     }
 }
@@ -115,6 +121,7 @@ impl Space {
         if config.threads > 0 {
             world.api.set_executor_threads(config.threads);
         }
+        world.set_controller_batching(config.batch_controller_writes);
         Space {
             sim: Sim::new(),
             world,

@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent, WatchEventKind};
 use dspace_value::Value;
 
+use crate::batch::WriteBatch;
+
 /// The apiserver subject the syncer authenticates as.
 pub const SUBJECT: &str = "controller:syncer";
 
@@ -82,12 +84,33 @@ impl SyncSpec {
     }
 }
 
+/// A `last`-cache insert to apply after the cycle's writes commit.
+struct LastEffect {
+    /// Gate: only insert if this ticket's op committed. `None` means no
+    /// write was needed (target already matched) — insert unconditionally.
+    ticket: Option<usize>,
+    id: ObjectRef,
+    value: Value,
+}
+
 /// The Syncer controller.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Syncer {
     specs: BTreeMap<ObjectRef, SyncSpec>,
     /// Last value propagated per Sync object, to avoid redundant writes.
     last: BTreeMap<ObjectRef, Value>,
+    /// Commit all of a pump cycle's writes as one `apply_batch` call.
+    batched: bool,
+}
+
+impl Default for Syncer {
+    fn default() -> Self {
+        Syncer {
+            specs: BTreeMap::new(),
+            last: BTreeMap::new(),
+            batched: true,
+        }
+    }
 }
 
 impl Syncer {
@@ -96,25 +119,44 @@ impl Syncer {
         Syncer::default()
     }
 
+    /// Switches between batched (one `apply_batch` per pump cycle) and
+    /// legacy per-op writes. Both modes propagate identically.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
+    }
+
     /// Number of active Sync specs (for tests/diagnostics).
     pub fn active_syncs(&self) -> usize {
         self.specs.len()
     }
 
-    /// Processes a batch of watch events.
+    /// Processes a batch of watch events. All propagation writes commit
+    /// as one batch at the end of the pass; `last`-cache updates are
+    /// applied afterwards, gated on their op's commit result.
     pub fn process(&mut self, api: &mut ApiServer, events: &[WatchEvent]) {
+        let mut batch = WriteBatch::new(SUBJECT, self.batched);
+        let mut effects: Vec<LastEffect> = Vec::new();
         for ev in events {
             if ev.oref.kind == "Sync" {
                 match ev.kind {
                     WatchEventKind::Deleted => {
                         self.specs.remove(&ev.oref);
                         self.last.remove(&ev.oref);
+                        // Drop pending cache inserts for the dead sync:
+                        // per-op they would have been inserted and then
+                        // removed right here.
+                        effects.retain(|e| e.id != ev.oref);
                     }
                     _ => {
                         if let Some(spec) = SyncSpec::parse(&ev.model) {
                             self.specs.insert(ev.oref.clone(), spec);
                             // Initial propagation on pipe creation.
-                            self.propagate_for_sync(api, &ev.oref.clone());
+                            self.propagate_for_sync(
+                                api,
+                                &mut batch,
+                                &mut effects,
+                                &ev.oref.clone(),
+                            );
                         }
                     }
                 }
@@ -128,22 +170,35 @@ impl Syncer {
                 .map(|(id, _)| id.clone())
                 .collect();
             for id in sync_ids {
-                self.propagate_for_sync(api, &id);
+                self.propagate_for_sync(api, &mut batch, &mut effects, &id);
+            }
+        }
+        let results = batch.commit(api);
+        for e in effects {
+            let committed = match e.ticket {
+                Some(t) => results[t].is_ok(),
+                None => true,
+            };
+            if committed {
+                self.last.insert(e.id, e.value);
             }
         }
     }
 
-    fn propagate_for_sync(&mut self, api: &mut ApiServer, id: &ObjectRef) {
+    fn propagate_for_sync(
+        &mut self,
+        api: &mut ApiServer,
+        batch: &mut WriteBatch,
+        effects: &mut Vec<LastEffect>,
+        id: &ObjectRef,
+    ) {
         let Some(spec) = self.specs.get(id).cloned() else {
             return;
         };
-        // Source and target may live in different namespaces; scope a
-        // client per side.
-        let Ok(value) = api
-            .client(SUBJECT)
-            .namespace(&spec.source.namespace)
-            .get_path(&spec.source.kind, &spec.source.name, &spec.source_path)
-        else {
+        // Reads go through the batch: a propagation later in the pass
+        // observes earlier queued writes, exactly as it would have
+        // observed their commits under per-op writes.
+        let Ok(value) = batch.get_path(api, &spec.source, &spec.source_path) else {
             return;
         };
         if value.is_null() {
@@ -154,23 +209,19 @@ impl Syncer {
         }
         // Read the current target value: skip the write when it already
         // matches (keeps the event log quiet and loops convergent).
-        let mut target = api.client(SUBJECT).namespace(&spec.target.namespace);
-        let current = target
-            .get_path(&spec.target.kind, &spec.target.name, &spec.target_path)
+        let current = batch
+            .get_path(api, &spec.target, &spec.target_path)
             .unwrap_or(Value::Null);
-        if current != value
-            && target
-                .patch_path(
-                    &spec.target.kind,
-                    &spec.target.name,
-                    &spec.target_path,
-                    value.clone(),
-                )
-                .is_err()
-        {
-            return;
-        }
-        self.last.insert(id.clone(), value);
+        let ticket = if current != value {
+            Some(batch.patch_path(api, &spec.target, &spec.target_path, value.clone()))
+        } else {
+            None
+        };
+        effects.push(LastEffect {
+            ticket,
+            id: id.clone(),
+            value,
+        });
     }
 }
 

@@ -255,6 +255,20 @@ impl World {
         world
     }
 
+    /// Switches the mounter and syncer between batched per-cycle commits
+    /// and legacy per-op writes (the policer always batches). The two
+    /// modes are decision-equivalent and leave bit-identical store state;
+    /// per-op exists as a baseline for benches and determinism tests.
+    pub fn set_controller_batching(&mut self, batched: bool) {
+        for slot in &mut self.slots {
+            match &mut slot.kind {
+                Some(Component::Mounter(m)) => m.set_batched(batched),
+                Some(Component::Syncer(s)) => s.set_batched(batched),
+                _ => {}
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn add_slot(
         &mut self,

@@ -243,7 +243,8 @@ impl Dq {
 
     fn cmd_list(&mut self) -> String {
         let mut out = String::new();
-        for obj in self.space.world.api.dump() {
+        let snap = self.space.world.api.snapshot();
+        for obj in snap.list_all() {
             out.push_str(&format!("{} (gen {})\n", obj.oref, obj.resource_version));
         }
         out
@@ -356,6 +357,26 @@ mod tests {
         text(dq.exec("tick 3000"));
         assert!(!text(dq.exec("trace 5")).is_empty());
         assert_eq!(dq.exec("quit"), Outcome::Quit);
+    }
+
+    #[test]
+    fn hot_read_commands_ride_the_snapshot_path() {
+        let mut dq = Dq::with_s1();
+        text(dq.exec("tick 2000"));
+        let direct_before = dq.space.world.api.direct_reads();
+        let snap_before = dq.space.world.api.snapshot_reads();
+        text(dq.exec("get l1.control.brightness"));
+        text(dq.exec("get lvroom"));
+        text(dq.exec("list"));
+        assert!(
+            dq.space.world.api.snapshot_reads() >= snap_before + 3,
+            "get/list must read through StoreSnapshot"
+        );
+        assert_eq!(
+            dq.space.world.api.direct_reads(),
+            direct_before,
+            "CLI reads must never take a store read (or a store lock)"
+        );
     }
 
     #[test]
