@@ -45,6 +45,7 @@ pub mod object;
 pub mod rbac;
 pub mod server;
 pub mod store;
+pub mod wal;
 
 pub use admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
 pub use client::{Client, NamespacedClient, NamespacedReadClient, ReadClient};
@@ -57,3 +58,4 @@ pub use store::{
     stamp_gen, CoalescedEvent, StoreOp, StoreSnapshot, WatchEvent, WatchEventKind, WatchId,
     WatchSelector, WatchStats,
 };
+pub use wal::{DurabilityOptions, WalError, WalSync};

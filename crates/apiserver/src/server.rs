@@ -14,6 +14,7 @@ use crate::store::{
     stamp_gen, CoalescedEvent, Store, StoreOp, StoreSnapshot, WatchEvent, WatchId, WatchSelector,
     WatchStats,
 };
+use crate::wal::{DurabilityOptions, WalError};
 
 /// A post-commit webhook notification queued by the prepared batch path:
 /// `(ticket, verb, oref, old model, new model)`.
@@ -56,6 +57,22 @@ impl ApiServer {
             webhooks: Vec::new(),
             strict_kinds: false,
         }
+    }
+
+    /// Creates a durable server backed by the WAL/checkpoint directory in
+    /// `opts`, recovering any state a previous incarnation committed
+    /// there. Schemas, RBAC bindings, and webhooks are *not* persisted —
+    /// re-register them after opening, exactly as on a fresh server.
+    pub fn open(opts: DurabilityOptions) -> Result<Self, WalError> {
+        let mut api = Self::new();
+        api.store = Store::open(opts)?;
+        Ok(api)
+    }
+
+    /// Forces a checkpoint now (no-op on a non-durable server). Normally
+    /// checkpoints happen automatically every `checkpoint_every` commits.
+    pub fn checkpoint(&mut self) {
+        self.store.checkpoint();
     }
 
     /// Registers a kind schema (the CRD analogue). Models of registered
@@ -504,7 +521,8 @@ impl ApiServer {
         new.merge(&patch);
         self.validate(oref, &new)?;
         self.admit(subject, Verb::Patch, oref, Some(&*old), Some(&new))?;
-        let rv = self.store.update(oref, new, None)?;
+        // Journals the patch, not the merged document.
+        let rv = self.store.update_via_merge(oref, new, &patch)?;
         let committed = self.store.get(oref).expect("just patched").model.clone();
         self.observe(subject, Verb::Patch, oref, Some(&*old), Some(&*committed));
         Ok(rv)
@@ -528,11 +546,13 @@ impl ApiServer {
             .parse()
             .map_err(|e| ApiError::BadRequest(format!("bad path {path}: {e}")))?;
         let mut new = (*old).clone();
-        new.set(&parsed, value)
+        new.set(&parsed, value.clone())
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
         self.validate(oref, &new)?;
         self.admit(subject, Verb::Patch, oref, Some(&*old), Some(&new))?;
-        let rv = self.store.update(oref, new, None)?;
+        // Journals path + value — a few dozen bytes for the hottest verb
+        // in the system, instead of the whole model.
+        let rv = self.store.update_via_set(oref, new, &parsed, &value)?;
         let committed = self.store.get(oref).expect("just patched").model.clone();
         self.observe(subject, Verb::Patch, oref, Some(&*old), Some(&*committed));
         Ok(rv)

@@ -16,6 +16,7 @@ use dspace_value::{json, Path, Segment, Shared, Value, ValueError};
 use crate::error::ApiError;
 use crate::executor::ShardExecutor;
 use crate::object::{Object, ObjectRef};
+use crate::wal::{self, Checkpoint, DurabilityOptions, Wal, WalError, WalRecord};
 
 /// What happened to an object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +180,13 @@ struct ShardTally {
     compaction_passes: u64,
     /// Pending-count deltas per interested watcher.
     deltas: BTreeMap<WatchId, PendingDelta>,
+    /// Shard revision when this slice began: the `base` of its WAL commit
+    /// record, which replay asserts before re-applying the ops.
+    wal_base: u64,
+    /// Pre-serialized WAL forms of the slice's *successful* ops, in
+    /// ticket order. Serialized on the owning worker (in parallel for
+    /// batches) and empty unless the store journals.
+    wal_ops: Vec<String>,
 }
 
 /// One namespace's slice of the store: its objects, event log, revision
@@ -211,10 +219,14 @@ struct Shard {
     /// Events ever committed in this shard (== the newest revision).
     committed: u64,
     /// Selector indexes: which watchers to notify per event, without
-    /// touching unrelated subscriptions.
-    all_watchers: BTreeSet<WatchId>,
-    kind_watchers: BTreeMap<String, BTreeSet<WatchId>>,
-    object_watchers: BTreeMap<ObjectRef, BTreeSet<WatchId>>,
+    /// touching unrelated subscriptions. Values are registration
+    /// refcounts — a watcher can reach the same index slot through
+    /// several selectors (e.g. a global `Kind` plus a scoped
+    /// `KindInNamespace` of the same kind), and dropping one of them must
+    /// not unhook the others.
+    all_watchers: BTreeMap<WatchId, usize>,
+    kind_watchers: BTreeMap<String, BTreeMap<WatchId, usize>>,
+    object_watchers: BTreeMap<ObjectRef, BTreeMap<WatchId, usize>>,
     /// Member watchers with their cursors and pending counters.
     members: BTreeMap<WatchId, ShardMember>,
     /// Set while the namespace is being deleted: once the objects are gone
@@ -241,16 +253,23 @@ impl Shard {
     fn register(&mut self, id: WatchId, selector: &WatchSelector, cursor: u64) {
         match selector {
             WatchSelector::All => {
-                self.all_watchers.insert(id);
+                *self.all_watchers.entry(id).or_default() += 1;
             }
             WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
-                self.kind_watchers.entry(k.clone()).or_default().insert(id);
+                *self
+                    .kind_watchers
+                    .entry(k.clone())
+                    .or_default()
+                    .entry(id)
+                    .or_default() += 1;
             }
             WatchSelector::Object(r) => {
-                self.object_watchers
+                *self
+                    .object_watchers
                     .entry(r.clone())
                     .or_default()
-                    .insert(id);
+                    .entry(id)
+                    .or_default() += 1;
             }
         }
         self.members
@@ -268,17 +287,25 @@ impl Shard {
     /// this was the last registration (so the caller can refund pending
     /// counters), `None` while other selectors still hold the shard.
     fn deregister(&mut self, id: WatchId, selector: &WatchSelector) -> Option<ShardMember> {
-        fn prune<K: Ord>(index: &mut BTreeMap<K, BTreeSet<WatchId>>, key: &K, id: WatchId) {
-            if let Some(set) = index.get_mut(key) {
-                set.remove(&id);
-                if set.is_empty() {
+        fn unref(slots: &mut BTreeMap<WatchId, usize>, id: WatchId) {
+            if let Some(n) = slots.get_mut(&id) {
+                *n -= 1;
+                if *n == 0 {
+                    slots.remove(&id);
+                }
+            }
+        }
+        fn prune<K: Ord>(index: &mut BTreeMap<K, BTreeMap<WatchId, usize>>, key: &K, id: WatchId) {
+            if let Some(slots) = index.get_mut(key) {
+                unref(slots, id);
+                if slots.is_empty() {
                     index.remove(key);
                 }
             }
         }
         match selector {
             WatchSelector::All => {
-                self.all_watchers.remove(&id);
+                unref(&mut self.all_watchers, id);
             }
             WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
                 prune(&mut self.kind_watchers, k, id);
@@ -361,6 +388,12 @@ pub struct Store {
     /// Reads served by detached [`StoreSnapshot`] handles. The counter is
     /// shared with every snapshot ever taken from this store.
     snapshot_reads: Arc<AtomicU64>,
+    /// The write-ahead log, when this store is durable ([`Store::open`]).
+    /// `None` keeps the store purely in-memory with zero overhead.
+    wal: Option<Wal>,
+    /// Commit records logged since the last checkpoint; rolling past the
+    /// configured interval triggers the next one.
+    commits_since_ckpt: u64,
 }
 
 /// One mutation of a batch, addressed to the shard owning its object.
@@ -429,6 +462,173 @@ impl Store {
             executor: ShardExecutor::from_env(),
             ..Store::default()
         }
+    }
+
+    /// Opens a durable store rooted at `opts.dir`: loads the newest
+    /// checkpoint, replays each namespace's log tail onto it (stopping
+    /// cleanly at a torn final record), and keeps journaling there. An
+    /// empty or missing directory yields an empty, journaled store.
+    ///
+    /// Recovery is bit-identical to the committed state at the moment of
+    /// the crash, with one deliberate exception: watch subscriptions die
+    /// with the process, so recovered shards come up with empty event
+    /// logs (compaction floor == committed revision) and a retiring
+    /// shard that only a now-dead watcher was holding open is dropped —
+    /// exactly the state the live store would reach once its watchers
+    /// disconnected.
+    pub fn open(opts: DurabilityOptions) -> Result<Store, WalError> {
+        let (wal, recovered) = Wal::open(&opts)?;
+        let mut store = Store::new();
+        store.install_checkpoint(recovered.checkpoint);
+        for (ns, records) in recovered.records {
+            for record in records {
+                store.replay_record(&ns, record)?;
+            }
+        }
+        // Nothing can be holding a drained, retiring shard (watchers do
+        // not survive a restart): drop them like the live store would.
+        let drained: Vec<String> = store
+            .shards
+            .iter()
+            .filter(|(_, s)| s.retiring && s.objects.is_empty() && s.log.is_empty())
+            .map(|(ns, _)| ns.clone())
+            .collect();
+        for ns in drained {
+            store.shards.remove(&ns);
+        }
+        store.wal = Some(wal);
+        Ok(store)
+    }
+
+    /// `true` when mutations are journaled to a WAL directory.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Installs the checkpointed shards; replay continues from here.
+    fn install_checkpoint(&mut self, ckpt: Checkpoint) {
+        self.committed_total = ckpt.committed_total;
+        for cs in ckpt.shards {
+            let mut objects = BTreeMap::new();
+            for co in cs.objects {
+                let oref = ObjectRef::new(co.kind, co.namespace, co.name);
+                objects.insert(
+                    oref.clone(),
+                    Object {
+                        oref,
+                        model: Shared::new(co.model),
+                        resource_version: co.resource_version,
+                    },
+                );
+            }
+            let shard = Shard {
+                objects: Arc::new(objects),
+                committed: cs.committed,
+                retiring: cs.retiring,
+                ..Shard::default()
+            };
+            self.shards.insert(cs.namespace, shard);
+        }
+    }
+
+    /// Replays one WAL record through the same shard-local mutation
+    /// functions the live path uses, so revisions, `meta.gen` stamps, and
+    /// event accounting come out identical.
+    fn replay_record(&mut self, ns: &str, record: WalRecord) -> Result<(), WalError> {
+        match record {
+            WalRecord::Retire { .. } => {
+                if let Some(shard) = self.shards.get_mut(ns) {
+                    shard.retiring = true;
+                }
+            }
+            WalRecord::Drop { .. } => {
+                self.shards.remove(ns);
+            }
+            WalRecord::Commit {
+                seq,
+                base,
+                ensure,
+                appended,
+                ops,
+            } => {
+                if ensure {
+                    self.ensure_shard(ns);
+                }
+                let Some(shard) = self.shards.get_mut(ns) else {
+                    return Err(WalError::corrupt(format!(
+                        "commit record for unknown shard '{ns}' (seq {seq})"
+                    )));
+                };
+                if shard.committed != base {
+                    return Err(WalError::corrupt(format!(
+                        "replay diverged in '{ns}' (seq {seq}): record base {base}, shard at {}",
+                        shard.committed
+                    )));
+                }
+                let mut tally = ShardTally::default();
+                for op in ops {
+                    replay_op(shard, op, &mut tally).map_err(|e| {
+                        WalError::corrupt(format!("replay failed in '{ns}' (seq {seq}): {e}"))
+                    })?;
+                }
+                if tally.appended != appended {
+                    return Err(WalError::corrupt(format!(
+                        "replay diverged in '{ns}' (seq {seq}): record appended {appended}, \
+                         replay appended {}",
+                        tally.appended
+                    )));
+                }
+                self.finish_serial(tally);
+            }
+        }
+        Ok(())
+    }
+
+    /// Journals one shard slice: its base revision, whether the verb
+    /// (re)ensured the shard (clearing a pending retirement), the events
+    /// it appended, and the successful ops in ticket order. Slices that
+    /// neither appended nor ensured leave no record.
+    fn wal_commit(&mut self, ns: &str, base: u64, ensure: bool, appended: u64, ops: Vec<String>) {
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        if !ensure && appended == 0 {
+            return;
+        }
+        w.commit(ns, base, ensure, appended, &ops);
+        self.commits_since_ckpt += 1;
+    }
+
+    /// Ends a journaled mutation verb: flush per the sync policy, and
+    /// roll a checkpoint once enough commits accumulated. Runs on the
+    /// coordinator with every shard back in the map.
+    fn wal_seal(&mut self) {
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        w.flush();
+        if self.commits_since_ckpt >= w.checkpoint_every() {
+            self.checkpoint();
+        }
+    }
+
+    /// Writes a durable checkpoint of the whole store (objects, per-shard
+    /// revisions, the global commit counter) and truncates the logs it
+    /// supersedes. A no-op for in-memory stores.
+    pub fn checkpoint(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let shards_json = checkpoint_shards_json(&self.shards);
+        let w = self.wal.as_mut().expect("checked above");
+        let doc = format!(
+            "{{\"committed_total\":{},\"seqs\":{},\"shards\":[{}]}}",
+            wal::exact(self.committed_total),
+            w.seqs_json(),
+            shards_json
+        );
+        w.write_checkpoint(&doc);
+        self.commits_since_ckpt = 0;
     }
 
     /// The shard worker cap.
@@ -544,10 +744,24 @@ impl Store {
     pub fn create(&mut self, oref: ObjectRef, model: Value) -> Result<&Object, ApiError> {
         let ns = oref.namespace.clone();
         self.ensure_shard(&ns);
+        let wal_op = self.wal.is_some().then(|| wal_op_create(&oref, &model));
         let mut tally = ShardTally::default();
         let shard = self.shards.get_mut(&ns).expect("just ensured");
+        let base = shard.committed;
         let result = shard_create(shard, oref.clone(), model, &mut tally);
+        let appended = tally.appended;
         self.finish_serial(tally);
+        // `ensure` is always set: like the batch path, `create` resurrects
+        // a retiring namespace even when the op itself fails, and replay
+        // must mirror that.
+        self.wal_commit(
+            &ns,
+            base,
+            true,
+            appended,
+            wal_op.filter(|_| appended > 0).into_iter().collect(),
+        );
+        self.wal_seal();
         result?;
         Ok(self
             .shards
@@ -569,12 +783,26 @@ impl Store {
         model: Value,
         expected_rv: Option<u64>,
     ) -> Result<u64, ApiError> {
+        let journal = self.wal.is_some();
         let Some(shard) = self.shards.get_mut(&oref.namespace) else {
             return Err(ApiError::NotFound(oref.clone()));
         };
+        let wal_op = journal.then(|| wal_op_put(oref, &model));
+        let base = shard.committed;
         let mut tally = ShardTally::default();
         let result = shard_update(shard, oref, model, expected_rv, &mut tally);
+        let appended = tally.appended;
         self.finish_serial(tally);
+        if appended > 0 {
+            self.wal_commit(
+                &oref.namespace,
+                base,
+                false,
+                appended,
+                wal_op.into_iter().collect(),
+            );
+        }
+        self.wal_seal();
         result
     }
 
@@ -584,13 +812,85 @@ impl Store {
     /// `Deleted` event carry a *bumped* resource version, so watchers can
     /// order the delete against the modifications that preceded it.
     pub fn delete(&mut self, oref: &ObjectRef) -> Result<Object, ApiError> {
+        let journal = self.wal.is_some();
         let Some(shard) = self.shards.get_mut(&oref.namespace) else {
             return Err(ApiError::NotFound(oref.clone()));
         };
+        let base = shard.committed;
         let mut tally = ShardTally::default();
         let result = shard_delete(shard, oref, &mut tally);
+        let appended = tally.appended;
         self.finish_serial(tally);
+        if journal && appended > 0 {
+            self.wal_commit(
+                &oref.namespace,
+                base,
+                false,
+                appended,
+                vec![wal_op_delete(oref)],
+            );
+        }
+        self.wal_seal();
         result
+    }
+
+    /// [`Store::update`] with a caller-supplied journal representation:
+    /// replaces the model exactly like `update`, but logs the provided
+    /// logical op (a path set, a merge patch) instead of the full model.
+    /// The op must replay to exactly this model — the single-attribute
+    /// verbs that dominate a running space journal a few dozen bytes
+    /// rather than their whole document.
+    fn update_as(
+        &mut self,
+        oref: &ObjectRef,
+        model: Value,
+        expected_rv: Option<u64>,
+        wal_op: impl FnOnce(&mut String),
+    ) -> Result<u64, ApiError> {
+        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
+            return Err(ApiError::NotFound(oref.clone()));
+        };
+        let base = shard.committed;
+        let mut tally = ShardTally::default();
+        let result = shard_update(shard, oref, model, expected_rv, &mut tally);
+        let appended = tally.appended;
+        self.finish_serial(tally);
+        if appended > 0 {
+            if let Some(w) = self.wal.as_mut() {
+                w.commit_with(&oref.namespace, base, false, appended, wal_op);
+                self.commits_since_ckpt += 1;
+            }
+        }
+        self.wal_seal();
+        result
+    }
+
+    /// Replaces the model with `model`, which the caller produced by
+    /// setting `path` to `value` on the current model; only the set is
+    /// journaled. Replaying the set against the same base reproduces
+    /// `model` bit-for-bit (both paths stamp `meta.gen` identically).
+    pub fn update_via_set(
+        &mut self,
+        oref: &ObjectRef,
+        model: Value,
+        path: &Path,
+        value: &Value,
+    ) -> Result<u64, ApiError> {
+        self.update_as(oref, model, None, |out| {
+            wal_op_set_into(out, oref, path, value)
+        })
+    }
+
+    /// Replaces the model with `model`, which the caller produced by
+    /// merging `patch` into the current model; only the patch is
+    /// journaled.
+    pub fn update_via_merge(
+        &mut self,
+        oref: &ObjectRef,
+        model: Value,
+        patch: &Value,
+    ) -> Result<u64, ApiError> {
+        self.update_as(oref, model, None, |out| wal_op_merge_into(out, oref, patch))
     }
 
     /// Jumps an object's resource version forward to `rv` without changing
@@ -601,12 +901,25 @@ impl Store {
     /// exact there. Tests use this to place an object deep into its
     /// mutation history in one step.
     pub fn fast_forward(&mut self, oref: &ObjectRef, rv: u64) -> Result<u64, ApiError> {
+        let journal = self.wal.is_some();
         let Some(shard) = self.shards.get_mut(&oref.namespace) else {
             return Err(ApiError::NotFound(oref.clone()));
         };
+        let base = shard.committed;
         let mut tally = ShardTally::default();
         let result = shard_fast_forward(shard, oref, rv, &mut tally);
+        let appended = tally.appended;
         self.finish_serial(tally);
+        if journal && appended > 0 {
+            self.wal_commit(
+                &oref.namespace,
+                base,
+                false,
+                appended,
+                vec![wal_op_ff(oref, rv)],
+            );
+        }
+        self.wal_seal();
         result
     }
 
@@ -645,13 +958,19 @@ impl Store {
         // Single-shard short-circuit: one namespace means one lane, so the
         // batch applies inline on the coordinator — the shard stays in the
         // map and neither the pool nor any channel is touched.
+        let journal = self.wal.is_some();
         if grouped.len() == 1 {
             let (ns, batch) = grouped.pop_first().expect("checked non-empty");
             self.ensure_shard(&ns);
             let shard = self.shards.get_mut(&ns).expect("just ensured");
-            let outcome = apply_shard_batch(shard, batch);
-            self.finish_serial(outcome.tally);
+            let outcome = apply_shard_batch(shard, batch, journal);
+            let mut tally = outcome.tally;
+            let ops = std::mem::take(&mut tally.wal_ops);
+            let (base, appended) = (tally.wal_base, tally.appended);
+            self.finish_serial(tally);
+            self.wal_commit(&ns, base, true, appended, ops);
             self.maybe_drop_shard(&ns);
+            self.wal_seal();
             let mut results = outcome.results;
             results.sort_by_key(|(ticket, _)| *ticket);
             return results;
@@ -663,18 +982,24 @@ impl Store {
             items.push((ns, shard, batch));
         }
         // Hand each shard to a worker; shards move out of the map and back,
-        // so workers own their slice outright.
-        let outcomes = self.executor.run(items, |(ns, mut shard, batch)| {
-            let outcome = apply_shard_batch(&mut shard, batch);
+        // so workers own their slice outright (and serialize their own WAL
+        // ops in parallel — the coordinator only appends the built records).
+        let outcomes = self.executor.run(items, move |(ns, mut shard, batch)| {
+            let outcome = apply_shard_batch(&mut shard, batch, journal);
             (ns, shard, outcome)
         });
         let mut results = Vec::new();
         for (ns, shard, outcome) in outcomes {
             self.shards.insert(ns.clone(), shard);
-            self.finish_serial(outcome.tally);
+            let mut tally = outcome.tally;
+            let ops = std::mem::take(&mut tally.wal_ops);
+            let (base, appended) = (tally.wal_base, tally.appended);
+            self.finish_serial(tally);
+            self.wal_commit(&ns, base, true, appended, ops);
             self.maybe_drop_shard(&ns);
             results.extend(outcome.results);
         }
+        self.wal_seal();
         results.sort_by_key(|(ticket, _)| *ticket);
         results
     }
@@ -789,8 +1114,15 @@ impl Store {
                     member.pending,
                     "pending counter out of sync in shard {ns}"
                 );
-                w.total_pending -= member.pending;
-                w.total_pending_bytes -= member.pending_bytes;
+                // Saturating for the same reason as the namespace-delete
+                // refunds: a counter bug must not wrap the totals.
+                debug_assert!(
+                    w.total_pending >= member.pending
+                        && w.total_pending_bytes >= member.pending_bytes,
+                    "watcher totals behind shard {ns} counters"
+                );
+                w.total_pending = w.total_pending.saturating_sub(member.pending);
+                w.total_pending_bytes = w.total_pending_bytes.saturating_sub(member.pending_bytes);
                 touched.push(ns.clone());
             }
             let m = shard
@@ -904,6 +1236,16 @@ impl Store {
         self.shards.len()
     }
 
+    /// Names of all live shards, in order.
+    pub fn shard_names(&self) -> Vec<String> {
+        self.shards.keys().cloned().collect()
+    }
+
+    /// Committed revision of a single shard (0 if the shard does not exist).
+    pub fn shard_revision(&self, namespace: &str) -> u64 {
+        self.shards.get(namespace).map(|s| s.committed).unwrap_or(0)
+    }
+
     /// Watch/notification traffic counters.
     pub fn watch_stats(&self) -> WatchStats {
         self.stats
@@ -947,6 +1289,12 @@ impl Store {
             return;
         }
         let shard = self.shards.remove(ns).expect("checked above");
+        // The drop resets the namespace's revision counter: replay must
+        // see it, or a recreated namespace's commit records would replay
+        // against the dead incarnation's revisions.
+        if let Some(w) = self.wal.as_mut() {
+            w.drop_shard(ns);
+        }
         for (id, member) in shard.members {
             debug_assert_eq!(member.pending, 0, "empty log implies nothing pending");
             if let Some(w) = self.watchers.get_mut(&id) {
@@ -978,12 +1326,12 @@ fn shard_append(
     // Collect interested watchers via the shard's selector indexes; the
     // set dedupes watchers reachable through several selectors, so the
     // pending counter bumps exactly once per delivered event.
-    let mut interested: BTreeSet<WatchId> = shard.all_watchers.iter().copied().collect();
+    let mut interested: BTreeSet<WatchId> = shard.all_watchers.keys().copied().collect();
     if let Some(ids) = shard.kind_watchers.get(&oref.kind) {
-        interested.extend(ids.iter().copied());
+        interested.extend(ids.keys().copied());
     }
     if let Some(ids) = shard.object_watchers.get(&oref) {
-        interested.extend(ids.iter().copied());
+        interested.extend(ids.keys().copied());
     }
     // Size the notification payload once per event, and only when somebody
     // will actually receive it. The cache entry always mirrors the newest
@@ -1075,7 +1423,10 @@ impl Store {
     /// / audit layers) and then calls [`Store::finish_delete_namespace`].
     pub fn begin_delete_namespace(&mut self, ns: &str) -> Vec<ObjectRef> {
         let Store {
-            shards, watchers, ..
+            shards,
+            watchers,
+            wal,
+            ..
         } = self;
         let Some(shard) = shards.get_mut(ns) else {
             return Vec::new();
@@ -1101,25 +1452,46 @@ impl Store {
             }
             if let Some(member) = removed {
                 // Last registration gone: refund everything undelivered.
-                w.total_pending -= member.pending;
-                w.total_pending_bytes -= member.pending_bytes;
+                // Saturating: an over-trimmed hold must not wrap the
+                // totals and poison `pending_bytes()` (which sizes driver
+                // wake transfers in the runtime's pump loop).
+                debug_assert!(
+                    w.total_pending >= member.pending
+                        && w.total_pending_bytes >= member.pending_bytes,
+                    "watcher totals behind shard {ns} counters"
+                );
+                w.total_pending = w.total_pending.saturating_sub(member.pending);
+                w.total_pending_bytes = w.total_pending_bytes.saturating_sub(member.pending_bytes);
                 w.shards.remove(ns);
             } else {
                 // Still a member through global selectors. Pending counts
                 // may include events only the cancelled selectors matched;
-                // re-settle them against the remaining selector set.
+                // re-settle them against the remaining selector set:
+                // refund the old charge in full, then re-charge the
+                // recount. The two-step form cannot wrap even if a bug
+                // ever let the recount exceed the old charge.
                 let member = *shard.members.get(&id).expect("still a member");
                 if member.pending > 0 {
                     let (p, b) = recount_pending(shard, member.cursor, &w.selectors);
                     let m = shard.members.get_mut(&id).expect("still a member");
-                    w.total_pending -= m.pending - p;
-                    w.total_pending_bytes -= m.pending_bytes - b;
+                    debug_assert!(
+                        m.pending >= p && m.pending_bytes >= b,
+                        "re-settle grew shard {ns} pending counts"
+                    );
+                    w.total_pending = w.total_pending.saturating_sub(m.pending).saturating_add(p);
+                    w.total_pending_bytes = w
+                        .total_pending_bytes
+                        .saturating_sub(m.pending_bytes)
+                        .saturating_add(b);
                     m.pending = p;
                     m.pending_bytes = b;
                 }
             }
         }
         shard.retiring = true;
+        if let Some(w) = wal.as_mut() {
+            w.retire(ns);
+        }
         shard.objects.keys().cloned().collect()
     }
 
@@ -1128,8 +1500,12 @@ impl Store {
     pub fn finish_delete_namespace(&mut self, ns: &str) {
         if let Some(shard) = self.shards.get_mut(ns) {
             shard.retiring = true;
+            if let Some(w) = self.wal.as_mut() {
+                w.retire(ns);
+            }
         }
         self.compact_shard(ns);
+        self.wal_seal();
     }
 
     /// Deletes a namespace: every object in it is deleted (emitting
@@ -1260,11 +1636,21 @@ struct ShardOutcome {
 }
 
 /// Executes one shard's slice of a batch in ticket order, with a single
-/// compaction pass at the end instead of one per write.
-fn apply_shard_batch(shard: &mut Shard, batch: Vec<(usize, StoreOp)>) -> ShardOutcome {
-    let mut tally = ShardTally::default();
+/// compaction pass at the end instead of one per write. With `journal`
+/// set, successful ops are serialized into the tally for the
+/// coordinator's WAL commit record.
+fn apply_shard_batch(
+    shard: &mut Shard,
+    batch: Vec<(usize, StoreOp)>,
+    journal: bool,
+) -> ShardOutcome {
+    let mut tally = ShardTally {
+        wal_base: shard.committed,
+        ..ShardTally::default()
+    };
     let mut results = Vec::with_capacity(batch.len());
     for (ticket, op) in batch {
+        let rec = journal.then(|| wal_op_json(&op));
         let result = match op {
             StoreOp::Create { oref, model } => shard_create(shard, oref, model, &mut tally),
             StoreOp::Put {
@@ -1280,11 +1666,218 @@ fn apply_shard_batch(shard: &mut Shard, batch: Vec<(usize, StoreOp)>) -> ShardOu
                 shard_delete(shard, &oref, &mut tally).map(|o| o.resource_version)
             }
         };
+        if result.is_ok() {
+            if let Some(rec) = rec {
+                tally.wal_ops.push(rec);
+            }
+        }
         results.push((ticket, result));
     }
     tally.compacted += compact(shard);
     tally.compaction_passes += 1;
     ShardOutcome { results, tally }
+}
+
+// ----- WAL op serialization / replay ---------------------------------------
+//
+// Successful ops are journaled as small JSON documents; replay routes them
+// back through the shard-local mutation functions above, so a recovered
+// shard is bit-identical to the one that logged them. `expected_rv` guards
+// are dropped on serialization: only ops that already committed are
+// logged, and replay starts from the identical base state.
+
+/// Starts an op record in `out`: `{"op":"<verb>","kind":…,"ns":…,"name":…`
+/// — one buffer, no intermediate strings (op serialization runs once per
+/// journaled write).
+fn wal_op_open(out: &mut String, verb: &str, oref: &ObjectRef) {
+    out.push_str("{\"op\":\"");
+    out.push_str(verb);
+    out.push_str("\",\"kind\":");
+    json::write_str_to(out, &oref.kind);
+    out.push_str(",\"ns\":");
+    json::write_str_to(out, &oref.namespace);
+    out.push_str(",\"name\":");
+    json::write_str_to(out, &oref.name);
+}
+
+fn wal_op_with_model(verb: &str, key: &str, oref: &ObjectRef, model: &Value) -> String {
+    let mut out = String::with_capacity(64 + json::encoded_len(model));
+    wal_op_open(&mut out, verb, oref);
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    json::write_to(&mut out, model);
+    out.push('}');
+    out
+}
+
+fn wal_op_create(oref: &ObjectRef, model: &Value) -> String {
+    wal_op_with_model("create", "model", oref, model)
+}
+
+fn wal_op_put(oref: &ObjectRef, model: &Value) -> String {
+    wal_op_with_model("put", "model", oref, model)
+}
+
+fn wal_op_merge(oref: &ObjectRef, patch: &Value) -> String {
+    wal_op_with_model("merge", "patch", oref, patch)
+}
+
+/// Appends a `merge` op to `out` — the journal hot path for `patch`, so
+/// no intermediate strings.
+fn wal_op_merge_into(out: &mut String, oref: &ObjectRef, patch: &Value) {
+    wal_op_open(out, "merge", oref);
+    out.push_str(",\"patch\":");
+    json::write_to(out, patch);
+    out.push('}');
+}
+
+/// Appends a `set` op to `out` — the journal hot path for `patch_path`.
+/// The path renders segment by segment straight into the buffer (its
+/// canonical `.a.b[0]` form), escaped as it goes: no `path.to_string()`.
+fn wal_op_set_into(out: &mut String, oref: &ObjectRef, path: &Path, value: &Value) {
+    use std::fmt::Write as _;
+    wal_op_open(out, "set", oref);
+    out.push_str(",\"path\":\"");
+    if path.is_empty() {
+        out.push('.');
+    }
+    for seg in path.segments() {
+        match seg {
+            Segment::Key(k) => {
+                out.push('.');
+                json::write_str_body_to(out, k);
+            }
+            Segment::Index(i) => {
+                let _ = write!(out, "[{i}]");
+            }
+        }
+    }
+    out.push_str("\",\"value\":");
+    json::write_to(out, value);
+    out.push('}');
+}
+
+fn wal_op_set(oref: &ObjectRef, path: &Path, value: &Value) -> String {
+    let mut out = String::with_capacity(96);
+    wal_op_set_into(&mut out, oref, path, value);
+    out
+}
+
+fn wal_op_delete(oref: &ObjectRef) -> String {
+    let mut out = String::with_capacity(64);
+    wal_op_open(&mut out, "del", oref);
+    out.push('}');
+    out
+}
+
+fn wal_op_ff(oref: &ObjectRef, rv: u64) -> String {
+    let mut out = String::with_capacity(72);
+    wal_op_open(&mut out, "ff", oref);
+    out.push_str(",\"rv\":");
+    out.push_str(&wal::exact(rv));
+    out.push('}');
+    out
+}
+
+fn wal_op_json(op: &StoreOp) -> String {
+    match op {
+        StoreOp::Create { oref, model } => wal_op_create(oref, model),
+        StoreOp::Put { oref, model, .. } => wal_op_put(oref, model),
+        StoreOp::Merge { oref, patch } => wal_op_merge(oref, patch),
+        StoreOp::SetPath { oref, path, value } => wal_op_set(oref, path, value),
+        StoreOp::Delete { oref } => wal_op_delete(oref),
+    }
+}
+
+/// Re-applies one journaled op to a recovering shard. Every logged op
+/// committed once, so failure here means the log and the recovered state
+/// disagree — surfaced as corruption by the caller.
+fn replay_op(shard: &mut Shard, op: Value, tally: &mut ShardTally) -> Result<(), String> {
+    let Value::Object(mut map) = op else {
+        return Err("op is not an object".to_string());
+    };
+    let verb = match map.get("op") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => return Err("op missing verb".to_string()),
+    };
+    let mut take_str = |k: &str| match map.remove(k) {
+        Some(Value::Str(s)) => Ok(s),
+        _ => Err(format!("op missing '{k}'")),
+    };
+    let (kind, ns, name) = (take_str("kind")?, take_str("ns")?, take_str("name")?);
+    let oref = ObjectRef::new(kind, ns, name);
+    let fail = |e: ApiError| e.to_string();
+    match verb.as_str() {
+        "create" => {
+            let model = map.remove("model").ok_or("op missing 'model'")?;
+            shard_create(shard, oref, model, tally)
+                .map(|_| ())
+                .map_err(fail)
+        }
+        "put" => {
+            let model = map.remove("model").ok_or("op missing 'model'")?;
+            shard_update(shard, &oref, model, None, tally)
+                .map(|_| ())
+                .map_err(fail)
+        }
+        "merge" => {
+            let patch = map.remove("patch").ok_or("op missing 'patch'")?;
+            shard_merge(shard, &oref, &patch, tally)
+                .map(|_| ())
+                .map_err(fail)
+        }
+        "set" => {
+            let path: Path = match map.get("path") {
+                Some(Value::Str(s)) => s.parse().map_err(|e| format!("bad path: {e}"))?,
+                _ => return Err("op missing 'path'".to_string()),
+            };
+            let value = map.remove("value").ok_or("op missing 'value'")?;
+            shard_set_path(shard, &oref, &path, value, tally)
+                .map(|_| ())
+                .map_err(fail)
+        }
+        "del" => shard_delete(shard, &oref, tally).map(|_| ()).map_err(fail),
+        "ff" => {
+            let rv = map
+                .get("rv")
+                .and_then(Value::as_exact_u64)
+                .ok_or("op missing 'rv'")?;
+            shard_fast_forward(shard, &oref, rv, tally)
+                .map(|_| ())
+                .map_err(fail)
+        }
+        other => Err(format!("unknown wal op '{other}'")),
+    }
+}
+
+/// Serializes every shard for a checkpoint document.
+fn checkpoint_shards_json(shards: &BTreeMap<String, Shard>) -> String {
+    let mut out = Vec::with_capacity(shards.len());
+    for (ns, shard) in shards {
+        let objects: Vec<String> = shard
+            .objects
+            .values()
+            .map(|o| {
+                format!(
+                    "{{\"kind\":{},\"namespace\":{},\"name\":{},\"rv\":{},\"model\":{}}}",
+                    wal::jstr(&o.oref.kind),
+                    wal::jstr(&o.oref.namespace),
+                    wal::jstr(&o.oref.name),
+                    wal::exact(o.resource_version),
+                    json::to_string(&o.model)
+                )
+            })
+            .collect();
+        out.push(format!(
+            "{{\"ns\":{},\"committed\":{},\"retiring\":{},\"objects\":[{}]}}",
+            wal::jstr(ns),
+            wal::exact(shard.committed),
+            shard.retiring,
+            objects.join(",")
+        ));
+    }
+    out.join(",")
 }
 
 fn shard_create(
@@ -1427,6 +2020,11 @@ fn shard_delete(
         .objects_mut()
         .remove(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
+    // Drop the cached encoded length eagerly: if the oref is recreated the
+    // stale hint would poison the size accounting for the new object's
+    // events. `shard_append` also evicts on Deleted, but only when a watcher
+    // is interested — this covers the watcher-free path too.
+    shard.enc_cache.remove(oref);
     obj.resource_version += 1;
     stamp_gen(Shared::make_mut(&mut obj.model), obj.resource_version);
     shard_append(
@@ -2063,5 +2661,163 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].coalesced, 2);
         assert_eq!(evs[0].event.kind, WatchEventKind::Deleted);
+    }
+
+    /// Regression: a watcher cancelled while a namespace deletion is
+    /// draining (i.e. during the compaction window its selectors were
+    /// holding open) must leave every accounting total at zero — no wrapped
+    /// `total_pending_bytes` poisoning `pending_bytes()`.
+    #[test]
+    fn cancel_during_namespace_drain_keeps_totals_sane() {
+        let mut s = Store::new();
+        let oref = ObjectRef::new("Lamp", "room", "l1");
+        s.create(oref.clone(), model_in("Lamp", "room", "l1"))
+            .unwrap();
+        // A scoped watcher homed in the retiring namespace plus a global
+        // one: cancellation exercises both deregistration paths.
+        let scoped = s.watch_selector(WatchSelector::KindInNamespace {
+            kind: "Lamp".into(),
+            namespace: "room".into(),
+        });
+        let global = s.watch(None);
+        s.update(&oref, model_in("Lamp", "room", "l1"), None)
+            .unwrap();
+        assert!(s.pending_bytes(scoped) > 0);
+        assert!(s.pending_bytes(global) > 0);
+        // Begin the namespace deletion: scoped selectors are cancelled and
+        // refunded; the global watcher's counts are re-settled.
+        let victims = s.begin_delete_namespace("room");
+        assert_eq!(victims, vec![oref.clone()]);
+        assert_eq!(
+            s.pending_bytes(scoped),
+            0,
+            "refund must zero the homed watcher, not wrap it"
+        );
+        for v in &victims {
+            s.delete(v).unwrap();
+        }
+        // Cancel the lagging global watcher mid-drain: its compaction hold
+        // is released and the retiring shard can be reclaimed.
+        s.cancel_watch(global);
+        assert_eq!(s.pending_bytes(global), 0);
+        s.finish_delete_namespace("room");
+        assert_eq!(s.shard_log_len("room"), 0, "hold released, log drained");
+        assert_eq!(s.shard_count(), 0, "retiring shard dropped");
+        // The survivor still works.
+        assert_eq!(s.pending_bytes(scoped), 0);
+        assert!(s.poll(scoped).is_empty());
+    }
+
+    /// Regression: re-settling a global watcher when a namespace-homed
+    /// selector is cancelled must recount, not subtract blindly.
+    #[test]
+    fn mixed_selector_watcher_resettles_on_namespace_delete() {
+        let mut s = Store::new();
+        let room = ObjectRef::new("Lamp", "room", "l1");
+        let hall = ObjectRef::new("Lamp", "hall", "l2");
+        s.create(room.clone(), model_in("Lamp", "room", "l1"))
+            .unwrap();
+        s.create(hall.clone(), model_in("Lamp", "hall", "l2"))
+            .unwrap();
+        // One watcher, two selectors: global Kind plus a scoped duplicate
+        // homed in "room" (refcount 2 in that shard).
+        let w = s.watch(Some("Lamp"));
+        s.add_selector(
+            w,
+            WatchSelector::KindInNamespace {
+                kind: "Lamp".into(),
+                namespace: "room".into(),
+            },
+        );
+        s.update(&room, model_in("Lamp", "room", "l1"), None)
+            .unwrap();
+        s.update(&hall, model_in("Lamp", "hall", "l2"), None)
+            .unwrap();
+        let before = s.pending_bytes(w);
+        assert!(before > 0);
+        // Deleting "room" cancels the scoped selector; the watcher stays a
+        // member through Kind("Lamp") and its counts are re-settled.
+        s.delete_namespace("room");
+        let evs = s.poll(w);
+        // Pre-deletion updates plus the terminal Deleted event, all exactly
+        // once: no gaps, no duplicates.
+        let deleted: Vec<_> = evs
+            .iter()
+            .filter(|e| e.kind == WatchEventKind::Deleted)
+            .collect();
+        assert_eq!(deleted.len(), 1);
+        assert_eq!(deleted[0].oref, room);
+        assert_eq!(
+            evs.iter().filter(|e| e.oref == hall).count(),
+            1,
+            "hall update delivered once"
+        );
+        assert_eq!(s.pending_bytes(w), 0, "fully drained, nothing wrapped");
+    }
+
+    /// Regression: a cached encoded length must not survive object
+    /// deletion — on recreate, the stale hint would corrupt byte
+    /// accounting for the new object's events.
+    #[test]
+    fn enc_cache_evicted_on_delete_then_recreate() {
+        let mut s = Store::new();
+        // Big model first so a stale hint would visibly overcharge.
+        let big = json::parse(&format!(
+            r#"{{"meta": {{"kind": "Lamp", "name": "l1", "namespace": "default"}}, "blob": "{}"}}"#,
+            "x".repeat(4096)
+        ))
+        .unwrap();
+        s.create(lamp_ref(), big).unwrap();
+        let w = s.watch(Some("Lamp"));
+        // Touch it so the enc_cache holds the big length, then delete with
+        // no poll in between (the watcher-free eviction path in
+        // shard_delete is the one under test for serial deletes too).
+        s.update(&lamp_ref(), model("Lamp", "l1"), None).unwrap();
+        s.delete(&lamp_ref()).unwrap();
+        s.poll(w);
+        assert_eq!(s.pending_bytes(w), 0);
+        // Recreate under the same oref with a small model: pending bytes
+        // must reflect the small model, not the cached big one.
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        let small = s.pending_bytes(w);
+        assert!(small > 0);
+        assert!(
+            small < 256,
+            "stale enc_cache hint leaked across delete: {small} bytes"
+        );
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(
+            small,
+            json::encoded_len(&evs[0].model) as u64,
+            "pending bytes must equal the recreated model's encoding"
+        );
+    }
+
+    /// Same leak, namespace-GC path: delete_namespace drops the whole
+    /// shard, so recreating the namespace must start with a clean cache.
+    #[test]
+    fn enc_cache_cleared_by_namespace_delete() {
+        let mut s = Store::new();
+        let oref = ObjectRef::new("Lamp", "room", "l1");
+        let big = json::parse(&format!(
+            r#"{{"meta": {{"kind": "Lamp", "name": "l1", "namespace": "room"}}, "blob": "{}"}}"#,
+            "y".repeat(4096)
+        ))
+        .unwrap();
+        s.create(oref.clone(), big).unwrap();
+        s.delete_namespace("room");
+        assert_eq!(s.shard_count(), 0, "shard dropped with no watchers");
+        let w = s.watch(None);
+        s.create(oref.clone(), model_in("Lamp", "room", "l1"))
+            .unwrap();
+        let small = s.pending_bytes(w);
+        assert!(
+            small > 0 && small < 256,
+            "fresh shard, fresh cache: {small}"
+        );
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(small, json::encoded_len(&evs[0].model) as u64);
     }
 }

@@ -1,0 +1,779 @@
+//! Per-namespace write-ahead log and snapshot checkpoints for the store.
+//!
+//! Each namespace shard journals to its own append-only file
+//! (`wal-<ns>.log`), so the log inherits the store's sharding: writers in
+//! different namespaces never contend for a file, and a namespace's
+//! history is totally ordered within one file. Records are framed as
+//!
+//! ```text
+//! [u32 le payload length][u32 le checksum][JSON payload]
+//! ```
+//!
+//! over the `dspace_value::json` codec; a torn final record (short frame
+//! or checksum mismatch) ends the readable prefix, and recovery truncates
+//! the file there so appends resume on a whole-record boundary.
+//!
+//! Payloads are one of three record types, each carrying the namespace
+//! and a per-namespace monotonic sequence number (the `seq` survives
+//! shard drop/recreate cycles, which is what lets a checkpoint state
+//! exactly how much of each file it has absorbed):
+//!
+//! - `commit` — one shard slice of a mutation verb: the shard revision it
+//!   started from (`base`), whether the verb (re)ensured the shard (which
+//!   clears a pending retirement), how many events it appended, and the
+//!   successful ops in ticket order.
+//! - `retire` — the namespace entered deletion draining.
+//! - `drop` — the drained shard was dropped (its revision counter resets
+//!   if the namespace is ever recreated).
+//!
+//! A checkpoint (`checkpoint.json`, written to a temp file, fsynced, and
+//! renamed) captures every shard's objects and revision counter plus the
+//! per-namespace sequence floor; records at or below the floor are
+//! skipped on replay, and the logs are truncated once the checkpoint is
+//! durable. Recovery is therefore checkpoint-load + tail-replay.
+//!
+//! Append and flush failures panic: a store that silently stops
+//! journaling is strictly worse than one that crashes and recovers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use dspace_value::{json, Value};
+
+/// When appended records are pushed toward disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSync {
+    /// Buffer appends in user space (the default): bytes reach the
+    /// operating system when the writer's buffer drains, at checkpoints,
+    /// and when the store is dropped. A hard kill can lose the buffered
+    /// tail, and recovery then stops cleanly at the last whole record —
+    /// the same contract as losing the OS page cache to a power cut.
+    Batch,
+    /// Additionally `fdatasync` every touched log once per mutation verb.
+    /// Survives power loss, at a large per-commit cost.
+    Commit,
+}
+
+/// Where and how a [`crate::store::Store`] journals.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding the `wal-*.log` files and `checkpoint.json`.
+    pub dir: PathBuf,
+    /// Sync policy for appends.
+    pub sync: WalSync,
+    /// Roll a checkpoint after this many logged commit records.
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityOptions {
+    /// Durability rooted at `dir` with the default policy: per-verb OS
+    /// flush, checkpoint every 1024 commits.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityOptions {
+            dir: dir.into(),
+            sync: WalSync::Batch,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+/// A recovery failure: an I/O error, or a log/checkpoint whose contents
+/// are inconsistent with replaying onto the recovered state.
+#[derive(Debug)]
+pub struct WalError {
+    message: String,
+}
+
+impl WalError {
+    pub(crate) fn corrupt(message: impl Into<String>) -> Self {
+        WalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wal: {}", self.message)
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// One replayable log record (the namespace is the map key in
+/// [`Recovered::records`]).
+#[derive(Debug)]
+pub enum WalRecord {
+    /// One shard slice of a mutation verb.
+    Commit {
+        /// Per-namespace sequence number.
+        seq: u64,
+        /// Shard revision when the slice began; replay asserts it.
+        base: u64,
+        /// The verb (re)ensured the shard: create it if absent and clear
+        /// a pending retirement, exactly like the live path.
+        ensure: bool,
+        /// Events the slice appended (replay cross-checks its own count).
+        appended: u64,
+        /// Successful ops in ticket order, as parsed JSON payloads.
+        ops: Vec<Value>,
+    },
+    /// The namespace entered deletion draining.
+    Retire {
+        /// Per-namespace sequence number.
+        seq: u64,
+    },
+    /// The drained shard was dropped (revision resets on recreation).
+    Drop {
+        /// Per-namespace sequence number.
+        seq: u64,
+    },
+}
+
+impl WalRecord {
+    fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Commit { seq, .. } | WalRecord::Retire { seq } | WalRecord::Drop { seq } => {
+                *seq
+            }
+        }
+    }
+}
+
+/// One object in a checkpoint.
+#[derive(Debug)]
+pub struct CheckpointObject {
+    /// Object kind.
+    pub kind: String,
+    /// Object namespace.
+    pub namespace: String,
+    /// Object name.
+    pub name: String,
+    /// Resource version at checkpoint time.
+    pub resource_version: u64,
+    /// The committed model.
+    pub model: Value,
+}
+
+/// One shard in a checkpoint.
+#[derive(Debug)]
+pub struct CheckpointShard {
+    /// The shard's namespace.
+    pub namespace: String,
+    /// Events ever committed in the shard.
+    pub committed: u64,
+    /// The namespace was draining toward deletion.
+    pub retiring: bool,
+    /// The shard's objects.
+    pub objects: Vec<CheckpointObject>,
+}
+
+/// A parsed `checkpoint.json` (empty when none was ever written).
+#[derive(Debug, Default)]
+pub struct Checkpoint {
+    /// Global commit counter at checkpoint time.
+    pub committed_total: u64,
+    /// Per-namespace sequence floor: records at or below it are already
+    /// reflected in the checkpoint state.
+    pub seqs: BTreeMap<String, u64>,
+    /// Every live shard at checkpoint time.
+    pub shards: Vec<CheckpointShard>,
+}
+
+/// Everything [`Wal::open`] read back from the durability directory.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The newest durable checkpoint (default/empty when none exists).
+    pub checkpoint: Checkpoint,
+    /// Per-namespace log tails, each in file (= commit) order, already
+    /// filtered down to records above the checkpoint's sequence floor.
+    pub records: BTreeMap<String, Vec<WalRecord>>,
+}
+
+/// One namespace's open appender.
+#[derive(Debug)]
+struct NsLog {
+    w: io::BufWriter<File>,
+    /// Appends since the last commit-mode sync.
+    dirty: bool,
+    /// The namespace pre-escaped as a JSON string, reused by every
+    /// record so the hot path never re-escapes it.
+    ns_json: String,
+}
+
+/// The open journal: per-namespace appenders plus the sequence counters.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    sync: WalSync,
+    checkpoint_every: u64,
+    /// Open appenders, keyed by namespace (opened lazily on first append).
+    files: BTreeMap<String, NsLog>,
+    /// Last sequence number handed out per namespace. Monotonic across
+    /// shard drop/recreate cycles and across restarts.
+    seqs: BTreeMap<String, u64>,
+    /// Reusable payload buffer for the commit hot path: grows to the
+    /// working record size once, then every commit builds in place.
+    scratch: String,
+}
+
+impl Wal {
+    /// Opens the durability directory: loads the checkpoint, scans every
+    /// log (truncating torn tails in place), and returns the journal
+    /// handle alongside everything the store must replay.
+    pub fn open(opts: &DurabilityOptions) -> Result<(Wal, Recovered), WalError> {
+        fs::create_dir_all(&opts.dir)?;
+        // A leftover temp file is a checkpoint that never got renamed
+        // into place; its state is fully covered by the logs.
+        let _ = fs::remove_file(opts.dir.join("checkpoint.json.tmp"));
+        let checkpoint = load_checkpoint(&opts.dir)?;
+        let mut records: BTreeMap<String, Vec<WalRecord>> = BTreeMap::new();
+        let mut seqs = checkpoint.seqs.clone();
+        for path in wal_files(&opts.dir)? {
+            let data = fs::read(&path)?;
+            let (recs, valid_len) = scan_records(&data);
+            if valid_len < data.len() {
+                // Torn tail: drop the partial record so future appends
+                // start on a whole-record boundary.
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(valid_len as u64)?;
+            }
+            for (ns, rec) in recs {
+                let floor = checkpoint.seqs.get(&ns).copied().unwrap_or(0);
+                let seq = rec.seq();
+                let s = seqs.entry(ns.clone()).or_insert(0);
+                *s = (*s).max(seq);
+                if seq > floor {
+                    records.entry(ns).or_default().push(rec);
+                }
+            }
+        }
+        let wal = Wal {
+            dir: opts.dir.clone(),
+            sync: opts.sync,
+            checkpoint_every: opts.checkpoint_every.max(1),
+            files: BTreeMap::new(),
+            seqs,
+            scratch: String::new(),
+        };
+        Ok((
+            wal,
+            Recovered {
+                checkpoint,
+                records,
+            },
+        ))
+    }
+
+    /// The configured checkpoint interval (in commit records).
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// Appends a `commit` record for one shard slice from pre-rendered
+    /// op strings (the batch path).
+    pub fn commit(&mut self, ns: &str, base: u64, ensure: bool, appended: u64, ops: &[String]) {
+        self.commit_with(ns, base, ensure, appended, |out| {
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(op);
+            }
+        });
+    }
+
+    /// Appends a `commit` record whose ops are rendered by `write_ops`
+    /// directly into the payload buffer. This is the journal hot path —
+    /// one call per mutation verb — so the payload is built in a single
+    /// reused buffer with no per-record allocations.
+    pub fn commit_with(
+        &mut self,
+        ns: &str,
+        base: u64,
+        ensure: bool,
+        appended: u64,
+        write_ops: impl FnOnce(&mut String),
+    ) {
+        let seq = self.next_seq(ns);
+        let mut payload = std::mem::take(&mut self.scratch);
+        payload.clear();
+        let log = self.log_mut(ns);
+        payload.push_str("{\"t\":\"commit\",\"seq\":");
+        push_exact(&mut payload, seq);
+        payload.push_str(",\"ns\":");
+        payload.push_str(&log.ns_json);
+        payload.push_str(",\"base\":");
+        push_exact(&mut payload, base);
+        payload.push_str(",\"ensure\":");
+        payload.push_str(if ensure { "true" } else { "false" });
+        payload.push_str(",\"appended\":");
+        push_exact(&mut payload, appended);
+        payload.push_str(",\"ops\":[");
+        write_ops(&mut payload);
+        payload.push_str("]}");
+        write_frame(&mut log.w, ns, &payload);
+        log.dirty = true;
+        self.scratch = payload;
+    }
+
+    /// Appends a `retire` record (the namespace entered deletion).
+    pub fn retire(&mut self, ns: &str) {
+        let seq = self.next_seq(ns);
+        let payload = format!(r#"{{"t":"retire","seq":{},"ns":{}}}"#, exact(seq), jstr(ns));
+        self.append(ns, &payload);
+    }
+
+    /// Appends a `drop` record (the drained shard was removed).
+    pub fn drop_shard(&mut self, ns: &str) {
+        let seq = self.next_seq(ns);
+        let payload = format!(r#"{{"t":"drop","seq":{},"ns":{}}}"#, exact(seq), jstr(ns));
+        self.append(ns, &payload);
+    }
+
+    /// Pushes appended records toward disk per the sync policy. Called
+    /// once per mutation verb by the store: a no-op in batch mode (the
+    /// buffer drains on its own schedule), flush + `fdatasync` in commit
+    /// mode.
+    pub fn flush(&mut self) {
+        if self.sync != WalSync::Commit {
+            return;
+        }
+        for (ns, log) in &mut self.files {
+            if !log.dirty {
+                continue;
+            }
+            log.w
+                .flush()
+                .unwrap_or_else(|e| panic!("wal: flush for namespace '{ns}' failed: {e}"));
+            log.w
+                .get_ref()
+                .sync_data()
+                .unwrap_or_else(|e| panic!("wal: fsync for namespace '{ns}' failed: {e}"));
+            log.dirty = false;
+        }
+    }
+
+    /// Unconditionally drains every writer's buffer to the OS. Runs
+    /// before a checkpoint truncates the logs, so no buffered pre-
+    /// checkpoint record can land after the truncation point.
+    fn flush_all(&mut self) {
+        for (ns, log) in &mut self.files {
+            log.w
+                .flush()
+                .unwrap_or_else(|e| panic!("wal: flush for namespace '{ns}' failed: {e}"));
+            log.dirty = false;
+        }
+    }
+
+    /// The per-namespace sequence floor as a JSON object, for embedding
+    /// into a checkpoint document.
+    pub fn seqs_json(&self) -> String {
+        let entries: Vec<String> = self
+            .seqs
+            .iter()
+            .map(|(ns, s)| format!("{}:{}", jstr(ns), exact(*s)))
+            .collect();
+        format!("{{{}}}", entries.join(","))
+    }
+
+    /// Durably installs `doc` as the newest checkpoint (write-temp,
+    /// fsync, rename, fsync-dir) and truncates every log: all their
+    /// records are at or below the floor the document embeds.
+    pub fn write_checkpoint(&mut self, doc: &str) {
+        self.flush_all();
+        let tmp = self.dir.join("checkpoint.json.tmp");
+        let target = self.dir.join("checkpoint.json");
+        let write = || -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(doc.as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, &target)?;
+            // Make the rename itself durable; best effort on filesystems
+            // where directories cannot be opened.
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+            // Every logged record is covered by the checkpoint now. Open
+            // appenders use O_APPEND, so they keep writing at the (new)
+            // end after the truncate.
+            for path in wal_files(&self.dir)? {
+                OpenOptions::new().write(true).open(&path)?.set_len(0)?;
+            }
+            Ok(())
+        };
+        write().unwrap_or_else(|e| panic!("wal: checkpoint failed: {e}"));
+    }
+
+    fn next_seq(&mut self, ns: &str) -> u64 {
+        if let Some(s) = self.seqs.get_mut(ns) {
+            *s += 1;
+            return *s;
+        }
+        self.seqs.insert(ns.to_string(), 1);
+        1
+    }
+
+    /// The namespace's appender, opened (and its JSON name cached) on
+    /// first use.
+    fn log_mut(&mut self, ns: &str) -> &mut NsLog {
+        if !self.files.contains_key(ns) {
+            let path = self.dir.join(format!("wal-{}.log", escape_ns(ns)));
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("wal: cannot open {}: {e}", path.display()));
+            self.files.insert(
+                ns.to_string(),
+                NsLog {
+                    // 64 KiB: batch mode drains on buffer fill, so a
+                    // bigger buffer means fewer write syscalls per verb
+                    // (the buffered tail is already forfeit on hard kill).
+                    w: io::BufWriter::with_capacity(64 << 10, file),
+                    dirty: false,
+                    ns_json: jstr(ns),
+                },
+            );
+        }
+        self.files.get_mut(ns).expect("just inserted")
+    }
+
+    fn append(&mut self, ns: &str, payload: &str) {
+        let log = self.log_mut(ns);
+        write_frame(&mut log.w, ns, payload);
+        log.dirty = true;
+    }
+}
+
+/// Writes one length-prefixed, checksummed frame.
+fn write_frame(w: &mut io::BufWriter<File>, ns: &str, payload: &str) {
+    let bytes = payload.as_bytes();
+    let frame = |w: &mut io::BufWriter<File>| -> io::Result<()> {
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&checksum(bytes).to_le_bytes())?;
+        w.write_all(bytes)
+    };
+    frame(w).unwrap_or_else(|e| panic!("wal: append for namespace '{ns}' failed: {e}"));
+}
+
+/// Appends `n` in the journal's exact-u64 encoding: plain decimal while
+/// exactly representable as `f64`, a quoted decimal string beyond 2^53
+/// (mirroring [`Value::from_exact_u64`]), without building a `Value`.
+fn push_exact(out: &mut String, n: u64) {
+    use std::fmt::Write;
+    if n <= (1u64 << 53) {
+        let _ = write!(out, "{n}");
+    } else {
+        let _ = write!(out, "\"{n}\"");
+    }
+}
+
+/// Renders a `u64` exactly, via [`Value::from_exact_u64`]: a JSON number
+/// up to 2^53, a decimal string literal beyond.
+pub(crate) fn exact(n: u64) -> String {
+    json::to_string(&Value::from_exact_u64(n))
+}
+
+/// Renders a JSON string literal.
+pub(crate) fn jstr(s: &str) -> String {
+    json::to_string(&Value::Str(s.to_string()))
+}
+
+/// 32-bit frame checksum: 64-bit FNV-1a over 8-byte words (length mixed
+/// into the seed, tail zero-padded) folded to 32 bits. Word-at-a-time
+/// keeps the serial multiply chain ~8x shorter than byte-wise FNV on the
+/// append hot path; a torn or corrupt tail only needs a well-mixed
+/// fingerprint, not a cryptographic digest.
+fn checksum(bytes: &[u8]) -> u32 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64);
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        h = (h ^ u64::from_le_bytes(w.try_into().expect("8 bytes"))).wrapping_mul(PRIME);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Escapes a namespace into a filename: `[A-Za-z0-9_-]` verbatim,
+/// everything else `%XX`. Collisions are impossible and the mapping need
+/// not be reversed — every record carries its namespace.
+fn escape_ns(ns: &str) -> String {
+    let mut out = String::with_capacity(ns.len());
+    for b in ns.bytes() {
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Lists the `wal-*.log` files under `dir`, sorted for determinism.
+fn wal_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans one log's bytes into records, returning them with the length of
+/// the valid prefix. A short frame, checksum mismatch, or unparseable
+/// payload ends the scan — by construction that is a torn tail.
+fn scan_records(data: &[u8]) -> (Vec<(String, WalRecord)>, usize) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if data.len() - pos < 8 {
+            break;
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let sum = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if data.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if checksum(payload) != sum {
+            break;
+        }
+        let Some(rec) = parse_record(payload) else {
+            break;
+        };
+        out.push(rec);
+        pos += 8 + len;
+    }
+    (out, pos)
+}
+
+fn parse_record(payload: &[u8]) -> Option<(String, WalRecord)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let Ok(Value::Object(mut map)) = json::parse(text) else {
+        return None;
+    };
+    let t = match map.get("t") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => return None,
+    };
+    let ns = match map.remove("ns") {
+        Some(Value::Str(s)) => s,
+        _ => return None,
+    };
+    let seq = map.get("seq")?.as_exact_u64()?;
+    let record = match t.as_str() {
+        "commit" => {
+            let base = map.get("base")?.as_exact_u64()?;
+            let ensure = map.get("ensure")?.as_bool()?;
+            let appended = map.get("appended")?.as_exact_u64()?;
+            let ops = match map.remove("ops") {
+                Some(Value::Array(a)) => a,
+                _ => return None,
+            };
+            WalRecord::Commit {
+                seq,
+                base,
+                ensure,
+                appended,
+                ops,
+            }
+        }
+        "retire" => WalRecord::Retire { seq },
+        "drop" => WalRecord::Drop { seq },
+        _ => return None,
+    };
+    Some((ns, record))
+}
+
+fn load_checkpoint(dir: &Path) -> Result<Checkpoint, WalError> {
+    let path = dir.join("checkpoint.json");
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Checkpoint::default()),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |what: &str| WalError::corrupt(format!("checkpoint.json: {what}"));
+    let Ok(Value::Object(mut map)) = json::parse(&text) else {
+        return Err(corrupt("not a JSON object"));
+    };
+    let committed_total = map
+        .get("committed_total")
+        .and_then(Value::as_exact_u64)
+        .ok_or_else(|| corrupt("missing committed_total"))?;
+    let mut seqs = BTreeMap::new();
+    match map.remove("seqs") {
+        Some(Value::Object(m)) => {
+            for (ns, v) in m {
+                let seq = v
+                    .as_exact_u64()
+                    .ok_or_else(|| corrupt("non-integer sequence floor"))?;
+                seqs.insert(ns, seq);
+            }
+        }
+        _ => return Err(corrupt("missing seqs")),
+    }
+    let mut shards = Vec::new();
+    let Some(Value::Array(shard_docs)) = map.remove("shards") else {
+        return Err(corrupt("missing shards"));
+    };
+    for doc in shard_docs {
+        let Value::Object(mut sm) = doc else {
+            return Err(corrupt("shard entry is not an object"));
+        };
+        let namespace = match sm.remove("ns") {
+            Some(Value::Str(s)) => s,
+            _ => return Err(corrupt("shard entry missing ns")),
+        };
+        let committed = sm
+            .get("committed")
+            .and_then(Value::as_exact_u64)
+            .ok_or_else(|| corrupt("shard entry missing committed"))?;
+        let retiring = sm
+            .get("retiring")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| corrupt("shard entry missing retiring"))?;
+        let mut objects = Vec::new();
+        let Some(Value::Array(object_docs)) = sm.remove("objects") else {
+            return Err(corrupt("shard entry missing objects"));
+        };
+        for doc in object_docs {
+            let Value::Object(mut om) = doc else {
+                return Err(corrupt("object entry is not an object"));
+            };
+            let take_str = |m: &mut BTreeMap<String, Value>, k: &str| match m.remove(k) {
+                Some(Value::Str(s)) => Some(s),
+                _ => None,
+            };
+            let kind =
+                take_str(&mut om, "kind").ok_or_else(|| corrupt("object entry missing kind"))?;
+            let ons = take_str(&mut om, "namespace")
+                .ok_or_else(|| corrupt("object entry missing namespace"))?;
+            let name =
+                take_str(&mut om, "name").ok_or_else(|| corrupt("object entry missing name"))?;
+            let resource_version = om
+                .get("rv")
+                .and_then(Value::as_exact_u64)
+                .ok_or_else(|| corrupt("object entry missing rv"))?;
+            let model = om
+                .remove("model")
+                .ok_or_else(|| corrupt("object entry missing model"))?;
+            objects.push(CheckpointObject {
+                kind,
+                namespace: ons,
+                name,
+                resource_version,
+                model,
+            });
+        }
+        shards.push(CheckpointShard {
+            namespace,
+            committed,
+            retiring,
+            objects,
+        });
+    }
+    Ok(Checkpoint {
+        committed_total,
+        seqs,
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("dspace-wal-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let opts = DurabilityOptions::new(&dir);
+        {
+            let (mut wal, recovered) = Wal::open(&opts).unwrap();
+            assert!(recovered.records.is_empty());
+            wal.commit(
+                "default",
+                0,
+                true,
+                1,
+                &[r#"{"op":"del","kind":"K","ns":"default","name":"n"}"#.to_string()],
+            );
+            wal.retire("default");
+            wal.drop_shard("default");
+            wal.flush();
+        }
+        // Append a torn frame: a header promising more bytes than exist.
+        let path = dir.join("wal-default.log");
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&1000u32.to_le_bytes()).unwrap();
+            f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x01]).unwrap();
+        }
+        let len_with_torn = fs::metadata(&path).unwrap().len();
+        let (_, recovered) = Wal::open(&opts).unwrap();
+        let recs = &recovered.records["default"];
+        assert_eq!(recs.len(), 3);
+        assert!(matches!(
+            recs[0],
+            WalRecord::Commit {
+                seq: 1,
+                base: 0,
+                ensure: true,
+                appended: 1,
+                ..
+            }
+        ));
+        assert!(matches!(recs[1], WalRecord::Retire { seq: 2 }));
+        assert!(matches!(recs[2], WalRecord::Drop { seq: 3 }));
+        // The torn tail was truncated away in place.
+        assert!(fs::metadata(&path).unwrap().len() < len_with_torn);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_ends_the_scan() {
+        let payload = br#"{"t":"retire","seq":1,"ns":"a"}"#;
+        let mut data = Vec::new();
+        data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        data.extend_from_slice(&checksum(payload).to_le_bytes());
+        data.extend_from_slice(payload);
+        let good_len = data.len();
+        data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        data.extend_from_slice(&(checksum(payload) ^ 1).to_le_bytes());
+        data.extend_from_slice(payload);
+        let (recs, valid) = scan_records(&data);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(valid, good_len);
+    }
+
+    #[test]
+    fn namespace_escaping() {
+        assert_eq!(escape_ns("tenant-7"), "tenant-7");
+        assert_eq!(escape_ns("a/b c"), "a%2Fb%20c");
+        assert_eq!(escape_ns("é"), "%C3%A9");
+    }
+}

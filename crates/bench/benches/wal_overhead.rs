@@ -1,0 +1,261 @@
+//! Write-path cost of durability: the same commit loop against an
+//! in-memory store, a WAL in batch mode (buffered write per verb, fsync
+//! only at checkpoints), and a WAL in commit mode (fdatasync per verb).
+//!
+//! Emits `BENCH_wal_overhead.json` at the repo root. In full mode the
+//! batch-mode ratio is a hard floor: journaling must stay within 1.3x of
+//! the in-memory write path. Commit mode is reported but not bounded —
+//! an fdatasync per verb costs whatever the disk says it costs.
+
+use dspace_apiserver::{ApiServer, DurabilityOptions, ObjectRef, WalSync, WatchId, WatchSelector};
+use dspace_value::json;
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dspace-bench-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn model(ns: &str, name: &str) -> dspace_value::Value {
+    json::parse(&format!(
+        r#"{{"meta": {{"kind": "Lamp", "name": "{name}", "namespace": "{ns}"}},
+             "control": {{"power": {{"intent": null, "status": null}},
+                          "brightness": {{"intent": 0.5, "status": 0.5}}}},
+             "obs": {{"lumens": 120, "temp_c": 31.5}}}}"#
+    ))
+    .unwrap()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Off,
+    Batch,
+    Commit,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Batch => "batch",
+            Mode::Commit => "commit",
+        }
+    }
+}
+
+/// `namespaces * digis` lamps with one per-namespace watcher, over the
+/// requested durability mode.
+fn build(
+    mode: Mode,
+    dir: &std::path::Path,
+    namespaces: usize,
+    digis: usize,
+) -> (ApiServer, Vec<WatchId>) {
+    // Checkpoints are timed separately (`checkpoint_probe`); pushing the
+    // interval out of reach keeps the sweep a pure append-path measure.
+    let mut api = match mode {
+        Mode::Off => ApiServer::new(),
+        Mode::Batch => {
+            let mut opts = DurabilityOptions::new(dir.to_path_buf());
+            opts.checkpoint_every = u64::MAX;
+            ApiServer::open(opts).unwrap()
+        }
+        Mode::Commit => {
+            let mut opts = DurabilityOptions::new(dir.to_path_buf());
+            opts.sync = WalSync::Commit;
+            opts.checkpoint_every = u64::MAX;
+            ApiServer::open(opts).unwrap()
+        }
+    };
+    for i in 0..digis {
+        let ns = format!("ns{}", i % namespaces);
+        let oref = ObjectRef::new("Lamp", &ns, format!("l{i}"));
+        api.create(ApiServer::ADMIN, &oref, model(&ns, &format!("l{i}")))
+            .unwrap();
+    }
+    let watchers = (0..namespaces)
+        .map(|k| {
+            api.watch_selector(
+                ApiServer::ADMIN,
+                WatchSelector::KindInNamespace {
+                    kind: "Lamp".into(),
+                    namespace: format!("ns{k}"),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    (api, watchers)
+}
+
+/// One commit round: every digi mutates once (one journaled verb each),
+/// then every watcher drains its shard.
+fn round(api: &mut ApiServer, namespaces: usize, digis: usize, watchers: &[WatchId], toggle: f64) {
+    for i in 0..digis {
+        let ns = format!("ns{}", i % namespaces);
+        api.patch_path(
+            ApiServer::ADMIN,
+            &ObjectRef::new("Lamp", ns, format!("l{i}")),
+            ".control.brightness.intent",
+            toggle.into(),
+        )
+        .unwrap();
+    }
+    for &w in watchers {
+        api.poll(w);
+    }
+}
+
+/// One timed run of the workload: build a fresh store, one untimed
+/// warmup round (populates watcher logs and encode caches), then
+/// `rounds` timed rounds.
+fn run_once(mode: Mode, t: usize, namespaces: usize, digis: usize, rounds: usize) -> f64 {
+    let dir = scratch_dir(&format!("{}-{t}", mode.name()));
+    let (mut api, watchers) = build(mode, &dir, namespaces, digis);
+    round(&mut api, namespaces, digis, &watchers, 1.0);
+    let start = std::time::Instant::now();
+    for r in 0..rounds {
+        round(
+            &mut api,
+            namespaces,
+            digis,
+            &watchers,
+            r as f64 / rounds as f64,
+        );
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(api);
+    let _ = std::fs::remove_dir_all(&dir);
+    ms
+}
+
+/// Times `trials` full runs per mode and keeps each mode's fastest.
+/// Trials are interleaved across modes (off, batch, commit, off, ...)
+/// so slow drift in machine load lands on every mode equally instead of
+/// penalizing whichever mode happens to run last.
+fn time_modes(
+    modes: &[Mode],
+    namespaces: usize,
+    digis: usize,
+    rounds: usize,
+    trials: usize,
+) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; modes.len()];
+    for t in 0..trials {
+        for (i, &mode) in modes.iter().enumerate() {
+            let ms = run_once(mode, t, namespaces, digis, rounds);
+            best[i] = best[i].min(ms);
+        }
+    }
+    best
+}
+
+fn sweep(smoke: bool) {
+    let namespaces: usize = 8;
+    let digis: usize = if smoke { 32 } else { 256 };
+    let rounds: usize = if smoke { 2 } else { 16 };
+    let trials: usize = if smoke { 1 } else { 7 };
+    println!();
+    println!(
+        "wal overhead sweep: {digis} digis / {namespaces} namespaces, \
+         {rounds} rounds x 1 journaled verb per digi, best of {trials} (interleaved)"
+    );
+    println!("{:>8} {:>10} {:>9}", "mode", "ms", "vs-off");
+    // Off and batch interleave for the full trial count — theirs is the
+    // asserted ratio, so both must see the same load profile. Commit mode
+    // is report-only and pays an fdatasync per verb; two trials suffice.
+    let modes = [Mode::Off, Mode::Batch, Mode::Commit];
+    let mut times = time_modes(&[Mode::Off, Mode::Batch], namespaces, digis, rounds, trials);
+    times.extend(time_modes(
+        &[Mode::Commit],
+        namespaces,
+        digis,
+        rounds,
+        if smoke { 1 } else { 2 },
+    ));
+    let off_ms = times[0];
+    let mut rows = Vec::new();
+    let mut batch_ratio = 0.0;
+    for (mode, ms) in modes.into_iter().zip(times) {
+        let ratio = ms / off_ms;
+        if mode == Mode::Batch {
+            batch_ratio = ratio;
+        }
+        println!("{:>8} {:>10.2} {:>8.2}x", mode.name(), ms, ratio);
+        rows.push(format!(
+            r#"    {{"mode": "{}", "ms": {ms:.3}, "ratio_vs_off": {ratio:.3}}}"#,
+            mode.name()
+        ));
+    }
+    if !smoke {
+        assert!(
+            batch_ratio <= 1.3,
+            "batch-mode WAL must stay within 1.3x of the in-memory write \
+             path, got {batch_ratio:.2}x"
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"wal_overhead\",\n  \"namespaces\": {namespaces},\n  \"digis\": {digis},\n  \"rounds\": {rounds},\n  \"trials\": {trials},\n  \"smoke\": {smoke},\n  \"batch_ratio_vs_off\": {batch_ratio:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal_overhead.json");
+    std::fs::write(path, json).expect("write BENCH_wal_overhead.json");
+    println!("wrote {path}");
+    println!();
+}
+
+/// Checkpoint cost for the record: serialize-whole-store + fsync + log
+/// truncation, amortized over `checkpoint_every` commits in production.
+fn checkpoint_probe(smoke: bool) {
+    let namespaces: usize = 8;
+    let digis: usize = if smoke { 32 } else { 256 };
+    let dir = scratch_dir("ckpt");
+    let (mut api, _watchers) = build(Mode::Batch, &dir, namespaces, digis);
+    let start = std::time::Instant::now();
+    api.checkpoint();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("checkpoint probe: {digis} digis snapshotted in {ms:.2} ms");
+    drop(api);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery cost for the record: how long `ApiServer::open` takes to
+/// replay the journal the sweep's batch leg would leave behind.
+fn recovery_probe(smoke: bool) {
+    let namespaces: usize = 8;
+    let digis: usize = if smoke { 32 } else { 256 };
+    let rounds: usize = if smoke { 2 } else { 16 };
+    let dir = scratch_dir("recover");
+    let (mut api, watchers) = build(Mode::Batch, &dir, namespaces, digis);
+    for r in 0..rounds {
+        round(
+            &mut api,
+            namespaces,
+            digis,
+            &watchers,
+            r as f64 / rounds as f64,
+        );
+    }
+    let committed = api.revision();
+    drop(api);
+    let start = std::time::Instant::now();
+    let api = ApiServer::open(DurabilityOptions::new(dir.clone())).unwrap();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        api.revision(),
+        committed,
+        "replay must reach the crash point"
+    );
+    println!(
+        "recovery probe: {} commits replayed in {ms:.2} ms",
+        committed
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    sweep(smoke);
+    checkpoint_probe(smoke);
+    recovery_probe(smoke);
+}

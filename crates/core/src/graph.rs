@@ -322,6 +322,21 @@ impl DigiGraph {
         Ok(state)
     }
 
+    /// Re-installs an edge recovered from durable storage, bypassing the
+    /// mount-rule check and the yield-on-second-parent transition: the edge
+    /// was legal when it committed, and its `(mode, state)` payload — not a
+    /// recomputed one — is the truth being restored.
+    pub fn restore(&mut self, edge: MountEdge) {
+        self.children
+            .entry(edge.parent.clone())
+            .or_default()
+            .insert(edge.child.clone(), (edge.mode, edge.state));
+        self.parents
+            .entry(edge.child)
+            .or_default()
+            .insert(edge.parent, (edge.mode, edge.state));
+    }
+
     /// Removes a mount edge.
     pub fn unmount(&mut self, child: &ObjectRef, parent: &ObjectRef) -> Result<(), GraphError> {
         let kids = self

@@ -3,7 +3,7 @@
 //! digidata, composes them into a hierarchy, and programs the space via
 //! the declarative API exposed by the root digivice").
 
-use dspace_apiserver::{ApiError, ApiServer, ObjectRef};
+use dspace_apiserver::{ApiError, ApiServer, DurabilityOptions, ObjectRef, WalError};
 use dspace_simnet::{millis, LatencyModel, RetryPolicy, Sim, Time};
 use dspace_value::{KindSchema, Value};
 
@@ -40,6 +40,10 @@ pub struct SpaceConfig {
     /// modes leave bit-identical store state — this too is purely a
     /// wall-clock knob.
     pub batch_controller_writes: bool,
+    /// When set, the apiserver journals every commit to this WAL/checkpoint
+    /// directory and recovers from it on open ([`Space::open`]). `None`
+    /// (the default) keeps the store purely in-memory.
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for SpaceConfig {
@@ -51,6 +55,7 @@ impl Default for SpaceConfig {
             retry: RetryPolicy::default(),
             threads: 0,
             batch_controller_writes: true,
+            durability: None,
         }
     }
 }
@@ -113,20 +118,46 @@ impl Space {
     /// The subject used for user-initiated operations.
     pub const USER: &'static str = "user";
 
-    /// Creates a space.
+    /// Creates a space. Panics if `config.durability` names a directory
+    /// whose journal cannot be opened; use [`Space::open`] to handle that.
     pub fn new(config: SpaceConfig) -> Self {
-        let mut world = World::new(config.links, config.seed);
+        Self::open(config).expect("store recovery failed")
+    }
+
+    /// Creates a space, recovering durable state when
+    /// `config.durability` is set. Digi models, revisions, graph edges,
+    /// and Sync port claims come back; drivers and devices do not —
+    /// re-attach them (by the same names) after opening.
+    pub fn open(config: SpaceConfig) -> Result<Self, WalError> {
+        let mut world = match config.durability {
+            Some(opts) => World::open(config.links, config.seed, opts)?,
+            None => World::new(config.links, config.seed),
+        };
         world.set_reconcile_latency(config.reconcile);
         world.set_retry_policy(config.retry);
         if config.threads > 0 {
             world.api.set_executor_threads(config.threads);
         }
         world.set_controller_batching(config.batch_controller_writes);
-        Space {
+        // Recovered digis are addressable by name again (system objects
+        // aren't digis and never enter the name table).
+        let mut names = BTreeMap::new();
+        for obj in world.api.dump() {
+            if matches!(obj.oref.kind.as_str(), "Sync" | "Policy") {
+                continue;
+            }
+            names.entry(obj.oref.name.clone()).or_insert(obj.oref);
+        }
+        Ok(Space {
             sim: Sim::new(),
             world,
-            names: BTreeMap::new(),
-        }
+            names,
+        })
+    }
+
+    /// Forces a store checkpoint now (no-op on a non-durable space).
+    pub fn checkpoint(&mut self) {
+        self.world.api.checkpoint();
     }
 
     /// Registers a digi kind schema and widens the controllers' watch

@@ -14,7 +14,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use dspace_apiserver::{AdmissionResponse, AdmissionReview, AdmissionWebhook, ObjectRef, Verb};
+use dspace_apiserver::{
+    AdmissionResponse, AdmissionReview, AdmissionWebhook, Object, ObjectRef, Verb,
+};
 use dspace_value::Value;
 
 use crate::graph::{DigiGraph, EdgeState, MountMode};
@@ -212,6 +214,36 @@ impl TopologyWebhook {
                     }
                 },
                 _ => {}
+            }
+        }
+    }
+
+    /// Rebuilds the webhook's derived state — graph edges and Sync port
+    /// claims — from objects recovered out of durable storage. The models
+    /// were admitted when they first committed, so edges are re-installed
+    /// verbatim ([`DigiGraph::restore`]) rather than re-reviewed: replay
+    /// order is namespace order, not commit order, and re-running the
+    /// yield-on-second-parent transition could flip edge states.
+    pub fn restore(&mut self, objects: &[Object]) {
+        let mut graph = self.graph.borrow_mut();
+        for obj in objects {
+            match obj.oref.kind.as_str() {
+                "Sync" => {
+                    if let Some((_s, port)) = sync_spec_ports(&obj.model) {
+                        self.ports.insert(obj.oref.clone(), port);
+                    }
+                }
+                "Policy" => {}
+                _ => {
+                    for r in mount_refs(&obj.model, &obj.oref.namespace) {
+                        graph.restore(crate::graph::MountEdge {
+                            parent: obj.oref.clone(),
+                            child: r.child,
+                            mode: r.mode,
+                            state: r.state,
+                        });
+                    }
+                }
             }
         }
     }

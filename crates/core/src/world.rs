@@ -17,7 +17,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use dspace_apiserver::{
-    ApiServer, CoalescedEvent, ObjectRef, Role, Rule, Verb, WatchId, WatchSelector,
+    ApiServer, CoalescedEvent, DurabilityOptions, Object, ObjectRef, Role, Rule, Verb, WalError,
+    WatchId, WatchSelector,
 };
 use dspace_simnet::{Delivery, LatencyModel, Link, Metrics, RetryPolicy, Rng, Sim};
 use dspace_value::{KindSchema, Shared, Value};
@@ -159,9 +160,29 @@ impl World {
     /// Builds a world with the three dSpace controllers, the topology
     /// webhook, and a user CLI component already registered.
     pub fn new(links: LinkSet, seed: u64) -> Self {
+        Self::assemble(ApiServer::new(), links, seed)
+    }
+
+    /// Builds a world on a durable apiserver, recovering any state a
+    /// previous incarnation committed to `opts.dir`: recovered models come
+    /// back through the store, and the digi-graph plus Sync port claims are
+    /// rebuilt from them before the topology webhook starts reviewing new
+    /// writes. Components (drivers, devices) are *not* persisted — re-add
+    /// them after opening, exactly as on a fresh world.
+    pub fn open(links: LinkSet, seed: u64, opts: DurabilityOptions) -> Result<Self, WalError> {
+        Ok(Self::assemble(ApiServer::open(opts)?, links, seed))
+    }
+
+    fn assemble(mut api: ApiServer, links: LinkSet, seed: u64) -> Self {
         let graph = Rc::new(RefCell::new(DigiGraph::new()));
-        let mut api = ApiServer::new();
-        api.register_webhook(Box::new(TopologyWebhook::new(graph.clone())));
+        let mut topology = TopologyWebhook::new(graph.clone());
+        // A recovered store already holds committed models; rebuild the
+        // webhook's derived state from them before it reviews anything.
+        let recovered: Vec<Object> = api.dump();
+        if !recovered.is_empty() {
+            topology.restore(&recovered);
+        }
+        api.register_webhook(Box::new(topology));
         // Controller and user roles (§3.6): controllers get broad access;
         // the user (home owner) gets full access to digi models.
         api.rbac_mut()
@@ -252,6 +273,11 @@ impl World {
             Component::User(UserCli::default()),
         );
         world.ensure_namespace("default");
+        // Recovered namespaces are live: re-announce them so space-scoped
+        // controllers subscribe there just as they would have pre-crash.
+        for obj in &recovered {
+            world.ensure_namespace(&obj.oref.namespace);
+        }
         world
     }
 

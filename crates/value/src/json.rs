@@ -6,7 +6,7 @@
 //! jq semantics.
 
 use std::collections::BTreeMap;
-use std::fmt;
+use std::fmt::{self, Write as _};
 
 use crate::value::Value;
 
@@ -288,6 +288,26 @@ pub fn to_string(value: &Value) -> String {
     out
 }
 
+/// Appends the compact serialization of `value` to `out`. The allocation-
+/// free sibling of [`to_string`] for callers assembling larger documents
+/// (the store's journal builds whole records in one buffer).
+pub fn write_to(out: &mut String, value: &Value) {
+    write_value(out, value, None, 0);
+}
+
+/// Appends `s` serialized as a JSON string (quotes and escapes included)
+/// to `out`.
+pub fn write_str_to(out: &mut String, s: &str) {
+    write_string(out, s);
+}
+
+/// Appends the escaped body of `s` — no surrounding quotes — for callers
+/// assembling a JSON string literal from several pieces (the store's
+/// journal renders attribute paths segment by segment).
+pub fn write_str_body_to(out: &mut String, s: &str) {
+    write_string_body(out, s);
+}
+
 /// Returns the byte length of the compact serialization of `value`
 /// without materializing the string. Used by the simulator to size
 /// network transfers by the actual payload (`to_string(value).len()`
@@ -405,19 +425,27 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 }
 
 fn write_number(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        // JSON cannot represent NaN/Inf; jq renders them as large numbers,
-        // we choose null-compatible 0 to stay parseable.
+    if n.is_nan() {
+        // JSON cannot represent NaN; render it as null like jq does.
         out.push_str("null");
+    } else if n.is_infinite() {
+        // Infinities round-trip: "1e999" overflows f64 parsing back to
+        // ±inf, so serialize → parse preserves the value (jq's own trick).
+        out.push_str(if n > 0.0 { "1e999" } else { "-1e999" });
     } else if n == n.trunc() && n.abs() < 1e15 {
-        out.push_str(&format!("{}", n as i64));
+        let _ = write!(out, "{}", n as i64);
     } else {
-        out.push_str(&format!("{n}"));
+        let _ = write!(out, "{n}");
     }
 }
 
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
+    write_string_body(out, s);
+    out.push('"');
+}
+
+fn write_string_body(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -426,12 +454,11 @@ fn write_string(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
-    out.push('"');
 }
 
 #[cfg(test)]
@@ -444,6 +471,37 @@ mod tests {
             let v = parse(s).unwrap();
             let back = parse(&to_string(&v)).unwrap();
             assert_eq!(v, back, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_parseable() {
+        // NaN has no JSON spelling; it degrades to null. Infinities must
+        // round-trip exactly: the overflow literal parses back to ±inf.
+        assert_eq!(to_string(&Value::Num(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Num(f64::INFINITY)), "1e999");
+        assert_eq!(to_string(&Value::Num(f64::NEG_INFINITY)), "-1e999");
+        for v in [Value::Num(f64::INFINITY), Value::Num(f64::NEG_INFINITY)] {
+            let s = to_string(&v);
+            assert_eq!(parse(&s).unwrap(), v, "infinity roundtrip via {s}");
+            assert_eq!(encoded_len(&v), s.len());
+        }
+    }
+
+    #[test]
+    fn large_integers_roundtrip_exactly() {
+        // Past 2^53 not every u64 is representable, but every f64 the
+        // codec can hold must survive serialize → parse bit-for-bit.
+        for n in [
+            2f64.powi(53),
+            2f64.powi(53) + 2.0,
+            2f64.powi(60),
+            f64::MAX,
+            -4.9e-324, // smallest subnormal
+        ] {
+            let s = to_string(&Value::Num(n));
+            let back = parse(&s).unwrap();
+            assert_eq!(back, Value::Num(n), "roundtrip failed for {s}");
         }
     }
 
