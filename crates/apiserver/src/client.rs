@@ -10,6 +10,7 @@ use dspace_value::Value;
 
 use crate::error::ApiError;
 use crate::object::{Object, ObjectRef};
+use crate::query::Query;
 use crate::rbac::Verb;
 use crate::server::ApiServer;
 use crate::store::{CoalescedEvent, StoreSnapshot, WatchEvent, WatchId, WatchSelector};
@@ -39,6 +40,16 @@ impl<'a> Client<'a> {
             subject: self.subject,
             namespace: namespace.into(),
         }
+    }
+
+    /// Runs a [`Query`] as this subject, across namespaces.
+    pub fn query(&mut self, q: &Query) -> Result<Vec<Object>, ApiError> {
+        self.api.query(&self.subject, q)
+    }
+
+    /// Opens a watch over one [`Query`] as this subject.
+    pub fn watch(&mut self, q: &Query) -> Result<WatchId, ApiError> {
+        self.api.watch_query(&self.subject, q)
     }
 }
 
@@ -84,9 +95,18 @@ impl NamespacedClient<'_> {
     }
 
     /// Lists objects of a kind in this namespace.
+    #[deprecated(note = "use `NamespacedClient::query` with a `Query`")]
+    #[allow(deprecated)]
     pub fn list(&self, kind: &str) -> Result<Vec<Object>, ApiError> {
         self.api
             .list_namespaced(&self.subject, kind, &self.namespace)
+    }
+
+    /// Runs a [`Query`] pinned to this handle's namespace (whatever
+    /// namespace the query carried is overridden).
+    pub fn query(&mut self, q: &Query) -> Result<Vec<Object>, ApiError> {
+        let q = q.clone().in_ns(self.namespace.as_str());
+        self.api.query(&self.subject, &q)
     }
 
     /// Replaces an object's model with optimistic concurrency control.
@@ -131,9 +151,17 @@ impl NamespacedClient<'_> {
         self.api.delete(&self.subject, &oref)
     }
 
-    /// Opens a watch over one kind *in this namespace* — the subscription
-    /// registers in exactly this namespace's shard, so activity elsewhere
-    /// can never wake it.
+    /// Opens a watch over one [`Query`] pinned to this handle's namespace.
+    /// The subscription registers in exactly this namespace's shard, so
+    /// activity elsewhere can never wake it.
+    pub fn watch(&mut self, q: &Query) -> Result<WatchId, ApiError> {
+        let q = q.clone().in_ns(self.namespace.as_str());
+        self.api.watch_query(&self.subject, &q)
+    }
+
+    /// Opens a watch over one kind *in this namespace*.
+    #[deprecated(note = "use `NamespacedClient::watch` with a `Query`")]
+    #[allow(deprecated)]
     pub fn watch_kind(&mut self, kind: &str) -> Result<WatchId, ApiError> {
         let selector = WatchSelector::KindInNamespace {
             kind: kind.to_string(),
@@ -143,6 +171,8 @@ impl NamespacedClient<'_> {
     }
 
     /// Opens a watch scoped to exactly one object.
+    #[deprecated(note = "use `NamespacedClient::watch` with a named `Query`")]
+    #[allow(deprecated)]
     pub fn watch_object(&mut self, kind: &str, name: &str) -> Result<WatchId, ApiError> {
         let oref = self.oref(kind, name);
         self.api.watch_object(&self.subject, &oref)
@@ -261,6 +291,7 @@ impl NamespacedReadClient<'_> {
     }
 
     /// Lists objects of a kind in this namespace (as of the snapshot).
+    #[deprecated(note = "use `NamespacedReadClient::query` with a `Query`")]
     pub fn list(&self, kind: &str) -> Result<Vec<Object>, ApiError> {
         let probe = ObjectRef::new(kind, self.namespace.clone(), "*");
         self.authorize(Verb::List, &probe)
@@ -273,10 +304,32 @@ impl NamespacedReadClient<'_> {
             })?;
         Ok(self
             .snap
-            .list_in(kind, &self.namespace)
+            .scan_in(kind, &self.namespace)
             .into_iter()
             .cloned()
             .collect())
+    }
+
+    /// Runs a [`Query`] pinned to this handle's namespace, served from the
+    /// snapshot. Snapshots carry no indexes, so this is always a filtered
+    /// scan — consistent, contention-free, and off the write coordinator.
+    pub fn query(&self, q: &Query) -> Result<Vec<Object>, ApiError> {
+        let q = q.clone().in_ns(self.namespace.as_str());
+        let probe = ObjectRef::new(
+            q.kind.as_deref().unwrap_or("*"),
+            self.namespace.clone(),
+            q.name.as_deref().unwrap_or("*"),
+        );
+        self.authorize(Verb::List, &probe)
+            .map_err(|_| ApiError::Forbidden {
+                subject: self.subject.clone(),
+                reason: format!(
+                    "List on kind {} in namespace {} not permitted",
+                    q.kind.as_deref().unwrap_or("*"),
+                    self.namespace
+                ),
+            })?;
+        Ok(self.snap.query(&q).into_iter().cloned().collect())
     }
 
     /// Returns `true` if the subscription has undelivered events. This is
@@ -289,6 +342,10 @@ impl NamespacedReadClient<'_> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims (`list`/`watch_kind`/`watch_object`) stay covered
+    // here until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use dspace_value::{AttrType, KindSchema};
 

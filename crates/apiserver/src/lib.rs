@@ -20,7 +20,7 @@
 //! # Examples
 //!
 //! ```
-//! use dspace_apiserver::{ApiServer, ObjectRef, Verb};
+//! use dspace_apiserver::{ApiServer, ObjectRef, Query, Verb};
 //! use dspace_value::{AttrType, KindSchema, Value};
 //!
 //! let mut api = ApiServer::new();
@@ -31,10 +31,15 @@
 //! let model = api.schema("Plug").unwrap().new_model("p1", "default");
 //! api.create(ApiServer::ADMIN, &plug, model).unwrap();
 //!
-//! let w = api.watch(ApiServer::ADMIN, Some("Plug")).unwrap();
+//! let w = api.watch_query(ApiServer::ADMIN, &Query::kind("Plug")).unwrap();
 //! api.patch_path(ApiServer::ADMIN, &plug, ".control.power.intent", "on".into()).unwrap();
 //! let events = api.poll(w);
 //! assert_eq!(events.len(), 1);
+//!
+//! // Filtered reads compile a reflex predicate and ride secondary indexes:
+//! let q = Query::kind("Plug").in_ns("default")
+//!     .filter(".control.power.intent == \"on\"").unwrap();
+//! assert_eq!(api.query(ApiServer::ADMIN, &q).unwrap().len(), 1);
 //! ```
 
 pub mod admission;
@@ -42,6 +47,7 @@ pub mod client;
 pub mod error;
 pub mod executor;
 pub mod object;
+pub mod query;
 pub mod rbac;
 pub mod server;
 pub mod store;
@@ -52,6 +58,7 @@ pub use client::{Client, NamespacedClient, NamespacedReadClient, ReadClient};
 pub use error::ApiError;
 pub use executor::{ShardExecutor, SHARD_THREADS_ENV};
 pub use object::{Object, ObjectRef};
+pub use query::{IndexKey, Plan, PredicateSelector, Query, QueryError, QueryPred};
 pub use rbac::{Role, RoleBinding, Rule, Verb};
 pub use server::{ApiServer, BatchOp};
 pub use store::{

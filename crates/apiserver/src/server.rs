@@ -9,6 +9,7 @@ use crate::admission::{AdmissionResponse, AdmissionReview, AdmissionWebhook};
 use crate::client::{Client, ReadClient};
 use crate::error::ApiError;
 use crate::object::{Object, ObjectRef};
+use crate::query::{Query, QueryError};
 use crate::rbac::{Rbac, Role, Rule, Verb};
 use crate::store::{
     stamp_gen, CoalescedEvent, Store, StoreOp, StoreSnapshot, WatchEvent, WatchId, WatchSelector,
@@ -414,6 +415,7 @@ impl ApiServer {
     }
 
     /// Lists objects of a kind.
+    #[deprecated(note = "use `ApiServer::query` with a `Query`")]
     pub fn list(&self, subject: &str, kind: &str) -> Result<Vec<Object>, ApiError> {
         let probe = ObjectRef::new(kind, "*", "*");
         self.authorize(subject, Verb::List, &probe)
@@ -421,10 +423,11 @@ impl ApiServer {
                 subject: subject.to_string(),
                 reason: format!("List on kind {kind} not permitted"),
             })?;
-        Ok(self.store.list(kind).into_iter().cloned().collect())
+        Ok(self.store.scan(kind).into_iter().cloned().collect())
     }
 
     /// Lists objects of a kind within one namespace.
+    #[deprecated(note = "use `ApiServer::query` with a `Query`")]
     pub fn list_namespaced(
         &self,
         subject: &str,
@@ -439,10 +442,36 @@ impl ApiServer {
             })?;
         Ok(self
             .store
-            .list_in(kind, namespace)
+            .scan_in(kind, namespace)
             .into_iter()
             .cloned()
             .collect())
+    }
+
+    /// Authorizes `List` against the narrowest ref a query covers.
+    fn authorize_query(&self, subject: &str, q: &Query) -> Result<(), ApiError> {
+        let probe = ObjectRef::new(
+            q.kind.as_deref().unwrap_or("*"),
+            q.namespace.as_deref().unwrap_or("*"),
+            q.name.as_deref().unwrap_or("*"),
+        );
+        self.authorize(subject, Verb::List, &probe)
+            .map_err(|_| ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("List on {probe} not permitted"),
+            })
+    }
+
+    /// Runs a [`Query`] — the one read verb behind which `list`/
+    /// `list_namespaced`/`dump` shapes collapsed. Filter predicates ride
+    /// the store's secondary indexes when plannable; the full predicate
+    /// is always re-evaluated, so results match a brute-force scan
+    /// exactly. Needs `&mut` because first use of a `(kind, path)` pair
+    /// builds its index; hot *read-only* paths should query a
+    /// [`StoreSnapshot`](crate::StoreSnapshot) instead.
+    pub fn query(&mut self, subject: &str, q: &Query) -> Result<Vec<Object>, ApiError> {
+        self.authorize_query(subject, q)?;
+        Ok(self.store.query(q))
     }
 
     /// Replaces an object's model with optimistic concurrency control.
@@ -613,25 +642,29 @@ impl ApiServer {
     }
 
     /// Opens a watch over `kind` (or everything when `None`).
+    #[deprecated(note = "use `ApiServer::watch_query` with a `Query`")]
     pub fn watch(&mut self, subject: &str, kind: Option<&str>) -> Result<WatchId, ApiError> {
-        self.watch_selector(
-            subject,
-            match kind {
-                None => WatchSelector::All,
-                Some(k) => WatchSelector::Kind(k.to_string()),
-            },
-        )
+        let selector = match kind {
+            None => WatchSelector::All,
+            Some(k) => WatchSelector::Kind(k.to_string()),
+        };
+        self.authorize_watch(subject, &selector)?;
+        Ok(self.store.open_watch(vec![selector]))
     }
 
     /// Opens a watch scoped to exactly one object. This is what digi
     /// drivers use: they only ever need their own model's events.
+    #[deprecated(note = "use `ApiServer::watch_query` with a `Query`")]
     pub fn watch_object(&mut self, subject: &str, oref: &ObjectRef) -> Result<WatchId, ApiError> {
-        self.watch_selector(subject, WatchSelector::Object(oref.clone()))
+        let selector = WatchSelector::Object(oref.clone());
+        self.authorize_watch(subject, &selector)?;
+        Ok(self.store.open_watch(vec![selector]))
     }
 
     /// Authorizes a watch by probing the narrowest ref the selector
     /// covers, so a subject allowed to watch only its own object can
-    /// still hold an `Object` subscription.
+    /// still hold an `Object` subscription. Predicate selectors probe
+    /// their kind-in-namespace scope: the filter only narrows it.
     fn authorize_watch(&self, subject: &str, selector: &WatchSelector) -> Result<(), ApiError> {
         let probe = match selector {
             WatchSelector::All => ObjectRef::new("*", "*", "*"),
@@ -640,6 +673,7 @@ impl ApiServer {
                 ObjectRef::new(kind, namespace, "*")
             }
             WatchSelector::Object(r) => r.clone(),
+            WatchSelector::Predicate(p) => ObjectRef::new(&p.kind, &p.namespace, "*"),
         };
         if self.rbac.authorize(subject, Verb::Watch, &probe) {
             Ok(())
@@ -652,19 +686,19 @@ impl ApiServer {
     }
 
     /// Opens a watch with an explicit selector.
+    #[deprecated(note = "use `ApiServer::watch_query` with a `Query`")]
     pub fn watch_selector(
         &mut self,
         subject: &str,
         selector: WatchSelector,
     ) -> Result<WatchId, ApiError> {
         self.authorize_watch(subject, &selector)?;
-        Ok(self.store.watch_selector(selector))
+        Ok(self.store.open_watch(vec![selector]))
     }
 
     /// Opens one watch subscription over the union of `selectors`. An
-    /// event matching several of them is still delivered once. The empty
-    /// union is a valid, never-firing subscription that can be widened
-    /// later with [`ApiServer::add_watch_selector`].
+    /// event matching several of them is still delivered once.
+    #[deprecated(note = "use `ApiServer::watch_queries` with `Query` values")]
     pub fn watch_selectors(
         &mut self,
         subject: &str,
@@ -673,11 +707,12 @@ impl ApiServer {
         for selector in &selectors {
             self.authorize_watch(subject, selector)?;
         }
-        Ok(self.store.watch_selectors(selectors))
+        Ok(self.store.open_watch(selectors))
     }
 
     /// Widens an existing subscription with another selector (only future
     /// events of the newly covered scope are delivered).
+    #[deprecated(note = "use `ApiServer::extend_watch` with a `Query`")]
     pub fn add_watch_selector(
         &mut self,
         subject: &str,
@@ -685,11 +720,66 @@ impl ApiServer {
         selector: WatchSelector,
     ) -> Result<(), ApiError> {
         self.authorize_watch(subject, &selector)?;
-        if self.store.add_selector(id, selector) {
+        if self.store.attach_selector(id, selector) {
             Ok(())
         } else {
             Err(ApiError::UnknownWatch(id))
         }
+    }
+
+    fn lower_query(q: &Query) -> Result<WatchSelector, ApiError> {
+        q.to_selector()
+            .map_err(|e: QueryError| ApiError::BadRequest(e.to_string()))
+    }
+
+    /// Opens a watch over one [`Query`] — the subscription half of the
+    /// composable query surface. Filtered queries become *predicate
+    /// watches*: the store matches them at commit time against the index
+    /// delta it just computed, so events failing the filter never go
+    /// pending for this subscription.
+    pub fn watch_query(&mut self, subject: &str, q: &Query) -> Result<WatchId, ApiError> {
+        self.watch_queries(subject, std::slice::from_ref(q))
+    }
+
+    /// Opens one watch subscription over the union of `queries`. An event
+    /// matching several of them is still delivered once. The empty union
+    /// is a valid, never-firing subscription that can be widened later
+    /// with [`ApiServer::extend_watch`].
+    pub fn watch_queries(&mut self, subject: &str, queries: &[Query]) -> Result<WatchId, ApiError> {
+        let selectors = queries
+            .iter()
+            .map(Self::lower_query)
+            .collect::<Result<Vec<_>, _>>()?;
+        for selector in &selectors {
+            self.authorize_watch(subject, selector)?;
+        }
+        Ok(self.store.open_watch(selectors))
+    }
+
+    /// Widens an existing subscription with another query (only future
+    /// events of the newly covered scope are delivered).
+    pub fn extend_watch(&mut self, subject: &str, id: WatchId, q: &Query) -> Result<(), ApiError> {
+        let selector = Self::lower_query(q)?;
+        self.authorize_watch(subject, &selector)?;
+        if self.store.attach_selector(id, selector) {
+            Ok(())
+        } else {
+            Err(ApiError::UnknownWatch(id))
+        }
+    }
+
+    /// Removes one occurrence of a query's selector from a subscription,
+    /// re-settling its pending accounting (events only the removed
+    /// selector matched stop being owed). Narrowing needs no
+    /// authorization — it can only shrink what the subject already holds.
+    /// Returns `Ok(false)` when the selector was not part of the
+    /// subscription.
+    pub fn narrow_watch(&mut self, id: WatchId, q: &Query) -> Result<bool, ApiError> {
+        let selector = Self::lower_query(q)?;
+        if !self.store.watch_exists(id) {
+            return Err(ApiError::UnknownWatch(id));
+        }
+        Ok(self.store.detach_selector(id, &selector))
     }
 
     /// Drains pending events for a watch subscription.
@@ -743,7 +833,7 @@ impl ApiServer {
 
     /// Lists every stored object (admin/debug use).
     pub fn dump(&self) -> Vec<Object> {
-        self.store.list_all().into_iter().cloned().collect()
+        self.store.scan_all().into_iter().cloned().collect()
     }
 
     /// Takes a consistent, immutable snapshot of the whole store (see
@@ -903,6 +993,10 @@ fn batch_to_store_op(op: BatchOp) -> Result<StoreOp, ApiError> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated verbs (`list`/`watch`/`watch_selector`/…) stay covered
+    // here until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::admission::testing::RejectForbiddenFlag;
     use dspace_value::{AttrType, KindSchema};

@@ -16,6 +16,7 @@ use dspace_value::{json, Path, Segment, Shared, Value, ValueError};
 use crate::error::ApiError;
 use crate::executor::ShardExecutor;
 use crate::object::{Object, ObjectRef};
+use crate::query::{IndexKey, Plan, PredicateSelector, Query, QueryError, QueryPred};
 use crate::wal::{self, Checkpoint, DurabilityOptions, Wal, WalError, WalRecord};
 
 /// What happened to an object.
@@ -92,10 +93,22 @@ pub enum WatchSelector {
         /// The namespace shard to register in.
         namespace: String,
     },
+    /// Objects of one kind inside one namespace whose *model* satisfies a
+    /// compiled predicate. Matching happens at commit time against the
+    /// index delta the shard just computed, so events that do not satisfy
+    /// the predicate never even go pending. Semantics are stateless: each
+    /// event is judged by its own model snapshot (a modification that
+    /// leaves the predicate produces no "goodbye" event; deletes are
+    /// judged by the final model).
+    Predicate(PredicateSelector),
 }
 
 impl WatchSelector {
-    /// Returns `true` if events about `oref` belong to this subscription.
+    /// Returns `true` if events about `oref` *can* belong to this
+    /// subscription. For predicate selectors this is the scope check only
+    /// (kind + namespace) — whether a concrete event matches also depends
+    /// on its model snapshot, which [`WatchSelector::event_matches`]
+    /// judges.
     pub fn matches(&self, oref: &ObjectRef) -> bool {
         match self {
             WatchSelector::All => true,
@@ -104,6 +117,20 @@ impl WatchSelector {
             WatchSelector::KindInNamespace { kind, namespace } => {
                 *kind == oref.kind && *namespace == oref.namespace
             }
+            WatchSelector::Predicate(p) => p.kind == oref.kind && p.namespace == oref.namespace,
+        }
+    }
+
+    /// Returns `true` if a concrete event (identity + model snapshot)
+    /// belongs to this subscription. This is the judgement the append
+    /// path charges pending counters by, and the poll path re-applies;
+    /// the two agree because predicates are pure functions of the model.
+    pub fn event_matches(&self, oref: &ObjectRef, model: &Value) -> bool {
+        match self {
+            WatchSelector::Predicate(p) => {
+                p.kind == oref.kind && p.namespace == oref.namespace && p.pred.matches(model)
+            }
+            _ => self.matches(oref),
         }
     }
 
@@ -118,6 +145,7 @@ impl WatchSelector {
         match self {
             WatchSelector::Object(r) => Some(&r.namespace),
             WatchSelector::KindInNamespace { namespace, .. } => Some(namespace),
+            WatchSelector::Predicate(p) => Some(&p.namespace),
             _ => None,
         }
     }
@@ -229,9 +257,74 @@ struct Shard {
     object_watchers: BTreeMap<ObjectRef, BTreeMap<WatchId, usize>>,
     /// Member watchers with their cursors and pending counters.
     members: BTreeMap<WatchId, ShardMember>,
+    /// Secondary indexes: `(kind, model path)` → value-keyed posting
+    /// lists over this shard's objects of that kind. Strictly *derived*
+    /// state — built lazily by the first query or predicate watch that
+    /// probes the pair (a scan of the kind slice), maintained
+    /// incrementally by every append from then on, and simply absent
+    /// after recovery until something asks again. Never persisted.
+    indexes: BTreeMap<(String, Path), PathIndex>,
+    /// Predicate subscriptions per kind, refcounted like the selector
+    /// indexes above. The append path evaluates these against the
+    /// committed model (pre-filtered by the index delta it just
+    /// computed), so only matching events charge pending counters.
+    pred_watchers: BTreeMap<String, Vec<PredWatcher>>,
     /// Set while the namespace is being deleted: once the objects are gone
     /// and the log drains, the shard itself is dropped.
     retiring: bool,
+}
+
+/// One value-keyed secondary index over a `(kind, path)` pair.
+///
+/// `by_name` is the inverse mapping; it lets an append replace an
+/// object's old posting without knowing the previous model, and makes
+/// "rebuild and compare" verification cheap.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct PathIndex {
+    by_key: BTreeMap<IndexKey, BTreeSet<String>>,
+    by_name: BTreeMap<String, IndexKey>,
+}
+
+impl PathIndex {
+    fn insert(&mut self, name: &str, key: IndexKey) {
+        if let Some(old) = self.by_name.get(name) {
+            if *old == key {
+                return;
+            }
+            let old = old.clone();
+            if let Some(set) = self.by_key.get_mut(&old) {
+                set.remove(name);
+                if set.is_empty() {
+                    self.by_key.remove(&old);
+                }
+            }
+        }
+        self.by_key
+            .entry(key.clone())
+            .or_default()
+            .insert(name.to_string());
+        self.by_name.insert(name.to_string(), key);
+    }
+
+    fn remove(&mut self, name: &str) {
+        if let Some(key) = self.by_name.remove(name) {
+            if let Some(set) = self.by_key.get_mut(&key) {
+                set.remove(name);
+                if set.is_empty() {
+                    self.by_key.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// One predicate subscription's slot in a shard, refcounted per
+/// `(watcher, predicate source)` registration.
+#[derive(Debug, Clone)]
+struct PredWatcher {
+    id: WatchId,
+    pred: QueryPred,
+    refs: usize,
 }
 
 // The executor moves shards across threads; keep that statically true.
@@ -270,6 +363,25 @@ impl Shard {
                     .or_default()
                     .entry(id)
                     .or_default() += 1;
+            }
+            WatchSelector::Predicate(p) => {
+                // Warm the indexes the predicate's plan probes, so the
+                // append path can refuse non-matching commits from the
+                // key delta alone.
+                let mut paths = BTreeSet::new();
+                p.pred.plan().paths(&mut paths);
+                for path in paths {
+                    self.ensure_index(&p.kind, &path);
+                }
+                let slots = self.pred_watchers.entry(p.kind.clone()).or_default();
+                match slots.iter_mut().find(|w| w.id == id && w.pred == p.pred) {
+                    Some(w) => w.refs += 1,
+                    None => slots.push(PredWatcher {
+                        id,
+                        pred: p.pred.clone(),
+                        refs: 1,
+                    }),
+                }
             }
         }
         self.members
@@ -313,6 +425,22 @@ impl Shard {
             WatchSelector::Object(r) => {
                 prune(&mut self.object_watchers, r, id);
             }
+            WatchSelector::Predicate(p) => {
+                if let Some(slots) = self.pred_watchers.get_mut(&p.kind) {
+                    if let Some(pos) = slots.iter().position(|w| w.id == id && w.pred == p.pred) {
+                        slots[pos].refs -= 1;
+                        if slots[pos].refs == 0 {
+                            slots.remove(pos);
+                        }
+                    }
+                    if slots.is_empty() {
+                        self.pred_watchers.remove(&p.kind);
+                    }
+                }
+                // The indexes the predicate warmed stay: they are derived
+                // state, cheap to keep current and useful to the next
+                // query.
+            }
         }
         if let Some(m) = self.members.get_mut(&id) {
             m.refs -= 1;
@@ -321,6 +449,30 @@ impl Shard {
             }
         }
         None
+    }
+
+    /// Builds the `(kind, path)` index from the object map if it does not
+    /// exist yet. One scan of the kind slice; every later append keeps it
+    /// current incrementally.
+    fn ensure_index(&mut self, kind: &str, path: &Path) {
+        let slot = (kind.to_string(), path.clone());
+        if self.indexes.contains_key(&slot) {
+            return;
+        }
+        self.indexes
+            .insert(slot, Self::build_index(&self.objects, kind, path));
+    }
+
+    /// One full scan of a kind slice into a fresh index — the lazy-build
+    /// path, and the oracle `indexes_consistent` compares against.
+    fn build_index(objects: &BTreeMap<ObjectRef, Object>, kind: &str, path: &Path) -> PathIndex {
+        let mut idx = PathIndex::default();
+        for (oref, obj) in objects.iter() {
+            if oref.kind == kind {
+                idx.insert(&oref.name, IndexKey::of(obj.model.get(path)));
+            }
+        }
+        idx
     }
 }
 
@@ -701,7 +853,12 @@ impl Store {
     }
 
     /// Lists objects of `kind` across namespaces (sorted by namespace/name).
+    #[deprecated(note = "use `Store::query` with a `Query`")]
     pub fn list(&self, kind: &str) -> Vec<&Object> {
+        self.scan(kind)
+    }
+
+    pub(crate) fn scan(&self, kind: &str) -> Vec<&Object> {
         self.direct_reads.set(self.direct_reads.get() + 1);
         self.shards
             .values()
@@ -715,7 +872,12 @@ impl Store {
     }
 
     /// Lists objects of `kind` within one namespace (sorted by name).
+    #[deprecated(note = "use `Store::query` with a `Query`")]
     pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
+        self.scan_in(kind, namespace)
+    }
+
+    pub(crate) fn scan_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
         self.direct_reads.set(self.direct_reads.get() + 1);
         let Some(shard) = self.shards.get(namespace) else {
             return Vec::new();
@@ -729,7 +891,12 @@ impl Store {
     }
 
     /// Lists every object (sorted by kind/namespace/name).
+    #[deprecated(note = "use `Store::query` with a `Query`")]
     pub fn list_all(&self) -> Vec<&Object> {
+        self.scan_all()
+    }
+
+    pub(crate) fn scan_all(&self) -> Vec<&Object> {
         self.direct_reads.set(self.direct_reads.get() + 1);
         let mut out: Vec<&Object> = self
             .shards
@@ -738,6 +905,67 @@ impl Store {
             .collect();
         out.sort_by(|a, b| a.oref.cmp(&b.oref));
         out
+    }
+
+    /// Runs a [`Query`]: the one read verb behind which `list`/`list_in`/
+    /// `list_all` collapsed. Plannable filter predicates probe secondary
+    /// indexes (built lazily on first use, maintained at commit) and the
+    /// full predicate is re-evaluated on every candidate, so the result is
+    /// always identical to a brute-force scan — only faster.
+    ///
+    /// Results are sorted by object reference (kind, namespace, name).
+    pub fn query(&mut self, q: &Query) -> Vec<Object> {
+        self.direct_reads.set(self.direct_reads.get() + 1);
+        let namespaces: Vec<String> = match &q.namespace {
+            Some(ns) if self.shards.contains_key(ns) => vec![ns.clone()],
+            Some(_) => Vec::new(),
+            None => self.shards.keys().cloned().collect(),
+        };
+        let mut out = Vec::new();
+        for ns in namespaces {
+            let shard = self.shards.get_mut(&ns).expect("listed above");
+            query_shard(shard, &ns, q, &mut out);
+        }
+        out.sort_by(|a, b| a.oref.cmp(&b.oref));
+        out
+    }
+
+    /// Test support: rebuilds every live secondary index from the object
+    /// maps and compares against the incrementally maintained state.
+    #[doc(hidden)]
+    pub fn indexes_consistent(&self) -> Result<(), String> {
+        for (ns, shard) in &self.shards {
+            for ((kind, path), idx) in &shard.indexes {
+                let fresh = Shard::build_index(&shard.objects, kind, path);
+                if *idx != fresh {
+                    return Err(format!(
+                        "index ({kind}, {path}) in shard {ns} diverged from rebuild: \
+                         incremental {idx:?} vs fresh {fresh:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test support: the `(name, key)` postings of one index, building it
+    /// if needed — recovery tests compare these dumps bit-for-bit.
+    #[doc(hidden)]
+    pub fn index_dump(
+        &mut self,
+        namespace: &str,
+        kind: &str,
+        path: &Path,
+    ) -> Vec<(String, String)> {
+        let Some(shard) = self.shards.get_mut(namespace) else {
+            return Vec::new();
+        };
+        shard.ensure_index(kind, path);
+        shard.indexes[&(kind.to_string(), path.clone())]
+            .by_name
+            .iter()
+            .map(|(name, key)| (name.clone(), key.to_string()))
+            .collect()
     }
 
     /// Inserts a new object, assigning resource version 1.
@@ -1019,38 +1247,83 @@ impl Store {
         }
     }
 
-    /// Opens a watch over the union of `selectors`. Each cursor starts at
-    /// its shard's current tail: only *future* events are delivered. An
-    /// empty selector list is a valid (never-firing) subscription that can
-    /// be widened later with [`Store::add_selector`].
-    pub fn watch_selectors(&mut self, selectors: Vec<WatchSelector>) -> WatchId {
+    /// Opens a watch over the union of `queries` — the one subscription
+    /// verb behind which `watch`/`watch_selector(s)` collapsed. Each
+    /// cursor starts at its shard's current tail: only *future* events
+    /// are delivered. An empty query list is a valid (never-firing)
+    /// subscription that can be widened later with
+    /// [`Store::extend_watch`]. Filtered queries become predicate
+    /// subscriptions, matched at commit time — non-matching events never
+    /// go pending.
+    pub fn watch_queries(&mut self, queries: &[Query]) -> Result<WatchId, QueryError> {
+        let selectors = queries
+            .iter()
+            .map(Query::to_selector)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.open_watch(selectors))
+    }
+
+    /// Opens a watch over one query.
+    pub fn watch_query(&mut self, q: &Query) -> Result<WatchId, QueryError> {
+        self.watch_queries(std::slice::from_ref(q))
+    }
+
+    /// Widens an existing subscription with another query. Only future
+    /// events of the newly covered scope are delivered. Returns
+    /// `Ok(false)` when the watch id is unknown (e.g. already cancelled).
+    pub fn extend_watch(&mut self, id: WatchId, q: &Query) -> Result<bool, QueryError> {
+        Ok(self.attach_selector(id, q.to_selector()?))
+    }
+
+    /// Removes one occurrence of a query's selector from a subscription,
+    /// re-settling pending counters so events only the removed selector
+    /// matched stop being owed. Returns `Ok(false)` when the watch id is
+    /// unknown or the selector was not part of the subscription.
+    pub fn narrow_watch(&mut self, id: WatchId, q: &Query) -> Result<bool, QueryError> {
+        Ok(self.detach_selector(id, &q.to_selector()?))
+    }
+
+    pub(crate) fn open_watch(&mut self, selectors: Vec<WatchSelector>) -> WatchId {
         let id = WatchId(self.next_watch_id);
         self.next_watch_id += 1;
         self.watchers.insert(id, Watcher::default());
         for selector in selectors {
-            let known = self.add_selector(id, selector);
+            let known = self.attach_selector(id, selector);
             debug_assert!(known, "freshly inserted watcher");
         }
         id
     }
 
+    /// Opens a watch over the union of `selectors`.
+    #[deprecated(note = "use `Store::watch_queries` with `Query` values")]
+    pub fn watch_selectors(&mut self, selectors: Vec<WatchSelector>) -> WatchId {
+        self.open_watch(selectors)
+    }
+
     /// Opens a watch over one selector.
+    #[deprecated(note = "use `Store::watch_query` with a `Query`")]
     pub fn watch_selector(&mut self, selector: WatchSelector) -> WatchId {
-        self.watch_selectors(vec![selector])
+        self.open_watch(vec![selector])
     }
 
     /// Opens a watch by kind. `kind = None` watches everything.
+    #[deprecated(note = "use `Store::watch_query` with a `Query`")]
     pub fn watch(&mut self, kind: Option<&str>) -> WatchId {
-        self.watch_selector(match kind {
+        self.open_watch(vec![match kind {
             None => WatchSelector::All,
             Some(k) => WatchSelector::Kind(k.to_string()),
-        })
+        }])
     }
 
     /// Widens an existing subscription with another selector. Only future
     /// events of the newly covered scope are delivered. Returns `false`
     /// when the watch id is unknown (e.g. already cancelled).
+    #[deprecated(note = "use `Store::extend_watch` with a `Query`")]
     pub fn add_selector(&mut self, id: WatchId, selector: WatchSelector) -> bool {
+        self.attach_selector(id, selector)
+    }
+
+    pub(crate) fn attach_selector(&mut self, id: WatchId, selector: WatchSelector) -> bool {
         if !self.watchers.contains_key(&id) {
             return false;
         }
@@ -1073,6 +1346,76 @@ impl Store {
             let w = self.watchers.get_mut(&id).expect("checked above");
             w.shards.insert(ns);
             w.selectors.push(selector);
+        }
+        true
+    }
+
+    /// Removes one occurrence of `selector` from a subscription. Shards
+    /// the watcher only reached through it are released (their pending
+    /// counts refunded); shards it still holds through other selectors
+    /// re-settle their pending counters against the remaining set, so an
+    /// event only the removed selector matched stops being owed.
+    pub(crate) fn detach_selector(&mut self, id: WatchId, selector: &WatchSelector) -> bool {
+        let Store {
+            shards,
+            watchers,
+            global_watchers,
+            ..
+        } = self;
+        let Some(w) = watchers.get_mut(&id) else {
+            return false;
+        };
+        let Some(pos) = w.selectors.iter().position(|s| s == selector) else {
+            return false;
+        };
+        let selector = w.selectors.remove(pos);
+        if selector.is_global() && !w.selectors.iter().any(|s| s.is_global()) {
+            global_watchers.remove(&id);
+        }
+        let affected: Vec<String> = if selector.is_global() {
+            w.shards.iter().cloned().collect()
+        } else {
+            let ns = selector
+                .home_namespace()
+                .expect("non-global selector has a home namespace");
+            if w.shards.contains(ns) {
+                vec![ns.to_string()]
+            } else {
+                Vec::new()
+            }
+        };
+        for ns in &affected {
+            let shard = shards.get_mut(ns).expect("membership implies shard");
+            match shard.deregister(id, &selector) {
+                Some(member) => {
+                    // Last registration in this shard: refund in full.
+                    w.total_pending = w.total_pending.saturating_sub(member.pending);
+                    w.total_pending_bytes =
+                        w.total_pending_bytes.saturating_sub(member.pending_bytes);
+                    w.shards.remove(ns);
+                }
+                None => {
+                    let member = *shard.members.get(&id).expect("deregister kept the member");
+                    if member.pending > 0 {
+                        let (pending, bytes) = recount_pending(shard, member.cursor, &w.selectors);
+                        w.total_pending = w
+                            .total_pending
+                            .saturating_sub(member.pending)
+                            .saturating_add(pending);
+                        w.total_pending_bytes = w
+                            .total_pending_bytes
+                            .saturating_sub(member.pending_bytes)
+                            .saturating_add(bytes);
+                        let m = shard.members.get_mut(&id).expect("still a member");
+                        m.pending = pending;
+                        m.pending_bytes = bytes;
+                    }
+                }
+            }
+        }
+        // Entries held only for the removed selector may now be droppable.
+        for ns in &affected {
+            self.compact_shard(ns);
         }
         true
     }
@@ -1105,7 +1448,10 @@ impl Store {
                 let start = (member.cursor.max(first_rev) - first_rev) as usize;
                 let before = out.len();
                 for ev in shard.log.iter().skip(start) {
-                    if w.selectors.iter().any(|s| s.matches(&ev.oref)) {
+                    if w.selectors
+                        .iter()
+                        .any(|s| s.event_matches(&ev.oref, &ev.model))
+                    {
                         out.push(ev.clone());
                     }
                 }
@@ -1173,6 +1519,12 @@ impl Store {
         self.stats.coalesced_deliveries += out.len() as u64;
         self.stats.events_coalesced += raw_count - out.len() as u64;
         out
+    }
+
+    /// Returns `true` if the subscription exists (opened and not yet
+    /// cancelled).
+    pub fn watch_exists(&self, id: WatchId) -> bool {
+        self.watchers.contains_key(&id)
     }
 
     /// Returns `true` if the watcher has undelivered events. O(1): the
@@ -1323,6 +1675,25 @@ fn shard_append(
     shard.committed += 1;
     tally.appended += 1;
     let revision = shard.committed;
+    // Maintain the secondary indexes covering this kind, remembering the
+    // new keys. Replay performs these identical updates, and the predicate
+    // matching below rides the delta instead of re-deriving it.
+    let mut new_keys: Vec<(Path, IndexKey)> = Vec::new();
+    if !shard.indexes.is_empty() {
+        let from = (oref.kind.clone(), Path::root());
+        for ((k, path), idx) in shard.indexes.range_mut(from..) {
+            if *k != oref.kind {
+                break;
+            }
+            if kind == WatchEventKind::Deleted {
+                idx.remove(&oref.name);
+            } else {
+                let key = IndexKey::of(model.get(path));
+                idx.insert(&oref.name, key.clone());
+                new_keys.push((path.clone(), key));
+            }
+        }
+    }
     // Collect interested watchers via the shard's selector indexes; the
     // set dedupes watchers reachable through several selectors, so the
     // pending counter bumps exactly once per delivered event.
@@ -1332,6 +1703,17 @@ fn shard_append(
     }
     if let Some(ids) = shard.object_watchers.get(&oref) {
         interested.extend(ids.keys().copied());
+    }
+    // Predicate subscriptions judge the committed model itself: an index
+    // key the plan refuses proves a non-match without evaluating, and
+    // only events that truly match go pending anywhere. (Deletes carry no
+    // key delta and are judged on their final model.)
+    if let Some(slots) = shard.pred_watchers.get(&oref.kind) {
+        for w in slots {
+            if !interested.contains(&w.id) && w.pred.matches_indexed(&model, &new_keys) {
+                interested.insert(w.id);
+            }
+        }
     }
     // Size the notification payload once per event, and only when somebody
     // will actually receive it. The cache entry always mirrors the newest
@@ -1523,6 +1905,90 @@ impl Store {
     }
 }
 
+/// Runs one query against one shard: warm the indexes the plan probes,
+/// narrow to candidate names, then confirm every candidate with the full
+/// predicate. Falls back to a scan of the kind slice (or the whole shard
+/// for kind-less queries) when nothing is plannable.
+fn query_shard(shard: &mut Shard, ns: &str, q: &Query, out: &mut Vec<Object>) {
+    let planned = match (&q.kind, &q.pred) {
+        (Some(kind), Some(pred)) if !pred.plan().is_full() => {
+            let mut paths = BTreeSet::new();
+            pred.plan().paths(&mut paths);
+            for path in &paths {
+                shard.ensure_index(kind, path);
+            }
+            plan_names(pred.plan(), kind, shard).map(|names| (kind.clone(), names))
+        }
+        _ => None,
+    };
+    match planned {
+        Some((kind, names)) => {
+            for name in names {
+                let oref = ObjectRef::new(&kind, ns, &name);
+                let Some(obj) = shard.objects.get(&oref) else {
+                    continue;
+                };
+                if q.matches(&obj.oref, &obj.model) {
+                    out.push(obj.clone());
+                }
+            }
+        }
+        None => {
+            for obj in shard.objects.values() {
+                if q.matches(&obj.oref, &obj.model) {
+                    out.push(obj.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a plan to candidate object names through the shard's
+/// indexes. `None` means "unconstrained" (a probe whose index is
+/// unexpectedly missing degrades to the scan path rather than to a wrong
+/// answer).
+fn plan_names(plan: &Plan, kind: &str, shard: &Shard) -> Option<BTreeSet<String>> {
+    match plan {
+        Plan::Full => None,
+        Plan::Eq { path, key } => {
+            let idx = shard.indexes.get(&(kind.to_string(), path.clone()))?;
+            Some(idx.by_key.get(key).cloned().unwrap_or_default())
+        }
+        Plan::Range { path, lo, hi } => {
+            let idx = shard.indexes.get(&(kind.to_string(), path.clone()))?;
+            let mut names = BTreeSet::new();
+            for set in idx.by_key.range((lo.clone(), hi.clone())).map(|(_, s)| s) {
+                names.extend(set.iter().cloned());
+            }
+            Some(names)
+        }
+        Plan::And(ps) => {
+            let mut acc: Option<BTreeSet<String>> = None;
+            for p in ps {
+                let Some(names) = plan_names(p, kind, shard) else {
+                    continue;
+                };
+                acc = Some(match acc {
+                    None => names,
+                    Some(a) => a.intersection(&names).cloned().collect(),
+                });
+                if acc.as_ref().is_some_and(|a| a.is_empty()) {
+                    break;
+                }
+            }
+            acc
+        }
+        Plan::Or(ps) => {
+            let mut acc = BTreeSet::new();
+            for p in ps {
+                // An unconstrained disjunct widens the union to everything.
+                acc.extend(plan_names(p, kind, shard)?);
+            }
+            Some(acc)
+        }
+    }
+}
+
 /// Counts the undelivered events from `cursor` that match `selectors`,
 /// with their serialized sizes. Used to re-settle a member's pending
 /// counters when part of its selector set is cancelled.
@@ -1535,7 +2001,10 @@ fn recount_pending(shard: &Shard, cursor: u64, selectors: &[WatchSelector]) -> (
     let mut pending = 0u64;
     let mut bytes = 0u64;
     for ev in shard.log.iter().skip(start) {
-        if selectors.iter().any(|s| s.matches(&ev.oref)) {
+        if selectors
+            .iter()
+            .any(|s| s.event_matches(&ev.oref, &ev.model))
+        {
             pending += 1;
             bytes += json::encoded_len(&ev.model) as u64;
         }
@@ -1586,7 +2055,12 @@ impl StoreSnapshot {
 
     /// Lists objects of `kind` across namespaces (sorted by
     /// namespace/name), as of the snapshot.
+    #[deprecated(note = "use `StoreSnapshot::query` with a `Query`")]
     pub fn list(&self, kind: &str) -> Vec<&Object> {
+        self.scan(kind)
+    }
+
+    pub(crate) fn scan(&self, kind: &str) -> Vec<&Object> {
         self.count_read();
         self.shards
             .values()
@@ -1600,7 +2074,12 @@ impl StoreSnapshot {
 
     /// Lists objects of `kind` within one namespace (sorted by name), as
     /// of the snapshot.
+    #[deprecated(note = "use `StoreSnapshot::query` with a `Query`")]
     pub fn list_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
+        self.scan_in(kind, namespace)
+    }
+
+    pub(crate) fn scan_in(&self, kind: &str, namespace: &str) -> Vec<&Object> {
         self.count_read();
         let Some(shard) = self.shards.get(namespace) else {
             return Vec::new();
@@ -1614,9 +2093,42 @@ impl StoreSnapshot {
 
     /// Lists every object (sorted by kind/namespace/name), as of the
     /// snapshot.
+    #[deprecated(note = "use `StoreSnapshot::query` with a `Query`")]
     pub fn list_all(&self) -> Vec<&Object> {
+        self.scan_all()
+    }
+
+    pub(crate) fn scan_all(&self) -> Vec<&Object> {
         self.count_read();
         let mut out: Vec<&Object> = self.shards.values().flat_map(|s| s.values()).collect();
+        out.sort_by(|a, b| a.oref.cmp(&b.oref));
+        out
+    }
+
+    /// Runs a [`Query`] against the snapshot. Snapshots are frozen views
+    /// without index state, so filters evaluate brute-force over the
+    /// matching kind/namespace slice — byte-for-byte the semantics the
+    /// store's indexed path must reproduce (tests compare the two).
+    /// Results are sorted by object reference.
+    pub fn query(&self, q: &Query) -> Vec<&Object> {
+        self.count_read();
+        let mut out: Vec<&Object> = match &q.namespace {
+            Some(ns) => self
+                .shards
+                .get(ns)
+                .map(|s| {
+                    s.values()
+                        .filter(|o| q.matches(&o.oref, &o.model))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            None => self
+                .shards
+                .values()
+                .flat_map(|s| s.values())
+                .filter(|o| q.matches(&o.oref, &o.model))
+                .collect(),
+        };
         out.sort_by(|a, b| a.oref.cmp(&b.oref));
         out
     }
@@ -2178,6 +2690,9 @@ fn fast_set(doc: &mut Value, path: &Path, value: Value) -> i64 {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims (`list`/`watch`/`add_selector`/…) stay covered
+    // here until they are removed.
+    #![allow(deprecated)]
     use super::*;
     use dspace_value::json;
 
@@ -2819,5 +3334,88 @@ mod tests {
         let evs = s.poll(w);
         assert_eq!(evs.len(), 1);
         assert_eq!(small, json::encoded_len(&evs[0].model) as u64);
+    }
+
+    /// The tentpole guarantee for predicate watches: a commit that does not
+    /// match the predicate is filtered at commit time against the computed
+    /// index delta — it never goes pending, not even transiently. Pending
+    /// counters and byte accounting stay at zero.
+    #[test]
+    fn predicate_watch_never_pends_non_matching_commits() {
+        let mut s = Store::new();
+        let q = Query::kind("Lamp")
+            .in_ns("default")
+            .filter(".x > 5")
+            .unwrap();
+        let w = s.watch_query(&q).unwrap();
+
+        // Non-matching create (x = 0).
+        s.create(lamp_ref(), model("Lamp", "l1")).unwrap();
+        assert!(!s.has_pending(w), "non-matching commit went pending");
+        assert_eq!(s.pending_bytes(w), 0);
+
+        // Matching update: delivered.
+        let mut m = model("Lamp", "l1");
+        m.set(&".x".parse().unwrap(), 9.0.into()).unwrap();
+        s.update(&lamp_ref(), m, None).unwrap();
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].oref, lamp_ref());
+
+        // Transition out (9 -> 2): each event is judged by its own model —
+        // stateless semantics — so the exit commit is not delivered either.
+        let mut m = model("Lamp", "l1");
+        m.set(&".x".parse().unwrap(), 2.0.into()).unwrap();
+        s.update(&lamp_ref(), m, None).unwrap();
+        assert!(!s.has_pending(w));
+        assert_eq!(s.pending_bytes(w), 0);
+
+        // Deletes are judged by the final model: x = 2 does not match...
+        s.delete(&lamp_ref()).unwrap();
+        assert!(!s.has_pending(w));
+        assert_eq!(s.pending_bytes(w), 0);
+
+        // ...while a matching final model does.
+        let l2 = ObjectRef::default_ns("Lamp", "l2");
+        let mut m = model("Lamp", "l2");
+        m.set(&".x".parse().unwrap(), 7.0.into()).unwrap();
+        s.create(l2.clone(), m).unwrap();
+        s.delete(&l2).unwrap();
+        let evs = s.poll(w);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].kind, WatchEventKind::Deleted);
+        s.indexes_consistent().unwrap();
+    }
+
+    /// Predicate watches compose with other selectors on one subscription
+    /// and detach cleanly: narrowing releases the shard registration and
+    /// re-settles pending counts for the selectors that remain.
+    #[test]
+    fn predicate_selector_attaches_and_detaches() {
+        let mut s = Store::new();
+        let all = Query::kind("Lamp").in_ns("default");
+        let hot = all.clone().filter(".x > 5").unwrap();
+        let w = s.watch_query(&hot).unwrap();
+        assert!(s.extend_watch(w, &all).unwrap());
+
+        let mut m = model("Lamp", "l1");
+        m.set(&".x".parse().unwrap(), 1.0.into()).unwrap();
+        s.create(lamp_ref(), m).unwrap();
+        // The kind selector matches even though the predicate does not.
+        assert!(s.has_pending(w));
+
+        // Dropping the kind selector re-settles pending to the predicate's
+        // view: x = 1 does not match, so nothing remains pending.
+        assert!(s.narrow_watch(w, &all).unwrap());
+        assert!(!s.has_pending(w), "recount kept a non-matching event");
+        assert_eq!(s.pending_bytes(w), 0);
+
+        // Dropping a selector that is not attached reports false.
+        assert!(!s.narrow_watch(w, &all).unwrap());
+        // The predicate selector still works.
+        let mut m = model("Lamp", "l1");
+        m.set(&".x".parse().unwrap(), 8.0.into()).unwrap();
+        s.update(&lamp_ref(), m, None).unwrap();
+        assert_eq!(s.poll(w).len(), 1);
     }
 }

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, WatchId};
+use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, Query, WatchId};
 use dspace_value::{json, Value};
 
 const NAMESPACES: [&str; 3] = ["alpha", "beta", "gamma"];
@@ -83,7 +83,7 @@ fn to_batch_op(op: &Op) -> BatchOp {
 fn setup(threads: usize) -> (ApiServer, Vec<WatchId>) {
     let mut api = ApiServer::new();
     api.set_executor_threads(threads);
-    let global = api.watch(ApiServer::ADMIN, None).unwrap();
+    let global = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
     for ns in 0..NAMESPACES.len() {
         for obj in 0..OBJECTS_PER_NS {
             api.create(ApiServer::ADMIN, &oref(ns, obj), model(ns, obj))
@@ -95,7 +95,7 @@ fn setup(threads: usize) -> (ApiServer, Vec<WatchId>) {
         let w = api
             .client(ApiServer::ADMIN)
             .namespace(ns)
-            .watch_kind("Thing")
+            .watch(&Query::kind("Thing"))
             .unwrap();
         watches.push(w);
     }

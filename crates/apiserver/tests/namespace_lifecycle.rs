@@ -3,7 +3,7 @@
 //! global watchers — ordered and gap-free (§3.5), even for watchers that
 //! were lagging when the deletion ran.
 
-use dspace_apiserver::{ApiServer, ObjectRef, WatchEventKind};
+use dspace_apiserver::{ApiServer, ObjectRef, Query, WatchEventKind};
 use dspace_value::json;
 
 fn oref(ns: &str, name: &str) -> ObjectRef {
@@ -46,7 +46,7 @@ fn setup() -> ApiServer {
 #[test]
 fn global_watcher_sees_terminal_deletes_gap_free() {
     let mut api = ApiServer::new();
-    let w = api.watch(ApiServer::ADMIN, None).unwrap();
+    let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
     for name in ["a", "b", "c"] {
         api.create(
             ApiServer::ADMIN,
@@ -106,7 +106,7 @@ fn homed_watchers_are_cancelled_and_refunded() {
     let homed = api
         .client(ApiServer::ADMIN)
         .namespace("doomed")
-        .watch_kind("Thing")
+        .watch(&Query::kind("Thing"))
         .unwrap();
     api.patch_path(
         ApiServer::ADMIN,
@@ -135,7 +135,7 @@ fn namespace_can_be_recreated_with_fresh_history() {
     api.delete_namespace(ApiServer::ADMIN, "doomed").unwrap();
     assert_eq!(api.shard_count(), 1);
 
-    let w = api.watch(ApiServer::ADMIN, None).unwrap();
+    let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
     api.create(ApiServer::ADMIN, &oref("doomed", "a"), model("doomed", "a"))
         .unwrap();
     assert_eq!(api.shard_count(), 2);

@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use dspace_apiserver::{ApiServer, ObjectRef, WatchSelector};
+use dspace_apiserver::{ApiServer, ObjectRef, Query};
 use dspace_value::Value;
 
 const NS: [&str; 3] = ["ns-a", "ns-b", "ns-c"];
@@ -54,11 +54,8 @@ fn setup() -> (ApiServer, Vec<Vec<ObjectRef>>) {
     (api, objects)
 }
 
-fn in_namespace(ns: &str) -> WatchSelector {
-    WatchSelector::KindInNamespace {
-        kind: "Thing".into(),
-        namespace: ns.into(),
-    }
+fn in_namespace(ns: &str) -> Query {
+    Query::kind("Thing").in_ns(ns)
 }
 
 proptest! {
@@ -73,10 +70,10 @@ proptest! {
         // Watcher 0 is global (joins all shards); 1..=3 are scoped to one
         // namespace each. The random polls leave some arbitrarily lagged.
         let watchers = [
-            api.watch(ApiServer::ADMIN, Some("Thing")).unwrap(),
-            api.watch_selector(ApiServer::ADMIN, in_namespace(NS[0])).unwrap(),
-            api.watch_selector(ApiServer::ADMIN, in_namespace(NS[1])).unwrap(),
-            api.watch_selector(ApiServer::ADMIN, in_namespace(NS[2])).unwrap(),
+            api.watch_query(ApiServer::ADMIN, &Query::kind("Thing")).unwrap(),
+            api.watch_query(ApiServer::ADMIN, &in_namespace(NS[0])).unwrap(),
+            api.watch_query(ApiServer::ADMIN, &in_namespace(NS[1])).unwrap(),
+            api.watch_query(ApiServer::ADMIN, &in_namespace(NS[2])).unwrap(),
         ];
         // seen[w][ns][obj] = resource versions delivered so far.
         let mut seen: Vec<Vec<Vec<Vec<u64>>>> = vec![vec![vec![Vec::new(); 2]; 3]; 4];
@@ -138,7 +135,7 @@ proptest! {
     #[test]
     fn scoped_watchers_never_pend_on_foreign_namespaces(steps in arb_steps(1)) {
         let (mut api, objects) = setup();
-        let w = api.watch_selector(ApiServer::ADMIN, in_namespace(NS[0])).unwrap();
+        let w = api.watch_query(ApiServer::ADMIN, &in_namespace(NS[0])).unwrap();
         let mut unpolled = 0u64;
         for step in &steps {
             match step {
@@ -174,8 +171,8 @@ proptest! {
     #[test]
     fn coalesced_polls_match_raw_stream(steps in arb_steps(1)) {
         let (mut api, objects) = setup();
-        let coalesced = api.watch(ApiServer::ADMIN, Some("Thing")).unwrap();
-        let mirror = api.watch(ApiServer::ADMIN, Some("Thing")).unwrap();
+        let coalesced = api.watch_query(ApiServer::ADMIN, &Query::kind("Thing")).unwrap();
+        let mirror = api.watch_query(ApiServer::ADMIN, &Query::kind("Thing")).unwrap();
         let drains = |api: &mut ApiServer| {
             let batch = api.poll_coalesced(coalesced);
             let raw = api.poll(mirror);

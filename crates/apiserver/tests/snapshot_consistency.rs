@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, StoreSnapshot};
+use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, Query, StoreSnapshot};
 use dspace_value::{json, Value};
 
 const NAMESPACES: [&str; 3] = ["alpha", "beta", "gamma"];
@@ -77,7 +77,7 @@ fn setup(threads: usize) -> ApiServer {
 /// Serializes everything a snapshot exposes.
 fn fingerprint(snap: &StoreSnapshot) -> Vec<String> {
     let mut out = vec![format!("revision={}", snap.revision())];
-    for obj in snap.list_all() {
+    for obj in snap.query(&Query::all()) {
         out.push(format!(
             "{} rv={} {}",
             obj.oref,
@@ -166,9 +166,12 @@ fn snapshot_reads_never_touch_the_store() {
     let snap_before = api.snapshot_reads();
     let snap = api.snapshot();
     snap.get(&oref(0, 0));
-    assert_eq!(snap.list("Thing").len(), 6);
-    assert_eq!(snap.list_in("Thing", "alpha").len(), OBJECTS_PER_NS);
-    assert_eq!(snap.list_all().len(), 6);
+    assert_eq!(snap.query(&Query::kind("Thing")).len(), 6);
+    assert_eq!(
+        snap.query(&Query::kind("Thing").in_ns("alpha")).len(),
+        OBJECTS_PER_NS
+    );
+    assert_eq!(snap.query(&Query::all()).len(), 6);
     assert_eq!(
         api.snapshot_reads(),
         snap_before + 4,

@@ -18,7 +18,7 @@ use proptest::prelude::*;
 
 use dspace_apiserver::store::Store;
 use dspace_apiserver::wal::{DurabilityOptions, WalSync};
-use dspace_apiserver::{ObjectRef, StoreOp};
+use dspace_apiserver::{ObjectRef, Query, StoreOp};
 use dspace_value::{json, Value};
 
 static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -52,7 +52,7 @@ fn model(ns: usize, obj: usize) -> Value {
 /// Everything recovery promises to restore, as comparable lines: the
 /// global commit counter, each shard's revision and compaction floor
 /// (`log=0` once drained), and every object bit-for-bit.
-fn fingerprint(store: &Store) -> Vec<String> {
+fn fingerprint(store: &mut Store) -> Vec<String> {
     let mut out = vec![format!("committed_total={}", store.revision())];
     for ns in store.shard_names() {
         out.push(format!(
@@ -61,7 +61,7 @@ fn fingerprint(store: &Store) -> Vec<String> {
             store.shard_log_len(&ns)
         ));
     }
-    for obj in store.list_all() {
+    for obj in store.query(&Query::all()) {
         out.push(format!(
             "{} rv={} {}",
             obj.oref,
@@ -146,8 +146,8 @@ fn run_script(script: &[Step], dir: &Path, threads: usize) -> Vec<String> {
     let mut store = Store::open(opts(dir)).unwrap();
     store.set_executor_threads(threads);
     // Two global watchers keep compaction honest without creating shards.
-    let w1 = store.watch(None);
-    let w2 = store.watch(Some("Thing"));
+    let w1 = store.watch_query(&Query::all()).unwrap();
+    let w2 = store.watch_query(&Query::kind("Thing")).unwrap();
     for step in script {
         match step {
             Step::Batch(ops) => {
@@ -171,7 +171,7 @@ fn run_script(script: &[Step], dir: &Path, threads: usize) -> Vec<String> {
     let _ = store.poll(w2);
     store.cancel_watch(w1);
     store.cancel_watch(w2);
-    fingerprint(&store)
+    fingerprint(&mut store)
 }
 
 proptest! {
@@ -198,13 +198,13 @@ proptest! {
                 f.write_all(b"torn").unwrap();
             }
 
-            let recovered = Store::open(opts(&dir)).unwrap();
-            prop_assert_eq!(&fingerprint(&recovered), &live,
+            let mut recovered = Store::open(opts(&dir)).unwrap();
+            prop_assert_eq!(&fingerprint(&mut recovered), &live,
                 "recovery diverged at threads={}", threads);
             // Reopening is idempotent (the torn tail was truncated away).
             drop(recovered);
-            let again = Store::open(opts(&dir)).unwrap();
-            prop_assert_eq!(&fingerprint(&again), &live);
+            let mut again = Store::open(opts(&dir)).unwrap();
+            prop_assert_eq!(&fingerprint(&mut again), &live);
             let _ = fs::remove_dir_all(&dir);
             fps.push(live);
         }
@@ -245,11 +245,11 @@ fn restart_recovers_serial_and_batch_history() {
     let dir = scratch_dir("history");
     let mut store = Store::open(opts(&dir)).unwrap();
     seed_history(&mut store);
-    let live = fingerprint(&store);
+    let live = fingerprint(&mut store);
     drop(store);
 
-    let recovered = Store::open(opts(&dir)).unwrap();
-    assert_eq!(fingerprint(&recovered), live);
+    let mut recovered = Store::open(opts(&dir)).unwrap();
+    assert_eq!(fingerprint(&mut recovered), live);
     // And the recovered store keeps working: version history continues.
     let mut recovered = recovered;
     let rv = recovered.update(&oref(0, 0), model(0, 0), None).unwrap();
@@ -263,7 +263,7 @@ fn torn_final_record_truncates_to_previous_commit() {
     let mut store = Store::open(opts(&dir)).unwrap();
     store.create(oref(0, 0), model(0, 0)).unwrap();
     store.update(&oref(0, 0), model(0, 0), None).unwrap();
-    let before_last = fingerprint(&store);
+    let before_last = fingerprint(&mut store);
     // The final op lands in alpha's log as exactly one more record.
     store.update(&oref(0, 0), model(0, 0), None).unwrap();
     drop(store);
@@ -288,9 +288,9 @@ fn torn_final_record_truncates_to_previous_commit() {
         .set_len(last as u64 + 11)
         .unwrap();
 
-    let recovered = Store::open(opts(&dir)).unwrap();
+    let mut recovered = Store::open(opts(&dir)).unwrap();
     assert_eq!(
-        fingerprint(&recovered),
+        fingerprint(&mut recovered),
         before_last,
         "replay must stop cleanly at the last whole record"
     );
@@ -316,7 +316,7 @@ fn checkpoint_truncates_logs_and_recovery_prefers_it() {
             },
         ]);
     }
-    let live = fingerprint(&store);
+    let live = fingerprint(&mut store);
     drop(store);
 
     assert!(
@@ -335,8 +335,8 @@ fn checkpoint_truncates_logs_and_recovery_prefers_it() {
         "checkpoint must truncate logs ({log_bytes} bytes left)"
     );
 
-    let recovered = Store::open(o).unwrap();
-    assert_eq!(fingerprint(&recovered), live);
+    let mut recovered = Store::open(o).unwrap();
+    assert_eq!(fingerprint(&mut recovered), live);
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -344,7 +344,7 @@ fn checkpoint_truncates_logs_and_recovery_prefers_it() {
 fn explicit_checkpoint_concurrent_with_writes_recovers() {
     let dir = scratch_dir("ckpt-live");
     let mut store = Store::open(opts(&dir)).unwrap();
-    let w = store.watch(None);
+    let w = store.watch_query(&Query::all()).unwrap();
     for round in 0..6 {
         store
             .create(
@@ -367,11 +367,11 @@ fn explicit_checkpoint_concurrent_with_writes_recovers() {
     }
     let _ = store.poll(w);
     store.cancel_watch(w);
-    let live = fingerprint(&store);
+    let live = fingerprint(&mut store);
     drop(store);
 
-    let recovered = Store::open(opts(&dir)).unwrap();
-    assert_eq!(fingerprint(&recovered), live);
+    let mut recovered = Store::open(opts(&dir)).unwrap();
+    assert_eq!(fingerprint(&mut recovered), live);
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -387,11 +387,11 @@ fn namespace_delete_and_recreate_survives_restart() {
     assert_eq!(store.shard_revision(NAMESPACES[0]), 0);
     store.create(oref(0, 0), model(0, 0)).unwrap();
     assert_eq!(store.get(&oref(0, 0)).unwrap().resource_version, 1);
-    let live = fingerprint(&store);
+    let live = fingerprint(&mut store);
     drop(store);
 
-    let recovered = Store::open(opts(&dir)).unwrap();
-    assert_eq!(fingerprint(&recovered), live);
+    let mut recovered = Store::open(opts(&dir)).unwrap();
+    assert_eq!(fingerprint(&mut recovered), live);
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -402,11 +402,11 @@ fn fast_forward_past_2_53_recovers_exactly() {
     let mut store = Store::open(opts(&dir)).unwrap();
     store.create(oref(0, 0), model(0, 0)).unwrap();
     store.fast_forward(&oref(0, 0), big).unwrap();
-    let live = fingerprint(&store);
+    let live = fingerprint(&mut store);
     drop(store);
 
-    let recovered = Store::open(opts(&dir)).unwrap();
-    assert_eq!(fingerprint(&recovered), live);
+    let mut recovered = Store::open(opts(&dir)).unwrap();
+    assert_eq!(fingerprint(&mut recovered), live);
     assert_eq!(
         recovered.get(&oref(0, 0)).unwrap().resource_version,
         big,
@@ -419,7 +419,7 @@ fn fast_forward_past_2_53_recovers_exactly() {
 fn resumed_watchers_see_no_gaps_and_no_duplicates() {
     let dir = scratch_dir("watch");
     let mut store = Store::open(opts(&dir)).unwrap();
-    let doomed = store.watch(None);
+    let doomed = store.watch_query(&Query::all()).unwrap();
     store.create(oref(0, 0), model(0, 0)).unwrap();
     store.update(&oref(0, 0), model(0, 0), None).unwrap();
     assert!(
@@ -429,7 +429,7 @@ fn resumed_watchers_see_no_gaps_and_no_duplicates() {
     drop(store); // crash: `doomed` and its pending events die here
 
     let mut store = Store::open(opts(&dir)).unwrap();
-    let w = store.watch(None);
+    let w = store.watch_query(&Query::all()).unwrap();
     // Nothing from before the crash is re-delivered...
     assert!(store.poll(w).is_empty(), "no duplicates from the old life");
     // ...and everything after arrives exactly once, in revision order
@@ -454,9 +454,9 @@ fn commit_sync_mode_also_recovers() {
     o.sync = WalSync::Commit;
     let mut store = Store::open(o.clone()).unwrap();
     seed_history(&mut store);
-    let live = fingerprint(&store);
+    let live = fingerprint(&mut store);
     drop(store);
-    let recovered = Store::open(o).unwrap();
-    assert_eq!(fingerprint(&recovered), live);
+    let mut recovered = Store::open(o).unwrap();
+    assert_eq!(fingerprint(&mut recovered), live);
     let _ = fs::remove_dir_all(&dir);
 }

@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use dspace_apiserver::{ApiServer, ObjectRef, WatchEventKind, WatchId};
+use dspace_apiserver::{ApiServer, ObjectRef, Query, WatchEventKind, WatchId};
 use dspace_value::Value;
 
 /// One scripted step of the interleaving.
@@ -46,8 +46,8 @@ proptest! {
             api.create(ApiServer::ADMIN, oref, model).unwrap();
         }
         let watchers = [
-            api.watch(ApiServer::ADMIN, Some("Thing")).unwrap(),
-            api.watch(ApiServer::ADMIN, Some("Thing")).unwrap(),
+            api.watch_query(ApiServer::ADMIN, &Query::kind("Thing")).unwrap(),
+            api.watch_query(ApiServer::ADMIN, &Query::kind("Thing")).unwrap(),
         ];
         // seen[w][obj] = versions delivered so far to watcher w.
         let mut seen: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); 3]; 2];
@@ -151,7 +151,10 @@ proptest! {
         // its entries must survive compaction until the final drain.
         let watchers: Vec<WatchId> = objects
             .iter()
-            .map(|o| api.watch_object(ApiServer::ADMIN, o).unwrap())
+            .map(|o| {
+                let q = Query::kind(o.kind.as_str()).in_ns(o.namespace.as_str()).named(o.name.as_str());
+                api.watch_query(ApiServer::ADMIN, &q).unwrap()
+            })
             .collect();
         let mut seen: Vec<Vec<u64>> = vec![Vec::new(); 3];
         let mut writes = [0u64; 3];
@@ -195,7 +198,7 @@ proptest! {
             r#"{"meta": {"kind": "Thing", "name": "t", "namespace": "default"}, "n": 0}"#,
         ).unwrap();
         api.create(ApiServer::ADMIN, &oref, model).unwrap();
-        let laggard = api.watch(ApiServer::ADMIN, Some("Thing")).unwrap();
+        let laggard = api.watch_query(ApiServer::ADMIN, &Query::kind("Thing")).unwrap();
         for _ in 0..writes {
             api.patch_path(ApiServer::ADMIN, &oref, ".n", Value::from(1.0)).unwrap();
         }

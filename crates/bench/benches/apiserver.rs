@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use dspace_apiserver::{ApiServer, ObjectRef};
+use dspace_apiserver::{ApiServer, ObjectRef, Query};
 use dspace_value::{json, Value};
 
 fn model(kind: &str, name: &str) -> Value {
@@ -67,7 +67,10 @@ fn bench_watch(c: &mut Criterion) {
             || {
                 let mut api = populated(10);
                 let watchers: Vec<_> = (0..10)
-                    .map(|_| api.watch(ApiServer::ADMIN, Some("Lamp")).unwrap())
+                    .map(|_| {
+                        api.watch_query(ApiServer::ADMIN, &Query::kind("Lamp"))
+                            .unwrap()
+                    })
                     .collect();
                 (api, watchers)
             },

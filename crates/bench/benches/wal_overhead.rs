@@ -7,7 +7,7 @@
 //! the in-memory write path. Commit mode is reported but not bounded —
 //! an fdatasync per verb costs whatever the disk says it costs.
 
-use dspace_apiserver::{ApiServer, DurabilityOptions, ObjectRef, WalSync, WatchId, WatchSelector};
+use dspace_apiserver::{ApiServer, DurabilityOptions, ObjectRef, Query, WalSync, WatchId};
 use dspace_value::json;
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
@@ -75,12 +75,9 @@ fn build(
     }
     let watchers = (0..namespaces)
         .map(|k| {
-            api.watch_selector(
+            api.watch_query(
                 ApiServer::ADMIN,
-                WatchSelector::KindInNamespace {
-                    kind: "Lamp".into(),
-                    namespace: format!("ns{k}"),
-                },
+                &Query::kind("Lamp").in_ns(format!("ns{k}")),
             )
             .unwrap()
         })

@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, BatchSize, Criterion};
 
-use dspace_apiserver::{ApiServer, ObjectRef, WatchId, WatchSelector};
+use dspace_apiserver::{ApiServer, ObjectRef, Query, WatchId};
 use dspace_value::{json, Value};
 
 const ROUNDS: usize = 4;
@@ -44,12 +44,12 @@ fn build(n: usize, scoped: bool) -> (ApiServer, Vec<WatchId>) {
     }
     let watchers = (0..n)
         .map(|i| {
-            let selector = if scoped {
-                WatchSelector::Object(oref(i))
+            let query = if scoped {
+                Query::kind("Lamp").in_ns("default").named(format!("l{i}"))
             } else {
-                WatchSelector::All
+                Query::all()
             };
-            api.watch_selector(ApiServer::ADMIN, selector).unwrap()
+            api.watch_query(ApiServer::ADMIN, &query).unwrap()
         })
         .collect();
     (api, watchers)
@@ -88,12 +88,9 @@ fn build_ns(namespaces: usize, digis: usize) -> (ApiServer, Vec<WatchId>) {
     }
     let watchers = (0..namespaces)
         .map(|k| {
-            api.watch_selector(
+            api.watch_query(
                 ApiServer::ADMIN,
-                WatchSelector::KindInNamespace {
-                    kind: "Lamp".into(),
-                    namespace: format!("ns{k}"),
-                },
+                &Query::kind("Lamp").in_ns(format!("ns{k}")),
             )
             .unwrap()
         })
@@ -265,7 +262,10 @@ fn coalesce_demo() {
     let lamp = oref(0);
     api.create(ApiServer::ADMIN, &lamp, model("l0")).unwrap();
     let w = api
-        .watch_selector(ApiServer::ADMIN, WatchSelector::Object(lamp.clone()))
+        .watch_query(
+            ApiServer::ADMIN,
+            &Query::kind("Lamp").in_ns("default").named("l0"),
+        )
         .unwrap();
     for i in 0..BURST {
         api.patch_path(
@@ -495,12 +495,9 @@ fn build_ns_rich(namespaces: usize, digis: usize) -> (ApiServer, Vec<WatchId>) {
     }
     let watchers = (0..namespaces)
         .map(|k| {
-            api.watch_selector(
+            api.watch_query(
                 ApiServer::ADMIN,
-                WatchSelector::KindInNamespace {
-                    kind: "Lamp".into(),
-                    namespace: format!("ns{k}"),
-                },
+                &Query::kind("Lamp").in_ns(format!("ns{k}")),
             )
             .unwrap()
         })
@@ -684,7 +681,7 @@ fn pump_throughput_sweep(smoke: bool) {
         }
         let mut mounter = Mounter::new(graph);
         mounter.set_batched(batched);
-        let w = api.watch(ApiServer::ADMIN, None).unwrap();
+        let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
         (api, mounter, w)
     };
 

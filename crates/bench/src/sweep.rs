@@ -121,7 +121,12 @@ pub fn run_depth_sweep(
                 e.kind == TraceKind::UserObserved
                     && e.subject == root_subject
                     && e.t > done.t
-                    && e.detail.contains(".control.level.status")
+                    // The root's OWN status attribute, not a nested mount
+                    // replica (`.mount."…".control.level.status`) that
+                    // happens to contain the same suffix — replicas update
+                    // on every hop of the climb, the root's status only at
+                    // the end of it.
+                    && e.detail.split(';').any(|p| p == ".control.level.status")
             });
             let Some(obs) = observed else { continue };
             fpt += (cmd.t - intent.t) as f64 / 1e6;

@@ -9,10 +9,10 @@
 //! alarm fires — with no human in the loop.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, WatchEvent, WatchEventKind};
+use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, Query, WatchEvent, WatchEventKind, WatchId};
 use dspace_reflex::Env;
 use dspace_simnet::Time;
 
@@ -30,6 +30,11 @@ pub struct Policer {
     policies: BTreeMap<ObjectRef, Policy>,
     /// Last condition value per policy (for edge triggering).
     state: BTreeMap<ObjectRef, bool>,
+    /// Reverse map: watched digi → policies watching it. Event dispatch is
+    /// one lookup instead of a scan over every policy's watch list, and the
+    /// key set is exactly the set of object subscriptions the policer holds
+    /// on the apiserver.
+    by_watched: BTreeMap<ObjectRef, BTreeSet<ObjectRef>>,
 }
 
 impl Policer {
@@ -39,6 +44,7 @@ impl Policer {
             graph,
             policies: BTreeMap::new(),
             state: BTreeMap::new(),
+            by_watched: BTreeMap::new(),
         }
     }
 
@@ -47,10 +53,71 @@ impl Policer {
         self.policies.len()
     }
 
-    /// Processes a batch of watch events.
+    /// Digis the policer currently subscribes to (one object subscription
+    /// per entry, refcounted across policies).
+    pub fn watched_digis(&self) -> usize {
+        self.by_watched.len()
+    }
+
+    /// The exact query a policy's watch entry subscribes on the apiserver.
+    fn object_query(w: &ObjectRef) -> Query {
+        Query::kind(w.kind.as_str())
+            .in_ns(w.namespace.as_str())
+            .named(w.name.as_str())
+    }
+
+    /// Subscribes the policer's watch to every digi in `watch` (one
+    /// occurrence per policy; the store refcounts overlapping selectors).
+    fn watch_digis(
+        &mut self,
+        api: &mut ApiServer,
+        id: WatchId,
+        policy: &ObjectRef,
+        watch: &[ObjectRef],
+    ) {
+        for w in watch {
+            if api
+                .extend_watch(SUBJECT, id, &Self::object_query(w))
+                .is_ok()
+            {
+                self.by_watched
+                    .entry(w.clone())
+                    .or_default()
+                    .insert(policy.clone());
+            }
+        }
+    }
+
+    /// Drops the subscriptions a removed (or re-parsed) policy held.
+    fn unwatch_digis(
+        &mut self,
+        api: &mut ApiServer,
+        id: WatchId,
+        policy: &ObjectRef,
+        watch: &[ObjectRef],
+    ) {
+        for w in watch {
+            let _ = api.narrow_watch(id, &Self::object_query(w));
+            if let Some(holders) = self.by_watched.get_mut(w) {
+                holders.remove(policy);
+                if holders.is_empty() {
+                    self.by_watched.remove(w);
+                }
+            }
+        }
+    }
+
+    /// Processes a batch of watch events drained from subscription `watch`.
+    ///
+    /// The policer owns that subscription's selector set: as policies come
+    /// and go it extends the watch with one object query per watched digi
+    /// and narrows it back when the last policy watching a digi is deleted.
+    /// Events for digis no policy watches are therefore never queued — the
+    /// policer does not wake for them at all, rather than waking to discard.
     pub fn process(
         &mut self,
         api: &mut ApiServer,
+        watch: WatchId,
         events: &[WatchEvent],
         trace: &mut Trace,
         now: Time,
@@ -61,12 +128,31 @@ impl Policer {
             if ev.oref.kind == "Policy" {
                 match ev.kind {
                     WatchEventKind::Deleted => {
-                        self.policies.remove(&ev.oref);
+                        if let Some(old) = self.policies.remove(&ev.oref) {
+                            let targets = old.watch.clone();
+                            self.unwatch_digis(api, watch, &ev.oref, &targets);
+                        }
                         self.state.remove(&ev.oref);
                     }
                     _ => match Policy::parse(&ev.model) {
                         Ok(p) => {
-                            self.policies.insert(ev.oref.clone(), p);
+                            let new_watch = p.watch.clone();
+                            let old_watch = self
+                                .policies
+                                .insert(ev.oref.clone(), p)
+                                .map(|old| old.watch)
+                                .unwrap_or_default();
+                            let added: Vec<ObjectRef> = new_watch
+                                .iter()
+                                .filter(|w| !old_watch.contains(w))
+                                .cloned()
+                                .collect();
+                            let removed: Vec<ObjectRef> = old_watch
+                                .into_iter()
+                                .filter(|w| !new_watch.contains(w))
+                                .collect();
+                            self.unwatch_digis(api, watch, &ev.oref, &removed);
+                            self.watch_digis(api, watch, &ev.oref, &added);
                             self.state.remove(&ev.oref);
                             if !to_evaluate.contains(&ev.oref) {
                                 to_evaluate.push(ev.oref.clone());
@@ -82,9 +168,11 @@ impl Policer {
                 }
                 continue;
             }
-            for (id, p) in &self.policies {
-                if p.watch.contains(&ev.oref) && !to_evaluate.contains(id) {
-                    to_evaluate.push(id.clone());
+            if let Some(holders) = self.by_watched.get(&ev.oref) {
+                for id in holders {
+                    if !to_evaluate.contains(id) {
+                        to_evaluate.push(id.clone());
+                    }
                 }
             }
         }
@@ -296,7 +384,7 @@ mod tests {
                 vec![dspace_apiserver::Rule::allow_all()],
             ));
             api.rbac_mut().bind(SUBJECT, "controller");
-            let watch = api.watch(ApiServer::ADMIN, None).unwrap();
+            let watch = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
             Rig {
                 api,
                 policer: Policer::new(graph.clone()),
@@ -314,7 +402,7 @@ mod tests {
                     return;
                 }
                 self.policer
-                    .process(&mut self.api, &evs, &mut self.trace, 0);
+                    .process(&mut self.api, self.watch, &evs, &mut self.trace, 0);
             }
         }
     }

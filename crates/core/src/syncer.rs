@@ -228,7 +228,7 @@ impl Syncer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dspace_apiserver::ApiServer;
+    use dspace_apiserver::{ApiServer, Query};
     use dspace_value::json;
 
     fn digidata(kind: &str, name: &str) -> Value {
@@ -257,7 +257,7 @@ mod tests {
     }
 
     fn create_sync(api: &mut ApiServer, syncer: &mut Syncer, spec: &SyncSpec, name: &str) {
-        let w = api.watch(ApiServer::ADMIN, None).unwrap();
+        let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
         let sref = ObjectRef::default_ns("Sync", name);
         api.create(ApiServer::ADMIN, &sref, spec.to_model(name))
             .unwrap();
@@ -278,7 +278,7 @@ mod tests {
         create_sync(&mut api, &mut syncer, &spec, "s1");
         assert_eq!(syncer.active_syncs(), 1);
         // Source update propagates.
-        let w = api.watch(ApiServer::ADMIN, None).unwrap();
+        let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
         api.patch_path(
             ApiServer::ADMIN,
             &xcdr,
@@ -331,7 +331,7 @@ mod tests {
             target_path: ".data.input.url".into(),
         };
         create_sync(&mut api, &mut syncer, &spec, "s1");
-        let w = api.watch(ApiServer::ADMIN, None).unwrap();
+        let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
         api.delete(ApiServer::ADMIN, &ObjectRef::default_ns("Sync", "s1"))
             .unwrap();
         api.patch_path(
@@ -366,7 +366,7 @@ mod tests {
             };
             create_sync(&mut api, &mut syncer, &spec, &format!("s{i}"));
         }
-        let w = api.watch(ApiServer::ADMIN, None).unwrap();
+        let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
         api.patch_path(
             ApiServer::ADMIN,
             &xcdr,

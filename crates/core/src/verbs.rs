@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use dspace_apiserver::{ApiError, ApiServer, ObjectRef};
+use dspace_apiserver::{ApiError, ApiServer, ObjectRef, Query};
 use dspace_value::Value;
 
 use crate::graph::{DigiGraph, EdgeState, MountMode};
@@ -181,7 +181,7 @@ pub fn unpipe_matching(
     subject: &str,
     spec: &SyncSpec,
 ) -> Result<(), VerbError> {
-    let syncs = api.list(subject, "Sync")?;
+    let syncs = api.query(subject, &Query::kind("Sync"))?;
     for obj in syncs {
         if SyncSpec::parse(&obj.model).as_ref() == Some(spec) {
             api.delete(subject, &obj.oref)?;

@@ -17,8 +17,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use dspace_apiserver::{
-    ApiServer, CoalescedEvent, DurabilityOptions, Object, ObjectRef, Role, Rule, Verb, WalError,
-    WatchId, WatchSelector,
+    ApiServer, CoalescedEvent, DurabilityOptions, Object, ObjectRef, Query, Role, Rule, Verb,
+    WalError, WatchId,
 };
 use dspace_simnet::{Delivery, LatencyModel, Link, Metrics, RetryPolicy, Rng, Sim};
 use dspace_value::{KindSchema, Shared, Value};
@@ -91,6 +91,15 @@ enum SlotScope {
     Space {
         /// Non-digi kinds this controller owns (e.g. `Sync` for the
         /// syncer), subscribed alongside every digi kind.
+        system_kinds: &'static [&'static str],
+    },
+    /// A controller that subscribes only to its system kinds per
+    /// namespace and manages any further subscriptions itself (the
+    /// policer: it extends its watch with one object query per digi a
+    /// policy watches, and narrows it back when the policy goes away —
+    /// so digi churn no policy cares about never wakes it).
+    System {
+        /// The system kinds subscribed in every namespace.
         system_kinds: &'static [&'static str],
     },
 }
@@ -257,7 +266,7 @@ impl World {
             ApiServer::ADMIN,
             Vec::new(),
             controller_link,
-            SlotScope::Space {
+            SlotScope::System {
                 system_kinds: &["Policy"],
             },
             false,
@@ -266,7 +275,7 @@ impl World {
         world.add_slot(
             "user-cli",
             "user",
-            vec![WatchSelector::All],
+            vec![Query::all()],
             user_link,
             SlotScope::Fixed,
             false,
@@ -300,7 +309,7 @@ impl World {
         &mut self,
         name: &str,
         subject: &str,
-        selectors: Vec<WatchSelector>,
+        queries: Vec<Query>,
         link: Link,
         scope: SlotScope,
         coalesce: bool,
@@ -308,8 +317,8 @@ impl World {
     ) {
         let watch = self
             .api
-            .watch_selectors(subject, selectors)
-            .expect("component subject authorized to watch its selectors");
+            .watch_queries(subject, &queries)
+            .expect("component subject authorized to watch its queries");
         self.slots.push(ComponentSlot {
             name: name.to_string(),
             watch,
@@ -367,13 +376,21 @@ impl World {
         }
         let kinds: Vec<String> = self.digi_kinds.iter().cloned().collect();
         for i in 0..self.slots.len() {
-            if let SlotScope::Space { system_kinds } = self.slots[i].scope {
-                for kind in system_kinds {
-                    self.subscribe(i, kind, ns);
+            match self.slots[i].scope {
+                SlotScope::Space { system_kinds } => {
+                    for kind in system_kinds {
+                        self.subscribe(i, kind, ns);
+                    }
+                    for kind in &kinds {
+                        self.subscribe(i, kind, ns);
+                    }
                 }
-                for kind in &kinds {
-                    self.subscribe(i, kind, ns);
+                SlotScope::System { system_kinds } => {
+                    for kind in system_kinds {
+                        self.subscribe(i, kind, ns);
+                    }
                 }
+                SlotScope::Fixed => {}
             }
         }
     }
@@ -400,13 +417,10 @@ impl World {
 
     fn subscribe(&mut self, i: usize, kind: &str, ns: &str) {
         self.api
-            .add_watch_selector(
+            .extend_watch(
                 ApiServer::ADMIN,
                 self.slots[i].watch,
-                WatchSelector::KindInNamespace {
-                    kind: kind.to_string(),
-                    namespace: ns.to_string(),
-                },
+                &Query::kind(kind).in_ns(ns),
             )
             .expect("controller subscription is live");
     }
@@ -436,7 +450,9 @@ impl World {
         self.add_slot(
             &format!("driver:{}", oref.name),
             &subject,
-            vec![WatchSelector::Object(oref.clone())],
+            vec![Query::kind(oref.kind.as_str())
+                .in_ns(oref.namespace.as_str())
+                .named(oref.name.as_str())],
             link,
             SlotScope::Fixed,
             // Drivers drain coalesced: a burst of N writes to the digi is
@@ -589,8 +605,9 @@ impl World {
                 if n > 0 {
                     self.metrics.count("policer_foreign_events", n);
                 }
+                let watch = self.slots[i].watch;
                 let mut trace = std::mem::take(&mut self.trace);
-                p.process(&mut self.api, &events, &mut trace, sim.now());
+                p.process(&mut self.api, watch, &events, &mut trace, sim.now());
                 self.trace = trace;
             }
             Component::Driver(_) => unreachable!("driver slots dispatch before this match"),

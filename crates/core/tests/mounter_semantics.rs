@@ -226,7 +226,7 @@ fn version_gate_is_exact_past_f64_precision() {
     // round-trip them through `f64`, where 2^53 and 2^53+1 collapse to the
     // same number — so a replica exactly one version stale slipped the
     // gate. Store and compare them as u64 end-to-end.
-    use dspace_apiserver::{ApiServer, ObjectRef, Role, Rule};
+    use dspace_apiserver::{ApiServer, ObjectRef, Query, Role, Rule};
     use dspace_core::mounter::{Mounter, SUBJECT};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -238,7 +238,7 @@ fn version_gate_is_exact_past_f64_precision() {
         .add_role(Role::new("controller", vec![Rule::allow_all()]));
     api.rbac_mut().bind(SUBJECT, "controller");
     let admin = ApiServer::ADMIN;
-    let w = api.watch(admin, None).unwrap();
+    let w = api.watch_query(admin, &Query::all()).unwrap();
 
     let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
     let mut mounter = Mounter::new(graph.clone());
@@ -329,7 +329,7 @@ fn stale_replica_does_not_sync_southbound() {
     // the child's model version carries decisions made against an outdated
     // view, and must NOT be written southbound until the northbound
     // refresh has landed.
-    use dspace_apiserver::{ApiServer, ObjectRef, Role, Rule};
+    use dspace_apiserver::{ApiServer, ObjectRef, Query, Role, Rule};
     use dspace_core::mounter::{Mounter, SUBJECT};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -339,7 +339,7 @@ fn stale_replica_does_not_sync_southbound() {
         .add_role(Role::new("controller", vec![Rule::allow_all()]));
     api.rbac_mut().bind(SUBJECT, "controller");
     let admin = ApiServer::ADMIN;
-    let w = api.watch(admin, None).unwrap();
+    let w = api.watch_query(admin, &Query::all()).unwrap();
 
     let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
     let mut mounter = Mounter::new(graph.clone());

@@ -76,7 +76,10 @@ spec:
     let syncs = space
         .world
         .api
-        .list(dspace_apiserver::ApiServer::ADMIN, "Sync")
+        .query(
+            dspace_apiserver::ApiServer::ADMIN,
+            &dspace_apiserver::Query::kind("Sync"),
+        )
         .unwrap();
     assert!(syncs.is_empty(), "pipe should be removed: {syncs:?}");
 }

@@ -10,7 +10,7 @@
 //! The interpreter is a library (so it is testable) wrapped by a tiny
 //! REPL/batch binary.
 
-use dspace_apiserver::{ObjectRef, WalError};
+use dspace_apiserver::{ApiServer, ObjectRef, Query, WalError, WatchId};
 use dspace_core::graph::MountMode;
 use dspace_core::policy::parse_ref;
 use dspace_core::{Space, SpaceConfig};
@@ -21,6 +21,9 @@ pub struct Dq {
     /// The space commands act on.
     pub space: Space,
     aliases: std::collections::BTreeMap<String, String>,
+    /// Predicate watches opened with `watch`, keyed by their session token.
+    watches: std::collections::BTreeMap<String, WatchId>,
+    next_watch: usize,
 }
 
 /// Outcome of one command.
@@ -38,6 +41,8 @@ impl Dq {
         Dq {
             space,
             aliases: Default::default(),
+            watches: Default::default(),
+            next_watch: 1,
         }
     }
 
@@ -78,6 +83,9 @@ impl Dq {
             "alias" => self.cmd_alias(&parts),
             "graph" => Ok(self.cmd_graph()),
             "list" => Ok(self.cmd_list()),
+            "find" => self.cmd_find(line),
+            "watch" => self.cmd_watch(line),
+            "drain" => self.cmd_drain(&parts),
             "trace" => Ok(self.cmd_trace(&parts)),
             "tick" => self.cmd_tick(&parts),
             other => Err(format!("unknown command '{other}' (try 'help')")),
@@ -252,10 +260,96 @@ impl Dq {
     fn cmd_list(&mut self) -> String {
         let mut out = String::new();
         let snap = self.space.world.api.snapshot();
-        for obj in snap.list_all() {
+        for obj in snap.query(&Query::all()) {
             out.push_str(&format!("{} (gen {})\n", obj.oref, obj.resource_version));
         }
         out
+    }
+
+    /// Splits `<kind> [in <ns>] [where <expr>]` off the raw command line.
+    /// The expression is everything after the first ` where ` — reflex
+    /// programs contain spaces, so it can't ride the whitespace split.
+    fn parse_query(&self, line: &str, verb: &str) -> Result<Query, String> {
+        let rest = line[verb.len()..].trim();
+        let (head, expr) = match rest.split_once(" where ") {
+            Some((h, e)) => (h.trim(), Some(e.trim())),
+            None => (rest, None),
+        };
+        let head: Vec<&str> = head.split_whitespace().collect();
+        let mut q = match head.as_slice() {
+            [kind] => Query::kind(*kind),
+            [kind, "in", ns] => Query::kind(*kind).in_ns(*ns),
+            _ => return Err(format!("usage: {verb} <kind> [in <ns>] [where <expr>]")),
+        };
+        if let Some(expr) = expr {
+            q = q.filter(expr).map_err(|e| e.to_string())?;
+        }
+        Ok(q)
+    }
+
+    /// `dq find <kind> [in <ns>] [where <expr>]`: a filtered list riding
+    /// the indexed query path.
+    fn cmd_find(&mut self, line: &str) -> Result<String, String> {
+        let q = self.parse_query(line, "find")?;
+        let objs = self
+            .space
+            .world
+            .api
+            .query(ApiServer::ADMIN, &q)
+            .map_err(|e| e.to_string())?;
+        if objs.is_empty() {
+            return Ok("(no matches)".to_string());
+        }
+        let mut out = String::new();
+        for obj in objs {
+            out.push_str(&format!("{} (gen {})\n", obj.oref, obj.resource_version));
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    /// `dq watch <kind> [in <ns>] where <expr>`: subscribes to commits
+    /// matching a predicate (namespace defaults to `default`). Matching is
+    /// done at commit time against the index delta, so non-matching events
+    /// never go pending for the session. Drain with `drain <token>`.
+    fn cmd_watch(&mut self, line: &str) -> Result<String, String> {
+        let mut q = self.parse_query(line, "watch")?;
+        if q.namespace.is_none() {
+            q = q.in_ns("default");
+        }
+        let id = self
+            .space
+            .world
+            .api
+            .watch_query(ApiServer::ADMIN, &q)
+            .map_err(|e| e.to_string())?;
+        let token = format!("w{}", self.next_watch);
+        self.next_watch += 1;
+        self.watches.insert(token.clone(), id);
+        Ok(format!("{token}: watching {}", describe(&q)))
+    }
+
+    /// `dq drain <token>`: prints (and consumes) the pending events of a
+    /// watch opened with `watch`.
+    fn cmd_drain(&mut self, parts: &[&str]) -> Result<String, String> {
+        let [_, token] = parts else {
+            return Err("usage: drain <watch-token>".into());
+        };
+        let id = *self
+            .watches
+            .get(*token)
+            .ok_or_else(|| format!("no watch '{token}' (open one with 'watch')"))?;
+        let events = self.space.world.api.poll(id);
+        if events.is_empty() {
+            return Ok("(no events)".to_string());
+        }
+        let mut out = String::new();
+        for ev in events {
+            out.push_str(&format!(
+                "{:?} {} (gen {})\n",
+                ev.kind, ev.oref, ev.resource_version
+            ));
+        }
+        Ok(out.trim_end().to_string())
     }
 
     fn cmd_trace(&mut self, parts: &[&str]) -> String {
@@ -282,6 +376,18 @@ impl Dq {
     }
 }
 
+/// Renders a query for watch/find confirmations.
+fn describe(q: &Query) -> String {
+    let mut s = q.kind.clone().unwrap_or_else(|| "*".to_string());
+    if let Some(ns) = &q.namespace {
+        s.push_str(&format!(" in {ns}"));
+    }
+    if let Some(p) = &q.pred {
+        s.push_str(&format!(" where {}", p.source()));
+    }
+    s
+}
+
 /// Help text.
 pub const HELP: &str = "\
 dq — dSpace command line (simulated space)
@@ -297,6 +403,9 @@ dq — dSpace command line (simulated space)
   alias [<short> <digi>]          define or list name shorthands
   graph                           show the digi-graph
   list                            list all API objects
+  find <kind> [in <ns>] [where <expr>]   filtered list (indexed)
+  watch <kind> [in <ns>] where <expr>    subscribe to matching commits
+  drain <token>                   print a watch's pending events
   trace [n]                       show the last n runtime trace entries
   tick [ms]                       advance virtual time (default 1000 ms)
   help | quit";
@@ -365,6 +474,41 @@ mod tests {
         text(dq.exec("tick 3000"));
         assert!(!text(dq.exec("trace 5")).is_empty());
         assert_eq!(dq.exec("quit"), Outcome::Quit);
+    }
+
+    #[test]
+    fn find_filters_with_expressions() {
+        let mut dq = Dq::with_s1();
+        text(dq.exec("run Plug plugA"));
+        text(dq.exec("run Plug plugB"));
+        text(dq.exec("set plugA/power on"));
+        text(dq.exec("tick 3000"));
+        let out = text(dq.exec("find Plug where .control.power.intent == \"on\""));
+        assert!(out.contains("Plug/default/plugA"), "{out}");
+        assert!(!out.contains("plugB"), "{out}");
+        let out = text(dq.exec("find Plug in default"));
+        assert!(out.contains("plugA") && out.contains("plugB"), "{out}");
+        assert!(text(dq.exec("find Plug where .nope ==")).contains("error"));
+        assert!(text(dq.exec("find")).contains("error"));
+    }
+
+    #[test]
+    fn watch_where_delivers_only_matching_commits() {
+        let mut dq = Dq::with_s1();
+        text(dq.exec("run Plug plugA"));
+        text(dq.exec("run Plug plugB"));
+        let out = text(dq.exec("watch Plug where .control.power.intent == \"on\""));
+        assert!(out.starts_with("w1:"), "{out}");
+        let id = dq.watches["w1"];
+        // A non-matching commit never goes pending for the session.
+        text(dq.exec("set plugB/power off"));
+        assert!(!dq.space.world.api.has_pending(id));
+        text(dq.exec("set plugA/power on"));
+        let out = text(dq.exec("drain w1"));
+        assert!(out.contains("Plug/default/plugA"), "{out}");
+        assert!(!out.contains("plugB"), "{out}");
+        assert_eq!(text(dq.exec("drain w1")), "(no events)");
+        assert!(text(dq.exec("drain w9")).contains("error"));
     }
 
     #[test]
@@ -457,6 +601,10 @@ mod tests {
         assert_eq!(text(dq.exec("list")), list);
         assert_eq!(text(dq.exec("graph")), graph);
         assert!(text(dq.exec("get plug1.control.power.intent")).contains("on"));
+        // Indexed finds work against the recovered store too: the indexes
+        // are rebuilt on demand from the recovered objects.
+        let found = text(dq.exec("find Plug where .control.power.intent == \"on\""));
+        assert!(found.contains("Plug/default/plug1"), "{found}");
 
         // And the session keeps going: catalogue drivers re-attach to the
         // recovered digi, new digis and intents work.

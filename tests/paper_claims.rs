@@ -56,14 +56,14 @@ fn scenario_effort_shape() {
 /// scenario rather than the store directly.
 #[test]
 fn intent_version_guarantee_in_vivo() {
-    use dspace::apiserver::{ApiServer, ObjectRef};
+    use dspace::apiserver::{ApiServer, ObjectRef, Query};
     let mut s1 = dspace::digis::scenarios::s1::S1::build();
     let lamp = ObjectRef::default_ns("GeeniLamp", "l1");
     let w = s1
         .space
         .world
         .api
-        .watch(ApiServer::ADMIN, Some("GeeniLamp"))
+        .watch_query(ApiServer::ADMIN, &Query::kind("GeeniLamp"))
         .unwrap();
     for i in 0..10 {
         s1.space
