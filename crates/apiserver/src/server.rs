@@ -531,6 +531,16 @@ impl ApiServer {
         }
     }
 
+    /// `true` when no coordinator-side pipeline stage needs the candidate
+    /// model for a patch to `oref`: no webhooks, kinds are not strict, and
+    /// no schema covers the kind. The patch verbs then skip materializing
+    /// old/new documents entirely, so a patch to a watched object is
+    /// O(delta) end to end — the store merges/sets in place, sizes the
+    /// event incrementally, and journals only the patch.
+    fn patch_pipeline_idle(&self, oref: &ObjectRef) -> bool {
+        self.webhooks.is_empty() && !self.strict_kinds && !self.schemas.contains_key(&oref.kind)
+    }
+
     /// Merges `patch` into the current model (strategic-merge semantics of
     /// [`Value::merge`]). Runs as a read–modify–write without OCC — the
     /// merge is applied atomically on the server side.
@@ -541,6 +551,9 @@ impl ApiServer {
         patch: Value,
     ) -> Result<u64, ApiError> {
         self.authorize(subject, Verb::Patch, oref)?;
+        if self.patch_pipeline_idle(oref) {
+            return self.store.update_via_merge(oref, &patch);
+        }
         let old = self
             .store
             .get(oref)
@@ -551,7 +564,7 @@ impl ApiServer {
         self.validate(oref, &new)?;
         self.admit(subject, Verb::Patch, oref, Some(&*old), Some(&new))?;
         // Journals the patch, not the merged document.
-        let rv = self.store.update_via_merge(oref, new, &patch)?;
+        let rv = self.store.update_via_merge(oref, &patch)?;
         let committed = self.store.get(oref).expect("just patched").model.clone();
         self.observe(subject, Verb::Patch, oref, Some(&*old), Some(&*committed));
         Ok(rv)
@@ -566,6 +579,15 @@ impl ApiServer {
         value: Value,
     ) -> Result<u64, ApiError> {
         self.authorize(subject, Verb::Patch, oref)?;
+        if self.patch_pipeline_idle(oref) {
+            if self.store.get(oref).is_none() {
+                return Err(ApiError::NotFound(oref.clone()));
+            }
+            let parsed: dspace_value::Path = path
+                .parse()
+                .map_err(|e| ApiError::BadRequest(format!("bad path {path}: {e}")))?;
+            return self.store.update_via_set(oref, &parsed, &value);
+        }
         let old = self
             .store
             .get(oref)
@@ -581,7 +603,7 @@ impl ApiServer {
         self.admit(subject, Verb::Patch, oref, Some(&*old), Some(&new))?;
         // Journals path + value — a few dozen bytes for the hottest verb
         // in the system, instead of the whole model.
-        let rv = self.store.update_via_set(oref, new, &parsed, &value)?;
+        let rv = self.store.update_via_set(oref, &parsed, &value)?;
         let committed = self.store.get(oref).expect("just patched").model.clone();
         self.observe(subject, Verb::Patch, oref, Some(&*old), Some(&*committed));
         Ok(rv)
@@ -806,6 +828,12 @@ impl ApiServer {
         self.store.pending_bytes(id)
     }
 
+    /// Undelivered `(events, bytes)` in one derivation pass (see
+    /// [`Store::pending_totals`](crate::store::Store::pending_totals)).
+    pub fn pending_totals(&self, id: WatchId) -> (u64, u64) {
+        self.store.pending_totals(id)
+    }
+
     /// Cancels a watch subscription, releasing its log-compaction hold.
     pub fn cancel_watch(&mut self, id: WatchId) {
         self.store.cancel_watch(id)
@@ -814,6 +842,21 @@ impl ApiServer {
     /// Watch/notification traffic counters (bench + diagnostics).
     pub fn watch_stats(&self) -> WatchStats {
         self.store.watch_stats()
+    }
+
+    /// Re-walks every size hint at append time and asserts it (see
+    /// [`Store::set_verify_sizes`](crate::store::Store::set_verify_sizes)).
+    /// Equivalence-test instrumentation; off by default.
+    pub fn set_verify_sizes(&mut self, verify: bool) {
+        self.store.set_verify_sizes(verify)
+    }
+
+    /// Cross-checks every cached/stamped size and derived pending counter
+    /// against freshly computed truth (see
+    /// [`Store::audit_sizes`](crate::store::Store::audit_sizes)).
+    #[doc(hidden)]
+    pub fn audit_sizes(&self) -> Result<(), String> {
+        self.store.audit_sizes()
     }
 
     /// Current in-memory watch log length (bounded by live watcher lag).

@@ -67,6 +67,75 @@ pub struct CoalescedEvent {
     pub coalesced: u64,
 }
 
+/// One entry of a shard's event log: the event identity plus either a
+/// shared model snapshot or a *rollback* recipe against the object's
+/// next-newer entry.
+///
+/// The rollback form is what makes steady-state writes zero-copy: when a
+/// mutation finds that the only other holder of the current model `Arc`
+/// is this log's newest entry for the object, it steals the `Arc`,
+/// mutates the document in place, and leaves behind the inverse ops that
+/// recover the pre-write model from the post-write one. Invariant: the
+/// newest log entry for any object is always a `Snapshot`, so a rollback
+/// entry's successor is resident whenever the entry is (compaction only
+/// pops from the front).
+#[derive(Debug, Clone)]
+struct LogEntry {
+    /// Strictly increasing revision within the shard.
+    revision: u64,
+    /// What happened.
+    kind: WatchEventKind,
+    /// The object affected.
+    oref: ObjectRef,
+    /// The model after the change, as a snapshot or a rollback recipe.
+    model: EntryModel,
+    /// The object's resource version after the change.
+    resource_version: u64,
+    /// Serialized size of the entry's model. `0` means "never sized"
+    /// (no member was interested and no hint was available at append
+    /// time); a JSON document is never 0 bytes, so the sentinel is safe.
+    bytes: u64,
+}
+
+/// How a log entry stores its model: materialized, or as the inverse of
+/// the mutation relative to the object's next-newer log entry.
+#[derive(Debug, Clone)]
+enum EntryModel {
+    /// The model itself, shared with the object map and every delivery.
+    Snapshot(Shared<Value>),
+    /// Inverse ops that recover this entry's model from its successor's.
+    /// Only laggard polls pay the materialization; the hot path never
+    /// touches these again.
+    Rollback(Vec<InverseOp>),
+}
+
+/// One inverse step of a rollback entry: restore `path` to its pre-write
+/// value, or remove the key the write freshly inserted.
+#[derive(Debug, Clone)]
+struct InverseOp {
+    path: Path,
+    /// `Some(old)` restores the previous value; `None` removes a freshly
+    /// inserted key.
+    old: Option<Value>,
+}
+
+/// Recovers an entry's model from its successor's by applying the
+/// recorded inverse ops. All ops restore mutually consistent pre-state
+/// values, so application order is immaterial; failures (an inner path
+/// whose container an outer restore already replaced) are benign no-ops.
+fn apply_rollback(doc: &mut Value, ops: &[InverseOp]) {
+    for op in ops.iter().rev() {
+        match &op.old {
+            Some(v) => {
+                let _ = doc.set(&op.path, v.clone());
+            }
+            None => {
+                doc.remove(&op.path);
+            }
+        }
+    }
+}
+
 /// Handle to a watch subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WatchId(pub u64);
@@ -151,24 +220,87 @@ impl WatchSelector {
     }
 }
 
+/// Monotone per-slot charge counters: how many matching events were ever
+/// appended while the slot existed, and their serialized bytes.
+///
+/// Members in cell mode derive their pending counts as the difference
+/// between the slot's current charge and the baseline they captured at
+/// registration (or their last drain) — so an append charges each
+/// matching *slot* once, not each subscribed watcher, and per-write cost
+/// is flat in watcher count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Charge {
+    events: u64,
+    bytes: u64,
+}
+
+impl Charge {
+    fn bump(&mut self, bytes: u64) {
+        self.events += 1;
+        self.bytes += bytes;
+    }
+}
+
+/// One selector slot of a shard: its subscriber refcounts plus the shared
+/// charge cell that single-slot members ride instead of per-member
+/// counters.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Registration refcounts — a watcher can reach the same slot through
+    /// several selectors (e.g. a global `Kind` plus a scoped
+    /// `KindInNamespace` of the same kind), and dropping one of them must
+    /// not unhook the others.
+    subs: BTreeMap<WatchId, usize>,
+    charge: Charge,
+}
+
+/// Identity of a plain (non-predicate) selector slot within one shard.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum SlotKey {
+    All,
+    Kind(String),
+    Object(ObjectRef),
+}
+
 /// A watcher's registration state within one shard, owned *by the shard*
 /// so a worker thread can maintain cursors and pending counters without
 /// touching coordinator state.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct ShardMember {
-    /// Selector-registration refcount (a watcher may reach this shard
-    /// through several selectors).
-    refs: usize,
     /// Shard revision of the next event this watcher has yet to examine:
     /// all events with `revision < cursor` are delivered or filtered out.
     cursor: u64,
-    /// Undelivered matching events in this shard. Maintained at append
-    /// time, so `has_pending` is O(1) and `poll` never scans empty tails.
-    pending: u64,
-    /// Serialized bytes of the undelivered matching events — what a real
-    /// apiserver would put on the wire at the next notification. Drained
-    /// alongside `pending`.
-    pending_bytes: u64,
+    /// Plain selector slots this member occupies, with per-slot
+    /// registration refcounts.
+    slots: Vec<(SlotKey, usize)>,
+    /// Predicate registrations (each also listed in `pred_watchers`).
+    pred_refs: usize,
+    /// How this member's pending counts are tracked (see [`Acct`]).
+    acct: Acct,
+}
+
+impl ShardMember {
+    /// `true` while the member may ride its single slot's charge cell:
+    /// exactly one plain slot, no predicate registrations.
+    fn cell_eligible(&self) -> bool {
+        self.slots.len() == 1 && self.pred_refs == 0
+    }
+}
+
+/// Pending accounting mode of one shard member.
+///
+/// The overwhelmingly common shape — one selector, or several selectors
+/// mapping to the same slot — derives its pending counts from the slot's
+/// charge cell, so appends never touch it. Members spanning several
+/// distinct slots, or holding any predicate registration, fall back to
+/// exact per-member counters (charged per matching event, deduped).
+#[derive(Debug, Clone)]
+enum Acct {
+    /// Derived: pending = slot charge − `base` (captured at registration
+    /// or last drain). Valid only while [`ShardMember::cell_eligible`].
+    Cell { base: Charge },
+    /// Exact per-member counters, maintained by the append path.
+    Exact { pending: u64, bytes: u64 },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -177,20 +309,9 @@ struct Watcher {
     /// matching an event through several selectors still receives it once.
     selectors: Vec<WatchSelector>,
     /// Shards this watcher is a member of; per-shard cursors and pending
-    /// counters live in the shard itself (see [`ShardMember`]).
+    /// accounting live in the shard itself (see [`ShardMember`]), and
+    /// `has_pending`/`pending_bytes` derive from them on demand.
     shards: BTreeSet<String>,
-    /// Sum of the per-shard pending counts (O(1) `has_pending`).
-    total_pending: u64,
-    /// Sum of the per-shard pending byte counts (O(1) `pending_bytes`).
-    total_pending_bytes: u64,
-}
-
-/// Pending-count change for one watcher, produced on a shard worker and
-/// folded into the watcher's totals by the coordinator.
-#[derive(Debug, Clone, Copy, Default)]
-struct PendingDelta {
-    pending: u64,
-    bytes: u64,
 }
 
 /// Per-shard side effects of a mutation batch, accumulated on the owning
@@ -206,15 +327,29 @@ struct ShardTally {
     peak_log_len: usize,
     /// Batch-end compaction passes run for this slice (0 or 1).
     compaction_passes: u64,
-    /// Pending-count deltas per interested watcher.
-    deltas: BTreeMap<WatchId, PendingDelta>,
+    /// Model deep-clones the copy-on-write path could not avoid (a live
+    /// snapshot, a delivered event, or an unstealable log entry still
+    /// held the `Arc`). Steady-state writes keep this at zero.
+    deep_clones: u64,
     /// Shard revision when this slice began: the `base` of its WAL commit
     /// record, which replay asserts before re-applying the ops.
     wal_base: u64,
+    /// `true` when the store journals: shard mutators render their own
+    /// WAL op into `wal_ops` on success (sharing the model encoding with
+    /// the event sizing), in ticket order, on the owning worker.
+    journal: bool,
     /// Pre-serialized WAL forms of the slice's *successful* ops, in
-    /// ticket order. Serialized on the owning worker (in parallel for
-    /// batches) and empty unless the store journals.
+    /// ticket order. Empty unless `journal` is set.
     wal_ops: Vec<String>,
+}
+
+impl ShardTally {
+    fn journaling(journal: bool) -> ShardTally {
+        ShardTally {
+            journal,
+            ..ShardTally::default()
+        }
+    }
 }
 
 /// One namespace's slice of the store: its objects, event log, revision
@@ -243,20 +378,30 @@ struct Shard {
     enc_cache: BTreeMap<ObjectRef, u64>,
     /// Tail of this namespace's event log still needed by some member. The
     /// first entry's revision is `committed - log.len() + 1`.
-    log: VecDeque<WatchEvent>,
+    log: VecDeque<LogEntry>,
+    /// Revision of the newest resident log entry per object — the entry a
+    /// later write to the same object may *steal* its snapshot from (see
+    /// [`LogEntry`]). Pruned lazily against the compaction floor, dropped
+    /// wholesale when the log empties.
+    tail_revs: BTreeMap<ObjectRef, u64>,
     /// Events ever committed in this shard (== the newest revision).
     committed: u64,
-    /// Selector indexes: which watchers to notify per event, without
-    /// touching unrelated subscriptions. Values are registration
-    /// refcounts — a watcher can reach the same index slot through
-    /// several selectors (e.g. a global `Kind` plus a scoped
-    /// `KindInNamespace` of the same kind), and dropping one of them must
-    /// not unhook the others.
-    all_watchers: BTreeMap<WatchId, usize>,
-    kind_watchers: BTreeMap<String, BTreeMap<WatchId, usize>>,
-    object_watchers: BTreeMap<ObjectRef, BTreeMap<WatchId, usize>>,
-    /// Member watchers with their cursors and pending counters.
+    /// Selector slots: which watchers to notify per event, without
+    /// touching unrelated subscriptions, plus the charge cell their
+    /// single-slot members derive pending counts from.
+    all_watchers: Slot,
+    kind_watchers: BTreeMap<String, Slot>,
+    object_watchers: BTreeMap<ObjectRef, Slot>,
+    /// Member watchers with their cursors and pending accounting.
     members: BTreeMap<WatchId, ShardMember>,
+    /// Members in exact accounting mode ([`Acct::Exact`]): the append
+    /// path resolves these few individually; everyone else rides the
+    /// charge cells.
+    exact_ids: BTreeSet<WatchId>,
+    /// When set, `shard_append` re-walks every hinted size and asserts it
+    /// matches — the equivalence tests' guard against stale incremental
+    /// deltas (off by default: hints are trusted, never double-walked).
+    verify_sizes: bool,
     /// Secondary indexes: `(kind, model path)` → value-keyed posting
     /// lists over this shard's objects of that kind. Strictly *derived*
     /// state — built lazily by the first query or predicate watch that
@@ -341,30 +486,99 @@ impl Shard {
         Arc::make_mut(&mut self.objects)
     }
 
+    /// The plain slot key a non-predicate selector registers under.
+    /// `Kind` and `KindInNamespace` share a key deliberately: within one
+    /// shard they match the same events, so a member holding both stays
+    /// in cell mode.
+    fn slot_key(selector: &WatchSelector) -> Option<SlotKey> {
+        match selector {
+            WatchSelector::All => Some(SlotKey::All),
+            WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
+                Some(SlotKey::Kind(k.clone()))
+            }
+            WatchSelector::Object(r) => Some(SlotKey::Object(r.clone())),
+            WatchSelector::Predicate(_) => None,
+        }
+    }
+
+    /// The current charge of a plain slot (zero if the slot is absent).
+    fn slot_charge(&self, key: &SlotKey) -> Charge {
+        match key {
+            SlotKey::All => self.all_watchers.charge,
+            SlotKey::Kind(k) => self
+                .kind_watchers
+                .get(k)
+                .map(|s| s.charge)
+                .unwrap_or_default(),
+            SlotKey::Object(r) => self
+                .object_watchers
+                .get(r)
+                .map(|s| s.charge)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// A member's undelivered (events, bytes) in this shard — read from
+    /// its exact counters, or derived from its slot's charge cell.
+    fn member_pending(&self, m: &ShardMember) -> (u64, u64) {
+        match &m.acct {
+            Acct::Exact { pending, bytes } => (*pending, *bytes),
+            Acct::Cell { base } => {
+                let c = self.slot_charge(&m.slots[0].0);
+                (c.events - base.events, c.bytes - base.bytes)
+            }
+        }
+    }
+
+    /// Marks everything up to the shard's current tail delivered: zero
+    /// the exact counters or rebase the cell baseline, and advance the
+    /// cursor past the committed revision.
+    fn drain_member(&mut self, id: WatchId) {
+        let committed = self.committed;
+        let Some(m) = self.members.get(&id) else {
+            return;
+        };
+        let acct = match &m.acct {
+            Acct::Exact { .. } => Acct::Exact {
+                pending: 0,
+                bytes: 0,
+            },
+            Acct::Cell { .. } => Acct::Cell {
+                base: self.slot_charge(&m.slots[0].0),
+            },
+        };
+        let m = self.members.get_mut(&id).expect("present above");
+        m.acct = acct;
+        m.cursor = committed + 1;
+    }
+
     /// Registers a selector for `id`; a first registration creates the
     /// member with `cursor` (existing members keep their position).
     fn register(&mut self, id: WatchId, selector: &WatchSelector, cursor: u64) {
-        match selector {
-            WatchSelector::All => {
-                *self.all_watchers.entry(id).or_default() += 1;
+        // Freeze the member's derived pending before its slot set
+        // changes: a cell→exact transition must not lose or double
+        // events.
+        let frozen = self.members.get(&id).map(|m| self.member_pending(m));
+        let key = Self::slot_key(selector);
+        let base = match &key {
+            Some(SlotKey::All) => {
+                *self.all_watchers.subs.entry(id).or_default() += 1;
+                self.all_watchers.charge
             }
-            WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
-                *self
-                    .kind_watchers
-                    .entry(k.clone())
-                    .or_default()
-                    .entry(id)
-                    .or_default() += 1;
+            Some(SlotKey::Kind(k)) => {
+                let slot = self.kind_watchers.entry(k.clone()).or_default();
+                *slot.subs.entry(id).or_default() += 1;
+                slot.charge
             }
-            WatchSelector::Object(r) => {
-                *self
-                    .object_watchers
-                    .entry(r.clone())
-                    .or_default()
-                    .entry(id)
-                    .or_default() += 1;
+            Some(SlotKey::Object(r)) => {
+                let slot = self.object_watchers.entry(r.clone()).or_default();
+                *slot.subs.entry(id).or_default() += 1;
+                slot.charge
             }
-            WatchSelector::Predicate(p) => {
+            None => {
+                let WatchSelector::Predicate(p) = selector else {
+                    unreachable!("keyless selectors are predicates")
+                };
                 // Warm the indexes the predicate's plan probes, so the
                 // append path can refuse non-matching commits from the
                 // key delta alone.
@@ -382,50 +596,86 @@ impl Shard {
                         refs: 1,
                     }),
                 }
+                Charge::default()
             }
-        }
-        self.members
-            .entry(id)
-            .or_insert(ShardMember {
-                refs: 0,
-                cursor,
-                pending: 0,
-                pending_bytes: 0,
-            })
-            .refs += 1;
-    }
-
-    /// Releases one selector registration. Returns the member state when
-    /// this was the last registration (so the caller can refund pending
-    /// counters), `None` while other selectors still hold the shard.
-    fn deregister(&mut self, id: WatchId, selector: &WatchSelector) -> Option<ShardMember> {
-        fn unref(slots: &mut BTreeMap<WatchId, usize>, id: WatchId) {
-            if let Some(n) = slots.get_mut(&id) {
-                *n -= 1;
-                if *n == 0 {
-                    slots.remove(&id);
+        };
+        match self.members.get_mut(&id) {
+            None => {
+                let acct = match key {
+                    // New member, single plain slot: ride its cell.
+                    Some(_) => Acct::Cell { base },
+                    None => Acct::Exact {
+                        pending: 0,
+                        bytes: 0,
+                    },
+                };
+                let slots = key.map(|k| (k, 1)).into_iter().collect::<Vec<_>>();
+                let pred_refs = usize::from(slots.is_empty());
+                if pred_refs > 0 || !matches!(acct, Acct::Cell { .. }) {
+                    self.exact_ids.insert(id);
+                }
+                self.members.insert(
+                    id,
+                    ShardMember {
+                        cursor,
+                        slots,
+                        pred_refs,
+                        acct,
+                    },
+                );
+            }
+            Some(m) => {
+                match key {
+                    Some(k) => match m.slots.iter_mut().find(|(sk, _)| *sk == k) {
+                        Some((_, refs)) => *refs += 1,
+                        None => m.slots.push((k, 1)),
+                    },
+                    None => m.pred_refs += 1,
+                }
+                if !m.cell_eligible() && matches!(m.acct, Acct::Cell { .. }) {
+                    // The member now spans several slots (or gained a
+                    // predicate): freeze the derived counts into exact
+                    // mode. Exact members never convert back on register.
+                    let (pending, bytes) = frozen.expect("member existed");
+                    m.acct = Acct::Exact { pending, bytes };
+                    self.exact_ids.insert(id);
                 }
             }
         }
-        fn prune<K: Ord>(index: &mut BTreeMap<K, BTreeMap<WatchId, usize>>, key: &K, id: WatchId) {
-            if let Some(slots) = index.get_mut(key) {
-                unref(slots, id);
-                if slots.is_empty() {
+    }
+
+    /// Releases one selector registration. Returns `true` when this was
+    /// the member's last registration in the shard (the membership is
+    /// gone); pending counts are derived, so nothing needs refunding.
+    fn deregister(&mut self, id: WatchId, selector: &WatchSelector) -> bool {
+        fn unref(slot: &mut Slot, id: WatchId) {
+            if let Some(n) = slot.subs.get_mut(&id) {
+                *n -= 1;
+                if *n == 0 {
+                    slot.subs.remove(&id);
+                }
+            }
+        }
+        fn prune<K: Ord>(index: &mut BTreeMap<K, Slot>, key: &K, id: WatchId) {
+            if let Some(slot) = index.get_mut(key) {
+                unref(slot, id);
+                if slot.subs.is_empty() {
                     index.remove(key);
                 }
             }
         }
-        match selector {
-            WatchSelector::All => {
+        let key = Self::slot_key(selector);
+        match (&key, selector) {
+            (Some(SlotKey::All), _) => {
                 unref(&mut self.all_watchers, id);
             }
-            WatchSelector::Kind(k) | WatchSelector::KindInNamespace { kind: k, .. } => {
+            (Some(SlotKey::Kind(k)), _) => {
                 prune(&mut self.kind_watchers, k, id);
             }
-            WatchSelector::Object(r) => {
+            (Some(SlotKey::Object(r)), _) => {
                 prune(&mut self.object_watchers, r, id);
             }
-            WatchSelector::Predicate(p) => {
+            (None, WatchSelector::Predicate(p)) => {
                 if let Some(slots) = self.pred_watchers.get_mut(&p.kind) {
                     if let Some(pos) = slots.iter().position(|w| w.id == id && w.pred == p.pred) {
                         slots[pos].refs -= 1;
@@ -441,14 +691,31 @@ impl Shard {
                 // state, cheap to keep current and useful to the next
                 // query.
             }
+            _ => unreachable!("plain selectors have slot keys"),
         }
-        if let Some(m) = self.members.get_mut(&id) {
-            m.refs -= 1;
-            if m.refs == 0 {
-                return self.members.remove(&id);
+        let Some(m) = self.members.get_mut(&id) else {
+            return false;
+        };
+        match key {
+            Some(k) => {
+                if let Some(pos) = m.slots.iter().position(|(sk, _)| *sk == k) {
+                    m.slots[pos].1 -= 1;
+                    if m.slots[pos].1 == 0 {
+                        m.slots.remove(pos);
+                    }
+                }
             }
+            None => m.pred_refs = m.pred_refs.saturating_sub(1),
         }
-        None
+        if m.slots.is_empty() && m.pred_refs == 0 {
+            self.members.remove(&id);
+            self.exact_ids.remove(&id);
+            return true;
+        }
+        // A remaining exact member may now match fewer events than its
+        // counters claim; callers re-settle via `recount_pending`. Cell
+        // members cannot be affected: their one slot key is unchanged.
+        false
     }
 
     /// Builds the `(kind, path)` index from the object map if it does not
@@ -502,6 +769,12 @@ pub struct WatchStats {
     /// controller issuing per-op writes pays none here but loses the
     /// amortization (serial verbs compact at poll time instead).
     pub batch_compaction_passes: u64,
+    /// Model deep-clones the copy-on-write write path could not avoid: a
+    /// live [`StoreSnapshot`], a delivered event, or a log entry whose
+    /// snapshot could not be stolen still held the model's `Arc`. In
+    /// steady state (watchers keeping up, no snapshot pinned) this stays
+    /// zero — writes to watched objects are O(delta), never O(model).
+    pub deep_clones: u64,
 }
 
 /// The persistent store: objects plus the per-namespace event logs.
@@ -540,6 +813,9 @@ pub struct Store {
     /// Reads served by detached [`StoreSnapshot`] handles. The counter is
     /// shared with every snapshot ever taken from this store.
     snapshot_reads: Arc<AtomicU64>,
+    /// Mirrored into every shard: when set, hinted sizes are re-walked
+    /// and asserted in `shard_append` (see [`Store::set_verify_sizes`]).
+    verify_sizes: bool,
     /// The write-ahead log, when this store is durable ([`Store::open`]).
     /// `None` keeps the store purely in-memory with zero overhead.
     wal: Option<Wal>,
@@ -972,23 +1248,16 @@ impl Store {
     pub fn create(&mut self, oref: ObjectRef, model: Value) -> Result<&Object, ApiError> {
         let ns = oref.namespace.clone();
         self.ensure_shard(&ns);
-        let wal_op = self.wal.is_some().then(|| wal_op_create(&oref, &model));
-        let mut tally = ShardTally::default();
+        let mut tally = ShardTally::journaling(self.wal.is_some());
         let shard = self.shards.get_mut(&ns).expect("just ensured");
         let base = shard.committed;
         let result = shard_create(shard, oref.clone(), model, &mut tally);
-        let appended = tally.appended;
+        let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
         self.finish_serial(tally);
         // `ensure` is always set: like the batch path, `create` resurrects
         // a retiring namespace even when the op itself fails, and replay
         // must mirror that.
-        self.wal_commit(
-            &ns,
-            base,
-            true,
-            appended,
-            wal_op.filter(|_| appended > 0).into_iter().collect(),
-        );
+        self.wal_commit(&ns, base, true, appended, ops);
         self.wal_seal();
         result?;
         Ok(self
@@ -1011,24 +1280,16 @@ impl Store {
         model: Value,
         expected_rv: Option<u64>,
     ) -> Result<u64, ApiError> {
-        let journal = self.wal.is_some();
         let Some(shard) = self.shards.get_mut(&oref.namespace) else {
             return Err(ApiError::NotFound(oref.clone()));
         };
-        let wal_op = journal.then(|| wal_op_put(oref, &model));
         let base = shard.committed;
-        let mut tally = ShardTally::default();
+        let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_update(shard, oref, model, expected_rv, &mut tally);
-        let appended = tally.appended;
+        let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
         self.finish_serial(tally);
         if appended > 0 {
-            self.wal_commit(
-                &oref.namespace,
-                base,
-                false,
-                appended,
-                wal_op.into_iter().collect(),
-            );
+            self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
         self.wal_seal();
         result
@@ -1040,85 +1301,67 @@ impl Store {
     /// `Deleted` event carry a *bumped* resource version, so watchers can
     /// order the delete against the modifications that preceded it.
     pub fn delete(&mut self, oref: &ObjectRef) -> Result<Object, ApiError> {
-        let journal = self.wal.is_some();
         let Some(shard) = self.shards.get_mut(&oref.namespace) else {
             return Err(ApiError::NotFound(oref.clone()));
         };
         let base = shard.committed;
-        let mut tally = ShardTally::default();
+        let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_delete(shard, oref, &mut tally);
-        let appended = tally.appended;
-        self.finish_serial(tally);
-        if journal && appended > 0 {
-            self.wal_commit(
-                &oref.namespace,
-                base,
-                false,
-                appended,
-                vec![wal_op_delete(oref)],
-            );
-        }
-        self.wal_seal();
-        result
-    }
-
-    /// [`Store::update`] with a caller-supplied journal representation:
-    /// replaces the model exactly like `update`, but logs the provided
-    /// logical op (a path set, a merge patch) instead of the full model.
-    /// The op must replay to exactly this model — the single-attribute
-    /// verbs that dominate a running space journal a few dozen bytes
-    /// rather than their whole document.
-    fn update_as(
-        &mut self,
-        oref: &ObjectRef,
-        model: Value,
-        expected_rv: Option<u64>,
-        wal_op: impl FnOnce(&mut String),
-    ) -> Result<u64, ApiError> {
-        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
-            return Err(ApiError::NotFound(oref.clone()));
-        };
-        let base = shard.committed;
-        let mut tally = ShardTally::default();
-        let result = shard_update(shard, oref, model, expected_rv, &mut tally);
-        let appended = tally.appended;
+        let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
         self.finish_serial(tally);
         if appended > 0 {
-            if let Some(w) = self.wal.as_mut() {
-                w.commit_with(&oref.namespace, base, false, appended, wal_op);
-                self.commits_since_ckpt += 1;
-            }
+            self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
         self.wal_seal();
         result
     }
 
-    /// Replaces the model with `model`, which the caller produced by
-    /// setting `path` to `value` on the current model; only the set is
-    /// journaled. Replaying the set against the same base reproduces
-    /// `model` bit-for-bit (both paths stamp `meta.gen` identically).
+    /// Sets `path` to `value` on the stored model, in place — the serial
+    /// form of [`StoreOp::SetPath`], and the hot verb behind `patch_path`.
+    /// Zero-copy in steady state (the log-tail snapshot is stolen and
+    /// rewritten as a rollback entry), O(delta) sizing via the encoded-
+    /// length cache, and only the set itself is journaled. Replaying it
+    /// against the same base reproduces the model bit-for-bit (both paths
+    /// stamp `meta.gen` identically).
     pub fn update_via_set(
         &mut self,
         oref: &ObjectRef,
-        model: Value,
         path: &Path,
         value: &Value,
     ) -> Result<u64, ApiError> {
-        self.update_as(oref, model, None, |out| {
-            wal_op_set_into(out, oref, path, value)
-        })
+        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
+            return Err(ApiError::NotFound(oref.clone()));
+        };
+        let base = shard.committed;
+        let mut tally = ShardTally::journaling(self.wal.is_some());
+        let result = shard_set_path(shard, oref, path, value.clone(), &mut tally);
+        let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
+        self.finish_serial(tally);
+        if appended > 0 {
+            self.wal_commit(&oref.namespace, base, false, appended, ops);
+        }
+        self.wal_seal();
+        result
     }
 
-    /// Replaces the model with `model`, which the caller produced by
-    /// merging `patch` into the current model; only the patch is
+    /// Deep-merges `patch` into the stored model, in place — the serial
+    /// form of [`StoreOp::Merge`], with the same zero-copy/incremental-
+    /// size machinery as [`Store::update_via_set`]; only the patch is
     /// journaled.
-    pub fn update_via_merge(
-        &mut self,
-        oref: &ObjectRef,
-        model: Value,
-        patch: &Value,
-    ) -> Result<u64, ApiError> {
-        self.update_as(oref, model, None, |out| wal_op_merge_into(out, oref, patch))
+    pub fn update_via_merge(&mut self, oref: &ObjectRef, patch: &Value) -> Result<u64, ApiError> {
+        let Some(shard) = self.shards.get_mut(&oref.namespace) else {
+            return Err(ApiError::NotFound(oref.clone()));
+        };
+        let base = shard.committed;
+        let mut tally = ShardTally::journaling(self.wal.is_some());
+        let result = shard_merge(shard, oref, patch, &mut tally);
+        let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
+        self.finish_serial(tally);
+        if appended > 0 {
+            self.wal_commit(&oref.namespace, base, false, appended, ops);
+        }
+        self.wal_seal();
+        result
     }
 
     /// Jumps an object's resource version forward to `rv` without changing
@@ -1129,23 +1372,16 @@ impl Store {
     /// exact there. Tests use this to place an object deep into its
     /// mutation history in one step.
     pub fn fast_forward(&mut self, oref: &ObjectRef, rv: u64) -> Result<u64, ApiError> {
-        let journal = self.wal.is_some();
         let Some(shard) = self.shards.get_mut(&oref.namespace) else {
             return Err(ApiError::NotFound(oref.clone()));
         };
         let base = shard.committed;
-        let mut tally = ShardTally::default();
+        let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_fast_forward(shard, oref, rv, &mut tally);
-        let appended = tally.appended;
+        let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
         self.finish_serial(tally);
-        if journal && appended > 0 {
-            self.wal_commit(
-                &oref.namespace,
-                base,
-                false,
-                appended,
-                vec![wal_op_ff(oref, rv)],
-            );
+        if appended > 0 {
+            self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
         self.wal_seal();
         result
@@ -1239,12 +1475,8 @@ impl Store {
         self.stats.events_appended += tally.appended;
         self.stats.events_compacted += tally.compacted;
         self.stats.batch_compaction_passes += tally.compaction_passes;
+        self.stats.deep_clones += tally.deep_clones;
         self.stats.peak_log_len = self.stats.peak_log_len.max(tally.peak_log_len);
-        for (id, delta) in tally.deltas {
-            let w = self.watchers.get_mut(&id).expect("indexed watcher is live");
-            w.total_pending += delta.pending;
-            w.total_pending_bytes += delta.bytes;
-        }
     }
 
     /// Opens a watch over the union of `queries` — the one subscription
@@ -1386,30 +1618,20 @@ impl Store {
         };
         for ns in &affected {
             let shard = shards.get_mut(ns).expect("membership implies shard");
-            match shard.deregister(id, &selector) {
-                Some(member) => {
-                    // Last registration in this shard: refund in full.
-                    w.total_pending = w.total_pending.saturating_sub(member.pending);
-                    w.total_pending_bytes =
-                        w.total_pending_bytes.saturating_sub(member.pending_bytes);
-                    w.shards.remove(ns);
-                }
-                None => {
-                    let member = *shard.members.get(&id).expect("deregister kept the member");
-                    if member.pending > 0 {
-                        let (pending, bytes) = recount_pending(shard, member.cursor, &w.selectors);
-                        w.total_pending = w
-                            .total_pending
-                            .saturating_sub(member.pending)
-                            .saturating_add(pending);
-                        w.total_pending_bytes = w
-                            .total_pending_bytes
-                            .saturating_sub(member.pending_bytes)
-                            .saturating_add(bytes);
-                        let m = shard.members.get_mut(&id).expect("still a member");
-                        m.pending = pending;
-                        m.pending_bytes = bytes;
-                    }
+            if shard.deregister(id, &selector) {
+                // Last registration in this shard: the membership (and
+                // with it the derived pending counts) is simply gone.
+                w.shards.remove(ns);
+            } else {
+                // An exact member's counters may still include events
+                // only the removed selector matched; re-settle them
+                // against the remaining set. Cell members cannot be
+                // affected (their single slot key is unchanged).
+                let member = shard.members.get(&id).expect("deregister kept the member");
+                if matches!(member.acct, Acct::Exact { .. }) && shard.member_pending(member).0 > 0 {
+                    let (pending, bytes) = recount_pending(shard, member.cursor, &w.selectors);
+                    let m = shard.members.get_mut(&id).expect("still a member");
+                    m.acct = Acct::Exact { pending, bytes };
                 }
             }
         }
@@ -1440,44 +1662,31 @@ impl Store {
         let mut touched: Vec<String> = Vec::new();
         for ns in &w.shards {
             let shard = shards.get_mut(ns).expect("membership implies shard");
-            let member = *shard.members.get(&id).expect("membership implies member");
-            if member.pending > 0 {
+            let member = shard.members.get(&id).expect("membership implies member");
+            let (pending, _) = shard.member_pending(member);
+            if pending > 0 {
                 let first_rev = shard.committed - shard.log.len() as u64 + 1;
                 // Compaction never reclaims past a member with pending
                 // events, so the scan window is fully resident.
                 let start = (member.cursor.max(first_rev) - first_rev) as usize;
                 let before = out.len();
-                for ev in shard.log.iter().skip(start) {
-                    if w.selectors
-                        .iter()
-                        .any(|s| s.event_matches(&ev.oref, &ev.model))
-                    {
-                        out.push(ev.clone());
-                    }
-                }
+                scan_window(shard, start, &w.selectors, |e, model| {
+                    out.push(WatchEvent {
+                        revision: e.revision,
+                        kind: e.kind,
+                        oref: e.oref.clone(),
+                        model: model.clone(),
+                        resource_version: e.resource_version,
+                    });
+                });
                 debug_assert_eq!(
                     (out.len() - before) as u64,
-                    member.pending,
+                    pending,
                     "pending counter out of sync in shard {ns}"
                 );
-                // Saturating for the same reason as the namespace-delete
-                // refunds: a counter bug must not wrap the totals.
-                debug_assert!(
-                    w.total_pending >= member.pending
-                        && w.total_pending_bytes >= member.pending_bytes,
-                    "watcher totals behind shard {ns} counters"
-                );
-                w.total_pending = w.total_pending.saturating_sub(member.pending);
-                w.total_pending_bytes = w.total_pending_bytes.saturating_sub(member.pending_bytes);
                 touched.push(ns.clone());
             }
-            let m = shard
-                .members
-                .get_mut(&id)
-                .expect("membership implies member");
-            m.pending = 0;
-            m.pending_bytes = 0;
-            m.cursor = shard.committed + 1;
+            shard.drain_member(id);
         }
         stats.events_delivered += out.len() as u64;
         for ns in &touched {
@@ -1496,28 +1705,114 @@ impl Store {
     /// other event — the final delivery carries the newest state (the
     /// `Deleted` event itself, if the object ended deleted).
     pub fn poll_coalesced(&mut self, id: WatchId) -> Vec<CoalescedEvent> {
-        let raw = self.poll(id);
-        let raw_count = raw.len() as u64;
-        let mut out: Vec<CoalescedEvent> = Vec::new();
-        let mut slots: BTreeMap<ObjectRef, usize> = BTreeMap::new();
-        for ev in raw {
-            match slots.get(&ev.oref) {
-                Some(&i) => {
-                    // Newest snapshot wins; the count remembers the burst.
-                    out[i].event = ev;
-                    out[i].coalesced += 1;
-                }
-                None => {
-                    slots.insert(ev.oref.clone(), out.len());
-                    out.push(CoalescedEvent {
-                        event: ev,
-                        coalesced: 1,
-                    });
+        // Predicate subscriptions judge each event by its model, so the
+        // raw stream must be materialized first; plain subscriptions take
+        // the zero-materialization path below — the newest entry per
+        // object is always a resident snapshot, so a burst of rollback
+        // entries is skipped over without reconstructing any of them.
+        let has_pred = self.watchers.get(&id).is_some_and(|w| {
+            w.selectors
+                .iter()
+                .any(|s| matches!(s, WatchSelector::Predicate(_)))
+        });
+        if has_pred {
+            let raw = self.poll(id);
+            let raw_count = raw.len() as u64;
+            let mut out: Vec<CoalescedEvent> = Vec::new();
+            let mut slots: BTreeMap<ObjectRef, usize> = BTreeMap::new();
+            for ev in raw {
+                match slots.get(&ev.oref) {
+                    Some(&i) => {
+                        // Newest snapshot wins; the count remembers the burst.
+                        out[i].event = ev;
+                        out[i].coalesced += 1;
+                    }
+                    None => {
+                        slots.insert(ev.oref.clone(), out.len());
+                        out.push(CoalescedEvent {
+                            event: ev,
+                            coalesced: 1,
+                        });
+                    }
                 }
             }
+            self.stats.coalesced_deliveries += out.len() as u64;
+            self.stats.events_coalesced += raw_count - out.len() as u64;
+            return out;
         }
-        self.stats.coalesced_deliveries += out.len() as u64;
-        self.stats.events_coalesced += raw_count - out.len() as u64;
+        let Store {
+            shards,
+            watchers,
+            stats,
+            ..
+        } = self;
+        let Some(w) = watchers.get_mut(&id) else {
+            return Vec::new();
+        };
+        let mut out: Vec<CoalescedEvent> = Vec::new();
+        let mut raw_total = 0u64;
+        let mut touched: Vec<String> = Vec::new();
+        for ns in &w.shards {
+            let shard = shards.get_mut(ns).expect("membership implies shard");
+            let member = shard.members.get(&id).expect("membership implies member");
+            let (pending, _) = shard.member_pending(member);
+            if pending > 0 {
+                let first_rev = shard.committed - shard.log.len() as u64 + 1;
+                let start = (member.cursor.max(first_rev) - first_rev) as usize;
+                // First pass: count matches per object and remember each
+                // object's newest entry, keeping first-occurrence order.
+                // Objects live in exactly one namespace, so per-shard
+                // coalescing equals global coalescing.
+                let mut slots: BTreeMap<&ObjectRef, usize> = BTreeMap::new();
+                let mut found: Vec<(u64, usize)> = Vec::new();
+                let mut raw_in_shard = 0u64;
+                for (i, e) in shard.log.iter().enumerate().skip(start) {
+                    if w.selectors.iter().any(|s| s.matches(&e.oref)) {
+                        raw_in_shard += 1;
+                        match slots.get(&e.oref) {
+                            Some(&slot) => {
+                                found[slot].0 += 1;
+                                found[slot].1 = i;
+                            }
+                            None => {
+                                slots.insert(&e.oref, found.len());
+                                found.push((1, i));
+                            }
+                        }
+                    }
+                }
+                debug_assert_eq!(
+                    raw_in_shard, pending,
+                    "pending counter out of sync in shard {ns}"
+                );
+                drop(slots);
+                raw_total += raw_in_shard;
+                for (coalesced, i) in found {
+                    let e = &shard.log[i];
+                    let EntryModel::Snapshot(model) = &e.model else {
+                        unreachable!("newest log entry per object is a snapshot")
+                    };
+                    out.push(CoalescedEvent {
+                        event: WatchEvent {
+                            revision: e.revision,
+                            kind: e.kind,
+                            oref: e.oref.clone(),
+                            model: model.clone(),
+                            resource_version: e.resource_version,
+                        },
+                        coalesced,
+                    });
+                }
+                touched.push(ns.clone());
+            }
+            shard.drain_member(id);
+        }
+        stats.events_delivered += raw_total;
+        stats.coalesced_deliveries += out.len() as u64;
+        stats.events_coalesced += raw_total - out.len() as u64;
+        for ns in &touched {
+            self.compact_shard(ns);
+        }
         out
     }
 
@@ -1527,24 +1822,53 @@ impl Store {
         self.watchers.contains_key(&id)
     }
 
-    /// Returns `true` if the watcher has undelivered events. O(1): the
-    /// per-shard counters are maintained at append time and summed into
-    /// `total_pending`.
+    /// Returns `true` if the watcher has undelivered events. O(member
+    /// shards), no log scan: each shard answers from its charge cells or
+    /// exact counters — and the typical driver subscription spans one
+    /// shard.
     pub fn has_pending(&self, id: WatchId) -> bool {
-        self.watchers
-            .get(&id)
-            .map(|w| w.total_pending > 0)
-            .unwrap_or(false)
+        let Some(w) = self.watchers.get(&id) else {
+            return false;
+        };
+        w.shards.iter().any(|ns| {
+            let shard = self.shards.get(ns).expect("membership implies shard");
+            let m = shard.members.get(&id).expect("membership implies member");
+            shard.member_pending(m).0 > 0
+        })
     }
 
     /// The serialized size of the watcher's undelivered events — the bytes
-    /// its next notification would put on the wire. O(1), maintained at
-    /// append time like `has_pending`.
+    /// its next notification would put on the wire. Derived like
+    /// [`Store::has_pending`]; the runtime's pump loop sizes driver wake
+    /// transfers with this, so it must mirror true encoded sizes exactly.
     pub fn pending_bytes(&self, id: WatchId) -> u64 {
-        self.watchers
-            .get(&id)
-            .map(|w| w.total_pending_bytes)
-            .unwrap_or(0)
+        let Some(w) = self.watchers.get(&id) else {
+            return 0;
+        };
+        w.shards
+            .iter()
+            .map(|ns| {
+                let shard = self.shards.get(ns).expect("membership implies shard");
+                let m = shard.members.get(&id).expect("membership implies member");
+                shard.member_pending(m).1
+            })
+            .sum()
+    }
+
+    /// Undelivered `(events, bytes)` for the watcher, in one pass over its
+    /// member shards — what the runtime's pump loop needs per wake, so it
+    /// doesn't derive the same counters twice via
+    /// [`Store::has_pending`] + [`Store::pending_bytes`].
+    pub fn pending_totals(&self, id: WatchId) -> (u64, u64) {
+        let Some(w) = self.watchers.get(&id) else {
+            return (0, 0);
+        };
+        w.shards.iter().fold((0, 0), |(p, b), ns| {
+            let shard = self.shards.get(ns).expect("membership implies shard");
+            let m = shard.members.get(&id).expect("membership implies member");
+            let (mp, mb) = shard.member_pending(m);
+            (p + mp, b + mb)
+        })
     }
 
     /// Cancels a watch subscription, releasing its compaction holds in
@@ -1613,7 +1937,10 @@ impl Store {
             shard.retiring = false;
             return;
         }
-        let mut shard = Shard::default();
+        let mut shard = Shard {
+            verify_sizes: self.verify_sizes,
+            ..Shard::default()
+        };
         for &id in &self.global_watchers {
             let w = self.watchers.get_mut(&id).expect("global watcher is live");
             for selector in &w.selectors {
@@ -1647,12 +1974,84 @@ impl Store {
         if let Some(w) = self.wal.as_mut() {
             w.drop_shard(ns);
         }
-        for (id, member) in shard.members {
-            debug_assert_eq!(member.pending, 0, "empty log implies nothing pending");
-            if let Some(w) = self.watchers.get_mut(&id) {
+        for (id, member) in &shard.members {
+            debug_assert_eq!(
+                shard.member_pending(member).0,
+                0,
+                "empty log implies nothing pending"
+            );
+            if let Some(w) = self.watchers.get_mut(id) {
                 w.shards.remove(ns);
             }
         }
+    }
+
+    /// Debug/test knob: when enabled, every hinted encoded size is
+    /// re-walked and asserted against the model in `shard_append`, and
+    /// stays enabled for shards created later. Off by default — hints are
+    /// trusted and never double-walked, even in debug builds.
+    pub fn set_verify_sizes(&mut self, verify: bool) {
+        self.verify_sizes = verify;
+        for shard in self.shards.values_mut() {
+            shard.verify_sizes = verify;
+        }
+    }
+
+    /// Test support: exhaustively audits the size bookkeeping against
+    /// ground truth — every `enc_cache` entry equals its object's true
+    /// encoded length, every sized log entry equals its (materialized)
+    /// model's true encoded length, and every member's derived pending
+    /// counts equal a from-scratch recount of the log window with
+    /// freshly computed sizes.
+    #[doc(hidden)]
+    pub fn audit_sizes(&self) -> Result<(), String> {
+        for (ns, shard) in &self.shards {
+            for (oref, cached) in &shard.enc_cache {
+                let Some(obj) = shard.objects.get(oref) else {
+                    return Err(format!("enc_cache entry for missing object {oref} in {ns}"));
+                };
+                let truth = json::encoded_len(&obj.model) as u64;
+                if *cached != truth {
+                    return Err(format!(
+                        "enc_cache for {oref} in {ns}: cached {cached}, true {truth}"
+                    ));
+                }
+            }
+            // Materialize the full window once and check entry sizes.
+            let mut sized: Vec<(u64, u64)> = Vec::new();
+            scan_window(shard, 0, &[WatchSelector::All], |e, model| {
+                sized.push((e.bytes, json::encoded_len(model) as u64));
+            });
+            for (i, (stamped, truth)) in sized.iter().enumerate() {
+                if *stamped != 0 && stamped != truth {
+                    return Err(format!(
+                        "log entry {i} in {ns}: stamped {stamped} bytes, true {truth}"
+                    ));
+                }
+            }
+            for (id, member) in &shard.members {
+                let (pending, bytes) = shard.member_pending(member);
+                let Some(w) = self.watchers.get(id) else {
+                    return Err(format!("member {id:?} in {ns} has no watcher"));
+                };
+                let (mut truth_pending, mut truth_bytes) = (0u64, 0u64);
+                if !shard.log.is_empty() {
+                    let first_rev = shard.committed - shard.log.len() as u64 + 1;
+                    let start = (member.cursor.max(first_rev) - first_rev) as usize;
+                    scan_window(shard, start, &w.selectors, |_, model| {
+                        truth_pending += 1;
+                        truth_bytes += json::encoded_len(model) as u64;
+                    });
+                }
+                if pending != truth_pending || bytes != truth_bytes {
+                    return Err(format!(
+                        "member {id:?} in {ns}: derived ({pending}, {bytes}), \
+                         true ({truth_pending}, {truth_bytes})"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1694,15 +2093,24 @@ fn shard_append(
             }
         }
     }
-    // Collect interested watchers via the shard's selector indexes; the
-    // set dedupes watchers reachable through several selectors, so the
-    // pending counter bumps exactly once per delivered event.
-    let mut interested: BTreeSet<WatchId> = shard.all_watchers.keys().copied().collect();
-    if let Some(ids) = shard.kind_watchers.get(&oref.kind) {
-        interested.extend(ids.keys().copied());
-    }
-    if let Some(ids) = shard.object_watchers.get(&oref) {
-        interested.extend(ids.keys().copied());
+    // Resolve interest. Cell-mode members are never enumerated: each
+    // matching *slot* is charged once, and every member riding it derives
+    // its pending counts from the cell — per-write cost is flat in
+    // watcher count. Only the few exact-mode members (multi-slot or
+    // predicate subscriptions) are resolved individually, deduped so each
+    // is charged exactly once per delivered event.
+    let mut exact_hit: BTreeSet<WatchId> = BTreeSet::new();
+    if !shard.exact_ids.is_empty() {
+        let kind_slot = shard.kind_watchers.get(&oref.kind);
+        let obj_slot = shard.object_watchers.get(&oref);
+        for &eid in &shard.exact_ids {
+            if shard.all_watchers.subs.contains_key(&eid)
+                || kind_slot.is_some_and(|s| s.subs.contains_key(&eid))
+                || obj_slot.is_some_and(|s| s.subs.contains_key(&eid))
+            {
+                exact_hit.insert(eid);
+            }
+        }
     }
     // Predicate subscriptions judge the committed model itself: an index
     // key the plan refuses proves a non-match without evaluating, and
@@ -1710,51 +2118,127 @@ fn shard_append(
     // key delta and are judged on their final model.)
     if let Some(slots) = shard.pred_watchers.get(&oref.kind) {
         for w in slots {
-            if !interested.contains(&w.id) && w.pred.matches_indexed(&model, &new_keys) {
-                interested.insert(w.id);
+            if !exact_hit.contains(&w.id) && w.pred.matches_indexed(&model, &new_keys) {
+                exact_hit.insert(w.id);
             }
         }
     }
-    // Size the notification payload once per event, and only when somebody
-    // will actually receive it. The cache entry always mirrors the newest
-    // model's size — or is absent when that size was never computed.
-    let event_bytes = if interested.is_empty() {
-        shard.enc_cache.remove(&oref);
-        0
-    } else {
-        let n = enc_hint.unwrap_or_else(|| json::encoded_len(&model) as u64);
-        debug_assert_eq!(n, json::encoded_len(&model) as u64, "stale encoded size");
-        if kind == WatchEventKind::Deleted {
-            shard.enc_cache.remove(&oref);
-        } else {
-            shard.enc_cache.insert(oref.clone(), n);
+    let plain_interested = !shard.all_watchers.subs.is_empty()
+        || shard.kind_watchers.contains_key(&oref.kind)
+        || shard.object_watchers.contains_key(&oref);
+    let interested = plain_interested || !exact_hit.is_empty();
+    // Size the notification payload once per event — from the caller's
+    // incremental delta when available, by one full walk otherwise, and
+    // only when somebody will actually receive it. The cache entry always
+    // mirrors the newest model's size (a free hint keeps it alive even
+    // with no watcher present) — or is absent when never computed.
+    if shard.verify_sizes {
+        if let Some(n) = enc_hint {
+            assert_eq!(
+                n,
+                json::encoded_len(&model) as u64,
+                "stale encoded size hint for {oref}"
+            );
         }
-        n
+    }
+    let event_bytes = match (enc_hint, interested) {
+        (Some(n), _) => n,
+        (None, true) => json::encoded_len(&model) as u64,
+        (None, false) => 0,
     };
-    shard.log.push_back(WatchEvent {
+    if kind == WatchEventKind::Deleted || event_bytes == 0 {
+        shard.enc_cache.remove(&oref);
+    } else {
+        shard.enc_cache.insert(oref.clone(), event_bytes);
+    }
+    let members_empty = shard.members.is_empty();
+    if !members_empty {
+        // Remember the newest entry per object so the next write can
+        // steal its snapshot (deletes end the chain).
+        if kind == WatchEventKind::Deleted {
+            shard.tail_revs.remove(&oref);
+        } else {
+            shard.tail_revs.insert(oref.clone(), revision);
+        }
+        if !shard.all_watchers.subs.is_empty() {
+            shard.all_watchers.charge.bump(event_bytes);
+        }
+        if let Some(slot) = shard.kind_watchers.get_mut(&oref.kind) {
+            slot.charge.bump(event_bytes);
+        }
+        if let Some(slot) = shard.object_watchers.get_mut(&oref) {
+            slot.charge.bump(event_bytes);
+        }
+        for id in &exact_hit {
+            let m = shard.members.get_mut(id).expect("hit watcher is a member");
+            if let Acct::Exact { pending, bytes } = &mut m.acct {
+                *pending += 1;
+                *bytes += event_bytes;
+            }
+        }
+    }
+    shard.log.push_back(LogEntry {
         revision,
         kind,
         oref,
-        model,
+        model: EntryModel::Snapshot(model),
         resource_version: rv,
+        bytes: event_bytes,
     });
     tally.peak_log_len = tally.peak_log_len.max(shard.log.len());
-    if shard.members.is_empty() {
+    if members_empty {
         // No watcher holds this shard: reclaim the tail eagerly.
         let n = shard.log.len() as u64;
         shard.log.clear();
+        shard.tail_revs.clear();
         tally.compacted += n;
-    } else {
-        for id in interested {
-            let m = shard
-                .members
-                .get_mut(&id)
-                .expect("indexed watcher is a member");
-            m.pending += 1;
-            m.pending_bytes += event_bytes;
-            let d = tally.deltas.entry(id).or_default();
-            d.pending += 1;
-            d.bytes += event_bytes;
+    }
+}
+
+/// Walks the log window from index `start`, materializing each
+/// scope-matched entry's model — rolling back from the entry's successor
+/// where it is stored in rollback form — and invokes `f` for every entry
+/// whose `(oref, model)` satisfies some selector's `event_matches`.
+///
+/// The backward pass reconstructs models newest-to-oldest per object (a
+/// rollback entry's successor is always resident, see [`LogEntry`]); the
+/// forward pass then emits in revision order. Hot-path polls touch only
+/// `Snapshot` entries and pay nothing; only laggards materialize.
+fn scan_window(
+    shard: &Shard,
+    start: usize,
+    selectors: &[WatchSelector],
+    mut f: impl FnMut(&LogEntry, &Shared<Value>),
+) {
+    let n = shard.log.len();
+    if start >= n {
+        return;
+    }
+    let mut models: Vec<Option<Shared<Value>>> = vec![None; n - start];
+    let mut successors: BTreeMap<&ObjectRef, Shared<Value>> = BTreeMap::new();
+    for (i, e) in shard.log.iter().enumerate().skip(start).rev() {
+        if !selectors.iter().any(|s| s.matches(&e.oref)) {
+            continue;
+        }
+        let model = match &e.model {
+            EntryModel::Snapshot(m) => m.clone(),
+            EntryModel::Rollback(ops) => {
+                let succ = successors
+                    .get(&e.oref)
+                    .expect("rollback entry has a resident successor");
+                let mut doc = (**succ).clone();
+                apply_rollback(&mut doc, ops);
+                Shared::new(doc)
+            }
+        };
+        successors.insert(&e.oref, model.clone());
+        models[i - start] = Some(model);
+    }
+    for (i, e) in shard.log.iter().enumerate().skip(start) {
+        if let Some(model) = &models[i - start] {
+            if selectors.iter().any(|s| s.event_matches(&e.oref, model)) {
+                f(e, model);
+            }
         }
     }
 }
@@ -1767,7 +2251,8 @@ fn compact(shard: &mut Shard) -> u64 {
     let tail = shard.committed + 1;
     let mut min_hold = tail;
     for m in shard.members.values() {
-        min_hold = min_hold.min(if m.pending == 0 { tail } else { m.cursor });
+        let (pending, _) = shard.member_pending(m);
+        min_hold = min_hold.min(if pending == 0 { tail } else { m.cursor });
     }
     let mut first_rev = shard.committed - shard.log.len() as u64 + 1;
     let mut reclaimed = 0u64;
@@ -1775,6 +2260,14 @@ fn compact(shard: &mut Shard) -> u64 {
         shard.log.pop_front();
         reclaimed += 1;
         first_rev += 1;
+    }
+    // Popping from the front never strands a rollback entry (its
+    // successor is always newer), but it can strand a `tail_revs` pointer
+    // at a reclaimed revision; `steal_tail_snapshot` bounds-checks, so the
+    // stale pointer is merely a missed steal, pruned lazily here.
+    if reclaimed > 0 {
+        let first_rev = shard.committed - shard.log.len() as u64 + 1;
+        shard.tail_revs.retain(|_, rev| *rev >= first_rev);
     }
     reclaimed
 }
@@ -1826,47 +2319,31 @@ impl Store {
                 continue; // a purely global member keeps its cursor
             }
             w.selectors.retain(|s| s.home_namespace() != Some(ns));
-            let mut removed: Option<ShardMember> = None;
+            let mut removed = false;
             for selector in &homed {
-                if let Some(m) = shard.deregister(id, selector) {
-                    removed = Some(m);
+                if shard.deregister(id, selector) {
+                    removed = true;
                 }
             }
-            if let Some(member) = removed {
-                // Last registration gone: refund everything undelivered.
-                // Saturating: an over-trimmed hold must not wrap the
-                // totals and poison `pending_bytes()` (which sizes driver
-                // wake transfers in the runtime's pump loop).
-                debug_assert!(
-                    w.total_pending >= member.pending
-                        && w.total_pending_bytes >= member.pending_bytes,
-                    "watcher totals behind shard {ns} counters"
-                );
-                w.total_pending = w.total_pending.saturating_sub(member.pending);
-                w.total_pending_bytes = w.total_pending_bytes.saturating_sub(member.pending_bytes);
+            if removed {
+                // Last registration gone: the member (and its derived or
+                // exact charge) went with it.
                 w.shards.remove(ns);
             } else {
-                // Still a member through global selectors. Pending counts
-                // may include events only the cancelled selectors matched;
-                // re-settle them against the remaining selector set:
-                // refund the old charge in full, then re-charge the
-                // recount. The two-step form cannot wrap even if a bug
-                // ever let the recount exceed the old charge.
-                let member = *shard.members.get(&id).expect("still a member");
-                if member.pending > 0 {
+                // Still a member through global selectors. A cell member
+                // kept its sole slot (a homed `KindInNamespace` sharing
+                // the slot of a global `Kind` over a strictly wider match
+                // set), so its derived counts stay exact. Exact members'
+                // counts may include events only the cancelled selectors
+                // matched; re-settle them against the remaining set.
+                let member = shard.members.get(&id).expect("still a member");
+                if matches!(member.acct, Acct::Exact { .. }) && shard.member_pending(member).0 > 0 {
                     let (p, b) = recount_pending(shard, member.cursor, &w.selectors);
                     let m = shard.members.get_mut(&id).expect("still a member");
-                    debug_assert!(
-                        m.pending >= p && m.pending_bytes >= b,
-                        "re-settle grew shard {ns} pending counts"
-                    );
-                    w.total_pending = w.total_pending.saturating_sub(m.pending).saturating_add(p);
-                    w.total_pending_bytes = w
-                        .total_pending_bytes
-                        .saturating_sub(m.pending_bytes)
-                        .saturating_add(b);
-                    m.pending = p;
-                    m.pending_bytes = b;
+                    m.acct = Acct::Exact {
+                        pending: p,
+                        bytes: b,
+                    };
                 }
             }
         }
@@ -2000,15 +2477,14 @@ fn recount_pending(shard: &Shard, cursor: u64, selectors: &[WatchSelector]) -> (
     let start = (cursor.max(first_rev) - first_rev) as usize;
     let mut pending = 0u64;
     let mut bytes = 0u64;
-    for ev in shard.log.iter().skip(start) {
-        if selectors
-            .iter()
-            .any(|s| s.event_matches(&ev.oref, &ev.model))
-        {
-            pending += 1;
-            bytes += json::encoded_len(&ev.model) as u64;
-        }
-    }
+    scan_window(shard, start, selectors, |e, model| {
+        pending += 1;
+        bytes += if e.bytes != 0 {
+            e.bytes
+        } else {
+            json::encoded_len(model) as u64
+        };
+    });
     (pending, bytes)
 }
 
@@ -2158,11 +2634,14 @@ fn apply_shard_batch(
 ) -> ShardOutcome {
     let mut tally = ShardTally {
         wal_base: shard.committed,
+        journal,
         ..ShardTally::default()
     };
     let mut results = Vec::with_capacity(batch.len());
     for (ticket, op) in batch {
-        let rec = journal.then(|| wal_op_json(&op));
+        // Successful ops journal themselves inside the mutators (where
+        // the committed model is already in hand, sized once for both the
+        // event path and the WAL record).
         let result = match op {
             StoreOp::Create { oref, model } => shard_create(shard, oref, model, &mut tally),
             StoreOp::Put {
@@ -2178,11 +2657,6 @@ fn apply_shard_batch(
                 shard_delete(shard, &oref, &mut tally).map(|o| o.resource_version)
             }
         };
-        if result.is_ok() {
-            if let Some(rec) = rec {
-                tally.wal_ops.push(rec);
-            }
-        }
         results.push((ticket, result));
     }
     tally.compacted += compact(shard);
@@ -2212,36 +2686,39 @@ fn wal_op_open(out: &mut String, verb: &str, oref: &ObjectRef) {
     json::write_str_to(out, &oref.name);
 }
 
-fn wal_op_with_model(verb: &str, key: &str, oref: &ObjectRef, model: &Value) -> String {
-    let mut out = String::with_capacity(64 + json::encoded_len(model));
+/// Renders a `{"op":…,"<key>":<model>}` record, returning it together
+/// with the model segment's byte length — the same number as
+/// `json::encoded_len(model)`, measured during the render. Journaling
+/// `create`/`put` verbs size their event notification with the render
+/// walk they already pay: the committed (post-stamp) model is written,
+/// which replays identically because `meta.gen` stamping is idempotent.
+fn wal_op_with_model_sized(
+    verb: &str,
+    key: &str,
+    oref: &ObjectRef,
+    model: &Value,
+) -> (String, u64) {
+    let mut out = String::with_capacity(96);
     wal_op_open(&mut out, verb, oref);
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":");
+    let mark = out.len();
     json::write_to(&mut out, model);
+    let n = (out.len() - mark) as u64;
+    out.push('}');
+    (out, n)
+}
+
+/// Renders a `merge` op — the journal hot path for `patch`, so no
+/// intermediate strings.
+fn wal_op_merge(oref: &ObjectRef, patch: &Value) -> String {
+    let mut out = String::with_capacity(96);
+    wal_op_open(&mut out, "merge", oref);
+    out.push_str(",\"patch\":");
+    json::write_to(&mut out, patch);
     out.push('}');
     out
-}
-
-fn wal_op_create(oref: &ObjectRef, model: &Value) -> String {
-    wal_op_with_model("create", "model", oref, model)
-}
-
-fn wal_op_put(oref: &ObjectRef, model: &Value) -> String {
-    wal_op_with_model("put", "model", oref, model)
-}
-
-fn wal_op_merge(oref: &ObjectRef, patch: &Value) -> String {
-    wal_op_with_model("merge", "patch", oref, patch)
-}
-
-/// Appends a `merge` op to `out` — the journal hot path for `patch`, so
-/// no intermediate strings.
-fn wal_op_merge_into(out: &mut String, oref: &ObjectRef, patch: &Value) {
-    wal_op_open(out, "merge", oref);
-    out.push_str(",\"patch\":");
-    json::write_to(out, patch);
-    out.push('}');
 }
 
 /// Appends a `set` op to `out` — the journal hot path for `patch_path`.
@@ -2290,16 +2767,6 @@ fn wal_op_ff(oref: &ObjectRef, rv: u64) -> String {
     out.push_str(&wal::exact(rv));
     out.push('}');
     out
-}
-
-fn wal_op_json(op: &StoreOp) -> String {
-    match op {
-        StoreOp::Create { oref, model } => wal_op_create(oref, model),
-        StoreOp::Put { oref, model, .. } => wal_op_put(oref, model),
-        StoreOp::Merge { oref, patch } => wal_op_merge(oref, patch),
-        StoreOp::SetPath { oref, path, value } => wal_op_set(oref, path, value),
-        StoreOp::Delete { oref } => wal_op_delete(oref),
-    }
 }
 
 /// Re-applies one journaled op to a recovering shard. Every logged op
@@ -2392,6 +2859,139 @@ fn checkpoint_shards_json(shards: &BTreeMap<String, Shard>) -> String {
     out.join(",")
 }
 
+/// Tries to convert the newest resident log entry for `oref` from
+/// snapshot to rollback form, returning its log index. Succeeds only
+/// when that entry's snapshot is pointer-identical to the live object's
+/// model (`model_ptr`): then the log holds the only other strong
+/// reference, and stealing it back lets the caller mutate the model in
+/// place with no deep clone. The caller **must** store the real inverse
+/// ops at the returned index (or restore a snapshot) before returning.
+fn steal_tail_snapshot(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    model_ptr: *const Value,
+) -> Option<usize> {
+    let rev = *shard.tail_revs.get(oref)?;
+    let first_rev = shard.committed + 1 - shard.log.len() as u64;
+    if rev < first_rev || rev > shard.committed {
+        // The entry was compacted away; prune the stale pointer lazily.
+        shard.tail_revs.remove(oref);
+        return None;
+    }
+    let idx = (rev - first_rev) as usize;
+    let entry = &mut shard.log[idx];
+    debug_assert_eq!(entry.oref, *oref, "tail_revs points at the wrong object");
+    match &entry.model {
+        EntryModel::Snapshot(m) if std::ptr::eq(Shared::as_ptr(m), model_ptr) => {
+            entry.model = EntryModel::Rollback(Vec::new());
+            Some(idx)
+        }
+        _ => None,
+    }
+}
+
+/// Mutable access to the live model. When something else still holds the
+/// `Arc` — a reader's snapshot, a delivered event, an unstealable log
+/// entry — this deep-clones, and the tally counts it: the zero-copy
+/// bench asserts steady-state writes never pay that clone.
+fn cow_model<'a>(model: &'a mut Shared<Value>, tally: &mut ShardTally) -> &'a mut Value {
+    if Shared::strong_count(model) > 1 {
+        tally.deep_clones += 1;
+    }
+    Shared::make_mut(model)
+}
+
+/// `true` when `a` is a proper (strictly shorter) prefix of `b`.
+fn proper_prefix(a: &Path, b: &Path) -> bool {
+    a.len() < b.len() && a.is_prefix_of(b)
+}
+
+/// Stamps `meta.gen = rv` with semantics identical to [`stamp_gen`],
+/// pushing the inverse op and returning the serialized-length delta when
+/// it can be computed incrementally. The fallback (`.meta` is missing or
+/// not an object — e.g. a patch just replaced it wholesale) accounts and
+/// inverts at the whole-`.meta` level and reports no delta.
+fn stamp_gen_accounted(m: &mut Value, rv: u64, inv: &mut Vec<InverseOp>) -> Option<i64> {
+    if fast_set_applies(m, gen_path()) {
+        inv.push(InverseOp {
+            path: gen_path().clone(),
+            old: m.get(gen_path()).cloned(),
+        });
+        Some(fast_set(m, gen_path(), Value::from_exact_u64(rv)))
+    } else {
+        let parent = gen_path().prefix(1);
+        inv.push(InverseOp {
+            path: parent.clone(),
+            old: m.get(&parent).cloned(),
+        });
+        stamp_gen(m, rv);
+        None
+    }
+}
+
+/// Deep-merges `patch` into `slot` with semantics identical to
+/// [`Value::merge`], returning the serialized-length delta and pushing
+/// inverse ops (in application order) that restore the pre-merge state
+/// when applied in reverse.
+fn merge_and_account(slot: &mut Value, patch: &Value, at: &Path, inv: &mut Vec<InverseOp>) -> i64 {
+    if let (Value::Object(dst), Value::Object(src)) = (&mut *slot, patch) {
+        let mut delta = 0i64;
+        for (k, pv) in src {
+            match dst.get_mut(k) {
+                Some(dv) => delta += merge_and_account(dv, pv, &at.child(k.clone()), inv),
+                None => {
+                    // `"k":v`, plus a comma unless it is the map's first
+                    // entry (mirrors `fast_set`'s fresh-key accounting).
+                    let sep = if dst.is_empty() { 0 } else { 1 };
+                    inv.push(InverseOp {
+                        path: at.child(k.clone()),
+                        old: None,
+                    });
+                    delta +=
+                        json::string_encoded_len(k) as i64 + 1 + json::encoded_len(pv) as i64 + sep;
+                    dst.insert(k.clone(), pv.clone());
+                }
+            }
+        }
+        return delta;
+    }
+    let new_len = json::encoded_len(patch) as i64;
+    let old = std::mem::replace(slot, patch.clone());
+    let delta = new_len - json::encoded_len(&old) as i64;
+    inv.push(InverseOp {
+        path: at.clone(),
+        old: Some(old),
+    });
+    delta
+}
+
+/// Combines the cached pre-write size with up to two incremental deltas
+/// into the post-write size hint. Checked arithmetic throughout: a stale
+/// cache entry (negative or overflowing sum) yields `None` **and evicts
+/// the entry**, instead of wrapping into a huge bogus size that would
+/// poison `pending_bytes` and driver wake sizing.
+fn combine_hint(
+    shard: &mut Shard,
+    oref: &ObjectRef,
+    cached: Option<u64>,
+    deltas: [Option<i64>; 2],
+) -> Option<u64> {
+    let (Some(base), [Some(d1), Some(d2)]) = (cached, deltas) else {
+        return None;
+    };
+    let sum = i64::try_from(base)
+        .ok()
+        .and_then(|b| b.checked_add(d1))
+        .and_then(|s| s.checked_add(d2));
+    match sum {
+        Some(n) if n >= 0 => Some(n as u64),
+        _ => {
+            shard.enc_cache.remove(oref);
+            None
+        }
+    }
+}
+
 fn shard_create(
     shard: &mut Shard,
     oref: ObjectRef,
@@ -2403,6 +3003,16 @@ fn shard_create(
     }
     let rv = 1;
     stamp_gen(&mut model, rv);
+    // Journaling renders the committed model once; measuring the model
+    // segment during that render doubles as the event-size hint, so the
+    // append path never re-walks the document.
+    let enc_hint = if tally.journal {
+        let (rec, n) = wal_op_with_model_sized("create", "model", &oref, &model);
+        tally.wal_ops.push(rec);
+        Some(n)
+    } else {
+        None
+    };
     let shared = Shared::new(model);
     shard.objects_mut().insert(
         oref.clone(),
@@ -2412,7 +3022,15 @@ fn shard_create(
             resource_version: rv,
         },
     );
-    shard_append(shard, WatchEventKind::Added, oref, shared, rv, None, tally);
+    shard_append(
+        shard,
+        WatchEventKind::Added,
+        oref,
+        shared,
+        rv,
+        enc_hint,
+        tally,
+    );
     Ok(rv)
 }
 
@@ -2441,52 +3059,78 @@ fn shard_update(
     let shared = Shared::new(model);
     obj.model = shared.clone();
     obj.resource_version = rv;
+    // Same render-once sizing as `shard_create`.
+    let enc_hint = if tally.journal {
+        let (rec, n) = wal_op_with_model_sized("put", "model", oref, &shared);
+        tally.wal_ops.push(rec);
+        Some(n)
+    } else {
+        None
+    };
     shard_append(
         shard,
         WatchEventKind::Modified,
         oref.clone(),
         shared,
         rv,
-        None,
+        enc_hint,
         tally,
     );
     Ok(rv)
 }
 
-/// Deep-merges a patch into the stored model **in place** (copy-on-write:
-/// the snapshot is only deep-cloned if watchers still hold it).
+/// Deep-merges a patch into the stored model **in place**. In steady
+/// state the log-tail snapshot is *stolen* — rewritten as a rollback
+/// entry holding only the patch's inverse — so no deep clone fires, and
+/// the serialized size is maintained by the same walk that applies the
+/// merge: the write is O(patch), not O(model).
 fn shard_merge(
     shard: &mut Shard,
     oref: &ObjectRef,
     patch: &Value,
     tally: &mut ShardTally,
 ) -> Result<u64, ApiError> {
+    let cached = shard.enc_cache.get(oref).copied();
     let obj = shard
-        .objects_mut()
-        .get_mut(oref)
+        .objects
+        .get(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     let rv = obj.resource_version + 1;
-    let m = Shared::make_mut(&mut obj.model);
-    m.merge(patch);
-    stamp_gen(m, rv);
+    // The merge walk itself is always invertible (it captures inverse ops
+    // as it goes); `stamp_gen_accounted` inverts even its fallback shape.
+    let model_ptr = Shared::as_ptr(&obj.model);
+    let stolen = steal_tail_snapshot(shard, oref, model_ptr);
+    let obj = shard.objects_mut().get_mut(oref).expect("probed above");
+    let m = cow_model(&mut obj.model, tally);
+    let mut inv = Vec::new();
+    let d1 = merge_and_account(m, patch, &Path::root(), &mut inv);
+    let d2 = stamp_gen_accounted(m, rv, &mut inv);
     obj.resource_version = rv;
     let snapshot = obj.model.clone();
+    if let Some(idx) = stolen {
+        shard.log[idx].model = EntryModel::Rollback(inv);
+    }
+    let enc_hint = combine_hint(shard, oref, cached, [Some(d1), d2]);
+    if tally.journal {
+        tally.wal_ops.push(wal_op_merge(oref, patch));
+    }
     shard_append(
         shard,
         WatchEventKind::Modified,
         oref.clone(),
         snapshot,
         rv,
-        None,
+        enc_hint,
         tally,
     );
     Ok(rv)
 }
 
-/// Sets one attribute **in place** with copy-on-write, maintaining the
-/// serialized size incrementally when the write is a straight-line
-/// replacement — the hot path of every intent/status toggle, which then
-/// commits without a single full-document walk or deep clone.
+/// Sets one attribute **in place**, maintaining the serialized size
+/// incrementally when the write is a straight-line replacement — the hot
+/// path of every intent/status toggle. In steady state the log-tail
+/// snapshot is stolen and rewritten as a two-op rollback entry, so the
+/// commit pays no full-document walk and no deep clone.
 fn shard_set_path(
     shard: &mut Shard,
     oref: &ObjectRef,
@@ -2496,21 +3140,60 @@ fn shard_set_path(
 ) -> Result<u64, ApiError> {
     let cached = shard.enc_cache.get(oref).copied();
     let obj = shard
-        .objects_mut()
-        .get_mut(oref)
+        .objects
+        .get(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     let rv = obj.resource_version + 1;
-    let m = Shared::make_mut(&mut obj.model);
-    let d1 = checked_set(m, path, value).map_err(|e| ApiError::BadRequest(e.to_string()))?;
-    let d2 = checked_set(m, gen_path(), Value::from_exact_u64(rv))
-        .ok()
-        .flatten();
+    // Steal only when both writes are guaranteed to take the fast path
+    // (so neither can fail or fall back mid-mutation) and neither path
+    // routes through a container the other replaces — otherwise the
+    // captured inverses could not restore the pre-state.
+    let stealable = fast_set_applies(&obj.model, path)
+        && fast_set_applies(&obj.model, gen_path())
+        && !proper_prefix(path, gen_path())
+        && !proper_prefix(gen_path(), path);
+    let model_ptr = Shared::as_ptr(&obj.model);
+    let stolen = if stealable {
+        steal_tail_snapshot(shard, oref, model_ptr)
+    } else {
+        None
+    };
+    let obj = shard.objects_mut().get_mut(oref).expect("probed above");
+    let m = cow_model(&mut obj.model, tally);
+    let rec = tally.journal.then(|| wal_op_set(oref, path, &value));
+    let mut inv: Vec<InverseOp> = Vec::new();
+    let (d1, d2) = if stolen.is_some() {
+        inv.push(InverseOp {
+            path: path.clone(),
+            old: m.get(path).cloned(),
+        });
+        inv.push(InverseOp {
+            path: gen_path().clone(),
+            old: m.get(gen_path()).cloned(),
+        });
+        (
+            Some(fast_set(m, path, value)),
+            Some(fast_set(m, gen_path(), Value::from_exact_u64(rv))),
+        )
+    } else {
+        let d1 = match checked_set(m, path, value) {
+            Ok(d) => d,
+            Err(e) => return Err(ApiError::BadRequest(e.to_string())),
+        };
+        let d2 = checked_set(m, gen_path(), Value::from_exact_u64(rv))
+            .ok()
+            .flatten();
+        (d1, d2)
+    };
     obj.resource_version = rv;
     let snapshot = obj.model.clone();
-    let enc_hint = match (cached, d1, d2) {
-        (Some(base), Some(d1), Some(d2)) => Some((base as i64 + d1 + d2) as u64),
-        _ => None,
-    };
+    if let Some(idx) = stolen {
+        shard.log[idx].model = EntryModel::Rollback(inv);
+    }
+    let enc_hint = combine_hint(shard, oref, cached, [d1, d2]);
+    if let Some(rec) = rec {
+        tally.wal_ops.push(rec);
+    }
     shard_append(
         shard,
         WatchEventKind::Modified,
@@ -2528,24 +3211,37 @@ fn shard_delete(
     oref: &ObjectRef,
     tally: &mut ShardTally,
 ) -> Result<Object, ApiError> {
-    let mut obj = shard
-        .objects_mut()
-        .remove(oref)
+    let obj = shard
+        .objects
+        .get(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
-    // Drop the cached encoded length eagerly: if the oref is recreated the
+    let model_ptr = Shared::as_ptr(&obj.model);
+    let stolen = steal_tail_snapshot(shard, oref, model_ptr);
+    let mut obj = shard.objects_mut().remove(oref).expect("probed above");
+    // Drop the cached encoded length eagerly: if the oref is recreated a
     // stale hint would poison the size accounting for the new object's
     // events. `shard_append` also evicts on Deleted, but only when a watcher
     // is interested — this covers the watcher-free path too.
-    shard.enc_cache.remove(oref);
+    let cached = shard.enc_cache.remove(oref);
     obj.resource_version += 1;
-    stamp_gen(Shared::make_mut(&mut obj.model), obj.resource_version);
+    let rv = obj.resource_version;
+    let m = cow_model(&mut obj.model, tally);
+    let mut inv = Vec::new();
+    let d = stamp_gen_accounted(m, rv, &mut inv);
+    if let Some(idx) = stolen {
+        shard.log[idx].model = EntryModel::Rollback(inv);
+    }
+    let enc_hint = combine_hint(shard, oref, cached, [d, Some(0)]);
+    if tally.journal {
+        tally.wal_ops.push(wal_op_delete(oref));
+    }
     shard_append(
         shard,
         WatchEventKind::Deleted,
         oref.clone(),
         obj.model.clone(),
-        obj.resource_version,
-        None,
+        rv,
+        enc_hint,
         tally,
     );
     Ok(obj)
@@ -2557,9 +3253,10 @@ fn shard_fast_forward(
     rv: u64,
     tally: &mut ShardTally,
 ) -> Result<u64, ApiError> {
+    let cached = shard.enc_cache.get(oref).copied();
     let obj = shard
-        .objects_mut()
-        .get_mut(oref)
+        .objects
+        .get(oref)
         .ok_or_else(|| ApiError::NotFound(oref.clone()))?;
     if rv <= obj.resource_version {
         return Err(ApiError::Invalid(format!(
@@ -2567,16 +3264,28 @@ fn shard_fast_forward(
             oref, obj.resource_version
         )));
     }
-    stamp_gen(Shared::make_mut(&mut obj.model), rv);
+    let model_ptr = Shared::as_ptr(&obj.model);
+    let stolen = steal_tail_snapshot(shard, oref, model_ptr);
+    let obj = shard.objects_mut().get_mut(oref).expect("probed above");
+    let m = cow_model(&mut obj.model, tally);
+    let mut inv = Vec::new();
+    let d = stamp_gen_accounted(m, rv, &mut inv);
     obj.resource_version = rv;
     let snapshot = obj.model.clone();
+    if let Some(idx) = stolen {
+        shard.log[idx].model = EntryModel::Rollback(inv);
+    }
+    let enc_hint = combine_hint(shard, oref, cached, [d, Some(0)]);
+    if tally.journal {
+        tally.wal_ops.push(wal_op_ff(oref, rv));
+    }
     shard_append(
         shard,
         WatchEventKind::Modified,
         oref.clone(),
         snapshot,
         rv,
-        None,
+        enc_hint,
         tally,
     );
     Ok(rv)

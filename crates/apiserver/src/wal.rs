@@ -283,31 +283,11 @@ impl Wal {
         self.checkpoint_every
     }
 
-    /// Appends a `commit` record for one shard slice from pre-rendered
-    /// op strings (the batch path).
+    /// Appends a `commit` record for one shard slice from op strings the
+    /// mutators rendered at commit time (sharing the encoding walk with
+    /// the event sizing). One call per journaled verb or batch slice; the
+    /// payload is built in a single reused buffer.
     pub fn commit(&mut self, ns: &str, base: u64, ensure: bool, appended: u64, ops: &[String]) {
-        self.commit_with(ns, base, ensure, appended, |out| {
-            for (i, op) in ops.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(op);
-            }
-        });
-    }
-
-    /// Appends a `commit` record whose ops are rendered by `write_ops`
-    /// directly into the payload buffer. This is the journal hot path —
-    /// one call per mutation verb — so the payload is built in a single
-    /// reused buffer with no per-record allocations.
-    pub fn commit_with(
-        &mut self,
-        ns: &str,
-        base: u64,
-        ensure: bool,
-        appended: u64,
-        write_ops: impl FnOnce(&mut String),
-    ) {
         let seq = self.next_seq(ns);
         let mut payload = std::mem::take(&mut self.scratch);
         payload.clear();
@@ -323,7 +303,12 @@ impl Wal {
         payload.push_str(",\"appended\":");
         push_exact(&mut payload, appended);
         payload.push_str(",\"ops\":[");
-        write_ops(&mut payload);
+        for (i, op) in ops.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            payload.push_str(op);
+        }
         payload.push_str("]}");
         write_frame(&mut log.w, ns, &payload);
         log.dirty = true;

@@ -1,0 +1,617 @@
+//! The zero-copy event path is an optimization with an exact-accounting
+//! contract: every write carries an incremental `encoded_len` hint, the
+//! per-shard `enc_cache` and every watcher's pending-byte totals must
+//! mirror the true encoded sizes *exactly* (driver wake sizing and WAL
+//! rendering depend on them), and steady-state writes to watched objects
+//! must never deep-clone the model. This suite churns a store through
+//! arbitrary create/put/merge/set-path/delete(+recreate) scripts with
+//! watchers joining, polling, and leaving mid-stream — at one shard
+//! worker thread and at the machine's maximum — auditing the size
+//! bookkeeping against freshly computed truth after every step, and
+//! pins the `#[deprecated]` list/watch shims byte-identical to their
+//! `Query`-builder replacements.
+
+use proptest::prelude::*;
+
+use dspace_apiserver::store::Store;
+use dspace_apiserver::{Object, ObjectRef, Query, StoreOp, WatchEvent, WatchId, WatchSelector};
+use dspace_value::{json, Value};
+
+const NAMESPACES: [&str; 3] = ["alpha", "beta", "gamma"];
+const KINDS: [&str; 2] = ["Lamp", "Plug"];
+const OBJECTS_PER_KIND: usize = 3;
+const BRIGHTNESS: &str = ".control.brightness.intent";
+const POWER: &str = ".control.power.intent";
+
+fn oref(kind: usize, ns: usize, obj: usize) -> ObjectRef {
+    ObjectRef::new(
+        KINDS[kind],
+        NAMESPACES[ns],
+        format!("{}{obj}", KINDS[kind].to_lowercase()),
+    )
+}
+
+fn model(kind: usize, ns: usize, obj: usize, brightness: u32, on: bool) -> Value {
+    json::parse(&format!(
+        r#"{{"meta": {{"kind": "{}", "name": "{}{obj}", "namespace": "{}"}},
+            "control": {{"brightness": {{"intent": {brightness}}},
+                         "power": {{"intent": "{}"}}}}}}"#,
+        KINDS[kind],
+        KINDS[kind].to_lowercase(),
+        NAMESPACES[ns],
+        if on { "on" } else { "off" },
+    ))
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Churn scripts: mutations plus watcher lifecycle
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create {
+        kind: usize,
+        ns: usize,
+        obj: usize,
+        brightness: u32,
+        on: bool,
+    },
+    /// Full-model replace (`shard_update`): the hint comes from the
+    /// sized WAL render, not from a path delta.
+    Put {
+        kind: usize,
+        ns: usize,
+        obj: usize,
+        brightness: u32,
+        on: bool,
+    },
+    /// Deep merge (`shard_merge`): delta accumulated key-by-key.
+    Merge {
+        kind: usize,
+        ns: usize,
+        obj: usize,
+        brightness: u32,
+    },
+    SetBrightness {
+        kind: usize,
+        ns: usize,
+        obj: usize,
+        value: u32,
+    },
+    SetPower {
+        kind: usize,
+        ns: usize,
+        obj: usize,
+        on: bool,
+    },
+    Delete {
+        kind: usize,
+        ns: usize,
+        obj: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// One multi-shard `apply_batch` call.
+    Batch(Vec<Op>),
+    /// One serial verb (exercises the per-verb WAL/hint plumbing).
+    Serial(Op),
+    /// Open a watch from the query pool (index wraps).
+    Join {
+        query: usize,
+    },
+    /// Cancel an open watch (index wraps over live watchers; no-op when
+    /// none are open).
+    Leave {
+        slot: usize,
+    },
+    /// Drain one open watch, sharing (then dropping) the event snapshots.
+    Poll {
+        slot: usize,
+    },
+    DeleteNamespace {
+        ns: usize,
+    },
+}
+
+fn arb_slot() -> impl Strategy<Value = (usize, usize, usize)> {
+    (
+        0usize..KINDS.len(),
+        0usize..NAMESPACES.len(),
+        0usize..OBJECTS_PER_KIND,
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_slot(), 0u32..100, any::<bool>()).prop_map(|((kind, ns, obj), brightness, on)| {
+            Op::Create {
+                kind,
+                ns,
+                obj,
+                brightness,
+                on,
+            }
+        }),
+        (arb_slot(), 0u32..100, any::<bool>()).prop_map(|((kind, ns, obj), brightness, on)| {
+            Op::Put {
+                kind,
+                ns,
+                obj,
+                brightness,
+                on,
+            }
+        }),
+        (arb_slot(), 0u32..100).prop_map(|((kind, ns, obj), brightness)| Op::Merge {
+            kind,
+            ns,
+            obj,
+            brightness,
+        }),
+        (arb_slot(), 0u32..100).prop_map(|((kind, ns, obj), value)| Op::SetBrightness {
+            kind,
+            ns,
+            obj,
+            value,
+        }),
+        (arb_slot(), any::<bool>()).prop_map(|((kind, ns, obj), on)| Op::SetPower {
+            kind,
+            ns,
+            obj,
+            on,
+        }),
+        arb_slot().prop_map(|(kind, ns, obj)| Op::Delete { kind, ns, obj }),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        arb_op().prop_map(Step::Serial),
+        arb_op().prop_map(Step::Serial),
+        arb_op().prop_map(Step::Serial),
+        prop::collection::vec(arb_op(), 1..8).prop_map(Step::Batch),
+        prop::collection::vec(arb_op(), 1..8).prop_map(Step::Batch),
+        (0usize..64).prop_map(|query| Step::Join { query }),
+        (0usize..64).prop_map(|slot| Step::Leave { slot }),
+        (0usize..64).prop_map(|slot| Step::Poll { slot }),
+        (0usize..64).prop_map(|slot| Step::Poll { slot }),
+        (0usize..NAMESPACES.len()).prop_map(|ns| Step::DeleteNamespace { ns }),
+    ]
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(arb_step(), 1..32)
+}
+
+fn to_store_op(op: &Op) -> StoreOp {
+    match *op {
+        Op::Create {
+            kind,
+            ns,
+            obj,
+            brightness,
+            on,
+        } => StoreOp::Create {
+            oref: oref(kind, ns, obj),
+            model: model(kind, ns, obj, brightness, on),
+        },
+        Op::Put {
+            kind,
+            ns,
+            obj,
+            brightness,
+            on,
+        } => StoreOp::Put {
+            oref: oref(kind, ns, obj),
+            model: model(kind, ns, obj, brightness, on),
+            expected_rv: None,
+        },
+        Op::Merge {
+            kind,
+            ns,
+            obj,
+            brightness,
+        } => StoreOp::Merge {
+            oref: oref(kind, ns, obj),
+            patch: json::parse(&format!(
+                r#"{{"control": {{"brightness": {{"intent": {brightness}}}}},
+                    "annotations": {{"note": "merge-{brightness}"}}}}"#
+            ))
+            .unwrap(),
+        },
+        Op::SetBrightness {
+            kind,
+            ns,
+            obj,
+            value,
+        } => StoreOp::SetPath {
+            oref: oref(kind, ns, obj),
+            path: BRIGHTNESS.parse().unwrap(),
+            value: Value::from(value as f64),
+        },
+        Op::SetPower { kind, ns, obj, on } => StoreOp::SetPath {
+            oref: oref(kind, ns, obj),
+            path: POWER.parse().unwrap(),
+            value: Value::from(if on { "on" } else { "off" }),
+        },
+        Op::Delete { kind, ns, obj } => StoreOp::Delete {
+            oref: oref(kind, ns, obj),
+        },
+    }
+}
+
+/// Every watch scope the accounting distinguishes: the shared all/kind/
+/// object group cells, the single-shard kind-in-namespace registration,
+/// and a predicate watch (exact accounting, commit-time matching).
+fn watch_pool() -> Vec<Query> {
+    vec![
+        Query::all(),
+        Query::kind("Lamp"),
+        Query::kind("Plug"),
+        Query::kind("Lamp").in_ns("alpha"),
+        Query::kind("Plug").in_ns("beta").named("plug0"),
+        Query::kind("Lamp")
+            .in_ns("gamma")
+            .filter(".control.brightness.intent > 50")
+            .unwrap(),
+    ]
+}
+
+fn serial_apply(store: &mut Store, op: &Op) {
+    match *op {
+        Op::Create {
+            kind,
+            ns,
+            obj,
+            brightness,
+            on,
+        } => {
+            let _ = store.create(oref(kind, ns, obj), model(kind, ns, obj, brightness, on));
+        }
+        Op::Put {
+            kind,
+            ns,
+            obj,
+            brightness,
+            on,
+        } => {
+            let _ = store.update(
+                &oref(kind, ns, obj),
+                model(kind, ns, obj, brightness, on),
+                None,
+            );
+        }
+        Op::Merge { .. } | Op::SetBrightness { .. } | Op::SetPower { .. } => {
+            match to_store_op(op) {
+                StoreOp::Merge { oref, patch } => {
+                    let _ = store.update_via_merge(&oref, &patch);
+                }
+                StoreOp::SetPath { oref, path, value } => {
+                    let _ = store.update_via_set(&oref, &path, &value);
+                }
+                _ => unreachable!(),
+            };
+        }
+        Op::Delete { kind, ns, obj } => {
+            let _ = store.delete(&oref(kind, ns, obj));
+        }
+    }
+}
+
+fn apply(store: &mut Store, watchers: &mut Vec<WatchId>, step: &Step) {
+    match step {
+        Step::Batch(ops) => {
+            let _ = store.apply_batch(ops.iter().map(to_store_op).collect());
+        }
+        Step::Serial(op) => serial_apply(store, op),
+        Step::Join { query } => {
+            let pool = watch_pool();
+            let q = &pool[*query % pool.len()];
+            watchers.push(store.watch_query(q).unwrap());
+        }
+        Step::Leave { slot } => {
+            if !watchers.is_empty() {
+                let id = watchers.remove(*slot % watchers.len());
+                store.cancel_watch(id);
+            }
+        }
+        Step::Poll { slot } => {
+            if !watchers.is_empty() {
+                let id = watchers[*slot % watchers.len()];
+                // Alternate raw and coalesced delivery by slot parity.
+                if *slot % 2 == 0 {
+                    let _ = store.poll(id);
+                } else {
+                    let _ = store.poll_coalesced(id);
+                }
+            }
+        }
+        Step::DeleteNamespace { ns } => {
+            store.delete_namespace(NAMESPACES[*ns]);
+        }
+    }
+}
+
+/// `audit_sizes` recomputes truth from scratch — live `encoded_len`
+/// walks for the cache, event-log materialization (rollback replay) for
+/// stamped entry sizes, and a full scan for each member's pending
+/// totals — and compares it with what the incremental path maintained.
+fn audit(store: &Store, watchers: &[WatchId]) -> Result<(), TestCaseError> {
+    if let Err(e) = store.audit_sizes() {
+        return Err(TestCaseError::fail(e));
+    }
+    for &id in watchers {
+        let (pending, bytes) = store.pending_totals(id);
+        prop_assert_eq!(pending > 0, store.has_pending(id));
+        prop_assert_eq!(bytes, store.pending_bytes(id));
+    }
+    Ok(())
+}
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Property: incremental size accounting ≡ recomputed truth under churn
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// After every step of an arbitrary churn-plus-watcher script, the
+    /// enc cache, every stamped log-entry size, and every watcher's
+    /// pending event/byte totals equal freshly recomputed truth — at
+    /// shard worker caps 1 and max. `verify_sizes` additionally makes
+    /// every hinted append assert its hint against a full walk inside
+    /// the shard, so a wrong delta fails at the write that produced it.
+    #[test]
+    fn size_accounting_is_exact_under_churn(script in arb_script()) {
+        for threads in [1usize, max_threads()] {
+            let mut store = Store::new();
+            store.set_executor_threads(threads);
+            store.set_verify_sizes(true);
+            let mut watchers: Vec<WatchId> = Vec::new();
+            // One watcher from the start so the very first writes are
+            // accounted, not just post-join churn.
+            watchers.push(store.watch_query(&Query::all()).unwrap());
+            audit(&store, &watchers)?;
+            for step in &script {
+                apply(&mut store, &mut watchers, step);
+                audit(&store, &watchers)?;
+            }
+            // Drain everything and re-audit the emptied logs.
+            for &id in &watchers {
+                let _ = store.poll(id);
+            }
+            audit(&store, &watchers)?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Steady state: writes to a watched object never deep-clone the model
+// ---------------------------------------------------------------------------
+
+/// A watcher that keeps up (polls and drops its events) leaves only the
+/// event log holding the model's `Arc` — and the write path steals that
+/// snapshot back into rollback form, so create-then-churn over every
+/// verb performs zero `Shared::make_mut` deep-clones.
+#[test]
+fn steady_state_writes_never_deep_clone() {
+    let mut store = Store::new();
+    store.set_verify_sizes(true);
+    let w = store.watch_query(&Query::kind("Lamp")).unwrap();
+    let o = oref(0, 0, 0);
+    store.create(o.clone(), model(0, 0, 0, 10, true)).unwrap();
+    let brightness: dspace_value::Path = BRIGHTNESS.parse().unwrap();
+    for i in 0u32..200 {
+        match i % 4 {
+            0 => {
+                store
+                    .update_via_set(&o, &brightness, &Value::from(f64::from(i)))
+                    .unwrap();
+            }
+            1 => {
+                let patch = json::parse(&format!(
+                    r#"{{"control": {{"power": {{"intent": "{}"}}}}}}"#,
+                    if i % 8 == 1 { "on" } else { "off" }
+                ))
+                .unwrap();
+                store.update_via_merge(&o, &patch).unwrap();
+            }
+            2 => {
+                store
+                    .update(&o, model(0, 0, 0, i % 100, i % 3 == 0), None)
+                    .unwrap();
+            }
+            _ => {
+                let rv = store.get(&o).unwrap().resource_version;
+                store.fast_forward(&o, rv + 1).unwrap();
+            }
+        }
+        let events = store.poll(w);
+        assert!(!events.is_empty());
+        drop(events); // release the shared snapshots before the next write
+        assert_eq!(
+            store.watch_stats().deep_clones,
+            0,
+            "write {i} deep-cloned a watched model"
+        );
+    }
+    store.audit_sizes().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Regression: deprecated list/watch shims ≡ Query builder, byte for byte
+// ---------------------------------------------------------------------------
+
+fn line(o: &Object) -> String {
+    format!(
+        "{} rv={} {}",
+        o.oref,
+        o.resource_version,
+        json::to_string(&o.model)
+    )
+}
+
+fn event_line(e: &WatchEvent) -> String {
+    format!(
+        "r{} {:?} {} rv={} {}",
+        e.revision,
+        e.kind,
+        e.oref,
+        e.resource_version,
+        json::to_string(&e.model)
+    )
+}
+
+fn churn(store: &mut Store) {
+    for (kind, ns, obj) in [(0, 0, 0), (0, 1, 1), (1, 1, 0), (1, 2, 2), (0, 2, 0)] {
+        let (o, m) = (oref(kind, ns, obj), model(kind, ns, obj, 30, false));
+        if store.get(&o).is_some() {
+            store.update(&o, m, None).unwrap();
+        } else {
+            store.create(o, m).unwrap();
+        }
+    }
+    let bright: dspace_value::Path = BRIGHTNESS.parse().unwrap();
+    store
+        .update_via_set(&oref(0, 0, 0), &bright, &Value::from(77.0))
+        .unwrap();
+    store
+        .update_via_merge(
+            &oref(1, 1, 0),
+            &json::parse(r#"{"control": {"power": {"intent": "on"}}}"#).unwrap(),
+        )
+        .unwrap();
+    store.delete(&oref(0, 1, 1)).unwrap();
+    store
+        .create(oref(0, 1, 1), model(0, 1, 1, 99, true))
+        .unwrap();
+}
+
+/// `list` / `list_in` / `list_all` (store and snapshot) must return
+/// byte-for-byte what the `Query` builder returns for the equivalent
+/// scope — the shims are thin renames, not a second read path.
+#[test]
+#[allow(deprecated)]
+fn deprecated_list_shims_match_query_builder() {
+    let mut store = Store::new();
+    churn(&mut store);
+
+    let via_shim: Vec<String> = store.list("Lamp").into_iter().map(line).collect();
+    let via_query: Vec<String> = store.query(&Query::kind("Lamp")).iter().map(line).collect();
+    assert_eq!(via_shim, via_query);
+
+    let via_shim: Vec<String> = store
+        .list_in("Plug", "beta")
+        .into_iter()
+        .map(line)
+        .collect();
+    let via_query: Vec<String> = store
+        .query(&Query::kind("Plug").in_ns("beta"))
+        .iter()
+        .map(line)
+        .collect();
+    assert_eq!(via_shim, via_query);
+
+    let via_shim: Vec<String> = store.list_all().into_iter().map(line).collect();
+    let via_query: Vec<String> = store.query(&Query::all()).iter().map(line).collect();
+    assert_eq!(via_shim, via_query);
+
+    let snap = store.snapshot();
+    let via_shim: Vec<String> = snap.list("Lamp").into_iter().map(line).collect();
+    let via_query: Vec<String> = snap
+        .query(&Query::kind("Lamp"))
+        .into_iter()
+        .map(line)
+        .collect();
+    assert_eq!(via_shim, via_query);
+    let via_shim: Vec<String> = snap
+        .list_in("Lamp", "alpha")
+        .into_iter()
+        .map(line)
+        .collect();
+    let via_query: Vec<String> = snap
+        .query(&Query::kind("Lamp").in_ns("alpha"))
+        .into_iter()
+        .map(line)
+        .collect();
+    assert_eq!(via_shim, via_query);
+    let via_shim: Vec<String> = snap.list_all().into_iter().map(line).collect();
+    let via_query: Vec<String> = snap.query(&Query::all()).into_iter().map(line).collect();
+    assert_eq!(via_shim, via_query);
+}
+
+/// The deprecated watch entry points (`watch`, `watch_selector`,
+/// `watch_selectors`, `add_selector`) must produce event streams
+/// byte-identical to `watch_query`/`watch_queries`/`extend_watch` over
+/// the same churn, including shared-snapshot deliveries and byte
+/// accounting.
+#[test]
+#[allow(deprecated)]
+fn deprecated_watch_shims_match_query_builder() {
+    let mut store = Store::new();
+    store.set_verify_sizes(true);
+
+    let shim_all = store.watch(None);
+    let query_all = store.watch_query(&Query::all()).unwrap();
+    let shim_kind = store.watch(Some("Lamp"));
+    let query_kind = store.watch_query(&Query::kind("Lamp")).unwrap();
+    let shim_obj = store.watch_selector(WatchSelector::Object(oref(1, 1, 0)));
+    let query_obj = store
+        .watch_query(&Query::kind("Plug").in_ns("beta").named("plug0"))
+        .unwrap();
+    let shim_union = store.watch_selectors(vec![
+        WatchSelector::KindInNamespace {
+            kind: "Lamp".into(),
+            namespace: "alpha".into(),
+        },
+        WatchSelector::Kind("Plug".into()),
+    ]);
+    let query_union = store
+        .watch_queries(&[Query::kind("Lamp").in_ns("alpha"), Query::kind("Plug")])
+        .unwrap();
+
+    churn(&mut store);
+
+    // Same pending byte totals before delivery...
+    for (shim, query) in [
+        (shim_all, query_all),
+        (shim_kind, query_kind),
+        (shim_obj, query_obj),
+        (shim_union, query_union),
+    ] {
+        assert_eq!(store.pending_totals(shim), store.pending_totals(query));
+        // ...and the same events, byte for byte.
+        let shim_events: Vec<String> = store.poll(shim).iter().map(event_line).collect();
+        let query_events: Vec<String> = store.poll(query).iter().map(event_line).collect();
+        assert!(!shim_events.is_empty());
+        assert_eq!(shim_events, query_events);
+        store.cancel_watch(shim);
+        store.cancel_watch(query);
+    }
+
+    // Widening a shim watch via `add_selector` tracks `extend_watch`.
+    let shim = store.watch_selector(WatchSelector::KindInNamespace {
+        kind: "Lamp".into(),
+        namespace: "alpha".into(),
+    });
+    let query = store
+        .watch_query(&Query::kind("Lamp").in_ns("alpha"))
+        .unwrap();
+    assert!(store.add_selector(shim, WatchSelector::Kind("Plug".into())));
+    assert!(store.extend_watch(query, &Query::kind("Plug")).unwrap());
+    churn(&mut store);
+    assert_eq!(store.pending_totals(shim), store.pending_totals(query));
+    let shim_events: Vec<String> = store.poll(shim).iter().map(event_line).collect();
+    let query_events: Vec<String> = store.poll(query).iter().map(event_line).collect();
+    assert!(!shim_events.is_empty());
+    assert_eq!(shim_events, query_events);
+    store.audit_sizes().unwrap();
+}

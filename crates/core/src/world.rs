@@ -515,11 +515,17 @@ impl World {
     /// it, in which case the apiserver retransmits after the link's RTO.
     pub fn pump(&mut self, sim: &mut Sim<World>) {
         for i in 0..self.slots.len() {
-            if self.slots[i].woken || !self.api.has_pending(self.slots[i].watch) {
+            if self.slots[i].woken {
+                continue;
+            }
+            // One derivation pass answers both "anything pending?" and the
+            // wire size of the notification.
+            let (pending, pending_bytes) = self.api.pending_totals(self.slots[i].watch);
+            if pending == 0 {
                 continue;
             }
             self.slots[i].woken = true;
-            let bytes = self.api.pending_bytes(self.slots[i].watch) as usize;
+            let bytes = pending_bytes as usize;
             match self.slots[i].link.transfer(bytes, sim.now(), &mut self.rng) {
                 Delivery::After(delay) => {
                     sim.schedule(delay, move |w: &mut World, sim| w.wake(i, sim));
