@@ -834,6 +834,13 @@ impl ApiServer {
         self.store.pending_totals(id)
     }
 
+    /// Drains the set of watchers that may have gone pending since the
+    /// last call (see
+    /// [`Store::drain_dirty_watchers`](crate::store::Store::drain_dirty_watchers)).
+    pub fn drain_dirty_watchers(&mut self) -> Vec<WatchId> {
+        self.store.drain_dirty_watchers()
+    }
+
     /// Cancels a watch subscription, releasing its log-compaction hold.
     pub fn cancel_watch(&mut self, id: WatchId) {
         self.store.cancel_watch(id)

@@ -252,6 +252,11 @@ struct Slot {
     /// not unhook the others.
     subs: BTreeMap<WatchId, usize>,
     charge: Charge,
+    /// Set when an append charged this slot since the last
+    /// [`Store::drain_dirty_watchers`] pass; the slot's key is then listed
+    /// once in its shard's `dirty_slots`, so the drain enumerates only
+    /// slots that actually took events.
+    dirty: bool,
 }
 
 /// Identity of a plain (non-predicate) selector slot within one shard.
@@ -417,6 +422,12 @@ struct Shard {
     /// Set while the namespace is being deleted: once the objects are gone
     /// and the log drains, the shard itself is dropped.
     retiring: bool,
+    /// Keys of slots charged since the last dirty drain (each listed once,
+    /// guarded by [`Slot::dirty`]). Maintained on the owning worker;
+    /// drained on the coordinator, which also clears the flags.
+    dirty_slots: Vec<SlotKey>,
+    /// Exact-mode members charged since the last dirty drain.
+    dirty_exact: BTreeSet<WatchId>,
 }
 
 /// One value-keyed secondary index over a `(kind, path)` pair.
@@ -822,6 +833,11 @@ pub struct Store {
     /// Commit records logged since the last checkpoint; rolling past the
     /// configured interval triggers the next one.
     commits_since_ckpt: u64,
+    /// Shards that appended events since the last
+    /// [`Store::drain_dirty_watchers`] pass. The runtime's pump derives
+    /// its pending-watcher shortlist from this instead of re-deriving
+    /// every watcher's pending totals after every simulation event.
+    dirty_shards: BTreeSet<String>,
 }
 
 /// One mutation of a batch, addressed to the shard owning its object.
@@ -1006,7 +1022,7 @@ impl Store {
                         tally.appended
                     )));
                 }
-                self.finish_serial(tally);
+                self.finish_serial(ns, tally);
             }
         }
         Ok(())
@@ -1253,7 +1269,7 @@ impl Store {
         let base = shard.committed;
         let result = shard_create(shard, oref.clone(), model, &mut tally);
         let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
-        self.finish_serial(tally);
+        self.finish_serial(&ns, tally);
         // `ensure` is always set: like the batch path, `create` resurrects
         // a retiring namespace even when the op itself fails, and replay
         // must mirror that.
@@ -1287,7 +1303,7 @@ impl Store {
         let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_update(shard, oref, model, expected_rv, &mut tally);
         let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
-        self.finish_serial(tally);
+        self.finish_serial(&oref.namespace, tally);
         if appended > 0 {
             self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
@@ -1308,7 +1324,7 @@ impl Store {
         let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_delete(shard, oref, &mut tally);
         let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
-        self.finish_serial(tally);
+        self.finish_serial(&oref.namespace, tally);
         if appended > 0 {
             self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
@@ -1336,7 +1352,7 @@ impl Store {
         let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_set_path(shard, oref, path, value.clone(), &mut tally);
         let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
-        self.finish_serial(tally);
+        self.finish_serial(&oref.namespace, tally);
         if appended > 0 {
             self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
@@ -1356,7 +1372,7 @@ impl Store {
         let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_merge(shard, oref, patch, &mut tally);
         let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
-        self.finish_serial(tally);
+        self.finish_serial(&oref.namespace, tally);
         if appended > 0 {
             self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
@@ -1379,7 +1395,7 @@ impl Store {
         let mut tally = ShardTally::journaling(self.wal.is_some());
         let result = shard_fast_forward(shard, oref, rv, &mut tally);
         let (appended, ops) = (tally.appended, std::mem::take(&mut tally.wal_ops));
-        self.finish_serial(tally);
+        self.finish_serial(&oref.namespace, tally);
         if appended > 0 {
             self.wal_commit(&oref.namespace, base, false, appended, ops);
         }
@@ -1431,7 +1447,7 @@ impl Store {
             let mut tally = outcome.tally;
             let ops = std::mem::take(&mut tally.wal_ops);
             let (base, appended) = (tally.wal_base, tally.appended);
-            self.finish_serial(tally);
+            self.finish_serial(&ns, tally);
             self.wal_commit(&ns, base, true, appended, ops);
             self.maybe_drop_shard(&ns);
             self.wal_seal();
@@ -1458,7 +1474,7 @@ impl Store {
             let mut tally = outcome.tally;
             let ops = std::mem::take(&mut tally.wal_ops);
             let (base, appended) = (tally.wal_base, tally.appended);
-            self.finish_serial(tally);
+            self.finish_serial(&ns, tally);
             self.wal_commit(&ns, base, true, appended, ops);
             self.maybe_drop_shard(&ns);
             results.extend(outcome.results);
@@ -1469,14 +1485,53 @@ impl Store {
     }
 
     /// Folds a worker-side tally into the store's global counters; called
-    /// on the coordinator, in shard-name order for batches.
-    fn finish_serial(&mut self, tally: ShardTally) {
+    /// on the coordinator, in shard-name order for batches. A slice that
+    /// appended events marks its shard dirty so
+    /// [`Store::drain_dirty_watchers`] surfaces the charged watchers.
+    fn finish_serial(&mut self, ns: &str, tally: ShardTally) {
+        if tally.appended > 0 && !self.dirty_shards.contains(ns) {
+            self.dirty_shards.insert(ns.to_string());
+        }
         self.committed_total += tally.appended;
         self.stats.events_appended += tally.appended;
         self.stats.events_compacted += tally.compacted;
         self.stats.batch_compaction_passes += tally.compaction_passes;
         self.stats.deep_clones += tally.deep_clones;
         self.stats.peak_log_len = self.stats.peak_log_len.max(tally.peak_log_len);
+    }
+
+    /// Drains the set of watchers that *may* have gone pending since the
+    /// last call: every watcher subscribed to a slot an append charged,
+    /// plus every exact-mode member charged directly. Conservative — a
+    /// returned watcher may have drained in the meantime (the caller
+    /// re-checks [`Store::pending_totals`]) — but complete: a watcher with
+    /// undelivered events is always either returned here or already known
+    /// to the caller. Quiescent watchers cost nothing.
+    pub fn drain_dirty_watchers(&mut self) -> Vec<WatchId> {
+        if self.dirty_shards.is_empty() {
+            return Vec::new();
+        }
+        let mut out: BTreeSet<WatchId> = BTreeSet::new();
+        for ns in std::mem::take(&mut self.dirty_shards) {
+            let Some(shard) = self.shards.get_mut(&ns) else {
+                continue;
+            };
+            for key in std::mem::take(&mut shard.dirty_slots) {
+                let slot = match &key {
+                    SlotKey::All => Some(&mut shard.all_watchers),
+                    SlotKey::Kind(k) => shard.kind_watchers.get_mut(k),
+                    SlotKey::Object(o) => shard.object_watchers.get_mut(o),
+                };
+                // A slot dropped since it was charged simply contributes
+                // nothing — its watchers deregistered and owe no wake.
+                if let Some(slot) = slot {
+                    slot.dirty = false;
+                    out.extend(slot.subs.keys().copied());
+                }
+            }
+            out.append(&mut shard.dirty_exact);
+        }
+        out.into_iter().collect()
     }
 
     /// Opens a watch over the union of `queries` — the one subscription
@@ -2162,18 +2217,31 @@ fn shard_append(
         }
         if !shard.all_watchers.subs.is_empty() {
             shard.all_watchers.charge.bump(event_bytes);
+            if !shard.all_watchers.dirty {
+                shard.all_watchers.dirty = true;
+                shard.dirty_slots.push(SlotKey::All);
+            }
         }
         if let Some(slot) = shard.kind_watchers.get_mut(&oref.kind) {
             slot.charge.bump(event_bytes);
+            if !slot.dirty {
+                slot.dirty = true;
+                shard.dirty_slots.push(SlotKey::Kind(oref.kind.clone()));
+            }
         }
         if let Some(slot) = shard.object_watchers.get_mut(&oref) {
             slot.charge.bump(event_bytes);
+            if !slot.dirty {
+                slot.dirty = true;
+                shard.dirty_slots.push(SlotKey::Object(oref.clone()));
+            }
         }
         for id in &exact_hit {
             let m = shard.members.get_mut(id).expect("hit watcher is a member");
             if let Acct::Exact { pending, bytes } = &mut m.acct {
                 *pending += 1;
                 *bytes += event_bytes;
+                shard.dirty_exact.insert(*id);
             }
         }
     }

@@ -55,6 +55,13 @@ pub struct WriteBatch {
     ops: Vec<BatchOp>,
     /// Simulated post-write state per object: `(stamped model, rv)`.
     overlay: BTreeMap<ObjectRef, (Shared<Value>, u64)>,
+    /// Store resource version each written object's *first* read-for-write
+    /// observed — the snapshot this batch's decisions are based on.
+    /// [`commit_occ`](Self::commit_occ) re-validates against it.
+    base: BTreeMap<ObjectRef, u64>,
+    /// Rough serialized size of the queued ops, for sizing the link
+    /// transfer that carries a deferred batch to the apiserver.
+    wire_bytes: u64,
     pending: Vec<Pending>,
 }
 
@@ -69,6 +76,8 @@ impl WriteBatch {
             batched,
             ops: Vec::new(),
             overlay: BTreeMap::new(),
+            base: BTreeMap::new(),
+            wire_bytes: 0,
             pending: Vec::new(),
         }
     }
@@ -81,6 +90,18 @@ impl WriteBatch {
     /// True if no write has been issued.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Number of ops queued for the batch commit (excludes issue-time
+    /// failures and per-op-mode writes that already executed).
+    pub fn queued_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Approximate wire size of the queued ops — what a deferred commit
+    /// puts on the link.
+    pub fn wire_bytes(&self) -> usize {
+        self.wire_bytes as usize
     }
 
     /// Reads an object's `(model, resource_version)` as the controller
@@ -194,12 +215,80 @@ impl WriteBatch {
             .collect()
     }
 
+    /// Commits like [`commit`](Self::commit), but first re-validates every
+    /// written object against the resource version its plan-time read
+    /// observed (the `base` map). When a batch lands after a delay — an
+    /// async controller cycle whose writes traveled a link — the store may
+    /// have moved on; ops against a moved (or vanished) object resolve
+    /// `Err(Conflict)` / `Err(NotFound)` without reaching the server,
+    /// exactly like a driver's OCC `update`. The remaining ops commit as
+    /// one batch. Returns the per-ticket results and the number of objects
+    /// whose validation failed.
+    ///
+    /// Convergence is preserved because a failed validation implies a
+    /// newer committed event on that object, which retriggers the watcher
+    /// that planned this batch.
+    pub fn commit_occ(self, api: &mut ApiServer) -> (Vec<WriteResult>, u64) {
+        let mut stale: BTreeMap<ObjectRef, ApiError> = BTreeMap::new();
+        for (oref, &expected) in &self.base {
+            match api.get(ApiServer::ADMIN, oref) {
+                Ok(obj) if obj.resource_version == expected => {}
+                Ok(obj) => {
+                    stale.insert(
+                        oref.clone(),
+                        ApiError::Conflict {
+                            oref: oref.clone(),
+                            expected,
+                            actual: obj.resource_version,
+                        },
+                    );
+                }
+                Err(_) => {
+                    stale.insert(oref.clone(), ApiError::NotFound(oref.clone()));
+                }
+            }
+        }
+        let conflicts = stale.len() as u64;
+        // Send only the ops whose base still holds; remember where each
+        // queued index landed so tickets resolve in issue order.
+        let mut send: Vec<BatchOp> = Vec::new();
+        let mut routed: Vec<Result<usize, ApiError>> = Vec::with_capacity(self.ops.len());
+        for op in self.ops {
+            match stale.get(op.oref()) {
+                Some(e) => routed.push(Err(e.clone())),
+                None => {
+                    routed.push(Ok(send.len()));
+                    send.push(op);
+                }
+            }
+        }
+        let server = if send.is_empty() {
+            Vec::new()
+        } else {
+            api.apply_batch(&self.subject, send)
+        };
+        let mut server = server.into_iter().map(Some).collect::<Vec<_>>();
+        let results = self
+            .pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Failed(e) => Err(e),
+                Pending::Done(r) => r,
+                Pending::Queued(i) => match &routed[i] {
+                    Err(e) => Err(e.clone()),
+                    Ok(j) => server[*j].take().expect("one result per sent op"),
+                },
+            })
+            .collect();
+        (results, conflicts)
+    }
+
     /// The simulation's read: overlay entry if the object was already
     /// written this cycle, otherwise the committed object. Mirrors the
     /// `current` input of the server's own batch-overlay preparation —
     /// NotFound here is NotFound at commit.
     fn read_for_write(
-        &self,
+        &mut self,
         api: &ApiServer,
         oref: &ObjectRef,
     ) -> Result<(Shared<Value>, u64), ApiError> {
@@ -211,6 +300,9 @@ impl WriteBatch {
         let obj = api
             .get(ApiServer::ADMIN, oref)
             .map_err(|_| ApiError::NotFound(oref.clone()))?;
+        // First store read for this object: the OCC base of every write
+        // the batch queues against it.
+        self.base.insert(oref.clone(), obj.resource_version);
         Ok((Shared::clone(&obj.model), obj.resource_version))
     }
 
@@ -220,9 +312,25 @@ impl WriteBatch {
     }
 
     fn queue(&mut self, op: BatchOp) -> usize {
+        self.wire_bytes += wire_size(&op);
         self.ops.push(op);
         self.push(Pending::Queued(self.ops.len() - 1))
     }
+}
+
+/// Rough serialized size of one batch op: the payload plus per-op header
+/// overhead (oref, path, framing).
+fn wire_size(op: &BatchOp) -> u64 {
+    let payload = match op {
+        BatchOp::Patch { patch, .. } => dspace_value::json::encoded_len(patch),
+        BatchOp::PatchPath { path, value, .. } => {
+            path.len() + dspace_value::json::encoded_len(value)
+        }
+        BatchOp::Create { model, .. } => dspace_value::json::encoded_len(model),
+        BatchOp::Update { model, .. } => dspace_value::json::encoded_len(model),
+        BatchOp::Delete { .. } => 0,
+    };
+    (payload + op.oref().to_string().len() + 16) as u64
 }
 
 #[cfg(test)]

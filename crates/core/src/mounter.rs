@@ -43,6 +43,39 @@ struct TraceEffect {
     detail: String,
 }
 
+/// A planned mounter cycle: queued writes plus success-gated trace
+/// effects. Planning runs against the wake-time snapshot; the plan can
+/// land immediately (legacy inline path) or later, after simulated
+/// reconcile/link/admission delays (async controller runtime).
+pub(crate) struct MounterPlan {
+    pub(crate) batch: WriteBatch,
+    effects: Vec<TraceEffect>,
+}
+
+impl MounterPlan {
+    /// Commits inline (non-OCC, legacy semantics) and emits gated traces.
+    pub(crate) fn land(self, api: &mut ApiServer, trace: &mut Trace, now: Time) {
+        let results = self.batch.commit(api);
+        for e in self.effects {
+            if results[e.ticket].is_ok() {
+                trace.push(now, TraceKind::Composition, e.subject, e.detail);
+            }
+        }
+    }
+
+    /// Commits with OCC re-validation against the plan's snapshot rvs and
+    /// emits gated traces; returns how many ops failed validation.
+    pub(crate) fn land_occ(self, api: &mut ApiServer, trace: &mut Trace, now: Time) -> u64 {
+        let (results, conflicts) = self.batch.commit_occ(api);
+        for e in self.effects {
+            if results[e.ticket].is_ok() {
+                trace.push(now, TraceKind::Composition, e.subject, e.detail);
+            }
+        }
+        conflicts
+    }
+}
+
 /// The Mounter controller.
 pub struct Mounter {
     graph: Rc<RefCell<DigiGraph>>,
@@ -80,6 +113,21 @@ impl Mounter {
         trace: &mut Trace,
         now: Time,
     ) {
+        self.plan(api, events, false).land(api, trace, now);
+    }
+
+    /// Drains a batch of watch events into a landable plan without
+    /// committing anything: re-synchronizes every mount edge adjacent to
+    /// an object that changed, queueing writes (and success-gated trace
+    /// effects) on the returned plan. `force_batched` overrides the
+    /// per-op compatibility mode for deferred landings, which must commit
+    /// as one `apply_batch` transfer.
+    pub(crate) fn plan(
+        &mut self,
+        api: &mut ApiServer,
+        events: &[WatchEvent],
+        force_batched: bool,
+    ) -> MounterPlan {
         // Dedup with a set: a burst batch repeats the same oref many
         // times, and `Vec::contains` made this scan quadratic.
         let mut affected: BTreeSet<ObjectRef> = BTreeSet::new();
@@ -89,7 +137,7 @@ impl Mounter {
             }
             affected.insert(ev.oref.clone());
         }
-        let mut batch = WriteBatch::new(SUBJECT, self.batched);
+        let mut batch = WriteBatch::new(SUBJECT, self.batched || force_batched);
         let mut effects: Vec<TraceEffect> = Vec::new();
         for oref in affected {
             // One O(degree) pass per changed digi: the graph's endpoint
@@ -100,12 +148,7 @@ impl Mounter {
                 self.sync_edge(api, &mut batch, edge, &mut effects);
             }
         }
-        let results = batch.commit(api);
-        for e in effects {
-            if results[e.ticket].is_ok() {
-                trace.push(now, TraceKind::Composition, e.subject, e.detail);
-            }
-        }
+        MounterPlan { batch, effects }
     }
 
     /// Synchronizes one mount edge in both directions, queueing writes on

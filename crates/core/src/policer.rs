@@ -24,6 +24,31 @@ use crate::verbs;
 /// The apiserver subject the policer authenticates as.
 pub const SUBJECT: &str = "controller:policer";
 
+/// A planned policer cycle: the policies to (re-)evaluate, decided from
+/// the wake-time event batch. Registration bookkeeping (watch extension/
+/// narrowing, spec parsing) happens at plan time; condition evaluation
+/// and actions run at landing time against landing-time state, exactly
+/// as the inline path evaluates against post-registration state.
+pub(crate) struct PolicerPlan {
+    to_evaluate: Vec<ObjectRef>,
+}
+
+impl PolicerPlan {
+    /// True when no policy needs evaluation (nothing travels the link).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.to_evaluate.is_empty()
+    }
+
+    /// Estimated bytes for the evaluation request batch (policy refs plus
+    /// framing), used to size the simulated link transfer.
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        self.to_evaluate
+            .iter()
+            .map(|id| id.to_string().len() as u64 + 16)
+            .sum()
+    }
+}
+
 /// The Policer controller.
 pub struct Policer {
     graph: Rc<RefCell<DigiGraph>>,
@@ -122,7 +147,22 @@ impl Policer {
         trace: &mut Trace,
         now: Time,
     ) {
-        let now_s = now as f64 / 1e9;
+        let plan = self.plan(api, watch, events, trace, now);
+        self.land(api, plan, trace, now);
+    }
+
+    /// Drains a batch of watch events into a landable plan: policy
+    /// add/remove bookkeeping is applied eagerly (it owns the watch's
+    /// selector set and must not lag behind the event stream), while
+    /// evaluation is deferred to the returned plan.
+    pub(crate) fn plan(
+        &mut self,
+        api: &mut ApiServer,
+        watch: WatchId,
+        events: &[WatchEvent],
+        trace: &mut Trace,
+        now: Time,
+    ) -> PolicerPlan {
         let mut to_evaluate: Vec<ObjectRef> = Vec::new();
         for ev in events {
             if ev.oref.kind == "Policy" {
@@ -176,7 +216,21 @@ impl Policer {
                 }
             }
         }
-        for id in to_evaluate {
+        PolicerPlan { to_evaluate }
+    }
+
+    /// Evaluates every policy in the plan against current state. `now` is
+    /// the landing time; conditions referencing `time` and all emitted
+    /// traces use it.
+    pub(crate) fn land(
+        &mut self,
+        api: &mut ApiServer,
+        plan: PolicerPlan,
+        trace: &mut Trace,
+        now: Time,
+    ) {
+        let now_s = now as f64 / 1e9;
+        for id in plan.to_evaluate {
             self.evaluate(api, &id, trace, now, now_s);
         }
     }

@@ -28,6 +28,24 @@ pub struct SpaceConfig {
     /// Duration of one driver reconcile cycle. The zero default keeps
     /// reconciles instantaneous (the pre-async behavior).
     pub reconcile: LatencyModel,
+    /// Duration of one controller reconcile cycle (mounter/syncer/
+    /// policer). The zero default keeps controller cycles instantaneous
+    /// and bit-identical to the legacy inline traces.
+    pub controller_reconcile: LatencyModel,
+    /// Apiserver-side admission latency for deferred controller batches —
+    /// a separate stage from the write link, so the two delays are
+    /// independently attributable.
+    pub admission: LatencyModel,
+    /// Run controllers through the async busy/dirty lifecycle (the
+    /// default). Off restores the legacy inline processing; with the
+    /// zero-latency defaults the two are bit-identical.
+    pub async_controllers: bool,
+    /// Pipelined wake delivery (the default). Off is the serial baseline:
+    /// every in-flight controller cycle stalls wake delivery space-wide.
+    pub pipelined_controllers: bool,
+    /// When set, deferred controller writes travel this link (with its
+    /// full fault surface) instead of the controllers' wake link.
+    pub controller_write: Option<dspace_simnet::Link>,
     /// Backoff schedule for driver→apiserver commits over faulty links.
     pub retry: RetryPolicy,
     /// Shard worker cap for the apiserver's batch paths. `0` keeps the
@@ -52,6 +70,11 @@ impl Default for SpaceConfig {
             links: LinkSet::default(),
             seed: 7,
             reconcile: LatencyModel::FixedMs(0.0),
+            controller_reconcile: LatencyModel::FixedMs(0.0),
+            admission: LatencyModel::FixedMs(0.0),
+            async_controllers: true,
+            pipelined_controllers: true,
+            controller_write: None,
             retry: RetryPolicy::default(),
             threads: 0,
             batch_controller_writes: true,
@@ -134,6 +157,15 @@ impl Space {
             None => World::new(config.links, config.seed),
         };
         world.set_reconcile_latency(config.reconcile);
+        world.set_controller_reconcile_latency(config.controller_reconcile);
+        world.set_admission_latency(config.admission);
+        world.set_async_controllers(config.async_controllers);
+        world.set_pipelined_controllers(config.pipelined_controllers);
+        if let Some(link) = config.controller_write {
+            for name in ["mounter", "syncer", "policer"] {
+                world.set_controller_write_link(name, link.clone());
+            }
+        }
         world.set_retry_policy(config.retry);
         if config.threads > 0 {
             world.api.set_executor_threads(config.threads);

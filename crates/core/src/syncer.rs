@@ -93,6 +93,15 @@ struct LastEffect {
     value: Value,
 }
 
+/// A planned syncer cycle: queued propagation writes plus the
+/// commit-gated `last`-cache inserts that ride on them. Planning runs
+/// against the wake-time snapshot; the plan lands immediately (legacy
+/// inline path) or later under the async controller runtime.
+pub(crate) struct SyncerPlan {
+    pub(crate) batch: WriteBatch,
+    effects: Vec<LastEffect>,
+}
+
 /// The Syncer controller.
 #[derive(Debug)]
 pub struct Syncer {
@@ -134,7 +143,21 @@ impl Syncer {
     /// as one batch at the end of the pass; `last`-cache updates are
     /// applied afterwards, gated on their op's commit result.
     pub fn process(&mut self, api: &mut ApiServer, events: &[WatchEvent]) {
-        let mut batch = WriteBatch::new(SUBJECT, self.batched);
+        let plan = self.plan(api, events, false);
+        self.land(api, plan);
+    }
+
+    /// Drains a batch of watch events into a landable plan without
+    /// committing: Sync registrations are applied eagerly (spec/cache
+    /// bookkeeping), propagation writes are queued. `force_batched`
+    /// overrides per-op compatibility mode for deferred landings.
+    pub(crate) fn plan(
+        &mut self,
+        api: &mut ApiServer,
+        events: &[WatchEvent],
+        force_batched: bool,
+    ) -> SyncerPlan {
+        let mut batch = WriteBatch::new(SUBJECT, self.batched || force_batched);
         let mut effects: Vec<LastEffect> = Vec::new();
         for ev in events {
             if ev.oref.kind == "Sync" {
@@ -173,7 +196,26 @@ impl Syncer {
                 self.propagate_for_sync(api, &mut batch, &mut effects, &id);
             }
         }
-        let results = batch.commit(api);
+        SyncerPlan { batch, effects }
+    }
+
+    /// Commits a plan inline (non-OCC, legacy semantics) and applies the
+    /// commit-gated `last`-cache inserts.
+    pub(crate) fn land(&mut self, api: &mut ApiServer, plan: SyncerPlan) {
+        let results = plan.batch.commit(api);
+        self.finish(plan.effects, &results);
+    }
+
+    /// Commits a plan with OCC re-validation against the plan's snapshot
+    /// rvs, applies gated cache inserts, and returns how many ops failed
+    /// validation.
+    pub(crate) fn land_occ(&mut self, api: &mut ApiServer, plan: SyncerPlan) -> u64 {
+        let (results, conflicts) = plan.batch.commit_occ(api);
+        self.finish(plan.effects, &results);
+        conflicts
+    }
+
+    fn finish(&mut self, effects: Vec<LastEffect>, results: &[crate::batch::WriteResult]) {
         for e in effects {
             let committed = match e.ticket {
                 Some(t) => results[t].is_ok(),

@@ -80,6 +80,35 @@ enum Component {
     User(UserCli),
 }
 
+/// A controller cycle's planned work, decided against wake-time snapshots
+/// and carried through the deferred busy → link → admission → landing
+/// pipeline.
+enum ControllerPlan {
+    Mounter(crate::mounter::MounterPlan),
+    Syncer(crate::syncer::SyncerPlan),
+    Policer(crate::policer::PolicerPlan),
+}
+
+impl ControllerPlan {
+    /// True when nothing travels the wire (no queued write / evaluation).
+    fn is_empty(&self) -> bool {
+        match self {
+            ControllerPlan::Mounter(p) => p.batch.queued_ops() == 0,
+            ControllerPlan::Syncer(p) => p.batch.queued_ops() == 0,
+            ControllerPlan::Policer(p) => p.is_empty(),
+        }
+    }
+
+    /// Serialized size of the batch the link carries.
+    fn wire_bytes(&self) -> usize {
+        match self {
+            ControllerPlan::Mounter(p) => p.batch.wire_bytes(),
+            ControllerPlan::Syncer(p) => p.batch.wire_bytes(),
+            ControllerPlan::Policer(p) => p.wire_bytes() as usize,
+        }
+    }
+}
+
 /// How a component's watch subscription is maintained.
 #[derive(Clone, Copy)]
 enum SlotScope {
@@ -110,16 +139,26 @@ struct ComponentSlot {
     link: Link,
     woken: bool,
     /// A reconcile cycle is in flight (its completion event is scheduled).
-    /// Only driver slots go busy; controllers still process synchronously.
+    /// Driver slots and — under the async controller runtime — controller
+    /// slots go busy; the user CLI stays synchronous.
     busy: bool,
-    /// A wake arrived while busy. Completion re-polls (coalesced), so
-    /// however many events queued up mid-reconcile, they land as exactly
-    /// one follow-up cycle.
+    /// A wake arrived while busy. Completion re-polls, so however many
+    /// events queued up mid-reconcile, they land as exactly one follow-up
+    /// cycle.
     dirty: bool,
     scope: SlotScope,
     /// Drain with `poll_coalesced` on wake: a burst of mutations to one
     /// object becomes a single reconciliation against the newest snapshot.
     coalesce: bool,
+    /// Link the slot's deferred writes travel (defaults to `link` when
+    /// unset). Only consulted by async controller cycles.
+    write_link: Option<Link>,
+    /// Per-slot counter keys, interned at registration so the hot drop/
+    /// retry paths never re-allocate the `"metric:{name}"` strings.
+    wake_drops_key: String,
+    retries_key: String,
+    gave_up_key: String,
+    followups_key: String,
     kind: Option<Component>,
 }
 
@@ -151,10 +190,33 @@ pub struct World {
     /// Link latencies.
     pub links: LinkSet,
     slots: Vec<ComponentSlot>,
+    /// Slots that may have undelivered watch events, maintained from the
+    /// store's dirty-watcher feed so `pump` never scans quiescent slots.
+    pending_slots: BTreeSet<usize>,
+    /// Watch subscription → owning slot, for routing the dirty feed.
+    watch_slots: BTreeMap<WatchId, usize>,
     /// Duration of one driver reconcile cycle (the work between draining
     /// the watch and deciding on a commit). `FixedMs(0)` keeps the legacy
     /// instantaneous behavior.
     reconcile_latency: LatencyModel,
+    /// Duration of one controller reconcile cycle (mounter/syncer/policer).
+    /// `FixedMs(0)` keeps the legacy instantaneous behavior.
+    controller_reconcile: LatencyModel,
+    /// Apiserver-side admission stage for deferred controller batches,
+    /// modeled separately from the link so the two delays are
+    /// independently attributable.
+    admission: LatencyModel,
+    /// Run controllers through the async busy/dirty lifecycle. With the
+    /// default zero latency models and no write links the async path is
+    /// bit-identical to the legacy inline path, so this stays on.
+    async_controllers: bool,
+    /// When `false`, a busy controller stalls wake *delivery* for every
+    /// slot until its cycle ends — the serial baseline the pipelined
+    /// runtime is benchmarked against.
+    pipelined_controllers: bool,
+    /// Wake deliveries may not land before this instant while running
+    /// serial controllers (see `pipelined_controllers`).
+    stall_until: dspace_simnet::Time,
     /// Backoff schedule for driver→apiserver commits over a faulty link.
     retry: RetryPolicy,
     actuators: BTreeMap<ObjectRef, Option<Box<dyn Actuator>>>,
@@ -229,7 +291,14 @@ impl World {
             trace: Trace::new(),
             links,
             slots: Vec::new(),
+            pending_slots: BTreeSet::new(),
+            watch_slots: BTreeMap::new(),
             reconcile_latency: LatencyModel::FixedMs(0.0),
+            controller_reconcile: LatencyModel::FixedMs(0.0),
+            admission: LatencyModel::FixedMs(0.0),
+            async_controllers: true,
+            pipelined_controllers: true,
+            stall_until: 0,
             retry: RetryPolicy::default(),
             actuators: BTreeMap::new(),
             digi_kinds: BTreeSet::new(),
@@ -319,6 +388,12 @@ impl World {
             .api
             .watch_queries(subject, &queries)
             .expect("component subject authorized to watch its queries");
+        let tier = if matches!(kind, Component::Driver(_)) {
+            "driver"
+        } else {
+            "controller"
+        };
+        self.watch_slots.insert(watch, self.slots.len());
         self.slots.push(ComponentSlot {
             name: name.to_string(),
             watch,
@@ -328,6 +403,11 @@ impl World {
             dirty: false,
             scope,
             coalesce,
+            write_link: None,
+            wake_drops_key: format!("wake_drops:{name}"),
+            retries_key: format!("{tier}_retries:{name}"),
+            gave_up_key: format!("{tier}_gave_up:{name}"),
+            followups_key: format!("{tier}_followups:{name}"),
             kind: Some(kind),
         });
     }
@@ -342,10 +422,51 @@ impl World {
         self.retry = retry;
     }
 
+    /// Sets the duration model for controller reconcile cycles.
+    pub fn set_controller_reconcile_latency(&mut self, latency: LatencyModel) {
+        self.controller_reconcile = latency;
+    }
+
+    /// Sets the apiserver-side admission stage for deferred controller
+    /// batches.
+    pub fn set_admission_latency(&mut self, latency: LatencyModel) {
+        self.admission = latency;
+    }
+
+    /// Toggles the async controller lifecycle (busy/dirty/deferred
+    /// landing). Off = legacy: controllers process inline on wake.
+    pub fn set_async_controllers(&mut self, on: bool) {
+        self.async_controllers = on;
+    }
+
+    /// Toggles pipelining. Off = serial baseline: each controller cycle
+    /// stalls wake delivery for every component until it completes.
+    pub fn set_pipelined_controllers(&mut self, on: bool) {
+        self.pipelined_controllers = on;
+    }
+
+    /// Overrides the link a controller slot's deferred writes travel
+    /// (faults included). `name` is the slot name (`mounter`, `syncer`,
+    /// `policer`).
+    pub fn set_controller_write_link(&mut self, name: &str, link: Link) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.name == name)
+            .expect("known controller slot name");
+        slot.write_link = Some(link);
+    }
+
     /// Returns `true` while the named driver has a reconcile in flight.
     pub fn driver_busy(&self, name: &str) -> bool {
         let slot_name = format!("driver:{name}");
         self.slots.iter().any(|s| s.name == slot_name && s.busy)
+    }
+
+    /// Returns `true` while the named controller slot (`mounter`,
+    /// `syncer`, `policer`) has a deferred cycle in flight.
+    pub fn controller_busy(&self, name: &str) -> bool {
+        self.slots.iter().any(|s| s.name == name && s.busy)
     }
 
     /// Registers a digi kind's schema and widens every space-scoped
@@ -510,12 +631,31 @@ impl World {
     /// Schedules wakes for every component with pending watch events.
     /// Called by the space loop after every simulation event.
     ///
+    /// Only the *shortlist* of possibly-pending slots is scanned: the
+    /// store marks a watcher dirty when an event is appended to it, and
+    /// `pump` drains that feed into `pending_slots`, so slots with no
+    /// traffic cost nothing per sim event. The shortlist is conservative
+    /// (a slot is only charged in `shard_append`, so pending can never
+    /// appear without a dirty mark) and iterated in ascending slot order —
+    /// the same order the full scan used, which keeps the RNG draw
+    /// sequence of faulty-link transfers identical.
+    ///
     /// The notification travels the component's link sized by the actual
     /// serialized payload of its pending events; a faulty link may drop
     /// it, in which case the apiserver retransmits after the link's RTO.
     pub fn pump(&mut self, sim: &mut Sim<World>) {
-        for i in 0..self.slots.len() {
+        for id in self.api.drain_dirty_watchers() {
+            if let Some(&i) = self.watch_slots.get(&id) {
+                self.pending_slots.insert(i);
+            }
+        }
+        if self.pending_slots.is_empty() {
+            return;
+        }
+        for i in std::mem::take(&mut self.pending_slots) {
             if self.slots[i].woken {
+                // A scheduled wake drains the whole queue; the slot
+                // re-enters the shortlist on its next append.
                 continue;
             }
             // One derivation pass answers both "anything pending?" and the
@@ -532,11 +672,13 @@ impl World {
                 }
                 Delivery::Dropped => {
                     self.metrics.count("wake_drops", 1);
-                    let name = self.slots[i].name.clone();
-                    self.metrics.count(&format!("wake_drops:{name}"), 1);
+                    self.metrics.count(&self.slots[i].wake_drops_key, 1);
                     let rto = self.slots[i].link.rto();
                     sim.schedule(rto, move |w: &mut World, sim| {
                         w.slots[i].woken = false;
+                        // The dirty mark was consumed when this slot was
+                        // shortlisted; re-add it for the retransmit scan.
+                        w.pending_slots.insert(i);
                         w.pump(sim);
                     });
                 }
@@ -545,6 +687,14 @@ impl World {
     }
 
     fn wake(&mut self, i: usize, sim: &mut Sim<World>) {
+        if !self.pipelined_controllers && sim.now() < self.stall_until {
+            // Serial-controller baseline: no slot makes progress while a
+            // controller cycle is in flight. Re-queue the delivery behind
+            // the stall horizon (which may have moved again by then).
+            let wait = self.stall_until - sim.now();
+            sim.schedule(wait, move |w: &mut World, sim| w.wake(i, sim));
+            return;
+        }
         if self.slots[i].busy {
             // Mid-reconcile: note the wake and let completion re-poll.
             // `woken` stays set so `pump` doesn't schedule more wakes for
@@ -579,45 +729,9 @@ impl World {
             self.start_reconcile(i, wrapped, sim);
             return;
         }
-        // Foreign-event accounting: with subscriptions narrowed to owned
-        // kinds, controllers should never receive another controller's
-        // system objects. The counters exist so tests can assert it.
-        let foreign = |kinds: &[&str]| {
-            events
-                .iter()
-                .filter(|e| kinds.contains(&e.oref.kind.as_str()))
-                .count() as u64
-        };
-        let mut component = self.slots[i].kind.take().expect("component present");
-        match &mut component {
-            Component::Mounter(m) => {
-                let n = foreign(&["Sync", "Policy"]);
-                if n > 0 {
-                    self.metrics.count("mounter_foreign_events", n);
-                }
-                let mut trace = std::mem::take(&mut self.trace);
-                m.process(&mut self.api, &events, &mut trace, sim.now());
-                self.trace = trace;
-            }
-            Component::Syncer(s) => {
-                let n = foreign(&["Policy"]);
-                if n > 0 {
-                    self.metrics.count("syncer_foreign_events", n);
-                }
-                s.process(&mut self.api, &events)
-            }
-            Component::Policer(p) => {
-                let n = foreign(&["Sync"]);
-                if n > 0 {
-                    self.metrics.count("policer_foreign_events", n);
-                }
-                let watch = self.slots[i].watch;
-                let mut trace = std::mem::take(&mut self.trace);
-                p.process(&mut self.api, watch, &events, &mut trace, sim.now());
-                self.trace = trace;
-            }
-            Component::Driver(_) => unreachable!("driver slots dispatch before this match"),
-            Component::User(u) => {
+        if matches!(self.slots[i].kind, Some(Component::User(_))) {
+            let mut component = self.slots[i].kind.take().expect("component present");
+            if let Component::User(u) = &mut component {
                 for ev in &events {
                     let old = u
                         .cache
@@ -640,8 +754,245 @@ impl World {
                     u.cache.insert(ev.oref.clone(), ev.model.clone());
                 }
             }
+            self.slots[i].kind = Some(component);
+            return;
+        }
+        self.controller_cycle(i, events, sim);
+    }
+
+    /// Starts one controller cycle over a drained event batch.
+    ///
+    /// With async controllers off — or on with all-zero latency models and
+    /// no write link — the cycle runs inline, bit-identical to the legacy
+    /// synchronous path (a `FixedMs` sample consumes no RNG draws). The
+    /// deferred path splits the cycle into plan (wake time, against the
+    /// drained snapshots) → busy latency → link transfer (with retries) →
+    /// admission → landing, with the slot busy throughout so concurrent
+    /// wakes coalesce into one follow-up via the dirty bit.
+    fn controller_cycle(
+        &mut self,
+        i: usize,
+        events: Vec<dspace_apiserver::WatchEvent>,
+        sim: &mut Sim<World>,
+    ) {
+        // Foreign-event accounting: with subscriptions narrowed to owned
+        // kinds, controllers should never receive another controller's
+        // system objects. The counters exist so tests can assert it.
+        let foreign = |kinds: &[&str]| {
+            events
+                .iter()
+                .filter(|e| kinds.contains(&e.oref.kind.as_str()))
+                .count() as u64
+        };
+        let (metric, n) = match &self.slots[i].kind {
+            Some(Component::Mounter(_)) => ("mounter_foreign_events", foreign(&["Sync", "Policy"])),
+            Some(Component::Syncer(_)) => ("syncer_foreign_events", foreign(&["Policy"])),
+            Some(Component::Policer(_)) => ("policer_foreign_events", foreign(&["Sync"])),
+            _ => unreachable!("only controller slots reach controller_cycle"),
+        };
+        if n > 0 {
+            self.metrics.count(metric, n);
+        }
+        if !self.async_controllers {
+            self.controller_inline(i, &events, sim);
+            return;
+        }
+        // Hard invariant: one cycle in flight per slot. The busy check in
+        // `wake` and the completion re-poll make this unreachable; if it
+        // ever fires, refuse the second cycle (the dirty bit re-polls the
+        // already-drained events' successors) and count it, rather than
+        // corrupting plan/land interleaving in release builds.
+        if self.slots[i].busy {
+            self.metrics.count("reconcile_invariant_violations", 1);
+            self.slots[i].dirty = true;
+            return;
+        }
+        let d = self.controller_reconcile.sample(&mut self.rng);
+        let deferred = d > 0
+            || self.slots[i].write_link.is_some()
+            || self.admission != LatencyModel::FixedMs(0.0);
+        if !deferred {
+            self.controller_inline(i, &events, sim);
+            return;
+        }
+        self.metrics
+            .record("controller_reconcile_ms", d as f64 / 1e6);
+        self.slots[i].busy = true;
+        let mut component = self.slots[i].kind.take().expect("component present");
+        // Plan against the wake-time snapshots. Deferred landings always
+        // go through one `apply_batch` transfer, so force batched mode.
+        let plan = match &mut component {
+            Component::Mounter(m) => ControllerPlan::Mounter(m.plan(&mut self.api, &events, true)),
+            Component::Syncer(s) => ControllerPlan::Syncer(s.plan(&mut self.api, &events, true)),
+            Component::Policer(p) => {
+                let watch = self.slots[i].watch;
+                let mut trace = std::mem::take(&mut self.trace);
+                let plan = p.plan(&mut self.api, watch, &events, &mut trace, sim.now());
+                self.trace = trace;
+                ControllerPlan::Policer(plan)
+            }
+            _ => unreachable!("only controller slots defer"),
+        };
+        self.slots[i].kind = Some(component);
+        if !self.pipelined_controllers {
+            self.stall_until = self.stall_until.max(sim.now() + d);
+        }
+        if d == 0 {
+            // Schedule-or-inline: an event scheduled at delay 0 would land
+            // after other same-timestamp events and change batching.
+            self.controller_transmit(i, plan, 0, sim);
+        } else {
+            sim.schedule(d, move |w: &mut World, sim| {
+                w.controller_transmit(i, plan, 0, sim);
+            });
+        }
+    }
+
+    /// Legacy synchronous controller processing (also the async fast path
+    /// when every deferral stage is zero).
+    fn controller_inline(
+        &mut self,
+        i: usize,
+        events: &[dspace_apiserver::WatchEvent],
+        sim: &mut Sim<World>,
+    ) {
+        let mut component = self.slots[i].kind.take().expect("component present");
+        match &mut component {
+            Component::Mounter(m) => {
+                let mut trace = std::mem::take(&mut self.trace);
+                m.process(&mut self.api, events, &mut trace, sim.now());
+                self.trace = trace;
+            }
+            Component::Syncer(s) => s.process(&mut self.api, events),
+            Component::Policer(p) => {
+                let watch = self.slots[i].watch;
+                let mut trace = std::mem::take(&mut self.trace);
+                p.process(&mut self.api, watch, events, &mut trace, sim.now());
+                self.trace = trace;
+            }
+            _ => unreachable!("only controller slots reach controller_inline"),
         }
         self.slots[i].kind = Some(component);
+    }
+
+    /// Offers a planned controller batch to the slot's write link.
+    /// Delivered batches proceed to admission after the transfer delay;
+    /// drops retry on the exponential backoff until the budget runs out
+    /// (`controller_retries` / `controller_gave_up`).
+    fn controller_transmit(
+        &mut self,
+        i: usize,
+        plan: ControllerPlan,
+        attempt: u32,
+        sim: &mut Sim<World>,
+    ) {
+        if plan.is_empty() {
+            // Nothing travels the wire: land directly (cache effects and
+            // empty-batch bookkeeping still apply).
+            self.controller_land(i, plan, sim);
+            return;
+        }
+        let bytes = plan.wire_bytes();
+        let link = self.slots[i]
+            .write_link
+            .as_ref()
+            .unwrap_or(&self.slots[i].link)
+            .clone();
+        match link.transfer(bytes, sim.now(), &mut self.rng) {
+            Delivery::After(0) => self.controller_admit(i, plan, sim),
+            Delivery::After(delay) => {
+                sim.schedule(delay, move |w: &mut World, sim| {
+                    w.controller_admit(i, plan, sim);
+                });
+            }
+            Delivery::Dropped if attempt < self.retry.budget => {
+                self.metrics.count("controller_retries", 1);
+                self.metrics.count(&self.slots[i].retries_key, 1);
+                let backoff = self.retry.backoff(attempt);
+                sim.schedule(backoff, move |w: &mut World, sim| {
+                    w.controller_transmit(i, plan, attempt + 1, sim);
+                });
+            }
+            Delivery::Dropped => {
+                self.metrics.count("controller_gave_up", 1);
+                self.metrics.count(&self.slots[i].gave_up_key, 1);
+                let name = self.slots[i].name.clone();
+                self.trace.push(
+                    sim.now(),
+                    TraceKind::Composition,
+                    name,
+                    format!("gave up after {attempt} retries"),
+                );
+                // The batch is lost; close the cycle without landing. Any
+                // state the drained events should have produced is
+                // re-derived when their objects next change.
+                self.controller_complete(i, sim);
+            }
+        }
+    }
+
+    /// The batch arrived at the apiserver: spend the admission stage, then
+    /// land. Modeled separately from the link so the two delays are
+    /// independently attributable in metrics.
+    fn controller_admit(&mut self, i: usize, plan: ControllerPlan, sim: &mut Sim<World>) {
+        let a = self.admission.sample(&mut self.rng);
+        self.metrics.record("admission_ms", a as f64 / 1e6);
+        if a == 0 {
+            self.controller_land(i, plan, sim);
+        } else {
+            sim.schedule(a, move |w: &mut World, sim| {
+                w.controller_land(i, plan, sim);
+            });
+        }
+    }
+
+    /// Lands a deferred controller batch: OCC re-validation against the
+    /// plan-time snapshot rvs, commit, success-gated effects — then the
+    /// cycle completes.
+    fn controller_land(&mut self, i: usize, plan: ControllerPlan, sim: &mut Sim<World>) {
+        let mut component = self.slots[i].kind.take().expect("component present");
+        let conflicts = match (&mut component, plan) {
+            (Component::Mounter(_), ControllerPlan::Mounter(p)) => {
+                let mut trace = std::mem::take(&mut self.trace);
+                let conflicts = p.land_occ(&mut self.api, &mut trace, sim.now());
+                self.trace = trace;
+                conflicts
+            }
+            (Component::Syncer(s), ControllerPlan::Syncer(p)) => s.land_occ(&mut self.api, p),
+            (Component::Policer(p), ControllerPlan::Policer(plan)) => {
+                let mut trace = std::mem::take(&mut self.trace);
+                p.land(&mut self.api, plan, &mut trace, sim.now());
+                self.trace = trace;
+                0
+            }
+            _ => unreachable!("plan variant matches its slot's component"),
+        };
+        self.slots[i].kind = Some(component);
+        if conflicts > 0 {
+            self.metrics.count("controller_conflicts", conflicts);
+        }
+        self.controller_complete(i, sim);
+    }
+
+    /// Ends a controller cycle. Wakes that arrived while busy drain
+    /// through one re-poll — the single follow-up cycle the busy-state
+    /// machine guarantees for an N-event mid-cycle burst.
+    fn controller_complete(&mut self, i: usize, sim: &mut Sim<World>) {
+        self.slots[i].busy = false;
+        if !self.slots[i].dirty {
+            return;
+        }
+        self.slots[i].dirty = false;
+        // The wake that set the dirty bit already traveled the link, so
+        // the re-poll is immediate.
+        self.slots[i].woken = false;
+        let events = self.api.poll(self.slots[i].watch);
+        if events.is_empty() {
+            return;
+        }
+        self.metrics.count("controller_followup_cycles", 1);
+        self.metrics.count(&self.slots[i].followups_key, 1);
+        self.controller_cycle(i, events, sim);
     }
 
     fn count_driver_delivery(&mut self, events: &[CoalescedEvent]) {
@@ -656,7 +1007,16 @@ impl World {
     /// drawn from the reconcile latency model, then the cycle's decisions
     /// (effects, commits) land at completion time.
     fn start_reconcile(&mut self, i: usize, events: Vec<CoalescedEvent>, sim: &mut Sim<World>) {
-        debug_assert!(!self.slots[i].busy, "one reconcile in flight per driver");
+        // Hard invariant: one cycle in flight per driver. The busy check
+        // in `wake` and the completion re-poll make this unreachable; if
+        // it ever fires, refuse the second cycle (the dirty bit re-polls)
+        // and count it, rather than interleaving two reconciles' commits
+        // in release builds.
+        if self.slots[i].busy {
+            self.metrics.count("reconcile_invariant_violations", 1);
+            self.slots[i].dirty = true;
+            return;
+        }
         self.slots[i].busy = true;
         let duration = self.reconcile_latency.sample(&mut self.rng);
         self.metrics.record("reconcile_ms", duration as f64 / 1e6);
@@ -784,9 +1144,8 @@ impl World {
                 });
             }
             Delivery::Dropped if attempt < self.retry.budget => {
-                let name = self.slots[i].name.clone();
                 self.metrics.count("driver_retries", 1);
-                self.metrics.count(&format!("driver_retries:{name}"), 1);
+                self.metrics.count(&self.slots[i].retries_key, 1);
                 let backoff = self.retry.backoff(attempt);
                 sim.schedule(backoff, move |w: &mut World, sim| {
                     w.attempt_commit(i, commit, attempt + 1, rest, sim);
@@ -795,7 +1154,7 @@ impl World {
             Delivery::Dropped => {
                 let name = self.slots[i].name.clone();
                 self.metrics.count("driver_gave_up", 1);
-                self.metrics.count(&format!("driver_gave_up:{name}"), 1);
+                self.metrics.count(&self.slots[i].gave_up_key, 1);
                 self.trace.push(
                     sim.now(),
                     TraceKind::DriverReconciled,
@@ -981,5 +1340,37 @@ impl World {
     /// Names of the registered components, in registration order.
     pub fn component_names(&self) -> Vec<&str> {
         self.slots.iter().map(|s| s.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Satellite: the one-cycle-in-flight invariant is a hard, counted
+    // error path (not a debug_assert) — a second cycle against a busy
+    // slot is refused, counted, and deferred via the dirty bit.
+    #[test]
+    fn double_cycle_is_refused_and_counted() {
+        let mut world = World::new(LinkSet::default(), 1);
+        let mut sim: Sim<World> = Sim::new();
+        let mounter = world
+            .slots
+            .iter()
+            .position(|s| s.name == "mounter")
+            .expect("mounter slot");
+        world.slots[mounter].busy = true;
+        world.controller_cycle(mounter, Vec::new(), &mut sim);
+        assert_eq!(world.metrics.counter("reconcile_invariant_violations"), 1);
+        assert!(
+            world.slots[mounter].dirty,
+            "refused cycle must re-poll via the dirty bit"
+        );
+        // The driver path shares the invariant (any slot hits the guard
+        // before driver-specific work).
+        world.slots[mounter].dirty = false;
+        world.start_reconcile(mounter, Vec::new(), &mut sim);
+        assert_eq!(world.metrics.counter("reconcile_invariant_violations"), 2);
+        assert!(world.slots[mounter].dirty);
     }
 }

@@ -111,8 +111,16 @@ impl Metrics {
     }
 
     /// Increments a counter by `n`.
+    ///
+    /// The steady-state path (counter already exists) borrows the key and
+    /// allocates nothing; only the first increment of a name pays for the
+    /// `String`.
     pub fn count(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
     }
 
     /// Returns a counter's value (0 if never incremented).
