@@ -366,7 +366,14 @@ impl QueryPred {
     /// Commit-path matcher: `keys` is the index delta the caller just
     /// computed (path → new key) for the committed model. Any key the
     /// plan refuses proves a non-match without touching the evaluator.
-    pub(crate) fn matches_indexed(&self, model: &Value, keys: &[(Path, IndexKey)]) -> bool {
+    /// Paths arrive as the store's interned `Arc<Path>` handles: the
+    /// per-candidate probes here are pointer bumps, never fresh `String`
+    /// or `Path` allocations.
+    pub(crate) fn matches_indexed(
+        &self,
+        model: &Value,
+        keys: &[(std::sync::Arc<Path>, IndexKey)],
+    ) -> bool {
         for (p, k) in keys {
             if !self.plan.admits(p, k) {
                 return false;

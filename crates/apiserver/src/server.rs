@@ -28,7 +28,9 @@ type Review = (usize, Verb, ObjectRef, Option<Value>, Option<Value>);
 /// store commit → webhook `observe` notifications.
 pub struct ApiServer {
     store: Store,
-    rbac: Rbac,
+    /// Shared copy-on-write: plan-phase [`SnapshotView`]s hold an `Arc`
+    /// clone, so role edits mid-flight copy rather than race.
+    rbac: std::sync::Arc<Rbac>,
     schemas: std::collections::BTreeMap<String, KindSchema>,
     webhooks: Vec<Box<dyn AdmissionWebhook>>,
     /// When `false`, schema validation is skipped for unregistered kinds
@@ -53,7 +55,7 @@ impl ApiServer {
         rbac.bind(Self::ADMIN, "cluster-admin");
         ApiServer {
             store: Store::new(),
-            rbac,
+            rbac: std::sync::Arc::new(rbac),
             schemas: Default::default(),
             webhooks: Vec::new(),
             strict_kinds: false,
@@ -98,13 +100,41 @@ impl ApiServer {
     }
 
     /// Mutable access to the RBAC authorizer (role/binding management).
+    ///
+    /// Copy-on-write: if a plan-phase [`SnapshotView`] still holds the
+    /// current table, this clones it first, so in-flight plan jobs keep
+    /// authorizing against their wake-time view.
     pub fn rbac_mut(&mut self) -> &mut Rbac {
-        &mut self.rbac
+        std::sync::Arc::make_mut(&mut self.rbac)
     }
 
     /// Read access to the RBAC authorizer.
     pub fn rbac(&self) -> &Rbac {
         &self.rbac
+    }
+
+    /// An RBAC-checked read view over a wake-time store snapshot, detached
+    /// from the server's borrow (see [`SnapshotView`]).
+    pub fn snapshot_view(&self) -> SnapshotView {
+        SnapshotView {
+            snapshot: self.store.snapshot(),
+            rbac: std::sync::Arc::clone(&self.rbac),
+        }
+    }
+
+    /// Runs `work` over `items` on the store's shard worker pool (the
+    /// coordinator thread doubles as lane 0), returning results in item
+    /// order. This is the plan-phase fan-out entry point: the worker cap
+    /// and pool are shared with batch commits, so parked lanes do double
+    /// duty. At a cap of 1 (or a single item) everything runs inline on
+    /// the caller's thread.
+    pub fn run_pooled<T, R, F>(&mut self, items: Vec<T>, work: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.store.run_pooled(items, work)
     }
 
     /// Current global store revision.
@@ -1039,6 +1069,61 @@ fn batch_to_store_op(op: BatchOp) -> Result<StoreOp, ApiError> {
         }
         BatchOp::Delete { oref } => StoreOp::Delete { oref },
     })
+}
+
+/// An RBAC-checked read view over a [`StoreSnapshot`]: serves
+/// [`ApiServer::get`]-equivalent reads — same authorization, same error
+/// shapes — without borrowing the server, so plan-phase jobs can read the
+/// wake-time state from worker threads while the coordinator moves on.
+///
+/// Both halves are immutable captures: the snapshot is batch-boundary
+/// exact and the RBAC table is a copy-on-write `Arc` (see
+/// [`ApiServer::rbac_mut`]), so a view's answers never change after it is
+/// taken.
+#[derive(Debug, Clone)]
+pub struct SnapshotView {
+    snapshot: StoreSnapshot,
+    rbac: std::sync::Arc<Rbac>,
+}
+
+// Plan jobs move views onto shard workers; keep that statically true.
+#[allow(dead_code)]
+fn assert_snapshot_view_send_sync(v: SnapshotView) -> impl Send + Sync {
+    v
+}
+
+impl SnapshotView {
+    /// Reads an object, mirroring [`ApiServer::get`] exactly: RBAC denial
+    /// is `Forbidden` with the server's reason text, a missing object is
+    /// `NotFound`.
+    pub fn get(&self, subject: &str, oref: &ObjectRef) -> Result<Object, ApiError> {
+        self.authorize(subject, Verb::Get, oref)?;
+        self.snapshot
+            .get(oref)
+            .cloned()
+            .ok_or_else(|| ApiError::NotFound(oref.clone()))
+    }
+
+    /// Checks `subject` against the captured RBAC table.
+    pub fn authorized(&self, subject: &str, verb: Verb, oref: &ObjectRef) -> bool {
+        self.rbac.authorize(subject, verb, oref)
+    }
+
+    /// The captured store revision.
+    pub fn revision(&self) -> u64 {
+        self.snapshot.revision()
+    }
+
+    fn authorize(&self, subject: &str, verb: Verb, oref: &ObjectRef) -> Result<(), ApiError> {
+        if self.rbac.authorize(subject, verb, oref) {
+            Ok(())
+        } else {
+            Err(ApiError::Forbidden {
+                subject: subject.to_string(),
+                reason: format!("{verb:?} on {oref} not permitted"),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -407,13 +407,15 @@ struct Shard {
     /// matches — the equivalence tests' guard against stale incremental
     /// deltas (off by default: hints are trusted, never double-walked).
     verify_sizes: bool,
-    /// Secondary indexes: `(kind, model path)` → value-keyed posting
-    /// lists over this shard's objects of that kind. Strictly *derived*
+    /// Secondary indexes: kind → (model path → value-keyed posting
+    /// lists) over this shard's objects of that kind. Strictly *derived*
     /// state — built lazily by the first query or predicate watch that
     /// probes the pair (a scan of the kind slice), maintained
     /// incrementally by every append from then on, and simply absent
     /// after recovery until something asks again. Never persisted.
-    indexes: BTreeMap<(String, Path), PathIndex>,
+    /// Paths are interned behind `Arc` so the append path's key delta
+    /// and the query planner's probes clone handles, not allocations.
+    indexes: BTreeMap<String, BTreeMap<Arc<Path>, PathIndex>>,
     /// Predicate subscriptions per kind, refcounted like the selector
     /// indexes above. The append path evaluates these against the
     /// committed model (pre-filtered by the index delta it just
@@ -733,12 +735,18 @@ impl Shard {
     /// exist yet. One scan of the kind slice; every later append keeps it
     /// current incrementally.
     fn ensure_index(&mut self, kind: &str, path: &Path) {
-        let slot = (kind.to_string(), path.clone());
-        if self.indexes.contains_key(&slot) {
+        if self
+            .indexes
+            .get(kind)
+            .is_some_and(|paths| paths.contains_key(path))
+        {
             return;
         }
+        let idx = Self::build_index(&self.objects, kind, path);
         self.indexes
-            .insert(slot, Self::build_index(&self.objects, kind, path));
+            .entry(kind.to_string())
+            .or_default()
+            .insert(Arc::new(path.clone()), idx);
     }
 
     /// One full scan of a kind slice into a fresh index — the lazy-build
@@ -1099,6 +1107,18 @@ impl Store {
         self.executor.set_spawn_per_batch(spawn);
     }
 
+    /// Runs `work` over `items` on the shard worker pool, returning
+    /// results in item order (see [`ShardExecutor::run`]). Lets the plan
+    /// phase borrow the same parked lanes batch commits use.
+    pub fn run_pooled<T, R, F>(&mut self, items: Vec<T>, work: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.executor.run(items, work)
+    }
+
     /// Takes a consistent, immutable snapshot of every object in the
     /// store, detached from the store's borrow: O(shards) `Arc` clones,
     /// no model copies.
@@ -1227,13 +1247,15 @@ impl Store {
     #[doc(hidden)]
     pub fn indexes_consistent(&self) -> Result<(), String> {
         for (ns, shard) in &self.shards {
-            for ((kind, path), idx) in &shard.indexes {
-                let fresh = Shard::build_index(&shard.objects, kind, path);
-                if *idx != fresh {
-                    return Err(format!(
-                        "index ({kind}, {path}) in shard {ns} diverged from rebuild: \
-                         incremental {idx:?} vs fresh {fresh:?}"
-                    ));
+            for (kind, paths) in &shard.indexes {
+                for (path, idx) in paths {
+                    let fresh = Shard::build_index(&shard.objects, kind, path);
+                    if *idx != fresh {
+                        return Err(format!(
+                            "index ({kind}, {path}) in shard {ns} diverged from rebuild: \
+                             incremental {idx:?} vs fresh {fresh:?}"
+                        ));
+                    }
                 }
             }
         }
@@ -1253,7 +1275,7 @@ impl Store {
             return Vec::new();
         };
         shard.ensure_index(kind, path);
-        shard.indexes[&(kind.to_string(), path.clone())]
+        shard.indexes[kind][path]
             .by_name
             .iter()
             .map(|(name, key)| (name.clone(), key.to_string()))
@@ -2132,19 +2154,15 @@ fn shard_append(
     // Maintain the secondary indexes covering this kind, remembering the
     // new keys. Replay performs these identical updates, and the predicate
     // matching below rides the delta instead of re-deriving it.
-    let mut new_keys: Vec<(Path, IndexKey)> = Vec::new();
-    if !shard.indexes.is_empty() {
-        let from = (oref.kind.clone(), Path::root());
-        for ((k, path), idx) in shard.indexes.range_mut(from..) {
-            if *k != oref.kind {
-                break;
-            }
+    let mut new_keys: Vec<(Arc<Path>, IndexKey)> = Vec::new();
+    if let Some(paths) = shard.indexes.get_mut(&oref.kind) {
+        for (path, idx) in paths.iter_mut() {
             if kind == WatchEventKind::Deleted {
                 idx.remove(&oref.name);
             } else {
                 let key = IndexKey::of(model.get(path));
                 idx.insert(&oref.name, key.clone());
-                new_keys.push((path.clone(), key));
+                new_keys.push((Arc::clone(path), key));
             }
         }
     }
@@ -2496,11 +2514,11 @@ fn plan_names(plan: &Plan, kind: &str, shard: &Shard) -> Option<BTreeSet<String>
     match plan {
         Plan::Full => None,
         Plan::Eq { path, key } => {
-            let idx = shard.indexes.get(&(kind.to_string(), path.clone()))?;
+            let idx = shard.indexes.get(kind)?.get(path)?;
             Some(idx.by_key.get(key).cloned().unwrap_or_default())
         }
         Plan::Range { path, lo, hi } => {
-            let idx = shard.indexes.get(&(kind.to_string(), path.clone()))?;
+            let idx = shard.indexes.get(kind)?.get(path)?;
             let mut names = BTreeSet::new();
             for set in idx.by_key.range((lo.clone(), hi.clone())).map(|(_, s)| s) {
                 names.extend(set.iter().cloned());

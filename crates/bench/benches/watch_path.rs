@@ -309,7 +309,6 @@ fn mounter_dedup_sweep() {
     use dspace_core::mounter::Mounter;
     use dspace_value::Shared;
     use std::cell::RefCell;
-    use std::rc::Rc;
 
     println!();
     println!("mounter dedup sweep: one process() call over a pre-built event batch");
@@ -330,12 +329,18 @@ fn mounter_dedup_sweep() {
                 resource_version: i as u64 + 1,
             })
             .collect();
-        let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
-        let mut mounter = Mounter::new(graph);
+        let graph = RefCell::new(dspace_core::DigiGraph::new());
+        let mut mounter = Mounter::new();
         let mut api = ApiServer::new();
         let mut trace = dspace_core::Trace::new();
         let start = std::time::Instant::now();
-        mounter.process(&mut api, &batch, &mut trace, dspace_simnet::millis(0));
+        mounter.process(
+            &mut api,
+            &graph,
+            &batch,
+            &mut trace,
+            dspace_simnet::millis(0),
+        );
         let dt = start.elapsed();
         per_event_us = dt.as_secs_f64() * 1e6 / events as f64;
         println!(
@@ -690,10 +695,10 @@ fn pump_throughput_sweep(smoke: bool) {
             .unwrap();
             api.create(ApiServer::ADMIN, &room_ref(ns), room).unwrap();
         }
-        let mut mounter = Mounter::new(graph);
+        let mut mounter = Mounter::new();
         mounter.set_batched(batched);
         let w = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
-        (api, mounter, w)
+        (api, graph, mounter, w)
     };
 
     // One pump cycle: `scene_steps` scene broadcasts (each one small
@@ -702,6 +707,7 @@ fn pump_throughput_sweep(smoke: bool) {
     // re-syncs every affected edge — northbound replica refreshes plus
     // southbound intent patches whenever the version gate is open.
     let cycle = |api: &mut ApiServer,
+                 graph: &RefCell<dspace_core::DigiGraph>,
                  mounter: &mut Mounter,
                  w: dspace_apiserver::WatchId,
                  trace: &mut dspace_core::Trace,
@@ -720,7 +726,13 @@ fn pump_throughput_sweep(smoke: bool) {
             }
         }
         let events = api.poll(w);
-        mounter.process(api, &events, trace, dspace_simnet::millis(round as u64));
+        mounter.process(
+            api,
+            graph,
+            &events,
+            trace,
+            dspace_simnet::millis(round as u64),
+        );
     };
 
     println!();
@@ -751,16 +763,16 @@ fn pump_throughput_sweep(smoke: bool) {
         let mut trial_ms = [0.0f64; 5];
         let mut dumps: Vec<Vec<String>> = Vec::new();
         for (ci, &(batched, spawn_per_batch, readers)) in configs.iter().enumerate() {
-            let (mut api, mut mounter, w) = build(batched, spawn_per_batch);
+            let (mut api, graph, mut mounter, w) = build(batched, spawn_per_batch);
             let mut trace = dspace_core::Trace::new();
             // Warm-up cycle: populates replicas (and the worker pool when
             // pooling) so the measured phase is steady-state.
-            cycle(&mut api, &mut mounter, w, &mut trace, 999);
+            cycle(&mut api, &graph, &mut mounter, w, &mut trace, 999);
             let stats0 = api.watch_stats();
             let rev0 = api.revision();
             let start = std::time::Instant::now();
             for round in 0..cycles {
-                cycle(&mut api, &mut mounter, w, &mut trace, round);
+                cycle(&mut api, &graph, &mut mounter, w, &mut trace, round);
                 if readers {
                     // Readers ride snapshots: zero store reads, zero locks.
                     let snap = api.snapshot();
@@ -894,7 +906,10 @@ fn padded_model(name: &str, pad: usize) -> Value {
 /// steal, incremental `encoded_len`, no `Shared::make_mut` deep-clone).
 /// Writes are timed in chunks with untimed coalesced drains between
 /// them (the steady-state pump shape, which keeps the log window
-/// bounded); `deep_clones` is asserted zero throughout. Emits
+/// bounded); `deep_clones` is asserted zero throughout. Trials
+/// interleave across the whole matrix — each trial visits every cell
+/// once — so host-speed drift over the sweep's duration lands on all
+/// cells alike instead of skewing whichever ran first. Emits
 /// `BENCH_watch_zero_copy.json`; full mode asserts the max/min
 /// per-write spread across the whole matrix stays <= 1.2x.
 fn zero_copy_sweep(smoke: bool) {
@@ -913,66 +928,72 @@ fn zero_copy_sweep(smoke: bool) {
         "{:>9} {:>12} {:>12} {:>12}",
         "watchers", "model-B", "ns/write", "deep-clones"
     );
+    let cells: Vec<(usize, usize)> = pads
+        .iter()
+        .flat_map(|&pad| watcher_counts.iter().map(move |&n| (pad, n)))
+        .collect();
+    let mut best = vec![f64::INFINITY; cells.len()];
+    let mut clones = vec![0u64; cells.len()];
+    for _ in 0..trials {
+        for (ci, &(pad, n)) in cells.iter().enumerate() {
+            let model_bytes = json::to_string(&padded_model("l0", pad)).len();
+            let mut api = ApiServer::new();
+            let lamp = oref(0);
+            api.create(ApiServer::ADMIN, &lamp, padded_model("l0", pad))
+                .unwrap();
+            let watchers: Vec<WatchId> = (0..n)
+                .map(|_| {
+                    api.watch_query(
+                        ApiServer::ADMIN,
+                        &Query::kind("Lamp").in_ns("default").named("l0"),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            // Each chunk is one timing sample; the cell's cost is the
+            // fastest chunk (the steady-state floor, insensitive to
+            // scheduler noise landing on individual samples).
+            for chunk in 0..chunks {
+                let start = std::time::Instant::now();
+                for i in 0..per_chunk {
+                    api.patch_path(
+                        ApiServer::ADMIN,
+                        &lamp,
+                        ".control.brightness.intent",
+                        ((chunk * per_chunk + i) as f64 / 1e6).into(),
+                    )
+                    .unwrap();
+                }
+                let chunk_ns = start.elapsed().as_secs_f64() * 1e9 / per_chunk as f64;
+                best[ci] = best[ci].min(chunk_ns);
+                // Untimed steady-state drain: every watcher takes the
+                // one shared newest snapshot and the coalesce count.
+                for &w in &watchers {
+                    let batch = api.poll_coalesced(w);
+                    assert_eq!(batch.len(), 1);
+                    assert_eq!(batch[0].coalesced, per_chunk as u64);
+                }
+            }
+            assert_eq!(api.log_len(), 0, "drained space must compact to empty");
+            clones[ci] = api.watch_stats().deep_clones;
+            assert_eq!(
+                clones[ci], 0,
+                "steady-state writes to a watched object must never deep-clone \
+                 ({n} watchers, ~{model_bytes} B model)"
+            );
+        }
+    }
     let mut rows = Vec::new();
     let (mut min_ns, mut max_ns) = (f64::INFINITY, 0.0f64);
-    for &pad in pads {
+    for (ci, &(pad, n)) in cells.iter().enumerate() {
         let model_bytes = json::to_string(&padded_model("l0", pad)).len();
-        for &n in watcher_counts {
-            let mut best = f64::INFINITY;
-            let mut clones = 0;
-            for _ in 0..trials {
-                let mut api = ApiServer::new();
-                let lamp = oref(0);
-                api.create(ApiServer::ADMIN, &lamp, padded_model("l0", pad))
-                    .unwrap();
-                let watchers: Vec<WatchId> = (0..n)
-                    .map(|_| {
-                        api.watch_query(
-                            ApiServer::ADMIN,
-                            &Query::kind("Lamp").in_ns("default").named("l0"),
-                        )
-                        .unwrap()
-                    })
-                    .collect();
-                // Each chunk is one timing sample; the cell's cost is the
-                // fastest chunk (the steady-state floor, insensitive to
-                // scheduler noise landing on individual samples).
-                for chunk in 0..chunks {
-                    let start = std::time::Instant::now();
-                    for i in 0..per_chunk {
-                        api.patch_path(
-                            ApiServer::ADMIN,
-                            &lamp,
-                            ".control.brightness.intent",
-                            ((chunk * per_chunk + i) as f64 / 1e6).into(),
-                        )
-                        .unwrap();
-                    }
-                    let chunk_ns = start.elapsed().as_secs_f64() * 1e9 / per_chunk as f64;
-                    best = best.min(chunk_ns);
-                    // Untimed steady-state drain: every watcher takes the
-                    // one shared newest snapshot and the coalesce count.
-                    for &w in &watchers {
-                        let batch = api.poll_coalesced(w);
-                        assert_eq!(batch.len(), 1);
-                        assert_eq!(batch[0].coalesced, per_chunk as u64);
-                    }
-                }
-                assert_eq!(api.log_len(), 0, "drained space must compact to empty");
-                clones = api.watch_stats().deep_clones;
-                assert_eq!(
-                    clones, 0,
-                    "steady-state writes to a watched object must never deep-clone \
-                     ({n} watchers, ~{model_bytes} B model)"
-                );
-            }
-            println!("{n:>9} {model_bytes:>12} {best:>12.0} {clones:>12}");
-            min_ns = min_ns.min(best);
-            max_ns = max_ns.max(best);
-            rows.push(format!(
-                r#"    {{"watchers": {n}, "model_bytes": {model_bytes}, "ns_per_write": {best:.1}, "deep_clones": {clones}}}"#
-            ));
-        }
+        let (best, clones) = (best[ci], clones[ci]);
+        println!("{n:>9} {model_bytes:>12} {best:>12.0} {clones:>12}");
+        min_ns = min_ns.min(best);
+        max_ns = max_ns.max(best);
+        rows.push(format!(
+            r#"    {{"watchers": {n}, "model_bytes": {model_bytes}, "ns_per_write": {best:.1}, "deep_clones": {clones}}}"#
+        ));
     }
     let spread = max_ns / min_ns;
     println!(

@@ -20,16 +20,14 @@
 //! fields the parent changed since then are parent-pending southbound
 //! writes and survive northbound refreshes.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
 use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent};
 use dspace_simnet::Time;
 use dspace_value::{Path, Segment, Value};
 
-use crate::batch::WriteBatch;
-use crate::graph::{DigiGraph, EdgeState, MountEdge, MountMode};
+use crate::batch::{BatchBackend, WriteBatch};
+use crate::graph::{DigiGraph, EdgeState, GraphRead, MountEdge, MountMode};
 use crate::model::{MOUNT_ACTIVE, MOUNT_YIELDED};
 use crate::trace::{Trace, TraceKind};
 
@@ -77,19 +75,28 @@ impl MounterPlan {
 }
 
 /// The Mounter controller.
+///
+/// Holds no handle to the runtime's digi-graph: every pass is handed the
+/// graph to read (the live one inline, an `Arc` edge snapshot from a plan
+/// job), which keeps the whole struct `Send` so deferred plan passes can
+/// run on shard worker threads.
 pub struct Mounter {
-    graph: Rc<RefCell<DigiGraph>>,
     /// Replica content as last written by the mounter, per (parent, child).
     shadows: BTreeMap<(ObjectRef, ObjectRef), Value>,
     /// Commit all of a pump cycle's writes as one `apply_batch` call.
     batched: bool,
 }
 
+impl Default for Mounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Mounter {
-    /// Creates a mounter sharing the runtime's digi-graph.
-    pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
+    /// Creates a mounter.
+    pub fn new() -> Self {
         Mounter {
-            graph,
             shadows: BTreeMap::new(),
             batched: true,
         }
@@ -109,11 +116,17 @@ impl Mounter {
     pub fn process(
         &mut self,
         api: &mut ApiServer,
+        graph: &std::cell::RefCell<DigiGraph>,
         events: &[WatchEvent],
         trace: &mut Trace,
         now: Time,
     ) {
-        self.plan(api, events, false).land(api, trace, now);
+        // The graph is handed down as the `RefCell` (borrow-per-read):
+        // in per-op write mode planning commits each write immediately,
+        // and the admission chain's topology webhook re-borrows the same
+        // cell mutably mid-plan.
+        let plan = self.plan(api, graph, events, false);
+        plan.land(api, trace, now);
     }
 
     /// Drains a batch of watch events into a landable plan without
@@ -122,9 +135,10 @@ impl Mounter {
     /// effects) on the returned plan. `force_batched` overrides the
     /// per-op compatibility mode for deferred landings, which must commit
     /// as one `apply_batch` transfer.
-    pub(crate) fn plan(
+    pub(crate) fn plan<B: BatchBackend, G: GraphRead>(
         &mut self,
-        api: &mut ApiServer,
+        api: &mut B,
+        graph: &G,
         events: &[WatchEvent],
         force_batched: bool,
     ) -> MounterPlan {
@@ -143,8 +157,7 @@ impl Mounter {
             // One O(degree) pass per changed digi: the graph's endpoint
             // index hands back full edges (payload included), so there is
             // no per-neighbor `edge()` re-lookup.
-            let adjacent = self.graph.borrow().adjacent_edges(&oref);
-            for edge in adjacent {
+            for edge in graph.adjacent_edges(&oref) {
                 self.sync_edge(api, &mut batch, edge, &mut effects);
             }
         }
@@ -153,9 +166,9 @@ impl Mounter {
 
     /// Synchronizes one mount edge in both directions, queueing writes on
     /// `batch` and success-gated trace entries on `effects`.
-    fn sync_edge(
+    fn sync_edge<B: BatchBackend>(
         &mut self,
-        api: &mut ApiServer,
+        api: &mut B,
         batch: &mut WriteBatch,
         edge: MountEdge,
         effects: &mut Vec<TraceEffect>,

@@ -10,7 +10,6 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
 use dspace_apiserver::{ApiServer, BatchOp, ObjectRef, Query, WatchEvent, WatchEventKind, WatchId};
 use dspace_reflex::Env;
@@ -50,8 +49,11 @@ impl PolicerPlan {
 }
 
 /// The Policer controller.
+///
+/// Holds no handle to the runtime's digi-graph: graph-reading verbs are
+/// handed the live graph cell at landing time, which keeps the struct
+/// `Send` so it can ride a plan-phase job like the other controllers.
 pub struct Policer {
-    graph: Rc<RefCell<DigiGraph>>,
     policies: BTreeMap<ObjectRef, Policy>,
     /// Last condition value per policy (for edge triggering).
     state: BTreeMap<ObjectRef, bool>,
@@ -62,11 +64,16 @@ pub struct Policer {
     by_watched: BTreeMap<ObjectRef, BTreeSet<ObjectRef>>,
 }
 
+impl Default for Policer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Policer {
-    /// Creates a policer sharing the runtime's digi-graph.
-    pub fn new(graph: Rc<RefCell<DigiGraph>>) -> Self {
+    /// Creates a policer.
+    pub fn new() -> Self {
         Policer {
-            graph,
             policies: BTreeMap::new(),
             state: BTreeMap::new(),
             by_watched: BTreeMap::new(),
@@ -142,13 +149,14 @@ impl Policer {
     pub fn process(
         &mut self,
         api: &mut ApiServer,
+        graph: &RefCell<DigiGraph>,
         watch: WatchId,
         events: &[WatchEvent],
         trace: &mut Trace,
         now: Time,
     ) {
         let plan = self.plan(api, watch, events, trace, now);
-        self.land(api, plan, trace, now);
+        self.land(api, graph, plan, trace, now);
     }
 
     /// Drains a batch of watch events into a landable plan: policy
@@ -221,23 +229,28 @@ impl Policer {
 
     /// Evaluates every policy in the plan against current state. `now` is
     /// the landing time; conditions referencing `time` and all emitted
-    /// traces use it.
+    /// traces use it. `graph` is the *live* digi-graph cell: an action may
+    /// mutate the graph through the topology webhook, and the next action
+    /// of the same policy must see that mutation (s8's unmount→mount
+    /// pair), so freshness cannot come from a wake-time snapshot.
     pub(crate) fn land(
         &mut self,
         api: &mut ApiServer,
+        graph: &RefCell<DigiGraph>,
         plan: PolicerPlan,
         trace: &mut Trace,
         now: Time,
     ) {
         let now_s = now as f64 / 1e9;
         for id in plan.to_evaluate {
-            self.evaluate(api, &id, trace, now, now_s);
+            self.evaluate(api, graph, &id, trace, now, now_s);
         }
     }
 
     fn evaluate(
         &mut self,
         api: &mut ApiServer,
+        graph: &RefCell<DigiGraph>,
         id: &ObjectRef,
         trace: &mut Trace,
         now: Time,
@@ -332,7 +345,7 @@ impl Policer {
                 continue;
             }
             let action = &actions[i];
-            if let Err(e) = self.run_action(api, action) {
+            if let Err(e) = self.run_action(api, graph, action) {
                 trace.push(
                     now,
                     TraceKind::PolicyFired,
@@ -354,9 +367,13 @@ impl Policer {
     fn run_action(
         &self,
         api: &mut ApiServer,
+        graph: &RefCell<DigiGraph>,
         action: &PolicyAction,
     ) -> Result<(), verbs::VerbError> {
-        let graph = self.graph.borrow().clone();
+        // Per-action clone: the previous action may have moved an edge
+        // through the admission webhook, and graph-reading verbs must see
+        // the current topology, not the cycle-start one.
+        let graph = graph.borrow().clone();
         match action {
             PolicyAction::Mount {
                 child,
@@ -408,6 +425,8 @@ impl Policer {
 
 #[cfg(test)]
 mod tests {
+    use std::rc::Rc;
+
     use super::*;
     use crate::topology::TopologyWebhook;
     use dspace_value::{json, yaml, Value};
@@ -441,7 +460,7 @@ mod tests {
             let watch = api.watch_query(ApiServer::ADMIN, &Query::all()).unwrap();
             Rig {
                 api,
-                policer: Policer::new(graph.clone()),
+                policer: Policer::new(),
                 graph,
                 watch,
                 trace: Trace::new(),
@@ -455,8 +474,14 @@ mod tests {
                 if evs.is_empty() {
                     return;
                 }
-                self.policer
-                    .process(&mut self.api, self.watch, &evs, &mut self.trace, 0);
+                self.policer.process(
+                    &mut self.api,
+                    &self.graph,
+                    self.watch,
+                    &evs,
+                    &mut self.trace,
+                    0,
+                );
             }
         }
     }

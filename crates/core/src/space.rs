@@ -43,6 +43,12 @@ pub struct SpaceConfig {
     /// Pipelined wake delivery (the default). Off is the serial baseline:
     /// every in-flight controller cycle stalls wake delivery space-wide.
     pub pipelined_controllers: bool,
+    /// Fan deferred plan phases (mounter/syncer planning, driver reconcile
+    /// compute) out across the shard executor's worker lanes (the
+    /// default). Off plans serially on the coordinator. Both modes leave
+    /// bit-identical store dumps and traces at any thread count — this is
+    /// purely a wall-clock knob.
+    pub parallel_plan: bool,
     /// When set, deferred controller writes travel this link (with its
     /// full fault surface) instead of the controllers' wake link.
     pub controller_write: Option<dspace_simnet::Link>,
@@ -74,6 +80,7 @@ impl Default for SpaceConfig {
             admission: LatencyModel::FixedMs(0.0),
             async_controllers: true,
             pipelined_controllers: true,
+            parallel_plan: true,
             controller_write: None,
             retry: RetryPolicy::default(),
             threads: 0,
@@ -161,6 +168,7 @@ impl Space {
         world.set_admission_latency(config.admission);
         world.set_async_controllers(config.async_controllers);
         world.set_pipelined_controllers(config.pipelined_controllers);
+        world.set_parallel_plan(config.parallel_plan);
         if let Some(link) = config.controller_write {
             for name in ["mounter", "syncer", "policer"] {
                 world.set_controller_write_link(name, link.clone());

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use dspace_apiserver::{ApiServer, ObjectRef, WatchEvent, WatchEventKind};
 use dspace_value::Value;
 
-use crate::batch::WriteBatch;
+use crate::batch::{BatchBackend, WriteBatch};
 
 /// The apiserver subject the syncer authenticates as.
 pub const SUBJECT: &str = "controller:syncer";
@@ -151,9 +151,15 @@ impl Syncer {
     /// committing: Sync registrations are applied eagerly (spec/cache
     /// bookkeeping), propagation writes are queued. `force_batched`
     /// overrides per-op compatibility mode for deferred landings.
-    pub(crate) fn plan(
+    ///
+    /// Generic over [`BatchBackend`] so the same planning code runs
+    /// against the live apiserver (inline path) or a wake-time
+    /// [`dspace_apiserver::SnapshotView`] on a shard worker lane
+    /// (parallel plan phase) — planning only reads, so both backends
+    /// observe identical state.
+    pub(crate) fn plan<B: BatchBackend>(
         &mut self,
-        api: &mut ApiServer,
+        api: &mut B,
         events: &[WatchEvent],
         force_batched: bool,
     ) -> SyncerPlan {
@@ -227,9 +233,9 @@ impl Syncer {
         }
     }
 
-    fn propagate_for_sync(
+    fn propagate_for_sync<B: BatchBackend>(
         &mut self,
-        api: &mut ApiServer,
+        api: &mut B,
         batch: &mut WriteBatch,
         effects: &mut Vec<LastEffect>,
         id: &ObjectRef,

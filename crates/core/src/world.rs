@@ -17,10 +17,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use dspace_apiserver::{
-    ApiServer, CoalescedEvent, DurabilityOptions, Object, ObjectRef, Query, Role, Rule, Verb,
-    WalError, WatchId,
+    ApiServer, CoalescedEvent, DurabilityOptions, Object, ObjectRef, Query, Role, Rule,
+    SnapshotView, Verb, WalError, WatchId,
 };
-use dspace_simnet::{Delivery, LatencyModel, Link, Metrics, RetryPolicy, Rng, Sim};
+use dspace_simnet::{Delivery, LatencyModel, Link, Metrics, RetryPolicy, Rng, Sim, Stopwatch};
 use dspace_value::{KindSchema, Shared, Value};
 
 use crate::actuator::Actuator;
@@ -107,6 +107,114 @@ impl ControllerPlan {
             ControllerPlan::Policer(p) => p.wire_bytes() as usize,
         }
     }
+}
+
+/// A queued plan job: a pure function of its captured wake-time inputs
+/// (a [`PlanCtx`] plus the slot's drained events), executed on a shard
+/// worker lane by `World::flush_plans`. Purity is what makes flush timing
+/// irrelevant to results — a job computes the same outcome whether it runs
+/// at wake, at flush, or at its landing continuation.
+type PlanJobFn = Box<dyn FnOnce() -> PlanOutcome + Send>;
+
+/// What a plan job produces: the component it checked out of its slot
+/// (moved through the job so bookkeeping mutations — syncer caches, driver
+/// `last_model` — travel with the plan) plus the planned work, which lands
+/// coordinator-side in deterministic ticket order.
+enum PlanOutcome {
+    Mounter(Mounter, crate::mounter::MounterPlan),
+    Syncer(Syncer, crate::syncer::SyncerPlan),
+    Driver(DriverRuntime, DriverCycle),
+}
+
+/// One reconcile step a driver plan job computed for a single watch event.
+/// Traces, error counts, and device effects replay coordinator-side at
+/// landing, in step order — so actuator RNG draws stay on the shared
+/// stream in the same order the serial planner produced them.
+struct DriverStep {
+    /// First 8 changed paths, `;`-joined (the `DriverReconciled` detail).
+    changed: String,
+    errors: Vec<String>,
+    effects: Vec<Effect>,
+}
+
+/// A driver cycle computed off-thread: per-event steps plus the model
+/// commits queued for transmission over the driver link.
+struct DriverCycle {
+    foreign_events: u64,
+    steps: Vec<DriverStep>,
+    commits: VecDeque<PendingCommit>,
+}
+
+/// Immutable inputs a plan job computes against, captured once per wake on
+/// the coordinator. Everything a plan may consult is frozen here, so the
+/// job is a pure function and lane assignment / execution order cannot
+/// leak into results.
+pub struct PlanCtx {
+    /// Batch-boundary-exact store snapshot plus an RBAC view — the same
+    /// reads `ApiServer::get` would answer at wake time.
+    pub view: SnapshotView,
+    /// Edge snapshot of the digi-graph at wake time. The live graph is
+    /// coordinator-only (`Rc<RefCell<..>>`); plan jobs get an `Arc` clone.
+    pub graph: std::sync::Arc<DigiGraph>,
+    /// Per-slot RNG stream, forked (non-consuming) off the world RNG at
+    /// wake. Any randomness a plan job needs must come from here — never
+    /// the shared stream — so draws are independent of which lane runs the
+    /// job. Simnet fault draws (links, actuators) stay coordinator-side.
+    pub rng: Rng,
+    /// The sim instant the outcome lands (wake time + reconcile duration).
+    pub land_at: dspace_simnet::Time,
+}
+
+/// The pure compute of one driver reconcile cycle: a function of the
+/// runtime's cached model, the drained events, and the landing-time clock —
+/// no store, graph, shared-RNG, or trace access, so it runs unchanged on a
+/// shard worker lane (parallel plan phase) or inline on the coordinator
+/// (serial path), with bit-identical results.
+fn run_driver_cycle(rt: &mut DriverRuntime, events: &[CoalescedEvent], now_s: f64) -> DriverCycle {
+    let mut cycle = DriverCycle {
+        foreign_events: 0,
+        steps: Vec::new(),
+        commits: VecDeque::new(),
+    };
+    for ce in events {
+        let ev = &ce.event;
+        if ev.oref != rt.oref {
+            // With per-object subscriptions this never fires; the counter
+            // exists so tests/benches can assert drivers no longer receive
+            // (and discard) other digis' events.
+            cycle.foreign_events += 1;
+            continue;
+        }
+        if ev.kind == dspace_apiserver::WatchEventKind::Deleted {
+            continue;
+        }
+        // Skip the echo of the driver's own previous write (Fig. 4:
+        // "unless the update is caused by the previous reconciliation").
+        if rt.last_written == Some(ev.resource_version) {
+            rt.last_model = ev.model.clone();
+            continue;
+        }
+        let result = rt.driver.reconcile(&rt.last_model, &ev.model, now_s);
+        let changed = dspace_value::diff(&rt.last_model, &ev.model)
+            .iter()
+            .take(8)
+            .map(|c| c.path.to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        rt.last_model = ev.model.clone();
+        if result.model != *ev.model {
+            cycle.commits.push_back(PendingCommit {
+                model: result.model,
+                expected: ev.resource_version,
+            });
+        }
+        cycle.steps.push(DriverStep {
+            changed,
+            errors: result.errors,
+            effects: result.effects,
+        });
+    }
+    cycle
 }
 
 /// How a component's watch subscription is maintained.
@@ -217,6 +325,18 @@ pub struct World {
     /// Wake deliveries may not land before this instant while running
     /// serial controllers (see `pipelined_controllers`).
     stall_until: dspace_simnet::Time,
+    /// Fan the deferred plan phase out across the shard executor's worker
+    /// lanes: wakes queue per-slot plan jobs (pure functions of wake-time
+    /// snapshots) instead of planning inline, and a flush runs the batch
+    /// on the pool. Off = plan serially coordinator-side. Both modes leave
+    /// bit-identical store dumps and traces at any thread count.
+    parallel_plan: bool,
+    /// Plan jobs queued since the last flush, tagged by slot index.
+    plan_queue: Vec<(usize, PlanJobFn)>,
+    /// Completed plan outcomes awaiting their landing continuation, keyed
+    /// by slot (the busy invariant guarantees one in-flight cycle per
+    /// slot, so a plain map cannot collide).
+    plan_results: BTreeMap<usize, PlanOutcome>,
     /// Backoff schedule for driver→apiserver commits over a faulty link.
     retry: RetryPolicy,
     actuators: BTreeMap<ObjectRef, Option<Box<dyn Actuator>>>,
@@ -299,6 +419,9 @@ impl World {
             async_controllers: true,
             pipelined_controllers: true,
             stall_until: 0,
+            parallel_plan: true,
+            plan_queue: Vec::new(),
+            plan_results: BTreeMap::new(),
             retry: RetryPolicy::default(),
             actuators: BTreeMap::new(),
             digi_kinds: BTreeSet::new(),
@@ -317,7 +440,7 @@ impl World {
             controller_link.clone(),
             SlotScope::Space { system_kinds: &[] },
             false,
-            Component::Mounter(Mounter::new(graph.clone())),
+            Component::Mounter(Mounter::new()),
         );
         world.add_slot(
             "syncer",
@@ -339,7 +462,7 @@ impl World {
                 system_kinds: &["Policy"],
             },
             false,
-            Component::Policer(Policer::new(graph)),
+            Component::Policer(Policer::new()),
         );
         world.add_slot(
             "user-cli",
@@ -443,6 +566,56 @@ impl World {
     /// stalls wake delivery for every component until it completes.
     pub fn set_pipelined_controllers(&mut self, on: bool) {
         self.pipelined_controllers = on;
+    }
+
+    /// Toggles the parallel plan phase (on by default). Off = deferred
+    /// cycles plan inline on the coordinator, the serial baseline the
+    /// pooled planner is benchmarked — and bit-identity-tested — against.
+    pub fn set_parallel_plan(&mut self, on: bool) {
+        self.parallel_plan = on;
+    }
+
+    /// Captures the immutable planning inputs for slot `i`'s cycle: store
+    /// snapshot + RBAC view, graph edge snapshot, a per-slot RNG stream,
+    /// and the landing instant. Built once per wake, coordinator-side.
+    fn plan_ctx(&self, i: usize, land_at: dspace_simnet::Time) -> PlanCtx {
+        PlanCtx {
+            view: self.api.snapshot_view(),
+            graph: self.graph.borrow().frozen(),
+            rng: self.rng.stream(i as u64),
+            land_at,
+        }
+    }
+
+    /// Runs every queued plan job on the shard executor's worker lanes and
+    /// parks the outcomes for their landing continuations. Job purity
+    /// makes the flush instant unobservable in results; it only decides
+    /// how much planning overlaps (`plan_parallelism`).
+    fn flush_plans(&mut self) {
+        if self.plan_queue.is_empty() {
+            return;
+        }
+        let jobs = std::mem::take(&mut self.plan_queue);
+        self.metrics.record("plan_parallelism", jobs.len() as f64);
+        let sw = Stopwatch::start();
+        let (slots, work): (Vec<usize>, Vec<PlanJobFn>) = jobs.into_iter().unzip();
+        let outcomes = self.api.run_pooled(work, |job| job());
+        for (slot, outcome) in slots.into_iter().zip(outcomes) {
+            self.plan_results.insert(slot, outcome);
+        }
+        self.metrics.record_elapsed("plan_ns", sw);
+    }
+
+    /// Claims slot `i`'s plan outcome at its landing continuation,
+    /// flushing the queue first if the job hasn't run yet (the d == 0
+    /// inline continuation, or a landing that beat the eager flush).
+    fn take_plan(&mut self, i: usize) -> PlanOutcome {
+        if !self.plan_results.contains_key(&i) {
+            self.flush_plans();
+        }
+        self.plan_results
+            .remove(&i)
+            .expect("a plan job was queued for this slot's in-flight cycle")
     }
 
     /// Overrides the link a controller slot's deferred writes travel
@@ -649,9 +822,6 @@ impl World {
                 self.pending_slots.insert(i);
             }
         }
-        if self.pending_slots.is_empty() {
-            return;
-        }
         for i in std::mem::take(&mut self.pending_slots) {
             if self.slots[i].woken {
                 // A scheduled wake drains the whole queue; the slot
@@ -683,6 +853,14 @@ impl World {
                     });
                 }
             }
+        }
+        // Eager flush: once no same-instant sim event remains that could
+        // add another job to the batch, run everything queued on the pool
+        // now — the batch is as wide as this instant will ever make it,
+        // and planning overlaps the coordinator's remaining bookkeeping
+        // instead of stalling the first landing continuation.
+        if !self.plan_queue.is_empty() && sim.next_at().is_none_or(|t| t > sim.now()) {
+            self.flush_plans();
         }
     }
 
@@ -818,11 +996,52 @@ impl World {
         self.metrics
             .record("controller_reconcile_ms", d as f64 / 1e6);
         self.slots[i].busy = true;
+        if !self.pipelined_controllers {
+            self.stall_until = self.stall_until.max(sim.now() + d);
+        }
         let mut component = self.slots[i].kind.take().expect("component present");
-        // Plan against the wake-time snapshots. Deferred landings always
-        // go through one `apply_batch` transfer, so force batched mode.
+        // Parallel plan phase: mounter/syncer planning is a pure function
+        // of the wake-time snapshots, so it ships to a worker lane as a
+        // plan job; the component travels with the job and is reinstalled
+        // by the landing continuation. The policer is excluded — its plan
+        // narrows/extends its own watch subscription per event, which is
+        // coordinator state.
+        if self.parallel_plan && !matches!(component, Component::Policer(_)) {
+            let mut ctx = self.plan_ctx(i, sim.now() + d);
+            // Deferred landings always go through one `apply_batch`
+            // transfer, so force batched mode.
+            let job: PlanJobFn = match component {
+                Component::Mounter(mut m) => Box::new(move || {
+                    let plan = m.plan(&mut ctx.view, &*ctx.graph, &events, true);
+                    PlanOutcome::Mounter(m, plan)
+                }),
+                Component::Syncer(mut s) => Box::new(move || {
+                    let plan = s.plan(&mut ctx.view, &events, true);
+                    PlanOutcome::Syncer(s, plan)
+                }),
+                _ => unreachable!("policer and non-controllers plan coordinator-side"),
+            };
+            self.plan_queue.push((i, job));
+            if d == 0 {
+                // Schedule-or-inline: an event scheduled at delay 0 would
+                // land after other same-timestamp events and change
+                // batching. The inline claim flushes the queue.
+                self.controller_transmit_queued(i, sim);
+            } else {
+                sim.schedule(d, move |w: &mut World, sim| {
+                    w.controller_transmit_queued(i, sim);
+                });
+            }
+            return;
+        }
+        // Serial plan (the policer always; mounter/syncer when the
+        // parallel plan phase is off): plan inline against the wake-time
+        // live store — which the snapshot a plan job would see equals,
+        // since planning only reads.
         let plan = match &mut component {
-            Component::Mounter(m) => ControllerPlan::Mounter(m.plan(&mut self.api, &events, true)),
+            Component::Mounter(m) => {
+                ControllerPlan::Mounter(m.plan(&mut self.api, &*self.graph, &events, true))
+            }
             Component::Syncer(s) => ControllerPlan::Syncer(s.plan(&mut self.api, &events, true)),
             Component::Policer(p) => {
                 let watch = self.slots[i].watch;
@@ -834,9 +1053,6 @@ impl World {
             _ => unreachable!("only controller slots defer"),
         };
         self.slots[i].kind = Some(component);
-        if !self.pipelined_controllers {
-            self.stall_until = self.stall_until.max(sim.now() + d);
-        }
         if d == 0 {
             // Schedule-or-inline: an event scheduled at delay 0 would land
             // after other same-timestamp events and change batching.
@@ -846,6 +1062,26 @@ impl World {
                 w.controller_transmit(i, plan, 0, sim);
             });
         }
+    }
+
+    /// Landing continuation of a pooled controller plan: claim the slot's
+    /// outcome (flushing the queue if its job hasn't run yet), reinstall
+    /// the component, and enter the unchanged transmit → admission → land
+    /// pipeline. Continuations fire in the sim's deterministic
+    /// `(time, ticket)` order — the same order the serial planner lands.
+    fn controller_transmit_queued(&mut self, i: usize, sim: &mut Sim<World>) {
+        let plan = match self.take_plan(i) {
+            PlanOutcome::Mounter(m, p) => {
+                self.slots[i].kind = Some(Component::Mounter(m));
+                ControllerPlan::Mounter(p)
+            }
+            PlanOutcome::Syncer(s, p) => {
+                self.slots[i].kind = Some(Component::Syncer(s));
+                ControllerPlan::Syncer(p)
+            }
+            PlanOutcome::Driver(..) => unreachable!("driver plans land via land_reconcile"),
+        };
+        self.controller_transmit(i, plan, 0, sim);
     }
 
     /// Legacy synchronous controller processing (also the async fast path
@@ -860,14 +1096,21 @@ impl World {
         match &mut component {
             Component::Mounter(m) => {
                 let mut trace = std::mem::take(&mut self.trace);
-                m.process(&mut self.api, events, &mut trace, sim.now());
+                m.process(&mut self.api, &self.graph, events, &mut trace, sim.now());
                 self.trace = trace;
             }
             Component::Syncer(s) => s.process(&mut self.api, events),
             Component::Policer(p) => {
                 let watch = self.slots[i].watch;
                 let mut trace = std::mem::take(&mut self.trace);
-                p.process(&mut self.api, watch, events, &mut trace, sim.now());
+                p.process(
+                    &mut self.api,
+                    &self.graph,
+                    watch,
+                    events,
+                    &mut trace,
+                    sim.now(),
+                );
                 self.trace = trace;
             }
             _ => unreachable!("only controller slots reach controller_inline"),
@@ -950,6 +1193,7 @@ impl World {
     /// plan-time snapshot rvs, commit, success-gated effects — then the
     /// cycle completes.
     fn controller_land(&mut self, i: usize, plan: ControllerPlan, sim: &mut Sim<World>) {
+        let sw = Stopwatch::start();
         let mut component = self.slots[i].kind.take().expect("component present");
         let conflicts = match (&mut component, plan) {
             (Component::Mounter(_), ControllerPlan::Mounter(p)) => {
@@ -961,13 +1205,14 @@ impl World {
             (Component::Syncer(s), ControllerPlan::Syncer(p)) => s.land_occ(&mut self.api, p),
             (Component::Policer(p), ControllerPlan::Policer(plan)) => {
                 let mut trace = std::mem::take(&mut self.trace);
-                p.land(&mut self.api, plan, &mut trace, sim.now());
+                p.land(&mut self.api, &self.graph, plan, &mut trace, sim.now());
                 self.trace = trace;
                 0
             }
             _ => unreachable!("plan variant matches its slot's component"),
         };
         self.slots[i].kind = Some(component);
+        self.metrics.record_elapsed("land_ns", sw);
         if conflicts > 0 {
             self.metrics.count("controller_conflicts", conflicts);
         }
@@ -1020,95 +1265,115 @@ impl World {
         self.slots[i].busy = true;
         let duration = self.reconcile_latency.sample(&mut self.rng);
         self.metrics.record("reconcile_ms", duration as f64 / 1e6);
+        if self.parallel_plan {
+            // The reconcile compute is a pure function of the runtime's
+            // cached model, the drained events, and the landing clock —
+            // duration is sampled now (unchanged RNG order), so the
+            // landing instant is already known and the whole cycle ships
+            // to a worker lane. Traces, effects, and commits replay at the
+            // landing continuation in deterministic ticket order.
+            let Some(Component::Driver(mut rt)) = self.slots[i].kind.take() else {
+                unreachable!("only driver slots run reconcile cycles");
+            };
+            let now_s = (sim.now() + duration) as f64 / 1e9;
+            self.plan_queue.push((
+                i,
+                Box::new(move || {
+                    let cycle = run_driver_cycle(&mut rt, &events, now_s);
+                    PlanOutcome::Driver(rt, cycle)
+                }),
+            ));
+            sim.schedule(duration, move |w: &mut World, sim| w.land_reconcile(i, sim));
+            return;
+        }
         sim.schedule(duration, move |w: &mut World, sim| {
             w.finish_reconcile(i, events, sim);
         });
     }
 
-    /// Completion of the reconcile work: runs the driver logic against the
-    /// snapshots drained at wake time, fires device effects, and queues
-    /// the resulting model writes for transmission over the driver link.
+    /// Completion of the reconcile work on the serial path: runs the
+    /// driver logic against the snapshots drained at wake time, then lands
+    /// the cycle through the same replay code the parallel plan phase
+    /// uses — which is what keeps the two modes bit-identical.
     fn finish_reconcile(&mut self, i: usize, events: Vec<CoalescedEvent>, sim: &mut Sim<World>) {
-        let mut commits: VecDeque<PendingCommit> = VecDeque::new();
-        let mut component = self.slots[i].kind.take().expect("component present");
-        if let Component::Driver(rt) = &mut component {
-            for ce in &events {
-                let ev = &ce.event;
-                if ev.oref != rt.oref {
-                    // With per-object subscriptions this never fires; the
-                    // counter exists so tests/benches can assert drivers no
-                    // longer receive (and discard) other digis' events.
-                    self.metrics.count("driver_foreign_events", 1);
-                    continue;
-                }
-                if ev.kind == dspace_apiserver::WatchEventKind::Deleted {
-                    continue;
-                }
-                // Skip the echo of the driver's own previous write (Fig. 4:
-                // "unless the update is caused by the previous
-                // reconciliation").
-                if rt.last_written == Some(ev.resource_version) {
-                    rt.last_model = ev.model.clone();
-                    continue;
-                }
-                let now_s = sim.now() as f64 / 1e9;
-                let result = rt.driver.reconcile(&rt.last_model, &ev.model, now_s);
-                let changed: Vec<String> = dspace_value::diff(&rt.last_model, &ev.model)
-                    .iter()
-                    .take(8)
-                    .map(|c| c.path.to_string())
-                    .collect();
+        let Some(Component::Driver(mut rt)) = self.slots[i].kind.take() else {
+            unreachable!("only driver slots run reconcile cycles");
+        };
+        let cycle = run_driver_cycle(&mut rt, &events, sim.now() as f64 / 1e9);
+        let oref = rt.oref.clone();
+        self.slots[i].kind = Some(Component::Driver(rt));
+        self.land_driver_cycle(i, oref, cycle, sim);
+    }
+
+    /// Landing continuation of a pooled driver cycle: claim the outcome
+    /// (flushing the queue if the job hasn't run yet), reinstall the
+    /// runtime, and replay the cycle coordinator-side.
+    fn land_reconcile(&mut self, i: usize, sim: &mut Sim<World>) {
+        let PlanOutcome::Driver(rt, cycle) = self.take_plan(i) else {
+            unreachable!("driver slot landed a controller outcome");
+        };
+        let oref = rt.oref.clone();
+        self.slots[i].kind = Some(Component::Driver(rt));
+        self.land_driver_cycle(i, oref, cycle, sim);
+    }
+
+    /// Lands a completed driver cycle: replays traces, error counts, and
+    /// device effects in step order — actuator RNG draws happen here, on
+    /// the shared stream, in the same order the serial planner produced
+    /// them — then transmits the queued commits over the driver link.
+    fn land_driver_cycle(
+        &mut self,
+        i: usize,
+        oref: ObjectRef,
+        cycle: DriverCycle,
+        sim: &mut Sim<World>,
+    ) {
+        let sw = Stopwatch::start();
+        if cycle.foreign_events > 0 {
+            self.metrics
+                .count("driver_foreign_events", cycle.foreign_events);
+        }
+        let subject = oref.to_string();
+        for step in cycle.steps {
+            self.trace.push(
+                sim.now(),
+                TraceKind::DriverReconciled,
+                subject.clone(),
+                step.changed,
+            );
+            for err in step.errors {
+                self.metrics.count("driver_errors", 1);
                 self.trace.push(
                     sim.now(),
                     TraceKind::DriverReconciled,
-                    rt.oref.to_string(),
-                    changed.join(";"),
+                    subject.clone(),
+                    format!("error: {err}"),
                 );
-                for err in &result.errors {
-                    self.metrics.count("driver_errors", 1);
-                    self.trace.push(
-                        sim.now(),
-                        TraceKind::DriverReconciled,
-                        rt.oref.to_string(),
-                        format!("error: {err}"),
-                    );
-                }
-                rt.last_model = ev.model.clone();
-                // Execute effects.
-                for effect in &result.effects {
-                    match effect {
-                        Effect::Device(cmd) => {
-                            self.trace.push(
-                                sim.now(),
-                                TraceKind::DeviceCommand,
-                                rt.oref.to_string(),
-                                dspace_value::json::to_string(cmd),
-                            );
-                            let oref = rt.oref.clone();
-                            self.actuate(oref, cmd.clone(), sim);
-                        }
-                        Effect::Log(msg) => {
-                            self.trace.push(
-                                sim.now(),
-                                TraceKind::DriverReconciled,
-                                rt.oref.to_string(),
-                                format!("log: {msg}"),
-                            );
-                        }
+            }
+            for effect in step.effects {
+                match effect {
+                    Effect::Device(cmd) => {
+                        self.trace.push(
+                            sim.now(),
+                            TraceKind::DeviceCommand,
+                            subject.clone(),
+                            dspace_value::json::to_string(&cmd),
+                        );
+                        self.actuate(oref.clone(), cmd, sim);
+                    }
+                    Effect::Log(msg) => {
+                        self.trace.push(
+                            sim.now(),
+                            TraceKind::DriverReconciled,
+                            subject.clone(),
+                            format!("log: {msg}"),
+                        );
                     }
                 }
-                if result.model != *ev.model {
-                    commits.push_back(PendingCommit {
-                        model: result.model,
-                        expected: ev.resource_version,
-                    });
-                }
             }
-        } else {
-            debug_assert!(false, "only driver slots run reconcile cycles");
         }
-        self.slots[i].kind = Some(component);
-        self.run_commits(i, commits, sim);
+        self.metrics.record_elapsed("land_ns", sw);
+        self.run_commits(i, cycle.commits, sim);
     }
 
     /// Sends the next queued commit, or closes the cycle when none remain.
@@ -1346,6 +1611,17 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // The parallel plan phase ships components and their captured inputs
+    // to shard worker lanes; everything that crosses must be Send. A
+    // compile-time assert, phrased as a test so it can't rot silently.
+    #[test]
+    fn plan_jobs_are_send() {
+        fn is_send<T: Send>() {}
+        is_send::<PlanOutcome>();
+        is_send::<PlanJobFn>();
+        is_send::<PlanCtx>();
+    }
 
     // Satellite: the one-cycle-in-flight invariant is a hard, counted
     // error path (not a debug_assert) — a second cycle against a busy

@@ -3,8 +3,9 @@
 
 use dspace_core::actuator::{Actuation, Actuator, EchoActuator};
 use dspace_core::driver::{Driver, Filter};
+use dspace_core::world::LinkSet;
 use dspace_core::{Space, SpaceConfig};
-use dspace_simnet::{millis, Rng, Time};
+use dspace_simnet::{millis, LatencyModel, Link, Rng, Time};
 use dspace_value::{AttrType, KindSchema, Value};
 
 /// Wraps an actuator; drops the first `drop_n` commands, reporting a
@@ -156,6 +157,67 @@ spec:
         .filter(|e| e.detail.contains("action failed"))
         .count();
     assert_eq!(failures, 2);
+}
+
+#[test]
+fn dropped_wake_reenters_shortlist_and_retransmits_after_rto() {
+    // Regression for the pump's `Delivery::Dropped` arm: a slot whose wake
+    // notification the link loses must re-enter `pending_slots` and be
+    // retransmitted after the link's RTO — it cannot stay wedged with
+    // `woken` set while events sit in its watch queue. An outage window
+    // (rather than a drop probability) forces the drop, so no RNG draws
+    // are consumed and the timeline below is exact.
+    let driver_link = Link::new("driver", LatencyModel::FixedMs(8.0)).with_outage(0, millis(5));
+    assert_eq!(
+        driver_link.rto(),
+        millis(16),
+        "RTO is twice the 8 ms mean latency"
+    );
+    let mut space = Space::new(SpaceConfig {
+        links: LinkSet {
+            driver: driver_link,
+            ..LinkSet::default()
+        },
+        ..SpaceConfig::default()
+    });
+    space.register_kind(
+        KindSchema::digivice("digi.dev", "v1", "Lamp").control("power", AttrType::String),
+    );
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "ack", |ctx| {
+        let intent = ctx.digi().intent("power");
+        if !intent.is_null() && intent != ctx.digi().status("power") {
+            ctx.digi().set_status("power", intent);
+        }
+    });
+    space.create_digi("Lamp", "l1", d).unwrap();
+    space.set_intent_now("l1/power", "on".into()).unwrap();
+    space.pump();
+
+    // The wake was offered at t = 0, inside the outage: dropped and
+    // counted once, against both the global and the per-slot key.
+    assert_eq!(space.world.metrics.counter("wake_drops"), 1);
+    assert_eq!(space.world.metrics.counter("wake_drops:driver:l1"), 1);
+
+    // Before the RTO fires nothing can reach the driver — the only copy
+    // of the wake was lost with the link down.
+    space.run_for_ms(10);
+    assert!(
+        space.status("l1/power").unwrap().is_null(),
+        "no delivery may happen before the RTO retransmit"
+    );
+
+    // The RTO closure at 16 ms clears `woken`, re-adds the slot to the
+    // shortlist, and re-pumps; the outage is over, so the retransmit
+    // arrives after the 8 ms link latency and the driver reconciles.
+    space.run_for_ms(1_000);
+    assert_eq!(space.status("l1/power").unwrap().as_str(), Some("on"));
+    assert_eq!(
+        space.world.metrics.counter("wake_drops"),
+        1,
+        "exactly one drop: the retransmit itself must get through"
+    );
+    assert!(!space.world.has_pending_work());
 }
 
 #[test]

@@ -241,7 +241,7 @@ fn version_gate_is_exact_past_f64_precision() {
     let w = api.watch_query(admin, &Query::all()).unwrap();
 
     let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
-    let mut mounter = Mounter::new(graph.clone());
+    let mut mounter = Mounter::new();
 
     let ch = ObjectRef::default_ns("Node", "ch");
     let pa = ObjectRef::default_ns("Node", "pa");
@@ -285,7 +285,7 @@ fn version_gate_is_exact_past_f64_precision() {
 
     let mut trace = dspace_core::Trace::new();
     let events = api.poll(w);
-    mounter.process(&mut api, &events, &mut trace, 0);
+    mounter.process(&mut api, &graph, &events, &mut trace, 0);
     assert!(
         api.get_path(admin, &ch, ".control.level.intent")
             .unwrap()
@@ -300,7 +300,7 @@ fn version_gate_is_exact_past_f64_precision() {
         if events.is_empty() {
             break;
         }
-        mounter.process(&mut api, &events, &mut trace, 0);
+        mounter.process(&mut api, &graph, &events, &mut trace, 0);
     }
     assert_eq!(
         api.get_path(admin, &ch, ".control.level.intent")
@@ -342,7 +342,7 @@ fn stale_replica_does_not_sync_southbound() {
     let w = api.watch_query(admin, &Query::all()).unwrap();
 
     let graph = Rc::new(RefCell::new(dspace_core::DigiGraph::new()));
-    let mut mounter = Mounter::new(graph.clone());
+    let mut mounter = Mounter::new();
 
     let ch = ObjectRef::default_ns("Node", "ch");
     let pa = ObjectRef::default_ns("Node", "pa");
@@ -385,7 +385,7 @@ fn stale_replica_does_not_sync_southbound() {
 
     let mut trace = dspace_core::Trace::new();
     let events = api.poll(w);
-    mounter.process(&mut api, &events, &mut trace, 0);
+    mounter.process(&mut api, &graph, &events, &mut trace, 0);
     assert!(
         api.get_path(admin, &ch, ".control.level.intent")
             .unwrap()
@@ -401,7 +401,7 @@ fn stale_replica_does_not_sync_southbound() {
         if events.is_empty() {
             break;
         }
-        mounter.process(&mut api, &events, &mut trace, 0);
+        mounter.process(&mut api, &graph, &events, &mut trace, 0);
     }
     assert_eq!(
         api.get_path(admin, &ch, ".control.level.intent")

@@ -1,0 +1,264 @@
+//! Bit-identity of the parallel plan phase: fanning deferred controller
+//! planning and driver reconcile compute out across the shard executor's
+//! worker lanes must leave the final clock, every counter, the full causal
+//! trace, and the store dump bit-identical to the serial planner — at any
+//! shard-thread cap, and under lossy links whose fault schedule is drawn
+//! from the shared RNG (the draws must stay coordinator-side, in the same
+//! order, whichever lane runs the plan compute).
+
+use proptest::prelude::*;
+
+use dspace_core::driver::{Driver, Filter};
+use dspace_core::graph::MountMode;
+use dspace_core::world::LinkSet;
+use dspace_core::{Space, SpaceConfig};
+use dspace_simnet::{LatencyModel, Link};
+use dspace_value::{json, AttrType, KindSchema};
+
+fn lamp_schema() -> KindSchema {
+    KindSchema::digivice("digi.dev", "v1", "Lamp")
+        .control("brightness", AttrType::Number)
+        .mounts("Lamp")
+}
+
+fn cam_schema() -> KindSchema {
+    KindSchema::digidata("digi.dev", "v1", "Cam")
+        .output("frames", AttrType::String)
+        .obs("motion", AttrType::Bool)
+}
+
+fn scene_schema() -> KindSchema {
+    KindSchema::digidata("digi.dev", "v1", "Scene").input("frames", AttrType::String)
+}
+
+fn ack_driver() -> Driver {
+    let mut d = Driver::new();
+    d.on(Filter::on_control(), 0, "ack", |ctx| {
+        let intent = ctx.digi().intent("brightness");
+        if !intent.is_null() && intent != ctx.digi().status("brightness") {
+            ctx.digi().set_status("brightness", intent);
+        }
+    });
+    d
+}
+
+/// A scene exercising every plan venue: the mounter (mounted lamp pair),
+/// the syncer (cam → scene pipe), the policer (motion policy — always
+/// planned coordinator-side), and a driver with real reconcile compute.
+fn build_scene(config: SpaceConfig) -> Space {
+    let mut space = Space::new(config);
+    space.register_kind(lamp_schema());
+    space.register_kind(cam_schema());
+    space.register_kind(scene_schema());
+    let kid = space.create_digi("Lamp", "kid", ack_driver()).unwrap();
+    let hub = space.create_digi("Lamp", "hub", Driver::new()).unwrap();
+    let cam = space.create_digi("Cam", "cam", Driver::new()).unwrap();
+    let sink = space.create_digi("Scene", "sink", Driver::new()).unwrap();
+    space.settle(30_000);
+    space.mount(&kid, &hub, MountMode::Expose).unwrap();
+    space.pipe(&cam, "frames", &sink, "frames").unwrap();
+    space
+        .add_policy(
+            "motion-lights",
+            dspace_value::yaml::parse(
+                r#"
+meta: {kind: Policy, name: motion-lights, namespace: default}
+spec:
+  watch: ["Cam/default/cam"]
+  condition: .cam.obs.motion == true
+  on_rising:
+    - {action: set-intent, target: Lamp/default/kid, attr: brightness, value: 1.0}
+  on_falling:
+    - {action: set-intent, target: Lamp/default/kid, attr: brightness, value: 0.25}
+"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    space.settle(30_000);
+    space
+}
+
+fn drive(space: &mut Space, rounds: usize) {
+    for i in 1..=rounds {
+        space
+            .set_intent_now("kid/brightness", (i as f64 / 100.0).into())
+            .unwrap();
+        space.settle(60_000);
+        space
+            .world
+            .api
+            .client(dspace_apiserver::ApiServer::ADMIN)
+            .namespace("default")
+            .patch_path(
+                "Cam",
+                "cam",
+                ".data.output.frames",
+                format!("frame-{i}").into(),
+            )
+            .unwrap();
+        space.pump();
+        space.settle(60_000);
+        space
+            .physical_event(
+                "cam",
+                dspace_value::json::parse(&format!(r#"{{"obs": {{"motion": {}}}}}"#, i % 2 == 1))
+                    .unwrap(),
+            )
+            .unwrap();
+        space.settle(60_000);
+    }
+}
+
+/// Everything observable about one run. The parallel planner must leave
+/// each field bit-identical to the serial planner: same counters (plan
+/// timings are histograms, never counters), same trace in the same order,
+/// same store bytes and resource versions, same final virtual clock.
+#[derive(Debug, PartialEq)]
+struct RunSummary {
+    now_ms_bits: u64,
+    counters: Vec<(String, u64)>,
+    trace: Vec<(u64, String, String, String)>,
+    store: Vec<(String, u64, String)>,
+}
+
+fn summarize(space: &Space) -> RunSummary {
+    RunSummary {
+        now_ms_bits: space.now_ms().to_bits(),
+        counters: space
+            .world
+            .metrics
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        trace: space
+            .world
+            .trace
+            .entries()
+            .iter()
+            .map(|e| {
+                (
+                    e.t,
+                    format!("{:?}", e.kind),
+                    e.subject.clone(),
+                    e.detail.clone(),
+                )
+            })
+            .collect(),
+        store: space
+            .world
+            .api
+            .dump()
+            .into_iter()
+            .map(|o| {
+                (
+                    o.oref.to_string(),
+                    o.resource_version,
+                    json::to_string(&o.model),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// One full run under 5%-drop faults on BOTH fault surfaces: the driver
+/// wake/commit link (dropped wakes retransmit after RTO, dropped commits
+/// retry with backoff) and the deferred controller write link. Nonzero
+/// reconcile/controller/admission latencies force every cycle through the
+/// deferred plan → transmit → admit → land pipeline, so plan jobs really
+/// run on worker lanes when `parallel` is on.
+fn faulty_run(
+    parallel: bool,
+    threads: usize,
+    seed: u64,
+    drop_pct: u32,
+    rounds: usize,
+) -> RunSummary {
+    let p = drop_pct as f64 / 100.0;
+    let driver_link = Link::new("driver", LatencyModel::FixedMs(8.0))
+        .with_jitter(LatencyModel::UniformMs(0.0, 4.0))
+        .with_drop_probability(p);
+    let write_link = Link::new("ctrl-write", LatencyModel::FixedMs(4.0))
+        .with_jitter(LatencyModel::UniformMs(0.0, 3.0))
+        .with_drop_probability(p);
+    let mut space = build_scene(SpaceConfig {
+        seed,
+        parallel_plan: parallel,
+        threads,
+        links: LinkSet {
+            driver: driver_link,
+            ..LinkSet::default()
+        },
+        reconcile: LatencyModel::FixedMs(15.0),
+        controller_reconcile: LatencyModel::FixedMs(10.0),
+        admission: LatencyModel::FixedMs(1.0),
+        controller_write: Some(write_link),
+        ..SpaceConfig::default()
+    });
+    drive(&mut space, rounds);
+    assert!(!space.world.has_pending_work(), "queue must quiesce");
+    summarize(&space)
+}
+
+#[test]
+fn parallel_plan_is_bit_identical_to_serial_under_faults() {
+    // ISSUE acceptance: parallel-plan vs serial-plan store dump + trace
+    // bit-identity at shard-thread caps 1 and max, under 5% drop faults.
+    // The cap-1 leg is the degenerate-pool case (every job runs inline on
+    // the coordinator, in queue order); the max leg actually spreads plan
+    // jobs over worker lanes. Neither may perturb a single RNG draw, trace
+    // entry, or store byte.
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let serial = faulty_run(false, 1, 7, 5, 8);
+    assert!(
+        serial
+            .counters
+            .iter()
+            .any(|(k, v)| k == "wake_drops" && *v > 0)
+            || serial
+                .counters
+                .iter()
+                .any(|(k, v)| k.ends_with("_retries") && *v > 0),
+        "the fault schedule must actually drop something"
+    );
+    for threads in [1, max] {
+        let parallel = faulty_run(true, threads, 7, 5, 8);
+        assert_eq!(
+            serial, parallel,
+            "parallel plan diverged from serial (threads={threads})"
+        );
+    }
+    // And the serial planner itself must not care about the cap.
+    let serial_max = faulty_run(false, max, 7, 5, 8);
+    assert_eq!(serial, serial_max, "thread cap changed the serial run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the seed and drop rate, pooled planning replays the serial
+    /// planner bit-for-bit at shard-thread caps 1 and max: same clock,
+    /// counters, trace, and store. This is the guarantee that makes
+    /// `parallel_plan` a pure wall-clock knob.
+    #[test]
+    fn parallel_plan_replays_serial_bit_identically(
+        seed in 0u64..1_000_000,
+        drop_pct in 0u32..=10,
+    ) {
+        let max = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let serial = faulty_run(false, 1, seed, drop_pct, 3);
+        for threads in [1, max] {
+            let parallel = faulty_run(true, threads, seed, drop_pct, 3);
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "parallel plan diverged (threads={})",
+                threads
+            );
+        }
+    }
+}

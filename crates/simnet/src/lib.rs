@@ -25,7 +25,7 @@ pub mod sim;
 pub mod time;
 
 pub use link::{Delivery, LatencyModel, Link, RetryPolicy};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, Metrics, Stopwatch};
 pub use rng::Rng;
 pub use sim::Sim;
 pub use time::{micros, millis, nanos, secs, Time};

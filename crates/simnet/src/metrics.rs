@@ -97,6 +97,32 @@ fn finite_or_zero(v: f64) -> f64 {
     }
 }
 
+/// A wall-clock phase timer for per-phase cost accounting (`plan_ns`,
+/// `land_ns`, ...).
+///
+/// Wall time is host-dependent by nature, so these samples land in
+/// histograms only — determinism comparisons (store dumps, traces,
+/// counters) must never include them.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], as an `f64`
+    /// histogram sample.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.started.elapsed().as_nanos() as f64
+    }
+}
+
 /// A named collection of counters and histograms.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -134,6 +160,11 @@ impl Metrics {
             .entry(name.to_string())
             .or_default()
             .record(value);
+    }
+
+    /// Records the wall time elapsed on `sw` as a nanosecond sample.
+    pub fn record_elapsed(&mut self, name: &str, sw: Stopwatch) {
+        self.record(name, sw.elapsed_ns());
     }
 
     /// Returns a histogram by name, if any samples were recorded.
@@ -186,6 +217,16 @@ mod tests {
         assert_eq!(h.max(), 0.0);
         assert_eq!(h.median(), 0.0);
         assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_records_nonnegative_nanos() {
+        let mut m = Metrics::new();
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_ns() >= 0.0);
+        m.record_elapsed("plan_ns", sw);
+        assert_eq!(m.histogram("plan_ns").unwrap().count(), 1);
+        assert!(m.histogram("plan_ns").unwrap().min() >= 0.0);
     }
 
     #[test]
